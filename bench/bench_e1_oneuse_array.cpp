@@ -1,0 +1,69 @@
+// E1 -- Section 4.3 array construction cost.
+//
+// The paper: a bounded SRSW bit (<= r_b reads, <= w_b writes) costs
+// r_b * (w_b + 1) one-use bits; a write touches r_b of them, a read touches
+// at most (number of writes observed so far) + 1.
+//
+// This bench sweeps (r_b, w_b), reporting the space (one-use bits consumed)
+// and the measured shared-memory steps per read and per write in a
+// sequential workload that alternates writes and reads.
+#include <benchmark/benchmark.h>
+
+#include "wfregs/core/bounded_register.hpp"
+#include "wfregs/runtime/scheduler.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+void BM_OneUseArray(benchmark::State& state) {
+  const int reads = static_cast<int>(state.range(0));
+  const int writes = static_cast<int>(state.range(1));
+  const zoo::SrswRegisterLayout bit{2};
+
+  std::size_t write_steps = 0;
+  std::size_t read_steps = 0;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    const auto impl = core::bounded_bit_from_oneuse(reads, writes, 0);
+    auto sys = std::make_shared<System>(2);
+    const ObjectId obj = sys->add_implemented(impl, {0, 1});
+    // Writer: alternate 1/0 for `writes` value-changing writes.
+    {
+      ProgramBuilder b;
+      for (int w = 0; w < writes; ++w) {
+        b.invoke(0, lit(bit.write(1 - (w % 2))), 0);
+      }
+      b.ret(lit(0));
+      sys->set_toplevel(1, b.build("writer"), {obj});
+    }
+    {
+      ProgramBuilder b;
+      for (int r = 0; r < reads; ++r) b.invoke(0, lit(bit.read()), 0);
+      b.ret(lit(0));
+      sys->set_toplevel(0, b.build("reader"), {obj});
+    }
+    Engine e{std::move(sys)};
+    // Run the writer to completion, then the reader: sequential costs.
+    while (!e.done(1)) e.commit(1);
+    const std::size_t after_writes = e.time();
+    while (!e.done(0)) e.commit(0);
+    write_steps += after_writes;
+    read_steps += e.time() - after_writes;
+    ++rounds;
+  }
+  state.counters["oneuse_bits"] = static_cast<double>(
+      core::oneuse_bits_needed(reads, writes));
+  state.counters["steps_per_write"] =
+      writes ? static_cast<double>(write_steps) / (rounds * writes) : 0.0;
+  state.counters["steps_per_read"] =
+      reads ? static_cast<double>(read_steps) / (rounds * reads) : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_OneUseArray)
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32}, {0, 1, 2, 4, 8}})
+    ->ArgNames({"r_b", "w_b"})
+    ->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,74 @@
+// E2 -- Section 4.2 execution trees: the Koenig bound D and the exploration
+// cost of computing it.
+//
+// The paper: the 2^n execution trees of a wait-free consensus implementation
+// are finite; D (the max depth) bounds every object's use.  This bench
+// measures the exhaustive-exploration cost for the protocol zoo and reports
+// D, the total configuration counts, and the largest per-object access
+// bound (the quantity the coarse paper bound r_b = w_b = D over-approximates).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/core/access_bounds.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+std::shared_ptr<const Implementation> protocol(int which, int n) {
+  switch (which) {
+    case 0:
+      return consensus::from_test_and_set();
+    case 1:
+      return consensus::from_queue();
+    case 2:
+      return consensus::from_fetch_and_add();
+    case 3:
+      return consensus::from_cas(n);
+    case 4:
+      return consensus::from_sticky_bit(n);
+    case 5:
+      return consensus::from_cas_ids(n);
+    default:
+      return nullptr;
+  }
+}
+
+const char* names[] = {"tas+bits", "queue+bits", "faa+bits",
+                       "cas",      "sticky",     "cas_ids+regs"};
+
+void BM_AccessBounds(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto impl = protocol(which, n);
+  core::AccessBounds bounds;
+  for (auto _ : state) {
+    bounds = core::compute_access_bounds(impl);
+    benchmark::DoNotOptimize(bounds.depth);
+  }
+  state.SetLabel(names[which]);
+  state.counters["D"] = bounds.depth;
+  state.counters["configs"] = static_cast<double>(bounds.configs);
+  std::size_t max_bound = 0;
+  for (const auto& b : bounds.per_object) {
+    max_bound = std::max(max_bound, b.max_accesses);
+  }
+  state.counters["max_obj_bound"] = static_cast<double>(max_bound);
+  state.counters["solves"] = bounds.solves ? 1 : 0;
+}
+
+}  // namespace
+
+// 2-process register+racer protocols.
+BENCHMARK(BM_AccessBounds)->Args({0, 2})->Args({1, 2})->Args({2, 2})
+    ->ArgNames({"proto", "n"})->Unit(benchmark::kMillisecond);
+// Register-free n-process protocols: D and tree size vs n.
+BENCHMARK(BM_AccessBounds)
+    ->Args({3, 2})->Args({3, 3})->Args({3, 4})->Args({3, 5})
+    ->Args({4, 2})->Args({4, 3})->Args({4, 4})->Args({4, 5})
+    ->ArgNames({"proto", "n"})->Unit(benchmark::kMillisecond);
+// Register-using n-process protocol (the heavy case).
+BENCHMARK(BM_AccessBounds)->Args({5, 2})->Args({5, 3})
+    ->ArgNames({"proto", "n"})->Unit(benchmark::kMillisecond);

@@ -1,0 +1,135 @@
+// E3 -- the Section 4.1 register chain: per-level overhead.
+//
+// Each rung (Simpson SRSW-from-bits, MRSW-from-SRSW, MRMW-from-MRSW, and
+// the full composed chain) is measured as shared-memory steps per read and
+// per write in a sequential workload, together with the number of base
+// objects the construction consumes.
+#include <benchmark/benchmark.h>
+
+#include "wfregs/registers/chain.hpp"
+#include "wfregs/registers/mrmw.hpp"
+#include "wfregs/registers/mrsw.hpp"
+#include "wfregs/registers/simpson.hpp"
+#include "wfregs/runtime/engine.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+struct Setup {
+  std::shared_ptr<const Implementation> impl;
+  PortId reader_port = 0;
+  PortId writer_port = 0;
+  InvId read_inv = 0;
+  InvId write_inv[2] = {0, 0};
+};
+
+Setup make(int level, int values, int readers) {
+  Setup s;
+  switch (level) {
+    case 0: {  // Simpson four-slot from bits
+      const zoo::SrswRegisterLayout lay{values};
+      s.impl = registers::simpson_register(values, 0);
+      s.reader_port = zoo::SrswRegisterLayout::reader_port();
+      s.writer_port = zoo::SrswRegisterLayout::writer_port();
+      s.read_inv = lay.read();
+      s.write_inv[0] = lay.write(0);
+      s.write_inv[1] = lay.write(1);
+      break;
+    }
+    case 1:    // MRSW over base SRSW registers
+    case 2: {  // MRSW over Simpson bits
+      const zoo::MrswRegisterLayout lay{values, readers};
+      s.impl = registers::mrsw_register(
+          values, readers, 0, 16,
+          level == 2 ? registers::simpson_srsw_factory()
+                     : registers::SrswFactory{});
+      s.reader_port = lay.reader_port(0);
+      s.writer_port = lay.writer_port();
+      s.read_inv = lay.read();
+      s.write_inv[0] = lay.write(0);
+      s.write_inv[1] = lay.write(1);
+      break;
+    }
+    case 3:    // MRMW over base MRSW registers
+    case 4: {  // the full chain, bits at the bottom
+      const zoo::RegisterLayout lay{values};
+      if (level == 3) {
+        s.impl = registers::mrmw_register(values, readers + 1, 0, 16);
+      } else {
+        registers::ChainOptions options;
+        options.mrmw_max_writes = 16;
+        options.mrsw_max_writes = 64;
+        s.impl = registers::full_chain_register(values, readers + 1, 0,
+                                                options);
+      }
+      s.reader_port = 0;
+      s.writer_port = 1;
+      s.read_inv = lay.read();
+      s.write_inv[0] = lay.write(0);
+      s.write_inv[1] = lay.write(1);
+      break;
+    }
+  }
+  return s;
+}
+
+const char* level_names[] = {"simpson(bits)", "mrsw(base-srsw)",
+                             "mrsw(simpson)", "mrmw(base-mrsw)",
+                             "full-chain(bits)"};
+
+void BM_RegisterChain(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  const int values = static_cast<int>(state.range(1));
+  const int readers = static_cast<int>(state.range(2));
+  const Setup s = make(level, values, readers);
+  constexpr int kOps = 8;
+
+  std::size_t write_steps = 0;
+  std::size_t read_steps = 0;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    auto sys = std::make_shared<System>(2);
+    // Processes: 0 reads via reader_port, 1 writes via writer_port.
+    std::vector<PortId> port_of_process(2, kNoPort);
+    port_of_process[0] = s.reader_port;
+    port_of_process[1] = s.writer_port;
+    const ObjectId obj = sys->add_implemented(s.impl, port_of_process);
+    {
+      ProgramBuilder b;
+      for (int k = 0; k < kOps; ++k) {
+        b.invoke(0, lit(s.write_inv[k % 2]), 0);
+      }
+      b.ret(lit(0));
+      sys->set_toplevel(1, b.build("writer"), {obj});
+    }
+    {
+      ProgramBuilder b;
+      for (int k = 0; k < kOps; ++k) b.invoke(0, lit(s.read_inv), 0);
+      b.ret(lit(0));
+      sys->set_toplevel(0, b.build("reader"), {obj});
+    }
+    Engine e{std::move(sys)};
+    while (!e.done(1)) e.commit(1);
+    const std::size_t after_writes = e.time();
+    while (!e.done(0)) e.commit(0);
+    write_steps += after_writes;
+    read_steps += e.time() - after_writes;
+    ++rounds;
+  }
+  state.SetLabel(level_names[level]);
+  state.counters["base_objects"] =
+      static_cast<double>(s.impl->flattened_base_count());
+  state.counters["steps_per_write"] =
+      static_cast<double>(write_steps) / (rounds * kOps);
+  state.counters["steps_per_read"] =
+      static_cast<double>(read_steps) / (rounds * kOps);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RegisterChain)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {2, 4}, {1, 2, 3}})
+    ->ArgNames({"level", "values", "readers"})
+    ->Unit(benchmark::kMicrosecond);

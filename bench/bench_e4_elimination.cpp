@@ -1,0 +1,130 @@
+// E4 -- Theorem 5 register elimination: transform cost and blow-up.
+//
+// For each (protocol, substrate) pair this bench runs the full pipeline
+// (4.1 normalize, 4.2 bounds, 4.3 arrays, 5.x substrate) and reports:
+//   * transform wall time;
+//   * base objects before / after (the space blow-up);
+//   * the measured D and the one-use bits created;
+//   * steps per propose in the register-free result (random schedule);
+//   * whether the result still model-checks (it must).
+// The paper's coarse bound r_b = w_b = D is compared against the measured
+// per-bit bounds via the `uniform` parameter.
+#include <benchmark/benchmark.h>
+
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/core/oneuse_from_type.hpp"
+#include "wfregs/core/register_elimination.hpp"
+#include "wfregs/runtime/scheduler.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+std::shared_ptr<const Implementation> protocol(int which) {
+  switch (which) {
+    case 0:
+      return consensus::from_test_and_set();
+    case 1:
+      return consensus::from_queue();
+    default:
+      return consensus::from_fetch_and_add();
+  }
+}
+
+TypeSpec substrate(int which) {
+  switch (which) {
+    case 0:
+      return zoo::test_and_set_type(2);
+    case 1:
+      return zoo::queue_type(2, 2, 2);
+    default:
+      return zoo::fetch_and_add_type(2, 2);
+  }
+}
+
+const char* proto_names[] = {"tas", "queue", "faa"};
+const char* sub_names[] = {"tas", "queue", "faa"};
+
+int census_total(const std::map<std::string, int>& census) {
+  int total = 0;
+  for (const auto& [name, count] : census) total += count;
+  return total;
+}
+
+void BM_Elimination(benchmark::State& state) {
+  const int proto = static_cast<int>(state.range(0));
+  const int sub = static_cast<int>(state.range(1));
+  const bool uniform = state.range(2) != 0;
+  const auto impl = protocol(proto);
+  const TypeSpec sub_type = substrate(sub);
+
+  core::EliminationReport report;
+  for (auto _ : state) {
+    core::EliminationOptions options;
+    options.uniform_paper_bound = uniform;
+    options.oneuse_factory = [&sub_type] {
+      return core::oneuse_from_deterministic(sub_type);
+    };
+    report = core::eliminate_registers(impl, options);
+    benchmark::DoNotOptimize(report.ok);
+  }
+  state.SetLabel(std::string(proto_names[proto]) + "->" + sub_names[sub] +
+                 (uniform ? " (uniform D)" : " (per-bit)"));
+  state.counters["ok"] = report.ok ? 1 : 0;
+  state.counters["D"] = report.bounds.depth;
+  state.counters["objects_before"] =
+      static_cast<double>(census_total(report.census_before));
+  state.counters["objects_after"] =
+      static_cast<double>(census_total(report.census_after));
+  state.counters["oneuse_bits"] =
+      static_cast<double>(report.oneuse_bits_created);
+
+  // Steps per propose in the transformed protocol (one random schedule).
+  if (report.ok) {
+    auto sys = consensus::consensus_scenario(report.result, {0, 1});
+    Engine e{std::move(sys)};
+    RandomScheduler sched(42);
+    RandomChooser chooser(43);
+    run_to_completion(e, sched, chooser);
+    state.counters["steps_per_propose"] =
+        static_cast<double>(e.time()) / 2.0;
+  }
+}
+
+void BM_EliminationVerify(benchmark::State& state) {
+  // The expensive part: exhaustively re-checking the transformed protocol.
+  const int proto = static_cast<int>(state.range(0));
+  const auto impl = protocol(proto);
+  core::EliminationOptions options;
+  options.oneuse_factory = [] {
+    return core::oneuse_from_deterministic(zoo::test_and_set_type(2));
+  };
+  const auto report = core::eliminate_registers(impl, options);
+  consensus::ConsensusCheckResult check;
+  for (auto _ : state) {
+    check = consensus::check_consensus(report.result);
+    benchmark::DoNotOptimize(check.solves);
+  }
+  state.SetLabel(std::string(proto_names[proto]) + "->tas, model check");
+  state.counters["solves"] = check.solves ? 1 : 0;
+  state.counters["configs"] = static_cast<double>(check.configs);
+  state.counters["depth"] = check.depth;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Elimination)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}, {0}})
+    ->ArgNames({"proto", "substrate", "uniform"})
+    ->Unit(benchmark::kMillisecond);
+// The paper's uniform bound, for comparison (bigger arrays).
+BENCHMARK(BM_Elimination)
+    ->Args({0, 0, 1})
+    ->ArgNames({"proto", "substrate", "uniform"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EliminationVerify)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"proto"})
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,80 @@
+// E5 -- Section 5.1/5.2 witness searches over random finite types.
+//
+// Sweeps the shape of random deterministic types and measures:
+//   * the cost of the Section 5.2 minimal-non-trivial-pair search (Mealy
+//     partition refinement + pairwise BFS);
+//   * how often random types are trivial;
+//   * the length distribution of minimal read sequences (Lemma 2-4 shape).
+#include <benchmark/benchmark.h>
+
+#include "wfregs/typesys/random_type.hpp"
+#include "wfregs/typesys/triviality.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+void BM_PairSearch(benchmark::State& state) {
+  RandomTypeParams params;
+  params.ports = static_cast<int>(state.range(0));
+  params.num_states = static_cast<int>(state.range(1));
+  params.num_invocations = static_cast<int>(state.range(2));
+  params.num_responses = 2;
+
+  std::uint64_t seed = 0;
+  std::size_t trivial = 0;
+  std::size_t total = 0;
+  std::size_t seq_len_sum = 0;
+  std::size_t seq_len_max = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto t = random_type(params, seed++);
+    state.ResumeTiming();
+    const auto pair = find_nontrivial_pair(t);
+    benchmark::DoNotOptimize(pair.has_value());
+    state.PauseTiming();
+    ++total;
+    if (!pair) {
+      ++trivial;
+    } else {
+      seq_len_sum += pair->read_seq.size();
+      seq_len_max = std::max(seq_len_max, pair->read_seq.size());
+    }
+    state.ResumeTiming();
+  }
+  state.counters["trivial_frac"] =
+      total ? static_cast<double>(trivial) / total : 0.0;
+  state.counters["avg_seq_len"] =
+      (total - trivial)
+          ? static_cast<double>(seq_len_sum) / (total - trivial)
+          : 0.0;
+  state.counters["max_seq_len"] = static_cast<double>(seq_len_max);
+}
+
+void BM_ObliviousWitness(benchmark::State& state) {
+  RandomTypeParams params;
+  params.ports = 2;
+  params.num_states = static_cast<int>(state.range(0));
+  params.num_invocations = static_cast<int>(state.range(1));
+  params.num_responses = 2;
+  params.oblivious = true;
+
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto t = random_type(params, seed++);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(find_oblivious_witness(t).has_value());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PairSearch)
+    ->ArgsProduct({{2, 3}, {4, 8, 16, 32, 64}, {2, 4}})
+    ->ArgNames({"ports", "states", "invs"})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ObliviousWitness)
+    ->ArgsProduct({{4, 16, 64, 256}, {2, 4}})
+    ->ArgNames({"states", "invs"})
+    ->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,147 @@
+// E6 -- consensus substrate costs and bounded protocol synthesis.
+//
+// Part 1: steps per decide for every protocol in the zoo under seeded
+// random scheduling, as n grows (register-free protocols scale in n;
+// register-using ones are n = 2).
+//
+// Part 2: the bounded synthesis search (consensus/power.hpp): node counts
+// for the classic solvable and unsolvable instances, including the
+// h_1-vs-h_1^r gap instances that motivate the paper.
+#include <benchmark/benchmark.h>
+
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/consensus/power.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/runtime/scheduler.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+void BM_StepsPerDecide(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  std::shared_ptr<const Implementation> impl;
+  const char* label = "";
+  switch (which) {
+    case 0:
+      impl = consensus::from_test_and_set();
+      label = "tas+bits";
+      break;
+    case 1:
+      impl = consensus::from_cas(n);
+      label = "cas";
+      break;
+    case 2:
+      impl = consensus::from_sticky_bit(n);
+      label = "sticky";
+      break;
+    case 3:
+      impl = consensus::from_cas_ids(n);
+      label = "cas_ids+regs";
+      break;
+  }
+  std::vector<int> inputs;
+  for (int p = 0; p < n; ++p) inputs.push_back(p % 2);
+
+  std::size_t steps = 0;
+  std::size_t rounds = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto sys = consensus::consensus_scenario(impl, inputs);
+    Engine e{std::move(sys)};
+    RandomScheduler sched(seed);
+    RandomChooser chooser(seed + 1);
+    seed += 2;
+    run_to_completion(e, sched, chooser);
+    steps += e.time();
+    ++rounds;
+  }
+  state.SetLabel(label);
+  state.counters["steps_per_decide"] =
+      static_cast<double>(steps) / (rounds * n);
+}
+
+std::shared_ptr<const TypeSpec> share(TypeSpec t) {
+  return std::make_shared<const TypeSpec>(std::move(t));
+}
+
+void BM_Synthesis(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  std::vector<consensus::SynthesisObject> objects;
+  int depth = 2;
+  const char* label = "";
+  switch (which) {
+    case 0:
+      objects = {{share(zoo::sticky_bit_type(2)), 0, {}}};
+      depth = 1;
+      label = "sticky alone (solvable)";
+      break;
+    case 1:
+      objects = {{share(zoo::cas_old_type(3, 2)), 2, {}}};
+      depth = 1;
+      label = "cas-old alone (solvable)";
+      break;
+    case 2:
+      objects = {{share(zoo::test_and_set_type(2)), 0, {}}};
+      depth = 2;
+      label = "one tas alone (unsolvable: h_1 = 1)";
+      break;
+    case 3:
+      objects = {{share(zoo::bit_type(2)), 0, {}}};
+      depth = 2;
+      label = "one register bit (unsolvable)";
+      break;
+    case 4: {
+      const auto bit = share(zoo::bit_type(2));
+      objects = {{bit, 0, {}}, {bit, 0, {}}};
+      depth = 1;
+      label = "two register bits, depth 1 (unsolvable)";
+      break;
+    }
+    case 5: {
+      // The h_m(test&set) = 2 search: test&set + one-use bits, no
+      // registers.  Generous cap; kUnknown is reported honestly when the
+      // budget runs out before the protocol is found.
+      const auto tas = share(zoo::test_and_set_type(2));
+      const auto oub = share(zoo::one_use_bit_type());
+      const zoo::OneUseBitLayout lay;
+      objects = {{tas, 0, {}},
+                 {oub, lay.unset(), {1, 0}},
+                 {oub, lay.unset(), {0, 1}}};
+      depth = 3;
+      label = "tas + 2 one-use bits, depth 3";
+      break;
+    }
+  }
+  consensus::SynthesisResult result;
+  for (auto _ : state) {
+    result = consensus::synthesize_two_consensus(objects, depth, 50000000);
+    benchmark::DoNotOptimize(result.verdict);
+  }
+  state.SetLabel(label);
+  state.counters["nodes"] = static_cast<double>(result.nodes);
+  state.counters["verdict"] = static_cast<double>(result.verdict);
+}
+
+}  // namespace
+
+BENCHMARK(BM_StepsPerDecide)->Args({0, 2})
+    ->ArgNames({"proto", "n"})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StepsPerDecide)
+    ->ArgsProduct({{1, 2}, {2, 3, 4, 6, 8}})
+    ->ArgNames({"proto", "n"})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StepsPerDecide)
+    ->ArgsProduct({{3}, {2, 3, 4}})
+    ->ArgNames({"proto", "n"})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Synthesis)
+    ->DenseRange(0, 4)
+    ->ArgNames({"case"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Synthesis)
+    ->Arg(5)
+    ->ArgNames({"case"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);

@@ -1,0 +1,72 @@
+// E8 -- the hierarchy survey: how expensive is gathering verified
+// h_1 / h_1^r / h_m evidence for a type, and does Theorem 5's h_m = h_m^r
+// prediction hold across the zoo?
+#include <benchmark/benchmark.h>
+
+#include "wfregs/hierarchy/hierarchy.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+void BM_ClassifyType(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  TypeSpec type = zoo::bit_type(2);
+  switch (which) {
+    case 0:
+      type = zoo::bit_type(2);
+      break;
+    case 1:
+      type = zoo::test_and_set_type(2);
+      break;
+    case 2:
+      type = zoo::queue_type(2, 2, 2);
+      break;
+    case 3:
+      type = zoo::sticky_bit_type(2);
+      break;
+    case 4:
+      type = zoo::mod_counter_type(3, 2);
+      break;
+  }
+  hierarchy::ClassifyOptions options;
+  options.probe_h1 = state.range(1) != 0;
+  options.h1_probe_depth = 2;
+  hierarchy::HierarchyRow row;
+  for (auto _ : state) {
+    row = hierarchy::classify_type(type, options);
+    benchmark::DoNotOptimize(row.theorem5_consistent);
+  }
+  state.SetLabel(type.name());
+  state.counters["h1r_ge_2"] = row.h1r_at_least_2 ? 1 : 0;
+  state.counters["hm_ge_2"] = row.hm_at_least_2 ? 1 : 0;
+  state.counters["thm5_consistent"] = row.theorem5_consistent ? 1 : 0;
+}
+
+void BM_SurveyZoo(benchmark::State& state) {
+  hierarchy::ClassifyOptions options;
+  options.probe_h1 = false;
+  std::vector<hierarchy::HierarchyRow> rows;
+  for (auto _ : state) {
+    rows = hierarchy::survey_zoo(options);
+    benchmark::DoNotOptimize(rows.size());
+  }
+  int consistent = 0;
+  for (const auto& row : rows) consistent += row.theorem5_consistent ? 1 : 0;
+  state.counters["types"] = static_cast<double>(rows.size());
+  state.counters["thm5_consistent"] = static_cast<double>(consistent);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClassifyType)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0}})
+    ->ArgNames({"type", "probe_h1"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClassifyType)
+    ->Args({1, 1})
+    ->ArgNames({"type", "probe_h1"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_SurveyZoo)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,119 @@
+// E9 (extension) -- the universality of consensus (Section 2.3; Herlihy
+// 1991): cost of implementing arbitrary types from consensus slots, and of
+// the full tower whose slots are themselves built from binary consensus +
+// registers.
+#include <benchmark/benchmark.h>
+
+#include "wfregs/consensus/multivalued.hpp"
+#include "wfregs/consensus/universal.hpp"
+#include "wfregs/registers/chain.hpp"
+#include "wfregs/runtime/scheduler.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+void BM_UniversalSteps(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const bool tower = state.range(1) != 0;
+  TypeSpec type = zoo::bit_type(2);
+  std::vector<InvId> script{1, 0};  // write(0), read for the register
+  const char* label = "bit";
+  switch (which) {
+    case 0:
+      type = zoo::bit_type(2);
+      script = {zoo::RegisterLayout{2}.write(1),
+                zoo::RegisterLayout{2}.read()};
+      label = "bit";
+      break;
+    case 1: {
+      type = zoo::test_and_set_type(2);
+      script = {zoo::TestAndSetLayout{}.test_and_set()};
+      label = "test&set";
+      break;
+    }
+    case 2: {
+      type = zoo::queue_type(2, 2, 2);
+      const zoo::QueueLayout lay{2, 2};
+      script = {lay.enqueue(1), lay.dequeue()};
+      label = "queue";
+      break;
+    }
+  }
+  const auto impl = consensus::universal_implementation(
+      type, 0, /*log_length=*/6,
+      tower ? consensus::binary_slot_factory()
+            : consensus::SlotFactory{});
+
+  std::size_t steps = 0;
+  std::size_t rounds = 0;
+  std::uint64_t seed = 3;
+  for (auto _ : state) {
+    auto sys = std::make_shared<System>(2);
+    const ObjectId obj = sys->add_implemented(impl, {0, 1});
+    for (ProcId p = 0; p < 2; ++p) {
+      ProgramBuilder b;
+      for (const InvId inv : script) b.invoke(0, lit(inv), 0);
+      b.ret(lit(0));
+      sys->set_toplevel(p, b.build("driver"), {obj});
+    }
+    Engine e{std::move(sys)};
+    RandomScheduler sched(seed);
+    RandomChooser chooser(seed + 1);
+    seed += 2;
+    run_to_completion(e, sched, chooser);
+    steps += e.time();
+    ++rounds;
+  }
+  state.SetLabel(std::string(label) + (tower ? " (binary tower)" : ""));
+  state.counters["base_objects"] =
+      static_cast<double>(impl->flattened_base_count());
+  state.counters["steps_per_op"] =
+      static_cast<double>(steps) /
+      (rounds * 2 * script.size());
+}
+
+void BM_MultivaluedConsensus(benchmark::State& state) {
+  const int values = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto impl = consensus::multivalued_from_binary(values, n);
+  const zoo::MultiConsensusLayout lay{values};
+  std::size_t steps = 0;
+  std::size_t rounds = 0;
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    auto sys = std::make_shared<System>(n);
+    std::vector<PortId> ports;
+    for (PortId p = 0; p < n; ++p) ports.push_back(p);
+    const ObjectId obj = sys->add_implemented(impl, ports);
+    for (ProcId p = 0; p < n; ++p) {
+      ProgramBuilder b;
+      b.invoke(0, lit(lay.propose(p % values)), 0);
+      b.ret(reg(0));
+      sys->set_toplevel(p, b.build("driver"), {obj});
+    }
+    Engine e{std::move(sys)};
+    RandomScheduler sched(seed);
+    RandomChooser chooser(seed + 1);
+    seed += 2;
+    run_to_completion(e, sched, chooser);
+    steps += e.time();
+    ++rounds;
+  }
+  state.counters["steps_per_propose"] =
+      static_cast<double>(steps) / (rounds * n);
+  state.counters["base_objects"] =
+      static_cast<double>(impl->flattened_base_count());
+}
+
+}  // namespace
+
+BENCHMARK(BM_UniversalSteps)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->ArgNames({"type", "tower"})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MultivaluedConsensus)
+    ->ArgsProduct({{2, 4, 8, 16}, {2, 3, 4}})
+    ->ArgNames({"values", "n"})
+    ->Unit(benchmark::kMicrosecond);

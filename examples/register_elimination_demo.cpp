@@ -1,0 +1,89 @@
+// The paper's Theorem 5, end to end: take Herlihy's classical 2-process
+// consensus protocol from one test&set plus two registers, and mechanically
+// eliminate the registers -- producing a consensus protocol whose only base
+// objects are queues (or any other non-trivial deterministic type you pick).
+//
+//   $ ./register_elimination_demo [substrate]
+//   substrate: tas | queue | faa | counter   (default: queue)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/core/oneuse_from_type.hpp"
+#include "wfregs/core/register_elimination.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+using namespace wfregs;
+
+namespace {
+
+TypeSpec pick_substrate(const std::string& name) {
+  if (name == "tas") return zoo::test_and_set_type(2);
+  if (name == "queue") return zoo::queue_type(2, 2, 2);
+  if (name == "faa") return zoo::fetch_and_add_type(2, 2);
+  if (name == "counter") return zoo::mod_counter_type(3, 2);
+  throw std::invalid_argument("unknown substrate: " + name +
+                              " (want tas|queue|faa|counter)");
+}
+
+void print_census(const std::string& label,
+                  const std::map<std::string, int>& census) {
+  std::cout << label << ":\n";
+  for (const auto& [name, count] : census) {
+    std::cout << "    " << count << " x " << name << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string substrate_name = argc > 1 ? argv[1] : "queue";
+  const TypeSpec substrate = pick_substrate(substrate_name);
+
+  const auto protocol = consensus::from_test_and_set();
+  std::cout << "input protocol: " << protocol->name() << "\n";
+
+  core::EliminationOptions options;
+  options.oneuse_factory = [&substrate] {
+    return core::oneuse_from_deterministic(substrate);
+  };
+  const auto report = core::eliminate_registers(protocol, options);
+  if (!report.ok) {
+    std::cerr << "transform failed: " << report.detail << "\n";
+    return EXIT_FAILURE;
+  }
+
+  print_census("base objects before", report.census_before);
+  std::cout << "\nSection 4.2 analysis of the bit-normalized protocol:\n"
+            << "    execution-tree depth D = " << report.bounds.depth
+            << " (over all 2^n input vectors, " << report.bounds.configs
+            << " configurations)\n";
+  for (const auto& bound : report.bounds.per_object) {
+    std::cout << "    " << bound.type_name << " at path [";
+    for (std::size_t k = 0; k < bound.path.size(); ++k) {
+      std::cout << (k ? "," : "") << bound.path[k];
+    }
+    std::cout << "]: at most " << bound.max_accesses << " accesses\n";
+  }
+
+  std::cout << "\nSection 4.3 + Section 5: replaced " << report.bits_replaced
+            << " SRSW bit(s) with " << report.oneuse_bits_created
+            << " one-use bit(s), each built from one " << substrate.name()
+            << " object\n\n";
+  print_census("base objects after", report.census_after);
+
+  std::cout << "\nre-verifying the register-free protocol over ALL "
+               "schedules and input vectors...\n";
+  const auto check = consensus::check_consensus(report.result);
+  if (!check.solves) {
+    std::cerr << "FAILED: " << check.detail << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "=> solves wait-free 2-process consensus (" << check.configs
+            << " configurations explored, depth " << check.depth << ")\n"
+            << "=> h_m and h_m^r agree on " << substrate.name()
+            << ", exactly as Theorem 5 states\n";
+  return EXIT_SUCCESS;
+}

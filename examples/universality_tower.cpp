@@ -1,0 +1,51 @@
+// The universality of consensus (Section 2.3; Herlihy 1991), as a tower:
+//
+//   a FIFO queue
+//     ... implemented from multi-valued consensus slots (Herlihy's log)
+//     ... each slot implemented from BINARY consensus + registers
+//
+// The tower is exercised under a concurrent workload and every interleaving
+// is checked for linearizability against the queue's specification.
+//
+//   $ ./universality_tower
+#include <cstdlib>
+#include <iostream>
+
+#include "wfregs/consensus/universal.hpp"
+#include "wfregs/registers/chain.hpp"
+#include "wfregs/runtime/verify.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+using namespace wfregs;
+
+int main() {
+  const auto queue = zoo::queue_type(/*capacity=*/2, /*values=*/2,
+                                     /*ports=*/2);
+  const zoo::QueueLayout lay{2, 2};
+
+  std::cout << "building: queue <- consensus log <- binary consensus + "
+               "registers\n";
+  const auto tower = consensus::universal_implementation(
+      queue, lay.state_of(std::array<int, 0>{}), /*log_length=*/5,
+      consensus::binary_slot_factory());
+
+  std::cout << "base objects of the tower:\n";
+  for (const auto& [name, count] : registers::base_census(*tower)) {
+    std::cout << "    " << count << " x " << name << "\n";
+  }
+
+  std::cout << "\nexploring every schedule of two processes doing "
+               "enqueue+dequeue each...\n";
+  const auto r = verify_linearizable(
+      tower,
+      {{lay.enqueue(1), lay.dequeue()}, {lay.enqueue(0), lay.dequeue()}});
+  if (!r.ok) {
+    std::cerr << "FAILED: " << r.detail << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "=> LINEARIZABLE and WAIT-FREE (" << r.stats.configs
+            << " configurations, depth " << r.stats.depth << ")\n"
+            << "=> consensus is universal: a queue lives happily on top of "
+               "nothing but consensus and registers\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,204 @@
+// wfregs_cli -- the library as a command-line tool.  Define a concurrent
+// data type in the text format of wfregs/typesys/serialize.hpp and run the
+// paper's machinery on it:
+//
+//   wfregs_cli zoo                         list built-in types
+//   wfregs_cli zoo <name>                  print a built-in type definition
+//   wfregs_cli print <file>                parse, validate and re-print
+//   wfregs_cli classify <file>             triviality + Section 5 witnesses
+//   wfregs_cli oneuse <file>               synthesize + verify a one-use bit
+//   wfregs_cli hierarchy <file>            gather verified hierarchy evidence
+//   wfregs_cli eliminate <tas|queue|faa> <file>
+//                                          Theorem 5: strip the registers out
+//                                          of a classical consensus protocol,
+//                                          re-basing it on the file's type
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/core/oneuse_from_type.hpp"
+#include "wfregs/core/register_elimination.hpp"
+#include "wfregs/hierarchy/hierarchy.hpp"
+#include "wfregs/runtime/verify.hpp"
+#include "wfregs/typesys/serialize.hpp"
+#include "wfregs/typesys/triviality.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+using namespace wfregs;
+
+namespace {
+
+const std::map<std::string, std::function<TypeSpec()>> kZoo{
+    {"bit", [] { return zoo::bit_type(2); }},
+    {"register4", [] { return zoo::register_type(4, 2); }},
+    {"srsw_bit", [] { return zoo::srsw_bit_type(); }},
+    {"one_use_bit", [] { return zoo::one_use_bit_type(); }},
+    {"test_and_set", [] { return zoo::test_and_set_type(2); }},
+    {"fetch_and_add", [] { return zoo::fetch_and_add_type(4, 2); }},
+    {"cas", [] { return zoo::cas_type(2, 2); }},
+    {"cas_old", [] { return zoo::cas_old_type(2, 2); }},
+    {"sticky_bit", [] { return zoo::sticky_bit_type(2); }},
+    {"queue", [] { return zoo::queue_type(2, 2, 2); }},
+    {"stack", [] { return zoo::stack_type(2, 2, 2); }},
+    {"snapshot", [] { return zoo::snapshot_type(2, 2); }},
+    {"consensus", [] { return zoo::consensus_type(2); }},
+    {"safe_bit", [] { return zoo::weak_bit_type(zoo::WeakBitKind::kSafe); }},
+    {"regular_bit",
+     [] { return zoo::weak_bit_type(zoo::WeakBitKind::kRegular); }},
+    {"port_flag", [] { return zoo::port_flag_type(2); }},
+    {"mod_counter", [] { return zoo::mod_counter_type(3, 2); }},
+    {"trivial_toggle", [] { return zoo::trivial_toggle_type(2); }},
+    {"nondet_coin", [] { return zoo::nondet_coin_type(2); }},
+};
+
+int cmd_zoo(int argc, char** argv) {
+  if (argc < 3) {
+    for (const auto& [name, make] : kZoo) std::cout << name << "\n";
+    return EXIT_SUCCESS;
+  }
+  const auto it = kZoo.find(argv[2]);
+  if (it == kZoo.end()) {
+    std::cerr << "unknown zoo type: " << argv[2] << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << print_type(it->second());
+  return EXIT_SUCCESS;
+}
+
+int cmd_print(const TypeSpec& t) {
+  std::cout << print_type(t);
+  std::cout << "# deterministic: " << (t.is_deterministic() ? "yes" : "no")
+            << ", oblivious: " << (t.is_oblivious() ? "yes" : "no") << "\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_classify(const TypeSpec& t) {
+  std::cout << "type:          " << t.name() << "\n"
+            << "deterministic: " << (t.is_deterministic() ? "yes" : "no")
+            << "\n"
+            << "oblivious:     " << (t.is_oblivious() ? "yes" : "no") << "\n";
+  if (!t.is_deterministic()) {
+    std::cout << "the Section 5 deciders require determinism; stopping\n";
+    return EXIT_SUCCESS;
+  }
+  std::cout << "trivial (5.2): " << (is_trivial_general(t) ? "yes" : "no")
+            << "\n";
+  if (t.is_oblivious()) {
+    if (const auto w = find_oblivious_witness(t)) {
+      std::cout << "5.1 witness:   init " << t.state_name(w->q)
+                << ", write = " << t.invocation_name(w->i_prime)
+                << ", read = " << t.invocation_name(w->i) << " ("
+                << t.response_name(w->r_q) << " vs "
+                << t.response_name(w->r_p) << ")\n";
+    }
+  }
+  if (const auto pair = find_nontrivial_pair(t)) {
+    std::cout << "5.2 pair:      init " << t.state_name(pair->q)
+              << ", writer port " << pair->writer_port << " does "
+              << t.invocation_name(pair->write_inv) << "; reader port "
+              << pair->reader_port << " runs";
+    for (const InvId i : pair->read_seq) {
+      std::cout << " " << t.invocation_name(i);
+    }
+    std::cout << " (" << t.response_name(pair->unwritten_resp) << " vs "
+              << t.response_name(pair->written_resp) << ")\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+int cmd_oneuse(const TypeSpec& t) {
+  const auto impl = core::oneuse_from_deterministic(t);
+  if (!impl) {
+    std::cout << t.name()
+              << " is trivial: it cannot implement one-use bits\n";
+    return EXIT_FAILURE;
+  }
+  const zoo::OneUseBitLayout lay;
+  const auto r = verify_linearizable(impl, {{lay.read()}, {lay.write()}});
+  std::cout << "synthesized " << impl->name() << "; exhaustive check: "
+            << (r.ok ? "LINEARIZABLE and WAIT-FREE" : r.detail) << " ("
+            << r.stats.configs << " configurations)\n";
+  return r.ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+int cmd_hierarchy(const TypeSpec& t) {
+  hierarchy::ClassifyOptions options;
+  options.h1_probe_depth = 2;
+  const auto row = hierarchy::classify_type(t, options);
+  std::cout << hierarchy::to_table({row});
+  return EXIT_SUCCESS;
+}
+
+int cmd_eliminate(const std::string& protocol, const TypeSpec& substrate) {
+  std::shared_ptr<const Implementation> impl;
+  if (protocol == "tas") {
+    impl = consensus::from_test_and_set();
+  } else if (protocol == "queue") {
+    impl = consensus::from_queue();
+  } else if (protocol == "faa") {
+    impl = consensus::from_fetch_and_add();
+  } else {
+    std::cerr << "unknown protocol " << protocol << " (want tas|queue|faa)\n";
+    return EXIT_FAILURE;
+  }
+  core::EliminationOptions options;
+  const TypeSpec sub = substrate;
+  options.oneuse_factory = [sub] {
+    return core::oneuse_from_deterministic(sub);
+  };
+  const auto report = core::eliminate_registers(impl, options);
+  if (!report.ok) {
+    std::cerr << "transform failed: " << report.detail << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "D = " << report.bounds.depth << ", bits replaced = "
+            << report.bits_replaced << ", one-use bits = "
+            << report.oneuse_bits_created << "\nresult base objects:\n";
+  for (const auto& [name, count] : report.census_after) {
+    std::cout << "  " << count << " x " << name << "\n";
+  }
+  const auto check = consensus::check_consensus(report.result);
+  std::cout << "register-free protocol "
+            << (check.solves ? "SOLVES" : "FAILS") << " consensus ("
+            << check.configs << " configurations)\n";
+  return check.solves ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: wfregs_cli "
+                 "zoo|print|classify|oneuse|hierarchy|eliminate ...\n";
+    return EXIT_FAILURE;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "zoo") return cmd_zoo(argc, argv);
+    if (cmd == "eliminate") {
+      if (argc != 4) {
+        std::cerr << "usage: wfregs_cli eliminate <tas|queue|faa> <file>\n";
+        return EXIT_FAILURE;
+      }
+      return cmd_eliminate(argv[2], load_type(argv[3]));
+    }
+    if (argc != 3) {
+      std::cerr << "usage: wfregs_cli " << cmd << " <file>\n";
+      return EXIT_FAILURE;
+    }
+    const TypeSpec t = load_type(argv[2]);
+    if (cmd == "print") return cmd_print(t);
+    if (cmd == "classify") return cmd_classify(t);
+    if (cmd == "oneuse") return cmd_oneuse(t);
+    if (cmd == "hierarchy") return cmd_hierarchy(t);
+    std::cerr << "unknown command: " << cmd << "\n";
+    return EXIT_FAILURE;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,26 @@
+// Multi-valued consensus from binary consensus plus registers -- the bridge
+// between the paper's binary T_{c,n} and the operation descriptors of
+// Herlihy's universal construction (Section 2.3).
+//
+// Bit-by-bit prefix agreement: each process announces its proposal in an
+// MRSW register, then walks the value's bits from most significant to least,
+// proposing its current candidate's bit to the j-th binary consensus object.
+// When the decided bit disagrees with its candidate, the process adopts some
+// ANNOUNCED value whose high bits match the decided prefix -- one always
+// exists, because the process that won bit j announced its candidate before
+// proposing.  After the last bit, every process holds the same announced
+// value.
+#pragma once
+
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::consensus {
+
+/// Builds an implementation of zoo::multi_consensus_type(values, n) from
+/// ceil(log2 values) base binary consensus objects and n announce registers.
+std::shared_ptr<const Implementation> multivalued_from_binary(int values,
+                                                              int n);
+
+}  // namespace wfregs::consensus

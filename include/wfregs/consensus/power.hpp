@@ -1,0 +1,54 @@
+// Bounded synthesis of 2-process consensus protocols.
+//
+// Given a finite multiset of objects (types + initial states) and a bound k
+// on the number of invocations each process may perform before deciding,
+// this module decides whether ANY pair of deterministic programs solves
+// binary consensus for 2 processes: agreement and validity in every
+// interleaving and every nondeterministic object transition, for all four
+// input vectors.
+//
+// A strategy maps a process's view -- its input bit plus the sequence of
+// responses it has received -- to its next action (invoke some invocation on
+// some object, or decide).  The search backtracks over partial strategies
+// while an adversary enumerates schedules; because the recursion carries the
+// full list of outstanding proof obligations, a "solvable" answer comes with
+// a genuinely consistent strategy and an "unsolvable" answer is an
+// exhaustive proof (for the given bound).
+//
+// This mechanizes the experimental side of the hierarchy questions the
+// paper studies: e.g. one test&set object alone CANNOT solve 2-process
+// consensus (h_1(test&set) = 1) while test&set plus registers can
+// (h_1^r = 2), and -- per this paper's Theorem 5 -- multiple test&set
+// objects suffice without registers (h_m = h_m^r = 2).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs::consensus {
+
+struct SynthesisObject {
+  std::shared_ptr<const TypeSpec> spec;
+  StateId initial = 0;
+  /// Port used by process p (defaults to port p when empty).
+  std::vector<PortId> port_of_process;
+};
+
+enum class SynthesisVerdict { kSolvable, kUnsolvable, kUnknown };
+
+struct SynthesisResult {
+  SynthesisVerdict verdict = SynthesisVerdict::kUnknown;
+  std::size_t nodes = 0;  ///< search nodes visited
+};
+
+/// Decides whether 2 processes can solve binary consensus with the given
+/// objects in at most `max_ops` invocations per process.  `node_cap` bounds
+/// the search; exceeding it yields kUnknown.
+SynthesisResult synthesize_two_consensus(
+    const std::vector<SynthesisObject>& objects, int max_ops,
+    std::size_t node_cap = 5000000);
+
+}  // namespace wfregs::consensus

@@ -1,0 +1,57 @@
+// Wait-free consensus protocols from the classical literature (Herlihy 1991;
+// Plotkin 1989), each packaged as an Implementation of the n-process binary
+// consensus type T_{c,n} of Section 2.1.
+//
+// Protocols that need registers take them in the Section 4.1 normal form --
+// single-reader single-writer atomic bits / registers -- which both matches
+// the paper's reduction ("we can assume that these registers are
+// single-reader single-writer bits") and keeps exhaustive verification
+// tractable.  These register-using protocols are the inputs to the
+// Theorem 5 register-elimination transform.
+#pragma once
+
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::consensus {
+
+/// 2-process consensus from one test&set bit plus two SRSW bits (Herlihy
+/// 1991).  propose(v) by p: publish v in bit[p]; race on test&set; the
+/// winner decides its own value, the loser reads the winner's bit.
+std::shared_ptr<const Implementation> from_test_and_set();
+
+/// 2-process consensus from one FIFO queue pre-loaded with a winner token
+/// plus two SRSW bits (Herlihy 1991).
+std::shared_ptr<const Implementation> from_queue();
+
+/// 2-process consensus from one fetch&add object plus two SRSW bits.
+std::shared_ptr<const Implementation> from_fetch_and_add();
+
+/// n-process consensus from a single compare&swap object over
+/// {0, 1, bottom}; no registers (h_1(cas) >= n).
+std::shared_ptr<const Implementation> from_cas(int n);
+
+/// n-process consensus from a single sticky bit; no registers
+/// (Plotkin 1989).
+std::shared_ptr<const Implementation> from_sticky_bit(int n);
+
+/// n-process consensus from one base consensus object (the identity
+/// protocol; useful as a baseline and for Section 5.3 plumbing).
+std::shared_ptr<const Implementation> from_consensus_object(int n);
+
+/// n-process consensus from one compare&swap object that decides the WINNING
+/// PROCESS ID, plus one MRSW register per process holding its input.  Unlike
+/// from_cas, this protocol makes genuine use of multi-reader registers, so
+/// it exercises the full register-elimination chain for n > 2.
+std::shared_ptr<const Implementation> from_cas_ids(int n);
+
+/// The deliberately hopeless protocol: n processes over read/write registers
+/// only, each publishing its input and adopting the minimum published value.
+/// It is wait-free but NOT a consensus protocol (agreement fails under
+/// concurrency) -- registers alone cannot solve 2-process consensus
+/// [FLP 1985; Loui & Abu-Amara 1987; Herlihy 1991], and the checker
+/// exhibits the violating schedule.
+std::shared_ptr<const Implementation> registers_only_attempt(int n);
+
+}  // namespace wfregs::consensus

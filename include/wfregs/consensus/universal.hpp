@@ -1,0 +1,50 @@
+// Herlihy's universality of consensus (Section 2.3 of the paper; Herlihy
+// 1991): consensus objects can implement ANY type, wait-free.
+//
+// This is the result that motivates the whole hierarchy programme the paper
+// refines: if T can implement n-process consensus, T can implement anything
+// for n processes.  We build the bounded-log variant suited to exhaustive
+// checking:
+//
+//   * a log of L slots, each an (n * |I|)-valued consensus object deciding
+//     which (process, invocation) descriptor occupies that log position;
+//   * each port keeps a persistent replica of the implemented type's state
+//     plus its position in the log;
+//   * an operation walks the log proposing its own descriptor until it wins
+//     a slot, replaying every decided descriptor against the type's
+//     transition function on the way; its response is the type's response at
+//     its own slot.
+//
+// Wait-freedom within the bound is immediate (an operation touches at most
+// L slots; exceeding L aborts loudly); linearizability follows because every
+// process applies the SAME decided descriptor sequence to its replica.
+// Descriptor slots may be base multi-valued consensus objects or nested
+// implementations (e.g. multivalued_from_binary, closing the loop down to
+// binary consensus and registers).
+#pragma once
+
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::consensus {
+
+/// Provides the log's slot objects: slot_factory(values, n) must return an
+/// implementation of zoo::multi_consensus_type(values, n).  Empty means
+/// "use base multi-valued consensus objects".
+using SlotFactory = std::function<std::shared_ptr<const Implementation>(
+    int values, int n)>;
+
+/// A SlotFactory backed by multivalued_from_binary (binary consensus +
+/// registers underneath).
+SlotFactory binary_slot_factory();
+
+/// Builds a wait-free implementation of `type` (which must be deterministic)
+/// in state `initial` for all of its ports, from `log_length` consensus
+/// slots.  Any execution performing more than `log_length` operations in
+/// total aborts loudly.
+std::shared_ptr<const Implementation> universal_implementation(
+    const TypeSpec& type, StateId initial, int log_length,
+    const SlotFactory& slot_factory = {});
+
+}  // namespace wfregs::consensus

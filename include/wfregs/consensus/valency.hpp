@@ -1,0 +1,47 @@
+// Valency analysis in the style of Fischer-Lynch-Paterson (1985) and
+// Herlihy (1991), mechanized over an engine configuration graph.
+//
+// The valence of a configuration is the set of values that can still be
+// decided from it (a configuration is v-univalent when only v is reachable,
+// bivalent when both are).  The classical impossibility arguments the paper
+// leans on -- "registers cannot implement 2-process consensus" [4, 7, 14] --
+// hinge on two facts this module makes observable:
+//
+//   * a correct protocol has a bivalent initial configuration (for mixed
+//     inputs), and
+//   * every path from a bivalent configuration in a finite wait-free
+//     protocol passes through a CRITICAL configuration (bivalent, all of
+//     whose successors are univalent); examining the object accessed at a
+//     critical configuration is how one derives which types can and cannot
+//     solve consensus.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "wfregs/runtime/engine.hpp"
+
+namespace wfregs::consensus {
+
+struct ValencyReport {
+  /// All terminal configurations decide unanimously (prerequisite for the
+  /// valence notion; reported rather than assumed).
+  bool agreement_holds = true;
+  bool complete = true;  ///< exploration finished within limits
+  std::size_t configs = 0;
+  std::size_t zero_valent = 0;
+  std::size_t one_valent = 0;
+  std::size_t bivalent = 0;
+  std::size_t critical = 0;  ///< bivalent, every successor univalent
+  bool initial_bivalent = false;
+  /// Name of the base type accessed at the first critical configuration
+  /// found (the "deciding object" of Herlihy's argument); empty if none.
+  std::string critical_object_type;
+};
+
+/// Analyzes the configuration graph reachable from `root`.  `max_configs`
+/// bounds the exploration.
+ValencyReport valency_analysis(const Engine& root,
+                               std::size_t max_configs = 1000000);
+
+}  // namespace wfregs::consensus

@@ -1,0 +1,63 @@
+// Section 4.2: access bounds in wait-free consensus implementations.
+//
+// The paper argues via Koenig's lemma that the execution trees of a
+// wait-free consensus implementation (one tree per vector of initial
+// proposals, 2^n trees in all) are finite; letting D be the maximum depth,
+// every implementing object is accessed at most D times in any execution,
+// so the bit bounds r_b = w_b = D always exist.
+//
+// This module computes those numbers exactly by exhaustive exploration: D
+// (the paper's uniform bound) and, as a refinement the paper's coarse bound
+// subsumes, a per-object bound (the maximum number of accesses to THAT
+// object over all executions), which keeps the Section 4.3 arrays small.
+// Non-wait-free inputs are detected as configuration cycles -- the
+// contrapositive of the paper's Koenig argument.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wfregs/runtime/explorer.hpp"
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::core {
+
+struct ObjectBound {
+  /// Declaration path of the base object under the consensus
+  /// implementation (see System::Placement).
+  std::vector<int> path;
+  std::string type_name;
+  /// Maximum accesses over all executions from all 2^n roots.
+  std::size_t max_accesses = 0;
+  /// Per-invocation maxima (indexed by InvId); each may be attained on a
+  /// different execution, so their sum can exceed max_accesses.
+  std::vector<std::size_t> max_by_inv;
+  /// r_b / w_b for an SRSW register/bit (invocation 0 = read, the rest are
+  /// writes): computed per execution tree and then maximized, so a proposer
+  /// that writes value 0 under one input vector and value 1 under another
+  /// still counts as one write.
+  std::size_t read_bound = 0;
+  std::size_t write_bound = 0;
+};
+
+struct AccessBounds {
+  bool wait_free = true;  ///< no configuration cycle in any tree
+  bool complete = true;   ///< exploration finished within limits
+  bool solves = true;     ///< agreement+validity held at every terminal
+  std::string detail;
+  /// The paper's D: maximum depth over the 2^n execution trees.
+  int depth = 0;
+  std::size_t configs = 0;
+  std::vector<ObjectBound> per_object;  ///< base objects, flatten order
+
+  /// Bound for the base object at `path`; throws when absent.
+  const ObjectBound& at(std::span<const int> path) const;
+};
+
+/// Explores all 2^n trees of `impl` (an implementation of T_{c,n}) and
+/// returns the Section 4.2 bounds.
+AccessBounds compute_access_bounds(std::shared_ptr<const Implementation> impl,
+                                   ExploreLimits limits = {});
+
+}  // namespace wfregs::core

@@ -1,0 +1,56 @@
+// Section 4.3: implementing a bounded-use single-reader single-writer bit
+// from one-use bits.
+//
+// A bit b initialized to v, read at most r_b times and written at most w_b
+// times, is implemented from an array of r_b * (w_b + 1) one-use bits
+//
+//     bits[1 .. w_b + 1, 1 .. r_b]
+//
+// (the last row is never written; the paper keeps it "to simplify the
+// presentation of the read routine", and so do we).  Each row corresponds to
+// a write and each column to a read:
+//
+//     write:  flip every bit in row i_w, then i_w := i_w + 1
+//     read:   scan column j_r downwards for the first unflipped bit; its row
+//             index reveals how many writes happened; then j_r := j_r + 1
+//             and return (v + (i_r - 1)) mod 2
+//
+// i_r, j_r (reader) and i_w (writer) are per-port persistent local
+// variables, exactly the "local integer variables" of the paper.  Because
+// the writer is the only writer, the paper assumes b "is only written when
+// its value is being changed"; we realize that assumption by having the
+// writer track the current value and turn same-value writes into no-ops.
+//
+// Use discipline guaranteed by construction (and asserted with fail
+// instructions): no one-use bit is ever read twice or written twice, and no
+// read ever happens in the DEAD state -- which is why the nondeterminism of
+// T_1u "will play no role" (Section 3).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::core {
+
+/// Provides one-use bits: each call returns a FRESH implementation of
+/// zoo::one_use_bit_type() (port 0 = reader, port 1 = writer), e.g. one
+/// produced by the Section 5 constructions.  Empty means "use base one-use
+/// bit objects".
+using OneUseFactory = std::function<std::shared_ptr<const Implementation>()>;
+
+/// Builds the Section 4.3 array implementation of an SRSW bit (interface
+/// zoo::srsw_bit_type(), port 0 = reader, port 1 = writer) that tolerates at
+/// most `max_reads` reads and `max_writes` value-changing writes, from
+/// max_reads * (max_writes + 1) one-use bits.  Exceeding a bound aborts the
+/// run loudly (the Section 4.2 analysis guarantees sized-right bounds for
+/// wait-free consensus implementations).
+std::shared_ptr<const Implementation> bounded_bit_from_oneuse(
+    int max_reads, int max_writes, int initial_value,
+    const OneUseFactory& factory = {});
+
+/// Number of one-use bits the construction consumes: r_b * (w_b + 1).
+int oneuse_bits_needed(int max_reads, int max_writes);
+
+}  // namespace wfregs::core

@@ -1,0 +1,30 @@
+// Section 5.3: implementing a one-use bit from 2-process consensus.
+//
+// The reader proposes 0 ("read precedes write"), the writer proposes 1
+// ("write precedes read"), and the consensus value decides how the two
+// operations linearize.  This works for ANY type T with h_m(T) >= 2 -- even
+// nondeterministic T -- by letting the consensus object itself be
+// implemented from objects of T.
+//
+// (The same reader always receives the same response to every read; as the
+// paper notes, that is permitted by the nondeterministic specification of
+// one-use bits.)
+#pragma once
+
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::core {
+
+/// One-use bit from a NESTED implementation of 2-process consensus (e.g.
+/// one built from objects of a type with h_m >= 2).  `cons2` must implement
+/// zoo::consensus_type(2).
+std::shared_ptr<const Implementation> oneuse_from_consensus(
+    std::shared_ptr<const Implementation> cons2);
+
+/// One-use bit from a single base T_{c,2} object (the degenerate case,
+/// mostly useful in tests and benches).
+std::shared_ptr<const Implementation> oneuse_from_consensus_object();
+
+}  // namespace wfregs::core

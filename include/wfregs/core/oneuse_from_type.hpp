@@ -1,0 +1,49 @@
+// Sections 5.1 and 5.2: implementing one-use bits from a single object of
+// (almost) any deterministic type.
+//
+// Section 5.1 (oblivious types): a non-trivial oblivious deterministic type
+// has states q, p with p = delta(q, i').next and an invocation i whose
+// response differs between q and p.  Initialize an object to q; a write
+// performs i', a read performs i and reports 0 iff it saw q's response.
+// Intuitively "q corresponds to UNSET, p to SET, and any other state to
+// DEAD".
+//
+// Section 5.2 (general deterministic types): the minimal non-trivial pair
+// (H1, H2) of Lemmas 2-4 yields a reader port, a writer port, a single
+// writer invocation i_w and a reader invocation sequence i-bar whose last
+// response distinguishes "written" from "unwritten".  The reader may observe
+// a response that matches NEITHER history when the write lands mid-sequence;
+// per the paper, "this still indicates that the writer has written, so 1 can
+// be returned".
+//
+// Both constructions are synthesized automatically from the TypeSpec by the
+// witness searches in wfregs/typesys/triviality.hpp.
+#pragma once
+
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+#include "wfregs/typesys/triviality.hpp"
+
+namespace wfregs::core {
+
+/// Section 5.1.  Returns nullptr when `type` is trivial (no witness).
+/// Requires `type` deterministic and oblivious (throws otherwise).  The
+/// result implements zoo::one_use_bit_type() from ONE object of `type`
+/// (port 0 = reader, port 1 = writer); the inner object uses the type's
+/// ports `reader_port`/`writer_port` (both default to ports 0/1 of an
+/// oblivious type, where ports are interchangeable).
+std::shared_ptr<const Implementation> oneuse_from_oblivious(
+    const TypeSpec& type);
+
+/// Section 5.2.  Returns nullptr when `type` is trivial in the general
+/// sense.  Requires `type` deterministic (throws otherwise).
+std::shared_ptr<const Implementation> oneuse_from_deterministic(
+    const TypeSpec& type);
+
+/// The construction underlying oneuse_from_deterministic, exposed for
+/// callers that already hold a witness (e.g. benches sweeping random types).
+std::shared_ptr<const Implementation> oneuse_from_pair(
+    const TypeSpec& type, const NonTrivialPair& pair);
+
+}  // namespace wfregs::core

@@ -1,0 +1,88 @@
+// Theorem 5: the register-elimination transform.
+//
+// Given a wait-free implementation of n-process consensus that uses
+// read/write registers plus objects of other types, produce an
+// implementation that uses NO registers, by composing the paper's pipeline:
+//
+//   stage 1 (Section 4.1): replace every register with its implementation
+//           from single-reader single-writer atomic bits (the classical
+//           chain, built in wfregs/registers/);
+//   stage 2 (Section 4.2): explore all 2^n execution trees of the resulting
+//           implementation to obtain the depth D and per-bit access bounds
+//           r_b, w_b (finite because the implementation is wait-free);
+//   stage 3 (Section 4.3): replace each SRSW bit with its array of
+//           r_b * (w_b + 1) one-use bits;
+//   stage 4 (Section 5):   replace each one-use bit with an implementation
+//           from the caller's chosen substrate -- one object of any
+//           non-trivial deterministic type (Sections 5.1/5.2) or a
+//           2-consensus implementation (Section 5.3).
+//
+// The result demonstrates h_m(T) = h_m^r(T) constructively: model-check it
+// with consensus::check_consensus.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "wfregs/core/access_bounds.hpp"
+#include "wfregs/core/bounded_register.hpp"
+#include "wfregs/registers/chain.hpp"
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::core {
+
+/// Structural classification of register TypeSpecs (names are ignored; the
+/// transition tables are compared against the zoo builders).
+struct RegisterShape {
+  enum class Kind { kMrmw, kMrsw, kSrsw };
+  Kind kind = Kind::kMrmw;
+  int values = 0;
+  int readers = 0;  ///< meaningful for kMrsw
+  int ports = 0;
+};
+
+/// Recognizes zoo::register_type / mrsw_register_type / srsw_register_type
+/// tables; nullopt for anything else.
+std::optional<RegisterShape> classify_register(const TypeSpec& spec);
+
+/// Recognizes the srsw BIT (the Section 4.3 target) and the one-use bit.
+bool is_srsw_bit_spec(const TypeSpec& spec);
+bool is_one_use_bit_spec(const TypeSpec& spec);
+
+struct EliminationOptions {
+  /// Stage 4 substrate.  Empty leaves base one-use-bit objects in place
+  /// (useful for inspecting the intermediate result).
+  OneUseFactory oneuse_factory;
+  /// Limits for the stage 2 exploration.
+  ExploreLimits bounds_limits;
+  /// Use the paper's uniform bound r_b = w_b = D for every bit instead of
+  /// the measured per-bit bound (faithful but much larger arrays).
+  bool uniform_paper_bound = false;
+  /// Stage 1 chain parameters.
+  registers::ChainOptions chain;
+};
+
+struct EliminationReport {
+  bool ok = false;
+  std::string detail;  ///< why the transform failed, when !ok
+  /// The register-free implementation (stage 4 output).
+  std::shared_ptr<const Implementation> result;
+  /// The stage 1 output (registers replaced by bit constructions).
+  std::shared_ptr<const Implementation> bits_stage;
+  /// Stage 2 measurements on bits_stage.
+  AccessBounds bounds;
+  int registers_replaced = 0;
+  int bits_replaced = 0;
+  long oneuse_bits_created = 0;
+  std::map<std::string, int> census_before;
+  std::map<std::string, int> census_after;
+};
+
+/// Runs the full pipeline on `impl` (an implementation of T_{c,n}).
+EliminationReport eliminate_registers(
+    std::shared_ptr<const Implementation> impl,
+    const EliminationOptions& options);
+
+}  // namespace wfregs::core

@@ -1,0 +1,116 @@
+// The wait-free hierarchy harness: experimental evidence for Jayanti's four
+// hierarchies h_1, h_1^r, h_m, h_m^r (Section 2.3) over concrete types.
+//
+// For a type T this module gathers:
+//
+//   * a RACE WITNESS (a state q and invocation i whose first and second
+//     applications return different responses) -- the generic ingredient
+//     that gives h_1^r(T) >= 2 via the publish/race/adopt protocol;
+//   * a verified h_1^r >= 2 certificate: the race protocol (one object of T
+//     plus two SRSW announce bits) model-checked over all schedules;
+//   * a verified h_m >= 2 certificate: the SAME protocol pushed through the
+//     Theorem 5 register-elimination transform, leaving objects of T only --
+//     the paper's h_m = h_m^r equality made executable;
+//   * bounded-synthesis evidence about h_1 (single object, NO registers),
+//     where the depth-bounded search is exhaustive.
+//
+// The resulting table reproduces the paper's punchline: registers matter for
+// the single-object hierarchies (test&set: h_1 = 1 < 2 = h_1^r) but never
+// for the multi-object ones (h_m = h_m^r on deterministic types).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfregs/consensus/power.hpp"
+#include "wfregs/runtime/implementation.hpp"
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs::hierarchy {
+
+/// A state q and invocation i with delta(q,i).resp != delta(q',i).resp where
+/// q' = delta(q,i).next: the first accessor of an object initialized to q
+/// learns it was first.
+struct RaceWitness {
+  StateId q = 0;
+  InvId i = 0;
+  RespId first_resp = 0;
+};
+
+/// Finds a race witness; nullopt when none exists (e.g. read/write
+/// registers, trivial types).  Requires a deterministic type.
+std::optional<RaceWitness> find_race_witness(const TypeSpec& type);
+
+/// The publish/race/adopt 2-process consensus protocol from one object of
+/// `type` plus two SRSW announce bits; nullptr when no race witness exists.
+/// Oblivious use: processes take ports 0 and 1 of the object.
+std::shared_ptr<const Implementation> race_consensus(const TypeSpec& type);
+
+/// A stronger, register-FREE template: a state q, per-value invocations
+/// i[0], i[1] and a decision table h(own-input, response) such that "invoke
+/// i[v], decide h(v, response)" solves 2-process consensus with the single
+/// object -- the shape that makes sticky bits, consensus objects and
+/// old-value-returning cas solve consensus alone (h_1(T) >= 2).
+struct AdoptWitness {
+  StateId q = 0;
+  InvId inv[2] = {0, 0};
+  /// decide[v * num_responses + r] in {-1, 0, 1}; -1 = unconstrained.
+  std::vector<int> decide;
+};
+
+/// Finds an adopt witness; nullopt when none exists.  Requires a
+/// deterministic type.
+std::optional<AdoptWitness> find_adopt_witness(const TypeSpec& type);
+
+/// The register-free one-object protocol from an adopt witness; nullptr
+/// when no witness exists.
+std::shared_ptr<const Implementation> adopt_consensus(const TypeSpec& type);
+
+/// Evidence gathered about one type.  "Verified" fields are backed by
+/// exhaustive model checking; synthesis fields are exhaustive up to the
+/// stated depth.
+struct HierarchyRow {
+  std::string type_name;
+  bool deterministic = false;
+  bool oblivious = false;
+  /// General (Section 5.2) triviality; only computed for deterministic
+  /// types.
+  std::optional<bool> trivial;
+  /// Bounded synthesis: can ONE object solve 2-consensus without registers
+  /// at the probed depth?  (kUnsolvable here is evidence that h_1(T) = 1.)
+  consensus::SynthesisVerdict h1_single_object =
+      consensus::SynthesisVerdict::kUnknown;
+  int h1_probe_depth = 0;
+  /// Verified: race protocol (1 object + register bits) solves 2-consensus.
+  bool h1r_at_least_2 = false;
+  /// Verified: Theorem 5 transform of the race protocol solves 2-consensus
+  /// using objects of T only.
+  bool hm_at_least_2 = false;
+  /// h_m == h_m^r as predicted by Theorem 5 for this type (both certified
+  /// at level 2, or neither applicable).
+  bool theorem5_consistent = true;
+  std::string note;
+};
+
+struct ClassifyOptions {
+  int h1_probe_depth = 2;
+  std::size_t synthesis_node_cap = 2000000;
+  /// Skip the (slow) bounded-synthesis probe.
+  bool probe_h1 = true;
+};
+
+/// Gathers the evidence for one type.
+HierarchyRow classify_type(const TypeSpec& type,
+                           const ClassifyOptions& options = {});
+
+/// Classifies the standard zoo (registers, test&set, fetch&add, queue, cas,
+/// sticky bit, consensus, mod counter, trivial and nondeterministic
+/// examples).
+std::vector<HierarchyRow> survey_zoo(const ClassifyOptions& options = {});
+
+/// Renders rows as an aligned text table.
+std::string to_table(const std::vector<HierarchyRow>& rows);
+
+}  // namespace wfregs::hierarchy

@@ -1,0 +1,37 @@
+// The full Section 4.1 chain, composed: a multi-writer multi-reader atomic
+// multi-valued register whose base objects are single-reader single-writer
+// atomic BITS -- the register normal form the paper's Theorem 5 transform
+// relies on ("we can assume that these registers are single-reader
+// single-writer bits").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::registers {
+
+struct ChainOptions {
+  /// Bound on writes at the MRMW layer (per the Section 4.2 result, bounded
+  /// use is all that wait-free consensus ever needs).
+  int mrmw_max_writes = 4;
+  /// Bound on writes at each inner MRSW register.
+  int mrsw_max_writes = 8;
+  /// When true, the SRSW rung is Simpson four-slot over atomic bits; when
+  /// false, the chain bottoms out at base SRSW multi-valued registers
+  /// (useful for isolating layers in tests and benches).
+  bool bits_at_bottom = true;
+};
+
+/// Builds the composed MRMW-from-MRSW-from-SRSW-from-bits register.
+/// Interface: zoo::register_type(values, ports).
+std::shared_ptr<const Implementation> full_chain_register(
+    int values, int ports, int initial_value, const ChainOptions& options);
+
+/// Census of the flattened base objects of an implementation, keyed by the
+/// base TypeSpec name -- e.g. how many srsw_register2 bits a chain uses.
+std::map<std::string, int> base_census(const Implementation& impl);
+
+}  // namespace wfregs::registers

@@ -1,0 +1,40 @@
+// Multi-writer multi-reader atomic register from multi-reader single-writer
+// atomic registers, in the style of Vitanyi-Awerbuch (the paper cites
+// Peterson-Burns 1987 for this rung of the Section 4.1 chain).
+//
+// Structure: one MRSW register ts[w] per writer, holding (value, seq).  A
+// writer reads everyone's (cached for itself), picks seq one larger than the
+// maximum, and publishes.  A reader returns the value with the
+// lexicographically largest (seq, writer-id).  Each port caches its OWN
+// latest (value, seq) in persistent local variables, since a port cannot
+// read through its own write-oriented MRSW port -- the cache is exact
+// because only that port writes there.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::registers {
+
+/// Provides MRSW sub-registers: mrsw_factory(values, readers, initial) must
+/// return an implementation of zoo::mrsw_register_type(values, readers).
+/// Empty means "use base atomic MRSW register objects".
+using MrswFactory = std::function<std::shared_ptr<const Implementation>(
+    int values, int readers, int initial)>;
+
+/// An MrswFactory building the full lower chain: MRSW registers from SRSW
+/// registers from (four-slot) SRSW bits.  `srsw_max_writes` bounds the inner
+/// sequence numbers.
+MrswFactory chained_mrsw_factory(int mrsw_max_writes, bool bits_at_bottom);
+
+/// Builds an MRMW atomic register over `values` values where all `ports`
+/// ports may read and write (interface zoo::register_type(values, ports)),
+/// supporting at most `max_writes` writes in total per port-sequence rules
+/// (any single execution with more than `max_writes` writes aborts loudly).
+std::shared_ptr<const Implementation> mrmw_register(
+    int values, int ports, int initial_value, int max_writes,
+    const MrswFactory& mrsw_factory = {});
+
+}  // namespace wfregs::registers

@@ -1,0 +1,43 @@
+// Multi-reader single-writer atomic register from single-reader
+// single-writer atomic registers (the classical construction in the style of
+// Israeli-Li / Attiya-Welch; the paper cites Lamport 1986 and
+// Burns-Peterson 1987 for this rung of the Section 4.1 chain).
+//
+// Structure: the writer stamps each value with a sequence number and writes
+// (value, seq) to a per-reader table register table[i].  Each reader i reads
+// its table entry plus what every other reader last returned
+// (report[j][i]), picks the freshest, and reports it to all other readers
+// before returning -- the report step is what prevents new/old inversion
+// between readers.
+//
+// Sequence numbers are bounded by `max_writes` (a simulation substitute for
+// the unbounded timestamps of the classical construction; the paper's
+// Section 4.2 shows bounded use is the only case that matters in wait-free
+// consensus implementations).  Exceeding the bound aborts the run loudly.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::registers {
+
+/// Provides SRSW sub-registers: srsw_factory(values, initial) must return an
+/// implementation of zoo::srsw_register_type(values).  An empty function
+/// means "use base atomic SRSW register objects".
+using SrswFactory = std::function<std::shared_ptr<const Implementation>(
+    int values, int initial)>;
+
+/// An SrswFactory producing Simpson four-slot registers (so the whole stack
+/// bottoms out at SRSW atomic bits).
+SrswFactory simpson_srsw_factory();
+
+/// Builds an MRSW atomic register over `values` values with `readers` read
+/// ports (interface zoo::mrsw_register_type(values, readers)), supporting at
+/// most `max_writes` writes.
+std::shared_ptr<const Implementation> mrsw_register(
+    int values, int readers, int initial_value, int max_writes,
+    const SrswFactory& srsw_factory = {});
+
+}  // namespace wfregs::registers

@@ -1,0 +1,39 @@
+// Simpson's four-slot algorithm: a wait-free single-reader single-writer
+// atomic multi-valued register built from single-reader single-writer atomic
+// *bits*.
+//
+// This realizes the bottom rung of the Section 4.1 chain (the paper cites
+// Lamport 1986 / Burns-Peterson 1987 / Peterson 1983 for the historical
+// ladder through safe and regular registers; our simulated base objects are
+// already atomic bits -- exactly what Section 4.3 manufactures from one-use
+// bits -- so the four-slot construction closes the gap from bits to
+// multi-valued values in one verified step).
+//
+// Structure: four data slots data[pair][index] (each ceil(log2 values)
+// bits), per-pair slot bits, a `latest` bit (writer -> reader) and a
+// `reading` bit (reader -> writer).  The writer always writes into the pair
+// the reader is NOT reading and the slot it last left free, so reader and
+// writer never touch the same data slot concurrently -- which is why the
+// bit-by-bit (non-atomic-as-a-whole) slot accesses are safe.
+//
+// The writer's knowledge of its own last slot choices is kept in persistent
+// per-port local variables, as the paper's constructions do (cf. the
+// Section 4.3 reader's i_r, j_r).
+#pragma once
+
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::registers {
+
+/// Number of bits per data slot for a `values`-valued register.
+int slot_bits(int values);
+
+/// Builds a four-slot SRSW atomic register over `values` values, initially
+/// holding `initial_value`, from 4*slot_bits(values) + 4 SRSW atomic bits.
+/// Interface: zoo::srsw_register_type(values) (port 0 reads, port 1 writes).
+std::shared_ptr<const Implementation> simpson_register(int values,
+                                                       int initial_value);
+
+}  // namespace wfregs::registers

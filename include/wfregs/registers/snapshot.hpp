@@ -1,0 +1,29 @@
+// Wait-free single-writer atomic snapshot from MRSW registers, in the style
+// of Afek, Attiya, Dolev, Gafni, Merritt & Shavit (1993).
+//
+// Each port p owns one register holding (sequence number, embedded view,
+// value).  An update embeds a fresh scan before writing; a scan repeatedly
+// double-collects and either certifies two identical collects or, once some
+// component has been observed moving twice, borrows that component's
+// embedded view (which was taken entirely inside the scan's interval).
+// Both paths terminate in at most `ports` rounds: wait-free.
+//
+// The snapshot is the classical "stronger-looking abstraction that is still
+// consensus number 1": it strengthens registers for reading yet cannot
+// implement 2-process consensus, which the bounded-synthesis harness
+// confirms on its TypeSpec.
+#pragma once
+
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::registers {
+
+/// Builds an implementation of zoo::snapshot_type(values, ports) from
+/// `ports` MRSW registers, supporting at most `max_updates` updates per
+/// port (sequence numbers are capped; exceeding the cap aborts loudly).
+std::shared_ptr<const Implementation> snapshot_from_registers(
+    int values, int ports, int max_updates);
+
+}  // namespace wfregs::registers

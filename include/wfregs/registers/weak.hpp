@@ -1,0 +1,42 @@
+// The bottom of the classical register ladder cited in Section 4.1
+// (Lamport 1986): from SAFE bits to REGULAR bits to regular multi-valued
+// registers.
+//
+// These constructions produce REGULAR registers -- strictly weaker than the
+// atomic ones the rest of the chain consumes -- and are verified with the
+// regular-semantics checker (wfregs/runtime/regularity.hpp) rather than the
+// linearizability checker.  They are included for fidelity to the paper's
+// Section 4.1 citations; the Theorem 5 pipeline itself does not need them,
+// because the Section 4.3 construction manufactures ATOMIC bits from
+// one-use bits directly.
+//
+// All interfaces use zoo::srsw_register_type(values) purely as an
+// invocation/response carrier (invocation 0 = read, 1+v = write(v)); the
+// correctness notion is regularity, not the carrier's atomic table.
+#pragma once
+
+#include <memory>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs::registers {
+
+/// Lamport's safe-to-regular step: the writer writes ONLY when the value
+/// actually changes, so a reader overlapping a write always sees "old or
+/// new" even though the base bit is merely safe.
+std::shared_ptr<const Implementation> regular_bit_from_safe(
+    int initial_value);
+
+/// The same wrapper WITHOUT the write-on-change discipline: writing the
+/// same value again over a safe bit lets an overlapping read return the
+/// OTHER value.  Deliberately broken; exists so tests can demonstrate why
+/// Lamport's discipline matters.
+std::shared_ptr<const Implementation> naive_bit_from_safe(int initial_value);
+
+/// Lamport's unary construction: a `values`-valued REGULAR register from
+/// `values` regular bits.  write(v) sets bit v and then clears bits
+/// v-1 .. 0 downward; a read scans upward and returns the first set bit.
+std::shared_ptr<const Implementation> regular_multivalued_from_bits(
+    int values, int initial_value);
+
+}  // namespace wfregs::registers

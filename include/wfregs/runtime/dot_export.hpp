@@ -1,0 +1,28 @@
+// Graphviz export of configuration graphs -- the Section 4.2 execution
+// trees, drawable.  Nodes are configurations (terminal ones doubled-circled
+// and labeled with the processes' results); edges are single base-object
+// accesses labeled "p0: test&set -> 1".  Optionally colors nodes by
+// consensus valence (bivalent / 0-valent / 1-valent), turning the FLP
+// picture into an actual picture.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "wfregs/runtime/engine.hpp"
+
+namespace wfregs {
+
+struct DotOptions {
+  /// Stop after this many distinct configurations (the graph is for eyes,
+  /// not for proofs).
+  std::size_t max_configs = 2000;
+  /// Color nodes by the set of values decidable from them (treats process
+  /// results as consensus decisions).
+  bool color_by_valence = false;
+};
+
+/// Renders the configuration graph reachable from `root` as a DOT digraph.
+std::string export_dot(const Engine& root, const DotOptions& options = {});
+
+}  // namespace wfregs

@@ -1,0 +1,141 @@
+// The execution engine: runs the processes of a System one shared-memory
+// step at a time.
+//
+// Granularity matches the paper's model (Section 4.2): one engine step =
+// one access to one *base* object.  All local computation -- including
+// calling into and returning from the programs of implemented objects -- is
+// performed eagerly between steps, leaving every process either finished or
+// "poised" at its next base access.  Nondeterminism has exactly two sources,
+// both external to programs: which process steps next (the scheduler /
+// explorer) and which transition a nondeterministic base object takes (the
+// chooser / explorer).
+//
+// Engines are value types: copy one to snapshot an execution.  The
+// configuration key (config_key) captures exactly the information the
+// paper's Section 4.2 trees put in a node: the states of the implementing
+// objects and the processes' program counters, stacks and registers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "wfregs/runtime/history.hpp"
+#include "wfregs/runtime/system.hpp"
+
+namespace wfregs {
+
+/// Hashable, equality-comparable snapshot of an engine configuration.
+/// Excludes the history and access counters (path data, not state).
+struct ConfigKey {
+  std::vector<std::uint64_t> words;
+  friend bool operator==(const ConfigKey&, const ConfigKey&) = default;
+};
+
+struct ConfigKeyHash {
+  std::size_t operator()(const ConfigKey& k) const;
+};
+
+class Engine {
+ public:
+  /// Builds the initial configuration and prepares every process up to its
+  /// first base access (or completion).
+  explicit Engine(std::shared_ptr<const System> sys);
+
+  const System& system() const { return *sys_; }
+
+  // ---- process status ------------------------------------------------------
+
+  bool done(ProcId p) const;
+  bool all_done() const;
+  /// Final value returned by p's top-level program (nullopt while running or
+  /// when p had no program).
+  std::optional<Val> result(ProcId p) const;
+  std::vector<ProcId> runnable() const;
+
+  // ---- stepping -------------------------------------------------------------
+
+  /// Width of the nondeterministic choice at p's pending base access (the
+  /// size of the delta set); >= 1.  Throws when p is done.
+  int pending_choices(ProcId p) const;
+
+  /// The base object p's pending access targets.  Throws when p is done.
+  ObjectId pending_object(ProcId p) const;
+
+  struct CommitInfo {
+    ObjectId object = -1;
+    PortId port = -1;
+    InvId inv = 0;
+    RespId resp = 0;
+  };
+
+  /// Performs p's pending base access, taking transition `choice` of the
+  /// delta set, then advances p to its next base access or completion.
+  CommitInfo commit(ProcId p, int choice = 0);
+
+  // ---- observation ------------------------------------------------------------
+
+  /// Global commit counter (the history's clock).
+  std::size_t time() const { return time_; }
+  const History& history() const { return history_; }
+  /// Current state of a base object.
+  StateId object_state(ObjectId g) const;
+  /// Number of accesses committed on base object g (optionally per
+  /// invocation).
+  std::size_t access_count(ObjectId g) const;
+  std::size_t access_count(ObjectId g, InvId i) const;
+  /// Depth of p's frame stack (0 when done); for diagnostics.
+  int stack_depth(ProcId p) const;
+
+  // ---- configuration identity ---------------------------------------------------
+
+  ConfigKey config_key() const;
+
+ private:
+  struct Frame {
+    ProgramRef code;
+    Locals locals;
+    std::vector<Handle> env;
+    int result_reg_in_parent = -1;
+    int op_id = -1;  ///< history op owned by this frame; -1 for top level
+    /// When >= 0, registers [0, persist_count) are that virtual object's
+    /// per-port persistent variables, written back on return.
+    ObjectId persist_gid = -1;
+    PortId persist_port = -1;
+    int persist_count = 0;
+  };
+  struct PendingAccess {
+    Handle handle;
+    InvId inv = 0;
+    int result_reg = 0;
+  };
+  struct Proc {
+    std::vector<Frame> stack;
+    std::optional<PendingAccess> pending;
+    std::optional<Val> result;
+    bool finished = false;
+  };
+
+  void prepare(ProcId p);
+  std::vector<Handle> inner_env(const System::VirtualObject& v,
+                                PortId port) const;
+  void check_proc(ProcId p) const;
+
+  std::shared_ptr<const System> sys_;
+  std::vector<StateId> object_state_;  // indexed by gid; 0 for virtual slots
+  /// persistent_[gid][port * P + k]: persistent variable k of port `port`
+  /// on implemented object gid (empty for objects without persistent state).
+  std::vector<std::vector<Val>> persistent_;
+  std::vector<Proc> procs_;
+  std::size_t time_ = 0;
+  /// Logical clock, strictly increasing across commits *and* history events,
+  /// so that operation precedence (response before invocation) is never
+  /// ambiguous in the linearizability checker.
+  std::size_t clock_ = 0;
+  History history_;
+  std::vector<std::size_t> access_count_;           // per gid
+  std::vector<std::vector<std::size_t>> access_by_inv_;  // per gid, per inv
+};
+
+}  // namespace wfregs

@@ -1,0 +1,91 @@
+// Exhaustive schedule exploration: the proof engine of this library.
+//
+// The explorer enumerates every interleaving of process steps and every
+// nondeterministic object transition from a root configuration, memoizing on
+// configuration keys.  It realizes, executably, the execution trees of
+// Section 4.2 of the paper:
+//
+//   * nodes are configurations (object states + process program states);
+//   * an edge is one low-level (base-object) access by one process;
+//   * wait-freedom corresponds to all trees being finite, which the explorer
+//     decides by cycle detection (a configuration revisited along the
+//     current path yields an infinite execution, contradicting wait-freedom
+//     exactly as in the paper's Koenig's-lemma argument);
+//   * the depth D of the tree (longest root-to-leaf path) and per-object
+//     access bounds are computed by longest-path dynamic programming over
+//     the (memoized) configuration DAG.
+//
+// A user-supplied TerminalCheck validates each terminal configuration (all
+// processes finished): e.g. consensus agreement/validity, or history
+// linearizability.
+//
+// MEMOIZATION CONTRACT: the explorer identifies configurations by
+// ConfigKey, which covers object states and process program states but NOT
+// the history (a path property).  A TerminalCheck that inspects the history
+// is therefore only exhaustive if every datum it depends on is reflected in
+// process state -- drivers must fold operation responses into their local
+// registers / return values (verify_linearizable and verify_regular do
+// exactly this).  Checks that read only process results (e.g. consensus
+// agreement) are always safe: results are part of the configuration.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfregs/runtime/engine.hpp"
+
+namespace wfregs {
+
+struct ExploreLimits {
+  /// Bail out after this many distinct configurations.
+  std::size_t max_configs = 2000000;
+  /// Bail out on any path longer than this (guards against implementations
+  /// whose local state diverges without ever repeating a configuration).
+  int max_depth = 20000;
+  /// When true, compute per-base-object access bounds (costs memory
+  /// proportional to configs * objects).
+  bool track_access_bounds = false;
+  /// When true, stop at the first terminal-check violation.
+  bool stop_at_violation = true;
+};
+
+struct ExploreStats {
+  std::size_t configs = 0;  ///< distinct configurations visited
+  std::size_t edges = 0;    ///< steps examined (including re-derived ones)
+  std::size_t terminals = 0;
+  /// Longest root-to-leaf path: the Section 4.2 depth d of this tree.
+  int depth = 0;
+  /// max_accesses[g]: maximum, over all executions, of the number of
+  /// accesses to base object g (empty unless track_access_bounds).
+  std::vector<std::size_t> max_accesses;
+  /// max_accesses_by_inv[g][i]: maximum, over all executions, of the number
+  /// of invocations of i on base object g (empty unless
+  /// track_access_bounds; empty inner vectors for non-base ids).  Note that
+  /// per-invocation maxima are attained on possibly different executions,
+  /// so their sum may exceed max_accesses[g].
+  std::vector<std::vector<std::size_t>> max_accesses_by_inv;
+};
+
+struct ExploreOutcome {
+  /// False when a configuration cycle was found (some execution runs
+  /// forever: the implementation is not wait-free).
+  bool wait_free = true;
+  /// False when limits were hit; all other fields are then lower bounds.
+  bool complete = true;
+  /// First terminal-check failure, if any.
+  std::optional<std::string> violation;
+  ExploreStats stats;
+};
+
+/// Returns an error description when the terminal configuration is invalid.
+using TerminalCheck =
+    std::function<std::optional<std::string>(const Engine&)>;
+
+/// Explores all executions from `root`.  The root engine is copied, never
+/// mutated.
+ExploreOutcome explore(const Engine& root, const ExploreLimits& limits = {},
+                       const TerminalCheck& check = {});
+
+}  // namespace wfregs

@@ -1,0 +1,41 @@
+// Randomized validation for implementations whose configuration spaces are
+// too large to explore exhaustively (deep composed stacks: the full register
+// chain, universal-construction towers, Theorem 5 outputs with the uniform
+// paper bound).  Samples seeded random schedules and random nondeterministic
+// transitions, checking linearizability of every sampled history.
+//
+// This complements -- never replaces -- verify_linearizable: exhaustive
+// checking is the correctness story on small instances; fuzzing is the
+// regression net on big ones.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wfregs/runtime/implementation.hpp"
+
+namespace wfregs {
+
+struct FuzzOptions {
+  std::size_t runs = 50;
+  std::uint64_t seed = 1;
+  std::size_t max_steps_per_run = 1000000;
+};
+
+struct FuzzResult {
+  bool ok = false;
+  std::string detail;       ///< first failing run's description
+  std::size_t runs = 0;     ///< runs completed
+  std::size_t total_steps = 0;
+};
+
+/// Runs the scenario `scripts` (process p performs scripts[p] on iface port
+/// p) under `options.runs` random schedules and checks each history against
+/// impl's interface spec.
+FuzzResult fuzz_linearizable(std::shared_ptr<const Implementation> impl,
+                             const std::vector<std::vector<InvId>>& scripts,
+                             const FuzzOptions& options = {});
+
+}  // namespace wfregs

@@ -1,0 +1,125 @@
+// Implementations in the sense of Section 2.2: a set of (appropriately
+// initialized) objects plus one deterministic program per (invocation of the
+// implemented type, port).
+//
+// Inner objects may themselves be implemented (nested), which is how the
+// register-construction chain of Section 4.1 and the register-elimination
+// transform of Theorem 5 compose: e.g. a multi-valued register implemented
+// from atomic bits, each of which is implemented from one-use bits, each of
+// which is implemented from an object of some non-trivial type T.
+//
+// Port plumbing: when the implemented object is accessed on its port j, the
+// running program addresses inner object k through the port
+// objects()[k].port_of_outer[j].  A value of kNoPort means port j's programs
+// never touch that inner object (enforced at run time by the engine).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wfregs/runtime/program.hpp"
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs {
+
+class Implementation;
+
+/// Marker: this outer port has no access to the inner object.
+inline constexpr PortId kNoPort = -1;
+
+/// One inner object of an implementation: either a base object (a TypeSpec
+/// plus initial state) or a nested implementation.
+struct ObjectDecl {
+  // Base object (spec != nullptr) ...
+  std::shared_ptr<const TypeSpec> spec;
+  StateId initial = 0;
+  // ... or nested implementation (impl != nullptr).
+  std::shared_ptr<const Implementation> impl;
+  // port_of_outer[j] = the port on this inner object used when the
+  // implemented object is accessed on port j.
+  std::vector<PortId> port_of_outer;
+
+  bool is_base() const { return spec != nullptr; }
+};
+
+/// A wait-free-candidate implementation of a type from inner objects.
+/// Correctness (linearizability, wait-freedom) is established externally by
+/// the explorer; this class only carries the structure.
+class Implementation {
+ public:
+  /// `iface` is the implemented type; `iface_initial` the state the
+  /// implementation realizes (Section 2.2 implements a type *in a state*).
+  Implementation(std::string name, std::shared_ptr<const TypeSpec> iface,
+                 StateId iface_initial);
+
+  /// Declares a base inner object.  Returns its slot index (the programs'
+  /// environment slot).  port_of_outer must have iface().ports() entries.
+  int add_base(std::shared_ptr<const TypeSpec> spec, StateId initial,
+               std::vector<PortId> port_of_outer);
+
+  /// Declares a nested implemented inner object.
+  int add_nested(std::shared_ptr<const Implementation> impl,
+                 std::vector<PortId> port_of_outer);
+
+  /// Installs the program run when invocation `inv` arrives on port `port`.
+  void set_program(InvId inv, PortId port, ProgramRef code);
+  /// Installs the same program for every port (typical for oblivious use).
+  void set_program_all_ports(InvId inv, ProgramRef code);
+
+  /// Declares `initial.size()` per-port local variables that persist across
+  /// operations (the paper's Section 4.3 reader keeps i_r, j_r this way).
+  /// At the start of every operation on port j, registers 0..P-1 of the
+  /// frame hold that port's persistent values; on return they are stored
+  /// back.  Programs that do not change a persistent variable must simply
+  /// leave its register untouched.
+  void set_persistent(std::vector<Val> initial);
+  int persistent_slots() const {
+    return static_cast<int>(persistent_initial_.size());
+  }
+  const std::vector<Val>& persistent_initial() const {
+    return persistent_initial_;
+  }
+
+  const std::string& name() const { return name_; }
+  const TypeSpec& iface() const { return *iface_; }
+  const std::shared_ptr<const TypeSpec>& iface_ptr() const { return iface_; }
+  StateId iface_initial() const { return iface_initial_; }
+  std::span<const ObjectDecl> objects() const { return objects_; }
+
+  /// The program for (inv, port); throws std::logic_error when absent (the
+  /// implementation does not support that invocation on that port).
+  const ProgramRef& program(InvId inv, PortId port) const;
+  bool has_program(InvId inv, PortId port) const;
+
+  /// Total number of *base* objects in the fully flattened tree.
+  int flattened_base_count() const;
+
+  /// Structural rewriting, the engine of the Theorem 5 transform: returns a
+  /// copy of this implementation in which every inner-object declaration d
+  /// at declaration path `path` is replaced by fn(path, d) when that returns
+  /// a value.  When fn declines (nullopt) and d is a nested implementation,
+  /// the rewrite recurses into it.  Programs, interface and persistent state
+  /// are shared/copied unchanged -- replacements must therefore implement
+  /// the same interface type (same invocations/responses/ports) as the
+  /// declaration they replace.
+  using RewriteFn = std::function<std::optional<ObjectDecl>(
+      std::span<const int> path, const ObjectDecl& decl)>;
+  std::shared_ptr<Implementation> rewrite_objects(const RewriteFn& fn) const;
+
+ private:
+  std::size_t prog_index(InvId inv, PortId port) const;
+  void check_port_map(const std::vector<PortId>& map, int inner_ports) const;
+
+  std::string name_;
+  std::shared_ptr<const TypeSpec> iface_;
+  StateId iface_initial_ = 0;
+  std::vector<ObjectDecl> objects_;
+  std::vector<ProgramRef> programs_;  // [inv * ports + port]
+  std::vector<Val> persistent_initial_;
+};
+
+}  // namespace wfregs

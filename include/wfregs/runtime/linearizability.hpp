@@ -1,0 +1,43 @@
+// Linearizability checking (Herlihy & Wing 1990) for operation histories
+// recorded by the engine, in the style of Wing & Gong's decision procedure
+// with failure memoization.
+//
+// Given the ops performed on one implemented object and that object's
+// interface TypeSpec, the checker searches for a total order of the ops that
+// (a) respects real-time precedence (op A before op B whenever A responded
+// before B was invoked) and (b) is a legal sequential history of the spec
+// from the given initial state, matching every recorded response.  Pending
+// operations (no response) may be linearized with any legal response or
+// omitted entirely, per the standard completion rule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "wfregs/runtime/history.hpp"
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs {
+
+struct LinearizabilityResult {
+  bool linearizable = false;
+  /// Indices into the input ops, in linearization order (completed ops only
+  /// appear when linearizable; pending ops appear when they were linearized
+  /// rather than omitted).
+  std::vector<int> order;
+  std::size_t states_explored = 0;
+};
+
+/// Checks linearizability of `ops` against `spec` starting from `initial`.
+/// Supports up to 64 operations (throws std::invalid_argument beyond that).
+LinearizabilityResult check_linearizable(const std::vector<OpRecord>& ops,
+                                         const TypeSpec& spec,
+                                         StateId initial);
+
+/// Convenience: renders a human-readable explanation of a non-linearizable
+/// history for diagnostics.
+std::string describe_history(const std::vector<OpRecord>& ops,
+                             const TypeSpec& spec);
+
+}  // namespace wfregs

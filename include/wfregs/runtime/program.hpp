@@ -1,0 +1,183 @@
+// Deterministic programs for the simulated shared-memory runtime.
+//
+// The paper's model (Section 2.2) has one deterministic program per process
+// per invocation of the implemented type.  We represent programs as small
+// bytecode state machines over integer registers:
+//
+//   * configurations must be copyable and hashable, because the exhaustive
+//     explorer (and the Section 4.2 execution-tree construction) snapshots
+//     and memoizes them;
+//   * all control flow and arithmetic is explicit, so a "step" of the engine
+//     is exactly one shared-object access, matching the paper's granularity.
+//
+// A program advances via step(Locals&), which runs local computation until
+// it either invokes an object in its environment (DoInvoke) or returns
+// (DoReturn).  Responses are delivered by the engine writing the response
+// value into the register named by the DoInvoke.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs {
+
+/// Per-frame local state: a program counter and a register file.  Value
+/// semantics; hashable via locals_hash().
+struct Locals {
+  std::int32_t pc = 0;
+  std::vector<Val> regs;
+
+  friend bool operator==(const Locals&, const Locals&) = default;
+};
+
+std::size_t locals_hash(const Locals& l);
+
+/// Program action: invoke `inv` on environment slot `slot`, storing the
+/// response into register `result_reg`...
+struct DoInvoke {
+  int slot = 0;
+  InvId inv = 0;
+  int result_reg = 0;
+};
+/// ...or complete with a return value.
+struct DoReturn {
+  Val value = 0;
+};
+using Action = std::variant<DoInvoke, DoReturn>;
+
+/// Abstract deterministic program code.  Implementations must be pure: the
+/// result of step() may depend only on the Locals passed in.
+class ProgramCode {
+ public:
+  virtual ~ProgramCode() = default;
+  /// Runs local computation from l.pc until the next action.  Must mutate
+  /// only `l`.  Throws std::runtime_error if local computation exceeds the
+  /// interpreter's fuel (a diverging loop that never touches shared memory).
+  virtual Action step(Locals& l) const = 0;
+  virtual const std::string& name() const = 0;
+  /// Number of registers the engine should allocate for a fresh frame.
+  virtual int num_regs() const = 0;
+};
+
+using ProgramRef = std::shared_ptr<const ProgramCode>;
+
+// ---- expression mini-language ------------------------------------------------
+
+/// Immutable expression tree over registers and constants.
+class Expr {
+ public:
+  enum class Kind {
+    kConst,
+    kReg,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMod,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kAnd,
+    kOr,
+    kNot
+  };
+
+  static Expr lit(Val v);
+  static Expr reg(int index);
+
+  Val eval(const std::vector<Val>& regs) const;
+  int max_reg() const;
+
+  friend Expr operator+(Expr a, Expr b);
+  friend Expr operator-(Expr a, Expr b);
+  friend Expr operator*(Expr a, Expr b);
+  friend Expr operator/(Expr a, Expr b);  ///< division by zero throws
+  friend Expr operator%(Expr a, Expr b);  ///< modulo by zero throws
+  friend Expr operator==(Expr a, Expr b);
+  friend Expr operator!=(Expr a, Expr b);
+  friend Expr operator<(Expr a, Expr b);
+  friend Expr operator<=(Expr a, Expr b);
+  friend Expr operator&&(Expr a, Expr b);
+  friend Expr operator||(Expr a, Expr b);
+  friend Expr operator!(Expr a);
+
+  /// Implementation node; opaque to clients.
+  struct Node;
+
+ private:
+  explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  static Expr binary(Kind k, Expr a, Expr b);
+  std::shared_ptr<const Node> node_;
+};
+
+/// Shorthand builders.
+inline Expr lit(Val v) { return Expr::lit(v); }
+inline Expr reg(int index) { return Expr::reg(index); }
+
+// ---- bytecode builder -----------------------------------------------------------
+
+/// Opaque forward-referencable jump target.
+struct Label {
+  int id = -1;
+};
+
+/// Builds a bytecode ProgramCode.  Typical usage:
+///
+///   ProgramBuilder b;
+///   const int kResp = 0, kRow = 1;
+///   b.assign(kRow, lit(1));
+///   const Label loop = b.bind_here();
+///   b.invoke(kSlotBits, lit(read_inv), kResp);
+///   b.branch_if(reg(kResp) == lit(1), loop);
+///   b.ret(reg(kRow) % lit(2));
+///   ProgramRef p = b.build("reader");
+class ProgramBuilder {
+ public:
+  /// Creates an unbound label for forward jumps.
+  Label make_label();
+  /// Binds `l` to the next emitted instruction.
+  void bind(Label l);
+  /// Creates a label already bound to the next instruction.
+  Label bind_here();
+
+  void assign(int reg, Expr value);
+  /// Invoke `inv` (evaluated at run time) on environment slot `slot`; the
+  /// response lands in register `result_reg`.
+  void invoke(int slot, Expr inv, int result_reg);
+  void jump(Label target);
+  void branch_if(Expr condition, Label target);
+  void ret(Expr value);
+  /// Aborts the run with std::runtime_error(message): an internal invariant
+  /// of the construction was violated.
+  void fail(std::string message);
+
+  /// Finalizes.  Throws std::logic_error when a used label is unbound or the
+  /// program does not end every path in ret/jump/fail.
+  ProgramRef build(std::string name);
+
+ private:
+  friend class BytecodeProgram;
+  struct Instr {
+    enum class Op { kAssign, kInvoke, kJump, kBranchIf, kRet, kFail };
+    Op op = Op::kAssign;
+    int reg = -1;        // kAssign / kInvoke result register
+    int slot = -1;       // kInvoke environment slot
+    int label = -1;      // kJump / kBranchIf target label id
+    std::optional<Expr> expr;  // value / invocation id / condition
+    std::string message;       // kFail
+  };
+  std::vector<Instr> code_;
+  std::vector<int> label_targets_;
+  int max_reg_ = -1;
+  void note_reg(int r);
+  void note_expr(const Expr& e);
+};
+
+}  // namespace wfregs

@@ -1,0 +1,105 @@
+// Schedulers and nondeterminism choosers for scheduler-driven runs (as
+// opposed to exhaustive exploration, which drives the engine directly).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "wfregs/runtime/engine.hpp"
+
+namespace wfregs {
+
+/// Picks which runnable process takes the next step.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// `runnable` is non-empty and sorted ascending.
+  virtual ProcId pick(const Engine& engine,
+                      const std::vector<ProcId>& runnable) = 0;
+};
+
+/// Resolves nondeterministic base-object transitions.
+class Chooser {
+ public:
+  virtual ~Chooser() = default;
+  /// Returns a value in [0, n).
+  virtual int pick(int n) = 0;
+};
+
+/// Cycles through processes in id order, skipping finished ones.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  ProcId pick(const Engine& engine,
+              const std::vector<ProcId>& runnable) override;
+
+ private:
+  ProcId last_ = -1;
+};
+
+/// Uniform random scheduling, deterministic in the seed.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  ProcId pick(const Engine& engine,
+              const std::vector<ProcId>& runnable) override;
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Always takes the first transition (adequate for deterministic systems).
+class FirstChooser final : public Chooser {
+ public:
+  int pick(int n) override;
+};
+
+/// Uniform random transition choice, deterministic in the seed.
+class RandomChooser final : public Chooser {
+ public:
+  explicit RandomChooser(std::uint64_t seed) : rng_(seed) {}
+  int pick(int n) override;
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// A contention-seeking adversary: schedules a process whose pending access
+/// races with another process on the same object whenever such a pair
+/// exists (alternating within the racing pair), falling back to the
+/// least-advanced process otherwise.  A deterministic stress heuristic --
+/// exhaustive exploration remains the ground truth for correctness; this
+/// scheduler exists to make single runs (benches, fuzzing) hit the
+/// interesting interleavings more often than uniform randomness does.
+class AdversarialScheduler final : public Scheduler {
+ public:
+  ProcId pick(const Engine& engine,
+              const std::vector<ProcId>& runnable) override;
+
+ private:
+  ProcId last_ = -1;
+  std::vector<std::size_t> steps_;
+};
+
+/// Replays a fixed process sequence (useful for regression-pinning a
+/// specific schedule); throws std::out_of_range when the sequence is
+/// exhausted or names a finished process.
+class ReplayScheduler final : public Scheduler {
+ public:
+  explicit ReplayScheduler(std::vector<ProcId> sequence)
+      : sequence_(std::move(sequence)) {}
+  ProcId pick(const Engine& engine,
+              const std::vector<ProcId>& runnable) override;
+
+ private:
+  std::vector<ProcId> sequence_;
+  std::size_t next_ = 0;
+};
+
+/// Runs the engine under the given scheduler/chooser until every process
+/// finishes or `max_steps` commits have happened.  Returns true when all
+/// processes finished.
+bool run_to_completion(Engine& engine, Scheduler& scheduler, Chooser& chooser,
+                       std::size_t max_steps = 1000000);
+
+}  // namespace wfregs

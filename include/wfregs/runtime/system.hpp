@@ -1,0 +1,112 @@
+// Static structure of a simulated shared-memory system: the flattened set of
+// base objects, the implemented (virtual) objects layered over them, and the
+// top-level program each process runs.
+//
+// Flattening: implemented objects declared with nested inner implementations
+// are expanded recursively so that every base object occupies one global
+// slot; programs address objects through per-frame environments of
+// (object id, port) handles, so no program ever needs rewriting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "wfregs/runtime/implementation.hpp"
+#include "wfregs/runtime/program.hpp"
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs {
+
+using ProcId = int;
+using ObjectId = int;
+
+/// A reference to an object as seen from one port: which global object, and
+/// which of its ports the holder occupies.
+struct Handle {
+  ObjectId gid = -1;
+  PortId port = -1;
+
+  friend bool operator==(const Handle&, const Handle&) = default;
+};
+
+/// Immutable system description; the Engine holds the mutable state.
+class System {
+ public:
+  explicit System(int num_processes);
+
+  /// Adds a top-level base object.  port_of_process[p] is the port process p
+  /// occupies (kNoPort when p never accesses it).  Returns the object id.
+  ObjectId add_base(std::shared_ptr<const TypeSpec> spec, StateId initial,
+                    std::vector<PortId> port_of_process);
+
+  /// Adds a top-level implemented object, recursively instantiating its
+  /// inner objects.  Returns the id of the implemented object itself.
+  ObjectId add_implemented(std::shared_ptr<const Implementation> impl,
+                           std::vector<PortId> port_of_process);
+
+  /// Sets process p's top-level program.  env lists the object ids the
+  /// program's slots refer to; each must have been added with a port for p.
+  void set_toplevel(ProcId p, ProgramRef code, std::vector<ObjectId> env);
+
+  // ---- queries (used by the engine) --------------------------------------
+
+  int num_processes() const { return num_processes_; }
+  int num_objects() const { return static_cast<int>(objects_.size()); }
+
+  struct BaseObject {
+    std::shared_ptr<const TypeSpec> spec;
+    StateId initial = 0;
+  };
+  struct VirtualObject {
+    std::shared_ptr<const Implementation> impl;
+    std::vector<ObjectId> inner;  ///< global ids of the impl's inner objects
+  };
+
+  bool is_base(ObjectId g) const;
+  const BaseObject& base(ObjectId g) const;
+  const VirtualObject& virt(ObjectId g) const;
+
+  /// Number of base objects (for state vectors and access counters).  Base
+  /// and virtual objects share the id space; use is_base() to discriminate.
+  int num_base_objects() const { return num_base_; }
+
+  const ProgramRef& toplevel_program(ProcId p) const;
+  /// Handles (object id + port) for process p's top-level environment.
+  const std::vector<Handle>& toplevel_env(ProcId p) const;
+
+  /// Port process p holds on top-level object g (kNoPort if none).
+  PortId top_port(ObjectId g, ProcId p) const;
+
+  /// Where an object sits in the declaration tree: the top-level object it
+  /// belongs to, and the chain of inner-object slot indices leading to it
+  /// (empty for top-level objects themselves).  This is how the Section 4.2
+  /// bound computation and the Theorem 5 transform relate explorer object
+  /// ids back to Implementation declarations.
+  struct Placement {
+    ObjectId top = -1;
+    std::vector<int> path;
+  };
+  const Placement& placement(ObjectId g) const;
+  /// Inverse lookup: the object id at `path` under top-level object `top`.
+  ObjectId resolve(ObjectId top, std::span<const int> path) const;
+
+ private:
+  ObjectId instantiate(const ObjectDecl& decl, std::vector<int>& path,
+                       std::vector<std::pair<ObjectId, std::vector<int>>>&
+                           collected);
+  void check_proc(ProcId p) const;
+
+  int num_processes_ = 0;
+  int num_base_ = 0;
+  std::vector<std::variant<BaseObject, VirtualObject>> objects_;
+  /// top_ports_[g][p]: port of process p on top-level object g (empty vector
+  /// for inner objects, which are never addressed from top level).
+  std::vector<std::vector<PortId>> top_ports_;
+  std::vector<ProgramRef> toplevel_;
+  std::vector<std::vector<Handle>> toplevel_env_;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace wfregs

@@ -1,0 +1,30 @@
+// Seeded random finite type generation, used by the property-based tests of
+// the Section 5 deciders and by experiment E5 (witness-search scaling over
+// random types).  All generation is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs {
+
+/// Shape parameters for random type generation.
+struct RandomTypeParams {
+  int ports = 2;
+  int num_states = 4;
+  int num_invocations = 2;
+  int num_responses = 2;
+  /// When true, delta ignores the port (Section 2.1 obliviousness).
+  bool oblivious = false;
+  /// Expected number of transitions per cell; 1 yields deterministic types,
+  /// larger values yield nondeterministic ones (each cell gets between 1 and
+  /// 2*branching-1 choices, uniformly).
+  int branching = 1;
+};
+
+/// Generates a random total type with the given shape.  Deterministic in
+/// `seed`.  With branching == 1 the result is deterministic.
+TypeSpec random_type(const RandomTypeParams& params, std::uint64_t seed);
+
+}  // namespace wfregs

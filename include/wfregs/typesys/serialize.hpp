@@ -1,0 +1,42 @@
+// Text serialization for TypeSpecs, so types can be defined in files and
+// fed to the command-line tool (examples/wfregs_cli.cpp) or exchanged
+// between runs.
+//
+// Format (line-oriented; '#' starts a comment; blank lines ignored):
+//
+//     type turnstile
+//     ports 2
+//     states 3 pos0 pos1 pos2          # count, then optional names
+//     invocations 1 click
+//     responses 3 r0 r1 r2
+//     delta pos0 * click -> pos1 r1    # '*' = every port (oblivious cell)
+//     delta pos1 * click -> pos2 r2
+//     delta pos2 0 click -> pos0 r0    # or a specific port number
+//     delta pos2 1 click -> pos0 r0
+//
+// States/invocations/responses may be referred to by name or by index.
+// Repeating a delta line for the same (state, port, invocation) adds a
+// nondeterministic alternative.  parse_type accepts exactly what
+// print_type emits (round-trip stable).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs {
+
+/// Renders `t` in the text format above (always with explicit per-port
+/// delta lines collapsed to '*' where the cell is port-independent).
+std::string print_type(const TypeSpec& t);
+
+/// Parses the text format.  Throws std::runtime_error with a line number on
+/// malformed input; the result is validated (total).
+TypeSpec parse_type(const std::string& text);
+
+/// Convenience file wrappers.
+TypeSpec load_type(const std::string& path);
+void save_type(const TypeSpec& t, const std::string& path);
+
+}  // namespace wfregs

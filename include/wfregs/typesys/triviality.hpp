@@ -1,0 +1,101 @@
+// Triviality deciders and non-triviality witness searches for Section 5 of
+// Bazzi, Neiger & Peterson (PODC 1994).
+//
+// Section 5.1 defines triviality for *oblivious* deterministic types: T is
+// trivial when, for every state q and invocation i, every state reachable
+// from q gives the same response to i as q does.  A non-trivial oblivious
+// type admits a witness (q, i', p, i) with p reachable from q in ONE step
+// (via i') and with differing responses to i -- exactly the object the
+// paper's one-use-bit construction needs.
+//
+// Section 5.2 generalizes to non-oblivious types: T is trivial when, from
+// every start state, the response sequence seen on any port is independent
+// of activity on other ports.  The paper's Lemmas 2-4 show that a *minimal*
+// non-trivial pair of histories (H1, H2) has a rigid shape:
+//
+//     H1 = the invocation sequence i-bar on the reader port;
+//     H2 = one invocation i_w on a writer port, then i-bar on the reader
+//          port;
+//
+// with the two runs of i-bar agreeing on every response except the last.
+// For finite deterministic types this makes non-triviality decidable: search
+// over (start state, reader port, writer port, i_w) for a pair of states
+// that are distinguishable by reader-port-only invocation sequences (a Mealy
+// machine equivalence check), and extract the shortest distinguishing
+// sequence.  Lemmas 2-4 guarantee the search is complete: a non-trivial pair
+// exists if and only if a witness of this shape exists.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs {
+
+// ---- Section 5.1: oblivious deterministic types -----------------------------
+
+/// The Section 5.1 witness: delta(q, i') = <p, .>, and i distinguishes q
+/// from p by response (r_q != r_p).  Initializing an object to q yields a
+/// one-use bit: write = invoke i', read = invoke i and compare with r_q.
+struct ObliviousWitness {
+  StateId q = 0;       ///< UNSET state
+  InvId i_prime = 0;   ///< the write invocation i'
+  StateId p = 0;       ///< SET state, delta(q, i').next
+  InvId i = 0;         ///< the read invocation
+  RespId r_q = 0;      ///< response to i in state q ("bit is 0")
+  RespId r_p = 0;      ///< response to i in state p ("bit is 1")
+};
+
+/// True when the oblivious deterministic type `t` is trivial *from q*: every
+/// invocation's response is constant over all states reachable from q.
+/// Requires t deterministic and oblivious (throws std::invalid_argument).
+bool is_trivial_oblivious_from(const TypeSpec& t, StateId q);
+
+/// Section 5.1 triviality: trivial from every state.
+bool is_trivial_oblivious(const TypeSpec& t);
+
+/// Finds a Section 5.1 witness, or nullopt when the type is trivial.  The
+/// paper remarks that q and p "can be chosen such that p is reachable from q
+/// in one step"; the search scans one-step edges directly, which also proves
+/// that remark constructively.  Requires t deterministic and oblivious.
+std::optional<ObliviousWitness> find_oblivious_witness(const TypeSpec& t);
+
+// ---- Section 5.2: general deterministic types --------------------------------
+
+/// A minimal non-trivial pair in the Lemma 4 shape.
+struct NonTrivialPair {
+  StateId q = 0;              ///< start state of both histories
+  PortId reader_port = 0;     ///< the paper's "port 1"
+  PortId writer_port = 0;     ///< the paper's "port 2"
+  InvId write_inv = 0;        ///< i_w, H2's single writer-port invocation
+  std::vector<InvId> read_seq;  ///< i-bar, the reader-port invocations
+  RespId unwritten_resp = 0;  ///< H1's return value (last response)
+  RespId written_resp = 0;    ///< H2's return value (last response)
+};
+
+/// Section 5.2 triviality for deterministic (not necessarily oblivious)
+/// types.  Requires t deterministic (throws std::invalid_argument) and at
+/// least 2 ports (a 1-port type is vacuously trivial in this sense).
+bool is_trivial_general(const TypeSpec& t);
+
+/// Finds a minimal non-trivial pair (shortest read sequence over all
+/// (q, reader, writer, i_w) choices; ties broken by smallest ids), or
+/// nullopt when the type is trivial.  Requires t deterministic.
+std::optional<NonTrivialPair> find_nontrivial_pair(const TypeSpec& t);
+
+// ---- Mealy-machine equivalence helper ---------------------------------------
+
+/// Partitions states of the deterministic type `t` by *port-j trace
+/// equivalence*: q1 ~ q2 iff every invocation sequence issued on port j
+/// yields identical response sequences from q1 and q2.  Returns a vector
+/// mapping StateId -> class id (0-based, dense).
+std::vector<int> port_trace_classes(const TypeSpec& t, PortId j);
+
+/// The shortest invocation sequence on port j whose response differs when
+/// run from q1 versus q2 (difference at the last position only), or nullopt
+/// when q1 ~ q2.  Requires t deterministic.
+std::optional<std::vector<InvId>> shortest_distinguishing_sequence(
+    const TypeSpec& t, PortId j, StateId q1, StateId q2);
+
+}  // namespace wfregs

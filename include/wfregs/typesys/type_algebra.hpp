@@ -1,0 +1,18 @@
+// Small structural operations on TypeSpecs.
+#pragma once
+
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs {
+
+/// Restricts `t` to its part reachable from `initial`, renumbering states
+/// densely (state 0 of the result is `initial`).  Useful before running the
+/// Section 5 searches when only one initialization matters.
+TypeSpec reachable_part(const TypeSpec& t, StateId initial);
+
+/// Widens (or narrows) the port count.  When widening, new ports copy the
+/// behaviour of port `clone_from`; narrowing requires the dropped ports to
+/// be unused by the caller.  Preserves obliviousness when `t` is oblivious.
+TypeSpec with_ports(const TypeSpec& t, int ports, PortId clone_from = 0);
+
+}  // namespace wfregs

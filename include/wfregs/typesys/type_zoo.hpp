@@ -1,0 +1,323 @@
+// A zoo of concrete concurrent data types, each expressed as an explicit
+// TypeSpec table.  The zoo covers:
+//
+//   * the paper's own types: the one-use bit (Section 3) and the n-process
+//     binary consensus type T_{c,n} (Section 2.1);
+//   * the standard type menagerie used throughout the wait-free hierarchy
+//     literature (Herlihy 1991; Jayanti 1993): read/write registers,
+//     test&set, fetch&add, compare&swap, sticky bits (Plotkin 1989), bounded
+//     FIFO queues;
+//   * deliberately degenerate types used to exercise the Section 5
+//     triviality deciders: trivial types whose state changes but whose
+//     responses do not, non-oblivious types, and a nondeterministic coin.
+//
+// Each builder returns a validated, total TypeSpec.  The companion *Layout
+// structs give symbolic access to the integer encodings of invocations and
+// responses so that programs and tests never hard-code raw ids.
+#pragma once
+
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs::zoo {
+
+// ---- read/write register -------------------------------------------------
+
+/// Encoding of the multi-value read/write register type.
+struct RegisterLayout {
+  int values = 0;
+
+  InvId read() const { return 0; }
+  InvId write(int v) const { return 1 + v; }
+  RespId value_resp(int v) const { return v; }
+  RespId ok() const { return values; }
+  /// State id holding value v (states are the values themselves).
+  StateId state_of(int v) const { return v; }
+};
+
+/// An atomic multi-reader multi-writer register over `values` values.
+/// Consensus number 1 (FLP / Loui-Abu-Amara / Herlihy).
+TypeSpec register_type(int values, int ports);
+/// A one-bit register.
+TypeSpec bit_type(int ports);
+
+/// Encoding of the single-reader single-writer register: port 0 may only
+/// read, port 1 may only write.  Misuse (writing on the read port or vice
+/// versa) leaves the state unchanged and returns err() -- constructions
+/// never do this, and the distinguished response makes violations visible
+/// in tests rather than silently tolerated.
+struct SrswRegisterLayout {
+  int values = 0;
+
+  static constexpr PortId reader_port() { return 0; }
+  static constexpr PortId writer_port() { return 1; }
+  InvId read() const { return 0; }
+  InvId write(int v) const { return 1 + v; }
+  RespId value_resp(int v) const { return v; }
+  RespId ok() const { return values; }
+  RespId err() const { return values + 1; }
+  StateId state_of(int v) const { return v; }
+};
+
+/// A single-reader single-writer atomic register (Section 4.1's normal form
+/// for the registers used in consensus implementations).
+TypeSpec srsw_register_type(int values);
+/// A single-reader single-writer atomic bit, the exact register kind that
+/// Section 4.3 implements from one-use bits.
+TypeSpec srsw_bit_type();
+
+/// Encoding of the multi-reader single-writer register: ports 0..readers-1
+/// may only read, port `readers` may only write; misuse returns err().
+struct MrswRegisterLayout {
+  int values = 0;
+  int readers = 0;
+
+  PortId reader_port(int i) const { return i; }
+  PortId writer_port() const { return readers; }
+  InvId read() const { return 0; }
+  InvId write(int v) const { return 1 + v; }
+  RespId value_resp(int v) const { return v; }
+  RespId ok() const { return values; }
+  RespId err() const { return values + 1; }
+  StateId state_of(int v) const { return v; }
+};
+
+/// A multi-reader single-writer atomic register with `readers` read ports
+/// and one write port (the intermediate rung of the Section 4.1 chain).
+TypeSpec mrsw_register_type(int values, int readers);
+
+enum class WeakBitKind {
+  kSafe,     ///< a read overlapping a write returns ANY bit
+  kRegular,  ///< a read overlapping a write returns the old or the new bit
+};
+
+/// Encoding of the non-atomic (safe / regular) SRSW bit.  Writes take two
+/// explicit steps -- start_write(v) then finish_write -- so that reads can
+/// genuinely overlap them; a read is one step whose response is
+/// nondeterministic exactly while a write is in flight.  This is how the
+/// simulator models the bottom of the classical register ladder the paper
+/// cites in Section 4.1 (Lamport 1986; Burns & Peterson 1987).
+struct WeakBitLayout {
+  static constexpr PortId reader_port() { return 0; }
+  static constexpr PortId writer_port() { return 1; }
+  InvId read() const { return 0; }
+  InvId start_write(int v) const { return 1 + v; }
+  InvId finish_write() const { return 3; }
+  RespId value_resp(int v) const { return v; }
+  RespId ok() const { return 2; }
+  RespId err() const { return 3; }
+  StateId idle(int v) const { return v; }
+  StateId writing(int old_v, int new_v) const {
+    return 2 + old_v * 2 + new_v;
+  }
+};
+
+/// A safe or regular single-reader single-writer bit (see WeakBitLayout).
+/// Misuse (nested writes, finish without start, wrong port) returns err().
+TypeSpec weak_bit_type(WeakBitKind kind);
+
+// ---- the one-use bit (Section 3) ------------------------------------------
+
+/// Encoding of T_1u.  State names match the paper: UNSET, SET, DEAD.
+struct OneUseBitLayout {
+  StateId unset() const { return 0; }
+  StateId set() const { return 1; }
+  StateId dead() const { return 2; }
+  InvId read() const { return 0; }
+  InvId write() const { return 1; }
+  RespId zero() const { return 0; }
+  RespId one() const { return 1; }
+  RespId ok() const { return 2; }
+};
+
+/// The one-use bit T_1u exactly as specified in Section 3: a bit, initially
+/// UNSET, that can be usefully read at most once and written at most once;
+/// any read sends it to DEAD, where reads return nondeterministic values.
+TypeSpec one_use_bit_type();
+
+// ---- consensus (Section 2.1) ----------------------------------------------
+
+struct ConsensusLayout {
+  StateId bottom() const { return 0; }
+  StateId decided(int v) const { return 1 + v; }
+  InvId propose(int v) const { return v; }
+  RespId decide_resp(int v) const { return v; }
+};
+
+/// The n-process binary consensus type T_{c,n}: the first proposal fixes all
+/// responses.  `ports` is the paper's n.
+TypeSpec consensus_type(int ports);
+
+struct MultiConsensusLayout {
+  int values = 0;
+  StateId bottom() const { return 0; }
+  StateId decided(int v) const { return 1 + v; }
+  InvId propose(int v) const { return v; }
+  RespId decide_resp(int v) const { return v; }
+};
+
+/// Multi-valued consensus over `values` values (the generalization Herlihy's
+/// universal construction consumes); same first-proposal-wins semantics.
+TypeSpec multi_consensus_type(int values, int ports);
+
+// ---- classic read-modify-write types ---------------------------------------
+
+struct TestAndSetLayout {
+  InvId test_and_set() const { return 0; }
+  RespId old_value(int v) const { return v; }
+};
+
+/// One-shot test&set bit: the invocation returns the old value and sets the
+/// bit.  Consensus number 2 (Herlihy 1991).
+TypeSpec test_and_set_type(int ports);
+
+struct FetchAndAddLayout {
+  int cap = 0;
+  InvId fetch_and_add() const { return 0; }
+  RespId old_value(int v) const { return v; }
+};
+
+/// Saturating fetch&add(1) over 0..cap (the saturation bound substitutes for
+/// the unbounded counter; all uses in this library stay far below it).
+/// Consensus number 2.
+TypeSpec fetch_and_add_type(int cap, int ports);
+
+struct CasLayout {
+  int values = 0;
+  InvId read() const { return 0; }
+  InvId cas(int expected, int desired) const {
+    return 1 + expected * values + desired;
+  }
+  RespId value_resp(int v) const { return v; }
+  RespId success() const { return values; }
+  RespId failure() const { return values + 1; }
+};
+
+/// Compare&swap register over `values` values with an auxiliary read.
+/// Consensus number infinity (here: ports).
+TypeSpec cas_type(int values, int ports);
+
+struct CasOldLayout {
+  int values = 0;
+  InvId cas(int expected, int desired) const {
+    return expected * values + desired;
+  }
+  RespId old_value(int v) const { return v; }
+};
+
+/// Compare&swap that returns the register's PREVIOUS value (the common
+/// hardware semantics): the caller learns it succeeded iff the response
+/// equals its expected value.  Solves n-process consensus in a single
+/// invocation per process.
+TypeSpec cas_old_type(int values, int ports);
+
+struct StickyBitLayout {
+  StateId bottom_state() const { return 0; }
+  StateId stuck(int v) const { return 1 + v; }
+  InvId jam(int v) const { return v; }
+  InvId read() const { return 2; }
+  RespId value_resp(int v) const { return v; }
+  RespId bottom() const { return 2; }
+};
+
+/// Plotkin's sticky bit: jam(v) sticks the first value and returns whatever
+/// value is stuck; read reports the current value (or bottom).  Consensus
+/// number infinity (here: ports).
+TypeSpec sticky_bit_type(int ports);
+
+// ---- bounded FIFO queue -----------------------------------------------------
+
+struct QueueLayout {
+  int capacity = 0;
+  int values = 0;
+
+  InvId enqueue(int v) const { return v; }
+  InvId dequeue() const { return values; }
+  RespId front_value(int v) const { return v; }
+  RespId ok() const { return values; }
+  RespId empty() const { return values + 1; }
+  RespId full() const { return values + 2; }
+
+  /// Total number of queue states: all sequences of length <= capacity.
+  int num_states() const;
+  /// State id of a concrete queue content (front of the queue first).
+  StateId state_of(std::span<const int> content) const;
+};
+
+/// A bounded FIFO queue over `values` values with at most `capacity`
+/// elements.  Consensus number 2 (Herlihy 1991, via a pre-loaded queue).
+TypeSpec queue_type(int capacity, int values, int ports);
+
+struct StackLayout {
+  int capacity = 0;
+  int values = 0;
+
+  InvId push(int v) const { return v; }
+  InvId pop() const { return values; }
+  RespId top_value(int v) const { return v; }
+  RespId ok() const { return values; }
+  RespId empty() const { return values + 1; }
+  RespId full() const { return values + 2; }
+
+  int num_states() const;
+  /// State id of concrete stack content (bottom of the stack first).
+  StateId state_of(std::span<const int> content) const;
+};
+
+/// A bounded LIFO stack over `values` values.  Consensus number 2.
+TypeSpec stack_type(int capacity, int values, int ports);
+
+struct SnapshotLayout {
+  int components = 0;  ///< one per port (single-writer snapshot)
+  int values = 0;
+
+  InvId update(int v) const { return v; }
+  InvId scan() const { return values; }
+  /// View id of a component vector: sum of view[i] * values^i.
+  RespId view_resp(std::span<const int> view) const;
+  RespId ok() const { return power(); }
+  StateId state_of(std::span<const int> view) const {
+    return view_resp(view);
+  }
+  /// values^components (number of distinct views).
+  int power() const;
+  /// Component i of a view id.
+  int component(RespId view, int i) const;
+};
+
+/// A single-writer atomic snapshot object: port p's update(v) sets component
+/// p; scan() returns the id of the full component vector.  Consensus number
+/// 1 (Afek, Attiya, Dolev, Gafni, Merritt & Shavit 1993) -- the classic
+/// "stronger-looking register abstraction that still cannot do consensus".
+TypeSpec snapshot_type(int values, int ports);
+
+// ---- degenerate and adversarial types ---------------------------------------
+
+/// A trivial type (Section 5.1 definition) whose state nevertheless changes:
+/// `ping` toggles between two states but always responds `ok`.  Exercises
+/// the subtlety that triviality is about responses, not state.
+TypeSpec trivial_toggle_type(int ports);
+
+/// The ultimate trivial type: one state, one invocation, one response.
+TypeSpec trivial_sink_type(int ports);
+
+/// A nondeterministic single-state coin: `flip` returns 0 or 1 arbitrarily.
+/// Deterministic-only deciders must reject it.
+TypeSpec nondet_coin_type(int ports);
+
+struct PortFlagLayout {
+  InvId touch() const { return 0; }
+  RespId zero() const { return 0; }
+  RespId one() const { return 1; }
+  RespId ok() const { return 2; }
+};
+
+/// A *non-oblivious* deterministic type for the Section 5.2 general case:
+/// `touch` on port 1 raises a flag (responding ok); `touch` on port 0 reports
+/// whether the flag is raised.  Ports >= 2 respond ok and change nothing.
+TypeSpec port_flag_type(int ports);
+
+/// A modulo-m counter whose `inc` returns the new value.  Deterministic,
+/// oblivious, non-trivial.
+TypeSpec mod_counter_type(int modulus, int ports);
+
+}  // namespace wfregs::zoo

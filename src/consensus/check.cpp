@@ -1,0 +1,123 @@
+#include "wfregs/consensus/check.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace wfregs::consensus {
+
+std::shared_ptr<System> consensus_scenario(
+    std::shared_ptr<const Implementation> impl,
+    const std::vector<int>& inputs) {
+  if (!impl) {
+    throw std::invalid_argument("consensus_scenario: null implementation");
+  }
+  const int n = impl->iface().ports();
+  if (static_cast<int>(inputs.size()) != n) {
+    throw std::invalid_argument(
+        "consensus_scenario: need one input per port");
+  }
+  auto sys = std::make_shared<System>(n);
+  std::vector<PortId> ports;
+  for (PortId p = 0; p < n; ++p) ports.push_back(p);
+  const ObjectId obj = sys->add_implemented(std::move(impl), ports);
+  for (ProcId p = 0; p < n; ++p) {
+    const int input = inputs[static_cast<std::size_t>(p)];
+    if (input != 0 && input != 1) {
+      throw std::invalid_argument("consensus_scenario: inputs are binary");
+    }
+    ProgramBuilder b;
+    b.invoke(0, lit(input), 0);  // propose(input) is invocation id `input`
+    b.ret(reg(0));
+    sys->set_toplevel(p, b.build("propose_p" + std::to_string(p)), {obj});
+  }
+  return sys;
+}
+
+ConsensusCheckResult check_consensus(
+    std::shared_ptr<const Implementation> impl, const ExploreLimits& limits) {
+  if (!impl) {
+    throw std::invalid_argument("check_consensus: null implementation");
+  }
+  const int n = impl->iface().ports();
+  if (n > 20) {
+    throw std::invalid_argument("check_consensus: too many ports");
+  }
+  ConsensusCheckResult result;
+  result.solves = true;
+  for (int vec = 0; vec < (1 << n); ++vec) {
+    std::vector<int> inputs;
+    for (int p = 0; p < n; ++p) inputs.push_back((vec >> p) & 1);
+    auto sys = consensus_scenario(impl, inputs);
+    const TerminalCheck check =
+        [&inputs, n](const Engine& e) -> std::optional<std::string> {
+      const Val decided = *e.result(0);
+      for (ProcId p = 1; p < n; ++p) {
+        if (*e.result(p) != decided) {
+          std::ostringstream out;
+          out << "agreement violated: process 0 decided " << decided
+              << " but process " << p << " decided " << *e.result(p);
+          return out.str();
+        }
+      }
+      if (std::ranges::find(inputs, static_cast<int>(decided)) ==
+          inputs.end()) {
+        std::ostringstream out;
+        out << "validity violated: decided " << decided
+            << " which nobody proposed";
+        return out.str();
+      }
+      return std::nullopt;
+    };
+    const Engine root{std::move(sys)};
+    const auto out = explore(root, limits, check);
+    result.wait_free = result.wait_free && out.wait_free;
+    result.complete = result.complete && out.complete;
+    result.configs += out.stats.configs;
+    result.terminals += out.stats.terminals;
+    result.depth = std::max(result.depth, out.stats.depth);
+    if (limits.track_access_bounds) {
+      if (result.max_accesses.size() < out.stats.max_accesses.size()) {
+        result.max_accesses.resize(out.stats.max_accesses.size(), 0);
+      }
+      for (std::size_t g = 0; g < out.stats.max_accesses.size(); ++g) {
+        result.max_accesses[g] =
+            std::max(result.max_accesses[g], out.stats.max_accesses[g]);
+      }
+      if (result.max_accesses_by_inv.size() <
+          out.stats.max_accesses_by_inv.size()) {
+        result.max_accesses_by_inv.resize(
+            out.stats.max_accesses_by_inv.size());
+      }
+      for (std::size_t g = 0; g < out.stats.max_accesses_by_inv.size();
+           ++g) {
+        auto& acc = result.max_accesses_by_inv[g];
+        const auto& cur = out.stats.max_accesses_by_inv[g];
+        if (acc.size() < cur.size()) acc.resize(cur.size(), 0);
+        for (std::size_t i = 0; i < cur.size(); ++i) {
+          acc[i] = std::max(acc[i], cur[i]);
+        }
+      }
+      result.per_root.push_back(out.stats);
+    }
+    if (out.violation && result.detail.empty()) {
+      std::ostringstream prefix;
+      prefix << "inputs (";
+      for (int p = 0; p < n; ++p) {
+        prefix << (p ? "," : "") << inputs[static_cast<std::size_t>(p)];
+      }
+      prefix << "): " << *out.violation;
+      result.detail = prefix.str();
+    }
+    if (out.violation || !out.wait_free || !out.complete) {
+      result.solves = false;
+      if (result.detail.empty()) {
+        result.detail = out.wait_free ? "exploration exceeded limits"
+                                      : "not wait-free (configuration cycle)";
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wfregs::consensus

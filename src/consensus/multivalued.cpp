@@ -1,0 +1,105 @@
+#include "wfregs/consensus/multivalued.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::consensus {
+
+std::shared_ptr<const Implementation> multivalued_from_binary(int values,
+                                                              int n) {
+  if (values < 2) {
+    throw std::invalid_argument("multivalued_from_binary: values >= 2");
+  }
+  if (n < 1) throw std::invalid_argument("multivalued_from_binary: n >= 1");
+  int bits = 0;
+  while ((1 << bits) < values) ++bits;
+
+  const zoo::MultiConsensusLayout iface_lay{values};
+  auto impl = std::make_shared<Implementation>(
+      "mv_consensus" + std::to_string(values) + "_from_binary",
+      std::make_shared<const TypeSpec>(zoo::multi_consensus_type(values, n)),
+      iface_lay.bottom());
+
+  std::vector<PortId> all_ports;
+  for (PortId p = 0; p < n; ++p) all_ports.push_back(p);
+
+  // announce[p]: MRSW register over values+1 values (the extra value is
+  // "nothing announced yet"), written by p, read by everyone else.
+  const int none = values;
+  const zoo::MrswRegisterLayout ann{values + 1, n > 1 ? n - 1 : 1};
+  const auto ann_spec = std::make_shared<const TypeSpec>(
+      zoo::mrsw_register_type(values + 1, n > 1 ? n - 1 : 1));
+  std::vector<int> announce;
+  for (int p = 0; p < n; ++p) {
+    std::vector<PortId> map(static_cast<std::size_t>(n), kNoPort);
+    for (int q = 0; q < n; ++q) {
+      if (q == p) {
+        map[static_cast<std::size_t>(q)] = ann.writer_port();
+      } else {
+        map[static_cast<std::size_t>(q)] = ann.reader_port(q < p ? q : q - 1);
+      }
+    }
+    announce.push_back(
+        impl->add_base(ann_spec, ann.state_of(none), std::move(map)));
+  }
+
+  // bit[j]: binary consensus deciding bit j of the final value, walked from
+  // the most significant bit down.
+  const zoo::ConsensusLayout bin;
+  const auto bin_spec =
+      std::make_shared<const TypeSpec>(zoo::consensus_type(n));
+  std::vector<int> bit;
+  for (int j = 0; j < bits; ++j) {
+    bit.push_back(impl->add_base(bin_spec, bin.bottom(), all_ports));
+  }
+
+  constexpr int kCand = 0;
+  constexpr int kBit = 1;
+  constexpr int kTmp = 2;
+  for (int p = 0; p < n; ++p) {
+    for (int v = 0; v < values; ++v) {
+      ProgramBuilder b;
+      b.invoke(announce[static_cast<std::size_t>(p)], lit(ann.write(v)),
+               kTmp);
+      b.assign(kCand, lit(v));
+      for (int j = bits - 1; j >= 0; --j) {
+        // Propose bit j of the current candidate.
+        b.invoke(bit[static_cast<std::size_t>(j)],
+                 (reg(kCand) / lit(1 << j)) % lit(2), kBit);
+        const Label keep = b.make_label();
+        b.branch_if((reg(kCand) / lit(1 << j)) % lit(2) == reg(kBit), keep);
+        // Adopt an announced value whose bits above AND AT position j match
+        // the decided prefix: target = (cand >> (j+1)) * 2 + decided_bit.
+        const int shift = 1 << j;
+        const Label adopted = b.make_label();
+        for (int q = 0; q < n; ++q) {
+          if (q == p) continue;
+          b.invoke(announce[static_cast<std::size_t>(q)], lit(ann.read()),
+                   kTmp);
+          const Label next_q = b.make_label();
+          b.branch_if(reg(kTmp) == lit(none), next_q);
+          b.branch_if(!(reg(kTmp) / lit(shift) ==
+                        (reg(kCand) / lit(2 * shift)) * lit(2) + reg(kBit)),
+                      next_q);
+          b.assign(kCand, reg(kTmp));
+          b.jump(adopted);
+          b.bind(next_q);
+        }
+        b.fail("multivalued consensus: no announced value matches the "
+               "decided prefix (impossible)");
+        b.bind(adopted);
+        b.bind(keep);
+      }
+      b.ret(reg(kCand));
+      impl->set_program(iface_lay.propose(v), p,
+                        b.build("mv_propose" + std::to_string(v) + "_p" +
+                                std::to_string(p)));
+    }
+  }
+  return impl;
+}
+
+}  // namespace wfregs::consensus

@@ -1,0 +1,200 @@
+#include "wfregs/consensus/power.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace wfregs::consensus {
+
+namespace {
+
+struct Action {
+  bool decide = false;
+  int value = 0;  // decided value
+  int object = 0;
+  InvId inv = 0;
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+using View = std::tuple<int, int, std::vector<RespId>>;  // proc, input, hist
+
+struct Cfg {
+  std::vector<StateId> states;
+  int input[2] = {0, 0};
+  std::vector<RespId> hist[2];
+  int decided[2] = {-1, -1};
+
+  bool terminal() const { return decided[0] >= 0 && decided[1] >= 0; }
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const std::vector<SynthesisObject>& objects, int max_ops,
+              std::size_t node_cap)
+      : objects_(objects), max_ops_(max_ops), node_cap_(node_cap) {
+    for (const auto& obj : objects_) {
+      if (!obj.spec) {
+        throw std::invalid_argument("synthesize_two_consensus: null spec");
+      }
+      for (int p = 0; p < 2; ++p) {
+        const PortId port = obj.port_of_process.empty()
+                                ? p
+                                : obj.port_of_process[static_cast<
+                                      std::size_t>(p)];
+        if (port < 0 || port >= obj.spec->ports()) {
+          throw std::invalid_argument(
+              "synthesize_two_consensus: object lacks a port for process " +
+              std::to_string(p));
+        }
+      }
+    }
+    // Candidate actions: invocations first (real protocols communicate
+    // before deciding), then the two decides.
+    for (std::size_t k = 0; k < objects_.size(); ++k) {
+      for (InvId i = 0; i < objects_[k].spec->num_invocations(); ++i) {
+        candidates_.push_back(Action{false, 0, static_cast<int>(k), i});
+      }
+    }
+    candidates_.push_back(Action{true, 0, 0, 0});
+    candidates_.push_back(Action{true, 1, 0, 0});
+  }
+
+  SynthesisResult run() {
+    Cfg base;
+    for (const auto& obj : objects_) base.states.push_back(obj.initial);
+    std::vector<Cfg> obligations;
+    for (int in0 = 0; in0 < 2; ++in0) {
+      for (int in1 = 0; in1 < 2; ++in1) {
+        Cfg cfg = base;
+        cfg.input[0] = in0;
+        cfg.input[1] = in1;
+        obligations.push_back(std::move(cfg));
+      }
+    }
+    SynthesisResult result;
+    if (!within_cap_) {
+      result.verdict = SynthesisVerdict::kUnknown;
+      return result;
+    }
+    const bool ok = solve(obligations);
+    result.nodes = nodes_;
+    result.verdict = !within_cap_ ? SynthesisVerdict::kUnknown
+                     : ok         ? SynthesisVerdict::kSolvable
+                                  : SynthesisVerdict::kUnsolvable;
+    return result;
+  }
+
+ private:
+  PortId port_of(int object, int p) const {
+    const auto& obj = objects_[static_cast<std::size_t>(object)];
+    return obj.port_of_process.empty()
+               ? p
+               : obj.port_of_process[static_cast<std::size_t>(p)];
+  }
+
+  /// Discharges every obligation on the list; each terminal must satisfy
+  /// agreement + validity, each non-terminal must survive every adversary
+  /// move of every undecided process.
+  bool solve(std::vector<Cfg>& obligations) {
+    if (++nodes_ > node_cap_) {
+      within_cap_ = false;
+      return false;
+    }
+    if (obligations.empty()) return true;
+    Cfg cfg = std::move(obligations.back());
+    obligations.pop_back();
+    bool ok;
+    if (cfg.terminal()) {
+      ok = cfg.decided[0] == cfg.decided[1] &&
+           (cfg.decided[0] == cfg.input[0] ||
+            cfg.decided[0] == cfg.input[1]) &&
+           solve(obligations);
+    } else {
+      ok = expand(cfg, 0, obligations);
+    }
+    // Restore the caller's list so backtracking above us sees it unchanged.
+    obligations.push_back(std::move(cfg));
+    return ok;
+  }
+
+  /// Queues the successor obligations for every undecided process starting
+  /// from index `p`, branching over unassigned strategy entries.
+  bool expand(const Cfg& cfg, int p, std::vector<Cfg>& obligations) {
+    if (p == 2) return solve(obligations);
+    if (cfg.decided[p] >= 0) return expand(cfg, p + 1, obligations);
+    const View view{p, cfg.input[p], cfg.hist[p]};
+    if (const auto it = strategy_.find(view); it != strategy_.end()) {
+      return apply_and_continue(cfg, p, it->second, obligations);
+    }
+    const bool may_invoke =
+        static_cast<int>(cfg.hist[p].size()) < max_ops_;
+    // Pruning: a blind decide (before any invocation) can never be part of
+    // a correct protocol when invocations are allowed.  If p decides at an
+    // empty history, the other process running solo-first observes identical
+    // clean objects whatever p's input is, so its (deterministic) decision
+    // cannot track p's input -- and validity on the unanimous vectors then
+    // forces a contradiction.
+    const bool blind = may_invoke && cfg.hist[p].empty();
+    for (const Action& a : candidates_) {
+      if (!a.decide && !may_invoke) continue;
+      if (a.decide && blind) continue;
+      strategy_.emplace(view, a);
+      const bool ok = apply_and_continue(cfg, p, a, obligations);
+      if (ok) return true;
+      strategy_.erase(view);
+      if (!within_cap_) return false;
+    }
+    return false;
+  }
+
+  bool apply_and_continue(const Cfg& cfg, int p, const Action& a,
+                          std::vector<Cfg>& obligations) {
+    if (a.decide) {
+      Cfg child = cfg;
+      child.decided[p] = a.value;
+      obligations.push_back(std::move(child));
+      const bool ok = expand(cfg, p + 1, obligations);
+      obligations.pop_back();
+      return ok;
+    }
+    const auto& obj = objects_[static_cast<std::size_t>(a.object)];
+    const auto set = obj.spec->delta(
+        cfg.states[static_cast<std::size_t>(a.object)], port_of(a.object, p),
+        a.inv);
+    // Every nondeterministic outcome becomes an obligation.
+    std::size_t pushed = 0;
+    for (const Transition& t : set) {
+      Cfg child = cfg;
+      child.states[static_cast<std::size_t>(a.object)] = t.next;
+      child.hist[p].push_back(t.resp);
+      obligations.push_back(std::move(child));
+      ++pushed;
+    }
+    const bool ok = expand(cfg, p + 1, obligations);
+    for (std::size_t k = 0; k < pushed; ++k) obligations.pop_back();
+    return ok;
+  }
+
+  const std::vector<SynthesisObject>& objects_;
+  int max_ops_;
+  std::size_t node_cap_;
+  std::size_t nodes_ = 0;
+  bool within_cap_ = true;
+  std::vector<Action> candidates_;
+  std::map<View, Action> strategy_;
+};
+
+}  // namespace
+
+SynthesisResult synthesize_two_consensus(
+    const std::vector<SynthesisObject>& objects, int max_ops,
+    std::size_t node_cap) {
+  if (max_ops < 0) {
+    throw std::invalid_argument("synthesize_two_consensus: max_ops >= 0");
+  }
+  Synthesizer synth(objects, max_ops, node_cap);
+  return synth.run();
+}
+
+}  // namespace wfregs::consensus

@@ -1,0 +1,277 @@
+#include "wfregs/consensus/protocols.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::consensus {
+
+namespace {
+
+std::shared_ptr<const TypeSpec> share(TypeSpec t) {
+  return std::make_shared<const TypeSpec>(std::move(t));
+}
+
+std::shared_ptr<Implementation> new_consensus_impl(const std::string& name,
+                                                   int n) {
+  const zoo::ConsensusLayout lay;
+  return std::make_shared<Implementation>(
+      name, share(zoo::consensus_type(n)), lay.bottom());
+}
+
+/// Adds the two SRSW "input announcement" bits used by the 2-process
+/// protocols: bit[p] is written by port p and read by port 1-p.
+std::array<int, 2> add_announce_bits(Implementation& impl) {
+  const auto bit_spec = share(zoo::srsw_bit_type());
+  std::array<int, 2> bits{};
+  for (int p = 0; p < 2; ++p) {
+    std::vector<PortId> map(2, kNoPort);
+    map[static_cast<std::size_t>(p)] = zoo::SrswRegisterLayout::writer_port();
+    map[static_cast<std::size_t>(1 - p)] =
+        zoo::SrswRegisterLayout::reader_port();
+    bits[static_cast<std::size_t>(p)] =
+        impl.add_base(bit_spec, 0, std::move(map));
+  }
+  return bits;
+}
+
+/// Shared scaffold for the 2-process "publish, race, winner takes own /
+/// loser reads other" protocols.  `racer_slot` is the racing object's slot;
+/// `race_inv` its invocation; the racer's response equals `win_resp` exactly
+/// for the first arriver.
+void install_publish_race_programs(Implementation& impl,
+                                   const std::array<int, 2>& bits,
+                                   int racer_slot, InvId race_inv,
+                                   Val win_resp) {
+  const zoo::SrswRegisterLayout bit{2};
+  constexpr int kRace = 0;
+  constexpr int kOther = 1;
+  constexpr int kTmp = 2;
+  for (int p = 0; p < 2; ++p) {
+    for (int v = 0; v < 2; ++v) {
+      ProgramBuilder b;
+      b.invoke(bits[static_cast<std::size_t>(p)], lit(bit.write(v)), kTmp);
+      b.invoke(racer_slot, lit(race_inv), kRace);
+      const Label lost = b.make_label();
+      b.branch_if(!(reg(kRace) == lit(win_resp)), lost);
+      b.ret(lit(v));  // winner decides its own value
+      b.bind(lost);
+      b.invoke(bits[static_cast<std::size_t>(1 - p)], lit(bit.read()),
+               kOther);
+      b.ret(reg(kOther));  // loser adopts the winner's published value
+      impl.set_program(v, p,
+                       b.build("propose" + std::to_string(v) + "_p" +
+                               std::to_string(p)));
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const Implementation> from_test_and_set() {
+  auto impl = new_consensus_impl("consensus_from_test_and_set", 2);
+  const auto bits = add_announce_bits(*impl);
+  const zoo::TestAndSetLayout tas;
+  const int racer =
+      impl->add_base(share(zoo::test_and_set_type(2)), 0, {0, 1});
+  install_publish_race_programs(*impl, bits, racer, tas.test_and_set(),
+                                tas.old_value(0));
+  return impl;
+}
+
+std::shared_ptr<const Implementation> from_queue() {
+  auto impl = new_consensus_impl("consensus_from_queue", 2);
+  const auto bits = add_announce_bits(*impl);
+  const zoo::QueueLayout q{2, 2};
+  // Pre-loaded with [winner-token 0, loser-token 1].
+  const std::array<int, 2> preload{0, 1};
+  const int racer = impl->add_base(share(zoo::queue_type(2, 2, 2)),
+                                   q.state_of(preload), {0, 1});
+  install_publish_race_programs(*impl, bits, racer, q.dequeue(),
+                                q.front_value(0));
+  return impl;
+}
+
+std::shared_ptr<const Implementation> from_fetch_and_add() {
+  auto impl = new_consensus_impl("consensus_from_fetch_and_add", 2);
+  const auto bits = add_announce_bits(*impl);
+  const zoo::FetchAndAddLayout faa{2};
+  const int racer =
+      impl->add_base(share(zoo::fetch_and_add_type(2, 2)), 0, {0, 1});
+  install_publish_race_programs(*impl, bits, racer, faa.fetch_and_add(),
+                                faa.old_value(0));
+  return impl;
+}
+
+std::shared_ptr<const Implementation> from_cas(int n) {
+  if (n < 1) throw std::invalid_argument("from_cas: need n >= 1");
+  auto impl = new_consensus_impl("consensus_from_cas_n" + std::to_string(n),
+                                 n);
+  // Values {0, 1, 2}; 2 is the initial "bottom".
+  const zoo::CasLayout cas{3};
+  std::vector<PortId> all_ports;
+  for (PortId p = 0; p < n; ++p) all_ports.push_back(p);
+  const int obj = impl->add_base(share(zoo::cas_type(3, n)), 2, all_ports);
+  constexpr int kRes = 0;
+  constexpr int kRead = 1;
+  for (int v = 0; v < 2; ++v) {
+    ProgramBuilder b;
+    b.invoke(obj, lit(cas.cas(2, v)), kRes);
+    const Label lost = b.make_label();
+    b.branch_if(!(reg(kRes) == lit(cas.success())), lost);
+    b.ret(lit(v));
+    b.bind(lost);
+    b.invoke(obj, lit(cas.read()), kRead);
+    b.ret(reg(kRead));
+    impl->set_program_all_ports(v, b.build("cas_propose" +
+                                           std::to_string(v)));
+  }
+  return impl;
+}
+
+std::shared_ptr<const Implementation> from_sticky_bit(int n) {
+  if (n < 1) throw std::invalid_argument("from_sticky_bit: need n >= 1");
+  auto impl = new_consensus_impl(
+      "consensus_from_sticky_n" + std::to_string(n), n);
+  const zoo::StickyBitLayout sticky;
+  std::vector<PortId> all_ports;
+  for (PortId p = 0; p < n; ++p) all_ports.push_back(p);
+  const int obj = impl->add_base(share(zoo::sticky_bit_type(n)),
+                                 sticky.bottom_state(), all_ports);
+  for (int v = 0; v < 2; ++v) {
+    // jam(v) responds with whatever value is stuck -- decide exactly that.
+    ProgramBuilder b;
+    b.invoke(obj, lit(sticky.jam(v)), 0);
+    b.ret(reg(0));
+    impl->set_program_all_ports(v,
+                                b.build("jam_propose" + std::to_string(v)));
+  }
+  return impl;
+}
+
+std::shared_ptr<const Implementation> from_consensus_object(int n) {
+  if (n < 1) throw std::invalid_argument("from_consensus_object: n >= 1");
+  auto impl = new_consensus_impl(
+      "consensus_from_consensus_n" + std::to_string(n), n);
+  const zoo::ConsensusLayout lay;
+  std::vector<PortId> all_ports;
+  for (PortId p = 0; p < n; ++p) all_ports.push_back(p);
+  const int obj = impl->add_base(share(zoo::consensus_type(n)),
+                                 lay.bottom(), all_ports);
+  for (int v = 0; v < 2; ++v) {
+    ProgramBuilder b;
+    b.invoke(obj, lit(lay.propose(v)), 0);
+    b.ret(reg(0));
+    impl->set_program_all_ports(v, b.build("fwd_propose" +
+                                           std::to_string(v)));
+  }
+  return impl;
+}
+
+std::shared_ptr<const Implementation> from_cas_ids(int n) {
+  if (n < 2) throw std::invalid_argument("from_cas_ids: need n >= 2");
+  auto impl = new_consensus_impl(
+      "consensus_from_cas_ids_n" + std::to_string(n), n);
+  const zoo::MrswRegisterLayout lay{2, n - 1};
+  const auto reg_spec = share(zoo::mrsw_register_type(2, n - 1));
+  // reg[p]: written by p, read by everyone else.
+  std::vector<int> regs;
+  for (int p = 0; p < n; ++p) {
+    std::vector<PortId> map(static_cast<std::size_t>(n), kNoPort);
+    for (int q = 0; q < n; ++q) {
+      map[static_cast<std::size_t>(q)] =
+          q == p ? lay.writer_port() : lay.reader_port(q < p ? q : q - 1);
+    }
+    regs.push_back(impl->add_base(reg_spec, lay.state_of(0), std::move(map)));
+  }
+  // CAS over {0..n-1, bottom=n}, deciding the winning process id.
+  const zoo::CasLayout cas{n + 1};
+  std::vector<PortId> all_ports;
+  for (PortId p = 0; p < n; ++p) all_ports.push_back(p);
+  const int obj = impl->add_base(share(zoo::cas_type(n + 1, n)), n,
+                                 all_ports);
+  constexpr int kRes = 0;
+  constexpr int kWin = 1;
+  constexpr int kVal = 2;
+  for (int p = 0; p < n; ++p) {
+    for (int v = 0; v < 2; ++v) {
+      ProgramBuilder b;
+      b.invoke(regs[static_cast<std::size_t>(p)], lit(lay.write(v)), kRes);
+      b.invoke(obj, lit(cas.cas(n, p)), kRes);
+      const Label lost = b.make_label();
+      b.branch_if(!(reg(kRes) == lit(cas.success())), lost);
+      b.ret(lit(v));
+      b.bind(lost);
+      b.invoke(obj, lit(cas.read()), kWin);
+      // Read the winner's register: branch over the n-1 possible winners.
+      const Label bad = b.make_label();
+      std::vector<Label> cases;
+      for (int w = 0; w < n; ++w) cases.push_back(b.make_label());
+      for (int w = 0; w < n; ++w) {
+        b.branch_if(reg(kWin) == lit(w), cases[static_cast<std::size_t>(w)]);
+      }
+      b.jump(bad);
+      for (int w = 0; w < n; ++w) {
+        b.bind(cases[static_cast<std::size_t>(w)]);
+        if (w == p) {
+          b.ret(lit(v));  // we won after all (cannot happen after a failed
+                          // cas, but keeps the program total)
+        } else {
+          b.invoke(regs[static_cast<std::size_t>(w)], lit(lay.read()), kVal);
+          b.ret(reg(kVal));
+        }
+      }
+      b.bind(bad);
+      b.fail("cas_ids: winner id out of range");
+      impl->set_program(v, p,
+                        b.build("cas_ids_propose" + std::to_string(v) +
+                                "_p" + std::to_string(p)));
+    }
+  }
+  return impl;
+}
+
+std::shared_ptr<const Implementation> registers_only_attempt(int n) {
+  if (n < 2) throw std::invalid_argument("registers_only_attempt: n >= 2");
+  auto impl = new_consensus_impl(
+      "registers_only_attempt_n" + std::to_string(n), n);
+  // 3-valued MRSW registers; value 2 is "not yet announced".
+  const zoo::MrswRegisterLayout lay{3, n - 1};
+  const auto reg_spec = share(zoo::mrsw_register_type(3, n - 1));
+  std::vector<int> regs;
+  for (int p = 0; p < n; ++p) {
+    std::vector<PortId> map(static_cast<std::size_t>(n), kNoPort);
+    for (int q = 0; q < n; ++q) {
+      map[static_cast<std::size_t>(q)] =
+          q == p ? lay.writer_port() : lay.reader_port(q < p ? q : q - 1);
+    }
+    regs.push_back(impl->add_base(reg_spec, lay.state_of(2), std::move(map)));
+  }
+  constexpr int kMin = 0;
+  constexpr int kTmp = 1;
+  for (int p = 0; p < n; ++p) {
+    for (int v = 0; v < 2; ++v) {
+      ProgramBuilder b;
+      b.invoke(regs[static_cast<std::size_t>(p)], lit(lay.write(v)), kTmp);
+      b.assign(kMin, lit(v));
+      for (int q = 0; q < n; ++q) {
+        if (q == p) continue;
+        b.invoke(regs[static_cast<std::size_t>(q)], lit(lay.read()), kTmp);
+        const Label keep = b.make_label();
+        b.branch_if(!(reg(kTmp) < reg(kMin)), keep);
+        b.assign(kMin, reg(kTmp));
+        b.bind(keep);
+      }
+      b.ret(reg(kMin));
+      impl->set_program(v, p,
+                        b.build("minrace_propose" + std::to_string(v) +
+                                "_p" + std::to_string(p)));
+    }
+  }
+  return impl;
+}
+
+}  // namespace wfregs::consensus

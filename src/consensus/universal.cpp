@@ -1,0 +1,125 @@
+#include "wfregs/consensus/universal.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wfregs/consensus/multivalued.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::consensus {
+
+SlotFactory binary_slot_factory() {
+  return [](int values, int n) { return multivalued_from_binary(values, n); };
+}
+
+std::shared_ptr<const Implementation> universal_implementation(
+    const TypeSpec& type, StateId initial, int log_length,
+    const SlotFactory& slot_factory) {
+  if (!type.is_deterministic()) {
+    throw std::invalid_argument(
+        "universal_implementation: the replayed type must be deterministic");
+  }
+  if (initial < 0 || initial >= type.num_states()) {
+    throw std::out_of_range("universal_implementation: bad initial state");
+  }
+  if (log_length < 1) {
+    throw std::invalid_argument("universal_implementation: log_length >= 1");
+  }
+  const int n = type.ports();
+  const int num_invs = type.num_invocations();
+  const int descriptors = n * num_invs;  // (port, invocation) pairs
+  const zoo::MultiConsensusLayout slot_lay{descriptors};
+
+  auto impl = std::make_shared<Implementation>(
+      "universal_" + type.name() + "_L" + std::to_string(log_length),
+      std::make_shared<const TypeSpec>(type), initial);
+
+  std::vector<PortId> all_ports;
+  for (PortId p = 0; p < n; ++p) all_ports.push_back(p);
+  const auto slot_spec = std::make_shared<const TypeSpec>(
+      zoo::multi_consensus_type(descriptors, n));
+  std::vector<int> slots;
+  for (int k = 0; k < log_length; ++k) {
+    if (slot_factory) {
+      slots.push_back(
+          impl->add_nested(slot_factory(descriptors, n), all_ports));
+    } else {
+      slots.push_back(
+          impl->add_base(slot_spec, slot_lay.bottom(), all_ports));
+    }
+  }
+
+  // Persistent per port: r0 = replica state of `type`, r1 = log position.
+  impl->set_persistent({initial, 0});
+  constexpr int kReplica = 0;
+  constexpr int kPos = 1;
+  constexpr int kDecided = 2;
+
+  for (PortId p = 0; p < n; ++p) {
+    for (InvId i = 0; i < num_invs; ++i) {
+      const int own = static_cast<int>(p) * num_invs + static_cast<int>(i);
+      ProgramBuilder b;
+      const Label loop = b.bind_here();
+      // Dispatch the propose on the runtime log position.
+      const Label have_decided = b.make_label();
+      std::vector<Label> at;
+      for (int k = 0; k < log_length; ++k) at.push_back(b.make_label());
+      for (int k = 0; k < log_length; ++k) {
+        b.branch_if(reg(kPos) == lit(k), at[static_cast<std::size_t>(k)]);
+      }
+      b.fail("universal construction: log of length " +
+             std::to_string(log_length) + " exhausted");
+      for (int k = 0; k < log_length; ++k) {
+        b.bind(at[static_cast<std::size_t>(k)]);
+        b.invoke(slots[static_cast<std::size_t>(k)],
+                 lit(slot_lay.propose(own)), kDecided);
+        b.jump(have_decided);
+      }
+      b.bind(have_decided);
+      b.assign(kPos, reg(kPos) + lit(1));
+      // Replay the decided descriptor against delta: dispatch on
+      // (replica state, descriptor).
+      const Label next_round = b.make_label();
+      std::vector<Label> st;
+      for (StateId q = 0; q < type.num_states(); ++q) {
+        st.push_back(b.make_label());
+      }
+      for (StateId q = 0; q < type.num_states(); ++q) {
+        b.branch_if(reg(kReplica) == lit(q),
+                    st[static_cast<std::size_t>(q)]);
+      }
+      b.fail("universal construction: replica state out of range");
+      for (StateId q = 0; q < type.num_states(); ++q) {
+        b.bind(st[static_cast<std::size_t>(q)]);
+        std::vector<Label> ds;
+        for (int d = 0; d < descriptors; ++d) ds.push_back(b.make_label());
+        for (int d = 0; d < descriptors; ++d) {
+          b.branch_if(reg(kDecided) == lit(d),
+                      ds[static_cast<std::size_t>(d)]);
+        }
+        b.fail("universal construction: descriptor out of range");
+        for (int d = 0; d < descriptors; ++d) {
+          b.bind(ds[static_cast<std::size_t>(d)]);
+          const PortId dp = static_cast<PortId>(d / num_invs);
+          const InvId di = static_cast<InvId>(d % num_invs);
+          const Transition t = type.delta_det(q, dp, di);
+          b.assign(kReplica, lit(t.next));
+          if (d == own) {
+            b.ret(lit(t.resp));  // our operation landed here
+          } else {
+            b.jump(next_round);
+          }
+        }
+      }
+      b.bind(next_round);
+      b.jump(loop);
+      impl->set_program(i, p,
+                        b.build("universal_" + type.invocation_name(i) +
+                                "_p" + std::to_string(p)));
+    }
+  }
+  return impl;
+}
+
+}  // namespace wfregs::consensus

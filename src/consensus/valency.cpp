@@ -1,0 +1,102 @@
+#include "wfregs/consensus/valency.hpp"
+
+#include <unordered_map>
+
+namespace wfregs::consensus {
+
+namespace {
+
+constexpr unsigned kZero = 1u;
+constexpr unsigned kOne = 2u;
+
+class ValencyImpl {
+ public:
+  explicit ValencyImpl(std::size_t max_configs)
+      : max_configs_(max_configs) {}
+
+  ValencyReport run(const Engine& root) {
+    const unsigned v = valence(root);
+    tally(root, v);
+    report_.initial_bivalent = (v == (kZero | kOne));
+    report_.configs = memo_.size();
+    return report_;
+  }
+
+ private:
+  /// Bitmask of decided values reachable from `e`.
+  unsigned valence(const Engine& e) {
+    const ConfigKey key = e.config_key();
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      return it->second;
+    }
+    if (memo_.size() >= max_configs_) {
+      report_.complete = false;
+      return 0;
+    }
+    unsigned v = 0;
+    if (e.all_done()) {
+      bool agree = true;
+      const Val first = *e.result(0);
+      for (ProcId p = 1; p < e.system().num_processes(); ++p) {
+        if (*e.result(p) != first) agree = false;
+      }
+      if (!agree) report_.agreement_holds = false;
+      for (ProcId p = 0; p < e.system().num_processes(); ++p) {
+        v |= (*e.result(p) == 0 ? kZero : kOne);
+      }
+    } else {
+      bool all_children_univalent = true;
+      for (const ProcId p : e.runnable()) {
+        const int width = e.pending_choices(p);
+        for (int c = 0; c < width; ++c) {
+          Engine child = e;
+          child.commit(p, c);
+          const unsigned cv = valence(child);
+          tally(child, cv);
+          v |= cv;
+          if (cv == (kZero | kOne)) all_children_univalent = false;
+        }
+      }
+      if (v == (kZero | kOne) && all_children_univalent) {
+        ++report_.critical;
+        if (report_.critical_object_type.empty()) {
+          // At a critical configuration, the pending accesses decide the
+          // outcome; report the type of the object the first runnable
+          // process is about to touch (Herlihy's "deciding object").
+          const ObjectId g = e.pending_object(e.runnable().front());
+          report_.critical_object_type = e.system().base(g).spec->name();
+        }
+      }
+    }
+    memo_.emplace(key, v);
+    return v;
+  }
+
+  /// Counts each configuration once, by its valence.
+  void tally(const Engine& e, unsigned v) {
+    const ConfigKey key = e.config_key();
+    if (tallied_.contains(key)) return;
+    tallied_.emplace(key, true);
+    if (v == kZero) {
+      ++report_.zero_valent;
+    } else if (v == kOne) {
+      ++report_.one_valent;
+    } else if (v == (kZero | kOne)) {
+      ++report_.bivalent;
+    }
+  }
+
+  std::size_t max_configs_;
+  ValencyReport report_;
+  std::unordered_map<ConfigKey, unsigned, ConfigKeyHash> memo_;
+  std::unordered_map<ConfigKey, bool, ConfigKeyHash> tallied_;
+};
+
+}  // namespace
+
+ValencyReport valency_analysis(const Engine& root, std::size_t max_configs) {
+  ValencyImpl impl(max_configs);
+  return impl.run(root);
+}
+
+}  // namespace wfregs::consensus

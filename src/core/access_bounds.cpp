@@ -1,0 +1,74 @@
+#include "wfregs/core/access_bounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wfregs/consensus/check.hpp"
+
+namespace wfregs::core {
+
+const ObjectBound& AccessBounds::at(std::span<const int> path) const {
+  for (const ObjectBound& b : per_object) {
+    if (std::ranges::equal(b.path, path)) return b;
+  }
+  throw std::out_of_range("AccessBounds::at: no bound recorded for path");
+}
+
+AccessBounds compute_access_bounds(std::shared_ptr<const Implementation> impl,
+                                   ExploreLimits limits) {
+  if (!impl) {
+    throw std::invalid_argument("compute_access_bounds: null impl");
+  }
+  limits.track_access_bounds = true;
+  const auto check = consensus::check_consensus(impl, limits);
+
+  AccessBounds bounds;
+  bounds.wait_free = check.wait_free;
+  bounds.complete = check.complete;
+  bounds.solves = check.solves;
+  bounds.detail = check.detail;
+  bounds.depth = check.depth;
+  bounds.configs = check.configs;
+
+  // Map the per-gid access maxima back to declaration paths via a scenario
+  // system (object ids are deterministic, so any input vector works).
+  const int n = impl->iface().ports();
+  const auto sys = consensus::consensus_scenario(
+      impl, std::vector<int>(static_cast<std::size_t>(n), 0));
+  for (ObjectId g = 0; g < sys->num_objects(); ++g) {
+    if (!sys->is_base(g)) continue;
+    ObjectBound b;
+    b.path = sys->placement(g).path;
+    b.type_name = sys->base(g).spec->name();
+    if (g < static_cast<ObjectId>(check.max_accesses.size())) {
+      b.max_accesses = check.max_accesses[static_cast<std::size_t>(g)];
+    }
+    if (g < static_cast<ObjectId>(check.max_accesses_by_inv.size())) {
+      b.max_by_inv = check.max_accesses_by_inv[static_cast<std::size_t>(g)];
+    }
+    // r_b / w_b: aggregate reads (invocation 0) and writes (the rest)
+    // WITHIN each execution tree, then maximize across trees -- writes of
+    // different values under different input vectors are the same write.
+    for (const auto& root : check.per_root) {
+      if (g >= static_cast<ObjectId>(root.max_accesses_by_inv.size())) {
+        continue;
+      }
+      const auto& per = root.max_accesses_by_inv[static_cast<std::size_t>(g)];
+      if (per.empty()) continue;
+      std::size_t writes = 0;
+      for (std::size_t i = 1; i < per.size(); ++i) writes += per[i];
+      const std::size_t total =
+          root.max_accesses[static_cast<std::size_t>(g)];
+      b.read_bound = std::max(b.read_bound, std::min(per[0], total));
+      b.write_bound = std::max(b.write_bound, std::min(writes, total));
+    }
+    if (check.per_root.empty()) {
+      b.read_bound = b.max_accesses;
+      b.write_bound = b.max_accesses;
+    }
+    bounds.per_object.push_back(std::move(b));
+  }
+  return bounds;
+}
+
+}  // namespace wfregs::core

@@ -1,0 +1,166 @@
+#include "wfregs/core/bounded_register.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::core {
+
+int oneuse_bits_needed(int max_reads, int max_writes) {
+  if (max_reads < 0 || max_writes < 0) {
+    throw std::invalid_argument("oneuse_bits_needed: bounds must be >= 0");
+  }
+  return max_reads * (max_writes + 1);
+}
+
+std::shared_ptr<const Implementation> bounded_bit_from_oneuse(
+    int max_reads, int max_writes, int initial_value,
+    const OneUseFactory& factory) {
+  if (initial_value != 0 && initial_value != 1) {
+    throw std::out_of_range("bounded_bit_from_oneuse: initial must be 0/1");
+  }
+  const int r_b = max_reads;
+  const int w_b = max_writes;
+  if (r_b < 0 || w_b < 0) {
+    throw std::invalid_argument("bounded_bit_from_oneuse: bounds >= 0");
+  }
+  const zoo::SrswRegisterLayout iface_lay{2};
+  const zoo::OneUseBitLayout oub;
+
+  auto impl = std::make_shared<Implementation>(
+      "bounded_bit_r" + std::to_string(r_b) + "_w" + std::to_string(w_b),
+      std::make_shared<const TypeSpec>(zoo::srsw_bit_type()),
+      iface_lay.state_of(initial_value));
+
+  // One-use bit [row i][column j], 1-indexed like the paper; port 0 of each
+  // bit goes to the outer reader, port 1 to the outer writer.
+  const auto oub_spec =
+      std::make_shared<const TypeSpec>(zoo::one_use_bit_type());
+  const std::vector<PortId> orientation{0, 1};
+  // bits[(i-1) * r_b + (j-1)] is the slot of bits[i, j].
+  std::vector<int> bits;
+  for (int i = 1; i <= w_b + 1; ++i) {
+    for (int j = 1; j <= r_b; ++j) {
+      if (factory) {
+        bits.push_back(impl->add_nested(factory(), orientation));
+      } else {
+        bits.push_back(impl->add_base(oub_spec, oub.unset(), orientation));
+      }
+    }
+  }
+  const auto slot_of = [&](int i, int j) {
+    return bits[static_cast<std::size_t>((i - 1) * r_b + (j - 1))];
+  };
+
+  // Persistent locals (registers 0 and 1 of every frame):
+  //   reader port: r0 = i_r, r1 = j_r       (both initially 1)
+  //   writer port: r0 = i_w, r1 = cur value
+  // The shared initial {1, 1} works for the writer because `cur` is only
+  // compared against the written value -- we re-initialize it per program
+  // via the first write's semantics below.
+  impl->set_persistent({1, 1});
+  constexpr int kI = 0;  // i_r on the reader, i_w on the writer
+  constexpr int kJ = 1;  // j_r on the reader, cur on the writer
+  constexpr int kT = 2;
+
+  // Writer persistent slot 1 starts at 1, but `cur` must start at
+  // initial_value; encode cur as (stored - 1) ... avoid cleverness: store
+  // cur+1 so that the initial persistent value 1 decodes to cur = 0.  That
+  // only matches initial_value == 0; for initial_value == 1 we flip the
+  // comparison.  Simplest correct scheme: store `changes so far` parity is
+  // already i_w; cur == (initial + i_w - 1) mod 2, so no separate cur
+  // variable is needed at all.
+  //
+  // ---- write(x), writer port -----------------------------------------------
+  for (int x = 0; x < 2; ++x) {
+    ProgramBuilder b;
+    // Current value is determined by the write count: (v + i_w - 1) mod 2.
+    const Label do_flip = b.make_label();
+    b.branch_if(!((lit(initial_value) + reg(kI) - lit(1)) % lit(2) ==
+                  lit(x)),
+                do_flip);
+    b.ret(lit(iface_lay.ok()));  // same value: write-on-change elides it
+    b.bind(do_flip);
+    const Label in_range = b.make_label();
+    b.branch_if(reg(kI) <= lit(w_b), in_range);
+    b.fail("bounded bit: more than w_b = " + std::to_string(w_b) +
+           " value-changing writes");
+    b.bind(in_range);
+    // Flip every bit in row i_w (dispatch on the runtime row index).
+    const Label done = b.make_label();
+    std::vector<Label> rows;
+    for (int i = 1; i <= w_b; ++i) rows.push_back(b.make_label());
+    for (int i = 1; i <= w_b; ++i) {
+      b.branch_if(reg(kI) == lit(i), rows[static_cast<std::size_t>(i - 1)]);
+    }
+    b.fail("bounded bit: writer row out of range");
+    for (int i = 1; i <= w_b; ++i) {
+      b.bind(rows[static_cast<std::size_t>(i - 1)]);
+      for (int j = 1; j <= r_b; ++j) {
+        b.invoke(slot_of(i, j), lit(oub.write()), kT);
+      }
+      b.jump(done);
+    }
+    b.bind(done);
+    b.assign(kI, reg(kI) + lit(1));
+    b.ret(lit(iface_lay.ok()));
+    impl->set_program(iface_lay.write(x),
+                      zoo::SrswRegisterLayout::writer_port(),
+                      b.build("bounded_bit_write" + std::to_string(x)));
+  }
+
+  // ---- read(), reader port ----------------------------------------------------
+  {
+    ProgramBuilder b;
+    const Label in_range = b.make_label();
+    b.branch_if(reg(kJ) <= lit(r_b), in_range);
+    b.fail("bounded bit: more than r_b = " + std::to_string(r_b) + " reads");
+    b.bind(in_range);
+    // while bits[i_r, j_r] = 1 do i_r := i_r + 1
+    const Label loop = b.bind_here();
+    const Label after = b.make_label();
+    if (r_b > 0) {
+      std::vector<Label> cells;
+      for (int i = 1; i <= w_b + 1; ++i) {
+        for (int j = 1; j <= r_b; ++j) cells.push_back(b.make_label());
+      }
+      const auto cell_label = [&](int i, int j) -> Label {
+        return cells[static_cast<std::size_t>((i - 1) * r_b + (j - 1))];
+      };
+      const Label check = b.make_label();
+      for (int i = 1; i <= w_b + 1; ++i) {
+        for (int j = 1; j <= r_b; ++j) {
+          b.branch_if(reg(kI) == lit(i) && reg(kJ) == lit(j),
+                      cell_label(i, j));
+        }
+      }
+      b.fail("bounded bit: reader ran past row w_b + 1 (impossible when "
+             "writes respect their bound)");
+      for (int i = 1; i <= w_b + 1; ++i) {
+        for (int j = 1; j <= r_b; ++j) {
+          b.bind(cell_label(i, j));
+          b.invoke(slot_of(i, j), lit(oub.read()), kT);
+          b.jump(check);
+        }
+      }
+      b.bind(check);
+      const Label exit_loop = b.make_label();
+      b.branch_if(!(reg(kT) == lit(1)), exit_loop);
+      b.assign(kI, reg(kI) + lit(1));
+      b.jump(loop);
+      b.bind(exit_loop);
+    }
+    b.bind(after);
+    b.assign(kJ, reg(kJ) + lit(1));
+    // return (v + (i_r - 1)) mod 2
+    b.ret((lit(initial_value) + reg(kI) - lit(1)) % lit(2));
+    impl->set_program(iface_lay.read(),
+                      zoo::SrswRegisterLayout::reader_port(),
+                      b.build("bounded_bit_read"));
+  }
+  return impl;
+}
+
+}  // namespace wfregs::core

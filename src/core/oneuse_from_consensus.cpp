@@ -1,0 +1,69 @@
+#include "wfregs/core/oneuse_from_consensus.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::core {
+
+namespace {
+
+std::shared_ptr<const Implementation> build(
+    const std::function<int(Implementation&)>& add_consensus_object,
+    const std::string& name) {
+  const zoo::OneUseBitLayout lay;
+  const zoo::ConsensusLayout cons;
+  auto impl = std::make_shared<Implementation>(
+      name, std::make_shared<const TypeSpec>(zoo::one_use_bit_type()),
+      lay.unset());
+  const int obj = add_consensus_object(*impl);
+  {
+    // read: propose 0 ("read precedes write"); the consensus value IS the
+    // bit value to return.
+    ProgramBuilder b;
+    b.invoke(obj, lit(cons.propose(0)), 0);
+    b.ret(reg(0));
+    impl->set_program(lay.read(), 0, b.build(name + "_read"));
+  }
+  {
+    // write: propose 1 ("write precedes read").
+    ProgramBuilder b;
+    b.invoke(obj, lit(cons.propose(1)), 0);
+    b.ret(lit(lay.ok()));
+    impl->set_program(lay.write(), 1, b.build(name + "_write"));
+  }
+  return impl;
+}
+
+}  // namespace
+
+std::shared_ptr<const Implementation> oneuse_from_consensus(
+    std::shared_ptr<const Implementation> cons2) {
+  if (!cons2) {
+    throw std::invalid_argument("oneuse_from_consensus: null impl");
+  }
+  if (!(cons2->iface() == zoo::consensus_type(2))) {
+    throw std::invalid_argument(
+        "oneuse_from_consensus: inner implementation must implement "
+        "2-process consensus");
+  }
+  return build(
+      [cons2](Implementation& impl) {
+        return impl.add_nested(cons2, {0, 1});
+      },
+      "oneuse_from_" + cons2->name());
+}
+
+std::shared_ptr<const Implementation> oneuse_from_consensus_object() {
+  return build(
+      [](Implementation& impl) {
+        const zoo::ConsensusLayout cons;
+        return impl.add_base(
+            std::make_shared<const TypeSpec>(zoo::consensus_type(2)),
+            cons.bottom(), {0, 1});
+      },
+      "oneuse_from_consensus_object");
+}
+
+}  // namespace wfregs::core

@@ -1,0 +1,90 @@
+#include "wfregs/core/oneuse_from_type.hpp"
+
+#include <stdexcept>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::core {
+
+namespace {
+
+std::shared_ptr<Implementation> new_oneuse_impl(const std::string& name) {
+  const zoo::OneUseBitLayout lay;
+  return std::make_shared<Implementation>(
+      name, std::make_shared<const TypeSpec>(zoo::one_use_bit_type()),
+      lay.unset());
+}
+
+}  // namespace
+
+std::shared_ptr<const Implementation> oneuse_from_oblivious(
+    const TypeSpec& type) {
+  const auto witness = find_oblivious_witness(type);  // validates the type
+  if (!witness) return nullptr;
+  const zoo::OneUseBitLayout lay;
+  auto impl = new_oneuse_impl("oneuse_from_" + type.name());
+  // One object of the type, initialized to the witness's q ("UNSET").
+  // Oblivious types do not distinguish ports; reader takes 0, writer takes
+  // the type's other port when it has one.
+  const PortId writer_port = type.ports() > 1 ? 1 : 0;
+  const int obj = impl->add_base(std::make_shared<const TypeSpec>(type),
+                                 witness->q, {0, writer_port});
+  {
+    ProgramBuilder b;
+    b.invoke(obj, lit(witness->i), 0);
+    const Label written = b.make_label();
+    b.branch_if(!(reg(0) == lit(witness->r_q)), written);
+    b.ret(lit(lay.zero()));  // O is still in state q
+    b.bind(written);
+    b.ret(lit(lay.one()));  // O was in state p (or beyond)
+    impl->set_program(lay.read(), 0, b.build("oneuse_read_" + type.name()));
+  }
+  {
+    ProgramBuilder b;
+    b.invoke(obj, lit(witness->i_prime), 0);
+    b.ret(lit(lay.ok()));
+    impl->set_program(lay.write(), 1,
+                      b.build("oneuse_write_" + type.name()));
+  }
+  return impl;
+}
+
+std::shared_ptr<const Implementation> oneuse_from_pair(
+    const TypeSpec& type, const NonTrivialPair& pair) {
+  const zoo::OneUseBitLayout lay;
+  auto impl = new_oneuse_impl("oneuse_from_" + type.name());
+  const int obj =
+      impl->add_base(std::make_shared<const TypeSpec>(type), pair.q,
+                     {pair.reader_port, pair.writer_port});
+  {
+    // The reader replays i-bar and compares the LAST response with H1's.
+    ProgramBuilder b;
+    for (const InvId i : pair.read_seq) {
+      b.invoke(obj, lit(i), 0);
+    }
+    const Label written = b.make_label();
+    b.branch_if(!(reg(0) == lit(pair.unwritten_resp)), written);
+    b.ret(lit(lay.zero()));
+    b.bind(written);
+    // A response of neither history still means the writer moved: return 1.
+    b.ret(lit(lay.one()));
+    impl->set_program(lay.read(), 0, b.build("oneuse_read_" + type.name()));
+  }
+  {
+    ProgramBuilder b;
+    b.invoke(obj, lit(pair.write_inv), 0);
+    b.ret(lit(lay.ok()));
+    impl->set_program(lay.write(), 1,
+                      b.build("oneuse_write_" + type.name()));
+  }
+  return impl;
+}
+
+std::shared_ptr<const Implementation> oneuse_from_deterministic(
+    const TypeSpec& type) {
+  const auto pair = find_nontrivial_pair(type);  // validates the type
+  if (!pair) return nullptr;
+  return oneuse_from_pair(type, *pair);
+}
+
+}  // namespace wfregs::core

@@ -1,0 +1,150 @@
+#include "wfregs/core/register_elimination.hpp"
+
+#include <stdexcept>
+
+#include "wfregs/registers/mrsw.hpp"
+#include "wfregs/registers/simpson.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::core {
+
+std::optional<RegisterShape> classify_register(const TypeSpec& spec) {
+  const int v = spec.num_states();
+  if (v < 2) return std::nullopt;
+  // Fully symmetric MRMW register: |I| = v+1, |R| = v+1.
+  if (spec.num_invocations() == v + 1 && spec.num_responses() == v + 1) {
+    if (spec == zoo::register_type(v, spec.ports())) {
+      return RegisterShape{RegisterShape::Kind::kMrmw, v, 0, spec.ports()};
+    }
+  }
+  // Port-disciplined MRSW/SRSW register: |R| = v+2 (with err()).
+  if (spec.num_invocations() == v + 1 && spec.num_responses() == v + 2 &&
+      spec.ports() >= 2) {
+    const int readers = spec.ports() - 1;
+    if (spec == zoo::mrsw_register_type(v, readers)) {
+      return RegisterShape{readers == 1 ? RegisterShape::Kind::kSrsw
+                                        : RegisterShape::Kind::kMrsw,
+                           v, readers, spec.ports()};
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_srsw_bit_spec(const TypeSpec& spec) {
+  const auto shape = classify_register(spec);
+  return shape && shape->kind == RegisterShape::Kind::kSrsw &&
+         shape->values == 2;
+}
+
+bool is_one_use_bit_spec(const TypeSpec& spec) {
+  return spec == zoo::one_use_bit_type();
+}
+
+namespace {
+
+void census_into(const Implementation& impl,
+                 std::map<std::string, int>& counts) {
+  for (const ObjectDecl& decl : impl.objects()) {
+    if (decl.is_base()) {
+      ++counts[decl.spec->name()];
+    } else {
+      census_into(*decl.impl, counts);
+    }
+  }
+}
+
+std::map<std::string, int> census(const Implementation& impl) {
+  std::map<std::string, int> counts;
+  census_into(impl, counts);
+  return counts;
+}
+
+}  // namespace
+
+EliminationReport eliminate_registers(
+    std::shared_ptr<const Implementation> impl,
+    const EliminationOptions& options) {
+  if (!impl) {
+    throw std::invalid_argument("eliminate_registers: null implementation");
+  }
+  EliminationReport report;
+  report.census_before = census(*impl);
+
+  // ---- stage 1 (Section 4.1): registers -> SRSW atomic bits ------------------
+  const auto stage1 = impl->rewrite_objects(
+      [&report, &options](std::span<const int>, const ObjectDecl& decl)
+          -> std::optional<ObjectDecl> {
+        if (!decl.is_base()) return std::nullopt;
+        if (is_srsw_bit_spec(*decl.spec)) return std::nullopt;  // stage 3's job
+        const auto shape = classify_register(*decl.spec);
+        if (!shape) return std::nullopt;  // not a register: leave it alone
+        ObjectDecl out;
+        out.port_of_outer = decl.port_of_outer;
+        switch (shape->kind) {
+          case RegisterShape::Kind::kMrmw:
+            out.impl = registers::full_chain_register(
+                shape->values, shape->ports, decl.initial, options.chain);
+            break;
+          case RegisterShape::Kind::kMrsw:
+            out.impl = registers::mrsw_register(
+                shape->values, shape->readers, decl.initial,
+                options.chain.mrsw_max_writes,
+                registers::simpson_srsw_factory());
+            break;
+          case RegisterShape::Kind::kSrsw:
+            out.impl =
+                registers::simpson_register(shape->values, decl.initial);
+            break;
+        }
+        ++report.registers_replaced;
+        return out;
+      });
+  report.bits_stage = stage1;
+
+  // ---- stage 2 (Section 4.2): access bounds ------------------------------------
+  report.bounds = compute_access_bounds(stage1, options.bounds_limits);
+  if (!report.bounds.wait_free || !report.bounds.complete ||
+      !report.bounds.solves) {
+    report.detail = "stage 2 failed: " +
+                    (report.bounds.detail.empty() ? "exploration problem"
+                                                  : report.bounds.detail);
+    return report;
+  }
+
+  // ---- stages 3+4 (Sections 4.3 and 5): bits -> one-use bits -> substrate ------
+  const auto stage3 = stage1->rewrite_objects(
+      [&report, &options](std::span<const int> path, const ObjectDecl& decl)
+          -> std::optional<ObjectDecl> {
+        if (!decl.is_base()) return std::nullopt;
+        if (is_one_use_bit_spec(*decl.spec)) {
+          if (!options.oneuse_factory) return std::nullopt;
+          ObjectDecl out;
+          out.impl = options.oneuse_factory();
+          out.port_of_outer = decl.port_of_outer;
+          ++report.oneuse_bits_created;
+          return out;
+        }
+        if (!is_srsw_bit_spec(*decl.spec)) return std::nullopt;
+        const auto& measured = report.bounds.at(path);
+        const int r_b = options.uniform_paper_bound
+                            ? report.bounds.depth
+                            : static_cast<int>(measured.read_bound);
+        const int w_b = options.uniform_paper_bound
+                            ? report.bounds.depth
+                            : static_cast<int>(measured.write_bound);
+        ObjectDecl out;
+        out.impl = bounded_bit_from_oneuse(r_b, w_b, decl.initial,
+                                           options.oneuse_factory);
+        out.port_of_outer = decl.port_of_outer;
+        ++report.bits_replaced;
+        report.oneuse_bits_created += oneuse_bits_needed(r_b, w_b);
+        return out;
+      });
+
+  report.result = stage3;
+  report.census_after = census(*stage3);
+  report.ok = true;
+  return report;
+}
+
+}  // namespace wfregs::core

@@ -1,0 +1,276 @@
+#include "wfregs/hierarchy/hierarchy.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/core/oneuse_from_type.hpp"
+#include "wfregs/core/register_elimination.hpp"
+#include "wfregs/typesys/triviality.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::hierarchy {
+
+std::optional<RaceWitness> find_race_witness(const TypeSpec& type) {
+  if (!type.is_deterministic()) {
+    throw std::invalid_argument(
+        "find_race_witness: type must be deterministic");
+  }
+  for (StateId q = 0; q < type.num_states(); ++q) {
+    for (InvId i = 0; i < type.num_invocations(); ++i) {
+      const Transition first = type.delta_det(q, 0, i);
+      const Transition second = type.delta_det(first.next, 0, i);
+      if (first.resp != second.resp) {
+        return RaceWitness{q, i, first.resp};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::shared_ptr<const Implementation> race_consensus(const TypeSpec& type) {
+  const auto witness = find_race_witness(type);
+  if (!witness) return nullptr;
+  const zoo::ConsensusLayout cons;
+  const zoo::SrswRegisterLayout bit{2};
+  auto impl = std::make_shared<Implementation>(
+      "race_consensus_" + type.name(),
+      std::make_shared<const TypeSpec>(zoo::consensus_type(2)),
+      cons.bottom());
+  // Announce bits: bit[p] written by p, read by 1-p.
+  const auto bit_spec = std::make_shared<const TypeSpec>(zoo::srsw_bit_type());
+  int bits[2];
+  for (int p = 0; p < 2; ++p) {
+    std::vector<PortId> map(2, kNoPort);
+    map[static_cast<std::size_t>(p)] = zoo::SrswRegisterLayout::writer_port();
+    map[static_cast<std::size_t>(1 - p)] =
+        zoo::SrswRegisterLayout::reader_port();
+    bits[p] = impl->add_base(bit_spec, 0, std::move(map));
+  }
+  // The racing object, initialized to the witness state.
+  const PortId other = type.ports() > 1 ? 1 : 0;
+  const int racer = impl->add_base(std::make_shared<const TypeSpec>(type),
+                                   witness->q, {0, other});
+  for (int p = 0; p < 2; ++p) {
+    for (int v = 0; v < 2; ++v) {
+      ProgramBuilder b;
+      b.invoke(bits[p], lit(bit.write(v)), 0);
+      b.invoke(racer, lit(witness->i), 1);
+      const Label lost = b.make_label();
+      b.branch_if(!(reg(1) == lit(witness->first_resp)), lost);
+      b.ret(lit(v));
+      b.bind(lost);
+      b.invoke(bits[1 - p], lit(bit.read()), 2);
+      b.ret(reg(2));
+      impl->set_program(v, p,
+                        b.build("race_propose" + std::to_string(v) + "_p" +
+                                std::to_string(p)));
+    }
+  }
+  return impl;
+}
+
+std::optional<AdoptWitness> find_adopt_witness(const TypeSpec& type) {
+  if (!type.is_deterministic()) {
+    throw std::invalid_argument(
+        "find_adopt_witness: type must be deterministic");
+  }
+  const int nr = type.num_responses();
+  for (StateId q = 0; q < type.num_states(); ++q) {
+    for (InvId i0 = 0; i0 < type.num_invocations(); ++i0) {
+      for (InvId i1 = 0; i1 < type.num_invocations(); ++i1) {
+        AdoptWitness w;
+        w.q = q;
+        w.inv[0] = i0;
+        w.inv[1] = i1;
+        w.decide.assign(static_cast<std::size_t>(2 * nr), -1);
+        // Constrain h(v, resp) = "decide the first proposer's value" over
+        // the four (first v, second u) orderings; reject on conflict.
+        const auto constrain = [&w, nr](int input, RespId resp,
+                                        int value) -> bool {
+          auto& cell =
+              w.decide[static_cast<std::size_t>(input * nr + resp)];
+          if (cell == -1) cell = value;
+          return cell == value;
+        };
+        bool ok = true;
+        const PortId other = type.ports() > 1 ? 1 : 0;
+        for (const auto& [fp, sp] :
+             {std::pair<PortId, PortId>{0, other}, {other, 0}}) {
+          for (int v = 0; v < 2 && ok; ++v) {
+            const Transition first = type.delta_det(q, fp, w.inv[v]);
+            ok = constrain(v, first.resp, v);  // solo / winner case
+            for (int u = 0; u < 2 && ok; ++u) {
+              const Transition second =
+                  type.delta_det(first.next, sp, w.inv[u]);
+              ok = constrain(u, second.resp, v);  // loser adopts v
+            }
+          }
+          if (!ok) break;
+        }
+        if (ok) return w;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::shared_ptr<const Implementation> adopt_consensus(const TypeSpec& type) {
+  const auto w = find_adopt_witness(type);
+  if (!w) return nullptr;
+  const zoo::ConsensusLayout cons;
+  const int nr = type.num_responses();
+  auto impl = std::make_shared<Implementation>(
+      "adopt_consensus_" + type.name(),
+      std::make_shared<const TypeSpec>(zoo::consensus_type(2)),
+      cons.bottom());
+  const PortId other = type.ports() > 1 ? 1 : 0;
+  const int obj = impl->add_base(std::make_shared<const TypeSpec>(type),
+                                 w->q, {0, other});
+  for (int v = 0; v < 2; ++v) {
+    ProgramBuilder b;
+    b.invoke(obj, lit(w->inv[v]), 0);
+    // Dispatch on the response through the decision table.
+    std::vector<Label> cases;
+    for (int r = 0; r < nr; ++r) cases.push_back(b.make_label());
+    for (int r = 0; r < nr; ++r) {
+      b.branch_if(reg(0) == lit(r), cases[static_cast<std::size_t>(r)]);
+    }
+    b.fail("adopt_consensus: response out of range");
+    for (int r = 0; r < nr; ++r) {
+      b.bind(cases[static_cast<std::size_t>(r)]);
+      const int d = w->decide[static_cast<std::size_t>(v * nr + r)];
+      if (d == -1) {
+        b.fail("adopt_consensus: unconstrained response observed");
+      } else {
+        b.ret(lit(d));
+      }
+    }
+    impl->set_program_all_ports(v,
+                                b.build("adopt_propose" + std::to_string(v)));
+  }
+  return impl;
+}
+
+HierarchyRow classify_type(const TypeSpec& type,
+                           const ClassifyOptions& options) {
+  HierarchyRow row;
+  row.type_name = type.name();
+  row.deterministic = type.is_deterministic();
+  row.oblivious = type.is_oblivious();
+  if (!row.deterministic) {
+    row.note = "nondeterministic: deciders and Theorem 5 do not apply";
+    return row;
+  }
+  row.trivial = is_trivial_general(type);
+
+  // h_1 probe: one object, no registers, bounded depth.
+  if (options.probe_h1) {
+    row.h1_probe_depth = options.h1_probe_depth;
+    row.h1_single_object = consensus::synthesize_two_consensus(
+                               {{std::make_shared<const TypeSpec>(type),
+                                 0,
+                                 {}}},
+                               options.h1_probe_depth,
+                               options.synthesis_node_cap)
+                               .verdict;
+  }
+
+  // Register-free single-object certificate (h_1 >= 2, hence everything).
+  if (const auto adopt = adopt_consensus(type)) {
+    const auto check = consensus::check_consensus(adopt);
+    if (check.solves) {
+      row.h1r_at_least_2 = true;
+      row.hm_at_least_2 = true;
+      row.note = "solves 2-consensus alone (adopt witness)";
+      row.theorem5_consistent = true;
+      return row;
+    }
+  }
+
+  // h_1^r >= 2 certificate: the race protocol, model-checked.
+  const auto race = race_consensus(type);
+  if (race) {
+    const auto check = consensus::check_consensus(race);
+    row.h1r_at_least_2 = check.solves;
+    if (!check.solves) row.note = "race protocol failed: " + check.detail;
+  }
+
+  // h_m >= 2 certificate: Theorem 5 applied to the race protocol.
+  if (row.h1r_at_least_2 && !*row.trivial) {
+    core::EliminationOptions elim;
+    const TypeSpec substrate = type;
+    elim.oneuse_factory = [substrate] {
+      return core::oneuse_from_deterministic(substrate);
+    };
+    const auto report = core::eliminate_registers(race, elim);
+    if (report.ok) {
+      const auto check = consensus::check_consensus(report.result);
+      row.hm_at_least_2 = check.solves;
+      if (!check.solves) {
+        row.note = "eliminated protocol failed: " + check.detail;
+      }
+    } else {
+      row.note = "elimination failed: " + report.detail;
+    }
+  }
+
+  // Theorem 5 consistency: for deterministic types, level-2 membership in
+  // h_m^r (witnessed by h_1^r <= h_m^r) must transfer to h_m.
+  row.theorem5_consistent = (row.h1r_at_least_2 == row.hm_at_least_2);
+  return row;
+}
+
+std::vector<HierarchyRow> survey_zoo(const ClassifyOptions& options) {
+  std::vector<HierarchyRow> rows;
+  for (const auto& t :
+       {zoo::bit_type(2), zoo::register_type(4, 2), zoo::test_and_set_type(2),
+        zoo::fetch_and_add_type(4, 2), zoo::queue_type(2, 2, 2),
+        zoo::cas_old_type(2, 2), zoo::sticky_bit_type(2),
+        zoo::consensus_type(2), zoo::mod_counter_type(3, 2),
+        zoo::trivial_toggle_type(2), zoo::nondet_coin_type(2)}) {
+    rows.push_back(classify_type(t, options));
+  }
+  return rows;
+}
+
+namespace {
+
+std::string verdict_str(consensus::SynthesisVerdict v) {
+  switch (v) {
+    case consensus::SynthesisVerdict::kSolvable:
+      return ">=2";
+    case consensus::SynthesisVerdict::kUnsolvable:
+      return "=1*";
+    case consensus::SynthesisVerdict::kUnknown:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_table(const std::vector<HierarchyRow>& rows) {
+  std::ostringstream out;
+  out << std::left << std::setw(22) << "type" << std::setw(7) << "det"
+      << std::setw(7) << "obliv" << std::setw(9) << "trivial" << std::setw(9)
+      << "h1(k)" << std::setw(9) << "h1^r>=2" << std::setw(9) << "hm>=2"
+      << std::setw(9) << "thm5 ok"
+      << "note\n";
+  for (const auto& r : rows) {
+    out << std::left << std::setw(22) << r.type_name << std::setw(7)
+        << (r.deterministic ? "yes" : "no") << std::setw(7)
+        << (r.oblivious ? "yes" : "no") << std::setw(9)
+        << (r.trivial ? (*r.trivial ? "yes" : "no") : "-") << std::setw(9)
+        << verdict_str(r.h1_single_object) << std::setw(9)
+        << (r.h1r_at_least_2 ? "yes" : "no") << std::setw(9)
+        << (r.hm_at_least_2 ? "yes" : "no") << std::setw(9)
+        << (r.theorem5_consistent ? "yes" : "NO") << r.note << "\n";
+  }
+  out << "(h1(k): bounded-synthesis verdict for one object, no registers; "
+         "=1* means exhaustively unsolvable at the probed depth)\n";
+  return out.str();
+}
+
+}  // namespace wfregs::hierarchy

@@ -1,0 +1,36 @@
+#include "wfregs/registers/chain.hpp"
+
+#include "wfregs/registers/mrmw.hpp"
+#include "wfregs/registers/mrsw.hpp"
+
+namespace wfregs::registers {
+
+std::shared_ptr<const Implementation> full_chain_register(
+    int values, int ports, int initial_value, const ChainOptions& options) {
+  return mrmw_register(
+      values, ports, initial_value, options.mrmw_max_writes,
+      chained_mrsw_factory(options.mrsw_max_writes, options.bits_at_bottom));
+}
+
+namespace {
+
+void census_into(const Implementation& impl,
+                 std::map<std::string, int>& counts) {
+  for (const ObjectDecl& decl : impl.objects()) {
+    if (decl.is_base()) {
+      ++counts[decl.spec->name()];
+    } else {
+      census_into(*decl.impl, counts);
+    }
+  }
+}
+
+}  // namespace
+
+std::map<std::string, int> base_census(const Implementation& impl) {
+  std::map<std::string, int> counts;
+  census_into(impl, counts);
+  return counts;
+}
+
+}  // namespace wfregs::registers

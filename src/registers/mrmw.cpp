@@ -1,0 +1,136 @@
+#include "wfregs/registers/mrmw.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wfregs/registers/mrsw.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::registers {
+
+MrswFactory chained_mrsw_factory(int mrsw_max_writes, bool bits_at_bottom) {
+  const SrswFactory srsw =
+      bits_at_bottom ? simpson_srsw_factory() : SrswFactory{};
+  return [mrsw_max_writes, srsw](int values, int readers, int initial) {
+    return mrsw_register(values, readers, initial, mrsw_max_writes, srsw);
+  };
+}
+
+std::shared_ptr<const Implementation> mrmw_register(
+    int values, int ports, int initial_value, int max_writes,
+    const MrswFactory& mrsw_factory) {
+  if (values < 2) {
+    throw std::invalid_argument("mrmw_register: need at least 2 values");
+  }
+  if (ports < 2) {
+    throw std::invalid_argument("mrmw_register: need at least 2 ports");
+  }
+  if (initial_value < 0 || initial_value >= values) {
+    throw std::out_of_range("mrmw_register: initial value out of range");
+  }
+  const zoo::RegisterLayout iface_lay{values};
+  const int n = ports;
+
+  // ts[w] payload: encode(v, seq) = seq * values + v; writer id is implicit
+  // in the register identity; ties broken by writer id.
+  const int sub_values = values * (max_writes + 1);
+  const zoo::MrswRegisterLayout sub{sub_values, n - 1};
+  const int initial_enc = initial_value;  // seq 0
+
+  auto impl = std::make_shared<Implementation>(
+      "mrmw_register" + std::to_string(values) + "_p" + std::to_string(n),
+      std::make_shared<const TypeSpec>(zoo::register_type(values, n)),
+      iface_lay.state_of(initial_value));
+
+  const auto sub_spec = std::make_shared<const TypeSpec>(
+      zoo::mrsw_register_type(sub_values, n - 1));
+
+  // ts[w]: written by iface port w, read by every other port.  Reader index
+  // of port p in ts[w] is p (p < w) or p-1 (p > w).
+  std::vector<int> ts;
+  for (int w = 0; w < n; ++w) {
+    std::vector<PortId> map(static_cast<std::size_t>(n), kNoPort);
+    for (int p = 0; p < n; ++p) {
+      if (p == w) {
+        map[static_cast<std::size_t>(p)] = sub.writer_port();
+      } else {
+        map[static_cast<std::size_t>(p)] = sub.reader_port(p < w ? p : p - 1);
+      }
+    }
+    if (mrsw_factory) {
+      ts.push_back(impl->add_nested(mrsw_factory(sub_values, n - 1,
+                                                 initial_enc),
+                                    std::move(map)));
+    } else {
+      ts.push_back(impl->add_base(sub_spec, sub.state_of(initial_enc),
+                                  std::move(map)));
+    }
+  }
+
+  // Persistent per-port cache of the port's own register: (value, seq).
+  impl->set_persistent({initial_value, 0});
+  constexpr int kOwnVal = 0;
+  constexpr int kOwnSeq = 1;
+  constexpr int kMax = 2;   // max seq seen (write) / best seq (read)
+  constexpr int kBestW = 3;  // best writer id (read)
+  constexpr int kBestV = 4;  // best value (read)
+  constexpr int kTmp = 5;
+
+  // ---- write(v) on port w ------------------------------------------------------
+  for (int w = 0; w < n; ++w) {
+    for (int v = 0; v < values; ++v) {
+      ProgramBuilder b;
+      b.assign(kMax, reg(kOwnSeq));
+      for (int p = 0; p < n; ++p) {
+        if (p == w) continue;
+        b.invoke(ts[static_cast<std::size_t>(p)], lit(sub.read()), kTmp);
+        const Label keep = b.make_label();
+        b.branch_if(!(reg(kMax) < reg(kTmp) / lit(values)), keep);
+        b.assign(kMax, reg(kTmp) / lit(values));
+        b.bind(keep);
+      }
+      b.assign(kOwnSeq, reg(kMax) + lit(1));
+      const Label in_range = b.make_label();
+      b.branch_if(reg(kOwnSeq) <= lit(max_writes), in_range);
+      b.fail("mrmw writer: exceeded max_writes = " +
+             std::to_string(max_writes));
+      b.bind(in_range);
+      b.invoke(ts[static_cast<std::size_t>(w)],
+               lit(1) + reg(kOwnSeq) * lit(values) + lit(v), kTmp);
+      b.assign(kOwnVal, lit(v));
+      b.ret(lit(iface_lay.ok()));
+      impl->set_program(iface_lay.write(v), w,
+                        b.build("mrmw_write" + std::to_string(v) + "_p" +
+                                std::to_string(w)));
+    }
+  }
+
+  // ---- read() on port r ----------------------------------------------------------
+  for (int r = 0; r < n; ++r) {
+    ProgramBuilder b;
+    b.assign(kMax, reg(kOwnSeq));
+    b.assign(kBestW, lit(r));
+    b.assign(kBestV, reg(kOwnVal));
+    for (int p = 0; p < n; ++p) {
+      if (p == r) continue;
+      b.invoke(ts[static_cast<std::size_t>(p)], lit(sub.read()), kTmp);
+      const Label keep = b.make_label();
+      // Lexicographic (seq, writer-id) comparison.
+      b.branch_if(!(reg(kMax) < reg(kTmp) / lit(values) ||
+                    (reg(kMax) == reg(kTmp) / lit(values) &&
+                     reg(kBestW) < lit(p))),
+                  keep);
+      b.assign(kMax, reg(kTmp) / lit(values));
+      b.assign(kBestW, lit(p));
+      b.assign(kBestV, reg(kTmp) % lit(values));
+      b.bind(keep);
+    }
+    b.ret(reg(kBestV));
+    impl->set_program(iface_lay.read(), r,
+                      b.build("mrmw_read_p" + std::to_string(r)));
+  }
+  return impl;
+}
+
+}  // namespace wfregs::registers

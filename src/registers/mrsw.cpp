@@ -1,0 +1,137 @@
+#include "wfregs/registers/mrsw.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wfregs/registers/simpson.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::registers {
+
+SrswFactory simpson_srsw_factory() {
+  return [](int values, int initial) {
+    return simpson_register(values, initial);
+  };
+}
+
+std::shared_ptr<const Implementation> mrsw_register(
+    int values, int readers, int initial_value, int max_writes,
+    const SrswFactory& srsw_factory) {
+  if (values < 2) {
+    throw std::invalid_argument("mrsw_register: need at least 2 values");
+  }
+  if (readers < 1) {
+    throw std::invalid_argument("mrsw_register: need at least 1 reader");
+  }
+  if (max_writes < 0) {
+    throw std::invalid_argument("mrsw_register: max_writes must be >= 0");
+  }
+  if (initial_value < 0 || initial_value >= values) {
+    throw std::out_of_range("mrsw_register: initial value out of range");
+  }
+  const zoo::MrswRegisterLayout iface_lay{values, readers};
+  const int n = readers + 1;  // iface ports
+
+  // Sub-register payload: encode(v, seq) = seq * values + v.
+  const int sub_values = values * (max_writes + 1);
+  const zoo::SrswRegisterLayout sub{sub_values};
+  const int initial_enc = initial_value;  // seq 0
+
+  auto impl = std::make_shared<Implementation>(
+      "mrsw_register" + std::to_string(values) + "_r" +
+          std::to_string(readers),
+      std::make_shared<const TypeSpec>(zoo::mrsw_register_type(values,
+                                                               readers)),
+      iface_lay.state_of(initial_value));
+
+  const auto srsw_spec =
+      std::make_shared<const TypeSpec>(zoo::srsw_register_type(sub_values));
+
+  // Adds one SRSW sub-register whose read port belongs to iface port
+  // `rd` and whose write port belongs to iface port `wr`.
+  const auto add_sub = [&](PortId rd, PortId wr) {
+    std::vector<PortId> map(static_cast<std::size_t>(n), kNoPort);
+    map[static_cast<std::size_t>(rd)] =
+        zoo::SrswRegisterLayout::reader_port();
+    map[static_cast<std::size_t>(wr)] =
+        zoo::SrswRegisterLayout::writer_port();
+    if (srsw_factory) {
+      return impl->add_nested(srsw_factory(sub_values, initial_enc),
+                              std::move(map));
+    }
+    return impl->add_base(srsw_spec, sub.state_of(initial_enc),
+                          std::move(map));
+  };
+
+  // table[i]: writer -> reader i.
+  std::vector<int> table;
+  for (int i = 0; i < readers; ++i) {
+    table.push_back(add_sub(iface_lay.reader_port(i),
+                            iface_lay.writer_port()));
+  }
+  // report[j][i] (j != i): reader j -> reader i.
+  std::vector<std::vector<int>> report(
+      static_cast<std::size_t>(readers),
+      std::vector<int>(static_cast<std::size_t>(readers), -1));
+  for (int j = 0; j < readers; ++j) {
+    for (int i = 0; i < readers; ++i) {
+      if (i == j) continue;
+      report[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+          add_sub(iface_lay.reader_port(i), iface_lay.reader_port(j));
+    }
+  }
+
+  // Persistent register 0: the writer's sequence counter (readers leave it).
+  impl->set_persistent({0});
+  constexpr int kSeq = 0;
+  constexpr int kBest = 1;
+  constexpr int kTmp = 2;
+
+  // ---- write(v) --------------------------------------------------------------
+  for (int v = 0; v < values; ++v) {
+    ProgramBuilder b;
+    b.assign(kSeq, reg(kSeq) + lit(1));
+    const Label in_range = b.make_label();
+    b.branch_if(reg(kSeq) <= lit(max_writes), in_range);
+    b.fail("mrsw writer: exceeded max_writes = " +
+           std::to_string(max_writes));
+    b.bind(in_range);
+    for (int i = 0; i < readers; ++i) {
+      b.invoke(table[static_cast<std::size_t>(i)],
+               lit(1) + reg(kSeq) * lit(values) + lit(v), kTmp);
+    }
+    b.ret(lit(iface_lay.ok()));
+    impl->set_program(iface_lay.write(v), iface_lay.writer_port(),
+                      b.build("mrsw_write" + std::to_string(v)));
+  }
+
+  // ---- read() on each reader port ---------------------------------------------
+  for (int i = 0; i < readers; ++i) {
+    ProgramBuilder b;
+    b.invoke(table[static_cast<std::size_t>(i)], lit(sub.read()), kBest);
+    for (int j = 0; j < readers; ++j) {
+      if (j == i) continue;
+      b.invoke(report[static_cast<std::size_t>(j)][static_cast<std::size_t>(
+                   i)],
+               lit(sub.read()), kTmp);
+      const Label keep = b.make_label();
+      b.branch_if(!(reg(kBest) / lit(values) < reg(kTmp) / lit(values)),
+                  keep);
+      b.assign(kBest, reg(kTmp));
+      b.bind(keep);
+    }
+    for (int j = 0; j < readers; ++j) {
+      if (j == i) continue;
+      b.invoke(report[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+                   j)],
+               lit(1) + reg(kBest), kTmp);
+    }
+    b.ret(reg(kBest) % lit(values));
+    impl->set_program(iface_lay.read(), iface_lay.reader_port(i),
+                      b.build("mrsw_read_r" + std::to_string(i)));
+  }
+  return impl;
+}
+
+}  // namespace wfregs::registers

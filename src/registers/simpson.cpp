@@ -1,0 +1,201 @@
+#include "wfregs/registers/simpson.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::registers {
+
+namespace {
+
+std::shared_ptr<const TypeSpec> srsw_bit_spec() {
+  static const auto spec =
+      std::make_shared<const TypeSpec>(zoo::srsw_bit_type());
+  return spec;
+}
+
+}  // namespace
+
+int slot_bits(int values) {
+  if (values < 2) {
+    throw std::invalid_argument("slot_bits: need at least 2 values");
+  }
+  int bits = 0;
+  int span = 1;
+  while (span < values) {
+    span *= 2;
+    ++bits;
+  }
+  return bits;
+}
+
+std::shared_ptr<const Implementation> simpson_register(int values,
+                                                       int initial_value) {
+  if (initial_value < 0 || initial_value >= values) {
+    throw std::out_of_range("simpson_register: initial value out of range");
+  }
+  const zoo::SrswRegisterLayout iface_lay{values};
+  const zoo::SrswRegisterLayout bit{2};
+  const int nbits = slot_bits(values);
+
+  auto impl = std::make_shared<Implementation>(
+      "simpson_register" + std::to_string(values),
+      std::make_shared<const TypeSpec>(zoo::srsw_register_type(values)),
+      iface_lay.state_of(initial_value));
+
+  // Writer-owned bits: the outer reader holds the bit's read port, the outer
+  // writer its write port.
+  const std::vector<PortId> writer_owned{
+      zoo::SrswRegisterLayout::reader_port(),
+      zoo::SrswRegisterLayout::writer_port()};
+  // Reader-owned bits (the `reading` handshake) are oriented the other way.
+  const std::vector<PortId> reader_owned{
+      zoo::SrswRegisterLayout::writer_port(),
+      zoo::SrswRegisterLayout::reader_port()};
+
+  // data[pair][index][b]; slot data[0][0] initially encodes initial_value.
+  int data_slot[2][2];
+  for (int pair = 0; pair < 2; ++pair) {
+    for (int index = 0; index < 2; ++index) {
+      int first = -1;
+      for (int b = 0; b < nbits; ++b) {
+        const int init_bit =
+            (pair == 0 && index == 0) ? ((initial_value >> b) & 1) : 0;
+        const int slot = impl->add_base(srsw_bit_spec(),
+                                        bit.state_of(init_bit), writer_owned);
+        if (first < 0) first = slot;
+      }
+      data_slot[pair][index] = first;  // bits occupy first..first+nbits-1
+    }
+  }
+  const int slot_bit[2] = {
+      impl->add_base(srsw_bit_spec(), bit.state_of(0), writer_owned),
+      impl->add_base(srsw_bit_spec(), bit.state_of(0), writer_owned)};
+  const int latest = impl->add_base(srsw_bit_spec(), bit.state_of(0),
+                                    writer_owned);
+  const int reading = impl->add_base(srsw_bit_spec(), bit.state_of(0),
+                                     reader_owned);
+
+  // Persistent writer locals: the writer's copies of slot_bit[0], slot_bit[1]
+  // (registers 0 and 1 of every frame; the reader leaves them alone).
+  impl->set_persistent({0, 0});
+  constexpr int kWSlot0 = 0;
+  constexpr int kWSlot1 = 1;
+  constexpr int kPair = 2;
+  constexpr int kIndex = 3;
+  constexpr int kTmp = 4;
+  constexpr int kAcc = 5;
+
+  // ---- write(v) ------------------------------------------------------------
+  for (int v = 0; v < values; ++v) {
+    ProgramBuilder b_;
+    // pair := 1 - reading
+    b_.invoke(reading, lit(bit.read()), kPair);
+    b_.assign(kPair, lit(1) - reg(kPair));
+    // index := 1 - wslot[pair]
+    const Label use1 = b_.make_label();
+    const Label have_index = b_.make_label();
+    b_.branch_if(reg(kPair) == lit(1), use1);
+    b_.assign(kIndex, lit(1) - reg(kWSlot0));
+    b_.jump(have_index);
+    b_.bind(use1);
+    b_.assign(kIndex, lit(1) - reg(kWSlot1));
+    b_.bind(have_index);
+    // data[pair][index] := v, bit by bit (4-way branch on pair/index).
+    const Label after_data = b_.make_label();
+    std::vector<Label> cases;
+    for (int pair = 0; pair < 2; ++pair) {
+      for (int index = 0; index < 2; ++index) {
+        cases.push_back(b_.make_label());
+      }
+    }
+    for (int pair = 0; pair < 2; ++pair) {
+      for (int index = 0; index < 2; ++index) {
+        b_.branch_if(reg(kPair) == lit(pair) && reg(kIndex) == lit(index),
+                     cases[static_cast<std::size_t>(pair * 2 + index)]);
+      }
+    }
+    b_.fail("simpson writer: impossible pair/index");
+    for (int pair = 0; pair < 2; ++pair) {
+      for (int index = 0; index < 2; ++index) {
+        b_.bind(cases[static_cast<std::size_t>(pair * 2 + index)]);
+        for (int bb = 0; bb < nbits; ++bb) {
+          b_.invoke(data_slot[pair][index] + bb,
+                    lit(bit.write((v >> bb) & 1)), kTmp);
+        }
+        b_.jump(after_data);
+      }
+    }
+    b_.bind(after_data);
+    // slot[pair] := index; update the writer's local copy.
+    const Label s1 = b_.make_label();
+    const Label after_slot = b_.make_label();
+    b_.branch_if(reg(kPair) == lit(1), s1);
+    b_.invoke(slot_bit[0], lit(1) + reg(kIndex), kTmp);
+    b_.assign(kWSlot0, reg(kIndex));
+    b_.jump(after_slot);
+    b_.bind(s1);
+    b_.invoke(slot_bit[1], lit(1) + reg(kIndex), kTmp);
+    b_.assign(kWSlot1, reg(kIndex));
+    b_.bind(after_slot);
+    // latest := pair.
+    b_.invoke(latest, lit(1) + reg(kPair), kTmp);
+    b_.ret(lit(iface_lay.ok()));
+    impl->set_program(iface_lay.write(v),
+                      zoo::SrswRegisterLayout::writer_port(),
+                      b_.build("simpson_write" + std::to_string(v)));
+  }
+
+  // ---- read() ---------------------------------------------------------------
+  {
+    ProgramBuilder b_;
+    // pair := latest; reading := pair.
+    b_.invoke(latest, lit(bit.read()), kPair);
+    b_.invoke(reading, lit(1) + reg(kPair), kTmp);
+    // index := slot[pair].
+    const Label r1 = b_.make_label();
+    const Label have_index = b_.make_label();
+    b_.branch_if(reg(kPair) == lit(1), r1);
+    b_.invoke(slot_bit[0], lit(bit.read()), kIndex);
+    b_.jump(have_index);
+    b_.bind(r1);
+    b_.invoke(slot_bit[1], lit(bit.read()), kIndex);
+    b_.bind(have_index);
+    // value := data[pair][index], bit by bit.
+    const Label done = b_.make_label();
+    std::vector<Label> cases;
+    for (int pair = 0; pair < 2; ++pair) {
+      for (int index = 0; index < 2; ++index) {
+        cases.push_back(b_.make_label());
+      }
+    }
+    for (int pair = 0; pair < 2; ++pair) {
+      for (int index = 0; index < 2; ++index) {
+        b_.branch_if(reg(kPair) == lit(pair) && reg(kIndex) == lit(index),
+                     cases[static_cast<std::size_t>(pair * 2 + index)]);
+      }
+    }
+    b_.fail("simpson reader: impossible pair/index");
+    for (int pair = 0; pair < 2; ++pair) {
+      for (int index = 0; index < 2; ++index) {
+        b_.bind(cases[static_cast<std::size_t>(pair * 2 + index)]);
+        b_.assign(kAcc, lit(0));
+        for (int bb = 0; bb < nbits; ++bb) {
+          b_.invoke(data_slot[pair][index] + bb, lit(bit.read()), kTmp);
+          b_.assign(kAcc, reg(kAcc) + reg(kTmp) * lit(1 << bb));
+        }
+        b_.jump(done);
+      }
+    }
+    b_.bind(done);
+    b_.ret(reg(kAcc));
+    impl->set_program(iface_lay.read(),
+                      zoo::SrswRegisterLayout::reader_port(),
+                      b_.build("simpson_read"));
+  }
+  return impl;
+}
+
+}  // namespace wfregs::registers

@@ -1,0 +1,191 @@
+#include "wfregs/registers/snapshot.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::registers {
+
+namespace {
+
+/// Register allocation and encode/decode helpers shared by the scan and
+/// update programs.  Register value encoding:
+///   enc = (seq * VIEWS + embedded_view) * V + value.
+struct SnapshotCodegen {
+  int values = 0;       // V
+  int ports = 0;        // n
+  int views = 0;        // V^n
+  int max_updates = 0;  // S
+  std::vector<int> regs;  // inner slot of reg[p]
+
+  // Register file layout (register 0 is the persistent own_enc).
+  static constexpr int kOwnEnc = 0;
+  int c1(int k) const { return 1 + k; }                      // k < n-1
+  int c2(int k) const { return 1 + (ports - 1) + k; }        // k < n-1
+  int moves(int k) const { return 1 + 2 * (ports - 1) + k; }  // k < n-1
+  int scratch() const { return 1 + 3 * (ports - 1); }
+  int result() const { return scratch() + 1; }
+
+  Expr dec_value(Expr enc) const { return enc % lit(values); }
+  Expr dec_view(Expr enc) const {
+    return (enc / lit(values)) % lit(views);
+  }
+  Expr dec_seq(Expr enc) const { return enc / lit(values * views); }
+
+  /// Index among "other" components for port q: the k-th other port.
+  int other_port(int q, int k) const { return k < q ? k : k + 1; }
+
+  /// The MRSW read invocation for a register of this encoding width.
+  InvId read_inv() const { return 0; }
+  InvId write_base() const { return 1; }  // write(x) = 1 + x
+
+  /// Emits the scan logic for port q; leaves the scanned view id in
+  /// result().  Caller provides the builder.
+  void emit_scan(ProgramBuilder& b, int q) const {
+    const int n1 = ports - 1;
+    for (int k = 0; k < n1; ++k) b.assign(moves(k), lit(0));
+    const Label done = b.make_label();
+    // At most `ports` rounds are needed (pigeonhole); the fail below is an
+    // unreachable backstop.
+    for (int round = 0; round < ports; ++round) {
+      // First collect.
+      for (int k = 0; k < n1; ++k) {
+        b.invoke(regs[static_cast<std::size_t>(other_port(q, k))],
+                 lit(read_inv()), c1(k));
+      }
+      // Second collect.
+      for (int k = 0; k < n1; ++k) {
+        b.invoke(regs[static_cast<std::size_t>(other_port(q, k))],
+                 lit(read_inv()), c2(k));
+      }
+      // Identical sequence numbers in both collects => certified view.
+      const Label changed = b.make_label();
+      for (int k = 0; k < n1; ++k) {
+        b.branch_if(!(dec_seq(reg(c1(k))) == dec_seq(reg(c2(k)))), changed);
+      }
+      // Assemble view = sum over components of value * V^i.
+      b.assign(result(), lit(0));
+      {
+        int scale = 1;
+        int k = 0;
+        for (int i = 0; i < ports; ++i) {
+          if (i == q) {
+            b.assign(result(),
+                     reg(result()) + dec_value(reg(kOwnEnc)) * lit(scale));
+          } else {
+            b.assign(result(),
+                     reg(result()) + dec_value(reg(c2(k))) * lit(scale));
+            ++k;
+          }
+          scale *= values;
+        }
+      }
+      b.jump(done);
+      b.bind(changed);
+      // Count movers; borrow an embedded view from any double mover.
+      for (int k = 0; k < n1; ++k) {
+        const Label not_moved = b.make_label();
+        b.branch_if(dec_seq(reg(c1(k))) == dec_seq(reg(c2(k))), not_moved);
+        b.assign(moves(k), reg(moves(k)) + lit(1));
+        const Label once = b.make_label();
+        b.branch_if(reg(moves(k)) < lit(2), once);
+        // Second observed move: c2(k)'s embedded view was scanned entirely
+        // within our interval -- adopt it.
+        b.assign(result(), dec_view(reg(c2(k))));
+        b.jump(done);
+        b.bind(once);
+        b.bind(not_moved);
+      }
+    }
+    b.fail("snapshot scan: exceeded round bound (impossible)");
+    b.bind(done);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const Implementation> snapshot_from_registers(
+    int values, int ports, int max_updates) {
+  if (values < 2) {
+    throw std::invalid_argument("snapshot_from_registers: values >= 2");
+  }
+  if (ports < 2) {
+    throw std::invalid_argument("snapshot_from_registers: ports >= 2");
+  }
+  if (max_updates < 0) {
+    throw std::invalid_argument("snapshot_from_registers: max_updates >= 0");
+  }
+  const zoo::SnapshotLayout lay{ports, values};
+  const int views = lay.power();
+  const int enc_range = (max_updates + 1) * views * values;
+
+  auto impl = std::make_shared<Implementation>(
+      "snapshot" + std::to_string(values) + "v_n" + std::to_string(ports) +
+          "_from_registers",
+      std::make_shared<const TypeSpec>(zoo::snapshot_type(values, ports)),
+      /*initial=*/0);
+
+  SnapshotCodegen gen;
+  gen.values = values;
+  gen.ports = ports;
+  gen.views = views;
+  gen.max_updates = max_updates;
+
+  // reg[p]: written by port p, read by every other port.
+  const zoo::MrswRegisterLayout sub{enc_range, ports - 1};
+  const auto sub_spec = std::make_shared<const TypeSpec>(
+      zoo::mrsw_register_type(enc_range, ports - 1));
+  for (int p = 0; p < ports; ++p) {
+    std::vector<PortId> map(static_cast<std::size_t>(ports), kNoPort);
+    for (int q = 0; q < ports; ++q) {
+      map[static_cast<std::size_t>(q)] =
+          q == p ? sub.writer_port() : sub.reader_port(q < p ? q : q - 1);
+    }
+    gen.regs.push_back(impl->add_base(sub_spec, sub.state_of(0),
+                                      std::move(map)));
+  }
+
+  // Persistent register 0: the port's own encoded register contents.
+  impl->set_persistent({0});
+
+  // ---- scan on each port ---------------------------------------------------
+  for (int q = 0; q < ports; ++q) {
+    ProgramBuilder b;
+    gen.emit_scan(b, q);
+    b.ret(reg(gen.result()));
+    impl->set_program(lay.scan(), q,
+                      b.build("snapshot_scan_p" + std::to_string(q)));
+  }
+
+  // ---- update(v) on each port ------------------------------------------------
+  for (int p = 0; p < ports; ++p) {
+    for (int v = 0; v < values; ++v) {
+      ProgramBuilder b;
+      gen.emit_scan(b, p);  // the embedded view, left in gen.result()
+      // seq := own seq + 1, capped.
+      b.assign(gen.scratch(), gen.dec_seq(reg(SnapshotCodegen::kOwnEnc)) +
+                                  lit(1));
+      const Label in_range = b.make_label();
+      b.branch_if(reg(gen.scratch()) <= lit(max_updates), in_range);
+      b.fail("snapshot update: exceeded max_updates = " +
+             std::to_string(max_updates));
+      b.bind(in_range);
+      b.assign(SnapshotCodegen::kOwnEnc,
+               (reg(gen.scratch()) * lit(views) + reg(gen.result())) *
+                       lit(values) +
+                   lit(v));
+      b.invoke(gen.regs[static_cast<std::size_t>(p)],
+               lit(gen.write_base()) + reg(SnapshotCodegen::kOwnEnc),
+               gen.scratch());
+      b.ret(lit(lay.ok()));
+      impl->set_program(lay.update(v), p,
+                        b.build("snapshot_update" + std::to_string(v) +
+                                "_p" + std::to_string(p)));
+    }
+  }
+  return impl;
+}
+
+}  // namespace wfregs::registers

@@ -1,0 +1,132 @@
+#include "wfregs/registers/weak.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::registers {
+
+namespace {
+
+std::shared_ptr<Implementation> carrier(const std::string& name, int values,
+                                        int initial) {
+  if (initial < 0 || initial >= values) {
+    throw std::out_of_range(name + ": initial value out of range");
+  }
+  const zoo::SrswRegisterLayout lay{values};
+  return std::make_shared<Implementation>(
+      name, std::make_shared<const TypeSpec>(zoo::srsw_register_type(values)),
+      lay.state_of(initial));
+}
+
+const std::vector<PortId> kOrientation{
+    zoo::WeakBitLayout::reader_port(), zoo::WeakBitLayout::writer_port()};
+
+std::shared_ptr<const Implementation> bit_from_safe(int initial_value,
+                                                    bool write_on_change,
+                                                    const std::string& name) {
+  const zoo::SrswRegisterLayout iface{2};
+  const zoo::WeakBitLayout weak;
+  auto impl = carrier(name, 2, initial_value);
+  const int bit = impl->add_base(
+      std::make_shared<const TypeSpec>(zoo::weak_bit_type(
+          zoo::WeakBitKind::kSafe)),
+      weak.idle(initial_value), kOrientation);
+  // Persistent register 0: the writer's cached current value.
+  impl->set_persistent({initial_value});
+  {
+    ProgramBuilder b;
+    b.invoke(bit, lit(weak.read()), 1);
+    b.ret(reg(1));
+    impl->set_program(iface.read(), zoo::SrswRegisterLayout::reader_port(),
+                      b.build(name + "_read"));
+  }
+  for (int v = 0; v < 2; ++v) {
+    ProgramBuilder b;
+    if (write_on_change) {
+      const Label do_write = b.make_label();
+      b.branch_if(!(reg(0) == lit(v)), do_write);
+      b.ret(lit(iface.ok()));  // unchanged: do not touch the safe bit
+      b.bind(do_write);
+    }
+    b.invoke(bit, lit(weak.start_write(v)), 1);
+    b.invoke(bit, lit(weak.finish_write()), 1);
+    b.assign(0, lit(v));
+    b.ret(lit(iface.ok()));
+    impl->set_program(iface.write(v),
+                      zoo::SrswRegisterLayout::writer_port(),
+                      b.build(name + "_write" + std::to_string(v)));
+  }
+  return impl;
+}
+
+}  // namespace
+
+std::shared_ptr<const Implementation> regular_bit_from_safe(
+    int initial_value) {
+  return bit_from_safe(initial_value, /*write_on_change=*/true,
+                       "regular_bit_from_safe");
+}
+
+std::shared_ptr<const Implementation> naive_bit_from_safe(int initial_value) {
+  return bit_from_safe(initial_value, /*write_on_change=*/false,
+                       "naive_bit_from_safe");
+}
+
+std::shared_ptr<const Implementation> regular_multivalued_from_bits(
+    int values, int initial_value) {
+  if (values < 2) {
+    throw std::invalid_argument(
+        "regular_multivalued_from_bits: values >= 2");
+  }
+  const zoo::SrswRegisterLayout iface{values};
+  const zoo::WeakBitLayout weak;
+  auto impl = carrier("regular_unary" + std::to_string(values), values,
+                      initial_value);
+  const auto bit_spec = std::make_shared<const TypeSpec>(
+      zoo::weak_bit_type(zoo::WeakBitKind::kRegular));
+  std::vector<int> bits;
+  for (int v = 0; v < values; ++v) {
+    bits.push_back(impl->add_base(
+        bit_spec, weak.idle(v == initial_value ? 1 : 0), kOrientation));
+  }
+  constexpr int kTmp = 0;
+  {
+    // read: scan upward, return the first set bit.
+    ProgramBuilder b;
+    for (int v = 0; v < values; ++v) {
+      b.invoke(bits[static_cast<std::size_t>(v)], lit(weak.read()), kTmp);
+      const Label not_set = b.make_label();
+      b.branch_if(!(reg(kTmp) == lit(1)), not_set);
+      b.ret(lit(iface.value_resp(v)));
+      b.bind(not_set);
+    }
+    b.fail("unary regular register: no bit set (violates Lamport's "
+           "invariant)");
+    impl->set_program(iface.read(), zoo::SrswRegisterLayout::reader_port(),
+                      b.build("unary_read"));
+  }
+  for (int v = 0; v < values; ++v) {
+    // write(v): set bit v, then clear bits v-1 .. 0 downward.
+    ProgramBuilder b;
+    b.invoke(bits[static_cast<std::size_t>(v)], lit(weak.start_write(1)),
+             kTmp);
+    b.invoke(bits[static_cast<std::size_t>(v)], lit(weak.finish_write()),
+             kTmp);
+    for (int j = v - 1; j >= 0; --j) {
+      b.invoke(bits[static_cast<std::size_t>(j)], lit(weak.start_write(0)),
+               kTmp);
+      b.invoke(bits[static_cast<std::size_t>(j)], lit(weak.finish_write()),
+               kTmp);
+    }
+    b.ret(lit(iface.ok()));
+    impl->set_program(iface.write(v),
+                      zoo::SrswRegisterLayout::writer_port(),
+                      b.build("unary_write" + std::to_string(v)));
+  }
+  return impl;
+}
+
+}  // namespace wfregs::registers

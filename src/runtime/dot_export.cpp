@@ -1,0 +1,91 @@
+#include "wfregs/runtime/dot_export.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace wfregs {
+
+namespace {
+
+constexpr unsigned kZero = 1u;
+constexpr unsigned kOne = 2u;
+
+class DotBuilder {
+ public:
+  explicit DotBuilder(const DotOptions& options) : options_(options) {}
+
+  std::string run(const Engine& root) {
+    nodes_ << "digraph executions {\n"
+           << "  rankdir=TB;\n"
+           << "  node [shape=circle, label=\"\", width=0.25];\n";
+    visit(root);
+    std::ostringstream out;
+    out << nodes_.str() << edges_.str() << "}\n";
+    return out.str();
+  }
+
+ private:
+  /// Returns (node id, valence mask) of the configuration.
+  std::pair<int, unsigned> visit(const Engine& e) {
+    const ConfigKey key = e.config_key();
+    if (const auto it = ids_.find(key); it != ids_.end()) return it->second;
+    const int id = next_id_++;
+    ids_.emplace(key, std::pair{id, 0u});
+    unsigned valence = 0;
+    if (e.all_done()) {
+      std::ostringstream label;
+      label << "decide";
+      for (ProcId p = 0; p < e.system().num_processes(); ++p) {
+        const auto r = e.result(p);
+        label << " " << (r ? std::to_string(*r) : "-");
+        if (r) valence |= (*r == 0 ? kZero : kOne);
+      }
+      nodes_ << "  n" << id << " [shape=doublecircle, width=0.4, label=\""
+             << label.str() << "\", fontsize=8];\n";
+    } else if (ids_.size() < options_.max_configs) {
+      for (const ProcId p : e.runnable()) {
+        const int width = e.pending_choices(p);
+        for (int c = 0; c < width; ++c) {
+          Engine child = e;
+          const auto commit = child.commit(p, c);
+          const auto [child_id, child_valence] = visit(child);
+          valence |= child_valence;
+          const auto& spec = *e.system().base(commit.object).spec;
+          edges_ << "  n" << id << " -> n" << child_id << " [label=\"p" << p
+                 << ": " << spec.invocation_name(commit.inv) << "->"
+                 << spec.response_name(commit.resp) << "\", fontsize=7];\n";
+        }
+      }
+    } else {
+      nodes_ << "  n" << id << " [shape=triangle, label=\"...\"];\n";
+      truncated_ = true;
+    }
+    if (options_.color_by_valence && !e.all_done()) {
+      const char* color = valence == (kZero | kOne) ? "gold"
+                          : valence == kZero        ? "lightblue"
+                          : valence == kOne         ? "lightpink"
+                                                    : "gray";
+      nodes_ << "  n" << id << " [style=filled, fillcolor=" << color
+             << "];\n";
+    }
+    ids_[key] = {id, valence};
+    return {id, valence};
+  }
+
+  DotOptions options_;
+  int next_id_ = 0;
+  bool truncated_ = false;
+  std::unordered_map<ConfigKey, std::pair<int, unsigned>, ConfigKeyHash>
+      ids_;
+  std::ostringstream nodes_;
+  std::ostringstream edges_;
+};
+
+}  // namespace
+
+std::string export_dot(const Engine& root, const DotOptions& options) {
+  DotBuilder builder(options);
+  return builder.run(root);
+}
+
+}  // namespace wfregs

@@ -1,0 +1,159 @@
+#include "wfregs/runtime/explorer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace wfregs {
+
+namespace {
+
+struct NodeInfo {
+  enum class State { kOnPath, kDone };
+  State state = State::kOnPath;
+  int depth_from = 0;
+  /// Per base object: max accesses on any path from here (when tracking).
+  std::vector<std::size_t> acc_from;
+  /// Flattened per (base object, invocation) maxima (when tracking).
+  std::vector<std::size_t> inv_from;
+};
+
+class ExplorerImpl {
+ public:
+  ExplorerImpl(const ExploreLimits& limits, const TerminalCheck& check)
+      : limits_(limits), check_(check) {}
+
+  ExploreOutcome run(const Engine& root) {
+    const System& sys = root.system();
+    num_objects_ = sys.num_objects();
+    if (limits_.track_access_bounds) {
+      inv_offset_.resize(static_cast<std::size_t>(num_objects_) + 1, 0);
+      for (ObjectId g = 0; g < num_objects_; ++g) {
+        const int invs =
+            sys.is_base(g) ? sys.base(g).spec->num_invocations() : 0;
+        inv_offset_[static_cast<std::size_t>(g) + 1] =
+            inv_offset_[static_cast<std::size_t>(g)] +
+            static_cast<std::size_t>(invs);
+      }
+    }
+    const NodeInfo info = dfs(root, 0);
+    // Stats are only meaningful when the exploration ran to completion
+    // (no cycle, no limit hit, no early stop at a violation).
+    if (!aborted_) {
+      outcome_.stats.depth = info.depth_from;
+      if (limits_.track_access_bounds) {
+        outcome_.stats.max_accesses = info.acc_from;
+        outcome_.stats.max_accesses_by_inv.resize(
+            static_cast<std::size_t>(num_objects_));
+        for (ObjectId g = 0; g < num_objects_; ++g) {
+          auto& per = outcome_.stats
+                          .max_accesses_by_inv[static_cast<std::size_t>(g)];
+          per.assign(info.inv_from.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             inv_offset_[static_cast<std::size_t>(g)]),
+                     info.inv_from.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             inv_offset_[static_cast<std::size_t>(g) + 1]));
+        }
+      }
+    }
+    return outcome_;
+  }
+
+ private:
+  NodeInfo leaf() const {
+    NodeInfo info;
+    info.state = NodeInfo::State::kDone;
+    if (limits_.track_access_bounds) {
+      info.acc_from.assign(static_cast<std::size_t>(num_objects_), 0);
+      info.inv_from.assign(inv_offset_.back(), 0);
+    }
+    return info;
+  }
+
+  NodeInfo dfs(const Engine& e, int depth) {
+    if (aborted_) return leaf();
+    const ConfigKey key = e.config_key();
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      if (it->second.state == NodeInfo::State::kOnPath) {
+        // A configuration repeats along the current path: the executions of
+        // this implementation form an infinite tree, so by the Section 4.2
+        // argument (Koenig's lemma) some process runs forever without
+        // completing -- the implementation is not wait-free.
+        outcome_.wait_free = false;
+        aborted_ = true;
+        return leaf();
+      }
+      return it->second;
+    }
+    if (depth > limits_.max_depth ||
+        outcome_.stats.configs >= limits_.max_configs) {
+      outcome_.complete = false;
+      aborted_ = true;
+      return leaf();
+    }
+    memo_.emplace(key, NodeInfo{NodeInfo::State::kOnPath, 0, {}, {}});
+    ++outcome_.stats.configs;
+
+    NodeInfo info = leaf();
+    if (e.all_done()) {
+      ++outcome_.stats.terminals;
+      if (check_) {
+        if (auto violation = check_(e)) {
+          if (!outcome_.violation) outcome_.violation = std::move(violation);
+          if (limits_.stop_at_violation) aborted_ = true;
+        }
+      }
+    } else {
+      for (const ProcId p : e.runnable()) {
+        const int width = e.pending_choices(p);
+        for (int c = 0; c < width; ++c) {
+          ++outcome_.stats.edges;
+          Engine child = e;
+          const Engine::CommitInfo commit = child.commit(p, c);
+          const NodeInfo child_info = dfs(child, depth + 1);
+          if (aborted_) break;
+          info.depth_from =
+              std::max(info.depth_from, child_info.depth_from + 1);
+          if (limits_.track_access_bounds) {
+            for (int g = 0; g < num_objects_; ++g) {
+              std::size_t cand =
+                  child_info.acc_from[static_cast<std::size_t>(g)];
+              if (g == commit.object) ++cand;
+              info.acc_from[static_cast<std::size_t>(g)] =
+                  std::max(info.acc_from[static_cast<std::size_t>(g)], cand);
+            }
+            const std::size_t hit =
+                inv_offset_[static_cast<std::size_t>(commit.object)] +
+                static_cast<std::size_t>(commit.inv);
+            for (std::size_t k = 0; k < info.inv_from.size(); ++k) {
+              std::size_t cand = child_info.inv_from[k];
+              if (k == hit) ++cand;
+              info.inv_from[k] = std::max(info.inv_from[k], cand);
+            }
+          }
+        }
+        if (aborted_) break;
+      }
+    }
+    memo_[key] = info;
+    return info;
+  }
+
+  const ExploreLimits& limits_;
+  const TerminalCheck& check_;
+  int num_objects_ = 0;
+  std::vector<std::size_t> inv_offset_;
+  bool aborted_ = false;
+  ExploreOutcome outcome_;
+  std::unordered_map<ConfigKey, NodeInfo, ConfigKeyHash> memo_;
+};
+
+}  // namespace
+
+ExploreOutcome explore(const Engine& root, const ExploreLimits& limits,
+                       const TerminalCheck& check) {
+  ExplorerImpl impl(limits, check);
+  return impl.run(root);
+}
+
+}  // namespace wfregs

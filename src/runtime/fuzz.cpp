@@ -1,0 +1,58 @@
+#include "wfregs/runtime/fuzz.hpp"
+
+#include <stdexcept>
+
+#include "wfregs/runtime/linearizability.hpp"
+#include "wfregs/runtime/scheduler.hpp"
+#include "wfregs/runtime/system.hpp"
+
+namespace wfregs {
+
+FuzzResult fuzz_linearizable(std::shared_ptr<const Implementation> impl,
+                             const std::vector<std::vector<InvId>>& scripts,
+                             const FuzzOptions& options) {
+  if (!impl) throw std::invalid_argument("fuzz_linearizable: null impl");
+  const int n = impl->iface().ports();
+  if (static_cast<int>(scripts.size()) != n) {
+    throw std::invalid_argument(
+        "fuzz_linearizable: need one script per interface port");
+  }
+  FuzzResult result;
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    auto sys = std::make_shared<System>(n);
+    std::vector<PortId> ports;
+    for (PortId p = 0; p < n; ++p) ports.push_back(p);
+    const ObjectId obj = sys->add_implemented(impl, ports);
+    for (ProcId p = 0; p < n; ++p) {
+      ProgramBuilder b;
+      for (const InvId inv : scripts[static_cast<std::size_t>(p)]) {
+        b.invoke(0, lit(inv), 0);
+      }
+      b.ret(lit(0));
+      sys->set_toplevel(p, b.build("fuzz_p" + std::to_string(p)), {obj});
+    }
+    Engine e{std::move(sys)};
+    RandomScheduler sched(options.seed + 2 * run);
+    RandomChooser chooser(options.seed + 2 * run + 1);
+    if (!run_to_completion(e, sched, chooser, options.max_steps_per_run)) {
+      result.detail = "run " + std::to_string(run) + ": did not finish in " +
+                      std::to_string(options.max_steps_per_run) + " steps";
+      return result;
+    }
+    result.total_steps += e.time();
+    const auto ops = e.history().ops_on(obj);
+    const auto check =
+        check_linearizable(ops, impl->iface(), impl->iface_initial());
+    if (!check.linearizable) {
+      result.detail = "run " + std::to_string(run) +
+                      ": history not linearizable:\n" +
+                      describe_history(ops, impl->iface());
+      return result;
+    }
+    ++result.runs;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace wfregs

@@ -1,0 +1,162 @@
+#include "wfregs/runtime/implementation.hpp"
+
+#include <stdexcept>
+
+namespace wfregs {
+
+Implementation::Implementation(std::string name,
+                               std::shared_ptr<const TypeSpec> iface,
+                               StateId iface_initial)
+    : name_(std::move(name)),
+      iface_(std::move(iface)),
+      iface_initial_(iface_initial) {
+  if (!iface_) {
+    throw std::invalid_argument("Implementation(" + name_ +
+                                "): null interface spec");
+  }
+  if (iface_initial < 0 || iface_initial >= iface_->num_states()) {
+    throw std::out_of_range("Implementation(" + name_ +
+                            "): interface initial state out of range");
+  }
+  programs_.resize(static_cast<std::size_t>(iface_->num_invocations()) *
+                   iface_->ports());
+}
+
+void Implementation::check_port_map(const std::vector<PortId>& map,
+                                    int inner_ports) const {
+  if (static_cast<int>(map.size()) != iface_->ports()) {
+    throw std::invalid_argument(
+        "Implementation(" + name_ + "): port_of_outer must have " +
+        std::to_string(iface_->ports()) + " entries, got " +
+        std::to_string(map.size()));
+  }
+  for (const PortId p : map) {
+    if (p != kNoPort && (p < 0 || p >= inner_ports)) {
+      throw std::out_of_range("Implementation(" + name_ +
+                              "): inner port " + std::to_string(p) +
+                              " out of range");
+    }
+  }
+}
+
+int Implementation::add_base(std::shared_ptr<const TypeSpec> spec,
+                             StateId initial,
+                             std::vector<PortId> port_of_outer) {
+  if (!spec) {
+    throw std::invalid_argument("Implementation(" + name_ +
+                                "): null inner spec");
+  }
+  if (initial < 0 || initial >= spec->num_states()) {
+    throw std::out_of_range("Implementation(" + name_ +
+                            "): inner initial state out of range");
+  }
+  check_port_map(port_of_outer, spec->ports());
+  ObjectDecl decl;
+  decl.spec = std::move(spec);
+  decl.initial = initial;
+  decl.port_of_outer = std::move(port_of_outer);
+  objects_.push_back(std::move(decl));
+  return static_cast<int>(objects_.size()) - 1;
+}
+
+int Implementation::add_nested(std::shared_ptr<const Implementation> impl,
+                               std::vector<PortId> port_of_outer) {
+  if (!impl) {
+    throw std::invalid_argument("Implementation(" + name_ +
+                                "): null nested implementation");
+  }
+  check_port_map(port_of_outer, impl->iface().ports());
+  ObjectDecl decl;
+  decl.impl = std::move(impl);
+  decl.port_of_outer = std::move(port_of_outer);
+  objects_.push_back(std::move(decl));
+  return static_cast<int>(objects_.size()) - 1;
+}
+
+std::size_t Implementation::prog_index(InvId inv, PortId port) const {
+  if (inv < 0 || inv >= iface_->num_invocations()) {
+    throw std::out_of_range("Implementation(" + name_ +
+                            "): invocation out of range");
+  }
+  if (port < 0 || port >= iface_->ports()) {
+    throw std::out_of_range("Implementation(" + name_ +
+                            "): port out of range");
+  }
+  return static_cast<std::size_t>(inv) * iface_->ports() +
+         static_cast<std::size_t>(port);
+}
+
+void Implementation::set_program(InvId inv, PortId port, ProgramRef code) {
+  if (!code) {
+    throw std::invalid_argument("Implementation(" + name_ +
+                                "): null program");
+  }
+  programs_[prog_index(inv, port)] = std::move(code);
+}
+
+void Implementation::set_program_all_ports(InvId inv, ProgramRef code) {
+  for (PortId p = 0; p < iface_->ports(); ++p) set_program(inv, p, code);
+}
+
+const ProgramRef& Implementation::program(InvId inv, PortId port) const {
+  const auto& p = programs_[prog_index(inv, port)];
+  if (!p) {
+    throw std::logic_error("Implementation(" + name_ + "): no program for " +
+                           iface_->invocation_name(inv) + " on port " +
+                           std::to_string(port));
+  }
+  return p;
+}
+
+bool Implementation::has_program(InvId inv, PortId port) const {
+  return programs_[prog_index(inv, port)] != nullptr;
+}
+
+void Implementation::set_persistent(std::vector<Val> initial) {
+  persistent_initial_ = std::move(initial);
+}
+
+std::shared_ptr<Implementation> Implementation::rewrite_objects(
+    const RewriteFn& fn) const {
+  auto copy = std::make_shared<Implementation>(name_, iface_, iface_initial_);
+  copy->programs_ = programs_;
+  copy->persistent_initial_ = persistent_initial_;
+  std::vector<int> path;
+  const auto rewrite_decl = [&](const auto& self,
+                                const ObjectDecl& decl) -> ObjectDecl {
+    if (auto replaced = fn(path, decl)) {
+      return *std::move(replaced);
+    }
+    if (decl.is_base()) return decl;
+    // Recurse into the nested implementation.
+    auto nested = std::make_shared<Implementation>(
+        decl.impl->name_, decl.impl->iface_, decl.impl->iface_initial_);
+    nested->programs_ = decl.impl->programs_;
+    nested->persistent_initial_ = decl.impl->persistent_initial_;
+    for (std::size_t k = 0; k < decl.impl->objects_.size(); ++k) {
+      path.push_back(static_cast<int>(k));
+      nested->objects_.push_back(self(self, decl.impl->objects_[k]));
+      path.pop_back();
+    }
+    ObjectDecl out;
+    out.impl = std::move(nested);
+    out.port_of_outer = decl.port_of_outer;
+    return out;
+  };
+  for (std::size_t k = 0; k < objects_.size(); ++k) {
+    path.push_back(static_cast<int>(k));
+    copy->objects_.push_back(rewrite_decl(rewrite_decl, objects_[k]));
+    path.pop_back();
+  }
+  return copy;
+}
+
+int Implementation::flattened_base_count() const {
+  int count = 0;
+  for (const ObjectDecl& decl : objects_) {
+    count += decl.is_base() ? 1 : decl.impl->flattened_base_count();
+  }
+  return count;
+}
+
+}  // namespace wfregs

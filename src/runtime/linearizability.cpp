@@ -1,0 +1,118 @@
+#include "wfregs/runtime/linearizability.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wfregs {
+
+namespace {
+
+struct MaskState {
+  std::uint64_t mask;
+  StateId state;
+  friend bool operator==(const MaskState&, const MaskState&) = default;
+};
+
+struct MaskStateHash {
+  std::size_t operator()(const MaskState& ms) const {
+    return std::hash<std::uint64_t>{}(ms.mask * 0x9e3779b97f4a7c15ULL ^
+                                      static_cast<std::uint64_t>(ms.state));
+  }
+};
+
+class Checker {
+ public:
+  Checker(const std::vector<OpRecord>& ops, const TypeSpec& spec)
+      : ops_(ops), spec_(spec) {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].response) completed_ |= (1ULL << i);
+    }
+  }
+
+  LinearizabilityResult run(StateId initial) {
+    LinearizabilityResult result;
+    const bool ok = dfs(0, initial, result.order);
+    result.linearizable = ok;
+    result.states_explored = explored_;
+    if (!ok) result.order.clear();
+    return result;
+  }
+
+ private:
+  bool dfs(std::uint64_t mask, StateId state, std::vector<int>& order) {
+    if ((mask & completed_) == completed_) return true;
+    ++explored_;
+    if (failed_.contains(MaskState{mask, state})) return false;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (mask & (1ULL << i)) continue;
+      if (!minimal(mask, i)) continue;
+      const OpRecord& op = ops_[i];
+      for (const Transition& t : spec_.delta(state, op.port, op.inv)) {
+        if (op.response && static_cast<Val>(t.resp) != *op.response) {
+          continue;
+        }
+        order.push_back(static_cast<int>(i));
+        if (dfs(mask | (1ULL << i), t.next, order)) return true;
+        order.pop_back();
+      }
+    }
+    failed_.insert(MaskState{mask, state});
+    return false;
+  }
+
+  /// An op may be linearized next only if no *other* unlinearized completed
+  /// op finished before it was invoked.
+  bool minimal(std::uint64_t mask, std::size_t i) const {
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+      if (j == i || (mask & (1ULL << j)) || !ops_[j].response) continue;
+      if (ops_[j].response_time < ops_[i].invoke_time) return false;
+    }
+    return true;
+  }
+
+  const std::vector<OpRecord>& ops_;
+  const TypeSpec& spec_;
+  std::uint64_t completed_ = 0;
+  std::unordered_set<MaskState, MaskStateHash> failed_;
+  std::size_t explored_ = 0;
+};
+
+}  // namespace
+
+LinearizabilityResult check_linearizable(const std::vector<OpRecord>& ops,
+                                         const TypeSpec& spec,
+                                         StateId initial) {
+  if (ops.size() > 64) {
+    throw std::invalid_argument(
+        "check_linearizable: at most 64 operations supported");
+  }
+  if (initial < 0 || initial >= spec.num_states()) {
+    throw std::out_of_range("check_linearizable: initial state out of range");
+  }
+  Checker checker(ops, spec);
+  return checker.run(initial);
+}
+
+std::string describe_history(const std::vector<OpRecord>& ops,
+                             const TypeSpec& spec) {
+  std::ostringstream out;
+  out << "history on type " << spec.name() << ":\n";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const OpRecord& op = ops[i];
+    out << "  [" << i << "] proc " << op.proc << " "
+        << spec.invocation_name(op.inv) << " @port " << op.port << " ("
+        << op.invoke_time << " .. ";
+    if (op.response) {
+      out << op.response_time << ") -> "
+          << spec.response_name(static_cast<RespId>(*op.response));
+    } else {
+      out << "pending)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wfregs

@@ -1,0 +1,310 @@
+#include "wfregs/runtime/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wfregs {
+
+std::size_t locals_hash(const Locals& l) {
+  std::size_t h = static_cast<std::size_t>(l.pc) * 0x9e3779b97f4a7c15ULL;
+  for (const Val v : l.regs) {
+    h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+// ---- Expr ---------------------------------------------------------------------
+
+struct Expr::Node {
+  Kind kind = Kind::kConst;
+  Val k = 0;
+  int reg = -1;
+  std::shared_ptr<const Node> a;
+  std::shared_ptr<const Node> b;
+};
+
+Expr Expr::lit(Val v) {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kConst;
+  n->k = v;
+  return Expr(std::move(n));
+}
+
+Expr Expr::reg(int index) {
+  if (index < 0) throw std::invalid_argument("Expr::reg: negative register");
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kReg;
+  n->reg = index;
+  return Expr(std::move(n));
+}
+
+Expr Expr::binary(Kind k, Expr a, Expr b) {
+  auto n = std::make_shared<Node>();
+  n->kind = k;
+  n->a = std::move(a.node_);
+  n->b = std::move(b.node_);
+  return Expr(std::move(n));
+}
+
+Expr operator+(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kAdd, std::move(a), std::move(b));
+}
+Expr operator-(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kSub, std::move(a), std::move(b));
+}
+Expr operator*(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kMul, std::move(a), std::move(b));
+}
+Expr operator/(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kDiv, std::move(a), std::move(b));
+}
+Expr operator%(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kMod, std::move(a), std::move(b));
+}
+Expr operator==(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kEq, std::move(a), std::move(b));
+}
+Expr operator!=(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kNe, std::move(a), std::move(b));
+}
+Expr operator<(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kLt, std::move(a), std::move(b));
+}
+Expr operator<=(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kLe, std::move(a), std::move(b));
+}
+Expr operator&&(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kAnd, std::move(a), std::move(b));
+}
+Expr operator||(Expr a, Expr b) {
+  return Expr::binary(Expr::Kind::kOr, std::move(a), std::move(b));
+}
+Expr operator!(Expr a) {
+  auto n = std::make_shared<Expr::Node>();
+  n->kind = Expr::Kind::kNot;
+  n->a = std::move(a.node_);
+  return Expr(std::move(n));
+}
+
+namespace {
+
+Val eval_node(const Expr::Node& n, const std::vector<Val>& regs);
+
+Val eval_child(const std::shared_ptr<const Expr::Node>& n,
+               const std::vector<Val>& regs) {
+  return eval_node(*n, regs);
+}
+
+Val eval_node(const Expr::Node& n, const std::vector<Val>& regs) {
+  using K = Expr::Kind;
+  switch (n.kind) {
+    case K::kConst:
+      return n.k;
+    case K::kReg:
+      if (n.reg >= static_cast<int>(regs.size())) {
+        throw std::out_of_range("Expr: register " + std::to_string(n.reg) +
+                                " not allocated");
+      }
+      return regs[static_cast<std::size_t>(n.reg)];
+    case K::kAdd:
+      return eval_child(n.a, regs) + eval_child(n.b, regs);
+    case K::kSub:
+      return eval_child(n.a, regs) - eval_child(n.b, regs);
+    case K::kMul:
+      return eval_child(n.a, regs) * eval_child(n.b, regs);
+    case K::kDiv: {
+      const Val d = eval_child(n.b, regs);
+      if (d == 0) throw std::domain_error("Expr: division by zero");
+      return eval_child(n.a, regs) / d;
+    }
+    case K::kMod: {
+      const Val d = eval_child(n.b, regs);
+      if (d == 0) throw std::domain_error("Expr: modulo by zero");
+      return eval_child(n.a, regs) % d;
+    }
+    case K::kEq:
+      return eval_child(n.a, regs) == eval_child(n.b, regs) ? 1 : 0;
+    case K::kNe:
+      return eval_child(n.a, regs) != eval_child(n.b, regs) ? 1 : 0;
+    case K::kLt:
+      return eval_child(n.a, regs) < eval_child(n.b, regs) ? 1 : 0;
+    case K::kLe:
+      return eval_child(n.a, regs) <= eval_child(n.b, regs) ? 1 : 0;
+    case K::kAnd:
+      return (eval_child(n.a, regs) != 0 && eval_child(n.b, regs) != 0) ? 1
+                                                                        : 0;
+    case K::kOr:
+      return (eval_child(n.a, regs) != 0 || eval_child(n.b, regs) != 0) ? 1
+                                                                        : 0;
+    case K::kNot:
+      return eval_child(n.a, regs) == 0 ? 1 : 0;
+  }
+  throw std::logic_error("Expr: unknown node kind");
+}
+
+int max_reg_node(const Expr::Node& n) {
+  int m = n.kind == Expr::Kind::kReg ? n.reg : -1;
+  if (n.a) m = std::max(m, max_reg_node(*n.a));
+  if (n.b) m = std::max(m, max_reg_node(*n.b));
+  return m;
+}
+
+}  // namespace
+
+Val Expr::eval(const std::vector<Val>& regs) const {
+  return eval_node(*node_, regs);
+}
+
+int Expr::max_reg() const { return max_reg_node(*node_); }
+
+// ---- bytecode program -----------------------------------------------------------
+
+/// Interprets the instruction list produced by ProgramBuilder.
+class BytecodeProgram final : public ProgramCode {
+ public:
+  BytecodeProgram(std::string name, std::vector<ProgramBuilder::Instr> code,
+                  std::vector<int> label_targets, int num_regs)
+      : name_(std::move(name)),
+        code_(std::move(code)),
+        label_targets_(std::move(label_targets)),
+        num_regs_(num_regs) {}
+
+  Action step(Locals& l) const override {
+    // Fuel bounds pure local computation between shared accesses; the
+    // constructions in this library use a handful of local instructions per
+    // access, so hitting this indicates a diverging local loop.
+    constexpr int kFuel = 100000;
+    for (int fuel = 0; fuel < kFuel; ++fuel) {
+      if (l.pc < 0 || l.pc >= static_cast<std::int32_t>(code_.size())) {
+        throw std::logic_error("program " + name_ + ": pc out of range");
+      }
+      const auto& ins = code_[static_cast<std::size_t>(l.pc)];
+      using Op = ProgramBuilder::Instr::Op;
+      switch (ins.op) {
+        case Op::kAssign:
+          l.regs[static_cast<std::size_t>(ins.reg)] = ins.expr->eval(l.regs);
+          ++l.pc;
+          break;
+        case Op::kInvoke: {
+          const Val inv = ins.expr->eval(l.regs);
+          ++l.pc;  // resume after the invoke once the response is delivered
+          return DoInvoke{ins.slot, static_cast<InvId>(inv), ins.reg};
+        }
+        case Op::kJump:
+          l.pc = label_targets_[static_cast<std::size_t>(ins.label)];
+          break;
+        case Op::kBranchIf:
+          if (ins.expr->eval(l.regs) != 0) {
+            l.pc = label_targets_[static_cast<std::size_t>(ins.label)];
+          } else {
+            ++l.pc;
+          }
+          break;
+        case Op::kRet:
+          return DoReturn{ins.expr->eval(l.regs)};
+        case Op::kFail:
+          throw std::runtime_error("program " + name_ + ": " + ins.message);
+      }
+    }
+    throw std::runtime_error("program " + name_ +
+                             ": local computation exceeded fuel (diverging "
+                             "loop with no shared access?)");
+  }
+
+  const std::string& name() const override { return name_; }
+  int num_regs() const override { return num_regs_; }
+
+ private:
+  std::string name_;
+  std::vector<ProgramBuilder::Instr> code_;
+  std::vector<int> label_targets_;
+  int num_regs_ = 0;
+};
+
+// ---- builder ----------------------------------------------------------------------
+
+void ProgramBuilder::note_reg(int r) {
+  if (r < 0) throw std::invalid_argument("ProgramBuilder: negative register");
+  max_reg_ = std::max(max_reg_, r);
+}
+
+void ProgramBuilder::note_expr(const Expr& e) {
+  max_reg_ = std::max(max_reg_, e.max_reg());
+}
+
+Label ProgramBuilder::make_label() {
+  label_targets_.push_back(-1);
+  return Label{static_cast<int>(label_targets_.size()) - 1};
+}
+
+void ProgramBuilder::bind(Label l) {
+  if (l.id < 0 || l.id >= static_cast<int>(label_targets_.size())) {
+    throw std::invalid_argument("ProgramBuilder::bind: unknown label");
+  }
+  if (label_targets_[static_cast<std::size_t>(l.id)] != -1) {
+    throw std::logic_error("ProgramBuilder::bind: label already bound");
+  }
+  label_targets_[static_cast<std::size_t>(l.id)] =
+      static_cast<int>(code_.size());
+}
+
+Label ProgramBuilder::bind_here() {
+  const Label l = make_label();
+  bind(l);
+  return l;
+}
+
+void ProgramBuilder::assign(int r, Expr value) {
+  note_reg(r);
+  note_expr(value);
+  code_.push_back({Instr::Op::kAssign, r, -1, -1, std::move(value), {}});
+}
+
+void ProgramBuilder::invoke(int slot, Expr inv, int result_reg) {
+  if (slot < 0) throw std::invalid_argument("ProgramBuilder: negative slot");
+  note_reg(result_reg);
+  note_expr(inv);
+  code_.push_back(
+      {Instr::Op::kInvoke, result_reg, slot, -1, std::move(inv), {}});
+}
+
+void ProgramBuilder::jump(Label target) {
+  code_.push_back({Instr::Op::kJump, -1, -1, target.id, std::nullopt, {}});
+}
+
+void ProgramBuilder::branch_if(Expr condition, Label target) {
+  note_expr(condition);
+  code_.push_back(
+      {Instr::Op::kBranchIf, -1, -1, target.id, std::move(condition), {}});
+}
+
+void ProgramBuilder::ret(Expr value) {
+  note_expr(value);
+  code_.push_back({Instr::Op::kRet, -1, -1, -1, std::move(value), {}});
+}
+
+void ProgramBuilder::fail(std::string message) {
+  code_.push_back(
+      {Instr::Op::kFail, -1, -1, -1, std::nullopt, std::move(message)});
+}
+
+ProgramRef ProgramBuilder::build(std::string name) {
+  for (std::size_t i = 0; i < label_targets_.size(); ++i) {
+    if (label_targets_[i] == -1) {
+      throw std::logic_error("ProgramBuilder::build(" + name + "): label " +
+                             std::to_string(i) + " used but never bound");
+    }
+  }
+  if (code_.empty() || (code_.back().op != Instr::Op::kRet &&
+                        code_.back().op != Instr::Op::kJump &&
+                        code_.back().op != Instr::Op::kFail)) {
+    throw std::logic_error("ProgramBuilder::build(" + name +
+                           "): program must end in ret/jump/fail");
+  }
+  return std::make_shared<BytecodeProgram>(std::move(name), std::move(code_),
+                                           std::move(label_targets_),
+                                           max_reg_ + 1);
+}
+
+}  // namespace wfregs

@@ -1,0 +1,89 @@
+#include "wfregs/runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wfregs {
+
+ProcId RoundRobinScheduler::pick(const Engine& /*engine*/,
+                                 const std::vector<ProcId>& runnable) {
+  // First runnable id strictly greater than last_, wrapping around.
+  const auto it = std::ranges::upper_bound(runnable, last_);
+  last_ = it != runnable.end() ? *it : runnable.front();
+  return last_;
+}
+
+ProcId RandomScheduler::pick(const Engine& /*engine*/,
+                             const std::vector<ProcId>& runnable) {
+  std::uniform_int_distribution<std::size_t> dist(0, runnable.size() - 1);
+  return runnable[dist(rng_)];
+}
+
+int FirstChooser::pick(int n) {
+  if (n <= 0) throw std::invalid_argument("FirstChooser: empty choice set");
+  return 0;
+}
+
+int RandomChooser::pick(int n) {
+  if (n <= 0) throw std::invalid_argument("RandomChooser: empty choice set");
+  std::uniform_int_distribution<int> dist(0, n - 1);
+  return dist(rng_);
+}
+
+ProcId AdversarialScheduler::pick(const Engine& engine,
+                                  const std::vector<ProcId>& runnable) {
+  steps_.resize(
+      static_cast<std::size_t>(engine.system().num_processes()), 0);
+  ProcId choice = -1;
+  // Find a racing pair: two runnable processes poised at the same object.
+  for (std::size_t x = 0; x < runnable.size() && choice < 0; ++x) {
+    for (std::size_t y = x + 1; y < runnable.size() && choice < 0; ++y) {
+      if (engine.pending_object(runnable[x]) ==
+          engine.pending_object(runnable[y])) {
+        // Alternate within the pair so both sides of the race advance.
+        choice = (last_ == runnable[x]) ? runnable[y] : runnable[x];
+      }
+    }
+  }
+  if (choice < 0) {
+    // No race: advance the least-advanced process (keeps operations long
+    // and overlapping).
+    choice = runnable.front();
+    for (const ProcId p : runnable) {
+      if (steps_[static_cast<std::size_t>(p)] <
+          steps_[static_cast<std::size_t>(choice)]) {
+        choice = p;
+      }
+    }
+  }
+  ++steps_[static_cast<std::size_t>(choice)];
+  last_ = choice;
+  return choice;
+}
+
+ProcId ReplayScheduler::pick(const Engine& /*engine*/,
+                             const std::vector<ProcId>& runnable) {
+  if (next_ >= sequence_.size()) {
+    throw std::out_of_range("ReplayScheduler: sequence exhausted");
+  }
+  const ProcId p = sequence_[next_++];
+  if (!std::ranges::binary_search(runnable, p)) {
+    throw std::out_of_range("ReplayScheduler: process " + std::to_string(p) +
+                            " is not runnable");
+  }
+  return p;
+}
+
+bool run_to_completion(Engine& engine, Scheduler& scheduler, Chooser& chooser,
+                       std::size_t max_steps) {
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    if (engine.all_done()) return true;
+    const auto runnable = engine.runnable();
+    const ProcId p = scheduler.pick(engine, runnable);
+    const int width = engine.pending_choices(p);
+    engine.commit(p, width == 1 ? 0 : chooser.pick(width));
+  }
+  return engine.all_done();
+}
+
+}  // namespace wfregs

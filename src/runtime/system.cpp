@@ -1,0 +1,188 @@
+#include "wfregs/runtime/system.hpp"
+
+#include <stdexcept>
+
+namespace wfregs {
+
+System::System(int num_processes) : num_processes_(num_processes) {
+  if (num_processes <= 0) {
+    throw std::invalid_argument("System: need at least one process");
+  }
+  toplevel_.resize(static_cast<std::size_t>(num_processes));
+  toplevel_env_.resize(static_cast<std::size_t>(num_processes));
+}
+
+void System::check_proc(ProcId p) const {
+  if (p < 0 || p >= num_processes_) {
+    throw std::out_of_range("System: process id out of range");
+  }
+}
+
+ObjectId System::add_base(std::shared_ptr<const TypeSpec> spec,
+                          StateId initial,
+                          std::vector<PortId> port_of_process) {
+  if (!spec) throw std::invalid_argument("System::add_base: null spec");
+  if (initial < 0 || initial >= spec->num_states()) {
+    throw std::out_of_range("System::add_base: initial state out of range");
+  }
+  if (static_cast<int>(port_of_process.size()) != num_processes_) {
+    throw std::invalid_argument(
+        "System::add_base: port_of_process must have one entry per process");
+  }
+  for (const PortId port : port_of_process) {
+    if (port != kNoPort && (port < 0 || port >= spec->ports())) {
+      throw std::out_of_range("System::add_base: port out of range");
+    }
+  }
+  objects_.emplace_back(BaseObject{std::move(spec), initial});
+  top_ports_.push_back(std::move(port_of_process));
+  placements_.push_back(
+      Placement{static_cast<ObjectId>(objects_.size()) - 1, {}});
+  ++num_base_;
+  return static_cast<ObjectId>(objects_.size()) - 1;
+}
+
+ObjectId System::instantiate(
+    const ObjectDecl& decl, std::vector<int>& path,
+    std::vector<std::pair<ObjectId, std::vector<int>>>& collected) {
+  if (decl.is_base()) {
+    objects_.emplace_back(BaseObject{decl.spec, decl.initial});
+    top_ports_.emplace_back();  // inner objects have no top-level ports
+    placements_.emplace_back();  // patched by add_implemented
+    ++num_base_;
+    const auto g = static_cast<ObjectId>(objects_.size()) - 1;
+    collected.emplace_back(g, path);
+    return g;
+  }
+  VirtualObject v;
+  v.impl = decl.impl;
+  v.inner.reserve(decl.impl->objects().size());
+  const auto decls = decl.impl->objects();
+  for (std::size_t k = 0; k < decls.size(); ++k) {
+    path.push_back(static_cast<int>(k));
+    v.inner.push_back(instantiate(decls[k], path, collected));
+    path.pop_back();
+  }
+  objects_.emplace_back(std::move(v));
+  top_ports_.emplace_back();
+  placements_.emplace_back();
+  const auto g = static_cast<ObjectId>(objects_.size()) - 1;
+  collected.emplace_back(g, path);
+  return g;
+}
+
+ObjectId System::add_implemented(std::shared_ptr<const Implementation> impl,
+                                 std::vector<PortId> port_of_process) {
+  if (!impl) {
+    throw std::invalid_argument("System::add_implemented: null impl");
+  }
+  if (static_cast<int>(port_of_process.size()) != num_processes_) {
+    throw std::invalid_argument(
+        "System::add_implemented: port_of_process must have one entry per "
+        "process");
+  }
+  for (const PortId port : port_of_process) {
+    if (port != kNoPort && (port < 0 || port >= impl->iface().ports())) {
+      throw std::out_of_range("System::add_implemented: port out of range");
+    }
+  }
+  ObjectDecl decl;
+  decl.impl = std::move(impl);
+  std::vector<int> path;
+  std::vector<std::pair<ObjectId, std::vector<int>>> collected;
+  const ObjectId g = instantiate(decl, path, collected);
+  top_ports_[static_cast<std::size_t>(g)] = std::move(port_of_process);
+  for (auto& [inner_g, inner_path] : collected) {
+    placements_[static_cast<std::size_t>(inner_g)] =
+        Placement{g, std::move(inner_path)};
+  }
+  return g;
+}
+
+const System::Placement& System::placement(ObjectId g) const {
+  if (g < 0 || g >= num_objects()) {
+    throw std::out_of_range("System::placement: object id out of range");
+  }
+  return placements_[static_cast<std::size_t>(g)];
+}
+
+ObjectId System::resolve(ObjectId top, std::span<const int> path) const {
+  if (top < 0 || top >= num_objects()) {
+    throw std::out_of_range("System::resolve: top object id out of range");
+  }
+  ObjectId g = top;
+  for (const int slot : path) {
+    const auto& v = virt(g);
+    if (slot < 0 || slot >= static_cast<int>(v.inner.size())) {
+      throw std::out_of_range("System::resolve: slot out of range");
+    }
+    g = v.inner[static_cast<std::size_t>(slot)];
+  }
+  return g;
+}
+
+bool System::is_base(ObjectId g) const {
+  if (g < 0 || g >= num_objects()) {
+    throw std::out_of_range("System: object id out of range");
+  }
+  return std::holds_alternative<BaseObject>(
+      objects_[static_cast<std::size_t>(g)]);
+}
+
+const System::BaseObject& System::base(ObjectId g) const {
+  if (!is_base(g)) {
+    throw std::logic_error("System::base: object is implemented, not base");
+  }
+  return std::get<BaseObject>(objects_[static_cast<std::size_t>(g)]);
+}
+
+const System::VirtualObject& System::virt(ObjectId g) const {
+  if (is_base(g)) {
+    throw std::logic_error("System::virt: object is base, not implemented");
+  }
+  return std::get<VirtualObject>(objects_[static_cast<std::size_t>(g)]);
+}
+
+void System::set_toplevel(ProcId p, ProgramRef code,
+                          std::vector<ObjectId> env) {
+  check_proc(p);
+  if (!code) throw std::invalid_argument("System::set_toplevel: null code");
+  std::vector<Handle> handles;
+  handles.reserve(env.size());
+  for (const ObjectId g : env) {
+    const PortId port = top_port(g, p);
+    handles.push_back(Handle{g, port});
+  }
+  toplevel_[static_cast<std::size_t>(p)] = std::move(code);
+  toplevel_env_[static_cast<std::size_t>(p)] = std::move(handles);
+}
+
+const ProgramRef& System::toplevel_program(ProcId p) const {
+  check_proc(p);
+  const auto& prog = toplevel_[static_cast<std::size_t>(p)];
+  if (!prog) {
+    throw std::logic_error("System: process " + std::to_string(p) +
+                           " has no top-level program");
+  }
+  return prog;
+}
+
+const std::vector<Handle>& System::toplevel_env(ProcId p) const {
+  check_proc(p);
+  return toplevel_env_[static_cast<std::size_t>(p)];
+}
+
+PortId System::top_port(ObjectId g, ProcId p) const {
+  check_proc(p);
+  if (g < 0 || g >= num_objects()) {
+    throw std::out_of_range("System::top_port: object id out of range");
+  }
+  const auto& ports = top_ports_[static_cast<std::size_t>(g)];
+  if (ports.empty()) {
+    throw std::logic_error(
+        "System::top_port: object was not added at top level");
+  }
+  return ports[static_cast<std::size_t>(p)];
+}
+
+}  // namespace wfregs

@@ -1,0 +1,70 @@
+#include "wfregs/runtime/verify.hpp"
+
+#include <stdexcept>
+
+#include "wfregs/runtime/linearizability.hpp"
+#include "wfregs/runtime/system.hpp"
+
+namespace wfregs {
+
+VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
+                                 std::vector<std::vector<InvId>> scripts,
+                                 const ExploreLimits& limits) {
+  if (!impl) {
+    throw std::invalid_argument("verify_linearizable: null implementation");
+  }
+  const int n = impl->iface().ports();
+  if (static_cast<int>(scripts.size()) != n) {
+    throw std::invalid_argument(
+        "verify_linearizable: need one script per interface port");
+  }
+  auto sys = std::make_shared<System>(n);
+  std::vector<PortId> ports;
+  for (PortId p = 0; p < n; ++p) ports.push_back(p);
+  const ObjectId obj = sys->add_implemented(impl, ports);
+  for (ProcId p = 0; p < n; ++p) {
+    // The driver accumulates every response into its return value.  This is
+    // NOT cosmetic: the explorer memoizes on configurations, and the
+    // terminal check below depends on the response *history*; folding the
+    // responses into process state keeps executions with different
+    // histories in distinct configurations, preserving exhaustiveness.
+    ProgramBuilder b;
+    b.assign(1, lit(0));
+    for (std::size_t k = 0; k < scripts[static_cast<std::size_t>(p)].size();
+         ++k) {
+      b.invoke(0, lit(scripts[static_cast<std::size_t>(p)][k]), 0);
+      b.assign(1, reg(1) * lit(1 << 20) + reg(0) + lit(1));
+    }
+    b.ret(reg(1));
+    sys->set_toplevel(p, b.build("script_p" + std::to_string(p)), {obj});
+  }
+
+  const auto iface = impl->iface_ptr();
+  const StateId initial = impl->iface_initial();
+  const TerminalCheck check =
+      [obj, iface, initial](const Engine& e) -> std::optional<std::string> {
+    const auto ops = e.history().ops_on(obj);
+    const auto r = check_linearizable(ops, *iface, initial);
+    if (r.linearizable) return std::nullopt;
+    return "history not linearizable:\n" + describe_history(ops, *iface);
+  };
+
+  const Engine root{std::move(sys)};
+  const auto out = explore(root, limits, check);
+
+  VerifyResult result;
+  result.wait_free = out.wait_free;
+  result.complete = out.complete;
+  result.stats = out.stats;
+  if (out.violation) {
+    result.detail = *out.violation;
+  } else if (!out.wait_free) {
+    result.detail = "configuration cycle: implementation is not wait-free";
+  } else if (!out.complete) {
+    result.detail = "exploration exceeded limits";
+  }
+  result.ok = out.wait_free && out.complete && !out.violation;
+  return result;
+}
+
+}  // namespace wfregs

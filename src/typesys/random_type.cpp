@@ -1,0 +1,41 @@
+#include "wfregs/typesys/random_type.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <string>
+
+namespace wfregs {
+
+TypeSpec random_type(const RandomTypeParams& params, std::uint64_t seed) {
+  if (params.branching < 1) {
+    throw std::invalid_argument("random_type: branching must be >= 1");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<StateId> state_dist(0, params.num_states - 1);
+  std::uniform_int_distribution<RespId> resp_dist(0, params.num_responses - 1);
+  std::uniform_int_distribution<int> count_dist(1, 2 * params.branching - 1);
+
+  TypeSpec t("random_seed" + std::to_string(seed), params.ports,
+             params.num_states, params.num_invocations, params.num_responses);
+  const int port_span = params.oblivious ? 1 : params.ports;
+  for (StateId q = 0; q < params.num_states; ++q) {
+    for (PortId p = 0; p < port_span; ++p) {
+      for (InvId i = 0; i < params.num_invocations; ++i) {
+        const int count = params.branching == 1 ? 1 : count_dist(rng);
+        for (int k = 0; k < count; ++k) {
+          const StateId next = state_dist(rng);
+          const RespId resp = resp_dist(rng);
+          if (params.oblivious) {
+            t.add_oblivious(q, i, next, resp);
+          } else {
+            t.add(q, p, i, next, resp);
+          }
+        }
+      }
+    }
+  }
+  t.validate();
+  return t;
+}
+
+}  // namespace wfregs

@@ -1,0 +1,204 @@
+#include "wfregs/typesys/serialize.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace wfregs {
+
+namespace {
+
+[[noreturn]] void fail_at(int line, const std::string& what) {
+  throw std::runtime_error("parse_type: line " + std::to_string(line) +
+                           ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Resolves a token as a name from `names` or as a numeric index < count.
+int resolve(const std::string& tok, const std::vector<std::string>& names,
+            int count, const char* kind, int line) {
+  for (std::size_t k = 0; k < names.size(); ++k) {
+    if (names[k] == tok) return static_cast<int>(k);
+  }
+  try {
+    std::size_t pos = 0;
+    const int index = std::stoi(tok, &pos);
+    if (pos == tok.size() && index >= 0 && index < count) return index;
+  } catch (const std::exception&) {
+    // fall through to the error below
+  }
+  fail_at(line, std::string("unknown ") + kind + " '" + tok + "'");
+}
+
+}  // namespace
+
+std::string print_type(const TypeSpec& t) {
+  std::ostringstream out;
+  out << "type " << t.name() << "\n";
+  out << "ports " << t.ports() << "\n";
+  out << "states " << t.num_states();
+  for (StateId q = 0; q < t.num_states(); ++q) out << " " << t.state_name(q);
+  out << "\ninvocations " << t.num_invocations();
+  for (InvId i = 0; i < t.num_invocations(); ++i) {
+    out << " " << t.invocation_name(i);
+  }
+  out << "\nresponses " << t.num_responses();
+  for (RespId r = 0; r < t.num_responses(); ++r) {
+    out << " " << t.response_name(r);
+  }
+  out << "\n";
+  for (StateId q = 0; q < t.num_states(); ++q) {
+    for (InvId i = 0; i < t.num_invocations(); ++i) {
+      // Collapse to '*' when every port has the same transition set.
+      bool uniform = true;
+      const auto base = t.delta(q, 0, i);
+      for (PortId p = 1; p < t.ports() && uniform; ++p) {
+        const auto set = t.delta(q, p, i);
+        uniform = std::equal(base.begin(), base.end(), set.begin(),
+                             set.end());
+      }
+      const int port_span = uniform ? 1 : t.ports();
+      for (PortId p = 0; p < port_span; ++p) {
+        for (const Transition& tr : t.delta(q, p, i)) {
+          out << "delta " << t.state_name(q) << " "
+              << (uniform ? std::string("*") : std::to_string(p)) << " "
+              << t.invocation_name(i) << " -> " << t.state_name(tr.next)
+              << " " << t.response_name(tr.resp) << "\n";
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+TypeSpec parse_type(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+
+  std::string name;
+  std::optional<int> ports, num_states, num_invs, num_resps;
+  std::vector<std::string> state_names, inv_names, resp_names;
+  std::optional<TypeSpec> spec;
+  bool any_delta = false;
+
+  const auto header = [&](const std::vector<std::string>& tokens,
+                          std::optional<int>& slot,
+                          std::vector<std::string>& names) {
+    if (tokens.size() < 2) fail_at(line_no, "missing count");
+    int count = 0;
+    try {
+      count = std::stoi(tokens[1]);
+    } catch (const std::exception&) {
+      fail_at(line_no, "bad count '" + tokens[1] + "'");
+    }
+    if (count <= 0) fail_at(line_no, "count must be positive");
+    slot = count;
+    names.assign(tokens.begin() + 2, tokens.end());
+    if (static_cast<int>(names.size()) > count) {
+      fail_at(line_no, "more names than the declared count");
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& kw = tokens[0];
+    if (kw == "type") {
+      if (tokens.size() != 2) fail_at(line_no, "type needs exactly a name");
+      name = tokens[1];
+    } else if (kw == "ports") {
+      if (tokens.size() != 2) fail_at(line_no, "ports needs a count");
+      try {
+        ports = std::stoi(tokens[1]);
+      } catch (const std::exception&) {
+        fail_at(line_no, "bad port count");
+      }
+    } else if (kw == "states") {
+      header(tokens, num_states, state_names);
+    } else if (kw == "invocations") {
+      header(tokens, num_invs, inv_names);
+    } else if (kw == "responses") {
+      header(tokens, num_resps, resp_names);
+    } else if (kw == "delta") {
+      if (!spec) {
+        if (!ports || !num_states || !num_invs || !num_resps) {
+          fail_at(line_no,
+                  "delta before ports/states/invocations/responses headers");
+        }
+        spec.emplace(name.empty() ? "anonymous" : name, *ports, *num_states,
+                     *num_invs, *num_resps);
+        for (std::size_t k = 0; k < state_names.size(); ++k) {
+          spec->name_state(static_cast<StateId>(k), state_names[k]);
+        }
+        for (std::size_t k = 0; k < inv_names.size(); ++k) {
+          spec->name_invocation(static_cast<InvId>(k), inv_names[k]);
+        }
+        for (std::size_t k = 0; k < resp_names.size(); ++k) {
+          spec->name_response(static_cast<RespId>(k), resp_names[k]);
+        }
+      }
+      // delta <state> <port|*> <inv> -> <state> <resp>
+      if (tokens.size() != 7 || tokens[4] != "->") {
+        fail_at(line_no,
+                "expected: delta <state> <port|*> <invocation> -> <state> "
+                "<response>");
+      }
+      const int q = resolve(tokens[1], state_names, *num_states, "state",
+                            line_no);
+      const int i = resolve(tokens[3], inv_names, *num_invs, "invocation",
+                            line_no);
+      const int q2 = resolve(tokens[5], state_names, *num_states, "state",
+                             line_no);
+      const int r = resolve(tokens[6], resp_names, *num_resps, "response",
+                            line_no);
+      any_delta = true;
+      if (tokens[2] == "*") {
+        spec->add_oblivious(q, i, q2, r);
+      } else {
+        const int p = resolve(tokens[2], {}, *ports, "port", line_no);
+        spec->add(q, p, i, q2, r);
+      }
+    } else {
+      fail_at(line_no, "unknown keyword '" + kw + "'");
+    }
+  }
+  if (!spec || !any_delta) {
+    throw std::runtime_error("parse_type: no transitions defined");
+  }
+  try {
+    spec->validate();
+  } catch (const std::logic_error& e) {
+    throw std::runtime_error(std::string("parse_type: ") + e.what());
+  }
+  return *std::move(spec);
+}
+
+TypeSpec load_type(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_type: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_type(buffer.str());
+}
+
+void save_type(const TypeSpec& t, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_type: cannot open " + path);
+  out << print_type(t);
+}
+
+}  // namespace wfregs

@@ -1,0 +1,211 @@
+#include "wfregs/typesys/triviality.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace wfregs {
+
+namespace {
+
+void require_deterministic(const TypeSpec& t, const char* who) {
+  if (!t.is_deterministic()) {
+    throw std::invalid_argument(std::string(who) + ": type " + t.name() +
+                                " must be deterministic");
+  }
+}
+
+void require_oblivious(const TypeSpec& t, const char* who) {
+  if (!t.is_oblivious()) {
+    throw std::invalid_argument(std::string(who) + ": type " + t.name() +
+                                " must be oblivious");
+  }
+}
+
+}  // namespace
+
+// ---- Section 5.1 ------------------------------------------------------------
+
+bool is_trivial_oblivious_from(const TypeSpec& t, StateId q) {
+  require_deterministic(t, "is_trivial_oblivious_from");
+  require_oblivious(t, "is_trivial_oblivious_from");
+  const auto reach = t.reachable_from(q);
+  for (InvId i = 0; i < t.num_invocations(); ++i) {
+    const RespId base = t.delta_det(q, 0, i).resp;
+    for (const StateId p : reach) {
+      if (t.delta_det(p, 0, i).resp != base) return false;
+    }
+  }
+  return true;
+}
+
+bool is_trivial_oblivious(const TypeSpec& t) {
+  return !find_oblivious_witness(t).has_value();
+}
+
+std::optional<ObliviousWitness> find_oblivious_witness(const TypeSpec& t) {
+  require_deterministic(t, "find_oblivious_witness");
+  require_oblivious(t, "find_oblivious_witness");
+  // Response constancy over every reachable set is equivalent to response
+  // constancy across every one-step edge: if some i distinguishes q from a
+  // state reachable in several steps, then along the path there is an edge
+  // across which i's response first changes.  This is the constructive
+  // content of the paper's remark that p may be chosen one step from q.
+  for (StateId q = 0; q < t.num_states(); ++q) {
+    for (InvId ip = 0; ip < t.num_invocations(); ++ip) {
+      const StateId p = t.delta_det(q, 0, ip).next;
+      for (InvId i = 0; i < t.num_invocations(); ++i) {
+        const RespId rq = t.delta_det(q, 0, i).resp;
+        const RespId rp = t.delta_det(p, 0, i).resp;
+        if (rq != rp) {
+          return ObliviousWitness{q, ip, p, i, rq, rp};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- Mealy equivalence under one port ----------------------------------------
+
+std::vector<int> port_trace_classes(const TypeSpec& t, PortId j) {
+  require_deterministic(t, "port_trace_classes");
+  const int n = t.num_states();
+  const int ni = t.num_invocations();
+  // Initial partition: by the response signature of a single invocation.
+  std::vector<int> cls(static_cast<std::size_t>(n), 0);
+  {
+    std::map<std::vector<RespId>, int> index;
+    for (StateId q = 0; q < n; ++q) {
+      std::vector<RespId> sig(static_cast<std::size_t>(ni));
+      for (InvId i = 0; i < ni; ++i) {
+        sig[static_cast<std::size_t>(i)] = t.delta_det(q, j, i).resp;
+      }
+      const auto [it, _] =
+          index.try_emplace(std::move(sig), static_cast<int>(index.size()));
+      cls[static_cast<std::size_t>(q)] = it->second;
+    }
+  }
+  // Refine by successor classes until a fixed point (Moore-style).
+  for (;;) {
+    std::map<std::pair<int, std::vector<int>>, int> index;
+    std::vector<int> next(static_cast<std::size_t>(n), 0);
+    for (StateId q = 0; q < n; ++q) {
+      std::vector<int> succ(static_cast<std::size_t>(ni));
+      for (InvId i = 0; i < ni; ++i) {
+        succ[static_cast<std::size_t>(i)] =
+            cls[static_cast<std::size_t>(t.delta_det(q, j, i).next)];
+      }
+      const auto [it, _] = index.try_emplace(
+          {cls[static_cast<std::size_t>(q)], std::move(succ)},
+          static_cast<int>(index.size()));
+      next[static_cast<std::size_t>(q)] = it->second;
+    }
+    if (next == cls) return cls;
+    cls = std::move(next);
+  }
+}
+
+std::optional<std::vector<InvId>> shortest_distinguishing_sequence(
+    const TypeSpec& t, PortId j, StateId q1, StateId q2) {
+  require_deterministic(t, "shortest_distinguishing_sequence");
+  if (q1 == q2) return std::nullopt;
+  const int n = t.num_states();
+  // BFS over ordered state pairs.  The first pair reached from which some
+  // invocation yields differing responses gives the shortest distinguishing
+  // sequence; differences can only appear at its last position (a shorter
+  // prefix would otherwise already distinguish).
+  const auto pack = [n](StateId a, StateId b) {
+    return static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(b);
+  };
+  struct Pred {
+    StateId a = -1, b = -1;
+    InvId via = -1;
+  };
+  std::vector<Pred> pred(static_cast<std::size_t>(n) * n);
+  std::vector<char> seen(static_cast<std::size_t>(n) * n, 0);
+  std::deque<std::pair<StateId, StateId>> frontier{{q1, q2}};
+  seen[pack(q1, q2)] = 1;
+  while (!frontier.empty()) {
+    const auto [a, b] = frontier.front();
+    frontier.pop_front();
+    for (InvId i = 0; i < t.num_invocations(); ++i) {
+      const Transition ta = t.delta_det(a, j, i);
+      const Transition tb = t.delta_det(b, j, i);
+      if (ta.resp != tb.resp) {
+        // Reconstruct the path of invocations leading to (a, b), then i.
+        std::vector<InvId> seq{i};
+        StateId ca = a, cb = b;
+        while (!(ca == q1 && cb == q2)) {
+          const Pred& pr = pred[pack(ca, cb)];
+          seq.push_back(pr.via);
+          ca = pr.a;
+          cb = pr.b;
+        }
+        std::ranges::reverse(seq);
+        return seq;
+      }
+      const auto key = pack(ta.next, tb.next);
+      if (!seen[key] && ta.next != tb.next) {
+        seen[key] = 1;
+        pred[key] = Pred{a, b, i};
+        frontier.emplace_back(ta.next, tb.next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- Section 5.2 --------------------------------------------------------------
+
+std::optional<NonTrivialPair> find_nontrivial_pair(const TypeSpec& t) {
+  require_deterministic(t, "find_nontrivial_pair");
+  if (t.ports() < 2) return std::nullopt;
+  std::optional<NonTrivialPair> best;
+  for (PortId reader = 0; reader < t.ports(); ++reader) {
+    const auto cls = port_trace_classes(t, reader);
+    for (PortId writer = 0; writer < t.ports(); ++writer) {
+      if (writer == reader) continue;
+      for (StateId q = 0; q < t.num_states(); ++q) {
+        for (InvId iw = 0; iw < t.num_invocations(); ++iw) {
+          const StateId p = t.delta_det(q, writer, iw).next;
+          if (cls[static_cast<std::size_t>(q)] ==
+              cls[static_cast<std::size_t>(p)]) {
+            continue;  // the write is invisible to this reader port
+          }
+          auto seq = shortest_distinguishing_sequence(t, reader, q, p);
+          if (!seq) continue;  // should not happen given the class check
+          if (best && best->read_seq.size() <= seq->size()) continue;
+          NonTrivialPair pair;
+          pair.q = q;
+          pair.reader_port = reader;
+          pair.writer_port = writer;
+          pair.write_inv = iw;
+          pair.read_seq = std::move(*seq);
+          // Replay the read sequence from q (H1) and from p (H2) to record
+          // the differing final responses.
+          StateId a = q, b = p;
+          for (const InvId i : pair.read_seq) {
+            const Transition ta = t.delta_det(a, reader, i);
+            const Transition tb = t.delta_det(b, reader, i);
+            pair.unwritten_resp = ta.resp;
+            pair.written_resp = tb.resp;
+            a = ta.next;
+            b = tb.next;
+          }
+          best = std::move(pair);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+bool is_trivial_general(const TypeSpec& t) {
+  return !find_nontrivial_pair(t).has_value();
+}
+
+}  // namespace wfregs

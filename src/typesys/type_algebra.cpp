@@ -1,0 +1,68 @@
+#include "wfregs/typesys/type_algebra.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace wfregs {
+
+TypeSpec reachable_part(const TypeSpec& t, StateId initial) {
+  const auto reach = t.reachable_from(initial);
+  std::vector<StateId> dense(static_cast<std::size_t>(t.num_states()), -1);
+  // `initial` becomes state 0; the rest keep their relative order.
+  dense[static_cast<std::size_t>(initial)] = 0;
+  StateId next_id = 1;
+  for (const StateId q : reach) {
+    if (q != initial) dense[static_cast<std::size_t>(q)] = next_id++;
+  }
+  TypeSpec out(t.name() + "_reach", t.ports(), next_id, t.num_invocations(),
+               t.num_responses());
+  for (const StateId q : reach) {
+    out.name_state(dense[static_cast<std::size_t>(q)], t.state_name(q));
+    for (PortId p = 0; p < t.ports(); ++p) {
+      for (InvId i = 0; i < t.num_invocations(); ++i) {
+        for (const Transition& tr : t.delta(q, p, i)) {
+          out.add(dense[static_cast<std::size_t>(q)], p, i,
+                  dense[static_cast<std::size_t>(tr.next)], tr.resp);
+        }
+      }
+    }
+  }
+  for (InvId i = 0; i < t.num_invocations(); ++i) {
+    out.name_invocation(i, t.invocation_name(i));
+  }
+  for (RespId r = 0; r < t.num_responses(); ++r) {
+    out.name_response(r, t.response_name(r));
+  }
+  out.validate();
+  return out;
+}
+
+TypeSpec with_ports(const TypeSpec& t, int ports, PortId clone_from) {
+  if (ports < 1) throw std::invalid_argument("with_ports: need >= 1 port");
+  if (clone_from < 0 || clone_from >= t.ports()) {
+    throw std::out_of_range("with_ports: clone_from out of range");
+  }
+  TypeSpec out(t.name(), ports, t.num_states(), t.num_invocations(),
+               t.num_responses());
+  for (StateId q = 0; q < t.num_states(); ++q) {
+    out.name_state(q, t.state_name(q));
+    for (PortId p = 0; p < ports; ++p) {
+      const PortId src = p < t.ports() ? p : clone_from;
+      for (InvId i = 0; i < t.num_invocations(); ++i) {
+        for (const Transition& tr : t.delta(q, src, i)) {
+          out.add(q, p, i, tr.next, tr.resp);
+        }
+      }
+    }
+  }
+  for (InvId i = 0; i < t.num_invocations(); ++i) {
+    out.name_invocation(i, t.invocation_name(i));
+  }
+  for (RespId r = 0; r < t.num_responses(); ++r) {
+    out.name_response(r, t.response_name(r));
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace wfregs

@@ -1,0 +1,674 @@
+#include "wfregs/typesys/type_zoo.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace wfregs::zoo {
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+TypeSpec register_type(int values, int ports) {
+  require(values >= 2, "register_type: need at least 2 values");
+  require(ports >= 1, "register_type: need at least 1 port");
+  const RegisterLayout lay{values};
+  TypeSpec t("register" + std::to_string(values), ports, values, 1 + values,
+             values + 1);
+  for (int v = 0; v < values; ++v) {
+    t.name_state(lay.state_of(v), "val" + std::to_string(v));
+    t.name_invocation(lay.write(v), "write(" + std::to_string(v) + ")");
+    t.name_response(lay.value_resp(v), std::to_string(v));
+  }
+  t.name_invocation(lay.read(), "read");
+  t.name_response(lay.ok(), "ok");
+  for (int q = 0; q < values; ++q) {
+    t.add_oblivious(lay.state_of(q), lay.read(), lay.state_of(q),
+                    lay.value_resp(q));
+    for (int v = 0; v < values; ++v) {
+      t.add_oblivious(lay.state_of(q), lay.write(v), lay.state_of(v),
+                      lay.ok());
+    }
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec bit_type(int ports) { return register_type(2, ports); }
+
+TypeSpec srsw_register_type(int values) {
+  require(values >= 2, "srsw_register_type: need at least 2 values");
+  const SrswRegisterLayout lay{values};
+  TypeSpec t("srsw_register" + std::to_string(values), 2, values, 1 + values,
+             values + 2);
+  for (int v = 0; v < values; ++v) {
+    t.name_state(lay.state_of(v), "val" + std::to_string(v));
+    t.name_invocation(lay.write(v), "write(" + std::to_string(v) + ")");
+    t.name_response(lay.value_resp(v), std::to_string(v));
+  }
+  t.name_invocation(lay.read(), "read");
+  t.name_response(lay.ok(), "ok");
+  t.name_response(lay.err(), "err");
+  for (int q = 0; q < values; ++q) {
+    // Port 0: reads work, writes are rejected.
+    t.add(lay.state_of(q), SrswRegisterLayout::reader_port(), lay.read(),
+          lay.state_of(q), lay.value_resp(q));
+    for (int v = 0; v < values; ++v) {
+      t.add(lay.state_of(q), SrswRegisterLayout::reader_port(), lay.write(v),
+            lay.state_of(q), lay.err());
+    }
+    // Port 1: writes work, reads are rejected.
+    t.add(lay.state_of(q), SrswRegisterLayout::writer_port(), lay.read(),
+          lay.state_of(q), lay.err());
+    for (int v = 0; v < values; ++v) {
+      t.add(lay.state_of(q), SrswRegisterLayout::writer_port(), lay.write(v),
+            lay.state_of(v), lay.ok());
+    }
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec srsw_bit_type() { return srsw_register_type(2); }
+
+TypeSpec mrsw_register_type(int values, int readers) {
+  require(values >= 2, "mrsw_register_type: need at least 2 values");
+  require(readers >= 1, "mrsw_register_type: need at least 1 reader");
+  const MrswRegisterLayout lay{values, readers};
+  TypeSpec t("mrsw_register" + std::to_string(values) + "_r" +
+                 std::to_string(readers),
+             readers + 1, values, 1 + values, values + 2);
+  for (int v = 0; v < values; ++v) {
+    t.name_state(lay.state_of(v), "val" + std::to_string(v));
+    t.name_invocation(lay.write(v), "write(" + std::to_string(v) + ")");
+    t.name_response(lay.value_resp(v), std::to_string(v));
+  }
+  t.name_invocation(lay.read(), "read");
+  t.name_response(lay.ok(), "ok");
+  t.name_response(lay.err(), "err");
+  for (int q = 0; q < values; ++q) {
+    for (int i = 0; i < readers; ++i) {
+      t.add(lay.state_of(q), lay.reader_port(i), lay.read(), lay.state_of(q),
+            lay.value_resp(q));
+      for (int v = 0; v < values; ++v) {
+        t.add(lay.state_of(q), lay.reader_port(i), lay.write(v),
+              lay.state_of(q), lay.err());
+      }
+    }
+    t.add(lay.state_of(q), lay.writer_port(), lay.read(), lay.state_of(q),
+          lay.err());
+    for (int v = 0; v < values; ++v) {
+      t.add(lay.state_of(q), lay.writer_port(), lay.write(v), lay.state_of(v),
+            lay.ok());
+    }
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec one_use_bit_type() {
+  const OneUseBitLayout lay;
+  TypeSpec t("one_use_bit", 2, 3, 2, 3);
+  t.name_state(lay.unset(), "UNSET");
+  t.name_state(lay.set(), "SET");
+  t.name_state(lay.dead(), "DEAD");
+  t.name_invocation(lay.read(), "read");
+  t.name_invocation(lay.write(), "write");
+  t.name_response(lay.zero(), "0");
+  t.name_response(lay.one(), "1");
+  t.name_response(lay.ok(), "ok");
+  // Section 3, verbatim:
+  //   delta(UNSET, read)  = {<DEAD, 0>}
+  //   delta(SET,   read)  = {<DEAD, 1>}
+  //   delta(DEAD,  read)  = {<DEAD, 0>, <DEAD, 1>}
+  //   delta(UNSET, write) = {<SET, ok>}
+  //   delta(SET,   write) = {<DEAD, ok>}
+  //   delta(DEAD,  write) = {<DEAD, ok>}
+  t.add_oblivious(lay.unset(), lay.read(), lay.dead(), lay.zero());
+  t.add_oblivious(lay.set(), lay.read(), lay.dead(), lay.one());
+  t.add_oblivious(lay.dead(), lay.read(), lay.dead(), lay.zero());
+  t.add_oblivious(lay.dead(), lay.read(), lay.dead(), lay.one());
+  t.add_oblivious(lay.unset(), lay.write(), lay.set(), lay.ok());
+  t.add_oblivious(lay.set(), lay.write(), lay.dead(), lay.ok());
+  t.add_oblivious(lay.dead(), lay.write(), lay.dead(), lay.ok());
+  t.validate();
+  return t;
+}
+
+TypeSpec consensus_type(int ports) {
+  require(ports >= 1, "consensus_type: need at least 1 port");
+  const ConsensusLayout lay;
+  TypeSpec t("consensus" + std::to_string(ports), ports, 3, 2, 2);
+  t.name_state(lay.bottom(), "bottom");
+  t.name_state(lay.decided(0), "decided0");
+  t.name_state(lay.decided(1), "decided1");
+  for (int v = 0; v < 2; ++v) {
+    t.name_invocation(lay.propose(v), "propose(" + std::to_string(v) + ")");
+    t.name_response(lay.decide_resp(v), std::to_string(v));
+  }
+  // Section 2.1: the first invocation fixes all future responses.
+  for (int v = 0; v < 2; ++v) {
+    t.add_oblivious(lay.bottom(), lay.propose(v), lay.decided(v),
+                    lay.decide_resp(v));
+    for (int u = 0; u < 2; ++u) {
+      t.add_oblivious(lay.decided(v), lay.propose(u), lay.decided(v),
+                      lay.decide_resp(v));
+    }
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec multi_consensus_type(int values, int ports) {
+  require(values >= 2, "multi_consensus_type: need at least 2 values");
+  require(ports >= 1, "multi_consensus_type: need at least 1 port");
+  const MultiConsensusLayout lay{values};
+  TypeSpec t("consensus" + std::to_string(values) + "v_n" +
+                 std::to_string(ports),
+             ports, 1 + values, values, values);
+  t.name_state(lay.bottom(), "bottom");
+  for (int v = 0; v < values; ++v) {
+    t.name_state(lay.decided(v), "decided" + std::to_string(v));
+    t.name_invocation(lay.propose(v), "propose(" + std::to_string(v) + ")");
+    t.name_response(lay.decide_resp(v), std::to_string(v));
+  }
+  for (int v = 0; v < values; ++v) {
+    t.add_oblivious(lay.bottom(), lay.propose(v), lay.decided(v),
+                    lay.decide_resp(v));
+    for (int u = 0; u < values; ++u) {
+      t.add_oblivious(lay.decided(v), lay.propose(u), lay.decided(v),
+                      lay.decide_resp(v));
+    }
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec test_and_set_type(int ports) {
+  require(ports >= 1, "test_and_set_type: need at least 1 port");
+  const TestAndSetLayout lay;
+  TypeSpec t("test_and_set", ports, 2, 1, 2);
+  t.name_state(0, "clear");
+  t.name_state(1, "set");
+  t.name_invocation(lay.test_and_set(), "test&set");
+  t.name_response(lay.old_value(0), "0");
+  t.name_response(lay.old_value(1), "1");
+  t.add_oblivious(0, lay.test_and_set(), 1, lay.old_value(0));
+  t.add_oblivious(1, lay.test_and_set(), 1, lay.old_value(1));
+  t.validate();
+  return t;
+}
+
+TypeSpec fetch_and_add_type(int cap, int ports) {
+  require(cap >= 1, "fetch_and_add_type: cap must be >= 1");
+  require(ports >= 1, "fetch_and_add_type: need at least 1 port");
+  const FetchAndAddLayout lay{cap};
+  TypeSpec t("fetch_and_add_cap" + std::to_string(cap), ports, cap + 1, 1,
+             cap + 1);
+  t.name_invocation(lay.fetch_and_add(), "fetch&add");
+  for (int q = 0; q <= cap; ++q) {
+    t.name_state(q, "count" + std::to_string(q));
+    t.name_response(lay.old_value(q), std::to_string(q));
+    const int next = q < cap ? q + 1 : cap;
+    t.add_oblivious(q, lay.fetch_and_add(), next, lay.old_value(q));
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec cas_type(int values, int ports) {
+  require(values >= 2, "cas_type: need at least 2 values");
+  require(ports >= 1, "cas_type: need at least 1 port");
+  const CasLayout lay{values};
+  TypeSpec t("cas" + std::to_string(values), ports, values,
+             1 + values * values, values + 2);
+  t.name_invocation(lay.read(), "read");
+  t.name_response(lay.success(), "success");
+  t.name_response(lay.failure(), "failure");
+  for (int v = 0; v < values; ++v) {
+    t.name_state(v, "val" + std::to_string(v));
+    t.name_response(lay.value_resp(v), std::to_string(v));
+  }
+  for (int e = 0; e < values; ++e) {
+    for (int d = 0; d < values; ++d) {
+      t.name_invocation(lay.cas(e, d), "cas(" + std::to_string(e) + "," +
+                                           std::to_string(d) + ")");
+    }
+  }
+  for (int q = 0; q < values; ++q) {
+    t.add_oblivious(q, lay.read(), q, lay.value_resp(q));
+    for (int e = 0; e < values; ++e) {
+      for (int d = 0; d < values; ++d) {
+        if (q == e) {
+          t.add_oblivious(q, lay.cas(e, d), d, lay.success());
+        } else {
+          t.add_oblivious(q, lay.cas(e, d), q, lay.failure());
+        }
+      }
+    }
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec cas_old_type(int values, int ports) {
+  require(values >= 2, "cas_old_type: need at least 2 values");
+  require(ports >= 1, "cas_old_type: need at least 1 port");
+  const CasOldLayout lay{values};
+  TypeSpec t("cas_old" + std::to_string(values), ports, values,
+             values * values, values);
+  for (int v = 0; v < values; ++v) {
+    t.name_state(v, "val" + std::to_string(v));
+    t.name_response(lay.old_value(v), std::to_string(v));
+  }
+  for (int e = 0; e < values; ++e) {
+    for (int d = 0; d < values; ++d) {
+      t.name_invocation(lay.cas(e, d), "cas(" + std::to_string(e) + "," +
+                                           std::to_string(d) + ")");
+      for (int q = 0; q < values; ++q) {
+        t.add_oblivious(q, lay.cas(e, d), q == e ? d : q, lay.old_value(q));
+      }
+    }
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec sticky_bit_type(int ports) {
+  require(ports >= 1, "sticky_bit_type: need at least 1 port");
+  const StickyBitLayout lay;
+  TypeSpec t("sticky_bit", ports, 3, 3, 3);
+  t.name_state(lay.bottom_state(), "bottom");
+  t.name_state(lay.stuck(0), "stuck0");
+  t.name_state(lay.stuck(1), "stuck1");
+  t.name_invocation(lay.read(), "read");
+  t.name_response(lay.bottom(), "bottom");
+  for (int v = 0; v < 2; ++v) {
+    t.name_invocation(lay.jam(v), "jam(" + std::to_string(v) + ")");
+    t.name_response(lay.value_resp(v), std::to_string(v));
+  }
+  for (int v = 0; v < 2; ++v) {
+    // jam(v) sticks the first value and always reports the stuck value.
+    t.add_oblivious(lay.bottom_state(), lay.jam(v), lay.stuck(v),
+                    lay.value_resp(v));
+    for (int w = 0; w < 2; ++w) {
+      t.add_oblivious(lay.stuck(w), lay.jam(v), lay.stuck(w),
+                      lay.value_resp(w));
+    }
+  }
+  t.add_oblivious(lay.bottom_state(), lay.read(), lay.bottom_state(),
+                  lay.bottom());
+  for (int w = 0; w < 2; ++w) {
+    t.add_oblivious(lay.stuck(w), lay.read(), lay.stuck(w),
+                    lay.value_resp(w));
+  }
+  t.validate();
+  return t;
+}
+
+int QueueLayout::num_states() const {
+  // All sequences of length 0..capacity over `values` symbols.
+  int total = 0;
+  int level = 1;
+  for (int len = 0; len <= capacity; ++len) {
+    total += level;
+    level *= values;
+  }
+  return total;
+}
+
+StateId QueueLayout::state_of(std::span<const int> content) const {
+  if (static_cast<int>(content.size()) > capacity) {
+    throw std::out_of_range("QueueLayout::state_of: content too long");
+  }
+  // States are numbered by length first (all shorter sequences precede all
+  // longer ones), then lexicographically within a length.
+  int offset = 0;
+  int level = 1;
+  for (int len = 0; len < static_cast<int>(content.size()); ++len) {
+    offset += level;
+    level *= values;
+  }
+  int index = 0;
+  for (const int v : content) {
+    if (v < 0 || v >= values) {
+      throw std::out_of_range("QueueLayout::state_of: value out of range");
+    }
+    index = index * values + v;
+  }
+  return offset + index;
+}
+
+TypeSpec queue_type(int capacity, int values, int ports) {
+  require(capacity >= 1, "queue_type: capacity must be >= 1");
+  require(values >= 2, "queue_type: need at least 2 values");
+  require(ports >= 1, "queue_type: need at least 1 port");
+  const QueueLayout lay{capacity, values};
+  TypeSpec t("queue_cap" + std::to_string(capacity) + "_vals" +
+                 std::to_string(values),
+             ports, lay.num_states(), values + 1, values + 3);
+  t.name_invocation(lay.dequeue(), "dequeue");
+  t.name_response(lay.ok(), "ok");
+  t.name_response(lay.empty(), "empty");
+  t.name_response(lay.full(), "full");
+  for (int v = 0; v < values; ++v) {
+    t.name_invocation(lay.enqueue(v), "enqueue(" + std::to_string(v) + ")");
+    t.name_response(lay.front_value(v), std::to_string(v));
+  }
+  // Enumerate queue contents recursively and wire up delta.
+  std::vector<int> content;
+  const auto visit = [&](const auto& self) -> void {
+    const StateId q = lay.state_of(content);
+    if (content.empty()) {
+      t.add_oblivious(q, lay.dequeue(), q, lay.empty());
+    } else {
+      const int front = content.front();
+      std::vector<int> rest(content.begin() + 1, content.end());
+      t.add_oblivious(q, lay.dequeue(), lay.state_of(rest),
+                      lay.front_value(front));
+    }
+    for (int v = 0; v < values; ++v) {
+      if (static_cast<int>(content.size()) < capacity) {
+        content.push_back(v);
+        const StateId next = lay.state_of(content);
+        content.pop_back();
+        t.add_oblivious(q, lay.enqueue(v), next, lay.ok());
+      } else {
+        t.add_oblivious(q, lay.enqueue(v), q, lay.full());
+      }
+    }
+    if (static_cast<int>(content.size()) < capacity) {
+      for (int v = 0; v < values; ++v) {
+        content.push_back(v);
+        self(self);
+        content.pop_back();
+      }
+    }
+  };
+  visit(visit);
+  t.validate();
+  return t;
+}
+
+int StackLayout::num_states() const {
+  int total = 0;
+  int level = 1;
+  for (int len = 0; len <= capacity; ++len) {
+    total += level;
+    level *= values;
+  }
+  return total;
+}
+
+StateId StackLayout::state_of(std::span<const int> content) const {
+  if (static_cast<int>(content.size()) > capacity) {
+    throw std::out_of_range("StackLayout::state_of: content too long");
+  }
+  int offset = 0;
+  int level = 1;
+  for (int len = 0; len < static_cast<int>(content.size()); ++len) {
+    offset += level;
+    level *= values;
+  }
+  int index = 0;
+  for (const int v : content) {
+    if (v < 0 || v >= values) {
+      throw std::out_of_range("StackLayout::state_of: value out of range");
+    }
+    index = index * values + v;
+  }
+  return offset + index;
+}
+
+TypeSpec stack_type(int capacity, int values, int ports) {
+  require(capacity >= 1, "stack_type: capacity must be >= 1");
+  require(values >= 2, "stack_type: need at least 2 values");
+  require(ports >= 1, "stack_type: need at least 1 port");
+  const StackLayout lay{capacity, values};
+  TypeSpec t("stack_cap" + std::to_string(capacity) + "_vals" +
+                 std::to_string(values),
+             ports, lay.num_states(), values + 1, values + 3);
+  t.name_invocation(lay.pop(), "pop");
+  t.name_response(lay.ok(), "ok");
+  t.name_response(lay.empty(), "empty");
+  t.name_response(lay.full(), "full");
+  for (int v = 0; v < values; ++v) {
+    t.name_invocation(lay.push(v), "push(" + std::to_string(v) + ")");
+    t.name_response(lay.top_value(v), std::to_string(v));
+  }
+  std::vector<int> content;
+  const auto visit = [&](const auto& self) -> void {
+    const StateId q = lay.state_of(content);
+    if (content.empty()) {
+      t.add_oblivious(q, lay.pop(), q, lay.empty());
+    } else {
+      const int top = content.back();
+      content.pop_back();
+      const StateId rest = lay.state_of(content);
+      content.push_back(top);
+      t.add_oblivious(q, lay.pop(), rest, lay.top_value(top));
+    }
+    for (int v = 0; v < values; ++v) {
+      if (static_cast<int>(content.size()) < capacity) {
+        content.push_back(v);
+        const StateId next = lay.state_of(content);
+        content.pop_back();
+        t.add_oblivious(q, lay.push(v), next, lay.ok());
+      } else {
+        t.add_oblivious(q, lay.push(v), q, lay.full());
+      }
+    }
+    if (static_cast<int>(content.size()) < capacity) {
+      for (int v = 0; v < values; ++v) {
+        content.push_back(v);
+        self(self);
+        content.pop_back();
+      }
+    }
+  };
+  visit(visit);
+  t.validate();
+  return t;
+}
+
+TypeSpec trivial_toggle_type(int ports) {
+  require(ports >= 1, "trivial_toggle_type: need at least 1 port");
+  TypeSpec t("trivial_toggle", ports, 2, 1, 1);
+  t.name_state(0, "A");
+  t.name_state(1, "B");
+  t.name_invocation(0, "ping");
+  t.name_response(0, "ok");
+  t.add_oblivious(0, 0, 1, 0);
+  t.add_oblivious(1, 0, 0, 0);
+  t.validate();
+  return t;
+}
+
+int SnapshotLayout::power() const {
+  int total = 1;
+  for (int i = 0; i < components; ++i) total *= values;
+  return total;
+}
+
+RespId SnapshotLayout::view_resp(std::span<const int> view) const {
+  if (static_cast<int>(view.size()) != components) {
+    throw std::invalid_argument("SnapshotLayout: wrong view size");
+  }
+  int id = 0;
+  int scale = 1;
+  for (const int v : view) {
+    if (v < 0 || v >= values) {
+      throw std::out_of_range("SnapshotLayout: component value out of range");
+    }
+    id += v * scale;
+    scale *= values;
+  }
+  return id;
+}
+
+int SnapshotLayout::component(RespId view, int i) const {
+  int scale = 1;
+  for (int k = 0; k < i; ++k) scale *= values;
+  return (view / scale) % values;
+}
+
+TypeSpec snapshot_type(int values, int ports) {
+  require(values >= 2, "snapshot_type: need at least 2 values");
+  require(ports >= 1, "snapshot_type: need at least 1 port");
+  const SnapshotLayout lay{ports, values};
+  const int views = lay.power();
+  TypeSpec t("snapshot" + std::to_string(values) + "v_n" +
+                 std::to_string(ports),
+             ports, views, values + 1, views + 1);
+  t.name_invocation(lay.scan(), "scan");
+  t.name_response(lay.ok(), "ok");
+  for (int v = 0; v < values; ++v) {
+    t.name_invocation(lay.update(v), "update(" + std::to_string(v) + ")");
+  }
+  for (StateId view = 0; view < views; ++view) {
+    t.add_oblivious(view, lay.scan(), view, view);
+    // update(v) on port p replaces component p; inherently non-oblivious.
+    for (PortId p = 0; p < ports; ++p) {
+      int scale = 1;
+      for (int k = 0; k < p; ++k) scale *= values;
+      for (int v = 0; v < values; ++v) {
+        const int old_comp = (view / scale) % values;
+        const StateId next = view + (v - old_comp) * scale;
+        t.add(view, p, lay.update(v), next, lay.ok());
+      }
+    }
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec trivial_sink_type(int ports) {
+  require(ports >= 1, "trivial_sink_type: need at least 1 port");
+  TypeSpec t("trivial_sink", ports, 1, 1, 1);
+  t.name_state(0, "only");
+  t.name_invocation(0, "poke");
+  t.name_response(0, "ok");
+  t.add_oblivious(0, 0, 0, 0);
+  t.validate();
+  return t;
+}
+
+TypeSpec weak_bit_type(WeakBitKind kind) {
+  const WeakBitLayout lay;
+  TypeSpec t(kind == WeakBitKind::kSafe ? "safe_bit" : "regular_bit", 2, 6,
+             4, 4);
+  for (int v = 0; v < 2; ++v) {
+    t.name_state(lay.idle(v), "idle" + std::to_string(v));
+    t.name_invocation(lay.start_write(v),
+                      "start_write(" + std::to_string(v) + ")");
+    t.name_response(lay.value_resp(v), std::to_string(v));
+    for (int w = 0; w < 2; ++w) {
+      t.name_state(lay.writing(v, w),
+                   "writing" + std::to_string(v) + std::to_string(w));
+    }
+  }
+  t.name_invocation(lay.read(), "read");
+  t.name_invocation(lay.finish_write(), "finish_write");
+  t.name_response(lay.ok(), "ok");
+  t.name_response(lay.err(), "err");
+
+  const PortId rd = WeakBitLayout::reader_port();
+  const PortId wr = WeakBitLayout::writer_port();
+  for (int v = 0; v < 2; ++v) {
+    // Reads while idle are exact.
+    t.add(lay.idle(v), rd, lay.read(), lay.idle(v), lay.value_resp(v));
+    // Writer starts a write; reads during it are weak.
+    for (int w = 0; w < 2; ++w) {
+      t.add(lay.idle(v), wr, lay.start_write(w), lay.writing(v, w),
+            lay.ok());
+      const StateId mid = lay.writing(v, w);
+      if (kind == WeakBitKind::kSafe) {
+        // A safe bit may return anything during a write -- even when the
+        // write does not change the value.
+        t.add(mid, rd, lay.read(), mid, lay.value_resp(0));
+        t.add(mid, rd, lay.read(), mid, lay.value_resp(1));
+      } else {
+        // A regular bit returns the old or the new value.
+        t.add(mid, rd, lay.read(), mid, lay.value_resp(v));
+        t.add(mid, rd, lay.read(), mid, lay.value_resp(w));
+      }
+      t.add(mid, wr, lay.finish_write(), lay.idle(w), lay.ok());
+      // Misuse while writing: nested start_write.
+      for (int u = 0; u < 2; ++u) {
+        t.add(mid, wr, lay.start_write(u), mid, lay.err());
+      }
+      // Wrong-port accesses while writing.
+      t.add(mid, wr, lay.read(), mid, lay.err());
+      for (int u = 0; u < 2; ++u) {
+        t.add(mid, rd, lay.start_write(u), mid, lay.err());
+      }
+      t.add(mid, rd, lay.finish_write(), mid, lay.err());
+    }
+    // Misuse while idle.
+    t.add(lay.idle(v), wr, lay.finish_write(), lay.idle(v), lay.err());
+    t.add(lay.idle(v), wr, lay.read(), lay.idle(v), lay.err());
+    for (int u = 0; u < 2; ++u) {
+      t.add(lay.idle(v), rd, lay.start_write(u), lay.idle(v), lay.err());
+    }
+    t.add(lay.idle(v), rd, lay.finish_write(), lay.idle(v), lay.err());
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec nondet_coin_type(int ports) {
+  require(ports >= 1, "nondet_coin_type: need at least 1 port");
+  TypeSpec t("nondet_coin", ports, 1, 1, 2);
+  t.name_state(0, "only");
+  t.name_invocation(0, "flip");
+  t.name_response(0, "heads");
+  t.name_response(1, "tails");
+  t.add_oblivious(0, 0, 0, 0);
+  t.add_oblivious(0, 0, 0, 1);
+  t.validate();
+  return t;
+}
+
+TypeSpec port_flag_type(int ports) {
+  require(ports >= 2, "port_flag_type: needs at least 2 ports");
+  const PortFlagLayout lay;
+  TypeSpec t("port_flag", ports, 2, 1, 3);
+  t.name_state(0, "down");
+  t.name_state(1, "up");
+  t.name_invocation(lay.touch(), "touch");
+  t.name_response(lay.zero(), "0");
+  t.name_response(lay.one(), "1");
+  t.name_response(lay.ok(), "ok");
+  for (StateId q = 0; q < 2; ++q) {
+    // Port 0 observes the flag, port 1 raises it, others are inert.
+    t.add(q, 0, lay.touch(), q, q == 0 ? lay.zero() : lay.one());
+    t.add(q, 1, lay.touch(), 1, lay.ok());
+    for (PortId p = 2; p < ports; ++p) {
+      t.add(q, p, lay.touch(), q, lay.ok());
+    }
+  }
+  t.validate();
+  return t;
+}
+
+TypeSpec mod_counter_type(int modulus, int ports) {
+  require(modulus >= 2, "mod_counter_type: modulus must be >= 2");
+  require(ports >= 1, "mod_counter_type: need at least 1 port");
+  TypeSpec t("mod_counter" + std::to_string(modulus), ports, modulus, 1,
+             modulus);
+  t.name_invocation(0, "inc");
+  for (int q = 0; q < modulus; ++q) {
+    t.name_state(q, "count" + std::to_string(q));
+    t.name_response(q, std::to_string(q));
+    const int next = (q + 1) % modulus;
+    t.add_oblivious(q, 0, next, next);
+  }
+  t.validate();
+  return t;
+}
+
+}  // namespace wfregs::zoo

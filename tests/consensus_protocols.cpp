@@ -1,0 +1,113 @@
+// Exhaustive verification of the consensus protocol zoo: every protocol is
+// model-checked over all schedules, all nondeterministic transitions and all
+// 2^n input vectors.
+#include <gtest/gtest.h>
+
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/registers/chain.hpp"
+
+namespace wfregs {
+namespace {
+
+using consensus::check_consensus;
+
+TEST(ConsensusProtocols, TestAndSetSolvesTwoProcess) {
+  const auto r = check_consensus(consensus::from_test_and_set());
+  EXPECT_TRUE(r.solves) << r.detail;
+  EXPECT_TRUE(r.wait_free);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GE(r.depth, 2);
+}
+
+TEST(ConsensusProtocols, QueueSolvesTwoProcess) {
+  const auto r = check_consensus(consensus::from_queue());
+  EXPECT_TRUE(r.solves) << r.detail;
+}
+
+TEST(ConsensusProtocols, FetchAndAddSolvesTwoProcess) {
+  const auto r = check_consensus(consensus::from_fetch_and_add());
+  EXPECT_TRUE(r.solves) << r.detail;
+}
+
+class CasSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CasSweep, CasSolvesNProcess) {
+  const auto r = check_consensus(consensus::from_cas(GetParam()));
+  EXPECT_TRUE(r.solves) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(N, CasSweep, ::testing::Values(1, 2, 3, 4));
+
+class StickySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StickySweep, StickyBitSolvesNProcess) {
+  const auto r = check_consensus(consensus::from_sticky_bit(GetParam()));
+  EXPECT_TRUE(r.solves) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(N, StickySweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(ConsensusProtocols, ConsensusObjectForwards) {
+  for (int n = 1; n <= 3; ++n) {
+    const auto r = check_consensus(consensus::from_consensus_object(n));
+    EXPECT_TRUE(r.solves) << "n=" << n << ": " << r.detail;
+  }
+}
+
+TEST(ConsensusProtocols, CasIdsSolvesWithRegisters) {
+  for (int n = 2; n <= 3; ++n) {
+    const auto r = check_consensus(consensus::from_cas_ids(n));
+    EXPECT_TRUE(r.solves) << "n=" << n << ": " << r.detail;
+  }
+}
+
+TEST(ConsensusProtocols, RegistersOnlyAttemptFailsAgreement) {
+  // Registers cannot solve 2-process consensus [FLP85, LA87, Herlihy91]:
+  // the natural register-only protocol is wait-free but loses agreement,
+  // and the checker exhibits it.
+  const auto r = check_consensus(consensus::registers_only_attempt(2));
+  EXPECT_FALSE(r.solves);
+  EXPECT_TRUE(r.wait_free);  // it IS wait-free; it just disagrees
+  EXPECT_NE(r.detail.find("agreement"), std::string::npos) << r.detail;
+}
+
+TEST(ConsensusProtocols, RegistersOnlyAttemptFailsForThree) {
+  const auto r = check_consensus(consensus::registers_only_attempt(3));
+  EXPECT_FALSE(r.solves);
+}
+
+TEST(ConsensusProtocols, AccessBoundsAreReportedWhenTracked) {
+  ExploreLimits limits;
+  limits.track_access_bounds = true;
+  const auto r = check_consensus(consensus::from_test_and_set(), limits);
+  ASSERT_TRUE(r.solves) << r.detail;
+  // System objects: bit, bit, test&set, consensus(top).  Every execution
+  // touches the test&set exactly once per process.
+  ASSERT_EQ(r.max_accesses.size(), 4u);
+  EXPECT_EQ(r.max_accesses[2], 2u);  // the test&set object
+  EXPECT_LE(r.max_accesses[0], 2u);  // announce bit: 1 write + <=1 read
+  EXPECT_GE(r.depth, 4);             // at least 2 steps per process
+  EXPECT_LE(r.depth, 6);             // publish + race + read, two processes
+}
+
+TEST(ConsensusProtocols, InvalidArguments) {
+  EXPECT_THROW(consensus::from_cas(0), std::invalid_argument);
+  EXPECT_THROW(consensus::from_sticky_bit(0), std::invalid_argument);
+  EXPECT_THROW(consensus::from_cas_ids(1), std::invalid_argument);
+  EXPECT_THROW(consensus::registers_only_attempt(1), std::invalid_argument);
+}
+
+TEST(ConsensusScenario, RejectsBadInputs) {
+  EXPECT_THROW(consensus::consensus_scenario(nullptr, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      consensus::consensus_scenario(consensus::from_test_and_set(), {0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      consensus::consensus_scenario(consensus::from_test_and_set(), {0, 7}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wfregs

@@ -1,0 +1,57 @@
+// Tests for the Graphviz configuration-graph export.
+#include "wfregs/runtime/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+using testsup::one_shot;
+using testsup::share;
+
+TEST(DotExport, SingleProcessChain) {
+  const auto bit = share(zoo::bit_type(1));
+  const zoo::RegisterLayout lay{2};
+  auto sys = std::make_shared<System>(1);
+  const ObjectId b = sys->add_base(bit, 0, {0});
+  sys->set_toplevel(0, one_shot("p0", 0, lay.write(1)), {b});
+  const Engine root{std::move(sys)};
+  const auto dot = export_dot(root);
+  EXPECT_NE(dot.find("digraph executions"), std::string::npos);
+  EXPECT_NE(dot.find("write(1)->ok"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_EQ(dot.find("triangle"), std::string::npos);  // not truncated
+}
+
+TEST(DotExport, ValenceColoringOnConsensusTree) {
+  const Engine root{consensus::consensus_scenario(
+      consensus::from_test_and_set(), {0, 1})};
+  DotOptions options;
+  options.color_by_valence = true;
+  const auto dot = export_dot(root, options);
+  // Mixed inputs: the initial configuration is bivalent (gold) and both
+  // univalent colors appear downstream.
+  EXPECT_NE(dot.find("gold"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);
+  EXPECT_NE(dot.find("lightpink"), std::string::npos);
+  EXPECT_NE(dot.find("test&set"), std::string::npos);
+  EXPECT_NE(dot.find("decide 0 0"), std::string::npos);
+  EXPECT_NE(dot.find("decide 1 1"), std::string::npos);
+}
+
+TEST(DotExport, TruncationMarksTheCut) {
+  const Engine root{consensus::consensus_scenario(
+      consensus::from_cas(3), {0, 1, 1})};
+  DotOptions options;
+  options.max_configs = 5;
+  const auto dot = export_dot(root, options);
+  EXPECT_NE(dot.find("triangle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfregs

@@ -1,0 +1,141 @@
+// Tests for the hierarchy harness: race/adopt witnesses, the generic
+// protocols they generate, and the zoo survey that reproduces the paper's
+// h_m = h_m^r punchline.
+#include "wfregs/hierarchy/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+using hierarchy::adopt_consensus;
+using hierarchy::classify_type;
+using hierarchy::find_adopt_witness;
+using hierarchy::find_race_witness;
+using hierarchy::race_consensus;
+
+// ---- race witnesses -----------------------------------------------------------
+
+TEST(RaceWitness, FoundForRaceableTypes) {
+  EXPECT_TRUE(find_race_witness(zoo::test_and_set_type(2)).has_value());
+  EXPECT_TRUE(find_race_witness(zoo::fetch_and_add_type(3, 2)).has_value());
+  EXPECT_TRUE(find_race_witness(zoo::queue_type(2, 2, 2)).has_value());
+  EXPECT_TRUE(find_race_witness(zoo::mod_counter_type(3, 2)).has_value());
+}
+
+TEST(RaceWitness, AbsentForRegistersAndTrivialTypes) {
+  // A register read/write response never depends on being first.
+  EXPECT_FALSE(find_race_witness(zoo::bit_type(2)).has_value());
+  EXPECT_FALSE(find_race_witness(zoo::register_type(4, 2)).has_value());
+  EXPECT_FALSE(find_race_witness(zoo::trivial_toggle_type(2)).has_value());
+  // The consensus type reveals the first VALUE, not the first ACCESSOR:
+  // repeating one invocation returns identical responses.
+  EXPECT_FALSE(find_race_witness(zoo::consensus_type(2)).has_value());
+  EXPECT_THROW(find_race_witness(zoo::nondet_coin_type(2)),
+               std::invalid_argument);
+}
+
+TEST(RaceConsensus, GeneratedProtocolsSolveConsensus) {
+  for (const auto& t :
+       {zoo::test_and_set_type(2), zoo::fetch_and_add_type(3, 2),
+        zoo::queue_type(2, 2, 2), zoo::mod_counter_type(3, 2)}) {
+    SCOPED_TRACE(t.name());
+    const auto impl = race_consensus(t);
+    ASSERT_NE(impl, nullptr);
+    const auto check = consensus::check_consensus(impl);
+    EXPECT_TRUE(check.solves) << check.detail;
+  }
+}
+
+TEST(RaceConsensus, NullForUnraceableTypes) {
+  EXPECT_EQ(race_consensus(zoo::bit_type(2)), nullptr);
+}
+
+// ---- adopt witnesses -------------------------------------------------------------
+
+TEST(AdoptWitness, FoundForValueRevealingTypes) {
+  EXPECT_TRUE(find_adopt_witness(zoo::consensus_type(2)).has_value());
+  EXPECT_TRUE(find_adopt_witness(zoo::sticky_bit_type(2)).has_value());
+  EXPECT_TRUE(find_adopt_witness(zoo::cas_old_type(3, 2)).has_value());
+}
+
+TEST(AdoptWitness, AbsentForValueBlindTypes) {
+  // test&set tells you whether you won but not what the winner proposed.
+  EXPECT_FALSE(find_adopt_witness(zoo::test_and_set_type(2)).has_value());
+  EXPECT_FALSE(find_adopt_witness(zoo::bit_type(2)).has_value());
+  EXPECT_FALSE(find_adopt_witness(zoo::fetch_and_add_type(3, 2)).has_value());
+}
+
+TEST(AdoptConsensus, GeneratedProtocolsSolveConsensusAlone) {
+  for (const auto& t : {zoo::consensus_type(2), zoo::sticky_bit_type(2),
+                        zoo::cas_old_type(3, 2)}) {
+    SCOPED_TRACE(t.name());
+    const auto impl = adopt_consensus(t);
+    ASSERT_NE(impl, nullptr);
+    EXPECT_EQ(impl->flattened_base_count(), 1);  // truly register-free
+    const auto check = consensus::check_consensus(impl);
+    EXPECT_TRUE(check.solves) << check.detail;
+  }
+}
+
+// ---- classification ----------------------------------------------------------------
+
+TEST(ClassifyType, TestAndSetShowsTheRegisterGap) {
+  hierarchy::ClassifyOptions options;
+  options.h1_probe_depth = 2;
+  const auto row = classify_type(zoo::test_and_set_type(2), options);
+  EXPECT_TRUE(row.deterministic);
+  EXPECT_FALSE(*row.trivial);
+  // One test&set alone cannot solve 2-consensus (exhaustive at depth 2)...
+  EXPECT_EQ(row.h1_single_object, consensus::SynthesisVerdict::kUnsolvable);
+  // ...but with registers it can (h_1^r >= 2), and Theorem 5 transfers that
+  // to h_m >= 2 without registers.
+  EXPECT_TRUE(row.h1r_at_least_2);
+  EXPECT_TRUE(row.hm_at_least_2);
+  EXPECT_TRUE(row.theorem5_consistent);
+}
+
+TEST(ClassifyType, RegistersStayAtLevelOne) {
+  hierarchy::ClassifyOptions options;
+  options.h1_probe_depth = 1;
+  const auto row = classify_type(zoo::bit_type(2), options);
+  EXPECT_EQ(row.h1_single_object, consensus::SynthesisVerdict::kUnsolvable);
+  EXPECT_FALSE(row.h1r_at_least_2);
+  EXPECT_FALSE(row.hm_at_least_2);
+  EXPECT_TRUE(row.theorem5_consistent);
+}
+
+TEST(ClassifyType, StickySolvesAlone) {
+  hierarchy::ClassifyOptions options;
+  options.probe_h1 = false;
+  const auto row = classify_type(zoo::sticky_bit_type(2), options);
+  EXPECT_TRUE(row.h1r_at_least_2);
+  EXPECT_TRUE(row.hm_at_least_2);
+  EXPECT_NE(row.note.find("adopt witness"), std::string::npos);
+}
+
+TEST(ClassifyType, NondeterministicTypesAreFlagged) {
+  const auto row = classify_type(zoo::nondet_coin_type(2));
+  EXPECT_FALSE(row.deterministic);
+  EXPECT_FALSE(row.trivial.has_value());
+  EXPECT_NE(row.note.find("nondeterministic"), std::string::npos);
+}
+
+TEST(SurveyZoo, TheoremFiveConsistentEverywhere) {
+  hierarchy::ClassifyOptions options;
+  options.probe_h1 = false;  // keep the survey fast; probes tested above
+  const auto rows = hierarchy::survey_zoo(options);
+  ASSERT_GE(rows.size(), 10u);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.theorem5_consistent) << row.type_name << ": " << row.note;
+  }
+  const auto table = hierarchy::to_table(rows);
+  EXPECT_NE(table.find("test_and_set"), std::string::npos);
+  EXPECT_NE(table.find("sticky_bit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfregs

@@ -1,0 +1,202 @@
+// Tests for the linearizability checker against hand-built histories with
+// known verdicts.
+#include "wfregs/runtime/linearizability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+// Builds a completed op.
+OpRecord op(ProcId proc, PortId port, InvId inv, Val resp,
+            std::size_t invoke_time, std::size_t response_time) {
+  OpRecord rec;
+  rec.proc = proc;
+  rec.object = 0;
+  rec.port = port;
+  rec.inv = inv;
+  rec.invoke_time = invoke_time;
+  rec.response = resp;
+  rec.response_time = response_time;
+  return rec;
+}
+
+OpRecord pending_op(ProcId proc, PortId port, InvId inv,
+                    std::size_t invoke_time) {
+  OpRecord rec;
+  rec.proc = proc;
+  rec.object = 0;
+  rec.port = port;
+  rec.inv = inv;
+  rec.invoke_time = invoke_time;
+  return rec;
+}
+
+const zoo::RegisterLayout kBit{2};
+
+TEST(Linearizability, EmptyHistoryIsLinearizable) {
+  const auto spec = zoo::bit_type(2);
+  const auto r = check_linearizable({}, spec, 0);
+  EXPECT_TRUE(r.linearizable);
+  EXPECT_TRUE(r.order.empty());
+}
+
+TEST(Linearizability, SequentialReadAfterWrite) {
+  const auto spec = zoo::bit_type(2);
+  const std::vector<OpRecord> ops{
+      op(0, 0, kBit.write(1), kBit.ok(), 0, 1),
+      op(1, 1, kBit.read(), kBit.value_resp(1), 2, 3),
+  };
+  const auto r = check_linearizable(ops, spec, 0);
+  EXPECT_TRUE(r.linearizable);
+  ASSERT_EQ(r.order.size(), 2u);
+  EXPECT_EQ(r.order[0], 0);
+  EXPECT_EQ(r.order[1], 1);
+}
+
+TEST(Linearizability, StaleReadAfterCompletedWriteIsRejected) {
+  const auto spec = zoo::bit_type(2);
+  // write(1) completes strictly before the read, yet the read returns 0.
+  const std::vector<OpRecord> ops{
+      op(0, 0, kBit.write(1), kBit.ok(), 0, 1),
+      op(1, 1, kBit.read(), kBit.value_resp(0), 2, 3),
+  };
+  EXPECT_FALSE(check_linearizable(ops, spec, 0).linearizable);
+}
+
+TEST(Linearizability, ConcurrentReadMayReturnEitherValue) {
+  const auto spec = zoo::bit_type(2);
+  for (const int read_value : {0, 1}) {
+    const std::vector<OpRecord> ops{
+        op(0, 0, kBit.write(1), kBit.ok(), 0, 3),
+        op(1, 1, kBit.read(), kBit.value_resp(read_value), 1, 2),
+    };
+    EXPECT_TRUE(check_linearizable(ops, spec, 0).linearizable)
+        << "read value " << read_value;
+  }
+}
+
+TEST(Linearizability, NewOldInversionIsRejected) {
+  // Two sequential reads around a concurrent write: the first read sees the
+  // new value, the second (later) read sees the old one.  Classic atomicity
+  // violation.
+  const auto spec = zoo::bit_type(3);
+  const std::vector<OpRecord> ops{
+      op(0, 0, kBit.write(1), kBit.ok(), 0, 10),
+      op(1, 1, kBit.read(), kBit.value_resp(1), 1, 2),
+      op(1, 1, kBit.read(), kBit.value_resp(0), 3, 4),
+  };
+  EXPECT_FALSE(check_linearizable(ops, spec, 0).linearizable);
+}
+
+TEST(Linearizability, ReadsRespectInitialState) {
+  const auto spec = zoo::bit_type(2);
+  const std::vector<OpRecord> ops{
+      op(0, 0, kBit.read(), kBit.value_resp(1), 0, 1),
+  };
+  EXPECT_FALSE(check_linearizable(ops, spec, 0).linearizable);
+  EXPECT_TRUE(check_linearizable(ops, spec, 1).linearizable);
+}
+
+TEST(Linearizability, PendingOpMayBeOmitted) {
+  const auto spec = zoo::bit_type(2);
+  // A pending write(1) that never took effect; later read of 0 is fine.
+  const std::vector<OpRecord> ops{
+      pending_op(0, 0, kBit.write(1), 0),
+      op(1, 1, kBit.read(), kBit.value_resp(0), 5, 6),
+  };
+  EXPECT_TRUE(check_linearizable(ops, spec, 0).linearizable);
+}
+
+TEST(Linearizability, PendingOpMayBeLinearized) {
+  const auto spec = zoo::bit_type(2);
+  // A pending write(1) whose effect WAS observed.
+  const std::vector<OpRecord> ops{
+      pending_op(0, 0, kBit.write(1), 0),
+      op(1, 1, kBit.read(), kBit.value_resp(1), 5, 6),
+  };
+  const auto r = check_linearizable(ops, spec, 0);
+  EXPECT_TRUE(r.linearizable);
+  ASSERT_EQ(r.order.size(), 2u);
+  EXPECT_EQ(r.order[0], 0);  // the pending write linearizes first
+}
+
+TEST(Linearizability, TestAndSetWinnersAndLosers) {
+  const auto spec = zoo::test_and_set_type(2);
+  const zoo::TestAndSetLayout lay;
+  // Two concurrent T&S; exactly one may win (return 0).
+  const std::vector<OpRecord> both_win{
+      op(0, 0, lay.test_and_set(), lay.old_value(0), 0, 3),
+      op(1, 1, lay.test_and_set(), lay.old_value(0), 1, 2),
+  };
+  EXPECT_FALSE(check_linearizable(both_win, spec, 0).linearizable);
+  const std::vector<OpRecord> one_wins{
+      op(0, 0, lay.test_and_set(), lay.old_value(0), 0, 3),
+      op(1, 1, lay.test_and_set(), lay.old_value(1), 1, 2),
+  };
+  EXPECT_TRUE(check_linearizable(one_wins, spec, 0).linearizable);
+}
+
+TEST(Linearizability, QueueFifoOrderEnforced) {
+  const auto spec = zoo::queue_type(2, 2, 2);
+  const zoo::QueueLayout lay{2, 2};
+  // enq(0) before enq(1), then two sequential dequeues must be 0 then 1.
+  const std::vector<OpRecord> good{
+      op(0, 0, lay.enqueue(0), lay.ok(), 0, 1),
+      op(0, 0, lay.enqueue(1), lay.ok(), 2, 3),
+      op(1, 1, lay.dequeue(), lay.front_value(0), 4, 5),
+      op(1, 1, lay.dequeue(), lay.front_value(1), 6, 7),
+  };
+  EXPECT_TRUE(check_linearizable(good, spec, 0).linearizable);
+  const std::vector<OpRecord> bad{
+      op(0, 0, lay.enqueue(0), lay.ok(), 0, 1),
+      op(0, 0, lay.enqueue(1), lay.ok(), 2, 3),
+      op(1, 1, lay.dequeue(), lay.front_value(1), 4, 5),
+      op(1, 1, lay.dequeue(), lay.front_value(0), 6, 7),
+  };
+  EXPECT_FALSE(check_linearizable(bad, spec, 0).linearizable);
+}
+
+TEST(Linearizability, NondeterministicSpecAllowsAnyChoice) {
+  const auto spec = zoo::one_use_bit_type();
+  const zoo::OneUseBitLayout lay;
+  // Two reads of a DEAD one-use bit may return different values.
+  std::vector<OpRecord> ops{
+      op(0, 0, lay.read(), lay.zero(), 0, 1),
+      op(0, 0, lay.read(), lay.one(), 2, 3),
+  };
+  EXPECT_TRUE(check_linearizable(ops, spec, lay.dead()).linearizable);
+  // But a fresh UNSET bit must read 0 first.
+  std::vector<OpRecord> bad{
+      op(0, 0, lay.read(), lay.one(), 0, 1),
+  };
+  EXPECT_FALSE(check_linearizable(bad, spec, lay.unset()).linearizable);
+}
+
+TEST(Linearizability, RejectsOversizedHistories) {
+  const auto spec = zoo::bit_type(2);
+  std::vector<OpRecord> ops;
+  for (int i = 0; i < 65; ++i) {
+    ops.push_back(op(0, 0, kBit.read(), kBit.value_resp(0), 2 * i, 2 * i + 1));
+  }
+  EXPECT_THROW(check_linearizable(ops, spec, 0), std::invalid_argument);
+  EXPECT_THROW(check_linearizable({}, spec, 9), std::out_of_range);
+}
+
+TEST(Linearizability, DescribeHistoryMentionsOps) {
+  const auto spec = zoo::bit_type(2);
+  const std::vector<OpRecord> ops{
+      op(0, 0, kBit.write(1), kBit.ok(), 0, 1),
+      pending_op(1, 1, kBit.read(), 2),
+  };
+  const auto s = describe_history(ops, spec);
+  EXPECT_NE(s.find("write(1)"), std::string::npos);
+  EXPECT_NE(s.find("pending"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfregs

@@ -1,0 +1,175 @@
+// Tests for the bytecode program layer: expression evaluation, builder
+// validation, and step-machine semantics.
+#include "wfregs/runtime/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace wfregs {
+namespace {
+
+Val eval(const Expr& e, std::vector<Val> regs = {}) { return e.eval(regs); }
+
+TEST(Expr, ArithmeticAndComparisons) {
+  EXPECT_EQ(eval(lit(2) + lit(3)), 5);
+  EXPECT_EQ(eval(lit(2) - lit(3)), -1);
+  EXPECT_EQ(eval(lit(2) * lit(3)), 6);
+  EXPECT_EQ(eval(lit(7) / lit(2)), 3);
+  EXPECT_EQ(eval(lit(7) % lit(2)), 1);
+  EXPECT_EQ(eval(lit(2) == lit(2)), 1);
+  EXPECT_EQ(eval(lit(2) == lit(3)), 0);
+  EXPECT_EQ(eval(lit(2) != lit(3)), 1);
+  EXPECT_EQ(eval(lit(2) < lit(3)), 1);
+  EXPECT_EQ(eval(lit(3) <= lit(3)), 1);
+  EXPECT_EQ(eval(lit(1) && lit(0)), 0);
+  EXPECT_EQ(eval(lit(1) || lit(0)), 1);
+  EXPECT_EQ(eval(!lit(0)), 1);
+  EXPECT_EQ(eval(!lit(5)), 0);
+}
+
+TEST(Expr, RegistersAndComposition) {
+  const std::vector<Val> regs{10, 20};
+  EXPECT_EQ((reg(0) + reg(1) * lit(2)).eval(regs), 50);
+  EXPECT_EQ((reg(0) + reg(1)).max_reg(), 1);
+  EXPECT_EQ(lit(3).max_reg(), -1);
+}
+
+TEST(Expr, ErrorsOnBadAccess) {
+  EXPECT_THROW(Expr::reg(-1), std::invalid_argument);
+  EXPECT_THROW((reg(3)).eval({1, 2}), std::out_of_range);
+  EXPECT_THROW((lit(1) / lit(0)).eval({}), std::domain_error);
+  EXPECT_THROW((lit(1) % lit(0)).eval({}), std::domain_error);
+}
+
+TEST(ProgramBuilder, StraightLineProgram) {
+  ProgramBuilder b;
+  b.assign(0, lit(5));
+  b.assign(1, reg(0) * lit(3));
+  b.ret(reg(1) + lit(1));
+  const auto p = b.build("straight");
+  EXPECT_EQ(p->name(), "straight");
+  EXPECT_EQ(p->num_regs(), 2);
+  Locals l;
+  l.regs.resize(2, 0);
+  const Action a = p->step(l);
+  ASSERT_TRUE(std::holds_alternative<DoReturn>(a));
+  EXPECT_EQ(std::get<DoReturn>(a).value, 16);
+}
+
+TEST(ProgramBuilder, InvokeSuspendsAndResumes) {
+  ProgramBuilder b;
+  b.invoke(2, lit(7), 0);
+  b.ret(reg(0) + lit(100));
+  const auto p = b.build("caller");
+  Locals l;
+  l.regs.resize(1, 0);
+  const Action a = p->step(l);
+  ASSERT_TRUE(std::holds_alternative<DoInvoke>(a));
+  const auto& inv = std::get<DoInvoke>(a);
+  EXPECT_EQ(inv.slot, 2);
+  EXPECT_EQ(inv.inv, 7);
+  EXPECT_EQ(inv.result_reg, 0);
+  // The engine delivers the response by writing the register.
+  l.regs[0] = 42;
+  const Action a2 = p->step(l);
+  ASSERT_TRUE(std::holds_alternative<DoReturn>(a2));
+  EXPECT_EQ(std::get<DoReturn>(a2).value, 142);
+}
+
+TEST(ProgramBuilder, LoopsViaLabels) {
+  // Sum 1..5 without shared accesses.
+  ProgramBuilder b;
+  b.assign(0, lit(0));  // sum
+  b.assign(1, lit(1));  // i
+  const Label loop = b.bind_here();
+  b.assign(0, reg(0) + reg(1));
+  b.assign(1, reg(1) + lit(1));
+  b.branch_if(reg(1) <= lit(5), loop);
+  b.ret(reg(0));
+  const auto p = b.build("sum");
+  Locals l;
+  l.regs.resize(2, 0);
+  const Action a = p->step(l);
+  ASSERT_TRUE(std::holds_alternative<DoReturn>(a));
+  EXPECT_EQ(std::get<DoReturn>(a).value, 15);
+}
+
+TEST(ProgramBuilder, ForwardJumps) {
+  ProgramBuilder b;
+  const Label skip = b.make_label();
+  b.assign(0, lit(1));
+  b.jump(skip);
+  b.assign(0, lit(99));  // dead code
+  b.bind(skip);
+  b.ret(reg(0));
+  const auto p = b.build("fwd");
+  Locals l;
+  l.regs.resize(1, 0);
+  EXPECT_EQ(std::get<DoReturn>(p->step(l)).value, 1);
+}
+
+TEST(ProgramBuilder, ValidationErrors) {
+  {
+    ProgramBuilder b;
+    const Label l = b.make_label();
+    b.jump(l);  // never bound
+    EXPECT_THROW(b.build("dangling"), std::logic_error);
+  }
+  {
+    ProgramBuilder b;
+    b.assign(0, lit(1));  // falls off the end
+    EXPECT_THROW(b.build("fallthrough"), std::logic_error);
+  }
+  {
+    ProgramBuilder b;
+    EXPECT_THROW(b.build("empty"), std::logic_error);
+  }
+  {
+    ProgramBuilder b;
+    const Label l = b.bind_here();
+    EXPECT_THROW(b.bind(l), std::logic_error);  // double bind
+    EXPECT_THROW(b.bind(Label{99}), std::invalid_argument);
+    EXPECT_THROW(b.assign(-1, lit(0)), std::invalid_argument);
+    EXPECT_THROW(b.invoke(-1, lit(0), 0), std::invalid_argument);
+  }
+}
+
+TEST(ProgramBuilder, FailInstructionThrowsItsMessage) {
+  ProgramBuilder b;
+  b.fail("invariant broken");
+  const auto p = b.build("failer");
+  Locals l;
+  try {
+    p->step(l);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant broken"),
+              std::string::npos);
+  }
+}
+
+TEST(ProgramBuilder, InfiniteLocalLoopExhaustsFuel) {
+  ProgramBuilder b;
+  const Label loop = b.bind_here();
+  b.jump(loop);
+  const auto p = b.build("spin");
+  Locals l;
+  EXPECT_THROW(p->step(l), std::runtime_error);
+}
+
+TEST(Locals, HashDiffersAcrossPcAndRegs) {
+  Locals a;
+  a.pc = 1;
+  a.regs = {1, 2};
+  Locals b = a;
+  EXPECT_EQ(locals_hash(a), locals_hash(b));
+  b.pc = 2;
+  EXPECT_NE(locals_hash(a), locals_hash(b));
+  b = a;
+  b.regs[1] = 3;
+  EXPECT_NE(locals_hash(a), locals_hash(b));
+}
+
+}  // namespace
+}  // namespace wfregs

@@ -1,0 +1,163 @@
+// Tests for TypeSpec text serialization: round-trip stability over the whole
+// zoo and over random types, plus parser error reporting.
+#include "wfregs/typesys/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wfregs/typesys/random_type.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+TEST(Serialize, HandWrittenExample) {
+  const std::string text = R"(
+# a 3-position turnstile
+type turnstile
+ports 2
+states 3 pos0 pos1 pos2
+invocations 1 click
+responses 3 r0 r1 r2
+delta pos0 * click -> pos1 r1
+delta pos1 * click -> pos2 r2
+delta pos2 * click -> pos0 r0
+)";
+  const auto t = parse_type(text);
+  EXPECT_EQ(t.name(), "turnstile");
+  EXPECT_EQ(t.ports(), 2);
+  EXPECT_EQ(t.num_states(), 3);
+  EXPECT_TRUE(t.is_deterministic());
+  EXPECT_TRUE(t.is_oblivious());
+  EXPECT_EQ(t.delta_det(0, 1, 0).next, 1);
+  EXPECT_EQ(t.state_name(2), "pos2");
+}
+
+TEST(Serialize, IndicesWorkInPlaceOfNames) {
+  const std::string text = R"(
+type t
+ports 1
+states 2
+invocations 1
+responses 2
+delta 0 0 0 -> 1 1
+delta 1 * 0 -> 0 0
+)";
+  const auto t = parse_type(text);
+  EXPECT_EQ(t.delta_det(0, 0, 0).resp, 1);
+  EXPECT_EQ(t.delta_det(1, 0, 0).resp, 0);
+}
+
+TEST(Serialize, NondeterminismByRepetition) {
+  const std::string text = R"(
+type coin
+ports 1
+states 1 s
+invocations 1 flip
+responses 2 heads tails
+delta s * flip -> s heads
+delta s * flip -> s tails
+)";
+  const auto t = parse_type(text);
+  EXPECT_FALSE(t.is_deterministic());
+  EXPECT_EQ(t.delta(0, 0, 0).size(), 2u);
+}
+
+TEST(Serialize, PerPortDeltas) {
+  const std::string text = R"(
+type flag
+ports 2
+states 2 down up
+invocations 1 touch
+responses 3 n0 n1 ok
+delta down 0 touch -> down n0
+delta down 1 touch -> up ok
+delta up 0 touch -> up n1
+delta up 1 touch -> up ok
+)";
+  const auto t = parse_type(text);
+  EXPECT_FALSE(t.is_oblivious());
+  EXPECT_EQ(t, zoo::port_flag_type(2));
+}
+
+TEST(Serialize, RoundTripOverTheZoo) {
+  for (const auto& t :
+       {zoo::bit_type(2), zoo::register_type(3, 2), zoo::one_use_bit_type(),
+        zoo::test_and_set_type(2), zoo::fetch_and_add_type(3, 2),
+        zoo::cas_type(2, 2), zoo::cas_old_type(2, 2),
+        zoo::sticky_bit_type(2), zoo::queue_type(2, 2, 2),
+        zoo::stack_type(2, 2, 2), zoo::consensus_type(3),
+        zoo::multi_consensus_type(3, 2), zoo::snapshot_type(2, 2),
+        zoo::srsw_register_type(3), zoo::mrsw_register_type(2, 2),
+        zoo::weak_bit_type(zoo::WeakBitKind::kSafe),
+        zoo::weak_bit_type(zoo::WeakBitKind::kRegular),
+        zoo::port_flag_type(3), zoo::trivial_toggle_type(2),
+        zoo::nondet_coin_type(2)}) {
+    SCOPED_TRACE(t.name());
+    const auto round = parse_type(print_type(t));
+    EXPECT_EQ(round, t);
+    EXPECT_EQ(round.name(), t.name());
+  }
+}
+
+class SerializeRandomSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeRandomSweep, RoundTripIsIdentity) {
+  RandomTypeParams params;
+  params.ports = 3;
+  params.num_states = 6;
+  params.num_invocations = 3;
+  params.num_responses = 3;
+  params.branching = (GetParam() % 2) ? 2 : 1;
+  params.oblivious = (GetParam() % 3 == 0);
+  const auto t = random_type(params, GetParam());
+  const auto round = parse_type(print_type(t));
+  EXPECT_EQ(round, t);
+  // Idempotence: printing the reparse yields the same text.
+  EXPECT_EQ(print_type(round), print_type(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRandomSweep,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(Serialize, ParserErrorsCarryLineNumbers) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    try {
+      parse_type(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("bogus 1\n", "unknown keyword");
+  expect_error("type t\nports 1\ndelta 0 0 0 -> 0 0\n", "headers");
+  expect_error(
+      "type t\nports 1\nstates 1\ninvocations 1\nresponses 1\n"
+      "delta 9 0 0 -> 0 0\n",
+      "unknown state");
+  expect_error(
+      "type t\nports 1\nstates 1\ninvocations 1\nresponses 1\n"
+      "delta 0 0 0 => 0 0\n",
+      "expected");
+  expect_error("type t\nports 1\nstates 1\ninvocations 1\nresponses 1\n",
+               "no transitions");
+  // Partial tables are rejected by validation.
+  expect_error(
+      "type t\nports 1\nstates 2\ninvocations 1\nresponses 1\n"
+      "delta 0 0 0 -> 0 0\n",
+      "missing transition");
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto t = zoo::queue_type(2, 2, 2);
+  const std::string path = ::testing::TempDir() + "/queue.wftype";
+  save_type(t, path);
+  EXPECT_EQ(load_type(path), t);
+  EXPECT_THROW(load_type("/nonexistent/nowhere.wftype"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wfregs

@@ -1,0 +1,124 @@
+// Tests for the atomic snapshot: the TypeSpec itself, the
+// Afek-et-al-style construction from registers (verified exhaustively), and
+// the classic fact that a snapshot -- despite strengthening registers --
+// still cannot solve 2-process consensus.
+#include "wfregs/registers/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wfregs/consensus/power.hpp"
+#include "wfregs/runtime/fuzz.hpp"
+#include "wfregs/runtime/verify.hpp"
+#include "wfregs/typesys/triviality.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+using registers::snapshot_from_registers;
+
+// ---- the type spec ---------------------------------------------------------------
+
+TEST(SnapshotType, UpdateSetsOwnComponentAndScanReportsAll) {
+  const auto t = zoo::snapshot_type(2, 3);
+  const zoo::SnapshotLayout lay{3, 2};
+  EXPECT_EQ(t.num_states(), 8);
+  EXPECT_FALSE(t.is_oblivious());  // updates are port-directed
+  EXPECT_TRUE(t.is_deterministic());
+  // From all-zero, port 1 updates to 1: view = 0b010 (id 2).
+  StateId q = t.delta_det(0, 1, lay.update(1)).next;
+  const std::array<int, 3> expected{0, 1, 0};
+  EXPECT_EQ(q, lay.state_of(expected));
+  EXPECT_EQ(t.delta_det(q, 0, lay.scan()).resp, lay.view_resp(expected));
+  // Port 2 updates; port 1's component is untouched.
+  q = t.delta_det(q, 2, lay.update(1)).next;
+  const std::array<int, 3> expected2{0, 1, 1};
+  EXPECT_EQ(q, lay.state_of(expected2));
+  EXPECT_EQ(lay.component(lay.view_resp(expected2), 1), 1);
+  EXPECT_EQ(lay.component(lay.view_resp(expected2), 0), 0);
+}
+
+TEST(SnapshotType, LayoutErrors) {
+  const zoo::SnapshotLayout lay{2, 2};
+  const std::array<int, 1> short_view{0};
+  EXPECT_THROW(lay.view_resp(short_view), std::invalid_argument);
+  const std::array<int, 2> bad{0, 5};
+  EXPECT_THROW(lay.view_resp(bad), std::out_of_range);
+}
+
+TEST(SnapshotType, NonTrivialDeterministic) {
+  // It can therefore implement one-use bits (Section 5.2) like everything
+  // else in the deterministic world.
+  EXPECT_FALSE(is_trivial_general(zoo::snapshot_type(2, 2)));
+}
+
+// ---- the construction ---------------------------------------------------------------
+
+TEST(SnapshotFromRegisters, SequentialSemantics) {
+  const zoo::SnapshotLayout lay{2, 2};
+  const auto impl = snapshot_from_registers(2, 2, 3);
+  // Port 0 updates then scans; port 1 idle.
+  const auto r = verify_linearizable(
+      impl, {{lay.update(1), lay.scan()}, {}});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(SnapshotFromRegisters, ConcurrentUpdateAndScanExhaustive) {
+  const zoo::SnapshotLayout lay{2, 2};
+  const auto impl = snapshot_from_registers(2, 2, 3);
+  const auto r = verify_linearizable(
+      impl, {{lay.scan(), lay.scan()}, {lay.update(1), lay.update(0)}});
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_TRUE(r.wait_free);
+}
+
+TEST(SnapshotFromRegisters, DuelingUpdatersExhaustive) {
+  const zoo::SnapshotLayout lay{2, 2};
+  const auto impl = snapshot_from_registers(2, 2, 3);
+  const auto r = verify_linearizable(
+      impl, {{lay.update(1), lay.scan()}, {lay.update(1), lay.scan()}});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(SnapshotFromRegisters, ThreePortsFuzzed) {
+  // Three ports exceed comfortable exhaustive budgets; fuzz instead.
+  const zoo::SnapshotLayout lay{3, 2};
+  const auto impl = snapshot_from_registers(2, 3, 4);
+  FuzzOptions options;
+  options.runs = 40;
+  const auto r = fuzz_linearizable(
+      impl,
+      {{lay.update(1), lay.scan()},
+       {lay.scan(), lay.update(1)},
+       {lay.update(1), lay.scan()}},
+      options);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_EQ(r.runs, 40u);
+}
+
+TEST(SnapshotFromRegisters, UpdateOverflowFailsLoudly) {
+  const zoo::SnapshotLayout lay{2, 2};
+  const auto impl = snapshot_from_registers(2, 2, 1);
+  EXPECT_THROW(
+      verify_linearizable(impl, {{lay.update(1), lay.update(0)}, {}}),
+      std::runtime_error);
+}
+
+TEST(SnapshotFromRegisters, ArgumentChecking) {
+  EXPECT_THROW(snapshot_from_registers(1, 2, 3), std::invalid_argument);
+  EXPECT_THROW(snapshot_from_registers(2, 1, 3), std::invalid_argument);
+  EXPECT_THROW(snapshot_from_registers(2, 2, -1), std::invalid_argument);
+}
+
+// ---- still consensus number 1 ---------------------------------------------------------
+
+TEST(Snapshot, CannotSolveTwoProcessConsensusAtDepthOne) {
+  const auto spec =
+      std::make_shared<const TypeSpec>(zoo::snapshot_type(2, 2));
+  const auto r = consensus::synthesize_two_consensus({{spec, 0, {}}}, 1,
+                                                     50000000);
+  EXPECT_EQ(r.verdict, consensus::SynthesisVerdict::kUnsolvable);
+}
+
+}  // namespace
+}  // namespace wfregs

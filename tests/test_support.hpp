@@ -1,0 +1,52 @@
+// Shared helpers for runtime-level tests and benches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "wfregs/runtime/implementation.hpp"
+#include "wfregs/runtime/program.hpp"
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs::testsup {
+
+inline std::shared_ptr<const TypeSpec> share(TypeSpec t) {
+  return std::make_shared<const TypeSpec>(std::move(t));
+}
+
+inline std::shared_ptr<Implementation> make_impl(
+    std::string name, std::shared_ptr<const TypeSpec> iface,
+    StateId initial) {
+  return std::make_shared<Implementation>(std::move(name), std::move(iface),
+                                          initial);
+}
+
+/// A program that performs a single invocation on env slot `slot` and
+/// returns the response.
+inline ProgramRef one_shot(const std::string& name, int slot, InvId inv) {
+  ProgramBuilder b;
+  b.invoke(slot, lit(inv), 0);
+  b.ret(reg(0));
+  return b.build(name);
+}
+
+/// A program that performs `first` then `second` on slot `slot` and returns
+/// the second response.
+inline ProgramRef two_shot(const std::string& name, int slot, InvId first,
+                           InvId second) {
+  ProgramBuilder b;
+  b.invoke(slot, lit(first), 0);
+  b.invoke(slot, lit(second), 1);
+  b.ret(reg(1));
+  return b.build(name);
+}
+
+/// A program that returns a constant without touching shared memory.
+inline ProgramRef constant(const std::string& name, Val value) {
+  ProgramBuilder b;
+  b.ret(lit(value));
+  return b.build(name);
+}
+
+}  // namespace wfregs::testsup

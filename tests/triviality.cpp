@@ -1,0 +1,278 @@
+// Tests for the Section 5 triviality deciders and witness searches.
+//
+// These tests mechanize claims the paper leaves as "it is not hard to see":
+//   * the trivial/non-trivial classification of familiar types;
+//   * that a Section 5.1 witness can always be chosen one step apart;
+//   * that minimal non-trivial pairs have the Lemma 2-4 shape (one writer
+//     invocation, then reader invocations, responses agreeing on all but the
+//     last position).
+#include "wfregs/typesys/triviality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "wfregs/typesys/random_type.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+using namespace zoo;
+
+// ---- Section 5.1 classification ----------------------------------------------
+
+TEST(TrivialityOblivious, SinkAndToggleAreTrivial) {
+  EXPECT_TRUE(is_trivial_oblivious(trivial_sink_type(2)));
+  // The toggle changes state on every ping yet always answers ok: trivial,
+  // because triviality is about responses, not states.
+  EXPECT_TRUE(is_trivial_oblivious(trivial_toggle_type(2)));
+}
+
+TEST(TrivialityOblivious, FamiliarTypesAreNonTrivial) {
+  EXPECT_FALSE(is_trivial_oblivious(bit_type(2)));
+  EXPECT_FALSE(is_trivial_oblivious(register_type(3, 2)));
+  EXPECT_FALSE(is_trivial_oblivious(test_and_set_type(2)));
+  EXPECT_FALSE(is_trivial_oblivious(fetch_and_add_type(4, 2)));
+  EXPECT_FALSE(is_trivial_oblivious(cas_type(2, 2)));
+  EXPECT_FALSE(is_trivial_oblivious(cas_old_type(2, 2)));
+  EXPECT_FALSE(is_trivial_oblivious(sticky_bit_type(2)));
+  EXPECT_FALSE(is_trivial_oblivious(queue_type(2, 2, 2)));
+  EXPECT_FALSE(is_trivial_oblivious(stack_type(2, 2, 2)));
+  EXPECT_FALSE(is_trivial_oblivious(consensus_type(2)));
+  EXPECT_FALSE(is_trivial_oblivious(multi_consensus_type(3, 2)));
+  EXPECT_FALSE(is_trivial_oblivious(mod_counter_type(2, 2)));
+}
+
+TEST(TrivialityOblivious, RejectsNondeterministicAndNonObliviousInput) {
+  EXPECT_THROW(is_trivial_oblivious(nondet_coin_type(2)),
+               std::invalid_argument);
+  EXPECT_THROW(is_trivial_oblivious(port_flag_type(2)),
+               std::invalid_argument);
+  EXPECT_THROW(find_oblivious_witness(nondet_coin_type(2)),
+               std::invalid_argument);
+}
+
+TEST(TrivialityOblivious, TrivialFromDependsOnStartState) {
+  // State 0 can reach the response-changing part; state 2 cannot.
+  //   0 --a--> 1 (ok), 1 --a--> 1 (bad), 2 --a--> 2 (ok)
+  TypeSpec t("partial", 1, 3, 1, 2);
+  t.name_response(0, "ok");
+  t.name_response(1, "bad");
+  t.add(0, 0, 0, 1, 0);
+  t.add(1, 0, 0, 1, 1);
+  t.add(2, 0, 0, 2, 0);
+  EXPECT_FALSE(is_trivial_oblivious_from(t, 0));
+  // From state 1 the response is constantly "bad" over {1}: trivial.
+  EXPECT_TRUE(is_trivial_oblivious_from(t, 1));
+  EXPECT_TRUE(is_trivial_oblivious_from(t, 2));
+  EXPECT_FALSE(is_trivial_oblivious(t));
+}
+
+// ---- Section 5.1 witness shape -------------------------------------------------
+
+// The witness invariant the one-use-bit construction relies on: p is one
+// step from q via i_prime, and i's responses differ across that edge.
+void check_oblivious_witness(const TypeSpec& t, const ObliviousWitness& w) {
+  const auto step = t.delta_det(w.q, 0, w.i_prime);
+  EXPECT_EQ(step.next, w.p);
+  EXPECT_EQ(t.delta_det(w.q, 0, w.i).resp, w.r_q);
+  EXPECT_EQ(t.delta_det(w.p, 0, w.i).resp, w.r_p);
+  EXPECT_NE(w.r_q, w.r_p);
+}
+
+TEST(ObliviousWitness, FoundForEveryNonTrivialZooType) {
+  for (const auto& t :
+       {bit_type(2), register_type(4, 2), test_and_set_type(2),
+        fetch_and_add_type(3, 2), cas_type(3, 2), sticky_bit_type(2),
+        queue_type(2, 2, 2), consensus_type(2), mod_counter_type(4, 2)}) {
+    SCOPED_TRACE(t.name());
+    const auto w = find_oblivious_witness(t);
+    ASSERT_TRUE(w.has_value());
+    check_oblivious_witness(t, *w);
+  }
+}
+
+TEST(ObliviousWitness, AbsentForTrivialTypes) {
+  EXPECT_FALSE(find_oblivious_witness(trivial_sink_type(2)).has_value());
+  EXPECT_FALSE(find_oblivious_witness(trivial_toggle_type(2)).has_value());
+}
+
+// Property sweep: over random oblivious deterministic types, the decider and
+// the witness search must agree, and every witness must satisfy its shape.
+class ObliviousWitnessSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ObliviousWitnessSweep, WitnessIffNonTrivial) {
+  RandomTypeParams params;
+  params.ports = 2;
+  params.num_states = 5;
+  params.num_invocations = 3;
+  params.num_responses = 3;
+  params.oblivious = true;
+  const auto t = random_type(params, GetParam());
+  const auto w = find_oblivious_witness(t);
+  EXPECT_EQ(w.has_value(), !is_trivial_oblivious(t));
+  if (w) check_oblivious_witness(t, *w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObliviousWitnessSweep,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+// ---- Section 5.2 general case ---------------------------------------------------
+
+TEST(TrivialityGeneral, MatchesObliviousDeciderOnObliviousTypes) {
+  for (const auto& t : {bit_type(2), test_and_set_type(2), consensus_type(2),
+                        trivial_sink_type(2), trivial_toggle_type(2)}) {
+    SCOPED_TRACE(t.name());
+    EXPECT_EQ(is_trivial_general(t), is_trivial_oblivious(t));
+  }
+}
+
+TEST(TrivialityGeneral, PortFlagIsNonTrivial) {
+  EXPECT_FALSE(is_trivial_general(port_flag_type(2)));
+  EXPECT_FALSE(is_trivial_general(port_flag_type(3)));
+}
+
+TEST(TrivialityGeneral, SinglePortTypesAreVacuouslyTrivial) {
+  EXPECT_TRUE(is_trivial_general(bit_type(1)));
+}
+
+TEST(TrivialityGeneral, RejectsNondeterministicInput) {
+  EXPECT_THROW(is_trivial_general(nondet_coin_type(2)),
+               std::invalid_argument);
+}
+
+// A non-oblivious type that is nonetheless trivial: each port sees its own
+// private counter parity; no port can affect another port's responses.
+TEST(TrivialityGeneral, PrivateParityIsTrivial) {
+  // States encode (parity of port 0's touches, parity of port 1's), and
+  // touch returns the toucher's own NEW parity.
+  TypeSpec t("private_parity", 2, 4, 1, 2);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const StateId q = a * 2 + b;
+      t.add(q, 0, 0, (1 - a) * 2 + b, 1 - a);
+      t.add(q, 1, 0, a * 2 + (1 - b), 1 - b);
+    }
+  }
+  t.validate();
+  EXPECT_FALSE(t.is_oblivious());
+  EXPECT_TRUE(is_trivial_general(t));
+  EXPECT_FALSE(find_nontrivial_pair(t).has_value());
+}
+
+// ---- Lemma 2-4 shape of minimal pairs -------------------------------------------
+
+// Replays a NonTrivialPair against the spec and checks the Lemma 2-4 shape:
+// H1 and H2 run the same reader sequence; responses agree at every position
+// except the last; the writer invocation alone separates them.
+void check_pair_shape(const TypeSpec& t, const NonTrivialPair& pair) {
+  ASSERT_FALSE(pair.read_seq.empty());
+  ASSERT_NE(pair.reader_port, pair.writer_port);
+  StateId h1 = pair.q;
+  StateId h2 = t.delta_det(pair.q, pair.writer_port, pair.write_inv).next;
+  for (std::size_t k = 0; k < pair.read_seq.size(); ++k) {
+    const auto t1 = t.delta_det(h1, pair.reader_port, pair.read_seq[k]);
+    const auto t2 = t.delta_det(h2, pair.reader_port, pair.read_seq[k]);
+    if (k + 1 < pair.read_seq.size()) {
+      // Minimality: only the last response may differ (Lemma 2-4).
+      EXPECT_EQ(t1.resp, t2.resp) << "premature divergence at position " << k;
+    } else {
+      EXPECT_EQ(t1.resp, pair.unwritten_resp);
+      EXPECT_EQ(t2.resp, pair.written_resp);
+      EXPECT_NE(t1.resp, t2.resp);
+    }
+    h1 = t1.next;
+    h2 = t2.next;
+  }
+}
+
+TEST(NonTrivialPair, FoundForNonTrivialZooTypesWithShape) {
+  for (const auto& t :
+       {bit_type(2), register_type(3, 2), test_and_set_type(2),
+        fetch_and_add_type(3, 2), sticky_bit_type(2), queue_type(2, 2, 2),
+        stack_type(2, 2, 2), cas_old_type(2, 2), snapshot_type(2, 2),
+        multi_consensus_type(3, 2), consensus_type(2), port_flag_type(2),
+        mod_counter_type(3, 2)}) {
+    SCOPED_TRACE(t.name());
+    const auto pair = find_nontrivial_pair(t);
+    ASSERT_TRUE(pair.has_value());
+    check_pair_shape(t, *pair);
+  }
+}
+
+TEST(NonTrivialPair, RegisterPairIsWriteThenRead) {
+  const auto t = bit_type(2);
+  const RegisterLayout lay{2};
+  const auto pair = find_nontrivial_pair(t);
+  ASSERT_TRUE(pair.has_value());
+  // The minimal pair for a bit register is a single read distinguished by a
+  // single write of the opposite value.
+  EXPECT_EQ(pair->read_seq.size(), 1u);
+  EXPECT_EQ(pair->read_seq[0], lay.read());
+}
+
+// Property sweep over random (possibly non-oblivious) deterministic types:
+// the general decider agrees with pair existence, every pair replays with
+// the documented shape, and on oblivious instances the general decider
+// agrees with the Section 5.1 decider.
+class NonTrivialPairSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NonTrivialPairSweep, PairIffNonTrivialWithShape) {
+  RandomTypeParams params;
+  params.ports = 3;
+  params.num_states = 5;
+  params.num_invocations = 2;
+  params.num_responses = 3;
+  params.oblivious = (GetParam() % 2 == 0);
+  const auto t = random_type(params, GetParam());
+  const auto pair = find_nontrivial_pair(t);
+  EXPECT_EQ(pair.has_value(), !is_trivial_general(t));
+  if (pair) check_pair_shape(t, *pair);
+  if (params.oblivious) {
+    // On oblivious types the general and oblivious classifications coincide.
+    EXPECT_EQ(is_trivial_general(t), is_trivial_oblivious(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NonTrivialPairSweep,
+                         ::testing::Range<std::uint64_t>(0, 80));
+
+// ---- Mealy helper ---------------------------------------------------------------
+
+TEST(PortTraceClasses, SeparatesStatesWithDifferentTraces) {
+  const auto t = bit_type(2);
+  const auto cls = port_trace_classes(t, 0);
+  EXPECT_NE(cls[0], cls[1]);  // val0 and val1 answer read differently
+}
+
+TEST(PortTraceClasses, MergesTraceEquivalentStates) {
+  const auto t = trivial_toggle_type(2);
+  const auto cls = port_trace_classes(t, 0);
+  EXPECT_EQ(cls[0], cls[1]);  // A and B are trace-equivalent
+}
+
+TEST(ShortestDistinguishingSequence, NulloptForEquivalentStates) {
+  const auto t = trivial_toggle_type(2);
+  EXPECT_FALSE(shortest_distinguishing_sequence(t, 0, 0, 1).has_value());
+  EXPECT_FALSE(shortest_distinguishing_sequence(t, 0, 0, 0).has_value());
+}
+
+TEST(ShortestDistinguishingSequence, FindsMultiStepDifference) {
+  // 0 --a--> 1 --a--> 2(resp X); 3 --a--> 4 --a--> 5(resp Y).  States 0 and
+  // 3 differ only at depth 2.
+  TypeSpec t("twostep", 1, 6, 1, 2);
+  t.add(0, 0, 0, 1, 0);
+  t.add(1, 0, 0, 2, 0);
+  t.add(2, 0, 0, 2, 0);
+  t.add(3, 0, 0, 4, 0);
+  t.add(4, 0, 0, 5, 1);
+  t.add(5, 0, 0, 5, 1);
+  const auto seq = shortest_distinguishing_sequence(t, 0, 0, 3);
+  ASSERT_TRUE(seq.has_value());
+  EXPECT_EQ(seq->size(), 2u);
+}
+
+}  // namespace
+}  // namespace wfregs

@@ -1,0 +1,108 @@
+// Tests for structural TypeSpec operations and the random type generator.
+#include "wfregs/typesys/type_algebra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "wfregs/typesys/random_type.hpp"
+#include "wfregs/typesys/triviality.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+TEST(ReachablePart, DropsUnreachableStatesAndRebasesInitial) {
+  // 0 -> 1 (cycle), 2 unreachable from 0.
+  TypeSpec t("t", 1, 3, 1, 2);
+  t.add(0, 0, 0, 1, 0);
+  t.add(1, 0, 0, 0, 1);
+  t.add(2, 0, 0, 2, 0);
+  t.validate();
+  const auto r = reachable_part(t, 0);
+  EXPECT_EQ(r.num_states(), 2);
+  EXPECT_EQ(r.delta_det(0, 0, 0).resp, 0);
+  EXPECT_EQ(r.delta_det(1, 0, 0).resp, 1);
+  // Starting from state 1, the result rebases it to state 0.
+  const auto r1 = reachable_part(t, 1);
+  EXPECT_EQ(r1.num_states(), 2);
+  EXPECT_EQ(r1.delta_det(0, 0, 0).resp, 1);
+}
+
+TEST(ReachablePart, PreservesSemanticsOfZooTypes) {
+  const auto t = zoo::consensus_type(2);
+  const auto r = reachable_part(t, 0);
+  EXPECT_EQ(r.num_states(), 3);  // all consensus states are reachable
+  EXPECT_EQ(is_trivial_oblivious(r), is_trivial_oblivious(t));
+}
+
+TEST(WithPorts, WideningClonesBehaviour) {
+  const auto t = zoo::test_and_set_type(2);
+  const auto w = with_ports(t, 5);
+  EXPECT_EQ(w.ports(), 5);
+  EXPECT_TRUE(w.is_oblivious());
+  for (PortId p = 0; p < 5; ++p) {
+    EXPECT_EQ(w.delta_det(0, p, 0).resp, t.delta_det(0, 0, 0).resp);
+  }
+}
+
+TEST(WithPorts, NarrowingKeepsLowPorts) {
+  const auto t = zoo::port_flag_type(3);
+  const auto w = with_ports(t, 2);
+  EXPECT_EQ(w.ports(), 2);
+  EXPECT_EQ(w.delta_det(0, 1, 0).next, 1);  // port 1 still raises the flag
+}
+
+TEST(WithPorts, RejectsBadArguments) {
+  const auto t = zoo::bit_type(2);
+  EXPECT_THROW(with_ports(t, 0), std::invalid_argument);
+  EXPECT_THROW(with_ports(t, 3, 7), std::out_of_range);
+}
+
+TEST(RandomType, DeterministicInSeed) {
+  RandomTypeParams params;
+  const auto a = random_type(params, 42);
+  const auto b = random_type(params, 42);
+  EXPECT_EQ(a, b);
+  const auto c = random_type(params, 43);
+  EXPECT_FALSE(a == c);  // overwhelmingly likely for these shapes
+}
+
+TEST(RandomType, ShapeHonoured) {
+  RandomTypeParams params;
+  params.ports = 3;
+  params.num_states = 6;
+  params.num_invocations = 4;
+  params.num_responses = 2;
+  const auto t = random_type(params, 7);
+  EXPECT_EQ(t.ports(), 3);
+  EXPECT_EQ(t.num_states(), 6);
+  EXPECT_TRUE(t.is_total());
+  EXPECT_TRUE(t.is_deterministic());
+}
+
+TEST(RandomType, ObliviousFlagProducesObliviousTypes) {
+  RandomTypeParams params;
+  params.ports = 4;
+  params.oblivious = true;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    EXPECT_TRUE(random_type(params, seed).is_oblivious());
+  }
+}
+
+TEST(RandomType, BranchingProducesNondeterminism) {
+  RandomTypeParams params;
+  params.branching = 3;
+  params.num_states = 8;
+  params.num_responses = 4;
+  bool saw_nondet = false;
+  for (std::uint64_t seed = 0; seed < 10 && !saw_nondet; ++seed) {
+    saw_nondet = !random_type(params, seed).is_deterministic();
+  }
+  EXPECT_TRUE(saw_nondet);
+  EXPECT_THROW(random_type(RandomTypeParams{.branching = 0}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wfregs

@@ -1,0 +1,141 @@
+// Unit tests for the TypeSpec 5-tuple representation (paper Section 2.1).
+#include "wfregs/typesys/type_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+TEST(TypeSpec, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(TypeSpec("bad", 0, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(TypeSpec("bad", 1, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(TypeSpec("bad", 1, 1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(TypeSpec("bad", 1, 1, 1, 0), std::invalid_argument);
+}
+
+TEST(TypeSpec, AddRangeChecksAllIds) {
+  TypeSpec t("t", 2, 2, 2, 2);
+  EXPECT_THROW(t.add(2, 0, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.add(0, 2, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.add(0, 0, 2, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.add(0, 0, 0, 2, 0), std::out_of_range);
+  EXPECT_THROW(t.add(0, 0, 0, 0, 2), std::out_of_range);
+  EXPECT_THROW(t.add(-1, 0, 0, 0, 0), std::out_of_range);
+}
+
+TEST(TypeSpec, DuplicateTransitionsAreDeduplicated) {
+  TypeSpec t("t", 1, 1, 1, 1);
+  t.add(0, 0, 0, 0, 0);
+  t.add(0, 0, 0, 0, 0);
+  EXPECT_EQ(t.delta(0, 0, 0).size(), 1u);
+  EXPECT_TRUE(t.is_deterministic());
+}
+
+TEST(TypeSpec, TransitionSetsAreSorted) {
+  TypeSpec t("t", 1, 2, 1, 2);
+  t.add(0, 0, 0, 1, 1);
+  t.add(0, 0, 0, 0, 0);
+  t.add(0, 0, 0, 1, 0);
+  const auto set = t.delta(0, 0, 0);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_LT(set[0], set[1]);
+  EXPECT_LT(set[1], set[2]);
+}
+
+TEST(TypeSpec, TotalityAndDeterminism) {
+  TypeSpec t("t", 1, 2, 1, 1);
+  EXPECT_FALSE(t.is_total());
+  t.add(0, 0, 0, 1, 0);
+  EXPECT_FALSE(t.is_total());
+  EXPECT_THROW(t.validate(), std::logic_error);
+  t.add(1, 0, 0, 0, 0);
+  EXPECT_TRUE(t.is_total());
+  EXPECT_TRUE(t.is_deterministic());
+  EXPECT_NO_THROW(t.validate());
+  t.add(1, 0, 0, 1, 0);
+  EXPECT_TRUE(t.is_total());
+  EXPECT_FALSE(t.is_deterministic());
+}
+
+TEST(TypeSpec, DeltaDetThrowsOnNondeterministicCell) {
+  TypeSpec t("t", 1, 1, 1, 2);
+  t.add(0, 0, 0, 0, 0);
+  EXPECT_EQ(t.delta_det(0, 0, 0).resp, 0);
+  t.add(0, 0, 0, 0, 1);
+  EXPECT_THROW(t.delta_det(0, 0, 0), std::logic_error);
+}
+
+TEST(TypeSpec, ObliviousnessDetection) {
+  TypeSpec t("t", 2, 1, 1, 2);
+  t.add(0, 0, 0, 0, 0);
+  t.add(0, 1, 0, 0, 0);
+  EXPECT_TRUE(t.is_oblivious());
+  t.add(0, 1, 0, 0, 1);
+  EXPECT_FALSE(t.is_oblivious());
+}
+
+TEST(TypeSpec, AddObliviousCoversAllPorts) {
+  TypeSpec t("t", 3, 1, 1, 1);
+  t.add_oblivious(0, 0, 0, 0);
+  EXPECT_TRUE(t.is_total());
+  EXPECT_TRUE(t.is_oblivious());
+}
+
+TEST(TypeSpec, ReachabilityIncludesSelfAndFollowsEdges) {
+  // 0 -> 1 -> 2, and 3 isolated.
+  TypeSpec t("t", 1, 4, 1, 1);
+  t.add(0, 0, 0, 1, 0);
+  t.add(1, 0, 0, 2, 0);
+  t.add(2, 0, 0, 2, 0);
+  t.add(3, 0, 0, 3, 0);
+  EXPECT_EQ(t.reachable_from(0), (std::vector<StateId>{0, 1, 2}));
+  EXPECT_EQ(t.reachable_from(3), (std::vector<StateId>{3}));
+  EXPECT_TRUE(t.reachable(0, 2));
+  EXPECT_FALSE(t.reachable(2, 0));
+  EXPECT_TRUE(t.reachable(2, 2));
+}
+
+TEST(TypeSpec, ReachabilityFollowsNondeterministicBranches) {
+  TypeSpec t("t", 1, 3, 1, 1);
+  t.add(0, 0, 0, 1, 0);
+  t.add(0, 0, 0, 2, 0);
+  t.add(1, 0, 0, 1, 0);
+  t.add(2, 0, 0, 2, 0);
+  EXPECT_EQ(t.reachable_from(0), (std::vector<StateId>{0, 1, 2}));
+}
+
+TEST(TypeSpec, NamesDefaultAndOverride) {
+  TypeSpec t("t", 1, 1, 1, 1);
+  EXPECT_EQ(t.state_name(0), "q0");
+  EXPECT_EQ(t.invocation_name(0), "i0");
+  EXPECT_EQ(t.response_name(0), "r0");
+  t.name_state(0, "idle");
+  t.name_invocation(0, "poke");
+  t.name_response(0, "ok");
+  EXPECT_EQ(t.state_name(0), "idle");
+  EXPECT_EQ(t.invocation_name(0), "poke");
+  EXPECT_EQ(t.response_name(0), "ok");
+}
+
+TEST(TypeSpec, ToStringMentionsDimensionsAndNames) {
+  auto t = zoo::one_use_bit_type();
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("one_use_bit"), std::string::npos);
+  EXPECT_NE(s.find("UNSET"), std::string::npos);
+  EXPECT_NE(s.find("DEAD"), std::string::npos);
+}
+
+TEST(TypeSpec, EqualityComparesTables) {
+  auto a = zoo::bit_type(2);
+  auto b = zoo::bit_type(2);
+  EXPECT_EQ(a, b);
+  auto c = zoo::register_type(3, 2);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace wfregs

@@ -1,0 +1,199 @@
+// Unit tests for the type zoo: every builder must produce a total spec whose
+// sequential behaviour matches the intended data type, and whose structural
+// classification (deterministic / oblivious) is as documented.
+#include "wfregs/typesys/type_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace wfregs {
+namespace {
+
+using namespace zoo;
+
+TEST(RegisterType, ReadReturnsCurrentValueAndWriteSetsIt) {
+  const auto t = register_type(4, 3);
+  const RegisterLayout lay{4};
+  EXPECT_TRUE(t.is_deterministic());
+  EXPECT_TRUE(t.is_oblivious());
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_EQ(t.delta_det(lay.state_of(v), 0, lay.read()).resp,
+              lay.value_resp(v));
+    EXPECT_EQ(t.delta_det(lay.state_of(v), 0, lay.read()).next,
+              lay.state_of(v));
+    for (int w = 0; w < 4; ++w) {
+      const auto tr = t.delta_det(lay.state_of(v), 0, lay.write(w));
+      EXPECT_EQ(tr.next, lay.state_of(w));
+      EXPECT_EQ(tr.resp, lay.ok());
+    }
+  }
+}
+
+TEST(RegisterType, RejectsDegenerateShapes) {
+  EXPECT_THROW(register_type(1, 2), std::invalid_argument);
+  EXPECT_THROW(register_type(2, 0), std::invalid_argument);
+}
+
+TEST(OneUseBitType, MatchesSection3Verbatim) {
+  const auto t = one_use_bit_type();
+  const OneUseBitLayout lay;
+  EXPECT_EQ(t.ports(), 2);
+  EXPECT_EQ(t.num_states(), 3);
+  EXPECT_FALSE(t.is_deterministic());
+  EXPECT_TRUE(t.is_oblivious());
+  EXPECT_TRUE(t.is_total());
+  // UNSET reads 0, SET reads 1, both dying.
+  EXPECT_EQ(t.delta(lay.unset(), 0, lay.read()).size(), 1u);
+  EXPECT_EQ(t.delta_det(lay.unset(), 0, lay.read()).resp, lay.zero());
+  EXPECT_EQ(t.delta_det(lay.unset(), 0, lay.read()).next, lay.dead());
+  EXPECT_EQ(t.delta_det(lay.set(), 0, lay.read()).resp, lay.one());
+  EXPECT_EQ(t.delta_det(lay.set(), 0, lay.read()).next, lay.dead());
+  // DEAD reads are nondeterministic over {0, 1}.
+  const auto dead_reads = t.delta(lay.dead(), 0, lay.read());
+  ASSERT_EQ(dead_reads.size(), 2u);
+  EXPECT_EQ(dead_reads[0].next, lay.dead());
+  EXPECT_EQ(dead_reads[1].next, lay.dead());
+  // Writes: UNSET -> SET, SET -> DEAD, DEAD -> DEAD, all ok.
+  EXPECT_EQ(t.delta_det(lay.unset(), 0, lay.write()).next, lay.set());
+  EXPECT_EQ(t.delta_det(lay.set(), 0, lay.write()).next, lay.dead());
+  EXPECT_EQ(t.delta_det(lay.dead(), 0, lay.write()).next, lay.dead());
+  EXPECT_EQ(t.delta_det(lay.unset(), 0, lay.write()).resp, lay.ok());
+}
+
+TEST(ConsensusType, FirstProposalFixesAllResponses) {
+  const auto t = consensus_type(3);
+  const ConsensusLayout lay;
+  EXPECT_TRUE(t.is_deterministic());
+  EXPECT_TRUE(t.is_oblivious());
+  for (int first = 0; first < 2; ++first) {
+    const auto tr = t.delta_det(lay.bottom(), 0, lay.propose(first));
+    EXPECT_EQ(tr.next, lay.decided(first));
+    EXPECT_EQ(tr.resp, lay.decide_resp(first));
+    for (int later = 0; later < 2; ++later) {
+      const auto tr2 = t.delta_det(lay.decided(first), 1, lay.propose(later));
+      EXPECT_EQ(tr2.next, lay.decided(first));
+      EXPECT_EQ(tr2.resp, lay.decide_resp(first));
+    }
+  }
+}
+
+TEST(TestAndSetType, ReturnsOldValueAndSticksAtOne) {
+  const auto t = test_and_set_type(2);
+  const TestAndSetLayout lay;
+  EXPECT_EQ(t.delta_det(0, 0, lay.test_and_set()).resp, lay.old_value(0));
+  EXPECT_EQ(t.delta_det(0, 0, lay.test_and_set()).next, 1);
+  EXPECT_EQ(t.delta_det(1, 0, lay.test_and_set()).resp, lay.old_value(1));
+  EXPECT_EQ(t.delta_det(1, 0, lay.test_and_set()).next, 1);
+}
+
+TEST(FetchAndAddType, CountsUpAndSaturates) {
+  const auto t = fetch_and_add_type(3, 2);
+  const FetchAndAddLayout lay{3};
+  StateId q = 0;
+  for (int expected = 0; expected < 3; ++expected) {
+    const auto tr = t.delta_det(q, 0, lay.fetch_and_add());
+    EXPECT_EQ(tr.resp, lay.old_value(expected));
+    q = tr.next;
+  }
+  // Saturated: stays at cap, keeps returning cap.
+  const auto tr = t.delta_det(q, 0, lay.fetch_and_add());
+  EXPECT_EQ(tr.resp, lay.old_value(3));
+  EXPECT_EQ(tr.next, q);
+}
+
+TEST(CasType, SucceedsOnlyOnExpectedValue) {
+  const auto t = cas_type(3, 4);
+  const CasLayout lay{3};
+  EXPECT_EQ(t.delta_det(0, 0, lay.cas(0, 2)).resp, lay.success());
+  EXPECT_EQ(t.delta_det(0, 0, lay.cas(0, 2)).next, 2);
+  EXPECT_EQ(t.delta_det(0, 0, lay.cas(1, 2)).resp, lay.failure());
+  EXPECT_EQ(t.delta_det(0, 0, lay.cas(1, 2)).next, 0);
+  EXPECT_EQ(t.delta_det(2, 0, lay.read()).resp, lay.value_resp(2));
+}
+
+TEST(StickyBitType, FirstJamSticksAndAllJamsReportStuckValue) {
+  const auto t = sticky_bit_type(3);
+  const StickyBitLayout lay;
+  EXPECT_EQ(t.delta_det(lay.bottom_state(), 0, lay.jam(1)).next, lay.stuck(1));
+  EXPECT_EQ(t.delta_det(lay.bottom_state(), 0, lay.jam(1)).resp,
+            lay.value_resp(1));
+  EXPECT_EQ(t.delta_det(lay.stuck(1), 0, lay.jam(0)).next, lay.stuck(1));
+  EXPECT_EQ(t.delta_det(lay.stuck(1), 0, lay.jam(0)).resp, lay.value_resp(1));
+  EXPECT_EQ(t.delta_det(lay.bottom_state(), 0, lay.read()).resp,
+            lay.bottom());
+}
+
+TEST(QueueType, StateEnumerationCountsAllSequences) {
+  const QueueLayout lay{3, 2};
+  // lengths 0..3 over 2 values: 1 + 2 + 4 + 8 = 15.
+  EXPECT_EQ(lay.num_states(), 15);
+  const QueueLayout lay2{2, 3};
+  EXPECT_EQ(lay2.num_states(), 1 + 3 + 9);
+}
+
+TEST(QueueType, FifoSemantics) {
+  const auto t = queue_type(3, 2, 2);
+  const QueueLayout lay{3, 2};
+  const StateId empty = lay.state_of(std::array<int, 0>{});
+  // enqueue 1, enqueue 0, dequeue -> 1, dequeue -> 0, dequeue -> empty.
+  StateId q = t.delta_det(empty, 0, lay.enqueue(1)).next;
+  q = t.delta_det(q, 0, lay.enqueue(0)).next;
+  auto tr = t.delta_det(q, 0, lay.dequeue());
+  EXPECT_EQ(tr.resp, lay.front_value(1));
+  tr = t.delta_det(tr.next, 0, lay.dequeue());
+  EXPECT_EQ(tr.resp, lay.front_value(0));
+  tr = t.delta_det(tr.next, 0, lay.dequeue());
+  EXPECT_EQ(tr.resp, lay.empty());
+  EXPECT_EQ(tr.next, empty);
+}
+
+TEST(QueueType, EnqueueOnFullQueueReportsFullAndDropsNothing) {
+  const auto t = queue_type(2, 2, 2);
+  const QueueLayout lay{2, 2};
+  const std::array<int, 2> content{1, 0};
+  const StateId full = lay.state_of(content);
+  const auto tr = t.delta_det(full, 0, lay.enqueue(1));
+  EXPECT_EQ(tr.resp, lay.full());
+  EXPECT_EQ(tr.next, full);
+}
+
+TEST(QueueType, StateOfRejectsBadContent) {
+  const QueueLayout lay{2, 2};
+  const std::array<int, 3> too_long{0, 0, 0};
+  EXPECT_THROW(lay.state_of(too_long), std::out_of_range);
+  const std::array<int, 1> bad_value{7};
+  EXPECT_THROW(lay.state_of(bad_value), std::out_of_range);
+}
+
+TEST(DegenerateTypes, ShapesAreAsDocumented) {
+  EXPECT_TRUE(trivial_toggle_type(2).is_deterministic());
+  EXPECT_TRUE(trivial_sink_type(2).is_deterministic());
+  EXPECT_FALSE(nondet_coin_type(2).is_deterministic());
+  EXPECT_TRUE(nondet_coin_type(2).is_total());
+  EXPECT_FALSE(port_flag_type(2).is_oblivious());
+  EXPECT_TRUE(port_flag_type(2).is_deterministic());
+  EXPECT_TRUE(mod_counter_type(3, 2).is_oblivious());
+}
+
+TEST(PortFlagType, Port1RaisesFlagAndPort0Observes) {
+  const auto t = port_flag_type(3);
+  const PortFlagLayout lay;
+  EXPECT_EQ(t.delta_det(0, 0, lay.touch()).resp, lay.zero());
+  EXPECT_EQ(t.delta_det(0, 1, lay.touch()).next, 1);
+  EXPECT_EQ(t.delta_det(1, 0, lay.touch()).resp, lay.one());
+  // Port 2 is inert.
+  EXPECT_EQ(t.delta_det(0, 2, lay.touch()).next, 0);
+  EXPECT_EQ(t.delta_det(0, 2, lay.touch()).resp, lay.ok());
+}
+
+TEST(ModCounterType, WrapsAround) {
+  const auto t = mod_counter_type(3, 2);
+  EXPECT_EQ(t.delta_det(2, 0, 0).next, 0);
+  EXPECT_EQ(t.delta_det(2, 0, 0).resp, 0);
+  EXPECT_EQ(t.delta_det(0, 0, 0).resp, 1);
+}
+
+}  // namespace
+}  // namespace wfregs

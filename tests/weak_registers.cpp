@@ -1,0 +1,195 @@
+// Tests for the safe/regular register layer (Lamport 1986, the Section 4.1
+// bottom rung): the weak-bit model itself, the regularity checker, and the
+// classical constructions -- including the NEGATIVE result that dropping
+// Lamport's write-on-change discipline breaks regularity over safe bits.
+#include "wfregs/registers/weak.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wfregs/runtime/regularity.hpp"
+#include "wfregs/runtime/verify.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+using registers::naive_bit_from_safe;
+using registers::regular_bit_from_safe;
+using registers::regular_multivalued_from_bits;
+
+const zoo::WeakBitLayout kWeak;
+
+// ---- the weak-bit model ----------------------------------------------------------
+
+TEST(WeakBitType, IdleReadsAreExactAndWritesTakeTwoSteps) {
+  for (const auto kind :
+       {zoo::WeakBitKind::kSafe, zoo::WeakBitKind::kRegular}) {
+    const auto t = zoo::weak_bit_type(kind);
+    EXPECT_EQ(t.delta_det(kWeak.idle(1), 0, kWeak.read()).resp,
+              kWeak.value_resp(1));
+    const auto started =
+        t.delta_det(kWeak.idle(1), 1, kWeak.start_write(0));
+    EXPECT_EQ(started.next, kWeak.writing(1, 0));
+    EXPECT_EQ(t.delta_det(kWeak.writing(1, 0), 1, kWeak.finish_write()).next,
+              kWeak.idle(0));
+  }
+}
+
+TEST(WeakBitType, OverlapNondeterminismDiffersByKind) {
+  const auto safe = zoo::weak_bit_type(zoo::WeakBitKind::kSafe);
+  const auto regular = zoo::weak_bit_type(zoo::WeakBitKind::kRegular);
+  // Write 1 -> 1 in flight: regular must return 1; safe may return 0 or 1.
+  EXPECT_EQ(regular.delta(kWeak.writing(1, 1), 0, kWeak.read()).size(), 1u);
+  EXPECT_EQ(safe.delta(kWeak.writing(1, 1), 0, kWeak.read()).size(), 2u);
+  // Write 1 -> 0 in flight: both allow {0, 1}.
+  EXPECT_EQ(regular.delta(kWeak.writing(1, 0), 0, kWeak.read()).size(), 2u);
+  EXPECT_EQ(safe.delta(kWeak.writing(1, 0), 0, kWeak.read()).size(), 2u);
+}
+
+TEST(WeakBitType, MisuseReturnsErr) {
+  const auto t = zoo::weak_bit_type(zoo::WeakBitKind::kRegular);
+  EXPECT_EQ(t.delta_det(kWeak.idle(0), 1, kWeak.finish_write()).resp,
+            kWeak.err());
+  EXPECT_EQ(
+      t.delta_det(kWeak.writing(0, 1), 1, kWeak.start_write(0)).resp,
+      kWeak.err());
+  EXPECT_EQ(t.delta_det(kWeak.idle(0), 0, kWeak.start_write(1)).resp,
+            kWeak.err());
+  EXPECT_EQ(t.delta_det(kWeak.idle(0), 1, kWeak.read()).resp, kWeak.err());
+}
+
+// ---- the regularity checker --------------------------------------------------------
+
+OpRecord op(InvId inv, Val resp, std::size_t t0, std::size_t t1) {
+  OpRecord rec;
+  rec.proc = inv == 0 ? 0 : 1;
+  rec.object = 0;
+  rec.port = rec.proc;
+  rec.inv = inv;
+  rec.invoke_time = t0;
+  rec.response = resp;
+  rec.response_time = t1;
+  return rec;
+}
+
+TEST(CheckRegular, SequentialReadsFollowWrites) {
+  const zoo::SrswRegisterLayout lay{2};
+  // write(1) [0,1]; read -> 1 [2,3].
+  EXPECT_TRUE(check_regular({op(lay.write(1), lay.ok(), 0, 1),
+                             op(lay.read(), 1, 2, 3)},
+                            2, 0)
+                  .regular);
+  // read -> 0 after the completed write(1): violation.
+  EXPECT_FALSE(check_regular({op(lay.write(1), lay.ok(), 0, 1),
+                              op(lay.read(), 0, 2, 3)},
+                             2, 0)
+                   .regular);
+}
+
+TEST(CheckRegular, OverlappingWriteAllowsOldOrNew) {
+  const zoo::SrswRegisterLayout lay{2};
+  for (const Val v : {0, 1}) {
+    EXPECT_TRUE(check_regular({op(lay.write(1), lay.ok(), 0, 10),
+                               op(lay.read(), v, 2, 3)},
+                              2, 0)
+                    .regular)
+        << "read " << v;
+  }
+}
+
+TEST(CheckRegular, NewOldInversionIsPermitted) {
+  // The defining difference from atomicity: read 1 (new) then read 0 (old)
+  // around one long write IS regular.
+  const zoo::SrswRegisterLayout lay{2};
+  EXPECT_TRUE(check_regular({op(lay.write(1), lay.ok(), 0, 20),
+                             op(lay.read(), 1, 2, 3),
+                             op(lay.read(), 0, 5, 6)},
+                            2, 0)
+                  .regular);
+}
+
+TEST(CheckRegular, RejectsOverlappingWrites) {
+  const zoo::SrswRegisterLayout lay{2};
+  const auto r = check_regular({op(lay.write(1), lay.ok(), 0, 10),
+                                op(lay.write(0), lay.ok(), 5, 15)},
+                               2, 0);
+  EXPECT_FALSE(r.regular);
+  EXPECT_NE(r.detail.find("single-writer"), std::string::npos);
+}
+
+TEST(CheckRegular, ArgumentChecking) {
+  EXPECT_THROW(check_regular({}, 1, 0), std::invalid_argument);
+  EXPECT_THROW(check_regular({}, 2, 5), std::out_of_range);
+}
+
+// ---- constructions -------------------------------------------------------------------
+
+TEST(RegularBitFromSafe, RegularUnderAllSchedules) {
+  const zoo::SrswRegisterLayout lay{2};
+  for (int initial = 0; initial < 2; ++initial) {
+    const auto impl = regular_bit_from_safe(initial);
+    const auto r = verify_regular(
+        impl,
+        {{lay.read(), lay.read(), lay.read()},
+         {lay.write(1), lay.write(1), lay.write(0)}},
+        2);
+    EXPECT_TRUE(r.ok) << "initial " << initial << ": " << r.detail;
+    EXPECT_TRUE(r.wait_free);
+  }
+}
+
+TEST(NaiveBitFromSafe, SameValueWriteBreaksRegularity) {
+  // Without write-on-change, re-writing 0 over a safe bit lets an
+  // overlapping read return 1 out of thin air: the checker exhibits it.
+  const zoo::SrswRegisterLayout lay{2};
+  const auto impl = naive_bit_from_safe(0);
+  const auto r = verify_regular(
+      impl, {{lay.read()}, {lay.write(0)}}, 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("read"), std::string::npos) << r.detail;
+}
+
+TEST(NaiveBitFromSafe, StillFineWhenValuesChange) {
+  // The naive wrapper only misbehaves on same-value writes.
+  const zoo::SrswRegisterLayout lay{2};
+  const auto impl = naive_bit_from_safe(0);
+  const auto r =
+      verify_regular(impl, {{lay.read(), lay.read()}, {lay.write(1)}}, 2);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+class UnarySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(UnarySweep, RegularUnderAllSchedules) {
+  const auto [values, initial, w1, w2] = GetParam();
+  const zoo::SrswRegisterLayout lay{values};
+  const auto impl = regular_multivalued_from_bits(values, initial);
+  const auto r = verify_regular(
+      impl,
+      {{lay.read(), lay.read()}, {lay.write(w1), lay.write(w2)}}, values);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_TRUE(r.wait_free);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, UnarySweep,
+    ::testing::Values(std::tuple{2, 0, 1, 0}, std::tuple{3, 0, 2, 1},
+                      std::tuple{3, 2, 0, 1}, std::tuple{4, 1, 3, 0},
+                      std::tuple{4, 3, 2, 2}));
+
+TEST(UnaryRegular, SequentialSemantics) {
+  const zoo::SrswRegisterLayout lay{4};
+  const auto impl = regular_multivalued_from_bits(4, 2);
+  const auto r = verify_regular(
+      impl, {{lay.read()}, {}}, 4);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(UnaryRegular, ArgumentChecking) {
+  EXPECT_THROW(regular_multivalued_from_bits(1, 0), std::invalid_argument);
+  EXPECT_THROW(regular_multivalued_from_bits(3, 7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace wfregs
