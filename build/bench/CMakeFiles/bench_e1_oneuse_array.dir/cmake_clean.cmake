@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_oneuse_array.dir/bench_e1_oneuse_array.cpp.o"
+  "CMakeFiles/bench_e1_oneuse_array.dir/bench_e1_oneuse_array.cpp.o.d"
+  "bench_e1_oneuse_array"
+  "bench_e1_oneuse_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_oneuse_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

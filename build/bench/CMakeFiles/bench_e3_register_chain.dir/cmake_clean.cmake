@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_register_chain.dir/bench_e3_register_chain.cpp.o"
+  "CMakeFiles/bench_e3_register_chain.dir/bench_e3_register_chain.cpp.o.d"
+  "bench_e3_register_chain"
+  "bench_e3_register_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_register_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_elimination.dir/bench_e4_elimination.cpp.o"
+  "CMakeFiles/bench_e4_elimination.dir/bench_e4_elimination.cpp.o.d"
+  "bench_e4_elimination"
+  "bench_e4_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

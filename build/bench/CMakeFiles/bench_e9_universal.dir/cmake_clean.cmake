@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_universal.dir/bench_e9_universal.cpp.o"
+  "CMakeFiles/bench_e9_universal.dir/bench_e9_universal.cpp.o.d"
+  "bench_e9_universal"
+  "bench_e9_universal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_universal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_trees.dir/execution_trees.cpp.o"
+  "CMakeFiles/execution_trees.dir/execution_trees.cpp.o.d"
+  "execution_trees"
+  "execution_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_survey.dir/hierarchy_survey.cpp.o"
+  "CMakeFiles/hierarchy_survey.dir/hierarchy_survey.cpp.o.d"
+  "hierarchy_survey"
+  "hierarchy_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_elimination_demo.dir/register_elimination_demo.cpp.o"
+  "CMakeFiles/register_elimination_demo.dir/register_elimination_demo.cpp.o.d"
+  "register_elimination_demo"
+  "register_elimination_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_elimination_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

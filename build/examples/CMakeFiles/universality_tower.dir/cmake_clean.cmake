@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universality_tower.dir/universality_tower.cpp.o"
+  "CMakeFiles/universality_tower.dir/universality_tower.cpp.o.d"
+  "universality_tower"
+  "universality_tower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universality_tower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfregs_cli.dir/wfregs_cli.cpp.o"
+  "CMakeFiles/wfregs_cli.dir/wfregs_cli.cpp.o.d"
+  "wfregs_cli"
+  "wfregs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfregs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

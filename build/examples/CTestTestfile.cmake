@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_register_elimination]=] "/root/repo/build/examples/register_elimination_demo" "queue")
+set_tests_properties([=[example_register_elimination]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_hierarchy_survey]=] "/root/repo/build/examples/hierarchy_survey" "--probe-depth" "1")
+set_tests_properties([=[example_hierarchy_survey]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_execution_trees]=] "/root/repo/build/examples/execution_trees" "--dot" "/root/repo/build/examples/tree.dot")
+set_tests_properties([=[example_execution_trees]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_universality_tower]=] "/root/repo/build/examples/universality_tower")
+set_tests_properties([=[example_universality_tower]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli_zoo]=] "/root/repo/build/examples/wfregs_cli" "zoo")
+set_tests_properties([=[example_cli_zoo]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

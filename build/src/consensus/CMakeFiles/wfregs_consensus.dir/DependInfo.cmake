@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/check.cpp" "src/consensus/CMakeFiles/wfregs_consensus.dir/check.cpp.o" "gcc" "src/consensus/CMakeFiles/wfregs_consensus.dir/check.cpp.o.d"
+  "/root/repo/src/consensus/multivalued.cpp" "src/consensus/CMakeFiles/wfregs_consensus.dir/multivalued.cpp.o" "gcc" "src/consensus/CMakeFiles/wfregs_consensus.dir/multivalued.cpp.o.d"
+  "/root/repo/src/consensus/power.cpp" "src/consensus/CMakeFiles/wfregs_consensus.dir/power.cpp.o" "gcc" "src/consensus/CMakeFiles/wfregs_consensus.dir/power.cpp.o.d"
+  "/root/repo/src/consensus/protocols.cpp" "src/consensus/CMakeFiles/wfregs_consensus.dir/protocols.cpp.o" "gcc" "src/consensus/CMakeFiles/wfregs_consensus.dir/protocols.cpp.o.d"
+  "/root/repo/src/consensus/universal.cpp" "src/consensus/CMakeFiles/wfregs_consensus.dir/universal.cpp.o" "gcc" "src/consensus/CMakeFiles/wfregs_consensus.dir/universal.cpp.o.d"
+  "/root/repo/src/consensus/valency.cpp" "src/consensus/CMakeFiles/wfregs_consensus.dir/valency.cpp.o" "gcc" "src/consensus/CMakeFiles/wfregs_consensus.dir/valency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/wfregs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/typesys/CMakeFiles/wfregs_typesys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

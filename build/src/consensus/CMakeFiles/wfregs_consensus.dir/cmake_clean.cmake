@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfregs_consensus.dir/check.cpp.o"
+  "CMakeFiles/wfregs_consensus.dir/check.cpp.o.d"
+  "CMakeFiles/wfregs_consensus.dir/multivalued.cpp.o"
+  "CMakeFiles/wfregs_consensus.dir/multivalued.cpp.o.d"
+  "CMakeFiles/wfregs_consensus.dir/power.cpp.o"
+  "CMakeFiles/wfregs_consensus.dir/power.cpp.o.d"
+  "CMakeFiles/wfregs_consensus.dir/protocols.cpp.o"
+  "CMakeFiles/wfregs_consensus.dir/protocols.cpp.o.d"
+  "CMakeFiles/wfregs_consensus.dir/universal.cpp.o"
+  "CMakeFiles/wfregs_consensus.dir/universal.cpp.o.d"
+  "CMakeFiles/wfregs_consensus.dir/valency.cpp.o"
+  "CMakeFiles/wfregs_consensus.dir/valency.cpp.o.d"
+  "libwfregs_consensus.a"
+  "libwfregs_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfregs_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

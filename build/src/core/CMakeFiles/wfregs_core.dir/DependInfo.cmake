@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_bounds.cpp" "src/core/CMakeFiles/wfregs_core.dir/access_bounds.cpp.o" "gcc" "src/core/CMakeFiles/wfregs_core.dir/access_bounds.cpp.o.d"
+  "/root/repo/src/core/bounded_register.cpp" "src/core/CMakeFiles/wfregs_core.dir/bounded_register.cpp.o" "gcc" "src/core/CMakeFiles/wfregs_core.dir/bounded_register.cpp.o.d"
+  "/root/repo/src/core/oneuse_from_consensus.cpp" "src/core/CMakeFiles/wfregs_core.dir/oneuse_from_consensus.cpp.o" "gcc" "src/core/CMakeFiles/wfregs_core.dir/oneuse_from_consensus.cpp.o.d"
+  "/root/repo/src/core/oneuse_from_type.cpp" "src/core/CMakeFiles/wfregs_core.dir/oneuse_from_type.cpp.o" "gcc" "src/core/CMakeFiles/wfregs_core.dir/oneuse_from_type.cpp.o.d"
+  "/root/repo/src/core/register_elimination.cpp" "src/core/CMakeFiles/wfregs_core.dir/register_elimination.cpp.o" "gcc" "src/core/CMakeFiles/wfregs_core.dir/register_elimination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/wfregs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/registers/CMakeFiles/wfregs_registers.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/wfregs_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/typesys/CMakeFiles/wfregs_typesys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

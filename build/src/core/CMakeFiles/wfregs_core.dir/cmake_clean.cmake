@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfregs_core.dir/access_bounds.cpp.o"
+  "CMakeFiles/wfregs_core.dir/access_bounds.cpp.o.d"
+  "CMakeFiles/wfregs_core.dir/bounded_register.cpp.o"
+  "CMakeFiles/wfregs_core.dir/bounded_register.cpp.o.d"
+  "CMakeFiles/wfregs_core.dir/oneuse_from_consensus.cpp.o"
+  "CMakeFiles/wfregs_core.dir/oneuse_from_consensus.cpp.o.d"
+  "CMakeFiles/wfregs_core.dir/oneuse_from_type.cpp.o"
+  "CMakeFiles/wfregs_core.dir/oneuse_from_type.cpp.o.d"
+  "CMakeFiles/wfregs_core.dir/register_elimination.cpp.o"
+  "CMakeFiles/wfregs_core.dir/register_elimination.cpp.o.d"
+  "libwfregs_core.a"
+  "libwfregs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfregs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfregs_hierarchy.dir/hierarchy.cpp.o"
+  "CMakeFiles/wfregs_hierarchy.dir/hierarchy.cpp.o.d"
+  "libwfregs_hierarchy.a"
+  "libwfregs_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfregs_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registers/chain.cpp" "src/registers/CMakeFiles/wfregs_registers.dir/chain.cpp.o" "gcc" "src/registers/CMakeFiles/wfregs_registers.dir/chain.cpp.o.d"
+  "/root/repo/src/registers/mrmw.cpp" "src/registers/CMakeFiles/wfregs_registers.dir/mrmw.cpp.o" "gcc" "src/registers/CMakeFiles/wfregs_registers.dir/mrmw.cpp.o.d"
+  "/root/repo/src/registers/mrsw.cpp" "src/registers/CMakeFiles/wfregs_registers.dir/mrsw.cpp.o" "gcc" "src/registers/CMakeFiles/wfregs_registers.dir/mrsw.cpp.o.d"
+  "/root/repo/src/registers/simpson.cpp" "src/registers/CMakeFiles/wfregs_registers.dir/simpson.cpp.o" "gcc" "src/registers/CMakeFiles/wfregs_registers.dir/simpson.cpp.o.d"
+  "/root/repo/src/registers/snapshot.cpp" "src/registers/CMakeFiles/wfregs_registers.dir/snapshot.cpp.o" "gcc" "src/registers/CMakeFiles/wfregs_registers.dir/snapshot.cpp.o.d"
+  "/root/repo/src/registers/weak.cpp" "src/registers/CMakeFiles/wfregs_registers.dir/weak.cpp.o" "gcc" "src/registers/CMakeFiles/wfregs_registers.dir/weak.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/wfregs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/typesys/CMakeFiles/wfregs_typesys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

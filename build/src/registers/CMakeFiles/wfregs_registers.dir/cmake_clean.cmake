@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfregs_registers.dir/chain.cpp.o"
+  "CMakeFiles/wfregs_registers.dir/chain.cpp.o.d"
+  "CMakeFiles/wfregs_registers.dir/mrmw.cpp.o"
+  "CMakeFiles/wfregs_registers.dir/mrmw.cpp.o.d"
+  "CMakeFiles/wfregs_registers.dir/mrsw.cpp.o"
+  "CMakeFiles/wfregs_registers.dir/mrsw.cpp.o.d"
+  "CMakeFiles/wfregs_registers.dir/simpson.cpp.o"
+  "CMakeFiles/wfregs_registers.dir/simpson.cpp.o.d"
+  "CMakeFiles/wfregs_registers.dir/snapshot.cpp.o"
+  "CMakeFiles/wfregs_registers.dir/snapshot.cpp.o.d"
+  "CMakeFiles/wfregs_registers.dir/weak.cpp.o"
+  "CMakeFiles/wfregs_registers.dir/weak.cpp.o.d"
+  "libwfregs_registers.a"
+  "libwfregs_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfregs_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dot_export.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/dot_export.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/dot_export.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/explorer.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/explorer.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/explorer.cpp.o.d"
+  "/root/repo/src/runtime/fuzz.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/fuzz.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/fuzz.cpp.o.d"
+  "/root/repo/src/runtime/history.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/history.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/history.cpp.o.d"
+  "/root/repo/src/runtime/implementation.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/implementation.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/implementation.cpp.o.d"
+  "/root/repo/src/runtime/linearizability.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/linearizability.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/linearizability.cpp.o.d"
+  "/root/repo/src/runtime/program.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/program.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/program.cpp.o.d"
+  "/root/repo/src/runtime/regularity.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/regularity.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/regularity.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/system.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/system.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/system.cpp.o.d"
+  "/root/repo/src/runtime/verify.cpp" "src/runtime/CMakeFiles/wfregs_runtime.dir/verify.cpp.o" "gcc" "src/runtime/CMakeFiles/wfregs_runtime.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/typesys/CMakeFiles/wfregs_typesys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

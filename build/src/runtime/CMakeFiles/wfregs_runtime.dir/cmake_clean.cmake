@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfregs_runtime.dir/dot_export.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/dot_export.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/engine.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/explorer.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/explorer.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/fuzz.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/fuzz.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/history.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/history.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/implementation.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/implementation.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/linearizability.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/linearizability.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/program.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/program.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/regularity.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/regularity.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/system.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/system.cpp.o.d"
+  "CMakeFiles/wfregs_runtime.dir/verify.cpp.o"
+  "CMakeFiles/wfregs_runtime.dir/verify.cpp.o.d"
+  "libwfregs_runtime.a"
+  "libwfregs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfregs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typesys/random_type.cpp" "src/typesys/CMakeFiles/wfregs_typesys.dir/random_type.cpp.o" "gcc" "src/typesys/CMakeFiles/wfregs_typesys.dir/random_type.cpp.o.d"
+  "/root/repo/src/typesys/serialize.cpp" "src/typesys/CMakeFiles/wfregs_typesys.dir/serialize.cpp.o" "gcc" "src/typesys/CMakeFiles/wfregs_typesys.dir/serialize.cpp.o.d"
+  "/root/repo/src/typesys/triviality.cpp" "src/typesys/CMakeFiles/wfregs_typesys.dir/triviality.cpp.o" "gcc" "src/typesys/CMakeFiles/wfregs_typesys.dir/triviality.cpp.o.d"
+  "/root/repo/src/typesys/type_algebra.cpp" "src/typesys/CMakeFiles/wfregs_typesys.dir/type_algebra.cpp.o" "gcc" "src/typesys/CMakeFiles/wfregs_typesys.dir/type_algebra.cpp.o.d"
+  "/root/repo/src/typesys/type_spec.cpp" "src/typesys/CMakeFiles/wfregs_typesys.dir/type_spec.cpp.o" "gcc" "src/typesys/CMakeFiles/wfregs_typesys.dir/type_spec.cpp.o.d"
+  "/root/repo/src/typesys/type_zoo.cpp" "src/typesys/CMakeFiles/wfregs_typesys.dir/type_zoo.cpp.o" "gcc" "src/typesys/CMakeFiles/wfregs_typesys.dir/type_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfregs_typesys.dir/random_type.cpp.o"
+  "CMakeFiles/wfregs_typesys.dir/random_type.cpp.o.d"
+  "CMakeFiles/wfregs_typesys.dir/serialize.cpp.o"
+  "CMakeFiles/wfregs_typesys.dir/serialize.cpp.o.d"
+  "CMakeFiles/wfregs_typesys.dir/triviality.cpp.o"
+  "CMakeFiles/wfregs_typesys.dir/triviality.cpp.o.d"
+  "CMakeFiles/wfregs_typesys.dir/type_algebra.cpp.o"
+  "CMakeFiles/wfregs_typesys.dir/type_algebra.cpp.o.d"
+  "CMakeFiles/wfregs_typesys.dir/type_spec.cpp.o"
+  "CMakeFiles/wfregs_typesys.dir/type_spec.cpp.o.d"
+  "CMakeFiles/wfregs_typesys.dir/type_zoo.cpp.o"
+  "CMakeFiles/wfregs_typesys.dir/type_zoo.cpp.o.d"
+  "libwfregs_typesys.a"
+  "libwfregs_typesys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfregs_typesys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounded_register.dir/bounded_register.cpp.o"
+  "CMakeFiles/test_bounded_register.dir/bounded_register.cpp.o.d"
+  "test_bounded_register"
+  "test_bounded_register.pdb"
+  "test_bounded_register[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounded_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus_power.dir/consensus_power.cpp.o"
+  "CMakeFiles/test_consensus_power.dir/consensus_power.cpp.o.d"
+  "test_consensus_power"
+  "test_consensus_power.pdb"
+  "test_consensus_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

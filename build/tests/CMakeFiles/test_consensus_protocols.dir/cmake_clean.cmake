@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus_protocols.dir/consensus_protocols.cpp.o"
+  "CMakeFiles/test_consensus_protocols.dir/consensus_protocols.cpp.o.d"
+  "test_consensus_protocols"
+  "test_consensus_protocols.pdb"
+  "test_consensus_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

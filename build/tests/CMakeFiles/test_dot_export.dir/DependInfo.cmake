@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dot_export.cpp" "tests/CMakeFiles/test_dot_export.dir/dot_export.cpp.o" "gcc" "tests/CMakeFiles/test_dot_export.dir/dot_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/wfregs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/wfregs_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/typesys/CMakeFiles/wfregs_typesys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linearizability_oracle.dir/linearizability_oracle.cpp.o"
+  "CMakeFiles/test_linearizability_oracle.dir/linearizability_oracle.cpp.o.d"
+  "test_linearizability_oracle"
+  "test_linearizability_oracle.pdb"
+  "test_linearizability_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linearizability_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

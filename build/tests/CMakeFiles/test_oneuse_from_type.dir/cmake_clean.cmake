@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oneuse_from_type.dir/oneuse_from_type.cpp.o"
+  "CMakeFiles/test_oneuse_from_type.dir/oneuse_from_type.cpp.o.d"
+  "test_oneuse_from_type"
+  "test_oneuse_from_type.pdb"
+  "test_oneuse_from_type[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oneuse_from_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

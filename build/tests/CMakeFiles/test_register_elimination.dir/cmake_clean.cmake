@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_elimination.dir/register_elimination.cpp.o"
+  "CMakeFiles/test_register_elimination.dir/register_elimination.cpp.o.d"
+  "test_register_elimination"
+  "test_register_elimination.pdb"
+  "test_register_elimination[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

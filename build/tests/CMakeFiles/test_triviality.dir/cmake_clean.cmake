@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triviality.dir/triviality.cpp.o"
+  "CMakeFiles/test_triviality.dir/triviality.cpp.o.d"
+  "test_triviality"
+  "test_triviality.pdb"
+  "test_triviality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triviality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

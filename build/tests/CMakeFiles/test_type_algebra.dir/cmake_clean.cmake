@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_type_algebra.dir/type_algebra.cpp.o"
+  "CMakeFiles/test_type_algebra.dir/type_algebra.cpp.o.d"
+  "test_type_algebra"
+  "test_type_algebra.pdb"
+  "test_type_algebra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_type_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

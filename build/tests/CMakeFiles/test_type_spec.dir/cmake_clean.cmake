@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_type_spec.dir/type_spec.cpp.o"
+  "CMakeFiles/test_type_spec.dir/type_spec.cpp.o.d"
+  "test_type_spec"
+  "test_type_spec.pdb"
+  "test_type_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_type_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_type_zoo.dir/type_zoo.cpp.o"
+  "CMakeFiles/test_type_zoo.dir/type_zoo.cpp.o.d"
+  "test_type_zoo"
+  "test_type_zoo.pdb"
+  "test_type_zoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_type_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

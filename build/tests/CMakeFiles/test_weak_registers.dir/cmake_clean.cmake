@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weak_registers.dir/weak_registers.cpp.o"
+  "CMakeFiles/test_weak_registers.dir/weak_registers.cpp.o.d"
+  "test_weak_registers"
+  "test_weak_registers.pdb"
+  "test_weak_registers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weak_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_type_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_type_zoo[1]_include.cmake")
+include("/root/repo/build/tests/test_triviality[1]_include.cmake")
+include("/root/repo/build/tests/test_type_algebra[1]_include.cmake")
+include("/root/repo/build/tests/test_program[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_linearizability[1]_include.cmake")
+include("/root/repo/build/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_registers[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus_power[1]_include.cmake")
+include("/root/repo/build/tests/test_bounded_register[1]_include.cmake")
+include("/root/repo/build/tests/test_oneuse_from_type[1]_include.cmake")
+include("/root/repo/build/tests/test_register_elimination[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_universal[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_weak_registers[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_linearizability_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_dot_export[1]_include.cmake")
+include("/root/repo/build/tests/test_schedulers[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
