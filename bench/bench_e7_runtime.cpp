@@ -5,10 +5,13 @@
 // exponential in the number of concurrent operations, near-linear for
 // mostly-sequential histories.  The explorer's cost is the number of
 // distinct configurations, which this bench reports as configs/second.
+//
+// Emits BENCH_e7_runtime.json (Google Benchmark JSON schema).
 #include <benchmark/benchmark.h>
 
 #include <random>
 
+#include "bench_json_main.hpp"
 #include "wfregs/runtime/explorer.hpp"
 #include "wfregs/runtime/linearizability.hpp"
 #include "wfregs/typesys/type_zoo.hpp"
@@ -118,3 +121,7 @@ BENCHMARK(BM_Explorer)
     ->Args({2, 2})->Args({2, 4})->Args({3, 2})->Args({3, 3})->Args({4, 2})
     ->ArgNames({"procs", "ops"})
     ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  return wfregs::benchjson::run(argc, argv, "BENCH_e7_runtime.json");
+}

@@ -1,0 +1,44 @@
+// Shared main() helper for benchmarks that emit a machine-readable
+// BENCH_<name>.json next to the working directory, in Google Benchmark's
+// JSON schema, while keeping the human-readable console output.  Linked
+// against benchmark::benchmark (NOT benchmark_main); the binary defines
+//   int main(int argc, char** argv) {
+//     return wfregs::benchjson::run(argc, argv, "BENCH_<name>.json");
+//   }
+#ifndef WFREGS_BENCH_JSON_MAIN_HPP
+#define WFREGS_BENCH_JSON_MAIN_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace wfregs::benchjson {
+
+inline int run(int argc, char** argv, const char* json_path) {
+  // Inject the output flags (unless the caller already passed their own)
+  // and let the library drive both the console and the JSON file reporter.
+  std::vector<std::string> args(argv, argv + argc);
+  const bool has_out = std::any_of(args.begin(), args.end(), [](auto& a) {
+    return a.rfind("--benchmark_out=", 0) == 0;
+  });
+  if (!has_out) {
+    args.push_back(std::string("--benchmark_out=") + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargs;
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!has_out) std::cout << "wrote " << json_path << "\n";
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace wfregs::benchjson
+
+#endif  // WFREGS_BENCH_JSON_MAIN_HPP

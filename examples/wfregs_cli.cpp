@@ -12,6 +12,9 @@
 //                                          Theorem 5: strip the registers out
 //                                          of a classical consensus protocol,
 //                                          re-basing it on the file's type
+//
+// A leading `-j N` routes every exhaustive exploration through the parallel
+// explorer on N worker threads (0 = hardware concurrency, 1 = sequential).
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -31,6 +34,9 @@
 using namespace wfregs;
 
 namespace {
+
+/// Explorer thread count from the global -j flag (0 = hardware concurrency).
+int g_threads = 0;
 
 const std::map<std::string, std::function<TypeSpec()>> kZoo{
     {"bit", [] { return zoo::bit_type(2); }},
@@ -118,7 +124,8 @@ int cmd_oneuse(const TypeSpec& t) {
     return EXIT_FAILURE;
   }
   const zoo::OneUseBitLayout lay;
-  const auto r = verify_linearizable(impl, {{lay.read()}, {lay.write()}});
+  const auto r = verify_linearizable(impl, {{lay.read()}, {lay.write()}},
+                                     VerifyOptions{{}, g_threads});
   std::cout << "synthesized " << impl->name() << "; exhaustive check: "
             << (r.ok ? "LINEARIZABLE and WAIT-FREE" : r.detail) << " ("
             << r.stats.configs << " configurations)\n";
@@ -161,7 +168,8 @@ int cmd_eliminate(const std::string& protocol, const TypeSpec& substrate) {
   for (const auto& [name, count] : report.census_after) {
     std::cout << "  " << count << " x " << name << "\n";
   }
-  const auto check = consensus::check_consensus(report.result);
+  const auto check =
+      consensus::check_consensus(report.result, VerifyOptions{{}, g_threads});
   std::cout << "register-free protocol "
             << (check.solves ? "SOLVES" : "FAILS") << " consensus ("
             << check.configs << " configurations)\n";
@@ -171,8 +179,20 @@ int cmd_eliminate(const std::string& protocol, const TypeSpec& substrate) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "-j") {
+    char* end = nullptr;
+    const long n = argc >= 3 ? std::strtol(argv[2], &end, 10) : -1;
+    if (argc < 3 || end == argv[2] || *end != '\0' || n < 0) {
+      std::cerr << "error: -j requires a non-negative thread count\n";
+      return EXIT_FAILURE;
+    }
+    g_threads = static_cast<int>(n);
+    argv[2] = argv[0];
+    argc -= 2;
+    argv += 2;
+  }
   if (argc < 2) {
-    std::cerr << "usage: wfregs_cli "
+    std::cerr << "usage: wfregs_cli [-j N] "
                  "zoo|print|classify|oneuse|hierarchy|eliminate ...\n";
     return EXIT_FAILURE;
   }

@@ -57,9 +57,17 @@ std::shared_ptr<System> consensus_scenario(
     std::shared_ptr<const Implementation> impl,
     const std::vector<int>& inputs);
 
-/// Runs the full check over all 2^n input vectors.
+/// Runs the full check over all 2^n input vectors.  Each root's exploration
+/// runs on options.threads workers (0 = hardware concurrency, 1 = the
+/// sequential legacy path); see the PARALLEL EXPLORATION contract in
+/// explorer.hpp.
 ConsensusCheckResult check_consensus(
     std::shared_ptr<const Implementation> impl,
-    const ExploreLimits& limits = {});
+    const VerifyOptions& options = {});
+
+/// Legacy-limits convenience overload; equivalent to passing
+/// VerifyOptions{limits} (default thread count).
+ConsensusCheckResult check_consensus(
+    std::shared_ptr<const Implementation> impl, const ExploreLimits& limits);
 
 }  // namespace wfregs::consensus

@@ -27,6 +27,32 @@
 // registers / return values (verify_linearizable and verify_regular do
 // exactly this).  Checks that read only process results (e.g. consensus
 // agreement) are always safe: results are part of the configuration.
+//
+// PARALLEL EXPLORATION (explore_parallel) extends the contract:
+//
+//   * The memo table is sharded and lock-striped; subtrees of the
+//     configuration DAG are claimed by a work-stealing frontier of worker
+//     threads, so a configuration's terminal check runs on whichever worker
+//     first inserts it -- the TerminalCheck must be safe to invoke
+//     concurrently (all checks in this library capture only const data).
+//   * DETERMINISM GUARANTEE: whenever discovery runs to completion (limits
+//     not hit, and no early stop -- i.e. no violation exists or
+//     stop_at_violation is false), the outcome is BIT-IDENTICAL to
+//     explore(): a single-threaded post-pass replays the sequential DFS
+//     over the discovered DAG in its canonical edge order, so configs,
+//     edges, terminals, depth, access bounds, the wait-freedom verdict, the
+//     cycle-abort point and the identity of the first-reported violation
+//     all match the sequential explorer exactly, at any thread count.
+//   * Under an early abort (stop_at_violation with a violating terminal, or
+//     a limit hit), flags match the sequential explorer (violation present
+//     / complete == false) but the counters are nondeterministic lower
+//     bounds, and the reported violation may be a different-but-valid first
+//     violation: whichever worker's subtree surfaced one first.  Violation
+//     *presence* is still deterministic for contract-compliant checks,
+//     because failure is then a function of the configuration alone.
+//   * Because a terminal is checked on the first path that reaches it,
+//     history-derived violation MESSAGE TEXT (not presence) may describe a
+//     different path than the sequential explorer's.
 #pragma once
 
 #include <functional>
@@ -87,5 +113,25 @@ using TerminalCheck =
 /// mutated.
 ExploreOutcome explore(const Engine& root, const ExploreLimits& limits = {},
                        const TerminalCheck& check = {});
+
+/// Explores all executions from `root` on `n_threads` workers over a
+/// sharded, lock-striped memo table (see PARALLEL EXPLORATION above for the
+/// determinism guarantee).  `n_threads` == 0 picks
+/// std::thread::hardware_concurrency(); 1 is the exact sequential legacy
+/// path (explore() itself).  `check` must be safe to invoke concurrently.
+ExploreOutcome explore_parallel(const Engine& root,
+                                const TerminalCheck& check = {},
+                                const ExploreLimits& limits = {},
+                                int n_threads = 0);
+
+/// Options shared by the end-to-end verifiers (verify_linearizable,
+/// verify_regular, check_consensus): exploration limits plus the explorer
+/// thread count.
+struct VerifyOptions {
+  ExploreLimits limits;
+  /// Explorer worker threads: 0 = hardware concurrency, 1 = the exact
+  /// sequential legacy path.
+  int threads = 0;
+};
 
 }  // namespace wfregs

@@ -46,10 +46,18 @@ struct RegularVerifyResult {
 /// Explores every schedule of the scenario (process p runs scripts[p] on
 /// iface port p) and checks each resulting history with check_regular.
 /// impl's interface must follow the register invocation convention with
-/// its initial state being the initial value.
+/// its initial state being the initial value.  Exploration runs on
+/// options.threads workers (0 = hardware concurrency, 1 = the sequential
+/// legacy path).
 RegularVerifyResult verify_regular(std::shared_ptr<const Implementation> impl,
                                    std::vector<std::vector<InvId>> scripts,
                                    int values,
-                                   const ExploreLimits& limits = {});
+                                   const VerifyOptions& options = {});
+
+/// Legacy-limits convenience overload; equivalent to passing
+/// VerifyOptions{limits} (default thread count).
+RegularVerifyResult verify_regular(std::shared_ptr<const Implementation> impl,
+                                   std::vector<std::vector<InvId>> scripts,
+                                   int values, const ExploreLimits& limits);
 
 }  // namespace wfregs

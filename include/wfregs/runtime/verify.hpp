@@ -31,9 +31,17 @@ struct VerifyResult {
 /// iface port p) performs scripts[p] in order.  scripts.size() must equal
 /// impl->iface().ports(); empty scripts are allowed (the process finishes
 /// immediately).  Every schedule's history is checked for linearizability
-/// against impl->iface() from impl->iface_initial().
+/// against impl->iface() from impl->iface_initial().  Exploration runs on
+/// options.threads workers (0 = hardware concurrency, 1 = the sequential
+/// legacy path); see the PARALLEL EXPLORATION contract in explorer.hpp.
 VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
                                  std::vector<std::vector<InvId>> scripts,
-                                 const ExploreLimits& limits = {});
+                                 const VerifyOptions& options = {});
+
+/// Legacy-limits convenience overload; equivalent to passing
+/// VerifyOptions{limits} (default thread count).
+VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
+                                 std::vector<std::vector<InvId>> scripts,
+                                 const ExploreLimits& limits);
 
 }  // namespace wfregs

@@ -36,6 +36,13 @@ std::shared_ptr<System> consensus_scenario(
 
 ConsensusCheckResult check_consensus(
     std::shared_ptr<const Implementation> impl, const ExploreLimits& limits) {
+  return check_consensus(std::move(impl), VerifyOptions{limits, 0});
+}
+
+ConsensusCheckResult check_consensus(
+    std::shared_ptr<const Implementation> impl,
+    const VerifyOptions& options) {
+  const ExploreLimits& limits = options.limits;
   if (!impl) {
     throw std::invalid_argument("check_consensus: null implementation");
   }
@@ -70,7 +77,7 @@ ConsensusCheckResult check_consensus(
       return std::nullopt;
     };
     const Engine root{std::move(sys)};
-    const auto out = explore(root, limits, check);
+    const auto out = explore_parallel(root, check, limits, options.threads);
     result.wait_free = result.wait_free && out.wait_free;
     result.complete = result.complete && out.complete;
     result.configs += out.stats.configs;

@@ -1,0 +1,410 @@
+// Parallel schedule exploration: a work-stealing frontier of configuration
+// subtrees over a sharded, lock-striped memo table.
+//
+// Discovery and reduction are split into phases:
+//
+//   1. DISCOVERY (parallel).  Workers pop frontier configurations from
+//      per-worker deques (LIFO locally for DFS-like memory behaviour, FIFO
+//      steals from victims so thieves grab the oldest -- largest --
+//      subtrees).  Expanding a configuration copies the engine once per
+//      outgoing edge, exactly like the sequential explorer, and claims the
+//      child in the memo shard owning its ConfigKey hash; the first
+//      inserter owns the child's expansion, so every configuration is
+//      expanded exactly once and the per-node edge list is written by a
+//      single thread (published to the post-passes by thread join).
+//   2. CANONICAL REPLAY (single-threaded, cheap: no engine stepping).  A
+//      DFS over the discovered DAG in stored edge order -- the exact
+//      traversal the sequential explorer performs -- recomputes configs /
+//      edges / terminals, detects cycles at the same point, and picks the
+//      same first violation.  This is what makes the reduction of
+//      ExploreStats deterministic at any thread count.
+//   3. LONGEST-PATH DP (single-threaded) over the replay's postorder:
+//      depth and per-object / per-invocation access bounds, the same
+//      dynamic program the sequential explorer folds into its memo.
+//
+// Early aborts (stop_at_violation, limit hits) short-circuit discovery via
+// an atomic stop flag; the post-passes are then skipped and the outcome
+// carries partial counters, mirroring the sequential explorer's aborted
+// shape (see the PARALLEL EXPLORATION contract in explorer.hpp).
+#include "wfregs/runtime/explorer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace wfregs {
+
+namespace {
+
+struct PNode;
+
+struct PEdge {
+  PNode* child = nullptr;
+  ObjectId object = -1;
+  InvId inv = 0;
+};
+
+/// A discovered configuration.  During discovery, `edges`, `terminal` and
+/// `violation` are written only by the worker that first inserted the node;
+/// the post-pass scratch fields are used single-threaded after join.
+struct PNode {
+  std::vector<PEdge> edges;
+  std::optional<std::string> violation;
+  bool terminal = false;
+  // ---- post-pass scratch ----
+  std::uint8_t color = 0;  ///< 0 = unvisited, 1 = on replay stack, 2 = done
+  int depth_from = 0;
+  std::vector<std::size_t> acc_from;
+  std::vector<std::size_t> inv_from;
+};
+
+constexpr std::size_t kNumShards = 64;
+
+/// One stripe of the memo table: a mutex, the key -> node map, and an arena
+/// whose deque storage keeps node addresses stable under insertion.
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<ConfigKey, PNode*, ConfigKeyHash> map;
+  std::deque<PNode> arena;
+};
+
+struct WorkItem {
+  PNode* node;
+  Engine engine;
+  int depth;
+};
+
+class ParallelExplorer {
+ public:
+  ParallelExplorer(const ExploreLimits& limits, const TerminalCheck& check,
+                   int threads)
+      : limits_(limits),
+        check_(check),
+        threads_(threads),
+        queues_(static_cast<std::size_t>(threads)) {}
+
+  ExploreOutcome run(const Engine& root) {
+    const System& sys = root.system();
+    num_objects_ = sys.num_objects();
+    if (limits_.track_access_bounds) {
+      inv_offset_.resize(static_cast<std::size_t>(num_objects_) + 1, 0);
+      for (ObjectId g = 0; g < num_objects_; ++g) {
+        const int invs =
+            sys.is_base(g) ? sys.base(g).spec->num_invocations() : 0;
+        inv_offset_[static_cast<std::size_t>(g) + 1] =
+            inv_offset_[static_cast<std::size_t>(g)] +
+            static_cast<std::size_t>(invs);
+      }
+    }
+    if (limits_.max_configs == 0 || limits_.max_depth < 0) {
+      // The sequential explorer aborts before visiting even the root.
+      ExploreOutcome out;
+      out.complete = false;
+      return out;
+    }
+    PNode* root_node = nullptr;
+    {
+      const ConfigKey key = root.config_key();
+      Shard& s = shard_for(key);
+      s.arena.emplace_back();
+      root_node = &s.arena.back();
+      s.map.emplace(key, root_node);
+    }
+    configs_.store(1, std::memory_order_relaxed);
+    pending_.store(1, std::memory_order_relaxed);
+    queues_[0].items.push_back(WorkItem{root_node, Engine(root), 0});
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      workers.emplace_back(&ParallelExplorer::worker, this, t);
+    }
+    for (std::thread& th : workers) th.join();
+    if (exception_) std::rethrow_exception(exception_);
+
+    ExploreOutcome out;
+    out.stats.configs = configs_.load(std::memory_order_relaxed);
+    out.stats.edges = edges_.load(std::memory_order_relaxed);
+    out.stats.terminals = terminals_.load(std::memory_order_relaxed);
+    if (incomplete_.load(std::memory_order_relaxed)) {
+      out.complete = false;
+      return out;
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      // Early stop at a violating terminal: counters are partial lower
+      // bounds and the violation is whichever worker surfaced one first.
+      std::lock_guard<std::mutex> lk(violation_mu_);
+      out.violation = early_violation_;
+      return out;
+    }
+    reduce(root_node, out);
+    return out;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<WorkItem> items;
+  };
+
+  Shard& shard_for(const ConfigKey& key) {
+    return shards_[ConfigKeyHash{}(key) % kNumShards];
+  }
+
+  void worker(int wid) {
+    try {
+      int idle_rounds = 0;
+      while (!stop_.load(std::memory_order_acquire)) {
+        std::optional<WorkItem> item = pop(wid);
+        if (!item) {
+          if (pending_.load(std::memory_order_acquire) == 0) return;
+          if (++idle_rounds > 64) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          } else {
+            std::this_thread::yield();
+          }
+          continue;
+        }
+        idle_rounds = 0;
+        expand(wid, *item);
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(violation_mu_);
+        if (!exception_) exception_ = std::current_exception();
+      }
+      stop_.store(true, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  std::optional<WorkItem> pop(int wid) {
+    {
+      WorkerQueue& q = queues_[static_cast<std::size_t>(wid)];
+      std::lock_guard<std::mutex> lk(q.mu);
+      if (!q.items.empty()) {
+        WorkItem item = std::move(q.items.back());
+        q.items.pop_back();
+        return item;
+      }
+    }
+    for (int k = 1; k < threads_; ++k) {
+      WorkerQueue& q =
+          queues_[static_cast<std::size_t>((wid + k) % threads_)];
+      std::lock_guard<std::mutex> lk(q.mu);
+      if (!q.items.empty()) {
+        WorkItem item = std::move(q.items.front());
+        q.items.pop_front();
+        return item;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void push(int wid, WorkItem item) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    WorkerQueue& q = queues_[static_cast<std::size_t>(wid)];
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.items.push_back(std::move(item));
+  }
+
+  void expand(int wid, WorkItem& item) {
+    Engine& e = item.engine;
+    PNode* node = item.node;
+    if (e.all_done()) {
+      node->terminal = true;
+      terminals_.fetch_add(1, std::memory_order_relaxed);
+      if (check_) {
+        if (auto violation = check_(e)) {
+          node->violation = std::move(violation);
+          {
+            std::lock_guard<std::mutex> lk(violation_mu_);
+            if (!early_violation_) early_violation_ = node->violation;
+          }
+          if (limits_.stop_at_violation) {
+            stop_.store(true, std::memory_order_release);
+          }
+        }
+      }
+      return;
+    }
+    for (const ProcId p : e.runnable()) {
+      const int width = e.pending_choices(p);
+      for (int c = 0; c < width; ++c) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        edges_.fetch_add(1, std::memory_order_relaxed);
+        Engine child = e;
+        const Engine::CommitInfo commit = child.commit(p, c);
+        const ConfigKey key = child.config_key();
+        PNode* child_node = nullptr;
+        bool inserted = false;
+        {
+          Shard& s = shard_for(key);
+          std::lock_guard<std::mutex> lk(s.mu);
+          const auto [it, fresh] = s.map.try_emplace(key, nullptr);
+          if (fresh) {
+            s.arena.emplace_back();
+            it->second = &s.arena.back();
+          }
+          child_node = it->second;
+          inserted = fresh;
+        }
+        node->edges.push_back(PEdge{child_node, commit.object, commit.inv});
+        if (inserted) {
+          const std::size_t count =
+              configs_.fetch_add(1, std::memory_order_acq_rel) + 1;
+          if (count > limits_.max_configs ||
+              item.depth + 1 > limits_.max_depth) {
+            incomplete_.store(true, std::memory_order_relaxed);
+            stop_.store(true, std::memory_order_release);
+            return;
+          }
+          push(wid, WorkItem{child_node, std::move(child), item.depth + 1});
+        }
+      }
+    }
+  }
+
+  /// Phases 2 and 3: replay the sequential DFS over the discovered DAG in
+  /// canonical edge order, then run the longest-path / access-bound DP over
+  /// its postorder.  Single-threaded; no engine stepping.
+  void reduce(PNode* root_node, ExploreOutcome& out) {
+    struct Frame {
+      PNode* n;
+      std::size_t next;
+    };
+    std::vector<Frame> stack;
+    std::vector<PNode*> postorder;
+    postorder.reserve(out.stats.configs);
+    std::size_t seen_configs = 0;
+    std::size_t seen_edges = 0;
+    std::size_t seen_terminals = 0;
+    PNode* first_violation = nullptr;
+    bool cycle = false;
+
+    const auto visit = [&](PNode* n) {
+      ++seen_configs;
+      n->color = 1;
+      if (n->terminal) ++seen_terminals;
+      if (n->violation && !first_violation) first_violation = n;
+      stack.push_back(Frame{n, 0});
+    };
+    visit(root_node);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next == f.n->edges.size()) {
+        f.n->color = 2;
+        postorder.push_back(f.n);
+        stack.pop_back();
+        continue;
+      }
+      PNode* child = f.n->edges[f.next++].child;
+      ++seen_edges;
+      if (child->color == 1) {
+        // The same cycle the sequential DFS would hit, at the same point:
+        // some execution revisits a configuration, so by the Section 4.2
+        // Koenig's-lemma argument the implementation is not wait-free.
+        cycle = true;
+        break;
+      }
+      if (child->color == 0) visit(child);
+    }
+    if (first_violation) out.violation = *first_violation->violation;
+    if (cycle) {
+      out.wait_free = false;
+      // Counters at the abort point, matching the sequential explorer's
+      // partial stats bit for bit (the replay IS its traversal).
+      out.stats.configs = seen_configs;
+      out.stats.edges = seen_edges;
+      out.stats.terminals = seen_terminals;
+      return;
+    }
+    out.stats.configs = seen_configs;
+    out.stats.edges = seen_edges;
+    out.stats.terminals = seen_terminals;
+
+    for (PNode* n : postorder) {
+      if (limits_.track_access_bounds) {
+        n->acc_from.assign(static_cast<std::size_t>(num_objects_), 0);
+        n->inv_from.assign(inv_offset_.back(), 0);
+      }
+      for (const PEdge& edge : n->edges) {
+        n->depth_from = std::max(n->depth_from, edge.child->depth_from + 1);
+        if (limits_.track_access_bounds) {
+          for (ObjectId g = 0; g < num_objects_; ++g) {
+            std::size_t cand =
+                edge.child->acc_from[static_cast<std::size_t>(g)];
+            if (g == edge.object) ++cand;
+            n->acc_from[static_cast<std::size_t>(g)] =
+                std::max(n->acc_from[static_cast<std::size_t>(g)], cand);
+          }
+          const std::size_t hit =
+              inv_offset_[static_cast<std::size_t>(edge.object)] +
+              static_cast<std::size_t>(edge.inv);
+          for (std::size_t k = 0; k < n->inv_from.size(); ++k) {
+            std::size_t cand = edge.child->inv_from[k];
+            if (k == hit) ++cand;
+            n->inv_from[k] = std::max(n->inv_from[k], cand);
+          }
+        }
+      }
+    }
+    out.stats.depth = root_node->depth_from;
+    if (limits_.track_access_bounds) {
+      out.stats.max_accesses = root_node->acc_from;
+      out.stats.max_accesses_by_inv.resize(
+          static_cast<std::size_t>(num_objects_));
+      for (ObjectId g = 0; g < num_objects_; ++g) {
+        out.stats.max_accesses_by_inv[static_cast<std::size_t>(g)].assign(
+            root_node->inv_from.begin() +
+                static_cast<std::ptrdiff_t>(
+                    inv_offset_[static_cast<std::size_t>(g)]),
+            root_node->inv_from.begin() +
+                static_cast<std::ptrdiff_t>(
+                    inv_offset_[static_cast<std::size_t>(g) + 1]));
+      }
+    }
+  }
+
+  const ExploreLimits limits_;
+  const TerminalCheck& check_;
+  const int threads_;
+  int num_objects_ = 0;
+  std::vector<std::size_t> inv_offset_;
+  std::array<Shard, kNumShards> shards_;
+  std::vector<WorkerQueue> queues_;
+  std::atomic<std::size_t> configs_{0};
+  std::atomic<std::size_t> edges_{0};
+  std::atomic<std::size_t> terminals_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> incomplete_{false};
+  std::mutex violation_mu_;  ///< guards early_violation_ and exception_
+  std::optional<std::string> early_violation_;
+  std::exception_ptr exception_;
+};
+
+}  // namespace
+
+ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
+                                const ExploreLimits& limits, int n_threads) {
+  int threads = n_threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw ? static_cast<int>(hw) : 1;
+  }
+  if (threads == 1) return explore(root, limits, check);
+  ParallelExplorer impl(limits, check, threads);
+  return impl.run(root);
+}
+
+}  // namespace wfregs

@@ -78,6 +78,15 @@ RegularVerifyResult verify_regular(
     std::shared_ptr<const Implementation> impl,
     std::vector<std::vector<InvId>> scripts, int values,
     const ExploreLimits& limits) {
+  return verify_regular(std::move(impl), std::move(scripts), values,
+                        VerifyOptions{limits, 0});
+}
+
+RegularVerifyResult verify_regular(
+    std::shared_ptr<const Implementation> impl,
+    std::vector<std::vector<InvId>> scripts, int values,
+    const VerifyOptions& options) {
+  const ExploreLimits& limits = options.limits;
   if (!impl) throw std::invalid_argument("verify_regular: null impl");
   const int n = impl->iface().ports();
   if (static_cast<int>(scripts.size()) != n) {
@@ -109,7 +118,7 @@ RegularVerifyResult verify_regular(
     return r.detail;
   };
   const Engine root{std::move(sys)};
-  const auto out = explore(root, limits, check);
+  const auto out = explore_parallel(root, check, limits, options.threads);
   RegularVerifyResult result;
   result.wait_free = out.wait_free;
   result.complete = out.complete;

@@ -10,6 +10,14 @@ namespace wfregs {
 VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
                                  std::vector<std::vector<InvId>> scripts,
                                  const ExploreLimits& limits) {
+  return verify_linearizable(std::move(impl), std::move(scripts),
+                             VerifyOptions{limits, 0});
+}
+
+VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
+                                 std::vector<std::vector<InvId>> scripts,
+                                 const VerifyOptions& options) {
+  const ExploreLimits& limits = options.limits;
   if (!impl) {
     throw std::invalid_argument("verify_linearizable: null implementation");
   }
@@ -50,7 +58,7 @@ VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
   };
 
   const Engine root{std::move(sys)};
-  const auto out = explore(root, limits, check);
+  const auto out = explore_parallel(root, check, limits, options.threads);
 
   VerifyResult result;
   result.wait_free = out.wait_free;

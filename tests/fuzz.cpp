@@ -1,12 +1,19 @@
 // Tests for the random-schedule fuzz harness itself: determinism in the
 // seed, argument checking, and -- most importantly -- that it actually
-// catches broken implementations.
+// catches broken implementations.  Also the property-based differential
+// test driving seeded random types through the sequential AND parallel
+// explorers, failing with the serialized type as a repro artifact.
 #include "wfregs/runtime/fuzz.hpp"
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "test_support.hpp"
 #include "wfregs/core/bounded_register.hpp"
+#include "wfregs/runtime/explorer.hpp"
+#include "wfregs/typesys/random_type.hpp"
+#include "wfregs/typesys/serialize.hpp"
 #include "wfregs/typesys/type_zoo.hpp"
 
 namespace wfregs {
@@ -73,6 +80,83 @@ TEST(Fuzz, ArgumentChecking) {
   EXPECT_THROW(fuzz_linearizable(nullptr, {}), std::invalid_argument);
   const auto impl = core::bounded_bit_from_oneuse(1, 1, 0);
   EXPECT_THROW(fuzz_linearizable(impl, {{}}), std::invalid_argument);
+}
+
+/// Scenario over one shared instance of `t`: every port performs two
+/// invocations, folding responses into process state (the memoization
+/// contract), so both explorers see rich, check-relevant configurations.
+Engine random_scenario(std::shared_ptr<const TypeSpec> t) {
+  const int n = t->ports();
+  const int invs = t->num_invocations();
+  auto sys = std::make_shared<System>(n);
+  std::vector<PortId> ports(static_cast<std::size_t>(n));
+  std::iota(ports.begin(), ports.end(), 0);
+  const ObjectId obj = sys->add_base(std::move(t), 0, ports);
+  for (ProcId p = 0; p < n; ++p) {
+    ProgramBuilder b;
+    b.assign(1, lit(0));
+    for (int k = 0; k < 2; ++k) {
+      b.invoke(0, lit((p + k) % invs), 0);
+      b.assign(1, reg(1) * lit(1 << 20) + reg(0) + lit(1));
+    }
+    b.ret(reg(1));
+    sys->set_toplevel(p, b.build("p" + std::to_string(p)), {obj});
+  }
+  return Engine{std::move(sys)};
+}
+
+TEST(Fuzz, DifferentialExplorersOnRandomTypes) {
+  ExploreLimits limits;
+  limits.track_access_bounds = true;
+  limits.stop_at_violation = false;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    RandomTypeParams params;
+    params.ports = 2 + static_cast<int>(seed % 2);
+    params.num_states = 3 + static_cast<int>(seed % 3);
+    params.num_invocations = 2 + static_cast<int>(seed % 2);
+    params.num_responses = 2 + static_cast<int>(seed % 2);
+    params.oblivious = (seed % 3) == 0;
+    params.branching = 1 + static_cast<int>(seed % 2);
+    const TypeSpec t = random_type(params, seed);
+    const Engine root = random_scenario(testsup::share(t));
+    // Pseudo-agreement check: process results are configuration state, so
+    // the verdict is exhaustive under memoization and thread-safe.
+    const int n = params.ports;
+    const TerminalCheck check =
+        [n](const Engine& e) -> std::optional<std::string> {
+      const Val first = *e.result(0);
+      for (ProcId p = 1; p < n; ++p) {
+        if (*e.result(p) != first) return "results diverge";
+      }
+      return std::nullopt;
+    };
+    const auto seq = explore(root, limits, check);
+    ASSERT_TRUE(seq.complete) << "seed " << seed;
+    for (const int threads : {2, 8}) {
+      const auto par = explore_parallel(root, check, limits, threads);
+      const bool same = seq.wait_free == par.wait_free &&
+                        seq.complete == par.complete &&
+                        seq.violation.has_value() ==
+                            par.violation.has_value() &&
+                        seq.stats.configs == par.stats.configs &&
+                        seq.stats.edges == par.stats.edges &&
+                        seq.stats.terminals == par.stats.terminals &&
+                        seq.stats.depth == par.stats.depth &&
+                        seq.stats.max_accesses == par.stats.max_accesses &&
+                        seq.stats.max_accesses_by_inv ==
+                            par.stats.max_accesses_by_inv;
+      if (!same) {
+        const std::string repro =
+            "fuzz_explorer_repro_seed" + std::to_string(seed) + ".wfregs";
+        save_type(t, repro);
+        ADD_FAILURE() << "sequential/parallel explorer mismatch at seed "
+                      << seed << ", " << threads
+                      << " threads; type saved to " << repro
+                      << "; repro type:\n"
+                      << print_type(t);
+      }
+    }
+  }
 }
 
 TEST(Fuzz, StepBudgetIsReported) {
