@@ -15,12 +15,15 @@
 //
 // A leading `-j N` routes every exhaustive exploration through the parallel
 // explorer on N worker threads (0 = hardware concurrency, 1 = sequential).
+// A leading `--static-precheck` runs the wfregs-lint discipline passes on
+// every implementation before exploring it, failing fast on violations.
 #include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "wfregs/analysis/lint.hpp"
 #include "wfregs/consensus/check.hpp"
 #include "wfregs/consensus/protocols.hpp"
 #include "wfregs/core/oneuse_from_type.hpp"
@@ -37,6 +40,15 @@ namespace {
 
 /// Explorer thread count from the global -j flag (0 = hardware concurrency).
 int g_threads = 0;
+/// Whether --static-precheck was given.
+bool g_precheck = false;
+
+VerifyOptions verify_options() {
+  VerifyOptions options;
+  options.threads = g_threads;
+  if (g_precheck) options.static_precheck = analysis::static_precheck();
+  return options;
+}
 
 const std::map<std::string, std::function<TypeSpec()>> kZoo{
     {"bit", [] { return zoo::bit_type(2); }},
@@ -125,7 +137,7 @@ int cmd_oneuse(const TypeSpec& t) {
   }
   const zoo::OneUseBitLayout lay;
   const auto r = verify_linearizable(impl, {{lay.read()}, {lay.write()}},
-                                     VerifyOptions{{}, g_threads});
+                                     verify_options());
   std::cout << "synthesized " << impl->name() << "; exhaustive check: "
             << (r.ok ? "LINEARIZABLE and WAIT-FREE" : r.detail) << " ("
             << r.stats.configs << " configurations)\n";
@@ -169,7 +181,7 @@ int cmd_eliminate(const std::string& protocol, const TypeSpec& substrate) {
     std::cout << "  " << count << " x " << name << "\n";
   }
   const auto check =
-      consensus::check_consensus(report.result, VerifyOptions{{}, g_threads});
+      consensus::check_consensus(report.result, verify_options());
   std::cout << "register-free protocol "
             << (check.solves ? "SOLVES" : "FAILS") << " consensus ("
             << check.configs << " configurations)\n";
@@ -179,20 +191,30 @@ int cmd_eliminate(const std::string& protocol, const TypeSpec& substrate) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::string(argv[1]) == "-j") {
-    char* end = nullptr;
-    const long n = argc >= 3 ? std::strtol(argv[2], &end, 10) : -1;
-    if (argc < 3 || end == argv[2] || *end != '\0' || n < 0) {
-      std::cerr << "error: -j requires a non-negative thread count\n";
-      return EXIT_FAILURE;
+  for (bool more = true; more && argc >= 2;) {
+    const std::string flag = argv[1];
+    if (flag == "-j") {
+      char* end = nullptr;
+      const long n = argc >= 3 ? std::strtol(argv[2], &end, 10) : -1;
+      if (argc < 3 || end == argv[2] || *end != '\0' || n < 0) {
+        std::cerr << "error: -j requires a non-negative thread count\n";
+        return EXIT_FAILURE;
+      }
+      g_threads = static_cast<int>(n);
+      argv[2] = argv[0];
+      argc -= 2;
+      argv += 2;
+    } else if (flag == "--static-precheck") {
+      g_precheck = true;
+      argv[1] = argv[0];
+      argc -= 1;
+      argv += 1;
+    } else {
+      more = false;
     }
-    g_threads = static_cast<int>(n);
-    argv[2] = argv[0];
-    argc -= 2;
-    argv += 2;
   }
   if (argc < 2) {
-    std::cerr << "usage: wfregs_cli [-j N] "
+    std::cerr << "usage: wfregs_cli [-j N] [--static-precheck] "
                  "zoo|print|classify|oneuse|hierarchy|eliminate ...\n";
     return EXIT_FAILURE;
   }

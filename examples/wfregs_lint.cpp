@@ -1,0 +1,196 @@
+// wfregs_lint -- the static discipline checker as a command-line tool.
+//
+//   wfregs_lint chain                lint the composed Section 4.1 register
+//   wfregs_lint oneuse-array         lint the Section 4.3 array bit
+//   wfregs_lint protocols            lint every bundled consensus protocol
+//   wfregs_lint eliminate <tas|queue|faa>
+//                                    lint the Theorem 5 pipeline stages and
+//                                    cross-check static vs dynamic bounds
+//   wfregs_lint type <zoo-name>      Section 2.1 table lints for one type
+//   wfregs_lint all                  everything above (except eliminate's
+//                                    slower queue/faa variants)
+//
+// Exit status is nonzero when any lint ERROR was reported (warnings pass).
+// `-v` prints the full report (diagnostics plus static bounds) even for
+// clean implementations.
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wfregs/analysis/lint.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/core/access_bounds.hpp"
+#include "wfregs/core/bounded_register.hpp"
+#include "wfregs/core/register_elimination.hpp"
+#include "wfregs/registers/chain.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+using namespace wfregs;
+
+namespace {
+
+bool g_verbose = false;
+int g_errors = 0;
+
+/// Lints one implementation and prints a one-line verdict (or the full
+/// report when verbose / dirty).
+analysis::LintReport lint_one(const Implementation& impl) {
+  const auto report = analysis::lint(impl);
+  std::cout << impl.name() << ": " << report.error_count() << " error(s), "
+            << report.warning_count() << " warning(s)\n";
+  if (g_verbose || !report.ok()) std::cout << report.to_string();
+  g_errors += static_cast<int>(report.error_count());
+  return report;
+}
+
+int cmd_chain() {
+  registers::ChainOptions options;
+  options.mrmw_max_writes = 2;
+  options.mrsw_max_writes = 2;
+  lint_one(*registers::full_chain_register(2, 2, 0, options));
+  options.bits_at_bottom = false;
+  lint_one(*registers::full_chain_register(2, 3, 1, options));
+  return EXIT_SUCCESS;
+}
+
+int cmd_oneuse_array() {
+  lint_one(*core::bounded_bit_from_oneuse(1, 1, 0));
+  lint_one(*core::bounded_bit_from_oneuse(2, 3, 1));
+  lint_one(*core::bounded_bit_from_oneuse(3, 2, 0));
+  return EXIT_SUCCESS;
+}
+
+int cmd_protocols() {
+  lint_one(*consensus::from_test_and_set());
+  lint_one(*consensus::from_queue());
+  lint_one(*consensus::from_fetch_and_add());
+  lint_one(*consensus::from_cas(2));
+  lint_one(*consensus::from_cas(3));
+  lint_one(*consensus::from_sticky_bit(3));
+  lint_one(*consensus::from_consensus_object(3));
+  lint_one(*consensus::from_cas_ids(2));
+  lint_one(*consensus::from_cas_ids(3));
+  lint_one(*consensus::registers_only_attempt(2));
+  return EXIT_SUCCESS;
+}
+
+int cmd_eliminate(const std::string& protocol) {
+  std::shared_ptr<const Implementation> impl;
+  if (protocol == "tas") {
+    impl = consensus::from_test_and_set();
+  } else if (protocol == "queue") {
+    impl = consensus::from_queue();
+  } else if (protocol == "faa") {
+    impl = consensus::from_fetch_and_add();
+  } else {
+    std::cerr << "unknown protocol " << protocol << " (want tas|queue|faa)\n";
+    return EXIT_FAILURE;
+  }
+  lint_one(*impl);
+  core::EliminationOptions options;  // no substrate: keep base one-use bits
+  const auto report = core::eliminate_registers(impl, options);
+  if (!report.ok) {
+    std::cerr << "elimination failed: " << report.detail << "\n";
+    return EXIT_FAILURE;
+  }
+  const auto bits = lint_one(*report.bits_stage);
+  lint_one(*report.result);
+
+  // Cross-check: the static per-object bounds of the bits stage must
+  // dominate the exact dynamic bounds the pipeline measured on it.
+  const auto cross = analysis::check_bound_dominance(bits, report.bounds);
+  std::cout << "static-vs-dynamic bound cross-check on "
+            << report.bits_stage->name() << ": "
+            << (cross.empty() ? "static dominates dynamic"
+                              : "DOMINANCE VIOLATED")
+            << " (" << report.bounds.per_object.size() << " base objects)\n";
+  for (const auto& d : cross) std::cout << d.to_string() << "\n";
+  g_errors += static_cast<int>(cross.size());
+  return EXIT_SUCCESS;
+}
+
+const std::map<std::string, std::function<TypeSpec()>> kTypes{
+    {"bit", [] { return zoo::bit_type(2); }},
+    {"srsw_register4", [] { return zoo::srsw_register_type(4); }},
+    {"one_use_bit", [] { return zoo::one_use_bit_type(); }},
+    {"test_and_set", [] { return zoo::test_and_set_type(2); }},
+    {"cas", [] { return zoo::cas_type(2, 2); }},
+    {"sticky_bit", [] { return zoo::sticky_bit_type(2); }},
+    {"queue", [] { return zoo::queue_type(2, 2, 2); }},
+    {"consensus", [] { return zoo::consensus_type(2); }},
+    {"port_flag", [] { return zoo::port_flag_type(2); }},
+    {"nondet_coin", [] { return zoo::nondet_coin_type(2); }},
+};
+
+int cmd_type(const std::string& name) {
+  const auto it = kTypes.find(name);
+  if (it == kTypes.end()) {
+    std::cerr << "unknown type " << name << "; available:";
+    for (const auto& [n, make] : kTypes) std::cerr << " " << n;
+    std::cerr << "\n";
+    return EXIT_FAILURE;
+  }
+  const TypeSpec spec = it->second();
+  const auto report = analysis::lint_type(spec);
+  std::cout << spec.name() << ": " << report.error_count() << " error(s), "
+            << report.warning_count() << " warning(s)\n"
+            << report.to_string();
+  g_errors += static_cast<int>(report.error_count());
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args.front() == "-v") {
+    g_verbose = true;
+    args.erase(args.begin());
+  }
+  if (args.empty()) {
+    std::cerr << "usage: wfregs_lint [-v] "
+                 "chain|oneuse-array|protocols|eliminate|type|all ...\n";
+    return EXIT_FAILURE;
+  }
+  const std::string cmd = args.front();
+  try {
+    int rc = EXIT_SUCCESS;
+    if (cmd == "chain") {
+      rc = cmd_chain();
+    } else if (cmd == "oneuse-array") {
+      rc = cmd_oneuse_array();
+    } else if (cmd == "protocols") {
+      rc = cmd_protocols();
+    } else if (cmd == "eliminate") {
+      rc = cmd_eliminate(args.size() > 1 ? args[1] : "tas");
+    } else if (cmd == "type") {
+      if (args.size() != 2) {
+        std::cerr << "usage: wfregs_lint type <zoo-name>\n";
+        return EXIT_FAILURE;
+      }
+      rc = cmd_type(args[1]);
+    } else if (cmd == "all") {
+      cmd_chain();
+      cmd_oneuse_array();
+      cmd_protocols();
+      rc = cmd_eliminate("tas");
+    } else {
+      std::cerr << "unknown command: " << cmd << "\n";
+      return EXIT_FAILURE;
+    }
+    if (rc != EXIT_SUCCESS) return rc;
+    if (g_errors > 0) {
+      std::cout << "TOTAL: " << g_errors << " lint error(s)\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << "all clean\n";
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,47 @@
+// The extended-natural bound domain used by the static access-bound and
+// one-use passes: a count that is either an exact natural or "unbounded"
+// (an access site on a control-flow cycle).  The static analogue of the
+// paper's Section 4.2 access bounds.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace wfregs::analysis {
+
+/// A saturating counter over the naturals extended with infinity.
+struct Bound {
+  bool finite = true;
+  std::size_t n = 0;
+
+  static Bound inf() { return Bound{false, 0}; }
+  static Bound of(std::size_t k) { return Bound{true, k}; }
+
+  bool is_zero() const { return finite && n == 0; }
+  friend Bound operator+(Bound a, Bound b) {
+    if (!a.finite || !b.finite) return inf();
+    return of(a.n + b.n);
+  }
+  friend Bound operator*(Bound a, Bound b) {
+    // 0 * anything == 0: a slot never accessed contributes nothing even
+    // when the inner bound is unbounded.
+    if (a.is_zero() || b.is_zero()) return of(0);
+    if (!a.finite || !b.finite) return inf();
+    return of(a.n * b.n);
+  }
+  static Bound max(Bound a, Bound b) {
+    if (!a.finite || !b.finite) return inf();
+    return of(std::max(a.n, b.n));
+  }
+  /// a >= b in the extended order (infinity dominates everything).
+  static bool dominates(Bound a, std::size_t b) {
+    return !a.finite || a.n >= b;
+  }
+  std::string to_string() const {
+    return finite ? std::to_string(n) : "inf";
+  }
+  friend bool operator==(const Bound&, const Bound&) = default;
+};
+
+}  // namespace wfregs::analysis

@@ -1,0 +1,84 @@
+// Exact per-program enumeration: the precise counterpart of
+// analyze_program().
+//
+// The abstract interpreter in program_facts.hpp is sound for every program
+// but too coarse for the Section 4.3 array walk: the reader's row loop puts
+// each one-use bit's read site on a CFG cycle, and only the progress
+// argument "i_r strictly increases and the site requires i_r == i" bounds
+// the visits.  Enumerating the program's own concrete state space -- states
+// are (pc, register file), responses branch over the oracle's response set
+// -- captures exactly that argument: the state graph is acyclic precisely
+// when the program makes progress, and per-site visit counts become
+// longest-path queries on it.
+//
+// Enumeration runs when all inputs (persistent seeds, oracle responses) are
+// finite and the state count stays within limits; otherwise `available` is
+// false and callers fall back to the abstract facts.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfregs/analysis/bound.hpp"
+#include "wfregs/analysis/program_facts.hpp"
+#include "wfregs/analysis/value_set.hpp"
+#include "wfregs/runtime/program.hpp"
+
+namespace wfregs::analysis {
+
+struct ExactLimits {
+  /// Distinct (pc, registers) states before giving up.
+  std::size_t max_states = 200000;
+  /// Persistent-register seed combinations before giving up.
+  std::size_t max_inputs = 4096;
+  /// Elements enumerated out of any single ValueSet before giving up.
+  std::size_t max_values = 4096;
+};
+
+struct ExactProgramFacts {
+  /// False when enumeration was not possible (opaque program, unbounded
+  /// inputs, state blowup); `detail` says why and every other field is
+  /// empty.
+  bool available = false;
+  std::string detail;
+
+  std::vector<StaticInstr> code;
+  /// Per concrete state: the pc it sits at.
+  std::vector<int> state_pc;
+  /// Per state: invoked slot and concrete invocation id (-1 / 0 when the
+  /// state's instruction is not a kInvoke).
+  std::vector<int> site_slot;
+  std::vector<Val> site_inv;
+  std::vector<std::vector<int>> succ;
+  /// Entry states, one per persistent seed combination.
+  std::vector<int> roots;
+
+  ValueSet return_values;
+  std::vector<ValueSet> persistent_out;
+  /// Per slot: every invocation id issued on it, over all states.
+  std::vector<ValueSet> slot_invs;
+
+  /// Max over concrete executions of the summed site weights.
+  Bound max_weight(
+      const std::function<Bound(int slot, Val inv)>& weight) const;
+  /// A concrete execution visiting >= `want` matching sites (best effort,
+  /// see weighted_witness()).
+  std::optional<std::vector<int>> witness(
+      const std::function<bool(int slot, Val inv)>& site,
+      std::size_t want) const;
+  /// Human-readable rendering of one state (for diagnostics).
+  std::string describe_state(int s) const;
+};
+
+/// Enumerates one program's concrete state space.  `persistent_in[i]` seeds
+/// register i; remaining registers start at 0.  `num_slots` sizes
+/// slot_invs.  `oracle` models invocation responses exactly as in
+/// analyze_program (a bottom response kills the path).
+ExactProgramFacts enumerate_program(
+    const ProgramCode& prog, const std::vector<ValueSet>& persistent_in,
+    int num_slots, const ResponseOracle& oracle,
+    const ExactLimits& limits = {});
+
+}  // namespace wfregs::analysis

@@ -1,0 +1,37 @@
+// Weighted longest-path queries over small directed graphs, shared by the
+// abstract (per-pc CFG) and exact (per concrete program state) analyses.
+//
+// Both layers reduce "how often can this access happen along one execution
+// of the program?" to the same question: the maximum, over all walks from a
+// root, of the sum of node weights -- where any positively-weighted node
+// inside a cycle makes the answer infinite.  Computed by Tarjan SCC
+// condensation plus longest-path dynamic programming on the condensation
+// DAG.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "wfregs/analysis/bound.hpp"
+
+namespace wfregs::analysis {
+
+/// Maximum over all walks starting at any of `roots` of the sum of
+/// `weight(node)` over visited nodes; Bound::inf() when a node with
+/// nonzero weight lies on a reachable cycle.  Nodes not reachable from a
+/// root are ignored.  Edges must stay within [0, succ.size()).
+Bound longest_weighted_path(const std::vector<std::vector<int>>& succ,
+                            const std::vector<int>& roots,
+                            const std::function<Bound(int)>& weight);
+
+/// A concrete walk from some root visiting nodes satisfying `site` at least
+/// `want` times, used to attach counterexample paths to diagnostics.  Best
+/// effort: when greedy stitching dead-ends the partial walk (with fewer
+/// sites) is still returned; nullopt only when no site is reachable at all.
+std::optional<std::vector<int>> weighted_witness(
+    const std::vector<std::vector<int>>& succ, const std::vector<int>& roots,
+    const std::function<bool(int)>& site, std::size_t want);
+
+}  // namespace wfregs::analysis

@@ -1,0 +1,113 @@
+// wfregs-lint: static discipline checking of implementations and types.
+//
+// The checker walks the Implementation/ObjectDecl/Program graph -- never the
+// scheduler -- and certifies the structural disciplines the paper's pipeline
+// rests on:
+//
+//   pass 1 (port discipline, Section 4.1): register-typed base objects are
+//     used in single-writer normal form -- each register port is driven by
+//     at most one outer port, reads arrive only on reader ports, writes
+//     only on the writer port, and MRMW register bases must not be written
+//     (or read) from more than one port;
+//   pass 2 (one-use discipline, Section 3): along every static path of
+//     every program, each one-use bit is read at most once and written at
+//     most once, with a counterexample path attached on violation;
+//   pass 3 (static access bounds, Section 4.2): a per-base-object upper
+//     bound on accesses under the standard scenario (each port performs one
+//     operation), computed by loop-free path counting through the object
+//     tree; check_bound_dominance() cross-checks it against the exact
+//     dynamic bounds from core::compute_access_bounds (static >= dynamic);
+//   pass 4 (TypeSpec lints, Section 2.1): totality errors inside lint();
+//     determinism / obliviousness / unreachable-state notes via lint_type(),
+//     feeding the Section 5 triviality deciders.
+//
+// Program reachability questions are answered by the exact per-program
+// enumeration (exact_facts.hpp) when it applies and by the abstract
+// interpreter (program_facts.hpp) otherwise, so every verdict is sound for
+// arbitrary builder programs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfregs/analysis/bound.hpp"
+#include "wfregs/core/access_bounds.hpp"
+#include "wfregs/runtime/implementation.hpp"
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs::analysis {
+
+struct Diagnostic {
+  enum class Severity { kError, kWarning };
+  enum class Pass {
+    kStructure,       ///< wiring: missing programs, kNoPort, id ranges
+    kPortDiscipline,  ///< Section 4.1 register usage
+    kOneUse,          ///< Section 3 read-once / write-once
+    kBounds,          ///< Section 4.2 static-vs-dynamic cross-check
+    kTypeSpec,        ///< Section 2.1 table lints
+  };
+
+  Severity severity = Severity::kError;
+  Pass pass = Pass::kStructure;
+  /// Declaration path of the object concerned (empty: the implementation
+  /// itself / the type as a whole).
+  std::vector<int> path;
+  /// Rendered location, e.g. "mrsw_register2_r2 /1(srsw_register8)".
+  std::string object;
+  std::string message;
+  /// Counterexample: rendered instruction path through the outermost
+  /// program exhibiting the violation (may be empty).
+  std::vector<std::string> trace;
+
+  std::string to_string() const;
+};
+
+/// Pass 3 result for one flattened base object.  Bounds follow the
+/// Section 4.2 scenario (each outer port performs one operation): the sum
+/// over ports of the worst single operation on that port.
+struct StaticObjectBound {
+  std::vector<int> path;  ///< declaration path, as in core::ObjectBound
+  std::string type_name;
+  Bound accesses;  ///< any invocation
+  Bound reads;     ///< invocation 0 (register convention)
+  Bound writes;    ///< invocations >= 1
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  /// One entry per flattened base object, in declaration (DFS) order.
+  std::vector<StaticObjectBound> bounds;
+
+  bool ok() const { return error_count() == 0; }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  std::string to_string() const;
+};
+
+/// Runs passes 1-3 (plus base-type totality) on an implementation.  The
+/// assumed usage is the set of (invocation, port) pairs the implementation
+/// provides programs for; inner objects' usage is derived from what outer
+/// programs can actually reach.
+LintReport lint(const Implementation& impl);
+
+/// Pass 4 on a single type table: totality errors, plus warnings for
+/// nondeterminism, port-sensitivity (non-obliviousness) and states
+/// unreachable from `initial`.
+LintReport lint_type(const TypeSpec& spec, StateId initial = 0);
+
+/// Cross-checks pass 3 against exact dynamic bounds: for every dynamic
+/// ObjectBound the static bound at the same path must dominate it (static
+/// >= dynamic), per invocation class.  Violations indicate a bug in either
+/// analysis and are reported as kBounds errors.
+std::vector<Diagnostic> check_bound_dominance(const LintReport& statics,
+                                              const core::AccessBounds& dyn);
+
+/// A hook for VerifyOptions::static_precheck: lints the implementation and
+/// reports the first errors as a failure string (nullopt when clean).
+std::function<std::optional<std::string>(const Implementation&)>
+static_precheck();
+
+}  // namespace wfregs::analysis

@@ -1,0 +1,80 @@
+// Per-program static analysis: abstract interpretation of one bytecode
+// program over ValueSets, plus path counting on the pruned control-flow
+// graph.
+//
+// This is the workhorse under every wfregs-lint pass:
+//   * which invoke sites are reachable, and with which invocation ids
+//     (port-discipline pass, Section 4.1);
+//   * the maximum number of accesses to an environment slot along any
+//     static path, with loops mapping to an infinite bound (one-use
+//     discipline of Section 3 and the static access bounds of Section 4.2);
+//   * the set of values a program can return and can store back into its
+//     persistent registers (the inter-program fixpoints in lint.cpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfregs/analysis/bound.hpp"
+#include "wfregs/analysis/value_set.hpp"
+#include "wfregs/runtime/program.hpp"
+
+namespace wfregs::analysis {
+
+/// Models the response of invoking `invs` (an over-approximated invocation
+/// set) on environment slot `slot` from the program under analysis.
+/// Returning bottom means the access cannot produce a response (no such
+/// program / invalid invocation): the abstract execution stops there.
+using ResponseOracle =
+    std::function<ValueSet(int slot, const ValueSet& invs)>;
+
+struct ProgramFacts {
+  /// False when the program has no static_code(); every other field is then
+  /// empty and the callers must treat the program conservatively.
+  bool inspectable = false;
+  std::string name;
+  std::vector<StaticInstr> code;
+  /// Per-pc: reachable under the abstract semantics.
+  std::vector<bool> reachable;
+  /// Per-pc pruned successor lists (branches whose condition is statically
+  /// decided keep only the surviving edge).
+  std::vector<std::vector<int>> succ;
+  /// Per-pc: possible invocation ids at a reachable kInvoke (bottom
+  /// elsewhere).
+  std::vector<ValueSet> invoke_invs;
+  /// Join of the return expression over all reachable kRet sites.
+  ValueSet return_values;
+  /// Join of registers 0..persistent_slots-1 at all reachable kRet sites
+  /// (what the engine stores back into the per-port persistent state).
+  std::vector<ValueSet> persistent_out;
+
+  /// Max over static paths of the sum of `weight(pc)` over the kInvoke
+  /// sites visited; a site with nonzero weight on a cycle yields infinity.
+  /// This is the composition workhorse: the weight of an invoke on a nested
+  /// implementation is the (recursively computed) bound of the inner
+  /// program, so path counting telescopes through the object tree.
+  Bound max_weight(const std::function<Bound(int pc)>& weight) const;
+  /// Max over static paths of the number of reachable kInvoke sites
+  /// matching `counted`; infinite when such a site lies on a cycle.
+  Bound max_count(const std::function<bool(int pc)>& counted) const;
+  /// Convenience: count reachable invokes on `slot`.
+  Bound slot_count(int slot) const;
+  /// A concrete static path (pc sequence, from entry) witnessing at least
+  /// `want` visits of matching sites, when one exists.
+  std::optional<std::vector<int>> witness_path(
+      const std::function<bool(int pc)>& counted, std::size_t want) const;
+  /// Human-readable rendering of one instruction (for diagnostics).
+  std::string describe_pc(int pc) const;
+};
+
+/// Analyzes one program.  `persistent_in[i]` seeds register i at entry for
+/// i < persistent_in.size(); all other registers start at {0} (the engine
+/// zero-initializes frames).  `oracle` models invocation responses.
+ProgramFacts analyze_program(const ProgramCode& prog,
+                             const std::vector<ValueSet>& persistent_in,
+                             const ResponseOracle& oracle);
+
+}  // namespace wfregs::analysis

@@ -1,0 +1,116 @@
+// Abstract value domain for the static discipline checker (wfregs-lint).
+//
+// The linter re-executes program bytecode over sets of possible register
+// values instead of concrete ones.  Precision matters: the Section 4.1
+// register constructions compute invocation ids arithmetically (e.g. the
+// MRSW writer's `1 + seq * values + v`), and the port-discipline pass must
+// prove such an expression can never equal the read invocation (id 0).
+// A plain constant-propagation lattice loses that; a pure interval domain
+// cannot prune equality branches.  ValueSet therefore degrades gracefully:
+//
+//   explicit set  --(> kMaxPrecise elements)-->  interval  --(widening)--> top
+//
+// All arithmetic saturates through __int128 so the abstract semantics never
+// trips signed overflow, even on adversarial fixtures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfregs/typesys/type_spec.hpp"
+
+namespace wfregs::analysis {
+
+/// A sound over-approximation of the set of Vals a register can hold.
+class ValueSet {
+ public:
+  /// Largest explicit set kept before degrading to an interval.
+  static constexpr std::size_t kMaxPrecise = 64;
+
+  /// The empty set (unreachable / no value).
+  ValueSet() = default;
+
+  static ValueSet bottom() { return ValueSet(); }
+  static ValueSet singleton(Val v);
+  /// All integers in [lo, hi]; lo > hi yields bottom.
+  static ValueSet range(Val lo, Val hi);
+  static ValueSet top();
+  /// The set of the given values (deduplicated; degrades past kMaxPrecise).
+  static ValueSet of(std::vector<Val> vals);
+
+  bool is_bottom() const { return rep_ == Rep::kBottom; }
+  bool is_top() const {
+    return rep_ == Rep::kRange && !has_lo_ && !has_hi_;
+  }
+  /// True when the set is an explicit finite enumeration.
+  bool is_precise() const { return rep_ == Rep::kSet; }
+  /// The elements of a precise set, sorted; throws otherwise.
+  const std::vector<Val>& values() const;
+
+  bool contains(Val v) const;
+  bool has_lower_bound() const { return rep_ != Rep::kRange || has_lo_; }
+  bool has_upper_bound() const { return rep_ != Rep::kRange || has_hi_; }
+  /// Tightest known bounds; only valid when the matching has_*_bound().
+  Val lower_bound() const;
+  Val upper_bound() const;
+
+  /// Enumerates the members within [lo, hi] (intended for invocation ids,
+  /// where the valid universe is small).  Works for any representation.
+  std::vector<Val> enumerate_within(Val lo, Val hi) const;
+
+  /// The full membership list when the set is exactly enumerable with at
+  /// most `cap` elements (an explicit set, or a fully bounded range that
+  /// small); nullopt otherwise.  The exact-enumeration analysis uses this
+  /// to decide whether a program's inputs can be run concretely.
+  std::optional<std::vector<Val>> enumerate(std::size_t cap) const;
+
+  friend bool operator==(const ValueSet&, const ValueSet&) = default;
+
+  static ValueSet join(const ValueSet& a, const ValueSet& b);
+  /// Join with widening: any bound of `next` that moved past `prev` is
+  /// pushed to infinity, guaranteeing fixpoint termination.
+  static ValueSet widen(const ValueSet& prev, const ValueSet& next);
+
+  // Abstract transfer functions mirroring Expr evaluation.  Division and
+  // modulo silently drop zero divisors (the concrete semantics throws, so
+  // those executions never produce a value).
+  static ValueSet add(const ValueSet& a, const ValueSet& b);
+  static ValueSet sub(const ValueSet& a, const ValueSet& b);
+  static ValueSet mul(const ValueSet& a, const ValueSet& b);
+  static ValueSet div(const ValueSet& a, const ValueSet& b);
+  static ValueSet mod(const ValueSet& a, const ValueSet& b);
+  static ValueSet cmp_eq(const ValueSet& a, const ValueSet& b);
+  static ValueSet cmp_ne(const ValueSet& a, const ValueSet& b);
+  static ValueSet cmp_lt(const ValueSet& a, const ValueSet& b);
+  static ValueSet cmp_le(const ValueSet& a, const ValueSet& b);
+  static ValueSet logic_and(const ValueSet& a, const ValueSet& b);
+  static ValueSet logic_or(const ValueSet& a, const ValueSet& b);
+  static ValueSet logic_not(const ValueSet& a);
+
+  /// The subset that is <= / >= / == / != the given constant (used for
+  /// branch refinement on conditions like `reg <= lit(k)`).
+  ValueSet clamp_le(Val k) const;
+  ValueSet clamp_ge(Val k) const;
+  ValueSet clamp_eq(Val k) const;
+  ValueSet clamp_ne(Val k) const;
+
+  std::string to_string() const;
+
+ private:
+  enum class Rep { kBottom, kSet, kRange };
+
+  static ValueSet make_range(bool has_lo, Val lo, bool has_hi, Val hi);
+  /// Interval view of any non-bottom set (for range arithmetic).
+  void bounds(bool& has_lo, Val& lo, bool& has_hi, Val& hi) const;
+  /// {0,1} truth-set helpers for comparisons.
+  static ValueSet bools(bool can_false, bool can_true);
+
+  Rep rep_ = Rep::kBottom;
+  std::vector<Val> vals_;  // kSet: sorted, unique, size <= kMaxPrecise
+  bool has_lo_ = false, has_hi_ = false;
+  Val lo_ = 0, hi_ = 0;  // kRange (meaningful per has_*)
+};
+
+}  // namespace wfregs::analysis

@@ -132,6 +132,14 @@ struct VerifyOptions {
   /// Explorer worker threads: 0 = hardware concurrency, 1 = the exact
   /// sequential legacy path.
   int threads = 0;
+  /// Optional fail-fast hook run on the implementation before any
+  /// exploration: return an error description to abort the verification
+  /// immediately (reported as a failure with that detail), nullopt to
+  /// proceed.  analysis::static_precheck() supplies the standard hook
+  /// (wfregs-lint's discipline passes); kept as a std::function so the
+  /// runtime layer stays independent of the analysis library.
+  std::function<std::optional<std::string>(const Implementation&)>
+      static_precheck;
 };
 
 }  // namespace wfregs

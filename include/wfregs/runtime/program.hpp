@@ -51,6 +51,8 @@ struct DoReturn {
 };
 using Action = std::variant<DoInvoke, DoReturn>;
 
+struct StaticInstr;  // static disassembly entry, defined below
+
 /// Abstract deterministic program code.  Implementations must be pure: the
 /// result of step() may depend only on the Locals passed in.
 class ProgramCode {
@@ -63,6 +65,10 @@ class ProgramCode {
   virtual const std::string& name() const = 0;
   /// Number of registers the engine should allocate for a fresh frame.
   virtual int num_regs() const = 0;
+  /// Static disassembly for analysis tools; nullopt when the program is not
+  /// statically inspectable (hand-written ProgramCode subclasses).  Programs
+  /// built by ProgramBuilder always return their resolved instruction list.
+  virtual std::optional<std::vector<StaticInstr>> static_code() const;
 };
 
 using ProgramRef = std::shared_ptr<const ProgramCode>;
@@ -95,6 +101,19 @@ class Expr {
   Val eval(const std::vector<Val>& regs) const;
   int max_reg() const;
 
+  // ---- structural inspection (wfregs/analysis) ---------------------------
+  // The static linter re-evaluates expressions over abstract value sets, so
+  // it needs to fold over the tree without the interpreter.
+
+  Kind kind() const;
+  /// The literal of a kConst node; throws std::logic_error otherwise.
+  Val const_value() const;
+  /// The register index of a kReg node; throws std::logic_error otherwise.
+  int reg_index() const;
+  /// First / second operand; nullopt when the node has none.
+  std::optional<Expr> child_a() const;
+  std::optional<Expr> child_b() const;
+
   friend Expr operator+(Expr a, Expr b);
   friend Expr operator-(Expr a, Expr b);
   friend Expr operator*(Expr a, Expr b);
@@ -120,6 +139,24 @@ class Expr {
 /// Shorthand builders.
 inline Expr lit(Val v) { return Expr::lit(v); }
 inline Expr reg(int index) { return Expr::reg(index); }
+
+// ---- static disassembly ---------------------------------------------------
+
+/// One resolved bytecode instruction, exposed for static analysis
+/// (wfregs/analysis): jump targets are program counters, not label ids, so
+/// a consumer can build the control-flow graph directly.  Successors:
+/// kAssign/kInvoke fall through to pc+1; kJump goes to `target`; kBranchIf
+/// goes to `target` or falls through; kRet/kFail terminate the path.
+struct StaticInstr {
+  enum class Op { kAssign, kInvoke, kJump, kBranchIf, kRet, kFail };
+  Op op = Op::kAssign;
+  int reg = -1;     ///< kAssign target / kInvoke result register
+  int slot = -1;    ///< kInvoke environment slot
+  int target = -1;  ///< kJump / kBranchIf resolved destination pc
+  /// kAssign value / kInvoke invocation id / kBranchIf condition / kRet
+  /// value; nullopt for kJump and kFail.
+  std::optional<Expr> expr;
+};
 
 // ---- bytecode builder -----------------------------------------------------------
 

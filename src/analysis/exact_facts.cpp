@@ -1,0 +1,226 @@
+#include "wfregs/analysis/exact_facts.hpp"
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "wfregs/analysis/graph.hpp"
+
+namespace wfregs::analysis {
+
+namespace {
+
+ExactProgramFacts unavailable(std::string why) {
+  ExactProgramFacts f;
+  f.detail = std::move(why);
+  return f;
+}
+
+}  // namespace
+
+ExactProgramFacts enumerate_program(
+    const ProgramCode& prog, const std::vector<ValueSet>& persistent_in,
+    int num_slots, const ResponseOracle& oracle,
+    const ExactLimits& limits) {
+  auto code = prog.static_code();
+  if (!code) return unavailable("program is not statically inspectable");
+  const int n = static_cast<int>(code->size());
+  const int num_regs = prog.num_regs();
+
+  // Enumerate the persistent seed combinations.
+  std::vector<std::vector<Val>> seed_values;
+  std::size_t combos = 1;
+  for (const ValueSet& vs : persistent_in) {
+    auto vals = vs.enumerate(limits.max_values);
+    if (!vals) return unavailable("persistent input not enumerable");
+    if (vals->empty()) vals->push_back(0);  // bottom: port never ran yet
+    combos *= vals->size();
+    if (combos > limits.max_inputs) {
+      return unavailable("too many persistent input combinations");
+    }
+    seed_values.push_back(std::move(*vals));
+  }
+
+  ExactProgramFacts facts;
+  facts.code = std::move(*code);
+  facts.persistent_out.assign(persistent_in.size(), ValueSet::bottom());
+  facts.slot_invs.assign(
+      static_cast<std::size_t>(num_slots < 0 ? 0 : num_slots),
+      ValueSet::bottom());
+
+  std::map<std::pair<int, std::vector<Val>>, int> ids;
+  // Per state: its register file (std::map node addresses are stable).
+  std::vector<const std::vector<Val>*> state_regs;
+  std::deque<int> frontier;
+  const auto intern = [&](int pc, std::vector<Val> regs)
+      -> std::optional<int> {
+    if (pc < 0 || pc >= n) return std::nullopt;  // corrupt target: path dies
+    auto [it, inserted] = ids.try_emplace({pc, std::move(regs)}, -1);
+    if (inserted) {
+      if (ids.size() > limits.max_states) return std::nullopt;
+      it->second = static_cast<int>(facts.state_pc.size());
+      facts.state_pc.push_back(pc);
+      facts.site_slot.push_back(-1);
+      facts.site_inv.push_back(0);
+      facts.succ.emplace_back();
+      state_regs.push_back(&it->first.second);
+      frontier.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  for (std::size_t c = 0; c < combos; ++c) {
+    std::vector<Val> regs(static_cast<std::size_t>(num_regs), 0);
+    std::size_t rest = c;
+    for (std::size_t i = 0; i < seed_values.size(); ++i) {
+      const auto& vals = seed_values[i];
+      if (i < regs.size()) regs[i] = vals[rest % vals.size()];
+      rest /= vals.size();
+    }
+    const auto root = intern(0, std::move(regs));
+    if (!root) return unavailable("state limit exceeded");
+    facts.roots.push_back(*root);
+  }
+
+  while (!frontier.empty()) {
+    const int s = frontier.front();
+    frontier.pop_front();
+    const int pc = facts.state_pc[static_cast<std::size_t>(s)];
+    const StaticInstr& ins = facts.code[static_cast<std::size_t>(pc)];
+    const std::vector<Val>* regs = state_regs[static_cast<std::size_t>(s)];
+
+    const auto eval = [&](const Expr& e) -> std::optional<Val> {
+      try {
+        return e.eval(*regs);
+      } catch (const std::exception&) {
+        return std::nullopt;  // division by zero etc.: the path aborts
+      }
+    };
+    const auto link = [&](int next_pc, std::vector<Val> next_regs) -> bool {
+      const auto t = intern(next_pc, std::move(next_regs));
+      if (!t) {
+        return ids.size() > limits.max_states ? false : true;
+      }
+      facts.succ[static_cast<std::size_t>(s)].push_back(*t);
+      return true;
+    };
+
+    using Op = StaticInstr::Op;
+    bool ok = true;
+    switch (ins.op) {
+      case Op::kAssign: {
+        const auto v = eval(*ins.expr);
+        if (!v) break;
+        std::vector<Val> out = *regs;
+        if (ins.reg >= 0 && ins.reg < num_regs) {
+          out[static_cast<std::size_t>(ins.reg)] = *v;
+        }
+        ok = link(pc + 1, std::move(out));
+        break;
+      }
+      case Op::kInvoke: {
+        const auto inv = eval(*ins.expr);
+        if (!inv) break;
+        facts.site_slot[static_cast<std::size_t>(s)] = ins.slot;
+        facts.site_inv[static_cast<std::size_t>(s)] = *inv;
+        if (ins.slot >= 0 &&
+            ins.slot < static_cast<int>(facts.slot_invs.size())) {
+          auto& si = facts.slot_invs[static_cast<std::size_t>(ins.slot)];
+          si = ValueSet::join(si, ValueSet::singleton(*inv));
+        }
+        const ValueSet resp =
+            oracle ? oracle(ins.slot, ValueSet::singleton(*inv))
+                   : ValueSet::top();
+        const auto resp_vals = resp.enumerate(limits.max_values);
+        if (!resp_vals) {
+          return unavailable("response set not enumerable at " +
+                             prog.name());
+        }
+        for (const Val r : *resp_vals) {
+          std::vector<Val> out = *regs;
+          if (ins.reg >= 0 && ins.reg < num_regs) {
+            out[static_cast<std::size_t>(ins.reg)] = r;
+          }
+          if (!(ok = link(pc + 1, std::move(out)))) break;
+        }
+        break;
+      }
+      case Op::kJump:
+        ok = link(ins.target, *regs);
+        break;
+      case Op::kBranchIf: {
+        const auto cond = eval(*ins.expr);
+        if (!cond) break;
+        ok = link(*cond != 0 ? ins.target : pc + 1, *regs);
+        break;
+      }
+      case Op::kRet: {
+        const auto v = eval(*ins.expr);
+        if (!v) break;
+        facts.return_values =
+            ValueSet::join(facts.return_values, ValueSet::singleton(*v));
+        for (std::size_t i = 0; i < facts.persistent_out.size(); ++i) {
+          if (i < regs->size()) {
+            facts.persistent_out[i] = ValueSet::join(
+                facts.persistent_out[i], ValueSet::singleton((*regs)[i]));
+          }
+        }
+        break;
+      }
+      case Op::kFail:
+        break;  // aborts the run: no successors
+    }
+    if (!ok || ids.size() > limits.max_states) {
+      return unavailable("state limit exceeded in " + prog.name());
+    }
+  }
+
+  facts.available = true;
+  return facts;
+}
+
+Bound ExactProgramFacts::max_weight(
+    const std::function<Bound(int slot, Val inv)>& weight) const {
+  if (!available) return Bound::inf();
+  return longest_weighted_path(succ, roots, [&](int s) {
+    const int slot = site_slot[static_cast<std::size_t>(s)];
+    if (slot < 0) return Bound::of(0);
+    return weight(slot, site_inv[static_cast<std::size_t>(s)]);
+  });
+}
+
+std::optional<std::vector<int>> ExactProgramFacts::witness(
+    const std::function<bool(int slot, Val inv)>& site,
+    std::size_t want) const {
+  if (!available) return std::nullopt;
+  return weighted_witness(succ, roots, [&](int s) {
+    const int slot = site_slot[static_cast<std::size_t>(s)];
+    return slot >= 0 && site(slot, site_inv[static_cast<std::size_t>(s)]);
+  }, want);
+}
+
+std::string ExactProgramFacts::describe_state(int s) const {
+  const int pc = state_pc[static_cast<std::size_t>(s)];
+  const StaticInstr& ins = code[static_cast<std::size_t>(pc)];
+  std::string out = "pc" + std::to_string(pc) + ": ";
+  using Op = StaticInstr::Op;
+  switch (ins.op) {
+    case Op::kAssign:
+      return out + "assign r" + std::to_string(ins.reg);
+    case Op::kInvoke:
+      return out + "invoke slot " + std::to_string(ins.slot) + " inv " +
+             std::to_string(site_inv[static_cast<std::size_t>(s)]);
+    case Op::kJump:
+      return out + "jump -> pc" + std::to_string(ins.target);
+    case Op::kBranchIf:
+      return out + "branch -> pc" + std::to_string(ins.target);
+    case Op::kRet:
+      return out + "ret";
+    case Op::kFail:
+      return out + "fail";
+  }
+  return out + "?";
+}
+
+}  // namespace wfregs::analysis

@@ -1,0 +1,196 @@
+#include "wfregs/analysis/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace wfregs::analysis {
+
+namespace {
+
+/// Tarjan SCC over the subgraph reachable from `roots`.
+struct SccResult {
+  std::vector<int> comp;     // per node, -1 when unreachable
+  int num_comps = 0;
+  std::vector<bool> cyclic;  // per component: size > 1 or a self loop
+};
+
+SccResult compute_sccs(const std::vector<std::vector<int>>& succ,
+                       const std::vector<int>& roots) {
+  const int n = static_cast<int>(succ.size());
+  SccResult r;
+  r.comp.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  // Iterative Tarjan (an explicit frame stack keeps deep graphs safe).
+  struct Frame {
+    int node;
+    std::size_t child = 0;
+  };
+  for (const int root : roots) {
+    if (root < 0 || root >= n ||
+        index[static_cast<std::size_t>(root)] != -1) {
+      continue;
+    }
+    std::vector<Frame> frames{{root, 0}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto u = static_cast<std::size_t>(f.node);
+      if (f.child == 0) {
+        index[u] = low[u] = next_index++;
+        stack.push_back(f.node);
+        on_stack[u] = true;
+      }
+      if (f.child < succ[u].size()) {
+        const int v = succ[u][f.child++];
+        const auto vu = static_cast<std::size_t>(v);
+        if (index[vu] == -1) {
+          frames.push_back({v, 0});
+        } else if (on_stack[vu]) {
+          low[u] = std::min(low[u], index[vu]);
+        }
+        continue;
+      }
+      if (low[u] == index[u]) {
+        const int c = r.num_comps++;
+        bool self_loop = false;
+        int size = 0;
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          r.comp[static_cast<std::size_t>(w)] = c;
+          ++size;
+          for (const int s : succ[static_cast<std::size_t>(w)]) {
+            if (s == w) self_loop = true;
+          }
+          if (w == f.node) break;
+        }
+        r.cyclic.push_back(size > 1 || self_loop);
+      }
+      const int done = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const auto pu = static_cast<std::size_t>(frames.back().node);
+        low[pu] = std::min(low[pu], low[static_cast<std::size_t>(done)]);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Bound longest_weighted_path(const std::vector<std::vector<int>>& succ,
+                            const std::vector<int>& roots,
+                            const std::function<Bound(int)>& weight) {
+  if (succ.empty() || roots.empty()) return Bound::of(0);
+  const SccResult scc = compute_sccs(succ, roots);
+  if (scc.num_comps == 0) return Bound::of(0);
+
+  // Per-component cost: infinite when a weighted node can repeat.
+  std::vector<Bound> cost(static_cast<std::size_t>(scc.num_comps),
+                          Bound::of(0));
+  for (int u = 0; u < static_cast<int>(succ.size()); ++u) {
+    const int c = scc.comp[static_cast<std::size_t>(u)];
+    if (c < 0) continue;
+    const Bound w = weight(u);
+    if (w.is_zero()) continue;
+    auto& cc = cost[static_cast<std::size_t>(c)];
+    cc = scc.cyclic[static_cast<std::size_t>(c)] ? Bound::inf() : cc + w;
+  }
+  // Tarjan emits components in reverse topological order, so a forward scan
+  // over components sees all successors before their predecessors.
+  std::vector<std::vector<int>> comp_succ(
+      static_cast<std::size_t>(scc.num_comps));
+  for (int u = 0; u < static_cast<int>(succ.size()); ++u) {
+    const int c = scc.comp[static_cast<std::size_t>(u)];
+    if (c < 0) continue;
+    for (const int s : succ[static_cast<std::size_t>(u)]) {
+      const int cs = scc.comp[static_cast<std::size_t>(s)];
+      if (cs >= 0 && cs != c) {
+        comp_succ[static_cast<std::size_t>(c)].push_back(cs);
+      }
+    }
+  }
+  std::vector<Bound> best(static_cast<std::size_t>(scc.num_comps));
+  for (int c = 0; c < scc.num_comps; ++c) {
+    Bound tail = Bound::of(0);
+    for (const int s : comp_succ[static_cast<std::size_t>(c)]) {
+      tail = Bound::max(tail, best[static_cast<std::size_t>(s)]);
+    }
+    best[static_cast<std::size_t>(c)] =
+        cost[static_cast<std::size_t>(c)] + tail;
+  }
+  Bound result = Bound::of(0);
+  for (const int root : roots) {
+    if (root < 0 || root >= static_cast<int>(succ.size())) continue;
+    const int c = scc.comp[static_cast<std::size_t>(root)];
+    if (c >= 0) result = Bound::max(result, best[static_cast<std::size_t>(c)]);
+  }
+  return result;
+}
+
+std::optional<std::vector<int>> weighted_witness(
+    const std::vector<std::vector<int>>& succ, const std::vector<int>& roots,
+    const std::function<bool(int)>& site, std::size_t want) {
+  // Greedy stitching: repeatedly extend the walk to the nearest matching
+  // site via BFS.  When the caller has already certified (via
+  // longest_weighted_path) that `want` sites are attainable, this follows
+  // the DP structure closely enough in practice; on a dead end the partial
+  // walk is returned -- diagnostic quality degrades gracefully, verdicts
+  // never depend on it.
+  std::optional<std::vector<int>> best;
+  std::size_t best_got = 0;
+  for (const int root : roots) {
+    if (root < 0 || root >= static_cast<int>(succ.size())) continue;
+    std::vector<int> path{root};
+    std::size_t got = site(root) ? 1 : 0;
+    int cur = root;
+    while (got < want) {
+      std::map<int, int> parent;
+      std::deque<int> q;
+      for (const int s : succ[static_cast<std::size_t>(cur)]) {
+        if (!parent.count(s)) {
+          parent[s] = cur;
+          q.push_back(s);
+        }
+      }
+      int found = -1;
+      while (!q.empty()) {
+        const int u = q.front();
+        q.pop_front();
+        if (site(u)) {
+          found = u;
+          break;
+        }
+        for (const int s : succ[static_cast<std::size_t>(u)]) {
+          if (!parent.count(s)) {
+            parent[s] = u;
+            q.push_back(s);
+          }
+        }
+      }
+      if (found < 0) break;
+      std::vector<int> seg;
+      for (int u = found; u != cur; u = parent[u]) seg.push_back(u);
+      std::reverse(seg.begin(), seg.end());
+      path.insert(path.end(), seg.begin(), seg.end());
+      cur = found;
+      ++got;
+    }
+    if (got >= want) return path;
+    if (got > best_got) {
+      best_got = got;
+      best = std::move(path);
+    }
+  }
+  if (best_got == 0) return std::nullopt;
+  return best;
+}
+
+}  // namespace wfregs::analysis

@@ -1,0 +1,934 @@
+#include "wfregs/analysis/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "wfregs/analysis/exact_facts.hpp"
+#include "wfregs/analysis/program_facts.hpp"
+#include "wfregs/core/register_elimination.hpp"
+
+namespace wfregs::analysis {
+
+namespace {
+
+using Severity = Diagnostic::Severity;
+using Pass = Diagnostic::Pass;
+
+const char* pass_name(Pass p) {
+  switch (p) {
+    case Pass::kStructure: return "structure";
+    case Pass::kPortDiscipline: return "port-discipline";
+    case Pass::kOneUse: return "one-use";
+    case Pass::kBounds: return "bounds";
+    case Pass::kTypeSpec: return "typespec";
+  }
+  return "?";
+}
+
+std::string join_ports(const std::set<PortId>& ports) {
+  std::string out = "{";
+  bool first = true;
+  for (PortId p : ports) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(p);
+  }
+  return out + "}";
+}
+
+/// Keeps long counterexample paths readable.
+std::vector<std::string> truncate_trace(std::vector<std::string> t) {
+  constexpr std::size_t kMax = 48;
+  if (t.size() <= kMax) return t;
+  std::vector<std::string> out(t.begin(), t.begin() + kMax / 2);
+  out.push_back("... (" + std::to_string(t.size() - kMax) + " steps elided)");
+  out.insert(out.end(), t.end() - static_cast<long>(kMax / 2 - 1), t.end());
+  return out;
+}
+
+/// One program analyzed under one persistent-input environment: the exact
+/// enumeration when it applies, the abstract interpretation otherwise.
+struct ProgAnalysis {
+  ProgramFacts abs;
+  ExactProgramFacts exact;
+
+  bool inspectable() const { return exact.available || abs.inspectable; }
+
+  ValueSet returns() const {
+    return exact.available ? exact.return_values : abs.return_values;
+  }
+
+  const std::vector<ValueSet>& pers_out() const {
+    return exact.available ? exact.persistent_out : abs.persistent_out;
+  }
+
+  /// Every invocation id the program can issue on `slot`.
+  ValueSet slot_invs(int slot) const {
+    if (exact.available) {
+      if (slot < 0 || slot >= static_cast<int>(exact.slot_invs.size())) {
+        return ValueSet::bottom();
+      }
+      return exact.slot_invs[static_cast<std::size_t>(slot)];
+    }
+    ValueSet out = ValueSet::bottom();
+    for (std::size_t pc = 0; pc < abs.code.size(); ++pc) {
+      if (abs.code[pc].op == StaticInstr::Op::kInvoke &&
+          abs.code[pc].slot == slot && abs.reachable[pc]) {
+        out = ValueSet::join(out, abs.invoke_invs[pc]);
+      }
+    }
+    return out;
+  }
+
+  /// Max over executions of the summed weights of visited invoke sites.
+  Bound max_site_weight(
+      const std::function<Bound(int slot, const ValueSet& invs)>& w) const {
+    if (exact.available) {
+      return exact.max_weight([&](int slot, Val inv) {
+        return w(slot, ValueSet::singleton(inv));
+      });
+    }
+    if (abs.inspectable) {
+      return abs.max_weight([&](int pc) {
+        const StaticInstr& ins = abs.code[static_cast<std::size_t>(pc)];
+        return w(ins.slot, abs.invoke_invs[static_cast<std::size_t>(pc)]);
+      });
+    }
+    return Bound::inf();
+  }
+
+  /// A rendered execution visiting matching sites >= `want` times.
+  std::vector<std::string> witness(
+      const std::function<bool(int slot, const ValueSet& invs)>& site,
+      std::size_t want) const {
+    std::vector<std::string> out;
+    if (exact.available) {
+      auto w = exact.witness(
+          [&](int slot, Val inv) {
+            return site(slot, ValueSet::singleton(inv));
+          },
+          want);
+      if (w) {
+        out.reserve(w->size());
+        for (int s : *w) out.push_back(exact.describe_state(s));
+      }
+    } else if (abs.inspectable) {
+      auto w = abs.witness_path(
+          [&](int pc) {
+            const StaticInstr& ins = abs.code[static_cast<std::size_t>(pc)];
+            return ins.op == StaticInstr::Op::kInvoke &&
+                   site(ins.slot, abs.invoke_invs[static_cast<std::size_t>(pc)]);
+          },
+          want);
+      if (w) {
+        out.reserve(w->size());
+        for (int pc : *w) out.push_back(abs.describe_pc(pc));
+      }
+    }
+    return truncate_trace(std::move(out));
+  }
+};
+
+/// All programs of one Implementation node analyzed at the per-port
+/// persistent fixpoint.
+struct NodeSummary {
+  // progs[inv][port]; null when the node has no such program.
+  std::vector<std::vector<std::shared_ptr<ProgAnalysis>>> progs;
+  // Per port: join of the persistent registers over any operation history.
+  std::vector<std::vector<ValueSet>> persist;
+};
+
+enum class AccessKind { kAny, kRead, kWrite };
+
+bool matches_kind(const ValueSet& invs, AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kAny: return !invs.is_bottom();
+    case AccessKind::kRead: return invs.contains(0);
+    case AccessKind::kWrite: return !invs.clamp_ge(1).is_bottom();
+  }
+  return false;
+}
+
+bool at_most_one(Bound b) { return b.finite && b.n <= 1; }
+
+class Linter {
+ public:
+  explicit Linter(const Implementation& root) : root_(root) {}
+
+  LintReport run() {
+    // The assumed usage of the implementation itself: every (invocation,
+    // port) it provides a program for, each "driven" by its own port.
+    UseMap root_usage;
+    for (PortId p = 0; p < root_.iface().ports(); ++p) {
+      std::vector<Val> invs;
+      for (InvId i = 0; i < root_.iface().num_invocations(); ++i) {
+        if (root_.has_program(i, p)) invs.push_back(i);
+      }
+      if (!invs.empty()) root_usage[p][p] = ValueSet::of(std::move(invs));
+    }
+    std::vector<int> path;
+    walk(root_, path, root_usage);
+
+    for (const BaseUse& b : bases_) {
+      check_base_structure(b);
+      check_register_discipline(b);
+      check_one_use(b);
+    }
+    compute_static_bounds();
+
+    LintReport report;
+    report.diagnostics = std::move(diags_);
+    report.bounds = std::move(bounds_);
+    return report;
+  }
+
+ private:
+  // port -> driving outer port -> invocation ids it can issue there.
+  using UseMap = std::map<PortId, std::map<PortId, ValueSet>>;
+
+  struct BaseUse {
+    std::vector<int> path;
+    const ObjectDecl* decl = nullptr;
+    UseMap usage;
+  };
+
+  // ---- diagnostics -------------------------------------------------------
+
+  void emit(Severity sev, Pass pass, std::vector<int> path, std::string msg,
+            std::vector<std::string> trace = {}) {
+    Diagnostic d;
+    d.severity = sev;
+    d.pass = pass;
+    d.object = render_path(path);
+    d.path = std::move(path);
+    d.message = std::move(msg);
+    d.trace = std::move(trace);
+    diags_.push_back(std::move(d));
+  }
+
+  std::string render_path(std::span<const int> path) const {
+    std::string out = root_.name();
+    const Implementation* cur = &root_;
+    for (int idx : path) {
+      const ObjectDecl& d = cur->objects()[static_cast<std::size_t>(idx)];
+      out += " /" + std::to_string(idx) + "(" +
+             (d.is_base() ? d.spec->name() : d.impl->name()) + ")";
+      if (!d.is_base()) cur = d.impl.get();
+    }
+    return out;
+  }
+
+  // ---- node summaries (bottom-up) ----------------------------------------
+
+  const NodeSummary& summary(const Implementation& node) {
+    auto it = summaries_.find(&node);
+    if (it != summaries_.end()) return *it->second;
+    in_progress_.insert(&node);
+
+    auto s = std::make_shared<NodeSummary>();
+    const int nports = node.iface().ports();
+    const int ninvs = node.iface().num_invocations();
+    const int num_slots = static_cast<int>(node.objects().size());
+    s->persist.assign(static_cast<std::size_t>(nports), {});
+    for (auto& regs : s->persist) {
+      for (Val v : node.persistent_initial()) {
+        regs.push_back(ValueSet::singleton(v));
+      }
+    }
+    s->progs.assign(
+        static_cast<std::size_t>(ninvs),
+        std::vector<std::shared_ptr<ProgAnalysis>>(
+            static_cast<std::size_t>(nports)));
+
+    // Per-port persistent fixpoint: operations on a port may run in any
+    // number and order, so iterate join(initial, outputs) to a fixpoint,
+    // widening if it drags on and bailing to top as a backstop.
+    constexpr int kWidenAfter = 16;
+    constexpr int kMaxRounds = 200;
+    bool force_top = false;
+    for (int round = 0;; ++round) {
+      bool changed = false;
+      for (PortId p = 0; p < nports; ++p) {
+        const ResponseOracle oracle = make_oracle(node, p);
+        std::vector<ValueSet> next = s->persist[p];
+        for (InvId i = 0; i < ninvs; ++i) {
+          if (!node.has_program(i, p)) continue;
+          auto a = std::make_shared<ProgAnalysis>();
+          const ProgramCode& prog = *node.program(i, p);
+          a->exact =
+              enumerate_program(prog, s->persist[p], num_slots, oracle, {});
+          a->abs = analyze_program(prog, s->persist[p], oracle);
+          s->progs[static_cast<std::size_t>(i)][static_cast<std::size_t>(p)] =
+              a;
+          if (a->inspectable()) {
+            const auto& out = a->pers_out();
+            for (std::size_t k = 0; k < next.size() && k < out.size(); ++k) {
+              next[k] = ValueSet::join(next[k], out[k]);
+            }
+          } else {
+            // Opaque program: it may store anything back.
+            for (auto& v : next) v = ValueSet::top();
+          }
+        }
+        if (round >= kWidenAfter) {
+          for (std::size_t k = 0; k < next.size(); ++k) {
+            next[k] = ValueSet::widen(s->persist[p][k], next[k]);
+          }
+        }
+        if (force_top) {
+          for (auto& v : next) v = ValueSet::top();
+        }
+        if (next != s->persist[p]) {
+          s->persist[p] = std::move(next);
+          changed = true;
+        }
+      }
+      if (!changed) break;
+      if (round >= kMaxRounds) force_top = true;
+    }
+
+    in_progress_.erase(&node);
+    summaries_[&node] = s;
+    return *s;
+  }
+
+  ResponseOracle make_oracle(const Implementation& node, PortId p) {
+    return [this, &node, p](int slot, const ValueSet& invs) -> ValueSet {
+      if (slot < 0 || slot >= static_cast<int>(node.objects().size())) {
+        return ValueSet::bottom();
+      }
+      const ObjectDecl& d = node.objects()[static_cast<std::size_t>(slot)];
+      if (p < 0 || p >= static_cast<PortId>(d.port_of_outer.size())) {
+        return ValueSet::bottom();
+      }
+      const PortId pp = d.port_of_outer[static_cast<std::size_t>(p)];
+      if (pp == kNoPort) return ValueSet::bottom();
+      if (d.is_base()) return base_responses(d, pp, invs);
+      return nested_responses(*d.impl, pp, invs);
+    };
+  }
+
+  ValueSet base_responses(const ObjectDecl& d, PortId port,
+                          const ValueSet& invs) {
+    const TypeSpec& spec = *d.spec;
+    if (port < 0 || port >= spec.ports()) return ValueSet::bottom();
+    auto& reach = reachable_cache_[{&spec, d.initial}];
+    if (reach.empty()) reach = spec.reachable_from(d.initial);
+    std::vector<Val> resps;
+    for (Val iv : invs.enumerate_within(0, spec.num_invocations() - 1)) {
+      for (StateId q : reach) {
+        for (const Transition& t :
+             spec.delta(q, port, static_cast<InvId>(iv))) {
+          resps.push_back(t.resp);
+        }
+      }
+    }
+    return ValueSet::of(std::move(resps));
+  }
+
+  ValueSet nested_responses(const Implementation& child, PortId port,
+                            const ValueSet& invs) {
+    if (port < 0 || port >= child.iface().ports()) return ValueSet::bottom();
+    if (in_progress_.count(&child)) return ValueSet::top();  // cycle guard
+    const NodeSummary& cs = summary(child);
+    ValueSet out = ValueSet::bottom();
+    const int n = child.iface().num_invocations();
+    for (Val iv : invs.enumerate_within(0, n - 1)) {
+      const InvId i = static_cast<InvId>(iv);
+      if (!child.has_program(i, port)) continue;  // dead access, no response
+      const auto& a = cs.progs[static_cast<std::size_t>(i)]
+                              [static_cast<std::size_t>(port)];
+      if (!a || !a->inspectable()) return ValueSet::top();
+      out = ValueSet::join(out, a->returns());
+    }
+    return out;
+  }
+
+  // ---- top-down usage walk ----------------------------------------------
+
+  void walk(const Implementation& node, std::vector<int>& path,
+            const UseMap& usage) {
+    const NodeSummary& s = summary(node);
+    const int ninvs = node.iface().num_invocations();
+    std::vector<UseMap> child_usage(node.objects().size());
+
+    for (const auto& [p, drivers] : usage) {
+      for (const auto& [driver, invs] : drivers) {
+        for (Val iv : invs.enumerate_within(0, ninvs - 1)) {
+          const InvId i = static_cast<InvId>(iv);
+          if (!node.has_program(i, p)) {
+            if (missing_reported_.insert({&node, i, p}).second) {
+              emit(Severity::kError, Pass::kStructure, path,
+                   "no program for invocation " + std::to_string(i) +
+                       " on port " + std::to_string(p) +
+                       ", but outer port " + std::to_string(driver) +
+                       " can issue it");
+            }
+            continue;
+          }
+          const auto& a = s.progs[static_cast<std::size_t>(i)]
+                                 [static_cast<std::size_t>(p)];
+          if (!a->inspectable()) {
+            if (opaque_reported_.insert({&node, i, p}).second) {
+              emit(Severity::kWarning, Pass::kStructure, path,
+                   "program '" + node.program(i, p)->name() +
+                       "' (invocation " + std::to_string(i) + ", port " +
+                       std::to_string(p) +
+                       ") is not statically inspectable; discipline not "
+                       "checked through it");
+            }
+            continue;
+          }
+          for (std::size_t slot = 0; slot < node.objects().size(); ++slot) {
+            const ValueSet to = a->slot_invs(static_cast<int>(slot));
+            if (to.is_bottom()) continue;
+            const ObjectDecl& d = node.objects()[slot];
+            const PortId pp = d.port_of_outer[static_cast<std::size_t>(p)];
+            std::vector<int> opath = path;
+            opath.push_back(static_cast<int>(slot));
+            if (pp == kNoPort) {
+              emit(Severity::kError, Pass::kStructure, std::move(opath),
+                   "program '" + node.program(i, p)->name() + "' on port " +
+                       std::to_string(p) +
+                       " can invoke this object, but port_of_outer[" +
+                       std::to_string(p) + "] is kNoPort",
+                   a->witness(
+                       [&](int sl, const ValueSet&) {
+                         return sl == static_cast<int>(slot);
+                       },
+                       1));
+              continue;
+            }
+            const int inner_invs =
+                d.is_base() ? d.spec->num_invocations()
+                            : d.impl->iface().num_invocations();
+            if (!to.clamp_le(-1).is_bottom() ||
+                !to.clamp_ge(inner_invs).is_bottom()) {
+              emit(Severity::kError, Pass::kStructure, std::move(opath),
+                   "program '" + node.program(i, p)->name() + "' on port " +
+                       std::to_string(p) + " can issue invocation ids " +
+                       to.to_string() + " outside [0, " +
+                       std::to_string(inner_invs) + ")");
+            }
+            const ValueSet in_range =
+                ValueSet::of(to.enumerate_within(0, inner_invs - 1));
+            if (in_range.is_bottom()) continue;
+            auto& cell = child_usage[slot][pp][driver];
+            cell = ValueSet::join(cell, in_range);
+          }
+        }
+      }
+    }
+
+    for (std::size_t slot = 0; slot < node.objects().size(); ++slot) {
+      const ObjectDecl& d = node.objects()[slot];
+      path.push_back(static_cast<int>(slot));
+      if (d.is_base()) {
+        bases_.push_back(BaseUse{path, &d, std::move(child_usage[slot])});
+      } else {
+        walk(*d.impl, path, child_usage[slot]);
+      }
+      path.pop_back();
+    }
+  }
+
+  // ---- pass 0: base-object structure ------------------------------------
+
+  void check_base_structure(const BaseUse& b) {
+    const TypeSpec& spec = *b.decl->spec;
+    if (!spec.is_total()) {
+      std::string why = "type table is partial";
+      try {
+        spec.validate();
+      } catch (const std::exception& e) {
+        why = e.what();
+      }
+      emit(Severity::kError, Pass::kTypeSpec, b.path, why);
+    }
+    if (b.decl->initial < 0 || b.decl->initial >= spec.num_states()) {
+      emit(Severity::kError, Pass::kStructure, b.path,
+           "initial state " + std::to_string(b.decl->initial) +
+               " outside [0, " + std::to_string(spec.num_states()) + ")");
+    }
+  }
+
+  // ---- pass 1: register port discipline (Section 4.1) --------------------
+
+  void check_register_discipline(const BaseUse& b) {
+    const TypeSpec& spec = *b.decl->spec;
+    const auto shape = core::classify_register(spec);
+    if (!shape) {
+      // Non-register base: port sharing is fine only for oblivious types.
+      if (!spec.is_oblivious()) {
+        for (const auto& [pp, drivers] : b.usage) {
+          if (drivers.size() > 1) {
+            std::set<PortId> ds;
+            for (const auto& [d, _] : drivers) ds.insert(d);
+            emit(Severity::kWarning, Pass::kPortDiscipline, b.path,
+                 "port " + std::to_string(pp) +
+                     " of a non-oblivious type is driven by outer ports " +
+                     join_ports(ds));
+          }
+        }
+      }
+      return;
+    }
+
+    using Kind = core::RegisterShape::Kind;
+    const auto is_reader_port = [&](PortId p) {
+      switch (shape->kind) {
+        case Kind::kSrsw: return p == 0;
+        case Kind::kMrsw: return p < shape->readers;
+        case Kind::kMrmw: return true;
+      }
+      return false;
+    };
+    const auto is_writer_port = [&](PortId p) {
+      switch (shape->kind) {
+        case Kind::kSrsw: return p == 1;
+        case Kind::kMrsw: return p == shape->readers;
+        case Kind::kMrmw: return true;
+      }
+      return false;
+    };
+    const char* kind_name = shape->kind == Kind::kSrsw   ? "SRSW"
+                            : shape->kind == Kind::kMrsw ? "MRSW"
+                                                         : "MRMW";
+
+    std::set<PortId> read_drivers, write_drivers;
+    for (const auto& [pp, drivers] : b.usage) {
+      bool reads = false, writes = false;
+      std::set<PortId> ds;
+      for (const auto& [driver, invs] : drivers) {
+        ds.insert(driver);
+        if (invs.contains(0)) {
+          reads = true;
+          read_drivers.insert(driver);
+        }
+        if (!invs.clamp_ge(1).is_bottom()) {
+          writes = true;
+          write_drivers.insert(driver);
+        }
+      }
+      if (ds.size() > 1) {
+        emit(Severity::kError, Pass::kPortDiscipline, b.path,
+             std::string(kind_name) + " register port " +
+                 std::to_string(pp) + " is driven by outer ports " +
+                 join_ports(ds) + "; a register port belongs to one process");
+      }
+      if (reads && !is_reader_port(pp)) {
+        emit(Severity::kError, Pass::kPortDiscipline, b.path,
+             "read invocation arrives on port " + std::to_string(pp) +
+                 ", which is not a reader port of this " + kind_name +
+                 " register");
+      }
+      if (writes && !is_writer_port(pp)) {
+        emit(Severity::kError, Pass::kPortDiscipline, b.path,
+             "write invocation arrives on port " + std::to_string(pp) +
+                 ", which is not the writer port of this " + kind_name +
+                 " register");
+      }
+    }
+    if (write_drivers.size() > 1) {
+      emit(Severity::kError, Pass::kPortDiscipline, b.path,
+           std::string(kind_name) + " register is written from outer ports " +
+               join_ports(write_drivers) +
+               "; Section 4.1 normal form requires a single writer");
+    }
+    if (shape->kind == Kind::kMrmw && read_drivers.size() > 1) {
+      emit(Severity::kError, Pass::kPortDiscipline, b.path,
+           "MRMW register is read from outer ports " +
+               join_ports(read_drivers) +
+               "; only SRSW/MRSW register bases admit multiple readers "
+               "(Section 4.1)");
+    }
+  }
+
+  // ---- pass 2: one-use discipline (Section 3) ----------------------------
+
+  void check_one_use(const BaseUse& b) {
+    if (!core::is_one_use_bit_spec(*b.decl->spec)) return;
+
+    const auto trace_for = [&](AccessKind kind, std::size_t want)
+        -> std::vector<std::string> {
+      // Render the violation inside the outermost program that exhibits it:
+      // sites are invokes on the first path component (precise about the
+      // invocation kind only when the bit is a direct child).
+      return root_trace(b.path, kind, want);
+    };
+
+    Bound total_reads = Bound::of(0), total_writes = Bound::of(0);
+    std::set<PortId> reading_ports, writing_ports;
+    for (PortId p = 0; p < root_.iface().ports(); ++p) {
+      Bound port_reads = Bound::of(0), port_writes = Bound::of(0);
+      for (InvId i = 0; i < root_.iface().num_invocations(); ++i) {
+        if (!root_.has_program(i, p)) continue;
+        const Bound r = access_bound(root_, i, p, b.path, AccessKind::kRead);
+        const Bound w = access_bound(root_, i, p, b.path, AccessKind::kWrite);
+        if (!at_most_one(r)) {
+          emit(Severity::kError, Pass::kOneUse, b.path,
+               "one operation (invocation " + std::to_string(i) +
+                   " on port " + std::to_string(p) + ") can read this "
+                   "one-use bit " + r.to_string() + " times",
+               trace_for(AccessKind::kRead, 2));
+        }
+        if (!at_most_one(w)) {
+          emit(Severity::kError, Pass::kOneUse, b.path,
+               "one operation (invocation " + std::to_string(i) +
+                   " on port " + std::to_string(p) + ") can write this "
+                   "one-use bit " + w.to_string() + " times",
+               trace_for(AccessKind::kWrite, 2));
+        }
+        port_reads = Bound::max(port_reads, r);
+        port_writes = Bound::max(port_writes, w);
+      }
+      if (!port_reads.is_zero()) reading_ports.insert(p);
+      if (!port_writes.is_zero()) writing_ports.insert(p);
+      total_reads = total_reads + port_reads;
+      total_writes = total_writes + port_writes;
+    }
+    if (!at_most_one(total_reads) && reading_ports.size() > 1) {
+      emit(Severity::kError, Pass::kOneUse, b.path,
+           "one-use bit can be read from outer ports " +
+               join_ports(reading_ports) +
+               " (combined bound " + total_reads.to_string() +
+               "); a one-use bit supports a single read");
+    }
+    if (!at_most_one(total_writes) && writing_ports.size() > 1) {
+      emit(Severity::kError, Pass::kOneUse, b.path,
+           "one-use bit can be written from outer ports " +
+               join_ports(writing_ports) +
+               " (combined bound " + total_writes.to_string() +
+               "); a one-use bit supports a single write");
+    }
+  }
+
+  std::vector<std::string> root_trace(std::span<const int> path,
+                                      AccessKind kind, std::size_t want) {
+    const NodeSummary& s = summary(root_);
+    const int first = path.front();
+    const bool direct = path.size() == 1;
+    for (PortId p = 0; p < root_.iface().ports(); ++p) {
+      for (InvId i = 0; i < root_.iface().num_invocations(); ++i) {
+        if (!root_.has_program(i, p)) continue;
+        const auto& a = s.progs[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(p)];
+        if (!a || !a->inspectable()) continue;
+        auto t = a->witness(
+            [&](int slot, const ValueSet& invs) {
+              if (slot != first) return false;
+              return !direct || matches_kind(invs, kind);
+            },
+            want);
+        if (!t.empty()) return t;
+      }
+    }
+    return {};
+  }
+
+  // ---- pass 3: static access bounds (Section 4.2) ------------------------
+
+  void compute_static_bounds() {
+    for (const BaseUse& b : bases_) {
+      StaticObjectBound sb;
+      sb.path = b.path;
+      sb.type_name = b.decl->spec->name();
+      sb.accesses = Bound::of(0);
+      sb.reads = Bound::of(0);
+      sb.writes = Bound::of(0);
+      // The Section 4.2 scenario: each outer port performs one operation,
+      // so the static bound is the sum over ports of the worst single
+      // operation on that port.
+      for (PortId p = 0; p < root_.iface().ports(); ++p) {
+        Bound any = Bound::of(0), rd = Bound::of(0), wr = Bound::of(0);
+        for (InvId i = 0; i < root_.iface().num_invocations(); ++i) {
+          if (!root_.has_program(i, p)) continue;
+          any = Bound::max(any,
+                           access_bound(root_, i, p, b.path, AccessKind::kAny));
+          rd = Bound::max(rd,
+                          access_bound(root_, i, p, b.path, AccessKind::kRead));
+          wr = Bound::max(
+              wr, access_bound(root_, i, p, b.path, AccessKind::kWrite));
+        }
+        sb.accesses = sb.accesses + any;
+        sb.reads = sb.reads + rd;
+        sb.writes = sb.writes + wr;
+      }
+      bounds_.push_back(std::move(sb));
+    }
+  }
+
+  /// Max accesses (of the given kind) to the base object at `relpath`
+  /// (relative to `node`) during one execution of node's program for
+  /// (inv, port).  Telescopes: the weight of an invoke on a nested object
+  /// is the recursively computed bound of the inner program it triggers.
+  Bound access_bound(const Implementation& node, InvId inv, PortId port,
+                     std::span<const int> relpath, AccessKind kind) {
+    const BoundKey key{&node, inv, port, static_cast<int>(kind),
+                       path_key(relpath)};
+    if (auto it = bound_memo_.find(key); it != bound_memo_.end()) {
+      return it->second;
+    }
+    if (!bound_active_.insert(key).second) return Bound::inf();
+
+    Bound result = Bound::of(0);
+    if (node.has_program(inv, port)) {
+      const NodeSummary& s = summary(node);
+      const auto& a = s.progs[static_cast<std::size_t>(inv)]
+                             [static_cast<std::size_t>(port)];
+      if (!a || !a->inspectable()) {
+        result = Bound::inf();
+      } else {
+        result = a->max_site_weight([&](int slot, const ValueSet& invs) {
+          if (slot != relpath.front() || invs.is_bottom()) return Bound::of(0);
+          const ObjectDecl& d =
+              node.objects()[static_cast<std::size_t>(slot)];
+          if (relpath.size() == 1) {
+            if (!d.is_base()) return Bound::of(0);
+            return matches_kind(invs, kind) ? Bound::of(1) : Bound::of(0);
+          }
+          if (d.is_base()) return Bound::of(0);
+          const PortId pp = d.port_of_outer[static_cast<std::size_t>(port)];
+          if (pp == kNoPort) return Bound::of(0);
+          const int n = d.impl->iface().num_invocations();
+          Bound best = Bound::of(0);
+          for (Val iv : invs.enumerate_within(0, n - 1)) {
+            best = Bound::max(
+                best, access_bound(*d.impl, static_cast<InvId>(iv), pp,
+                                   relpath.subspan(1), kind));
+          }
+          return best;
+        });
+      }
+    }
+
+    bound_active_.erase(key);
+    bound_memo_[key] = result;
+    return result;
+  }
+
+  static std::string path_key(std::span<const int> relpath) {
+    std::string out;
+    for (int x : relpath) {
+      out += std::to_string(x);
+      out += '/';
+    }
+    return out;
+  }
+
+  using BoundKey =
+      std::tuple<const Implementation*, InvId, PortId, int, std::string>;
+
+  const Implementation& root_;
+  std::vector<Diagnostic> diags_;
+  std::vector<StaticObjectBound> bounds_;
+  std::vector<BaseUse> bases_;
+  std::map<const Implementation*, std::shared_ptr<NodeSummary>> summaries_;
+  std::set<const Implementation*> in_progress_;
+  std::map<std::pair<const TypeSpec*, StateId>, std::vector<StateId>>
+      reachable_cache_;
+  std::set<std::tuple<const Implementation*, InvId, PortId>>
+      missing_reported_, opaque_reported_;
+  std::map<BoundKey, Bound> bound_memo_;
+  std::set<BoundKey> bound_active_;
+};
+
+}  // namespace
+
+// ---- public API -----------------------------------------------------------
+
+std::string Diagnostic::to_string() const {
+  std::string out = severity == Severity::kError ? "[error]" : "[warning]";
+  out += " (";
+  out += pass_name(pass);
+  out += ") ";
+  out += object;
+  out += ": ";
+  out += message;
+  for (const std::string& line : trace) {
+    out += "\n      ";
+    out += line;
+  }
+  return out;
+}
+
+std::size_t LintReport::error_count() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t LintReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+std::string LintReport::to_string() const {
+  std::ostringstream os;
+  os << error_count() << " error(s), " << warning_count() << " warning(s)\n";
+  for (const Diagnostic& d : diagnostics) os << d.to_string() << "\n";
+  if (!bounds.empty()) {
+    os << "static access bounds (per base object, one operation per port):\n";
+    for (const StaticObjectBound& b : bounds) {
+      os << "  ";
+      for (std::size_t i = 0; i < b.path.size(); ++i) {
+        os << (i ? "/" : "") << b.path[i];
+      }
+      os << " (" << b.type_name << "): accesses<=" << b.accesses.to_string()
+         << " reads<=" << b.reads.to_string()
+         << " writes<=" << b.writes.to_string() << "\n";
+    }
+  }
+  return os.str();
+}
+
+LintReport lint(const Implementation& impl) { return Linter(impl).run(); }
+
+LintReport lint_type(const TypeSpec& spec, StateId initial) {
+  LintReport report;
+  const auto emit = [&](Severity sev, std::string msg) {
+    Diagnostic d;
+    d.severity = sev;
+    d.pass = Pass::kTypeSpec;
+    d.object = spec.name();
+    d.message = std::move(msg);
+    report.diagnostics.push_back(std::move(d));
+  };
+
+  // Totality: every cell of delta must offer a transition (Section 2.1).
+  int partial_cells = 0;
+  std::string first_partial;
+  for (StateId q = 0; q < spec.num_states(); ++q) {
+    for (PortId p = 0; p < spec.ports(); ++p) {
+      for (InvId i = 0; i < spec.num_invocations(); ++i) {
+        if (spec.delta(q, p, i).empty()) {
+          if (partial_cells == 0) {
+            first_partial = "delta(" + spec.state_name(q) + ", port " +
+                            std::to_string(p) + ", " +
+                            spec.invocation_name(i) + ") is empty";
+          }
+          ++partial_cells;
+        }
+      }
+    }
+  }
+  if (partial_cells > 0) {
+    emit(Severity::kError,
+         "type is partial: " + std::to_string(partial_cells) +
+             " empty delta cell(s); first: " + first_partial);
+  }
+
+  if (!spec.is_deterministic() && partial_cells == 0) {
+    int nondet = 0;
+    for (StateId q = 0; q < spec.num_states(); ++q) {
+      for (PortId p = 0; p < spec.ports(); ++p) {
+        for (InvId i = 0; i < spec.num_invocations(); ++i) {
+          if (spec.delta(q, p, i).size() > 1) ++nondet;
+        }
+      }
+    }
+    emit(Severity::kWarning,
+         "type is nondeterministic (" + std::to_string(nondet) +
+             " cell(s) with multiple transitions); the Section 5 "
+             "single-object deciders require determinism");
+  }
+
+  if (!spec.is_oblivious()) {
+    emit(Severity::kWarning,
+         "type is not oblivious: delta depends on the port (see the "
+         "Section 5.2 general construction)");
+  }
+
+  if (initial >= 0 && initial < spec.num_states()) {
+    const auto reach = spec.reachable_from(initial);
+    std::vector<StateId> unreachable;
+    for (StateId q = 0; q < spec.num_states(); ++q) {
+      if (!std::binary_search(reach.begin(), reach.end(), q)) {
+        unreachable.push_back(q);
+      }
+    }
+    if (!unreachable.empty()) {
+      std::string names;
+      for (std::size_t k = 0; k < unreachable.size() && k < 8; ++k) {
+        if (k) names += ", ";
+        names += spec.state_name(unreachable[k]);
+      }
+      if (unreachable.size() > 8) names += ", ...";
+      emit(Severity::kWarning,
+           std::to_string(unreachable.size()) +
+               " state(s) unreachable from " + spec.state_name(initial) +
+               ": " + names);
+    }
+  } else {
+    emit(Severity::kError, "initial state " + std::to_string(initial) +
+                               " outside [0, " +
+                               std::to_string(spec.num_states()) + ")");
+  }
+  return report;
+}
+
+std::vector<Diagnostic> check_bound_dominance(const LintReport& statics,
+                                              const core::AccessBounds& dyn) {
+  std::vector<Diagnostic> out;
+  const auto emit = [&](std::vector<int> path, std::string msg) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = Pass::kBounds;
+    d.path = path;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      d.object += (i ? "/" : "") + std::to_string(path[i]);
+    }
+    d.message = std::move(msg);
+    out.push_back(std::move(d));
+  };
+
+  std::map<std::vector<int>, const StaticObjectBound*> by_path;
+  for (const StaticObjectBound& sb : statics.bounds) by_path[sb.path] = &sb;
+
+  for (const core::ObjectBound& ob : dyn.per_object) {
+    const auto it = by_path.find(ob.path);
+    if (it == by_path.end()) {
+      emit(ob.path, "dynamic bounds cover a base object (" + ob.type_name +
+                        ") the static analysis did not see");
+      continue;
+    }
+    const StaticObjectBound& sb = *it->second;
+    const auto check = [&](const char* what, Bound stat, std::size_t d) {
+      if (!Bound::dominates(stat, d)) {
+        emit(ob.path, std::string("static ") + what + " bound " +
+                          stat.to_string() + " is below the exact dynamic " +
+                          what + " bound " + std::to_string(d) + " (" +
+                          ob.type_name + "): one of the analyses is unsound");
+      }
+    };
+    check("access", sb.accesses, ob.max_accesses);
+    check("read", sb.reads, ob.read_bound);
+    check("write", sb.writes, ob.write_bound);
+  }
+  return out;
+}
+
+std::function<std::optional<std::string>(const Implementation&)>
+static_precheck() {
+  return [](const Implementation& impl) -> std::optional<std::string> {
+    const LintReport report = lint(impl);
+    if (report.ok()) return std::nullopt;
+    std::string msg = "static precheck: " +
+                      std::to_string(report.error_count()) +
+                      " lint error(s) in '" + impl.name() + "'; first: ";
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.severity == Severity::kError) {
+        msg += d.to_string();
+        break;
+      }
+    }
+    return msg;
+  };
+}
+
+}  // namespace wfregs::analysis

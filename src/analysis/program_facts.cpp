@@ -1,0 +1,365 @@
+#include "wfregs/analysis/program_facts.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "wfregs/analysis/graph.hpp"
+
+namespace wfregs::analysis {
+
+namespace {
+
+/// Abstract register file; bottom is represented by an empty vector.
+using AbsRegs = std::vector<ValueSet>;
+
+ValueSet eval_expr(const Expr& e, const AbsRegs& regs) {
+  using K = Expr::Kind;
+  switch (e.kind()) {
+    case K::kConst:
+      return ValueSet::singleton(e.const_value());
+    case K::kReg: {
+      const int r = e.reg_index();
+      if (r < 0 || r >= static_cast<int>(regs.size())) {
+        return ValueSet::top();
+      }
+      return regs[static_cast<std::size_t>(r)];
+    }
+    default:
+      break;
+  }
+  const auto a = e.child_a();
+  const auto b = e.child_b();
+  const ValueSet va = a ? eval_expr(*a, regs) : ValueSet::bottom();
+  const ValueSet vb = b ? eval_expr(*b, regs) : ValueSet::bottom();
+  switch (e.kind()) {
+    case K::kAdd: return ValueSet::add(va, vb);
+    case K::kSub: return ValueSet::sub(va, vb);
+    case K::kMul: return ValueSet::mul(va, vb);
+    case K::kDiv: return ValueSet::div(va, vb);
+    case K::kMod: return ValueSet::mod(va, vb);
+    case K::kEq: return ValueSet::cmp_eq(va, vb);
+    case K::kNe: return ValueSet::cmp_ne(va, vb);
+    case K::kLt: return ValueSet::cmp_lt(va, vb);
+    case K::kLe: return ValueSet::cmp_le(va, vb);
+    case K::kAnd: return ValueSet::logic_and(va, vb);
+    case K::kOr: return ValueSet::logic_or(va, vb);
+    case K::kNot: return ValueSet::logic_not(va);
+    default: return ValueSet::top();
+  }
+}
+
+/// Narrows `regs` under the assumption that `cond` evaluated to
+/// `taken`.  Only shapes the ProgramBuilder mini-language actually produces
+/// are refined (comparisons of a bare register against a bounded operand,
+/// possibly under kNot / kAnd / kOr); everything else is left untouched,
+/// which is always sound.
+void refine(const Expr& cond, bool taken, AbsRegs& regs) {
+  using K = Expr::Kind;
+  const K k = cond.kind();
+  if (k == K::kNot) {
+    if (const auto a = cond.child_a()) refine(*a, !taken, regs);
+    return;
+  }
+  if ((k == K::kAnd && taken) || (k == K::kOr && !taken)) {
+    // Both conjuncts hold / both disjuncts fail.
+    if (const auto a = cond.child_a()) refine(*a, taken, regs);
+    if (const auto b = cond.child_b()) refine(*b, taken, regs);
+    return;
+  }
+  if (k != K::kEq && k != K::kNe && k != K::kLt && k != K::kLe) return;
+  const auto a = cond.child_a();
+  const auto b = cond.child_b();
+  if (!a || !b) return;
+
+  const auto narrow = [&](const Expr& reg_side, const Expr& other,
+                          bool reg_is_left) {
+    if (reg_side.kind() != K::kReg) return;
+    const int r = reg_side.reg_index();
+    if (r < 0 || r >= static_cast<int>(regs.size())) return;
+    const ValueSet o = eval_expr(other, regs);
+    if (o.is_bottom()) return;
+    ValueSet& cur = regs[static_cast<std::size_t>(r)];
+    const bool single = o.is_precise() && o.values().size() == 1;
+    switch (k) {
+      case K::kEq:
+        if (taken && single) cur = cur.clamp_eq(o.values().front());
+        if (!taken && single) cur = cur.clamp_ne(o.values().front());
+        break;
+      case K::kNe:
+        if (taken && single) cur = cur.clamp_ne(o.values().front());
+        if (!taken && single) cur = cur.clamp_eq(o.values().front());
+        break;
+      case K::kLt:
+        if (reg_is_left) {
+          // reg < o (taken) / reg >= o (fallthrough)
+          if (taken && o.has_upper_bound() &&
+              o.upper_bound() > std::numeric_limits<Val>::min()) {
+            cur = cur.clamp_le(o.upper_bound() - 1);
+          }
+          if (!taken && o.has_lower_bound()) {
+            cur = cur.clamp_ge(o.lower_bound());
+          }
+        } else {
+          // o < reg (taken) / o >= reg (fallthrough)
+          if (taken && o.has_lower_bound() &&
+              o.lower_bound() < std::numeric_limits<Val>::max()) {
+            cur = cur.clamp_ge(o.lower_bound() + 1);
+          }
+          if (!taken && o.has_upper_bound()) {
+            cur = cur.clamp_le(o.upper_bound());
+          }
+        }
+        break;
+      case K::kLe:
+        if (reg_is_left) {
+          if (taken && o.has_upper_bound()) {
+            cur = cur.clamp_le(o.upper_bound());
+          }
+          if (!taken && o.has_lower_bound() &&
+              o.lower_bound() < std::numeric_limits<Val>::max()) {
+            cur = cur.clamp_ge(o.lower_bound() + 1);
+          }
+        } else {
+          if (taken && o.has_lower_bound()) {
+            cur = cur.clamp_ge(o.lower_bound());
+          }
+          if (!taken && o.has_upper_bound() &&
+              o.upper_bound() > std::numeric_limits<Val>::min()) {
+            cur = cur.clamp_le(o.upper_bound() - 1);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  };
+  narrow(*a, *b, true);
+  narrow(*b, *a, false);
+}
+
+AbsRegs join_regs(const AbsRegs& a, const AbsRegs& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  AbsRegs out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = ValueSet::join(a[i], b[i]);
+  }
+  return out;
+}
+
+AbsRegs widen_regs(const AbsRegs& prev, const AbsRegs& next) {
+  if (prev.empty()) return next;
+  AbsRegs out(prev.size());
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    out[i] = ValueSet::widen(prev[i], next[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ProgramFacts analyze_program(const ProgramCode& prog,
+                             const std::vector<ValueSet>& persistent_in,
+                             const ResponseOracle& oracle) {
+  ProgramFacts facts;
+  facts.name = prog.name();
+  auto code = prog.static_code();
+  if (!code) return facts;  // opaque program: inspectable stays false
+  facts.inspectable = true;
+  facts.code = std::move(*code);
+  const int n = static_cast<int>(facts.code.size());
+  const int num_regs = prog.num_regs();
+  facts.reachable.assign(static_cast<std::size_t>(n), false);
+  facts.succ.assign(static_cast<std::size_t>(n), {});
+  facts.invoke_invs.assign(static_cast<std::size_t>(n), ValueSet::bottom());
+  facts.persistent_out.assign(persistent_in.size(), ValueSet::bottom());
+
+  if (n == 0) return facts;
+
+  // Widening kicks in once a pc has been updated this many times; loops in
+  // practice stabilize in a handful of iterations, so this only guards
+  // against genuinely growing counters (e.g. unbounded retry loops).
+  constexpr int kWidenAfter = 24;
+
+  std::vector<AbsRegs> state(static_cast<std::size_t>(n));
+  std::vector<int> updates(static_cast<std::size_t>(n), 0);
+  AbsRegs entry(static_cast<std::size_t>(num_regs), ValueSet::singleton(0));
+  for (std::size_t i = 0;
+       i < persistent_in.size() && i < entry.size(); ++i) {
+    entry[i] = persistent_in[i];
+  }
+
+  std::deque<int> worklist;
+  const auto propagate = [&](int pc, const AbsRegs& regs) {
+    if (pc < 0 || pc >= n) return;  // corrupt target: ignore statically
+    auto& cur = state[static_cast<std::size_t>(pc)];
+    AbsRegs merged = join_regs(cur, regs);
+    if (updates[static_cast<std::size_t>(pc)] > kWidenAfter) {
+      merged = widen_regs(cur, merged);
+    }
+    if (merged == cur && facts.reachable[static_cast<std::size_t>(pc)]) {
+      return;
+    }
+    cur = std::move(merged);
+    facts.reachable[static_cast<std::size_t>(pc)] = true;
+    ++updates[static_cast<std::size_t>(pc)];
+    worklist.push_back(pc);
+  };
+  propagate(0, entry);
+
+  // One transfer step from pc; `record` switches between fixpoint mode and
+  // the final fact-collection pass.
+  const auto step = [&](int pc, bool record) {
+    const StaticInstr& ins = facts.code[static_cast<std::size_t>(pc)];
+    const AbsRegs& in = state[static_cast<std::size_t>(pc)];
+    auto& succ = facts.succ[static_cast<std::size_t>(pc)];
+    using Op = StaticInstr::Op;
+    switch (ins.op) {
+      case Op::kAssign: {
+        AbsRegs out = in;
+        if (ins.reg >= 0 && ins.reg < num_regs) {
+          out[static_cast<std::size_t>(ins.reg)] = eval_expr(*ins.expr, in);
+        }
+        if (record) succ.push_back(pc + 1);
+        else propagate(pc + 1, out);
+        break;
+      }
+      case Op::kInvoke: {
+        const ValueSet invs = eval_expr(*ins.expr, in);
+        if (record) {
+          facts.invoke_invs[static_cast<std::size_t>(pc)] = invs;
+          succ.push_back(pc + 1);
+          break;
+        }
+        const ValueSet resp =
+            oracle ? oracle(ins.slot, invs) : ValueSet::top();
+        if (resp.is_bottom()) break;  // access cannot produce a response
+        AbsRegs out = in;
+        if (ins.reg >= 0 && ins.reg < num_regs) {
+          out[static_cast<std::size_t>(ins.reg)] = resp;
+        }
+        propagate(pc + 1, out);
+        break;
+      }
+      case Op::kJump:
+        if (record) succ.push_back(ins.target);
+        else propagate(ins.target, in);
+        break;
+      case Op::kBranchIf: {
+        const ValueSet c = eval_expr(*ins.expr, in);
+        if (c.is_bottom()) break;
+        const bool can_true =
+            !(c.is_precise() && c.values() == std::vector<Val>{0});
+        const bool can_false = c.contains(0);
+        if (can_true) {
+          if (record) {
+            succ.push_back(ins.target);
+          } else {
+            AbsRegs out = in;
+            refine(*ins.expr, true, out);
+            propagate(ins.target, out);
+          }
+        }
+        if (can_false) {
+          if (record) {
+            succ.push_back(pc + 1);
+          } else {
+            AbsRegs out = in;
+            refine(*ins.expr, false, out);
+            propagate(pc + 1, out);
+          }
+        }
+        break;
+      }
+      case Op::kRet:
+        if (record) {
+          facts.return_values = ValueSet::join(
+              facts.return_values, eval_expr(*ins.expr, in));
+          for (std::size_t i = 0; i < facts.persistent_out.size(); ++i) {
+            if (i < in.size()) {
+              facts.persistent_out[i] =
+                  ValueSet::join(facts.persistent_out[i], in[i]);
+            }
+          }
+        }
+        break;
+      case Op::kFail:
+        break;  // aborts the run: no dataflow out
+    }
+  };
+
+  while (!worklist.empty()) {
+    const int pc = worklist.front();
+    worklist.pop_front();
+    step(pc, /*record=*/false);
+  }
+  // Final pass over the fixpoint: collect pruned edges, invocation sets,
+  // return and persistent-out values.
+  for (int pc = 0; pc < n; ++pc) {
+    if (facts.reachable[static_cast<std::size_t>(pc)]) {
+      step(pc, /*record=*/true);
+    }
+  }
+  return facts;
+}
+
+// ---- path counting ----------------------------------------------------------
+
+Bound ProgramFacts::max_weight(
+    const std::function<Bound(int pc)>& weight) const {
+  if (!inspectable || code.empty()) return Bound::of(0);
+  return longest_weighted_path(succ, {0}, [&](int pc) {
+    if (code[static_cast<std::size_t>(pc)].op != StaticInstr::Op::kInvoke) {
+      return Bound::of(0);
+    }
+    return weight(pc);
+  });
+}
+
+Bound ProgramFacts::max_count(
+    const std::function<bool(int pc)>& counted) const {
+  return max_weight([&](int pc) {
+    return counted(pc) ? Bound::of(1) : Bound::of(0);
+  });
+}
+
+Bound ProgramFacts::slot_count(int slot) const {
+  return max_count([&](int pc) {
+    return code[static_cast<std::size_t>(pc)].slot == slot;
+  });
+}
+
+std::optional<std::vector<int>> ProgramFacts::witness_path(
+    const std::function<bool(int pc)>& counted, std::size_t want) const {
+  if (!inspectable || code.empty()) return std::nullopt;
+  return weighted_witness(succ, {0}, [&](int pc) {
+    return code[static_cast<std::size_t>(pc)].op ==
+               StaticInstr::Op::kInvoke &&
+           counted(pc);
+  }, want);
+}
+
+std::string ProgramFacts::describe_pc(int pc) const {
+  const StaticInstr& ins = code[static_cast<std::size_t>(pc)];
+  std::string s = "pc" + std::to_string(pc) + ": ";
+  using Op = StaticInstr::Op;
+  switch (ins.op) {
+    case Op::kAssign:
+      return s + "assign r" + std::to_string(ins.reg);
+    case Op::kInvoke:
+      return s + "invoke slot " + std::to_string(ins.slot) + " inv " +
+             invoke_invs[static_cast<std::size_t>(pc)].to_string();
+    case Op::kJump:
+      return s + "jump -> pc" + std::to_string(ins.target);
+    case Op::kBranchIf:
+      return s + "branch -> pc" + std::to_string(ins.target);
+    case Op::kRet:
+      return s + "ret";
+    case Op::kFail:
+      return s + "fail";
+  }
+  return s + "?";
+}
+
+}  // namespace wfregs::analysis

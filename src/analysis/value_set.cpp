@@ -1,0 +1,473 @@
+#include "wfregs/analysis/value_set.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace wfregs::analysis {
+
+namespace {
+
+__extension__ typedef __int128 Wide;  // saturating arithmetic headroom
+
+constexpr Val kValMin = std::numeric_limits<Val>::min();
+constexpr Val kValMax = std::numeric_limits<Val>::max();
+
+bool fits(Wide w) { return w >= Wide(kValMin) && w <= Wide(kValMax); }
+
+}  // namespace
+
+ValueSet ValueSet::singleton(Val v) { return of({v}); }
+
+ValueSet ValueSet::range(Val lo, Val hi) {
+  if (lo > hi) return bottom();
+  return make_range(true, lo, true, hi);
+}
+
+ValueSet ValueSet::top() { return make_range(false, 0, false, 0); }
+
+ValueSet ValueSet::of(std::vector<Val> vals) {
+  if (vals.empty()) return bottom();
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  if (vals.size() > kMaxPrecise) {
+    return range(vals.front(), vals.back());
+  }
+  ValueSet s;
+  s.rep_ = Rep::kSet;
+  s.vals_ = std::move(vals);
+  return s;
+}
+
+ValueSet ValueSet::make_range(bool has_lo, Val lo, bool has_hi, Val hi) {
+  // A fully bounded, small range is kept as an explicit set so equality
+  // branches can still prune it.
+  if (has_lo && has_hi && hi >= lo &&
+      Wide(hi) - Wide(lo) < Wide(kMaxPrecise)) {
+    std::vector<Val> vals;
+    for (Val v = lo; v <= hi; ++v) vals.push_back(v);
+    return of(std::move(vals));
+  }
+  ValueSet s;
+  s.rep_ = Rep::kRange;
+  s.has_lo_ = has_lo;
+  s.lo_ = has_lo ? lo : 0;
+  s.has_hi_ = has_hi;
+  s.hi_ = has_hi ? hi : 0;
+  return s;
+}
+
+const std::vector<Val>& ValueSet::values() const {
+  if (rep_ != Rep::kSet) {
+    throw std::logic_error("ValueSet::values: not a precise set");
+  }
+  return vals_;
+}
+
+bool ValueSet::contains(Val v) const {
+  switch (rep_) {
+    case Rep::kBottom:
+      return false;
+    case Rep::kSet:
+      return std::binary_search(vals_.begin(), vals_.end(), v);
+    case Rep::kRange:
+      return (!has_lo_ || v >= lo_) && (!has_hi_ || v <= hi_);
+  }
+  return false;
+}
+
+Val ValueSet::lower_bound() const {
+  if (rep_ == Rep::kSet) return vals_.front();
+  if (rep_ == Rep::kRange && has_lo_) return lo_;
+  throw std::logic_error("ValueSet::lower_bound: unbounded or bottom");
+}
+
+Val ValueSet::upper_bound() const {
+  if (rep_ == Rep::kSet) return vals_.back();
+  if (rep_ == Rep::kRange && has_hi_) return hi_;
+  throw std::logic_error("ValueSet::upper_bound: unbounded or bottom");
+}
+
+std::vector<Val> ValueSet::enumerate_within(Val lo, Val hi) const {
+  std::vector<Val> out;
+  if (rep_ == Rep::kSet) {
+    for (const Val v : vals_) {
+      if (v >= lo && v <= hi) out.push_back(v);
+    }
+    return out;
+  }
+  for (Val v = lo; v <= hi; ++v) {
+    if (contains(v)) out.push_back(v);
+    if (v == hi) break;  // guard against hi == kValMax overflow
+  }
+  return out;
+}
+
+std::optional<std::vector<Val>> ValueSet::enumerate(std::size_t cap) const {
+  switch (rep_) {
+    case Rep::kBottom:
+      return std::vector<Val>{};
+    case Rep::kSet:
+      if (vals_.size() > cap) return std::nullopt;
+      return vals_;
+    case Rep::kRange: {
+      if (!has_lo_ || !has_hi_) return std::nullopt;
+      if (Wide(hi_) - Wide(lo_) + 1 > Wide(cap)) return std::nullopt;
+      std::vector<Val> out;
+      for (Val v = lo_; v <= hi_; ++v) {
+        out.push_back(v);
+        if (v == hi_) break;  // guard against hi_ == kValMax overflow
+      }
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+void ValueSet::bounds(bool& has_lo, Val& lo, bool& has_hi, Val& hi) const {
+  if (rep_ == Rep::kSet) {
+    has_lo = has_hi = true;
+    lo = vals_.front();
+    hi = vals_.back();
+  } else {
+    has_lo = has_lo_;
+    lo = lo_;
+    has_hi = has_hi_;
+    hi = hi_;
+  }
+}
+
+ValueSet ValueSet::join(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  if (a.rep_ == Rep::kSet && b.rep_ == Rep::kSet) {
+    std::vector<Val> merged;
+    merged.reserve(a.vals_.size() + b.vals_.size());
+    std::merge(a.vals_.begin(), a.vals_.end(), b.vals_.begin(),
+               b.vals_.end(), std::back_inserter(merged));
+    return of(std::move(merged));
+  }
+  bool alo, ahi, blo, bhi;
+  Val alov, ahiv, blov, bhiv;
+  a.bounds(alo, alov, ahi, ahiv);
+  b.bounds(blo, blov, bhi, bhiv);
+  const bool has_lo = alo && blo;
+  const bool has_hi = ahi && bhi;
+  return make_range(has_lo, has_lo ? std::min(alov, blov) : 0, has_hi,
+                    has_hi ? std::max(ahiv, bhiv) : 0);
+}
+
+ValueSet ValueSet::widen(const ValueSet& prev, const ValueSet& next) {
+  const ValueSet joined = join(prev, next);
+  if (prev.is_bottom() || joined == prev) return joined;
+  bool plo, phi, jlo, jhi;
+  Val plov, phiv, jlov, jhiv;
+  prev.bounds(plo, plov, phi, phiv);
+  joined.bounds(jlo, jlov, jhi, jhiv);
+  const bool keep_lo = jlo && plo && jlov >= plov;
+  const bool keep_hi = jhi && phi && jhiv <= phiv;
+  return make_range(keep_lo, keep_lo ? jlov : 0, keep_hi,
+                    keep_hi ? jhiv : 0);
+}
+
+namespace {
+
+/// Pointwise op over two precise sets, degrading when the product blows up.
+template <typename Fn>
+std::optional<ValueSet> precise_binary(const ValueSet& a, const ValueSet& b,
+                                       const Fn& fn) {
+  if (!a.is_precise() || !b.is_precise()) return std::nullopt;
+  const auto& av = a.values();
+  const auto& bv = b.values();
+  if (av.size() * bv.size() > 4 * ValueSet::kMaxPrecise) return std::nullopt;
+  std::vector<Val> out;
+  out.reserve(av.size() * bv.size());
+  for (const Val x : av) {
+    for (const Val y : bv) {
+      Wide w;
+      if (!fn(x, y, w)) continue;  // undefined pair (e.g. division by 0)
+      if (!fits(w)) return std::nullopt;
+      out.push_back(static_cast<Val>(w));
+    }
+  }
+  return ValueSet::of(std::move(out));
+}
+
+}  // namespace
+
+ValueSet ValueSet::add(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  if (auto p = precise_binary(a, b, [](Val x, Val y, Wide& w) {
+        w = Wide(x) + Wide(y);
+        return true;
+      })) {
+    return *p;
+  }
+  bool alo, ahi, blo, bhi;
+  Val alov, ahiv, blov, bhiv;
+  a.bounds(alo, alov, ahi, ahiv);
+  b.bounds(blo, blov, bhi, bhiv);
+  const Wide lo = Wide(alov) + Wide(blov);
+  const Wide hi = Wide(ahiv) + Wide(bhiv);
+  const bool has_lo = alo && blo && fits(lo);
+  const bool has_hi = ahi && bhi && fits(hi);
+  return make_range(has_lo, has_lo ? static_cast<Val>(lo) : 0, has_hi,
+                    has_hi ? static_cast<Val>(hi) : 0);
+}
+
+ValueSet ValueSet::sub(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  if (auto p = precise_binary(a, b, [](Val x, Val y, Wide& w) {
+        w = Wide(x) - Wide(y);
+        return true;
+      })) {
+    return *p;
+  }
+  bool alo, ahi, blo, bhi;
+  Val alov, ahiv, blov, bhiv;
+  a.bounds(alo, alov, ahi, ahiv);
+  b.bounds(blo, blov, bhi, bhiv);
+  const Wide lo = Wide(alov) - Wide(bhiv);
+  const Wide hi = Wide(ahiv) - Wide(blov);
+  const bool has_lo = alo && bhi && fits(lo);
+  const bool has_hi = ahi && blo && fits(hi);
+  return make_range(has_lo, has_lo ? static_cast<Val>(lo) : 0, has_hi,
+                    has_hi ? static_cast<Val>(hi) : 0);
+}
+
+ValueSet ValueSet::mul(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  if (auto p = precise_binary(a, b, [](Val x, Val y, Wide& w) {
+        w = Wide(x) * Wide(y);
+        return true;
+      })) {
+    return *p;
+  }
+  bool alo, ahi, blo, bhi;
+  Val alov, ahiv, blov, bhiv;
+  a.bounds(alo, alov, ahi, ahiv);
+  b.bounds(blo, blov, bhi, bhiv);
+  // Interval multiplication is only straightforward when both intervals are
+  // fully bounded; otherwise give up (top).
+  if (!(alo && ahi && blo && bhi)) return top();
+  const Wide c[4] = {Wide(alov) * Wide(blov), Wide(alov) * Wide(bhiv),
+                     Wide(ahiv) * Wide(blov), Wide(ahiv) * Wide(bhiv)};
+  Wide lo = c[0], hi = c[0];
+  for (const Wide w : c) {
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  if (!fits(lo) || !fits(hi)) return top();
+  return make_range(true, static_cast<Val>(lo), true, static_cast<Val>(hi));
+}
+
+ValueSet ValueSet::div(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  if (auto p = precise_binary(a, b, [](Val x, Val y, Wide& w) {
+        if (y == 0) return false;
+        if (x == kValMin && y == -1) return false;  // would overflow
+        w = Wide(x) / Wide(y);
+        return true;
+      })) {
+    return *p;
+  }
+  // Constant positive divisor: truncated division is monotone, so bounds map
+  // to bounds.  Anything fancier is not needed by the constructions.
+  bool blo, bhi;
+  Val blov, bhiv;
+  b.bounds(blo, blov, bhi, bhiv);
+  if (blo && bhi && blov == bhiv && blov > 0) {
+    bool alo, ahi;
+    Val alov, ahiv;
+    a.bounds(alo, alov, ahi, ahiv);
+    return make_range(alo, alo ? alov / blov : 0, ahi, ahi ? ahiv / blov : 0);
+  }
+  return top();
+}
+
+ValueSet ValueSet::mod(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  if (auto p = precise_binary(a, b, [](Val x, Val y, Wide& w) {
+        if (y == 0) return false;
+        if (x == kValMin && y == -1) return false;
+        w = Wide(x) % Wide(y);
+        return true;
+      })) {
+    return *p;
+  }
+  bool blo, bhi;
+  Val blov, bhiv;
+  b.bounds(blo, blov, bhi, bhiv);
+  if (blo && bhi && blov == bhiv && blov != 0 && blov != kValMin) {
+    const Val m = blov < 0 ? -blov : blov;
+    bool alo, ahi;
+    Val alov, ahiv;
+    a.bounds(alo, alov, ahi, ahiv);
+    const bool nonneg = alo && alov >= 0;
+    const bool nonpos = ahi && ahiv <= 0;
+    ValueSet r = range(nonneg ? 0 : -(m - 1), nonpos ? 0 : m - 1);
+    // The result magnitude also never exceeds |a|.
+    if (alo && ahi) {
+      const Val abs_max = std::max(ahiv < 0 ? -ahiv : ahiv,
+                                   alov < 0 ? -alov : alov);
+      if (abs_max < m) {
+        r = range(std::max(r.lower_bound(), nonneg ? Val{0} : -abs_max),
+                  std::min(r.upper_bound(), nonpos ? Val{0} : abs_max));
+      }
+    }
+    return r;
+  }
+  return top();
+}
+
+ValueSet ValueSet::bools(bool can_false, bool can_true) {
+  std::vector<Val> v;
+  if (can_false) v.push_back(0);
+  if (can_true) v.push_back(1);
+  return of(std::move(v));
+}
+
+ValueSet ValueSet::cmp_eq(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  // Equality can hold iff the sets intersect; it can fail iff either side
+  // has two candidates or the sets differ.
+  bool can_true;
+  if (a.is_precise() && b.is_precise()) {
+    can_true = false;
+    for (const Val v : a.values()) {
+      if (b.contains(v)) {
+        can_true = true;
+        break;
+      }
+    }
+  } else {
+    bool alo, ahi, blo, bhi;
+    Val alov, ahiv, blov, bhiv;
+    a.bounds(alo, alov, ahi, ahiv);
+    b.bounds(blo, blov, bhi, bhiv);
+    const bool disjoint =
+        (ahi && blo && ahiv < blov) || (bhi && alo && bhiv < alov);
+    can_true = !disjoint;
+  }
+  const bool a_single = a.is_precise() && a.values().size() == 1;
+  const bool b_single = b.is_precise() && b.values().size() == 1;
+  const bool can_false = !(a_single && b_single && a == b);
+  return bools(can_false, can_true);
+}
+
+ValueSet ValueSet::cmp_ne(const ValueSet& a, const ValueSet& b) {
+  return logic_not(cmp_eq(a, b));
+}
+
+ValueSet ValueSet::cmp_lt(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  bool alo, ahi, blo, bhi;
+  Val alov, ahiv, blov, bhiv;
+  a.bounds(alo, alov, ahi, ahiv);
+  b.bounds(blo, blov, bhi, bhiv);
+  const bool always = ahi && blo && ahiv < blov;
+  const bool never = alo && bhi && alov >= bhiv;
+  return bools(!always, !never);
+}
+
+ValueSet ValueSet::cmp_le(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  bool alo, ahi, blo, bhi;
+  Val alov, ahiv, blov, bhiv;
+  a.bounds(alo, alov, ahi, ahiv);
+  b.bounds(blo, blov, bhi, bhiv);
+  const bool always = ahi && blo && ahiv <= blov;
+  const bool never = alo && bhi && alov > bhiv;
+  return bools(!always, !never);
+}
+
+ValueSet ValueSet::logic_and(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  const bool a_true = !(a.is_precise() && a.values() == std::vector<Val>{0});
+  const bool b_true = !(b.is_precise() && b.values() == std::vector<Val>{0});
+  const bool a_false = a.contains(0);
+  const bool b_false = b.contains(0);
+  return bools(a_false || b_false, a_true && b_true);
+}
+
+ValueSet ValueSet::logic_or(const ValueSet& a, const ValueSet& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  const bool a_true = !(a.is_precise() && a.values() == std::vector<Val>{0});
+  const bool b_true = !(b.is_precise() && b.values() == std::vector<Val>{0});
+  const bool a_false = a.contains(0);
+  const bool b_false = b.contains(0);
+  return bools(a_false && b_false, a_true || b_true);
+}
+
+ValueSet ValueSet::logic_not(const ValueSet& a) {
+  if (a.is_bottom()) return bottom();
+  const bool a_true = !(a.is_precise() && a.values() == std::vector<Val>{0});
+  const bool a_false = a.contains(0);
+  return bools(a_true, a_false);
+}
+
+ValueSet ValueSet::clamp_le(Val k) const {
+  if (is_bottom()) return bottom();
+  if (rep_ == Rep::kSet) {
+    std::vector<Val> out;
+    for (const Val v : vals_) {
+      if (v <= k) out.push_back(v);
+    }
+    return of(std::move(out));
+  }
+  if (has_lo_ && lo_ > k) return bottom();
+  return make_range(has_lo_, lo_, true, has_hi_ ? std::min(hi_, k) : k);
+}
+
+ValueSet ValueSet::clamp_ge(Val k) const {
+  if (is_bottom()) return bottom();
+  if (rep_ == Rep::kSet) {
+    std::vector<Val> out;
+    for (const Val v : vals_) {
+      if (v >= k) out.push_back(v);
+    }
+    return of(std::move(out));
+  }
+  if (has_hi_ && hi_ < k) return bottom();
+  return make_range(true, has_lo_ ? std::max(lo_, k) : k, has_hi_, hi_);
+}
+
+ValueSet ValueSet::clamp_eq(Val k) const {
+  return contains(k) ? singleton(k) : bottom();
+}
+
+ValueSet ValueSet::clamp_ne(Val k) const {
+  if (rep_ == Rep::kSet) {
+    std::vector<Val> out;
+    for (const Val v : vals_) {
+      if (v != k) out.push_back(v);
+    }
+    return of(std::move(out));
+  }
+  return *this;  // ranges cannot exclude an interior point
+}
+
+std::string ValueSet::to_string() const {
+  switch (rep_) {
+    case Rep::kBottom:
+      return "{}";
+    case Rep::kSet: {
+      std::string s = "{";
+      for (std::size_t i = 0; i < vals_.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(vals_[i]);
+      }
+      return s + "}";
+    }
+    case Rep::kRange: {
+      std::string s = "[";
+      s += has_lo_ ? std::to_string(lo_) : "-inf";
+      s += ", ";
+      s += has_hi_ ? std::to_string(hi_) : "+inf";
+      return s + "]";
+    }
+  }
+  return "?";
+}
+
+}  // namespace wfregs::analysis

@@ -36,7 +36,7 @@ std::shared_ptr<System> consensus_scenario(
 
 ConsensusCheckResult check_consensus(
     std::shared_ptr<const Implementation> impl, const ExploreLimits& limits) {
-  return check_consensus(std::move(impl), VerifyOptions{limits, 0});
+  return check_consensus(std::move(impl), VerifyOptions{limits, 0, {}});
 }
 
 ConsensusCheckResult check_consensus(
@@ -49,6 +49,14 @@ ConsensusCheckResult check_consensus(
   const int n = impl->iface().ports();
   if (n > 20) {
     throw std::invalid_argument("check_consensus: too many ports");
+  }
+  if (options.static_precheck) {
+    if (auto err = options.static_precheck(*impl)) {
+      ConsensusCheckResult failed;
+      failed.solves = false;
+      failed.detail = std::move(*err);
+      return failed;
+    }
   }
   ConsensusCheckResult result;
   result.solves = true;

@@ -24,17 +24,24 @@ Implementation::Implementation(std::string name,
 
 void Implementation::check_port_map(const std::vector<PortId>& map,
                                     int inner_ports) const {
+  // Declaration-time validation: a bad port map would otherwise only
+  // surface as an engine fault deep inside some schedule, so reject it
+  // here with enough context to find the declaration.
+  const std::string where = "Implementation(" + name_ + "), inner object #" +
+                            std::to_string(objects_.size());
   if (static_cast<int>(map.size()) != iface_->ports()) {
     throw std::invalid_argument(
-        "Implementation(" + name_ + "): port_of_outer must have " +
-        std::to_string(iface_->ports()) + " entries, got " +
+        where + ": port_of_outer must have one entry per interface port (" +
+        std::to_string(iface_->ports()) + "), got " +
         std::to_string(map.size()));
   }
-  for (const PortId p : map) {
+  for (std::size_t j = 0; j < map.size(); ++j) {
+    const PortId p = map[j];
     if (p != kNoPort && (p < 0 || p >= inner_ports)) {
-      throw std::out_of_range("Implementation(" + name_ +
-                              "): inner port " + std::to_string(p) +
-                              " out of range");
+      throw std::out_of_range(
+          where + ": port_of_outer[" + std::to_string(j) + "] = " +
+          std::to_string(p) + " is not an inner port in [0, " +
+          std::to_string(inner_ports) + ") and not kNoPort");
     }
   }
 }
@@ -47,8 +54,11 @@ int Implementation::add_base(std::shared_ptr<const TypeSpec> spec,
                                 "): null inner spec");
   }
   if (initial < 0 || initial >= spec->num_states()) {
-    throw std::out_of_range("Implementation(" + name_ +
-                            "): inner initial state out of range");
+    throw std::out_of_range(
+        "Implementation(" + name_ + "), inner object #" +
+        std::to_string(objects_.size()) + " (" + spec->name() +
+        "): initial state " + std::to_string(initial) + " outside [0, " +
+        std::to_string(spec->num_states()) + ")");
   }
   check_port_map(port_of_outer, spec->ports());
   ObjectDecl decl;
@@ -75,12 +85,14 @@ int Implementation::add_nested(std::shared_ptr<const Implementation> impl,
 
 std::size_t Implementation::prog_index(InvId inv, PortId port) const {
   if (inv < 0 || inv >= iface_->num_invocations()) {
-    throw std::out_of_range("Implementation(" + name_ +
-                            "): invocation out of range");
+    throw std::out_of_range(
+        "Implementation(" + name_ + "): invocation " + std::to_string(inv) +
+        " outside [0, " + std::to_string(iface_->num_invocations()) + ")");
   }
   if (port < 0 || port >= iface_->ports()) {
-    throw std::out_of_range("Implementation(" + name_ +
-                            "): port out of range");
+    throw std::out_of_range(
+        "Implementation(" + name_ + "): port " + std::to_string(port) +
+        " outside [0, " + std::to_string(iface_->ports()) + ")");
   }
   return static_cast<std::size_t>(inv) * iface_->ports() +
          static_cast<std::size_t>(port);

@@ -158,6 +158,36 @@ Val Expr::eval(const std::vector<Val>& regs) const {
 
 int Expr::max_reg() const { return max_reg_node(*node_); }
 
+Expr::Kind Expr::kind() const { return node_->kind; }
+
+Val Expr::const_value() const {
+  if (node_->kind != Kind::kConst) {
+    throw std::logic_error("Expr::const_value: not a kConst node");
+  }
+  return node_->k;
+}
+
+int Expr::reg_index() const {
+  if (node_->kind != Kind::kReg) {
+    throw std::logic_error("Expr::reg_index: not a kReg node");
+  }
+  return node_->reg;
+}
+
+std::optional<Expr> Expr::child_a() const {
+  if (!node_->a) return std::nullopt;
+  return Expr(node_->a);
+}
+
+std::optional<Expr> Expr::child_b() const {
+  if (!node_->b) return std::nullopt;
+  return Expr(node_->b);
+}
+
+std::optional<std::vector<StaticInstr>> ProgramCode::static_code() const {
+  return std::nullopt;
+}
+
 // ---- bytecode program -----------------------------------------------------------
 
 /// Interprets the instruction list produced by ProgramBuilder.
@@ -214,6 +244,31 @@ class BytecodeProgram final : public ProgramCode {
 
   const std::string& name() const override { return name_; }
   int num_regs() const override { return num_regs_; }
+
+  std::optional<std::vector<StaticInstr>> static_code() const override {
+    std::vector<StaticInstr> out;
+    out.reserve(code_.size());
+    for (const auto& ins : code_) {
+      using Op = ProgramBuilder::Instr::Op;
+      StaticInstr s;
+      switch (ins.op) {
+        case Op::kAssign: s.op = StaticInstr::Op::kAssign; break;
+        case Op::kInvoke: s.op = StaticInstr::Op::kInvoke; break;
+        case Op::kJump: s.op = StaticInstr::Op::kJump; break;
+        case Op::kBranchIf: s.op = StaticInstr::Op::kBranchIf; break;
+        case Op::kRet: s.op = StaticInstr::Op::kRet; break;
+        case Op::kFail: s.op = StaticInstr::Op::kFail; break;
+      }
+      s.reg = ins.reg;
+      s.slot = ins.slot;
+      if (ins.label >= 0) {
+        s.target = label_targets_[static_cast<std::size_t>(ins.label)];
+      }
+      s.expr = ins.expr;
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
 
  private:
   std::string name_;

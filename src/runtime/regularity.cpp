@@ -79,7 +79,7 @@ RegularVerifyResult verify_regular(
     std::vector<std::vector<InvId>> scripts, int values,
     const ExploreLimits& limits) {
   return verify_regular(std::move(impl), std::move(scripts), values,
-                        VerifyOptions{limits, 0});
+                        VerifyOptions{limits, 0, {}});
 }
 
 RegularVerifyResult verify_regular(
@@ -92,6 +92,14 @@ RegularVerifyResult verify_regular(
   if (static_cast<int>(scripts.size()) != n) {
     throw std::invalid_argument(
         "verify_regular: need one script per interface port");
+  }
+  if (options.static_precheck) {
+    if (auto err = options.static_precheck(*impl)) {
+      RegularVerifyResult failed;
+      failed.complete = true;  // the precheck is a full (static) answer
+      failed.detail = std::move(*err);
+      return failed;
+    }
   }
   auto sys = std::make_shared<System>(n);
   std::vector<PortId> ports;

@@ -11,7 +11,7 @@ VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
                                  std::vector<std::vector<InvId>> scripts,
                                  const ExploreLimits& limits) {
   return verify_linearizable(std::move(impl), std::move(scripts),
-                             VerifyOptions{limits, 0});
+                             VerifyOptions{limits, 0, {}});
 }
 
 VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
@@ -25,6 +25,14 @@ VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
   if (static_cast<int>(scripts.size()) != n) {
     throw std::invalid_argument(
         "verify_linearizable: need one script per interface port");
+  }
+  if (options.static_precheck) {
+    if (auto err = options.static_precheck(*impl)) {
+      VerifyResult failed;
+      failed.complete = true;  // the precheck is a full (static) answer
+      failed.detail = std::move(*err);
+      return failed;
+    }
   }
   auto sys = std::make_shared<System>(n);
   std::vector<PortId> ports;

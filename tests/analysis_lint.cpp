@@ -1,0 +1,355 @@
+// Tests for the wfregs-lint static discipline checker: malformed fixtures
+// must produce path-carrying diagnostics, every repo-provided construction
+// must lint clean, and the pass-3 static bounds must dominate the exact
+// dynamic bounds of Section 4.2.
+#include "wfregs/analysis/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "test_support.hpp"
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/core/access_bounds.hpp"
+#include "wfregs/core/bounded_register.hpp"
+#include "wfregs/core/register_elimination.hpp"
+#include "wfregs/registers/chain.hpp"
+#include "wfregs/runtime/verify.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+using analysis::Diagnostic;
+using analysis::LintReport;
+using testsup::make_impl;
+using testsup::share;
+
+std::size_t count_errors(const LintReport& report, Diagnostic::Pass pass) {
+  return static_cast<std::size_t>(std::count_if(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [pass](const Diagnostic& d) {
+        return d.severity == Diagnostic::Severity::kError && d.pass == pass;
+      }));
+}
+
+bool any_error_has_trace(const LintReport& report, Diagnostic::Pass pass) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [pass](const Diagnostic& d) {
+                       return d.severity == Diagnostic::Severity::kError &&
+                              d.pass == pass && !d.trace.empty();
+                     });
+}
+
+// ---- malformed fixtures ----------------------------------------------------
+
+/// A "bit" whose backing store is an MRMW register that BOTH interface
+/// ports read and write -- the exact shape Section 4.1's normal form
+/// forbids to smuggle past the register-elimination pipeline.
+std::shared_ptr<const Implementation> smuggled_mrmw() {
+  const zoo::RegisterLayout bit{2};
+  const zoo::RegisterLayout lay{2};
+  auto impl = make_impl("smuggled_mrmw", share(zoo::bit_type(2)), 0);
+  const int slot = impl->add_base(share(zoo::register_type(2, 2)), 0, {0, 1});
+  impl->set_program_all_ports(bit.read(),
+                              testsup::one_shot("smuggle_read", slot,
+                                                lay.read()));
+  for (int v = 0; v < 2; ++v) {
+    ProgramBuilder b;
+    b.invoke(slot, lit(lay.write(v)), 0);
+    b.ret(lit(bit.ok()));
+    impl->set_program_all_ports(bit.write(v), b.build("smuggle_write"));
+  }
+  return impl;
+}
+
+/// A "bit" that reads its one-use backing bit twice along one static path,
+/// violating the Section 3 read-once discipline.
+std::shared_ptr<const Implementation> twice_read_oneuse() {
+  const zoo::RegisterLayout bit{2};
+  const zoo::OneUseBitLayout lay;
+  auto impl = make_impl("twice_read_oneuse", share(zoo::bit_type(2)), 0);
+  const int slot = impl->add_base(share(zoo::one_use_bit_type()), 0, {0, 1});
+  impl->set_program_all_ports(
+      bit.read(),
+      testsup::two_shot("greedy_read", slot, lay.read(), lay.read()));
+  for (int v = 0; v < 2; ++v) {
+    ProgramBuilder b;
+    b.invoke(slot, lit(lay.write()), 0);
+    b.ret(lit(bit.ok()));
+    impl->set_program_all_ports(bit.write(v), b.build("oneuse_write"));
+  }
+  return impl;
+}
+
+/// A base object whose type table has an empty delta cell (state 1 has no
+/// transitions at all): a totality violation pass 4 must name.
+std::shared_ptr<const Implementation> partial_delta_base() {
+  TypeSpec partial("partial_pair", 1, 2, 1, 1);
+  partial.add(0, 0, 0, 0, 0);  // state 1 left undefined
+  auto impl = make_impl("partial_host", share(zoo::bit_type(1)), 0);
+  const int slot = impl->add_base(share(std::move(partial)), 0, {0});
+  const zoo::RegisterLayout bit{2};
+  impl->set_program(bit.read(), 0, testsup::one_shot("poke", slot, 0));
+  for (int v = 0; v < 2; ++v) {
+    impl->set_program(bit.write(v), 0, testsup::constant("skip", bit.ok()));
+  }
+  return impl;
+}
+
+/// A program on a port wired to kNoPort that nonetheless touches the slot:
+/// a wiring error the walk must report with a witness trace.
+std::shared_ptr<const Implementation> noport_misuse() {
+  const zoo::RegisterLayout bit{2};
+  const zoo::SrswRegisterLayout lay{2};
+  auto impl = make_impl("noport_misuse", share(zoo::bit_type(2)), 0);
+  const int slot =
+      impl->add_base(share(zoo::srsw_register_type(2)), 0, {0, kNoPort});
+  for (PortId p = 0; p < 2; ++p) {
+    impl->set_program(bit.read(), p,
+                      testsup::one_shot("read", slot, lay.read()));
+    for (int v = 0; v < 2; ++v) {
+      impl->set_program(bit.write(v), p,
+                        testsup::constant("noop", bit.ok()));
+    }
+  }
+  return impl;
+}
+
+TEST(AnalysisLint, FlagsSmuggledMrmwRegister) {
+  const auto report = analysis::lint(*smuggled_mrmw());
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(count_errors(report, Diagnostic::Pass::kPortDiscipline), 1u)
+      << report.to_string();
+}
+
+TEST(AnalysisLint, FlagsTwiceReadOneUseBit) {
+  const auto report = analysis::lint(*twice_read_oneuse());
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(count_errors(report, Diagnostic::Pass::kOneUse), 1u)
+      << report.to_string();
+  // The violation must come with a counterexample instruction path.
+  EXPECT_TRUE(any_error_has_trace(report, Diagnostic::Pass::kOneUse))
+      << report.to_string();
+}
+
+TEST(AnalysisLint, FlagsPartialDeltaBase) {
+  const auto report = analysis::lint(*partial_delta_base());
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(count_errors(report, Diagnostic::Pass::kTypeSpec), 1u)
+      << report.to_string();
+}
+
+TEST(AnalysisLint, FlagsInvocationThroughNoPort) {
+  const auto report = analysis::lint(*noport_misuse());
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(count_errors(report, Diagnostic::Pass::kStructure), 1u)
+      << report.to_string();
+  EXPECT_TRUE(any_error_has_trace(report, Diagnostic::Pass::kStructure))
+      << report.to_string();
+}
+
+TEST(AnalysisLint, DiagnosticsRenderLocationAndTrace) {
+  const auto report = analysis::lint(*twice_read_oneuse());
+  ASSERT_FALSE(report.diagnostics.empty());
+  for (const auto& d : report.diagnostics) {
+    const std::string s = d.to_string();
+    EXPECT_NE(s.find('('), std::string::npos) << s;  // pass name present
+    EXPECT_FALSE(d.message.empty());
+  }
+  EXPECT_NE(report.to_string().find("error"), std::string::npos);
+}
+
+// ---- clean sweep -----------------------------------------------------------
+
+void expect_clean(const Implementation& impl) {
+  const auto report = analysis::lint(impl);
+  EXPECT_TRUE(report.ok()) << impl.name() << ":\n" << report.to_string();
+  EXPECT_FALSE(report.bounds.empty()) << impl.name();
+}
+
+TEST(AnalysisLint, SectionFourPointOneChainIsClean) {
+  registers::ChainOptions options;
+  options.mrmw_max_writes = 2;
+  options.mrsw_max_writes = 2;
+  expect_clean(*registers::full_chain_register(2, 2, 0, options));
+  options.bits_at_bottom = false;
+  expect_clean(*registers::full_chain_register(2, 3, 1, options));
+}
+
+TEST(AnalysisLint, SectionFourPointThreeArrayBitIsClean) {
+  expect_clean(*core::bounded_bit_from_oneuse(1, 1, 0));
+  expect_clean(*core::bounded_bit_from_oneuse(2, 3, 1));
+  expect_clean(*core::bounded_bit_from_oneuse(3, 2, 0));
+}
+
+TEST(AnalysisLint, AllBundledProtocolsAreClean) {
+  expect_clean(*consensus::from_test_and_set());
+  expect_clean(*consensus::from_queue());
+  expect_clean(*consensus::from_fetch_and_add());
+  expect_clean(*consensus::from_cas(2));
+  expect_clean(*consensus::from_cas(3));
+  expect_clean(*consensus::from_sticky_bit(3));
+  expect_clean(*consensus::from_consensus_object(3));
+  expect_clean(*consensus::from_cas_ids(2));
+  expect_clean(*consensus::from_cas_ids(3));
+  expect_clean(*consensus::registers_only_attempt(2));
+}
+
+// ---- pass 3: static bounds dominate the exact dynamic bounds ---------------
+
+TEST(AnalysisLint, StaticBoundsDominateDynamicOnProtocols) {
+  for (const auto& impl : {consensus::from_test_and_set(),
+                           consensus::from_cas(2),
+                           consensus::from_sticky_bit(3)}) {
+    const auto statics = analysis::lint(*impl);
+    ASSERT_TRUE(statics.ok()) << statics.to_string();
+    const auto dyn = core::compute_access_bounds(impl);
+    ASSERT_TRUE(dyn.complete) << impl->name() << ": " << dyn.detail;
+    const auto cross = analysis::check_bound_dominance(statics, dyn);
+    EXPECT_TRUE(cross.empty()) << impl->name() << ": "
+                               << cross.front().to_string();
+  }
+}
+
+TEST(AnalysisLint, StaticBoundsDominateDynamicThroughElimination) {
+  core::EliminationOptions options;  // no substrate: keep base one-use bits
+  const auto report =
+      core::eliminate_registers(consensus::from_test_and_set(), options);
+  ASSERT_TRUE(report.ok) << report.detail;
+  const auto bits = analysis::lint(*report.bits_stage);
+  ASSERT_TRUE(bits.ok()) << bits.to_string();
+  const auto cross = analysis::check_bound_dominance(bits, report.bounds);
+  EXPECT_TRUE(cross.empty())
+      << (cross.empty() ? "" : cross.front().to_string());
+  expect_clean(*report.result);
+}
+
+TEST(AnalysisLint, DominanceCheckerCatchesUnderestimates) {
+  // Feed it a static report claiming zero accesses for an object the
+  // dynamic analysis saw touched: the cross-check must object.
+  const auto impl = consensus::from_test_and_set();
+  auto statics = analysis::lint(*impl);
+  ASSERT_FALSE(statics.bounds.empty());
+  statics.bounds.front().accesses = analysis::Bound::of(0);
+  statics.bounds.front().reads = analysis::Bound::of(0);
+  statics.bounds.front().writes = analysis::Bound::of(0);
+  const auto dyn = core::compute_access_bounds(impl);
+  ASSERT_TRUE(dyn.complete);
+  const auto cross = analysis::check_bound_dominance(statics, dyn);
+  EXPECT_FALSE(cross.empty());
+  for (const auto& d : cross) {
+    EXPECT_EQ(d.pass, Diagnostic::Pass::kBounds) << d.to_string();
+  }
+}
+
+// ---- the VerifyOptions::static_precheck hook -------------------------------
+
+/// A consensus-interface implementation with a lint violation inside, so the
+/// precheck (not the explorer) is what rejects it.
+std::shared_ptr<const Implementation> dirty_consensus() {
+  const zoo::RegisterLayout lay{2};
+  auto impl = make_impl("dirty_consensus", share(zoo::consensus_type(2)), 0);
+  const int slot = impl->add_base(share(zoo::register_type(2, 2)), 0, {0, 1});
+  for (int v = 0; v < 2; ++v) {
+    ProgramBuilder b;
+    b.invoke(slot, lit(lay.write(v)), 0);
+    b.invoke(slot, lit(lay.read()), 1);
+    b.ret(reg(1));
+    impl->set_program_all_ports(v, b.build("dirty_propose"));
+  }
+  return impl;
+}
+
+TEST(AnalysisLint, StaticPrecheckFailsFastInConsensusCheck) {
+  VerifyOptions options;
+  options.static_precheck = analysis::static_precheck();
+  const auto result = consensus::check_consensus(dirty_consensus(), options);
+  EXPECT_FALSE(result.solves);
+  EXPECT_NE(result.detail.find("static precheck"), std::string::npos)
+      << result.detail;
+  EXPECT_EQ(result.configs, 0u);  // never reached the explorer
+}
+
+TEST(AnalysisLint, StaticPrecheckFailsFastInVerify) {
+  const zoo::RegisterLayout bit{2};
+  VerifyOptions options;
+  options.static_precheck = analysis::static_precheck();
+  const auto result = verify_linearizable(
+      twice_read_oneuse(), {{bit.read()}, {bit.write(1)}}, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.complete);  // the static answer is a full answer
+  EXPECT_NE(result.detail.find("static precheck"), std::string::npos)
+      << result.detail;
+}
+
+TEST(AnalysisLint, StaticPrecheckPassesCleanImplementations) {
+  VerifyOptions options;
+  options.static_precheck = analysis::static_precheck();
+  const auto result =
+      consensus::check_consensus(consensus::from_test_and_set(), options);
+  EXPECT_TRUE(result.solves) << result.detail;
+  EXPECT_GT(result.configs, 0u);  // precheck let the explorer run
+}
+
+// ---- pass 4: TypeSpec table lints ------------------------------------------
+
+TEST(AnalysisLint, TypeLintAcceptsTheZooTables) {
+  for (const TypeSpec& t : {zoo::bit_type(2), zoo::one_use_bit_type(),
+                            zoo::test_and_set_type(2), zoo::cas_type(2, 2),
+                            zoo::queue_type(2, 2, 2)}) {
+    const auto report = analysis::lint_type(t);
+    EXPECT_EQ(report.error_count(), 0u) << t.name() << ":\n"
+                                        << report.to_string();
+  }
+}
+
+TEST(AnalysisLint, TypeLintFlagsPartialTables) {
+  TypeSpec partial("partial_pair", 1, 2, 1, 1);
+  partial.add(0, 0, 0, 0, 0);
+  const auto report = analysis::lint_type(partial);
+  EXPECT_GE(count_errors(report, Diagnostic::Pass::kTypeSpec), 1u)
+      << report.to_string();
+}
+
+TEST(AnalysisLint, TypeLintWarnsOnNondeterminismAndPortSensitivity) {
+  const auto coin = analysis::lint_type(zoo::nondet_coin_type(2));
+  EXPECT_EQ(coin.error_count(), 0u) << coin.to_string();
+  EXPECT_GE(coin.warning_count(), 1u) << coin.to_string();
+
+  const auto flag = analysis::lint_type(zoo::port_flag_type(2));
+  EXPECT_EQ(flag.error_count(), 0u) << flag.to_string();
+  EXPECT_GE(flag.warning_count(), 1u) << flag.to_string();
+}
+
+TEST(AnalysisLint, TypeLintWarnsOnUnreachableStates) {
+  // State 1 is total and deterministic but unreachable from state 0.
+  TypeSpec island("island", 1, 2, 1, 1);
+  island.add(0, 0, 0, 0, 0);
+  island.add(1, 0, 0, 1, 0);
+  const auto report = analysis::lint_type(island, 0);
+  EXPECT_EQ(report.error_count(), 0u) << report.to_string();
+  EXPECT_GE(report.warning_count(), 1u) << report.to_string();
+}
+
+// ---- satellite: declaration-time port-map validation -----------------------
+
+TEST(AnalysisLint, BuilderRejectsBadPortMapsWithClearErrors) {
+  auto impl = make_impl("host", share(zoo::bit_type(2)), 0);
+  // Wrong arity: one entry per INTERFACE port is required.
+  EXPECT_THROW(impl->add_base(share(zoo::srsw_register_type(2)), 0, {0}),
+               std::invalid_argument);
+  // Out-of-range inner port.
+  EXPECT_THROW(impl->add_base(share(zoo::srsw_register_type(2)), 0, {0, 7}),
+               std::out_of_range);
+  // kNoPort and duplicate inner ports are both legitimate wirings.
+  EXPECT_NO_THROW(
+      impl->add_base(share(zoo::srsw_register_type(2)), 0, {0, kNoPort}));
+  EXPECT_NO_THROW(impl->add_base(share(zoo::bit_type(2)), 0, {0, 0}));
+}
+
+}  // namespace
+}  // namespace wfregs

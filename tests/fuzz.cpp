@@ -10,6 +10,7 @@
 #include <numeric>
 
 #include "test_support.hpp"
+#include "wfregs/analysis/lint.hpp"
 #include "wfregs/core/bounded_register.hpp"
 #include "wfregs/runtime/explorer.hpp"
 #include "wfregs/typesys/random_type.hpp"
@@ -155,6 +156,51 @@ TEST(Fuzz, DifferentialExplorersOnRandomTypes) {
                       << "; repro type:\n"
                       << print_type(t);
       }
+    }
+  }
+}
+
+/// Wraps `t` in the identity pass-through implementation: iface = t, one
+/// base of type t wired port-for-port, every program a single forwarded
+/// invocation.
+std::shared_ptr<const Implementation> pass_through(
+    std::shared_ptr<const TypeSpec> t) {
+  const int ports = t->ports();
+  const int invs = t->num_invocations();
+  auto impl = make_impl("fuzz_passthrough", t, 0);
+  std::vector<PortId> identity(static_cast<std::size_t>(ports));
+  std::iota(identity.begin(), identity.end(), 0);
+  const int slot = impl->add_base(t, 0, identity);
+  for (InvId i = 0; i < invs; ++i) {
+    impl->set_program_all_ports(i, testsup::one_shot("fwd", slot, i));
+  }
+  return impl;
+}
+
+TEST(Fuzz, LintAcceptsEveryRandomImplementation) {
+  // The static checker must digest arbitrary (valid) implementations
+  // without crashing, yield a bound for the one base object, and never
+  // report wiring errors for the identity pass-through.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomTypeParams params;
+    params.ports = 2 + static_cast<int>(seed % 3);
+    params.num_states = 2 + static_cast<int>(seed % 4);
+    params.num_invocations = 1 + static_cast<int>(seed % 3);
+    params.num_responses = 2 + static_cast<int>(seed % 2);
+    params.oblivious = (seed % 2) == 0;
+    params.branching = 1 + static_cast<int>(seed % 2);
+    const auto impl = pass_through(share(random_type(params, seed)));
+    analysis::LintReport report;
+    ASSERT_NO_THROW(report = analysis::lint(*impl)) << "seed " << seed;
+    ASSERT_EQ(report.bounds.size(), 1u) << "seed " << seed;
+    // One forwarded invocation per port: the static bound must cover it.
+    EXPECT_TRUE(analysis::Bound::dominates(
+        report.bounds.front().accesses,
+        static_cast<std::size_t>(params.ports)))
+        << "seed " << seed << ": " << report.to_string();
+    for (const auto& d : report.diagnostics) {
+      EXPECT_NE(d.pass, analysis::Diagnostic::Pass::kStructure)
+          << "seed " << seed << ": " << d.to_string();
     }
   }
 }
