@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_e11_reduction.json (stdlib only).
+
+Usage: check_bench_regression.py <BENCH_e11_reduction.json> <baseline.json>
+
+Two checks, both on the deterministic ``configs`` counters (never on
+wall-clock, which is noise on shared CI runners):
+
+1. Per-benchmark regression: a run whose configs count exceeds the
+   checked-in baseline by more than ``tolerance`` (10%) fails.  Counts are
+   exact for a given (workload, reduction mode), so any growth means the
+   reduction layer lost pruning power -- the 10% headroom only absorbs
+   intentional small workload tweaks that forgot a baseline refresh.
+2. Aggregate headline: summed over the protocol zoo, reduction=none must
+   visit at least ``min_aggregate_ratio`` (3x) more configurations than
+   reduction=sleep+symmetry.
+
+Improvements (counts below baseline) pass with a note suggesting a baseline
+refresh; benchmarks missing from the baseline warn but do not fail, so a new
+workload can land one PR ahead of its baseline entry.
+"""
+
+import json
+import sys
+
+
+def load_run_configs(path):
+    """name -> configs counter, failing hard on benchmark-level errors."""
+    with open(path) as f:
+        data = json.load(f)
+    configs = {}
+    errors = []
+    for b in data.get("benchmarks", []):
+        if b.get("error_occurred"):
+            errors.append(f"{b['name']}: {b.get('error_message', 'error')}")
+            continue
+        if "configs" in b:
+            configs[b["name"]] = b["configs"]
+    if errors:
+        for e in errors:
+            print(f"FAIL: benchmark reported an error: {e}")
+        sys.exit(1)
+    if not configs:
+        print(f"FAIL: no 'configs' counters found in {path}")
+        sys.exit(1)
+    return configs
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    run = load_run_configs(argv[1])
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+    tolerance = baseline.get("tolerance", 0.10)
+    min_ratio = baseline.get("min_aggregate_ratio", 3.0)
+    base_configs = baseline["configs"]
+
+    failed = False
+    for name, base in sorted(base_configs.items()):
+        if name not in run:
+            print(f"FAIL: baseline benchmark missing from run: {name}")
+            failed = True
+            continue
+        got = run[name]
+        limit = base * (1.0 + tolerance)
+        if got > limit:
+            print(f"FAIL: {name}: configs {got:.0f} > baseline {base} "
+                  f"(+{100 * (got / base - 1):.1f}%, tolerance "
+                  f"{100 * tolerance:.0f}%)")
+            failed = True
+        elif got < base:
+            print(f"ok:   {name}: configs {got:.0f} improved on baseline "
+                  f"{base} -- consider refreshing bench/baseline.json")
+        else:
+            print(f"ok:   {name}: configs {got:.0f} (baseline {base})")
+    for name in sorted(set(run) - set(base_configs)):
+        print(f"warn: {name} has no baseline entry -- add it to "
+              f"bench/baseline.json")
+
+    none_total = sum(v for k, v in run.items() if k.endswith("/none/real_time"))
+    red_total = sum(v for k, v in run.items()
+                    if k.endswith("/sleep+symmetry/real_time"))
+    if red_total <= 0:
+        print("FAIL: no sleep+symmetry benchmarks in run")
+        return 1
+    ratio = none_total / red_total
+    verdict = "ok:  " if ratio >= min_ratio else "FAIL:"
+    print(f"{verdict} aggregate configs none/sleep+symmetry = "
+          f"{none_total:.0f}/{red_total:.0f} = {ratio:.2f}x "
+          f"(required >= {min_ratio}x)")
+    if ratio < min_ratio:
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

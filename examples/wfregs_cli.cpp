@@ -17,6 +17,11 @@
 // explorer on N worker threads (0 = hardware concurrency, 1 = sequential).
 // A leading `--static-precheck` runs the wfregs-lint discipline passes on
 // every implementation before exploring it, failing fast on violations.
+// A leading `--reduction none|sleep|sleep+symmetry` applies partial-order /
+// symmetry reduction to every exploration (see runtime/reduction.hpp);
+// verdicts are unchanged, configuration counts shrink.  Commands that never
+// explore (zoo, print, classify, hierarchy) warn when given -j or
+// --reduction instead of silently ignoring them.
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -40,12 +45,19 @@ namespace {
 
 /// Explorer thread count from the global -j flag (0 = hardware concurrency).
 int g_threads = 0;
+/// Whether -j was given at all (for the no-exploration diagnostic).
+bool g_threads_set = false;
 /// Whether --static-precheck was given.
 bool g_precheck = false;
+/// Reduction mode from the global --reduction flag.
+Reduction g_reduction = Reduction::kNone;
+/// Whether --reduction was given at all.
+bool g_reduction_set = false;
 
 VerifyOptions verify_options() {
   VerifyOptions options;
   options.threads = g_threads;
+  options.reduction = g_reduction;
   if (g_precheck) options.static_precheck = analysis::static_precheck();
   return options;
 }
@@ -201,6 +213,24 @@ int main(int argc, char** argv) {
         return EXIT_FAILURE;
       }
       g_threads = static_cast<int>(n);
+      g_threads_set = true;
+      argv[2] = argv[0];
+      argc -= 2;
+      argv += 2;
+    } else if (flag == "--reduction") {
+      const std::string mode = argc >= 3 ? argv[2] : "";
+      if (mode == "none") {
+        g_reduction = Reduction::kNone;
+      } else if (mode == "sleep") {
+        g_reduction = Reduction::kSleep;
+      } else if (mode == "sleep+symmetry") {
+        g_reduction = Reduction::kSleepSymmetry;
+      } else {
+        std::cerr
+            << "error: --reduction wants none|sleep|sleep+symmetry\n";
+        return EXIT_FAILURE;
+      }
+      g_reduction_set = true;
       argv[2] = argv[0];
       argc -= 2;
       argv += 2;
@@ -214,11 +244,22 @@ int main(int argc, char** argv) {
     }
   }
   if (argc < 2) {
-    std::cerr << "usage: wfregs_cli [-j N] [--static-precheck] "
+    std::cerr << "usage: wfregs_cli [-j N] [--reduction MODE] "
+                 "[--static-precheck] "
                  "zoo|print|classify|oneuse|hierarchy|eliminate ...\n";
     return EXIT_FAILURE;
   }
   const std::string cmd = argv[1];
+  // zoo / print / classify / hierarchy run no exhaustive exploration, so
+  // explorer knobs would be silently dead -- say so instead.
+  if ((g_threads_set || g_reduction_set) &&
+      (cmd == "zoo" || cmd == "print" || cmd == "classify" ||
+       cmd == "hierarchy")) {
+    std::cerr << "warning: " << (g_threads_set ? "-j" : "")
+              << (g_threads_set && g_reduction_set ? " and " : "")
+              << (g_reduction_set ? "--reduction" : "") << " ignored: '"
+              << cmd << "' runs no exhaustive exploration\n";
+  }
   try {
     if (cmd == "zoo") return cmd_zoo(argc, argv);
     if (cmd == "eliminate") {

@@ -1,0 +1,48 @@
+// Static refinement of the explorer's independence relation.
+//
+// The runtime baseline (IndependenceTable::build) declares two accesses of a
+// base object independent only when they commute in EVERY state of its
+// TypeSpec -- sound for any exploration, but needlessly conservative: specs
+// frequently carry states a given system can never drive the object into
+// (padded value ranges, the "burnt" halves of one-use bits, capacity states
+// of queues no program fills), and programs frequently issue only a few of
+// the invocations the spec admits.  This header reuses the wfregs-lint
+// machinery (abstract interpretation of program bytecode over ValueSets) to
+// shrink both axes:
+//
+//   1. ISSUED INVOCATIONS.  For every base object, every program that can
+//      reach it -- top-level process programs for top-level objects, the
+//      owning implementation's per-(invocation, port) programs for inner
+//      objects -- is abstractly executed, and the possible invocation ids at
+//      each reachable invoke site targeting the object are collected per
+//      port.  A (port, invocation) access that no program can issue never
+//      appears as an enabled step, so pairs involving it commute vacuously.
+//   2. REACHABLE STATES.  The object's state space is restricted to the
+//      closure of its initial state under the issuable accesses from (1);
+//      commutation is then required only on that closure.
+//
+// Both computations over-approximate (uninspectable programs degrade to
+// "issues everything", abstract responses are modelled as top), so every
+// "independent" verdict of the refined table is justified by a run of the
+// real system: the table is sound wherever the baseline is, and never
+// coarser.  Inject the result through ExploreOptions::independence.
+#pragma once
+
+#include <string>
+
+#include "wfregs/runtime/reduction.hpp"
+#include "wfregs/runtime/system.hpp"
+
+namespace wfregs::analysis {
+
+/// The refined independence table for `sys` (see file comment).  Covers
+/// every base object of `sys`; the result must outlive the explorations it
+/// is injected into.
+IndependenceTable refined_independence(const System& sys);
+
+/// Human-readable comparison of the baseline and refined relations, object
+/// by object: issuable accesses, reachable states, and the independent-pair
+/// counts each table certifies.  Diagnostics for `wfregs_cli` and tests.
+std::string describe_independence(const System& sys);
+
+}  // namespace wfregs::analysis

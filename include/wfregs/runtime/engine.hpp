@@ -26,6 +26,8 @@
 
 namespace wfregs {
 
+struct ProcessRenaming;  // reduction.hpp
+
 /// Hashable, equality-comparable snapshot of an engine configuration.
 /// Excludes the history and access counters (path data, not state).
 struct ConfigKey {
@@ -63,6 +65,11 @@ class Engine {
   /// The base object p's pending access targets.  Throws when p is done.
   ObjectId pending_object(ProcId p) const;
 
+  /// Port / invocation of p's pending base access (for the reduction
+  /// layer's independence queries).  Throws when p is done.
+  PortId pending_port(ProcId p) const;
+  InvId pending_inv(ProcId p) const;
+
   struct CommitInfo {
     ObjectId object = -1;
     PortId port = -1;
@@ -91,6 +98,19 @@ class Engine {
   // ---- configuration identity ---------------------------------------------------
 
   ConfigKey config_key() const;
+
+  /// The configuration key of the renamed configuration (the key this
+  /// engine would have after apply_renaming(r)), computed without copying
+  /// the engine.  Process-symmetry reduction calls this once per group
+  /// element to pick the orbit-minimal representative.
+  ConfigKey config_key(const ProcessRenaming& r) const;
+
+  /// Rewrites this configuration in place under a process renaming:
+  /// permutes process states, per-port persistent blocks and history
+  /// process/port ids, and rewrites the port of every held handle.  `r`
+  /// must come from symmetry_renamings(system()): the renamed configuration
+  /// is then a reachable configuration of the same system.
+  void apply_renaming(const ProcessRenaming& r);
 
  private:
   struct Frame {
@@ -121,6 +141,7 @@ class Engine {
   std::vector<Handle> inner_env(const System::VirtualObject& v,
                                 PortId port) const;
   void check_proc(ProcId p) const;
+  void emit_key(ConfigKey& key, const ProcessRenaming* renaming) const;
 
   std::shared_ptr<const System> sys_;
   std::vector<StateId> object_state_;  // indexed by gid; 0 for virtual slots

@@ -53,6 +53,30 @@
 //   * Because a terminal is checked on the first path that reaches it,
 //     history-derived violation MESSAGE TEXT (not presence) may describe a
 //     different path than the sequential explorer's.
+//
+// REDUCTION (ExploreOptions::reduction) prunes the exploration without
+// changing any verdict (see reduction.hpp for the machinery and the
+// soundness argument):
+//
+//   * kNone is bit-identical to the historical explorer -- same code path,
+//     same counters, same messages.
+//   * kSleep applies sleep-set partial-order reduction: nodes become
+//     (configuration, sleep mask) pairs, memoized and cycle-checked
+//     exactly; wait-freedom, violation presence, depth and access bounds
+//     are preserved, while configs / edges / terminals count the REDUCED
+//     node graph (that shrinkage is the point -- the counters of a reduced
+//     run are comparable only to other runs at the same reduction).
+//   * kSleepSymmetry additionally canonicalizes every node to the minimal
+//     representative of its process-symmetry orbit.  The engine a
+//     TerminalCheck sees is then a renamed -- but real and reachable --
+//     execution, so checks must not name specific processes (all checks in
+//     this library are renaming-invariant).
+//   * Reduced runs are deterministic at any thread count: sequential and
+//     parallel reduced explorations build the same node graph and report
+//     identical stats (the parallel post-pass replays it canonically).
+//   * Under an early abort (stop_at_violation, limit hits) reduced counters
+//     are, as in the unreduced parallel case, valid lower bounds of the
+//     completed reduced run's counters.
 #pragma once
 
 #include <functional>
@@ -61,6 +85,7 @@
 #include <vector>
 
 #include "wfregs/runtime/engine.hpp"
+#include "wfregs/runtime/reduction.hpp"
 
 namespace wfregs {
 
@@ -109,9 +134,25 @@ struct ExploreOutcome {
 using TerminalCheck =
     std::function<std::optional<std::string>(const Engine&)>;
 
+/// Exploration limits plus the reduction mode (see REDUCTION above).
+struct ExploreOptions {
+  ExploreLimits limits;
+  Reduction reduction = Reduction::kNone;
+  /// Optional refined independence table (e.g. from
+  /// analysis::refined_independence); must cover every base object of the
+  /// explored system and outlive the exploration.  nullptr = the explorer
+  /// builds the TypeSpec baseline itself.  Ignored under kNone.
+  const IndependenceTable* independence = nullptr;
+};
+
 /// Explores all executions from `root`.  The root engine is copied, never
 /// mutated.
 ExploreOutcome explore(const Engine& root, const ExploreLimits& limits = {},
+                       const TerminalCheck& check = {});
+
+/// As above, with a reduction mode.  options.reduction == kNone is
+/// bit-identical to explore(root, options.limits, check).
+ExploreOutcome explore(const Engine& root, const ExploreOptions& options,
                        const TerminalCheck& check = {});
 
 /// Explores all executions from `root` on `n_threads` workers over a
@@ -122,6 +163,15 @@ ExploreOutcome explore(const Engine& root, const ExploreLimits& limits = {},
 ExploreOutcome explore_parallel(const Engine& root,
                                 const TerminalCheck& check = {},
                                 const ExploreLimits& limits = {},
+                                int n_threads = 0);
+
+/// As above, with a reduction mode: sleep-set pruning is applied as a
+/// claim-time filter on the work-stealing frontier, and node identities are
+/// canonicalized before claiming, so the reduced node graph -- and, when
+/// discovery completes, every counter -- matches the sequential reduced
+/// explorer at any thread count.
+ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
+                                const ExploreOptions& options,
                                 int n_threads = 0);
 
 /// Options shared by the end-to-end verifiers (verify_linearizable,
@@ -140,6 +190,9 @@ struct VerifyOptions {
   /// runtime layer stays independent of the analysis library.
   std::function<std::optional<std::string>(const Implementation&)>
       static_precheck;
+  /// Reduction mode for every exploration the verifier runs (see REDUCTION
+  /// above); kNone preserves historical behaviour bit for bit.
+  Reduction reduction = Reduction::kNone;
 };
 
 }  // namespace wfregs

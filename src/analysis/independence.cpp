@@ -1,0 +1,265 @@
+#include "wfregs/analysis/independence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "wfregs/analysis/program_facts.hpp"
+
+namespace wfregs::analysis {
+
+namespace {
+
+/// Which (port, invocation) accesses of one object some program can issue.
+struct Issuable {
+  int ports = 0;
+  int invs = 0;
+  std::vector<char> issued;  ///< [port * invs + inv]
+
+  void init(int p, int i) {
+    ports = p;
+    invs = i;
+    issued.assign(static_cast<std::size_t>(p) * static_cast<std::size_t>(i),
+                  0);
+  }
+  bool get(PortId a, InvId i) const {
+    return issued[static_cast<std::size_t>(a) * static_cast<std::size_t>(invs) +
+                  static_cast<std::size_t>(i)] != 0;
+  }
+  void set(PortId a, InvId i) {
+    issued[static_cast<std::size_t>(a) * static_cast<std::size_t>(invs) +
+           static_cast<std::size_t>(i)] = 1;
+  }
+  void set_all(PortId a) {
+    for (InvId i = 0; i < invs; ++i) set(a, i);
+  }
+  std::size_t count() const {
+    return static_cast<std::size_t>(
+        std::count(issued.begin(), issued.end(), 1));
+  }
+};
+
+int object_invs(const System& sys, ObjectId g) {
+  return sys.is_base(g) ? sys.base(g).spec->num_invocations()
+                        : sys.virt(g).impl->iface().num_invocations();
+}
+
+int object_ports(const System& sys, ObjectId g) {
+  return sys.is_base(g) ? sys.base(g).spec->ports()
+                        : sys.virt(g).impl->iface().ports();
+}
+
+/// Shared driver state for the top-down issuable propagation.
+class IssuableAnalysis {
+ public:
+  explicit IssuableAnalysis(const System& sys) : sys_(sys) {
+    issuable_.resize(static_cast<std::size_t>(sys.num_objects()));
+    for (ObjectId g = 0; g < sys.num_objects(); ++g) {
+      issuable_[static_cast<std::size_t>(g)].init(object_ports(sys, g),
+                                                  object_invs(sys, g));
+    }
+    seed_toplevel();
+    propagate_virtuals();
+  }
+
+  const Issuable& at(ObjectId g) const {
+    return issuable_[static_cast<std::size_t>(g)];
+  }
+
+ private:
+  /// Facts are cached per (program, number of persistent slots): the same
+  /// shared ProgramRef analyzed with a different persistent seed would be a
+  /// different abstract execution.
+  const ProgramFacts& facts_for(const ProgramCode& prog, int persistent) {
+    const auto key = std::make_pair(&prog, persistent);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
+    // Responses and persistent registers are modelled as top: the issuable
+    // sets must over-approximate every concrete run.
+    std::vector<ValueSet> seed(static_cast<std::size_t>(persistent),
+                               ValueSet::top());
+    const ResponseOracle oracle = [](int, const ValueSet&) {
+      return ValueSet::top();
+    };
+    return cache_.emplace(key, analyze_program(prog, seed, oracle))
+        .first->second;
+  }
+
+  /// Marks everything `prog` can issue, given the environment handle for
+  /// each of its slots.  An uninspectable program issues every invocation
+  /// on every wired slot.
+  void mark_program(const ProgramCode& prog, int persistent,
+                    const std::vector<Handle>& env) {
+    const ProgramFacts& facts = facts_for(prog, persistent);
+    if (!facts.inspectable) {
+      for (const Handle& h : env) {
+        if (h.gid >= 0 && h.port >= 0) {
+          issuable_[static_cast<std::size_t>(h.gid)].set_all(h.port);
+        }
+      }
+      return;
+    }
+    for (std::size_t pc = 0; pc < facts.code.size(); ++pc) {
+      if (facts.code[pc].op != StaticInstr::Op::kInvoke) continue;
+      if (!facts.reachable[pc]) continue;
+      const int slot = facts.code[pc].slot;
+      if (slot < 0 || slot >= static_cast<int>(env.size())) continue;
+      const Handle& h = env[static_cast<std::size_t>(slot)];
+      if (h.gid < 0 || h.port < 0) continue;
+      Issuable& target = issuable_[static_cast<std::size_t>(h.gid)];
+      for (const Val v :
+           facts.invoke_invs[pc].enumerate_within(0, target.invs - 1)) {
+        target.set(h.port, static_cast<InvId>(v));
+      }
+    }
+  }
+
+  void seed_toplevel() {
+    for (ProcId p = 0; p < sys_.num_processes(); ++p) {
+      mark_program(*sys_.toplevel_program(p), 0, sys_.toplevel_env(p));
+    }
+  }
+
+  /// Walks virtual objects outermost-first (sorted by declaration-path
+  /// depth), running only the implementation programs whose (invocation,
+  /// port) the callers can actually trigger.
+  void propagate_virtuals() {
+    std::vector<ObjectId> virtuals;
+    for (ObjectId g = 0; g < sys_.num_objects(); ++g) {
+      if (!sys_.is_base(g)) virtuals.push_back(g);
+    }
+    std::ranges::sort(virtuals, [this](ObjectId a, ObjectId b) {
+      const auto da = sys_.placement(a).path.size();
+      const auto db = sys_.placement(b).path.size();
+      return da != db ? da < db : a < b;
+    });
+    for (const ObjectId v : virtuals) {
+      const System::VirtualObject& vo = sys_.virt(v);
+      const Implementation& impl = *vo.impl;
+      const Issuable& here = at(v);
+      for (PortId j = 0; j < here.ports; ++j) {
+        // Environment handles of a program running on port j: inner slot k
+        // maps to global object vo.inner[k] on port port_of_outer[j].
+        std::vector<Handle> env;
+        env.reserve(impl.objects().size());
+        for (std::size_t k = 0; k < impl.objects().size(); ++k) {
+          const ObjectDecl& decl = impl.objects()[k];
+          env.push_back(Handle{vo.inner[k],
+                               decl.port_of_outer[static_cast<std::size_t>(j)]});
+        }
+        for (InvId i = 0; i < here.invs; ++i) {
+          if (!here.get(j, i)) continue;
+          if (!impl.has_program(i, j)) continue;
+          mark_program(*impl.program(i, j), impl.persistent_slots(), env);
+        }
+      }
+    }
+  }
+
+  const System& sys_;
+  std::vector<Issuable> issuable_;
+  std::map<std::pair<const ProgramCode*, int>, ProgramFacts> cache_;
+};
+
+/// The closure of the initial state under the issuable accesses.
+std::vector<char> reachable_states(const TypeSpec& t, StateId initial,
+                                   const Issuable& iss) {
+  std::vector<char> seen(static_cast<std::size_t>(t.num_states()), 0);
+  std::vector<StateId> frontier{initial};
+  seen[static_cast<std::size_t>(initial)] = 1;
+  while (!frontier.empty()) {
+    const StateId q = frontier.back();
+    frontier.pop_back();
+    for (PortId a = 0; a < iss.ports; ++a) {
+      for (InvId i = 0; i < iss.invs; ++i) {
+        if (!iss.get(a, i)) continue;
+        for (const Transition& tr : t.delta(q, a, i)) {
+          if (!seen[static_cast<std::size_t>(tr.next)]) {
+            seen[static_cast<std::size_t>(tr.next)] = 1;
+            frontier.push_back(tr.next);
+          }
+        }
+      }
+    }
+  }
+  return seen;
+}
+
+/// Per-object independent-pair count of a table (unordered access pairs).
+std::size_t pairs_on(const IndependenceTable& table, ObjectId g, int ports,
+                     int invs) {
+  std::size_t n = 0;
+  for (PortId a = 0; a < ports; ++a) {
+    for (InvId i1 = 0; i1 < invs; ++i1) {
+      for (PortId b = a; b < ports; ++b) {
+        for (InvId i2 = (b == a ? i1 : 0); i2 < invs; ++i2) {
+          if (table.independent(g, a, i1, b, i2)) ++n;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+IndependenceTable refined_independence(const System& sys) {
+  const IssuableAnalysis analysis(sys);
+  IndependenceTable table = IndependenceTable::all_dependent(sys);
+  for (ObjectId g = 0; g < sys.num_objects(); ++g) {
+    if (!sys.is_base(g)) continue;
+    const TypeSpec& t = *sys.base(g).spec;
+    const Issuable& iss = analysis.at(g);
+    const std::vector<char> reach =
+        reachable_states(t, sys.base(g).initial, iss);
+    for (PortId a = 0; a < t.ports(); ++a) {
+      for (InvId i1 = 0; i1 < t.num_invocations(); ++i1) {
+        for (PortId b = 0; b < t.ports(); ++b) {
+          for (InvId i2 = 0; i2 < t.num_invocations(); ++i2) {
+            // A pair involving an access no program can issue never shows
+            // up as two enabled steps: vacuously independent.
+            bool ok = true;
+            if (iss.get(a, i1) && iss.get(b, i2)) {
+              for (StateId q = 0; q < t.num_states() && ok; ++q) {
+                if (!reach[static_cast<std::size_t>(q)]) continue;
+                ok = accesses_commute_at(t, q, a, i1, b, i2);
+              }
+            }
+            table.set_independent(g, a, i1, b, i2, ok);
+          }
+        }
+      }
+    }
+  }
+  return table;
+}
+
+std::string describe_independence(const System& sys) {
+  const IssuableAnalysis analysis(sys);
+  const IndependenceTable baseline = IndependenceTable::build(sys);
+  const IndependenceTable refined = refined_independence(sys);
+  std::ostringstream out;
+  for (ObjectId g = 0; g < sys.num_objects(); ++g) {
+    if (!sys.is_base(g)) continue;
+    const TypeSpec& t = *sys.base(g).spec;
+    const Issuable& iss = analysis.at(g);
+    const std::vector<char> reach =
+        reachable_states(t, sys.base(g).initial, iss);
+    const auto reach_count = std::count(reach.begin(), reach.end(), 1);
+    out << "object " << g << " (" << t.name() << "): issuable "
+        << iss.count() << "/" << iss.issued.size() << " accesses, reachable "
+        << reach_count << "/" << t.num_states() << " states, independent "
+        << pairs_on(baseline, g, t.ports(), t.num_invocations())
+        << " -> "
+        << pairs_on(refined, g, t.ports(), t.num_invocations()) << " pairs\n";
+  }
+  out << "total independent pairs: " << baseline.independent_pairs() << " -> "
+      << refined.independent_pairs() << "\n";
+  return out.str();
+}
+
+}  // namespace wfregs::analysis

@@ -1,6 +1,8 @@
 #include "wfregs/consensus/check.hpp"
 
 #include <algorithm>
+#include <array>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -21,15 +23,24 @@ std::shared_ptr<System> consensus_scenario(
   std::vector<PortId> ports;
   for (PortId p = 0; p < n; ++p) ports.push_back(p);
   const ObjectId obj = sys->add_implemented(std::move(impl), ports);
+  // One program per distinct input VALUE, shared by every process proposing
+  // it.  Process symmetry compares toplevel programs by pointer, so sharing
+  // (rather than building an identical per-process copy) is what lets
+  // Reduction::kSleepSymmetry treat same-input processes as interchangeable.
+  std::array<ProgramRef, 2> propose;
+  for (int v = 0; v < 2; ++v) {
+    ProgramBuilder b;
+    b.invoke(0, lit(v), 0);  // propose(v) is invocation id `v`
+    b.ret(reg(0));
+    propose[static_cast<std::size_t>(v)] =
+        b.build("propose_v" + std::to_string(v));
+  }
   for (ProcId p = 0; p < n; ++p) {
     const int input = inputs[static_cast<std::size_t>(p)];
     if (input != 0 && input != 1) {
       throw std::invalid_argument("consensus_scenario: inputs are binary");
     }
-    ProgramBuilder b;
-    b.invoke(0, lit(input), 0);  // propose(input) is invocation id `input`
-    b.ret(reg(0));
-    sys->set_toplevel(p, b.build("propose_p" + std::to_string(p)), {obj});
+    sys->set_toplevel(p, propose[static_cast<std::size_t>(input)], {obj});
   }
   return sys;
 }
@@ -85,7 +96,9 @@ ConsensusCheckResult check_consensus(
       return std::nullopt;
     };
     const Engine root{std::move(sys)};
-    const auto out = explore_parallel(root, check, limits, options.threads);
+    const auto out = explore_parallel(
+        root, check, ExploreOptions{limits, options.reduction},
+        options.threads);
     result.wait_free = result.wait_free && out.wait_free;
     result.complete = result.complete && out.complete;
     result.configs += out.stats.configs;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "wfregs/runtime/reduction.hpp"
+
 namespace wfregs {
 
 std::size_t ConfigKeyHash::operator()(const ConfigKey& k) const {
@@ -205,6 +207,26 @@ ObjectId Engine::pending_object(ProcId p) const {
   return proc.pending->handle.gid;
 }
 
+PortId Engine::pending_port(ProcId p) const {
+  check_proc(p);
+  const auto& proc = procs_[static_cast<std::size_t>(p)];
+  if (!proc.pending) {
+    throw std::logic_error("Engine::pending_port: process " +
+                           std::to_string(p) + " has no pending access");
+  }
+  return proc.pending->handle.port;
+}
+
+InvId Engine::pending_inv(ProcId p) const {
+  check_proc(p);
+  const auto& proc = procs_[static_cast<std::size_t>(p)];
+  if (!proc.pending) {
+    throw std::logic_error("Engine::pending_inv: process " +
+                           std::to_string(p) + " has no pending access");
+  }
+  return proc.pending->inv;
+}
+
 Engine::CommitInfo Engine::commit(ProcId p, int choice) {
   check_proc(p);
   auto& proc = procs_[static_cast<std::size_t>(p)];
@@ -272,27 +294,48 @@ int Engine::stack_depth(ProcId p) const {
   return static_cast<int>(procs_[static_cast<std::size_t>(p)].stack.size());
 }
 
-ConfigKey Engine::config_key() const {
-  ConfigKey key;
+void Engine::emit_key(ConfigKey& key, const ProcessRenaming* renaming) const {
   auto& w = key.words;
+  const auto mapped = [renaming](ObjectId g, PortId port) -> PortId {
+    return renaming ? renaming->map_port(g, port) : port;
+  };
   for (ObjectId g = 0; g < sys_->num_objects(); ++g) {
     if (sys_->is_base(g)) {
       w.push_back(
           static_cast<std::uint64_t>(object_state_[static_cast<std::size_t>(g)]));
     } else {
-      for (const Val v : persistent_[static_cast<std::size_t>(g)]) {
-        w.push_back(static_cast<std::uint64_t>(v));
+      const auto& block = persistent_[static_cast<std::size_t>(g)];
+      const auto* old_port =
+          renaming && !renaming->old_port[static_cast<std::size_t>(g)].empty()
+              ? &renaming->old_port[static_cast<std::size_t>(g)]
+              : nullptr;
+      if (!old_port || block.empty()) {
+        for (const Val v : block) w.push_back(static_cast<std::uint64_t>(v));
+      } else {
+        // Renamed view: the block of new port j is old port old_port[j]'s.
+        const std::size_t persist = block.size() / old_port->size();
+        for (const PortId old : *old_port) {
+          for (std::size_t k = 0; k < persist; ++k) {
+            w.push_back(static_cast<std::uint64_t>(
+                block[static_cast<std::size_t>(old) * persist + k]));
+          }
+        }
       }
     }
   }
-  for (const auto& proc : procs_) {
+  for (std::size_t pp = 0; pp < procs_.size(); ++pp) {
+    const Proc& proc =
+        procs_[renaming
+                   ? static_cast<std::size_t>(renaming->old_proc[pp])
+                   : pp];
     w.push_back(proc.finished ? 1u : 0u);
     w.push_back(proc.result ? static_cast<std::uint64_t>(*proc.result) + 1
                             : 0u);
     if (proc.pending) {
       w.push_back(0xFEu);
       w.push_back(static_cast<std::uint64_t>(proc.pending->handle.gid));
-      w.push_back(static_cast<std::uint64_t>(proc.pending->handle.port));
+      w.push_back(static_cast<std::uint64_t>(
+          mapped(proc.pending->handle.gid, proc.pending->handle.port)));
       w.push_back(static_cast<std::uint64_t>(proc.pending->inv));
       w.push_back(static_cast<std::uint64_t>(proc.pending->result_reg));
     } else {
@@ -312,13 +355,63 @@ ConfigKey Engine::config_key() const {
       // env is determined by (code, port context) but is cheap to include:
       for (const Handle& h : f.env) {
         w.push_back((static_cast<std::uint64_t>(h.gid) << 16) ^
-                    static_cast<std::uint64_t>(h.port + 1));
+                    static_cast<std::uint64_t>(mapped(h.gid, h.port) + 1));
       }
       // op_id is deliberately excluded: it indexes the history, which is
       // path data, not configuration state.
     }
   }
+}
+
+ConfigKey Engine::config_key() const {
+  ConfigKey key;
+  emit_key(key, nullptr);
   return key;
+}
+
+ConfigKey Engine::config_key(const ProcessRenaming& r) const {
+  ConfigKey key;
+  emit_key(key, &r);
+  return key;
+}
+
+void Engine::apply_renaming(const ProcessRenaming& r) {
+  std::vector<Proc> renamed(procs_.size());
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    Proc& dst = renamed[static_cast<std::size_t>(r.proc_map[p])];
+    dst = std::move(procs_[p]);
+    if (dst.pending) {
+      dst.pending->handle.port =
+          r.map_port(dst.pending->handle.gid, dst.pending->handle.port);
+    }
+    for (Frame& f : dst.stack) {
+      for (Handle& h : f.env) h.port = r.map_port(h.gid, h.port);
+      if (f.persist_gid >= 0) {
+        f.persist_port = r.map_port(f.persist_gid, f.persist_port);
+      }
+    }
+  }
+  procs_ = std::move(renamed);
+  for (ObjectId g = 0; g < sys_->num_objects(); ++g) {
+    if (sys_->is_base(g)) continue;
+    auto& block = persistent_[static_cast<std::size_t>(g)];
+    const auto& old_port = r.old_port[static_cast<std::size_t>(g)];
+    if (block.empty() || old_port.empty()) continue;
+    const std::size_t persist = block.size() / old_port.size();
+    std::vector<Val> permuted(block.size());
+    for (std::size_t port = 0; port < old_port.size(); ++port) {
+      std::copy_n(block.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          static_cast<std::size_t>(old_port[port]) * persist),
+                  static_cast<std::ptrdiff_t>(persist),
+                  permuted.begin() +
+                      static_cast<std::ptrdiff_t>(port * persist));
+    }
+    block = std::move(permuted);
+  }
+  history_.rename(
+      [&r](ProcId p) { return r.proc_map[static_cast<std::size_t>(p)]; },
+      [&r](ObjectId g, PortId port) { return r.map_port(g, port); });
 }
 
 }  // namespace wfregs

@@ -1,7 +1,9 @@
 #include "wfregs/runtime/explorer.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 namespace wfregs {
 
@@ -148,11 +150,164 @@ class ExplorerImpl {
   std::unordered_map<ConfigKey, NodeInfo, ConfigKeyHash> memo_;
 };
 
+/// The reduced DFS: same memoized dynamic program as ExplorerImpl, but over
+/// (canonical configuration, sleep mask) nodes.  Children are enumerated in
+/// ascending process order with slept processes skipped, each child engine
+/// is canonicalized to its orbit representative before lookup, and the
+/// Koenig's-lemma cycle abort fires on a node repeat along the current path
+/// (a (configuration, sleep) repeat implies a configuration repeat, i.e. a
+/// real cycle; conversely an infinite execution forces some node to repeat
+/// in the finite node graph, so the abort is neither weaker nor stronger
+/// than the unreduced explorer's).
+class ReducedExplorerImpl {
+ public:
+  ReducedExplorerImpl(const ExploreOptions& options, const TerminalCheck& check)
+      : limits_(options.limits),
+        check_(check),
+        options_(options) {}
+
+  ExploreOutcome run(const Engine& root) {
+    const System& sys = root.system();
+    ctx_ = std::make_unique<ReductionContext>(sys, options_.reduction,
+                                              options_.independence);
+    num_objects_ = sys.num_objects();
+    if (limits_.track_access_bounds) {
+      inv_offset_.resize(static_cast<std::size_t>(num_objects_) + 1, 0);
+      for (ObjectId g = 0; g < num_objects_; ++g) {
+        const int invs =
+            sys.is_base(g) ? sys.base(g).spec->num_invocations() : 0;
+        inv_offset_[static_cast<std::size_t>(g) + 1] =
+            inv_offset_[static_cast<std::size_t>(g)] +
+            static_cast<std::size_t>(invs);
+      }
+    }
+    const NodeInfo info = dfs(Engine(root), 0, 0);
+    if (!aborted_) {
+      outcome_.stats.depth = info.depth_from;
+      if (limits_.track_access_bounds) {
+        outcome_.stats.max_accesses = info.acc_from;
+        outcome_.stats.max_accesses_by_inv.resize(
+            static_cast<std::size_t>(num_objects_));
+        for (ObjectId g = 0; g < num_objects_; ++g) {
+          auto& per = outcome_.stats
+                          .max_accesses_by_inv[static_cast<std::size_t>(g)];
+          per.assign(info.inv_from.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             inv_offset_[static_cast<std::size_t>(g)]),
+                     info.inv_from.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             inv_offset_[static_cast<std::size_t>(g) + 1]));
+        }
+      }
+    }
+    return outcome_;
+  }
+
+ private:
+  NodeInfo leaf() const {
+    NodeInfo info;
+    info.state = NodeInfo::State::kDone;
+    if (limits_.track_access_bounds) {
+      info.acc_from.assign(static_cast<std::size_t>(num_objects_), 0);
+      info.inv_from.assign(inv_offset_.back(), 0);
+    }
+    return info;
+  }
+
+  NodeInfo dfs(Engine e, std::uint64_t sleep, int depth) {
+    if (aborted_) return leaf();
+    const ConfigKey key = ctx_->canonical_node_key(e, sleep);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      if (it->second.state == NodeInfo::State::kOnPath) {
+        outcome_.wait_free = false;
+        aborted_ = true;
+        return leaf();
+      }
+      return it->second;
+    }
+    if (depth > limits_.max_depth ||
+        outcome_.stats.configs >= limits_.max_configs) {
+      outcome_.complete = false;
+      aborted_ = true;
+      return leaf();
+    }
+    memo_.emplace(key, NodeInfo{NodeInfo::State::kOnPath, 0, {}, {}});
+    ++outcome_.stats.configs;
+
+    NodeInfo info = leaf();
+    if (e.all_done()) {
+      ++outcome_.stats.terminals;
+      if (check_) {
+        if (auto violation = check_(e)) {
+          if (!outcome_.violation) outcome_.violation = std::move(violation);
+          if (limits_.stop_at_violation) aborted_ = true;
+        }
+      }
+    } else {
+      const auto steps = ctx_->steps(e);
+      for (std::size_t idx = 0; idx < steps.size() && !aborted_; ++idx) {
+        const auto& step = steps[idx];
+        if (sleep & (std::uint64_t{1} << step.p)) continue;
+        const std::uint64_t child_sleep =
+            ctx_->child_sleep(steps, idx, sleep);
+        for (int c = 0; c < step.width; ++c) {
+          ++outcome_.stats.edges;
+          Engine child = e;
+          child.commit(step.p, c);
+          const NodeInfo child_info =
+              dfs(std::move(child), child_sleep, depth + 1);
+          if (aborted_) break;
+          info.depth_from =
+              std::max(info.depth_from, child_info.depth_from + 1);
+          if (limits_.track_access_bounds) {
+            for (int g = 0; g < num_objects_; ++g) {
+              std::size_t cand =
+                  child_info.acc_from[static_cast<std::size_t>(g)];
+              if (g == step.object) ++cand;
+              info.acc_from[static_cast<std::size_t>(g)] =
+                  std::max(info.acc_from[static_cast<std::size_t>(g)], cand);
+            }
+            const std::size_t hit =
+                inv_offset_[static_cast<std::size_t>(step.object)] +
+                static_cast<std::size_t>(step.inv);
+            for (std::size_t k = 0; k < info.inv_from.size(); ++k) {
+              std::size_t cand = child_info.inv_from[k];
+              if (k == hit) ++cand;
+              info.inv_from[k] = std::max(info.inv_from[k], cand);
+            }
+          }
+        }
+      }
+    }
+    memo_[key] = info;
+    return info;
+  }
+
+  const ExploreLimits& limits_;
+  const TerminalCheck& check_;
+  const ExploreOptions& options_;
+  std::unique_ptr<ReductionContext> ctx_;
+  int num_objects_ = 0;
+  std::vector<std::size_t> inv_offset_;
+  bool aborted_ = false;
+  ExploreOutcome outcome_;
+  std::unordered_map<ConfigKey, NodeInfo, ConfigKeyHash> memo_;
+};
+
 }  // namespace
 
 ExploreOutcome explore(const Engine& root, const ExploreLimits& limits,
                        const TerminalCheck& check) {
   ExplorerImpl impl(limits, check);
+  return impl.run(root);
+}
+
+ExploreOutcome explore(const Engine& root, const ExploreOptions& options,
+                       const TerminalCheck& check) {
+  if (options.reduction == Reduction::kNone) {
+    return explore(root, options.limits, check);
+  }
+  ReducedExplorerImpl impl(options, check);
   return impl.run(root);
 }
 

@@ -26,6 +26,14 @@
 // an atomic stop flag; the post-passes are then skipped and the outcome
 // carries partial counters, mirroring the sequential explorer's aborted
 // shape (see the PARALLEL EXPLORATION contract in explorer.hpp).
+//
+// REDUCTION plugs into discovery as a claim-time filter: a node is a
+// (canonical configuration, sleep mask) pair, expansion enumerates only the
+// non-slept steps of the node's canonical representative engine, and every
+// child is canonicalized BEFORE its try_emplace claim.  Canonicalization is
+// a pure function of the child configuration, so racing workers compute the
+// same key and the reduced node graph is exactly the sequential reduced
+// explorer's; the canonical replay and DP post-passes then work unchanged.
 #include "wfregs/runtime/explorer.hpp"
 
 #include <algorithm>
@@ -35,6 +43,7 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -80,19 +89,25 @@ struct WorkItem {
   PNode* node;
   Engine engine;
   int depth;
+  std::uint64_t sleep = 0;
 };
 
 class ParallelExplorer {
  public:
-  ParallelExplorer(const ExploreLimits& limits, const TerminalCheck& check,
+  ParallelExplorer(const ExploreOptions& options, const TerminalCheck& check,
                    int threads)
-      : limits_(limits),
+      : limits_(options.limits),
+        options_(options),
         check_(check),
         threads_(threads),
         queues_(static_cast<std::size_t>(threads)) {}
 
   ExploreOutcome run(const Engine& root) {
     const System& sys = root.system();
+    if (options_.reduction != Reduction::kNone) {
+      ctx_ = std::make_unique<ReductionContext>(sys, options_.reduction,
+                                                options_.independence);
+    }
     num_objects_ = sys.num_objects();
     if (limits_.track_access_bounds) {
       inv_offset_.resize(static_cast<std::size_t>(num_objects_) + 1, 0);
@@ -111,8 +126,12 @@ class ParallelExplorer {
       return out;
     }
     PNode* root_node = nullptr;
+    Engine root_engine(root);
+    std::uint64_t root_sleep = 0;
     {
-      const ConfigKey key = root.config_key();
+      const ConfigKey key =
+          ctx_ ? ctx_->canonical_node_key(root_engine, root_sleep)
+               : root_engine.config_key();
       Shard& s = shard_for(key);
       s.arena.emplace_back();
       root_node = &s.arena.back();
@@ -120,7 +139,8 @@ class ParallelExplorer {
     }
     configs_.store(1, std::memory_order_relaxed);
     pending_.store(1, std::memory_order_relaxed);
-    queues_[0].items.push_back(WorkItem{root_node, Engine(root), 0});
+    queues_[0].items.push_back(
+        WorkItem{root_node, std::move(root_engine), 0, root_sleep});
 
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(threads_));
@@ -217,6 +237,40 @@ class ParallelExplorer {
     q.items.push_back(std::move(item));
   }
 
+  /// Claims a discovered child (already canonicalized under reduction) in
+  /// its memo shard, records the edge, and enqueues the expansion when this
+  /// call won the insertion race.  Returns false on a limit abort.
+  bool claim_child(int wid, const WorkItem& item, Engine&& child,
+                   std::uint64_t child_sleep, const ConfigKey& key,
+                   ObjectId object, InvId inv) {
+    PNode* child_node = nullptr;
+    bool inserted = false;
+    {
+      Shard& s = shard_for(key);
+      std::lock_guard<std::mutex> lk(s.mu);
+      const auto [it, fresh] = s.map.try_emplace(key, nullptr);
+      if (fresh) {
+        s.arena.emplace_back();
+        it->second = &s.arena.back();
+      }
+      child_node = it->second;
+      inserted = fresh;
+    }
+    item.node->edges.push_back(PEdge{child_node, object, inv});
+    if (inserted) {
+      const std::size_t count =
+          configs_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (count > limits_.max_configs || item.depth + 1 > limits_.max_depth) {
+        incomplete_.store(true, std::memory_order_relaxed);
+        stop_.store(true, std::memory_order_release);
+        return false;
+      }
+      push(wid, WorkItem{child_node, std::move(child), item.depth + 1,
+                         child_sleep});
+    }
+    return true;
+  }
+
   void expand(int wid, WorkItem& item) {
     Engine& e = item.engine;
     PNode* node = item.node;
@@ -237,6 +291,32 @@ class ParallelExplorer {
       }
       return;
     }
+    if (ctx_) {
+      // Reduced discovery: skip slept processes, canonicalize every child
+      // before the claim.  `e` is this node's canonical representative, so
+      // the enumeration order -- and with it the stored edge order replayed
+      // by the post-pass -- matches the sequential reduced explorer.
+      const auto steps = ctx_->steps(e);
+      for (std::size_t idx = 0; idx < steps.size(); ++idx) {
+        const auto& step = steps[idx];
+        if (item.sleep & (std::uint64_t{1} << step.p)) continue;
+        const std::uint64_t child_sleep =
+            ctx_->child_sleep(steps, idx, item.sleep);
+        for (int c = 0; c < step.width; ++c) {
+          if (stop_.load(std::memory_order_acquire)) return;
+          edges_.fetch_add(1, std::memory_order_relaxed);
+          Engine child = e;
+          child.commit(step.p, c);
+          std::uint64_t canon_sleep = child_sleep;
+          const ConfigKey key = ctx_->canonical_node_key(child, canon_sleep);
+          if (!claim_child(wid, item, std::move(child), canon_sleep, key,
+                           step.object, step.inv)) {
+            return;
+          }
+        }
+      }
+      return;
+    }
     for (const ProcId p : e.runnable()) {
       const int width = e.pending_choices(p);
       for (int c = 0; c < width; ++c) {
@@ -245,30 +325,9 @@ class ParallelExplorer {
         Engine child = e;
         const Engine::CommitInfo commit = child.commit(p, c);
         const ConfigKey key = child.config_key();
-        PNode* child_node = nullptr;
-        bool inserted = false;
-        {
-          Shard& s = shard_for(key);
-          std::lock_guard<std::mutex> lk(s.mu);
-          const auto [it, fresh] = s.map.try_emplace(key, nullptr);
-          if (fresh) {
-            s.arena.emplace_back();
-            it->second = &s.arena.back();
-          }
-          child_node = it->second;
-          inserted = fresh;
-        }
-        node->edges.push_back(PEdge{child_node, commit.object, commit.inv});
-        if (inserted) {
-          const std::size_t count =
-              configs_.fetch_add(1, std::memory_order_acq_rel) + 1;
-          if (count > limits_.max_configs ||
-              item.depth + 1 > limits_.max_depth) {
-            incomplete_.store(true, std::memory_order_relaxed);
-            stop_.store(true, std::memory_order_release);
-            return;
-          }
-          push(wid, WorkItem{child_node, std::move(child), item.depth + 1});
+        if (!claim_child(wid, item, std::move(child), 0, key, commit.object,
+                         commit.inv)) {
+          return;
         }
       }
     }
@@ -376,8 +435,12 @@ class ParallelExplorer {
   }
 
   const ExploreLimits limits_;
+  const ExploreOptions options_;
   const TerminalCheck& check_;
   const int threads_;
+  /// Non-null iff options_.reduction != kNone; built in run() once the
+  /// system is known.
+  std::unique_ptr<ReductionContext> ctx_;
   int num_objects_ = 0;
   std::vector<std::size_t> inv_offset_;
   std::array<Shard, kNumShards> shards_;
@@ -397,13 +460,18 @@ class ParallelExplorer {
 
 ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
                                 const ExploreLimits& limits, int n_threads) {
+  return explore_parallel(root, check, ExploreOptions{limits}, n_threads);
+}
+
+ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
+                                const ExploreOptions& options, int n_threads) {
   int threads = n_threads;
   if (threads <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw ? static_cast<int>(hw) : 1;
   }
-  if (threads == 1) return explore(root, limits, check);
-  ParallelExplorer impl(limits, check, threads);
+  if (threads == 1) return explore(root, options, check);
+  ParallelExplorer impl(options, check, threads);
   return impl.run(root);
 }
 

@@ -29,6 +29,14 @@ void History::end_op(int op_id, Val response, std::size_t time) {
   rec.response_time = time;
 }
 
+void History::rename(const std::function<ProcId(ProcId)>& proc_map,
+                     const std::function<PortId(ObjectId, PortId)>& port_map) {
+  for (OpRecord& rec : ops_) {
+    rec.proc = proc_map(rec.proc);
+    rec.port = port_map(rec.object, rec.port);
+  }
+}
+
 std::vector<OpRecord> History::ops_on(ObjectId object) const {
   std::vector<OpRecord> out;
   for (const OpRecord& rec : ops_) {

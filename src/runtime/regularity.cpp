@@ -126,7 +126,8 @@ RegularVerifyResult verify_regular(
     return r.detail;
   };
   const Engine root{std::move(sys)};
-  const auto out = explore_parallel(root, check, limits, options.threads);
+  const auto out = explore_parallel(
+      root, check, ExploreOptions{limits, options.reduction}, options.threads);
   RegularVerifyResult result;
   result.wait_free = out.wait_free;
   result.complete = out.complete;

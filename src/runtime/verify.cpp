@@ -66,7 +66,8 @@ VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
   };
 
   const Engine root{std::move(sys)};
-  const auto out = explore_parallel(root, check, limits, options.threads);
+  const auto out = explore_parallel(
+      root, check, ExploreOptions{limits, options.reduction}, options.threads);
 
   VerifyResult result;
   result.wait_free = out.wait_free;

@@ -131,7 +131,7 @@ TEST(Explorer, TerminalCheckSeesAllOutcomes) {
     if (e.result(0) == 1) return "saw tails";
     return std::nullopt;
   };
-  const auto out = explore(root, {}, check);
+  const auto out = explore(root, ExploreLimits{}, check);
   ASSERT_TRUE(out.violation.has_value());
   EXPECT_EQ(*out.violation, "saw tails");
 }
@@ -148,7 +148,7 @@ TEST(Explorer, ViolationStopsEarlyByDefault) {
     ++terminals_seen;
     return "always bad";
   };
-  const auto stopped = explore(root, {}, check);
+  const auto stopped = explore(root, ExploreLimits{}, check);
   EXPECT_TRUE(stopped.violation.has_value());
   EXPECT_EQ(terminals_seen, 1u);
   terminals_seen = 0;

@@ -180,7 +180,7 @@ TEST(ParallelExplorer, CycleAbortMatchesSequentialBitForBit) {
   const auto seq = explore(root);
   ASSERT_FALSE(seq.wait_free);
   for (const int threads : {2, 8}) {
-    const auto par = explore_parallel(root, {}, {}, threads);
+    const auto par = explore_parallel(root, {}, ExploreLimits{}, threads);
     ExpectIdentical(seq, par, "lock-style @ " + std::to_string(threads));
   }
 }
@@ -197,7 +197,7 @@ TEST(ParallelExplorer, StopAtViolationAbortsEarly) {
     return std::nullopt;
   };
   for (const int threads : {2, 8}) {
-    const auto out = explore_parallel(root, check, {}, threads);
+    const auto out = explore_parallel(root, check, ExploreLimits{}, threads);
     ASSERT_TRUE(out.violation.has_value());
     EXPECT_EQ(*out.violation, "saw tails");
     EXPECT_TRUE(out.wait_free);

@@ -57,7 +57,7 @@ void check_multivalued(const std::shared_ptr<const Implementation>& impl,
       return "validity violated";
     };
     const Engine root{std::move(sys)};
-    const auto out = explore(root, {}, check);
+    const auto out = explore(root, ExploreLimits{}, check);
     ASSERT_TRUE(out.wait_free);
     ASSERT_TRUE(out.complete);
     ASSERT_FALSE(out.violation.has_value())
