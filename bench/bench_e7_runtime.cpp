@@ -87,6 +87,7 @@ void BM_Explorer(benchmark::State& state) {
       std::make_shared<const TypeSpec>(zoo::register_type(4, procs));
 
   std::size_t configs = 0;
+  std::size_t interned = 0;
   for (auto _ : state) {
     auto sys = std::make_shared<System>(procs);
     std::vector<PortId> ports;
@@ -105,10 +106,13 @@ void BM_Explorer(benchmark::State& state) {
     const auto out = explore(root);
     benchmark::DoNotOptimize(out.stats.configs);
     configs = out.stats.configs;
+    interned = out.stats.interned_configs;
   }
   state.counters["configs"] = static_cast<double>(configs);
+  state.counters["interned_configs"] = static_cast<double>(interned);
   state.counters["configs_per_sec"] = benchmark::Counter(
       static_cast<double>(configs), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["peak_rss_bytes"] = wfregs::benchjson::peak_rss_bytes();
 }
 
 }  // namespace

@@ -15,7 +15,29 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace wfregs::benchjson {
+
+// Peak resident-set size of this process in bytes, 0 where unsupported.
+// Monotone over the process lifetime, so benchmarks that want a meaningful
+// per-workload reading must run before anything more memory-hungry (see
+// bench_e12_compiled_core.cpp, which orders the lean explorer first).
+inline double peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss);  // already bytes on macOS
+#else
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;  // KiB on Linux
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 inline int run(int argc, char** argv, const char* json_path) {
   // Inject the output flags (unless the caller already passed their own)

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""CI gate over BENCH_e11_reduction.json (stdlib only).
+"""CI gates over the BENCH_*.json benchmark outputs (stdlib only).
 
-Usage: check_bench_regression.py <BENCH_e11_reduction.json> <baseline.json>
+Default mode (the historical e11 gate):
+
+    check_bench_regression.py <BENCH_e11_reduction.json> <baseline.json>
 
 Two checks, both on the deterministic ``configs`` counters (never on
 wall-clock, which is noise on shared CI runners):
@@ -18,52 +20,72 @@ wall-clock, which is noise on shared CI runners):
 Improvements (counts below baseline) pass with a note suggesting a baseline
 refresh; benchmarks missing from the baseline warn but do not fail, so a new
 workload can land one PR ahead of its baseline entry.
+
+Suite mode (the e12 compiled-core gate):
+
+    check_bench_regression.py --suite e12_compiled_core \\
+        <BENCH_e12_compiled_core.json> <baseline.json>
+
+reads baseline["suites"][<name>] and applies:
+
+1. Configs identity: every baselined benchmark's ``configs`` counter must
+   EQUAL the baseline exactly (the counts are deterministic; the compiled
+   and legacy explorers are contractually bit-identical, so there is no
+   tolerance to give).
+2. Intern-pool identity: wherever a benchmark reports ``interned_configs``
+   it must equal its ``configs`` (arena bookkeeping cross-check).
+3. Memory gate: the maximum ``peak_rss_bytes`` over the run must not exceed
+   baseline ``max_peak_rss_bytes`` by more than ``rss_tolerance`` (15%) --
+   peak RSS is process-monotone, so the maximum is the only portable
+   per-binary reading.
+4. Informational speedup: for every workload present as both .../compiled
+   and .../legacy, the configs_per_sec ratio is printed (not gated:
+   wall-clock is noise on shared runners; the record lives in
+   EXPERIMENTS.md).
 """
 
 import json
 import sys
 
 
-def load_run_configs(path):
-    """name -> configs counter, failing hard on benchmark-level errors."""
+def load_run(path):
+    """name -> benchmark record, failing hard on benchmark-level errors."""
     with open(path) as f:
         data = json.load(f)
-    configs = {}
+    run = {}
     errors = []
     for b in data.get("benchmarks", []):
         if b.get("error_occurred"):
             errors.append(f"{b['name']}: {b.get('error_message', 'error')}")
             continue
-        if "configs" in b:
-            configs[b["name"]] = b["configs"]
+        run[b["name"]] = b
     if errors:
         for e in errors:
             print(f"FAIL: benchmark reported an error: {e}")
         sys.exit(1)
-    if not configs:
-        print(f"FAIL: no 'configs' counters found in {path}")
+    if not run:
+        print(f"FAIL: no benchmarks found in {path}")
         sys.exit(1)
-    return configs
+    return run
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__)
-        return 2
-    run = load_run_configs(argv[1])
-    with open(argv[2]) as f:
-        baseline = json.load(f)
+def check_default(run, baseline):
+    """The historical e11 gate: tolerant configs counts + aggregate ratio."""
+    configs = {name: b["configs"] for name, b in run.items() if "configs" in b}
+    if not configs:
+        print("FAIL: no 'configs' counters found in run")
+        return 1
     tolerance = baseline.get("tolerance", 0.10)
     min_ratio = baseline.get("min_aggregate_ratio", 3.0)
     base_configs = baseline["configs"]
 
     failed = False
     for name, base in sorted(base_configs.items()):
-        if name not in run:
+        if name not in configs:
             print(f"FAIL: baseline benchmark missing from run: {name}")
             failed = True
             continue
-        got = run[name]
+        got = configs[name]
         limit = base * (1.0 + tolerance)
         if got > limit:
             print(f"FAIL: {name}: configs {got:.0f} > baseline {base} "
@@ -75,12 +97,13 @@ def main(argv):
                   f"{base} -- consider refreshing bench/baseline.json")
         else:
             print(f"ok:   {name}: configs {got:.0f} (baseline {base})")
-    for name in sorted(set(run) - set(base_configs)):
+    for name in sorted(set(configs) - set(base_configs)):
         print(f"warn: {name} has no baseline entry -- add it to "
               f"bench/baseline.json")
 
-    none_total = sum(v for k, v in run.items() if k.endswith("/none/real_time"))
-    red_total = sum(v for k, v in run.items()
+    none_total = sum(v for k, v in configs.items()
+                     if k.endswith("/none/real_time"))
+    red_total = sum(v for k, v in configs.items()
                     if k.endswith("/sleep+symmetry/real_time"))
     if red_total <= 0:
         print("FAIL: no sleep+symmetry benchmarks in run")
@@ -93,6 +116,100 @@ def main(argv):
     if ratio < min_ratio:
         failed = True
     return 1 if failed else 0
+
+
+def check_suite(run, suite, suite_name):
+    """Configs identity + intern cross-check + peak-RSS growth gate."""
+    failed = False
+
+    # 1. Exact configs identity against the baseline.
+    base_configs = suite["configs"]
+    for name, base in sorted(base_configs.items()):
+        if name not in run:
+            print(f"FAIL: baseline benchmark missing from run: {name}")
+            failed = True
+            continue
+        got = run[name].get("configs")
+        if got is None:
+            print(f"FAIL: {name}: no 'configs' counter in run")
+            failed = True
+        elif got != base:
+            print(f"FAIL: {name}: configs {got:.0f} != baseline {base} "
+                  f"(suite '{suite_name}' gates on identity: the counts are "
+                  f"deterministic)")
+            failed = True
+        else:
+            print(f"ok:   {name}: configs {got:.0f} (identical to baseline)")
+    for name in sorted(set(run) - set(base_configs)):
+        print(f"warn: {name} has no baseline entry -- add it to "
+              f"bench/baseline.json suites.{suite_name}")
+
+    # 2. interned_configs == configs wherever both are reported.
+    for name, b in sorted(run.items()):
+        if "interned_configs" in b and "configs" in b:
+            if b["interned_configs"] != b["configs"]:
+                print(f"FAIL: {name}: interned_configs "
+                      f"{b['interned_configs']:.0f} != configs "
+                      f"{b['configs']:.0f}")
+                failed = True
+
+    # 3. Peak-RSS growth gate on the process-wide maximum.
+    rss_tolerance = suite.get("rss_tolerance", 0.15)
+    base_rss = suite.get("max_peak_rss_bytes", 0)
+    peaks = [b["peak_rss_bytes"] for b in run.values()
+             if b.get("peak_rss_bytes", 0) > 0]
+    if base_rss > 0:
+        if not peaks:
+            print("FAIL: baseline has max_peak_rss_bytes but the run "
+                  "reported no peak_rss_bytes counters")
+            failed = True
+        else:
+            peak = max(peaks)
+            limit = base_rss * (1.0 + rss_tolerance)
+            verdict = "ok:  " if peak <= limit else "FAIL:"
+            print(f"{verdict} peak RSS {peak / 2**20:.1f} MiB vs baseline "
+                  f"{base_rss / 2**20:.1f} MiB "
+                  f"(+{100 * (peak / base_rss - 1):.1f}%, tolerance "
+                  f"{100 * rss_tolerance:.0f}%)")
+            if peak > limit:
+                failed = True
+
+    # 4. Informational compiled/legacy throughput ratios.
+    for name in sorted(base_configs):
+        if not name.endswith("/compiled"):
+            continue
+        peer = name[:-len("/compiled")] + "/legacy"
+        a = run.get(name, {}).get("configs_per_sec")
+        b = run.get(peer, {}).get("configs_per_sec")
+        if a and b:
+            print(f"info: {name[:-len('/compiled')]}: compiled/legacy "
+                  f"throughput = {a / b:.2f}x (not gated)")
+
+    return 1 if failed else 0
+
+
+def main(argv):
+    suite_name = None
+    args = list(argv[1:])
+    if args and args[0] == "--suite":
+        if len(args) < 2:
+            print(__doc__)
+            return 2
+        suite_name = args[1]
+        args = args[2:]
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    run = load_run(args[0])
+    with open(args[1]) as f:
+        baseline = json.load(f)
+    if suite_name is None:
+        return check_default(run, baseline)
+    suites = baseline.get("suites", {})
+    if suite_name not in suites:
+        print(f"FAIL: baseline has no suites.{suite_name} section")
+        return 1
+    return check_suite(run, suites[suite_name], suite_name)
 
 
 if __name__ == "__main__":

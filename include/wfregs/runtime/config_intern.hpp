@@ -1,0 +1,95 @@
+// Configuration interning: the explorers' memo-table substrate.
+//
+// A ConfigKey is a short vector of 64-bit words.  The legacy memo tables
+// (std::unordered_map<ConfigKey, ...>) paid one heap allocation for the key
+// vector plus one for the map node on every distinct configuration, and the
+// FNV-1a key hash mixed words weakly (sequential small-integer words --
+// exactly what configuration keys are made of -- landed in clustered
+// buckets).  This header provides the replacement:
+//
+//   * config_mix64 / config_hash_words -- a splitmix64-style per-word mixer
+//     with full 64-bit avalanche, shared by ConfigKeyHash and the interner
+//     so one hash computation serves shard selection, probing and caching;
+//   * ConfigInterner -- an arena pool that stores every distinct key's
+//     words contiguously and maps each key to a dense u32 id through an
+//     open-addressing flat table (power-of-two capacity, linear probing,
+//     cached full hashes).  Ids are assigned in insertion order, so the
+//     sequential explorer's node ids are deterministic, and per-shard ids
+//     in the parallel table are stable for the lifetime of the shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wfregs {
+
+/// splitmix64 finalizer: a bijective full-avalanche 64-bit mixer.
+constexpr std::uint64_t config_mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hash of a word sequence: every word is mixed through config_mix64 before
+/// entering the chain, so single-bit and small-integer differences anywhere
+/// in the key avalanche across the whole output.
+constexpr std::uint64_t config_hash_words(
+    std::span<const std::uint64_t> words) noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ words.size();
+  for (const std::uint64_t w : words) {
+    h = config_mix64(h ^ config_mix64(w));
+  }
+  return h;
+}
+
+/// Arena-pooled key -> dense id map (see the header comment).  Not
+/// thread-safe; the parallel explorer wraps one per locked shard.
+class ConfigInterner {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  ConfigInterner();
+
+  /// Id of `words` (whose hash is `hash`), or kNotFound.
+  std::uint32_t find(std::span<const std::uint64_t> words,
+                     std::uint64_t hash) const noexcept;
+
+  /// Id of `words`, inserting when absent.  New ids are dense and assigned
+  /// in insertion order: the n-th distinct key gets id n-1.
+  std::uint32_t intern(std::span<const std::uint64_t> words,
+                       std::uint64_t hash);
+
+  /// Number of distinct keys interned.
+  std::size_t size() const { return starts_.size() - 1; }
+
+  /// The words of key `id` (valid until the next intern()).
+  std::span<const std::uint64_t> operator[](std::uint32_t id) const {
+    const std::size_t b = starts_[id];
+    return {arena_.data() + b, starts_[id + 1] - b};
+  }
+
+  /// Bytes held by the arena, offsets, hash cache and probe table --
+  /// the bench layer's memory accounting.
+  std::size_t memory_bytes() const;
+
+ private:
+  void grow();
+
+  /// All interned keys' words, concatenated in id order.
+  std::vector<std::uint64_t> arena_;
+  /// starts_[id] .. starts_[id+1]: key id's slice of arena_ (sentinel last).
+  std::vector<std::size_t> starts_;
+  /// Cached full hash per id (rehash-free growth, cheap probe rejection).
+  std::vector<std::uint64_t> hashes_;
+  /// Open-addressing probe table of id+1 values (0 = empty slot);
+  /// power-of-two size, linear probing.
+  std::vector<std::uint32_t> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace wfregs

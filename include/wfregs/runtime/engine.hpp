@@ -81,6 +81,23 @@ class Engine {
   /// delta set, then advances p to its next base access or completion.
   CommitInfo commit(ProcId p, int choice = 0);
 
+  /// Journal of one committed step, filled by apply() and consumed by
+  /// revert().  Opaque outside the engine; default-construct one and reuse
+  /// it across apply/revert pairs (its buffers keep their capacity).
+  struct UndoRecord;
+
+  /// As commit(), additionally journaling everything the step mutates --
+  /// the stepped process, the object state, the clocks, persistent-variable
+  /// write-backs and history growth -- so revert(undo) restores this engine
+  /// EXACTLY (bit-for-bit, including the history) to its pre-apply state.
+  /// This is what lets the explorers keep one engine per worker instead of
+  /// copying the engine once per branch.
+  CommitInfo apply(ProcId p, int choice, UndoRecord& undo);
+
+  /// Inverse of the matching apply().  Records must be reverted in LIFO
+  /// order relative to their applies; `undo` is left reusable.
+  void revert(UndoRecord& undo);
+
   // ---- observation ------------------------------------------------------------
 
   /// Global commit counter (the history's clock).
@@ -98,6 +115,12 @@ class Engine {
   // ---- configuration identity ---------------------------------------------------
 
   ConfigKey config_key() const;
+
+  /// As config_key(), writing into `key` (cleared first) so the explorers
+  /// can reuse one buffer across millions of nodes.
+  void config_key_into(ConfigKey& key) const;
+  /// Renamed-view variant (see config_key(const ProcessRenaming&)).
+  void config_key_into(ConfigKey& key, const ProcessRenaming& r) const;
 
   /// The configuration key of the renamed configuration (the key this
   /// engine would have after apply_renaming(r)), computed without copying
@@ -137,13 +160,18 @@ class Engine {
     bool finished = false;
   };
 
-  void prepare(ProcId p);
+  void prepare(ProcId p, UndoRecord* undo = nullptr);
+  CommitInfo commit_impl(ProcId p, int choice, UndoRecord* undo);
   std::vector<Handle> inner_env(const System::VirtualObject& v,
                                 PortId port) const;
   void check_proc(ProcId p) const;
   void emit_key(ConfigKey& key, const ProcessRenaming* renaming) const;
 
   std::shared_ptr<const System> sys_;
+  /// compiled_[gid]: the hot-path transition table of base object gid
+  /// (nullptr for virtual slots).  Borrowed from sys_'s BaseObjects, which
+  /// the engine keeps alive through sys_.
+  std::vector<const CompiledType*> compiled_;
   std::vector<StateId> object_state_;  // indexed by gid; 0 for virtual slots
   /// persistent_[gid][port * P + k]: persistent variable k of port `port`
   /// on implemented object gid (empty for objects without persistent state).
@@ -157,6 +185,32 @@ class Engine {
   History history_;
   std::vector<std::size_t> access_count_;           // per gid
   std::vector<std::vector<std::size_t>> access_by_inv_;  // per gid, per inv
+};
+
+/// The apply() journal.  One record covers exactly one committed step: the
+/// pre-step snapshot of the stepped process (everything prepare() may touch
+/// lives in its Proc), the accessed object's state, the clocks, the old
+/// values of persistent blocks written back by returning frames, and the
+/// history bookkeeping (ops begun during the step are truncated away; ops
+/// ENDED during the step that began earlier are reopened).
+struct Engine::UndoRecord {
+ private:
+  friend class Engine;
+  struct PersistUndo {
+    ObjectId gid = -1;
+    std::size_t offset = 0;
+    std::vector<Val> old;
+  };
+  ProcId p = -1;
+  ObjectId gid = -1;
+  InvId inv = 0;
+  StateId saved_state = 0;
+  std::size_t saved_time = 0;
+  std::size_t saved_clock = 0;
+  std::size_t history_size = 0;
+  Proc saved_proc;
+  std::vector<PersistUndo> persist;
+  std::vector<int> reopened_ops;
 };
 
 }  // namespace wfregs

@@ -106,6 +106,11 @@ struct ExploreStats {
   std::size_t configs = 0;  ///< distinct configurations visited
   std::size_t edges = 0;    ///< steps examined (including re-derived ones)
   std::size_t terminals = 0;
+  /// Distinct keys held by the memo table when the exploration returned --
+  /// the intern pool's occupancy.  Always equals configs (every counted
+  /// configuration is interned exactly once); reported separately so the
+  /// bench layer can cross-check the arena bookkeeping.
+  std::size_t interned_configs = 0;
   /// Longest root-to-leaf path: the Section 4.2 depth d of this tree.
   int depth = 0;
   /// max_accesses[g]: maximum, over all executions, of the number of
@@ -154,6 +159,14 @@ ExploreOutcome explore(const Engine& root, const ExploreLimits& limits = {},
 /// bit-identical to explore(root, options.limits, check).
 ExploreOutcome explore(const Engine& root, const ExploreOptions& options,
                        const TerminalCheck& check = {});
+
+/// The pre-compiled-core reference explorer: copy-the-engine-to-branch DFS
+/// over a std::unordered_map memo, kept verbatim for differential testing
+/// and the E12 speedup measurement.  Produces bit-identical ExploreOutcomes
+/// to explore() in every mode; new code should always call explore().
+ExploreOutcome explore_legacy(const Engine& root,
+                              const ExploreOptions& options,
+                              const TerminalCheck& check = {});
 
 /// Explores all executions from `root` on `n_threads` workers over a
 /// sharded, lock-striped memo table (see PARALLEL EXPLORATION above for the

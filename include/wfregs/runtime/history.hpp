@@ -47,6 +47,17 @@ class History {
   void rename(const std::function<ProcId(ProcId)>& proc_map,
               const std::function<PortId(ObjectId, PortId)>& port_map);
 
+  // ---- undo support (Engine::revert) -------------------------------------
+
+  /// Number of recorded ops (== the next op id begin_op would return).
+  std::size_t size() const { return ops_.size(); }
+  /// Drops every op with id >= n (inverse of the begin_ops of one step).
+  /// Throws std::out_of_range when n > size().
+  void truncate(std::size_t n);
+  /// Clears the response of a completed op (inverse of end_op).  Throws
+  /// std::out_of_range on a bad id, std::logic_error when still pending.
+  void reopen_op(int op_id);
+
   const std::vector<OpRecord>& ops() const { return ops_; }
   /// Ops on one object, preserving order.
   std::vector<OpRecord> ops_on(ObjectId object) const;

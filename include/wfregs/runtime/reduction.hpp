@@ -189,6 +189,24 @@ class ReductionContext {
   /// parallel explorers.
   ConfigKey canonical_node_key(Engine& e, std::uint64_t& sleep) const;
 
+  /// As canonical_node_key, writing the node key into `out` (reused
+  /// storage, cleared first) and reporting through `applied` which group
+  /// renaming was applied to `e` (an index for undo_renaming, or -1 when
+  /// the engine was left untouched).  This is the undo-based explorers'
+  /// entry point: they must invert the canonicalization before reverting
+  /// the step that produced `e`.
+  void canonical_node_key_into(Engine& e, std::uint64_t& sleep, ConfigKey& out,
+                               int* applied) const;
+
+  /// Re-applies renaming `idx` (as reported by canonical_node_key_into) to
+  /// an engine -- the parallel explorer's path replay uses this to
+  /// re-canonicalize without recomputing any keys.
+  void apply_renaming_index(Engine& e, int idx) const;
+
+  /// Applies the inverse of renaming `idx`, exactly undoing
+  /// apply_renaming_index / canonical_node_key_into on the same engine.
+  void undo_renaming(Engine& e, int idx) const;
+
   /// Number of non-identity renamings in play (0 under kSleep or for
   /// asymmetric systems); diagnostics.
   std::size_t symmetry_order() const { return renamings_.size(); }
@@ -198,6 +216,8 @@ class ReductionContext {
   bool sleep_active_ = false;
   IndependenceTable table_;
   std::vector<ProcessRenaming> renamings_;
+  /// inverses_[k] undoes renamings_[k] (same group, swapped maps).
+  std::vector<ProcessRenaming> inverses_;
 };
 
 }  // namespace wfregs

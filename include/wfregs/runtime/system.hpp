@@ -15,6 +15,7 @@
 
 #include "wfregs/runtime/implementation.hpp"
 #include "wfregs/runtime/program.hpp"
+#include "wfregs/typesys/compiled_type.hpp"
 #include "wfregs/typesys/type_spec.hpp"
 
 namespace wfregs {
@@ -58,6 +59,10 @@ class System {
   struct BaseObject {
     std::shared_ptr<const TypeSpec> spec;
     StateId initial = 0;
+    /// Compiled form of `spec` (see compiled_type.hpp): the engine's hot
+    /// path reads delta through this.  Built once per distinct spec when
+    /// the object is added; never null.
+    std::shared_ptr<const CompiledType> compiled;
   };
   struct VirtualObject {
     std::shared_ptr<const Implementation> impl;
@@ -97,6 +102,10 @@ class System {
                        std::vector<std::pair<ObjectId, std::vector<int>>>&
                            collected);
   void check_proc(ProcId p) const;
+  /// Compiles `spec` or returns the cached result: constructions like the
+  /// register-elimination pipelines add hundreds of base objects sharing a
+  /// handful of specs, and one CompiledType serves them all.
+  std::shared_ptr<const CompiledType> compiled_for(const TypeSpec& spec);
 
   int num_processes_ = 0;
   int num_base_ = 0;
@@ -107,6 +116,10 @@ class System {
   std::vector<ProgramRef> toplevel_;
   std::vector<std::vector<Handle>> toplevel_env_;
   std::vector<Placement> placements_;
+  /// Cache for compiled_for, keyed by spec identity (the spec shared_ptrs
+  /// in objects_ keep the keys alive).
+  std::vector<std::pair<const TypeSpec*, std::shared_ptr<const CompiledType>>>
+      compiled_cache_;
 };
 
 }  // namespace wfregs

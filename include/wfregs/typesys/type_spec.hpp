@@ -22,6 +22,8 @@
 
 namespace wfregs {
 
+class CompiledType;  // compiled_type.hpp
+
 /// Runtime value exchanged between programs and objects (large enough to
 /// carry any encoded response or local quantity).
 using Val = std::int64_t;
@@ -88,6 +90,12 @@ class TypeSpec {
   /// delta(q, p, i) for a deterministic type.  Throws std::logic_error when
   /// the cell does not contain exactly one transition.
   Transition delta_det(StateId q, PortId p, InvId i) const;
+
+  /// Flattens this spec into the execution-core representation: one
+  /// contiguous transition array with an offset index, precomputed
+  /// structural flags and the pairwise commutation matrix (see
+  /// compiled_type.hpp).  The result is self-contained and immutable.
+  CompiledType compile() const;
 
   // ---- structural predicates (Section 2.1) -------------------------------
 

@@ -1,0 +1,80 @@
+#include "wfregs/runtime/config_intern.hpp"
+
+#include <algorithm>
+
+namespace wfregs {
+
+namespace {
+constexpr std::size_t kInitialSlots = 64;  // power of two
+}  // namespace
+
+ConfigInterner::ConfigInterner() : slots_(kInitialSlots, 0) {
+  mask_ = kInitialSlots - 1;
+  starts_.push_back(0);
+}
+
+std::uint32_t ConfigInterner::find(std::span<const std::uint64_t> words,
+                                   std::uint64_t hash) const noexcept {
+  for (std::size_t slot = static_cast<std::size_t>(hash) & mask_;;
+       slot = (slot + 1) & mask_) {
+    const std::uint32_t v = slots_[slot];
+    if (v == 0) return kNotFound;
+    const std::uint32_t id = v - 1;
+    if (hashes_[id] == hash) {
+      const std::size_t b = starts_[id];
+      if (starts_[id + 1] - b == words.size() &&
+          std::equal(words.begin(), words.end(), arena_.begin() +
+                                                     static_cast<std::ptrdiff_t>(
+                                                         b))) {
+        return id;
+      }
+    }
+  }
+}
+
+std::uint32_t ConfigInterner::intern(std::span<const std::uint64_t> words,
+                                     std::uint64_t hash) {
+  std::size_t slot = static_cast<std::size_t>(hash) & mask_;
+  for (; slots_[slot] != 0; slot = (slot + 1) & mask_) {
+    const std::uint32_t id = slots_[slot] - 1;
+    if (hashes_[id] == hash) {
+      const std::size_t b = starts_[id];
+      if (starts_[id + 1] - b == words.size() &&
+          std::equal(words.begin(), words.end(), arena_.begin() +
+                                                     static_cast<std::ptrdiff_t>(
+                                                         b))) {
+        return id;
+      }
+    }
+  }
+  const auto id = static_cast<std::uint32_t>(size());
+  arena_.insert(arena_.end(), words.begin(), words.end());
+  starts_.push_back(arena_.size());
+  hashes_.push_back(hash);
+  slots_[slot] = id + 1;
+  // Grow at ~70% load so probe chains stay short.
+  if ((size() + 1) * 10 >= slots_.size() * 7) grow();
+  return id;
+}
+
+void ConfigInterner::grow() {
+  const std::size_t new_size = slots_.size() * 2;
+  std::vector<std::uint32_t> fresh(new_size, 0);
+  const std::size_t new_mask = new_size - 1;
+  for (std::uint32_t id = 0; id < size(); ++id) {
+    std::size_t slot = static_cast<std::size_t>(hashes_[id]) & new_mask;
+    while (fresh[slot] != 0) slot = (slot + 1) & new_mask;
+    fresh[slot] = id + 1;
+  }
+  slots_ = std::move(fresh);
+  mask_ = new_mask;
+}
+
+std::size_t ConfigInterner::memory_bytes() const {
+  return arena_.capacity() * sizeof(std::uint64_t) +
+         starts_.capacity() * sizeof(std::size_t) +
+         hashes_.capacity() * sizeof(std::uint64_t) +
+         slots_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace wfregs

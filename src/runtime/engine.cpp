@@ -3,22 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "wfregs/runtime/config_intern.hpp"
 #include "wfregs/runtime/reduction.hpp"
 
 namespace wfregs {
 
 std::size_t ConfigKeyHash::operator()(const ConfigKey& k) const {
-  // FNV-1a over the serialized words.
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const std::uint64_t w : k.words) {
-    h ^= w;
-    h *= 1099511628211ULL;
-  }
-  return static_cast<std::size_t>(h);
+  return static_cast<std::size_t>(config_hash_words(k.words));
 }
 
 Engine::Engine(std::shared_ptr<const System> sys) : sys_(std::move(sys)) {
   if (!sys_) throw std::invalid_argument("Engine: null system");
+  compiled_.resize(static_cast<std::size_t>(sys_->num_objects()), nullptr);
   object_state_.resize(static_cast<std::size_t>(sys_->num_objects()), 0);
   persistent_.resize(static_cast<std::size_t>(sys_->num_objects()));
   access_count_.resize(static_cast<std::size_t>(sys_->num_objects()), 0);
@@ -26,6 +22,7 @@ Engine::Engine(std::shared_ptr<const System> sys) : sys_(std::move(sys)) {
   for (ObjectId g = 0; g < sys_->num_objects(); ++g) {
     if (sys_->is_base(g)) {
       const auto& b = sys_->base(g);
+      compiled_[static_cast<std::size_t>(g)] = b.compiled.get();
       object_state_[static_cast<std::size_t>(g)] = b.initial;
       access_by_inv_[static_cast<std::size_t>(g)].resize(
           static_cast<std::size_t>(b.spec->num_invocations()), 0);
@@ -76,7 +73,7 @@ std::vector<Handle> Engine::inner_env(const System::VirtualObject& v,
   return env;
 }
 
-void Engine::prepare(ProcId p) {
+void Engine::prepare(ProcId p, UndoRecord* undo) {
   auto& proc = procs_[static_cast<std::size_t>(p)];
   // Guard against a single prepare() performing unbounded virtual-frame
   // traffic (e.g. mutually recursive implementations).
@@ -102,6 +99,16 @@ void Engine::prepare(ProcId p) {
                                " through a port it does not hold");
       }
       if (sys_->is_base(h.gid)) {
+        // Validate the invocation id once, here: the explorers then read
+        // delta through CompiledType::delta_unchecked on every edge (state
+        // and port are valid by construction).
+        const CompiledType& ct = *compiled_[static_cast<std::size_t>(h.gid)];
+        if (inv->inv < 0 || inv->inv >= ct.num_invocations()) {
+          throw std::out_of_range("Engine: program " + top.code->name() +
+                                  " invoked out-of-range invocation " +
+                                  std::to_string(inv->inv) + " on type " +
+                                  ct.name());
+        }
         proc.pending = PendingAccess{h, inv->inv, inv->result_reg};
         return;
       }
@@ -134,14 +141,30 @@ void Engine::prepare(ProcId p) {
     proc.stack.pop_back();
     if (finished.persist_count > 0) {
       auto& store = persistent_[static_cast<std::size_t>(finished.persist_gid)];
+      const std::size_t offset =
+          static_cast<std::size_t>(finished.persist_port) *
+          static_cast<std::size_t>(finished.persist_count);
+      if (undo) {
+        auto& pu = undo->persist.emplace_back();
+        pu.gid = finished.persist_gid;
+        pu.offset = offset;
+        pu.old.assign(store.begin() + static_cast<std::ptrdiff_t>(offset),
+                      store.begin() + static_cast<std::ptrdiff_t>(
+                                          offset + static_cast<std::size_t>(
+                                                       finished.persist_count)));
+      }
       for (int k = 0; k < finished.persist_count; ++k) {
-        store[static_cast<std::size_t>(finished.persist_port) *
-                  finished.persist_count +
-              static_cast<std::size_t>(k)] =
+        store[offset + static_cast<std::size_t>(k)] =
             finished.locals.regs[static_cast<std::size_t>(k)];
       }
     }
     if (finished.op_id >= 0) {
+      // Ops begun during this step (id >= the journal's history_size) are
+      // removed wholesale by truncate; only older ops need reopening.
+      if (undo &&
+          static_cast<std::size_t>(finished.op_id) < undo->history_size) {
+        undo->reopened_ops.push_back(finished.op_id);
+      }
       history_.end_op(finished.op_id, value, clock_++);
     }
     if (proc.stack.empty()) {
@@ -190,10 +213,10 @@ int Engine::pending_choices(ProcId p) const {
                            std::to_string(p) + " has no pending access");
   }
   const auto& pa = *proc.pending;
-  const auto& b = sys_->base(pa.handle.gid);
-  const auto set = b.spec->delta(
-      object_state_[static_cast<std::size_t>(pa.handle.gid)],
-      pa.handle.port, pa.inv);
+  const auto set =
+      compiled_[static_cast<std::size_t>(pa.handle.gid)]->delta_unchecked(
+          object_state_[static_cast<std::size_t>(pa.handle.gid)],
+          pa.handle.port, pa.inv);
   return static_cast<int>(set.size());
 }
 
@@ -228,6 +251,15 @@ InvId Engine::pending_inv(ProcId p) const {
 }
 
 Engine::CommitInfo Engine::commit(ProcId p, int choice) {
+  return commit_impl(p, choice, nullptr);
+}
+
+Engine::CommitInfo Engine::apply(ProcId p, int choice, UndoRecord& undo) {
+  return commit_impl(p, choice, &undo);
+}
+
+Engine::CommitInfo Engine::commit_impl(ProcId p, int choice,
+                                       UndoRecord* undo) {
   check_proc(p);
   auto& proc = procs_[static_cast<std::size_t>(p)];
   if (!proc.pending) {
@@ -235,11 +267,12 @@ Engine::CommitInfo Engine::commit(ProcId p, int choice) {
                            " has no pending access");
   }
   const PendingAccess pa = *proc.pending;
-  const auto& b = sys_->base(pa.handle.gid);
+  const CompiledType& ct = *compiled_[static_cast<std::size_t>(pa.handle.gid)];
   const StateId state =
       object_state_[static_cast<std::size_t>(pa.handle.gid)];
-  const auto set = b.spec->delta(state, pa.handle.port, pa.inv);
+  const auto set = ct.delta_unchecked(state, pa.handle.port, pa.inv);
   if (set.empty()) {
+    const auto& b = sys_->base(pa.handle.gid);
     throw std::logic_error("Engine::commit: type " + b.spec->name() +
                            " has no transition for " +
                            b.spec->invocation_name(pa.inv) + " in state " +
@@ -249,6 +282,18 @@ Engine::CommitInfo Engine::commit(ProcId p, int choice) {
     throw std::out_of_range("Engine::commit: choice " +
                             std::to_string(choice) + " out of range (" +
                             std::to_string(set.size()) + " transitions)");
+  }
+  if (undo) {
+    undo->p = p;
+    undo->gid = pa.handle.gid;
+    undo->inv = pa.inv;
+    undo->saved_state = state;
+    undo->saved_time = time_;
+    undo->saved_clock = clock_;
+    undo->history_size = history_.size();
+    undo->saved_proc = proc;  // full pre-step snapshot, before any mutation
+    undo->persist.clear();
+    undo->reopened_ops.clear();
   }
   const Transition t = set[static_cast<std::size_t>(choice)];
   object_state_[static_cast<std::size_t>(pa.handle.gid)] = t.next;
@@ -260,8 +305,31 @@ Engine::CommitInfo Engine::commit(ProcId p, int choice) {
   proc.stack.back().locals.regs[static_cast<std::size_t>(pa.result_reg)] =
       t.resp;
   proc.pending.reset();
-  prepare(p);
+  prepare(p, undo);
   return CommitInfo{pa.handle.gid, pa.handle.port, pa.inv, t.resp};
+}
+
+void Engine::revert(UndoRecord& undo) {
+  if (undo.p < 0) {
+    throw std::logic_error("Engine::revert: record was never filled");
+  }
+  object_state_[static_cast<std::size_t>(undo.gid)] = undo.saved_state;
+  --access_count_[static_cast<std::size_t>(undo.gid)];
+  --access_by_inv_[static_cast<std::size_t>(undo.gid)]
+                  [static_cast<std::size_t>(undo.inv)];
+  time_ = undo.saved_time;
+  clock_ = undo.saved_clock;
+  // Persistent blocks, newest write-back first (a block written twice in
+  // one step ends at its original values).
+  for (auto it = undo.persist.rbegin(); it != undo.persist.rend(); ++it) {
+    auto& store = persistent_[static_cast<std::size_t>(it->gid)];
+    std::copy(it->old.begin(), it->old.end(),
+              store.begin() + static_cast<std::ptrdiff_t>(it->offset));
+  }
+  history_.truncate(undo.history_size);
+  for (const int op_id : undo.reopened_ops) history_.reopen_op(op_id);
+  procs_[static_cast<std::size_t>(undo.p)] = std::move(undo.saved_proc);
+  undo.p = -1;  // mark consumed (saved_proc was moved out)
 }
 
 StateId Engine::object_state(ObjectId g) const {
@@ -373,6 +441,16 @@ ConfigKey Engine::config_key(const ProcessRenaming& r) const {
   ConfigKey key;
   emit_key(key, &r);
   return key;
+}
+
+void Engine::config_key_into(ConfigKey& key) const {
+  key.words.clear();
+  emit_key(key, nullptr);
+}
+
+void Engine::config_key_into(ConfigKey& key, const ProcessRenaming& r) const {
+  key.words.clear();
+  emit_key(key, &r);
 }
 
 void Engine::apply_renaming(const ProcessRenaming& r) {

@@ -1,35 +1,17 @@
-// The compiled execution core's sequential explorer: a single undo-journaled
-// engine walks the configuration tree in exactly the legacy traversal order
-// (see explorer_legacy.cpp), but instead of copying the engine once per
-// branch it applies each step with Engine::apply() and rolls it back with
-// Engine::revert() on the way out.  Configurations are interned in a
-// ConfigInterner arena -- the memo table maps key words to dense u32 ids, and
-// per-node dynamic-programming state lives in a flat vector indexed by id.
-//
-// ORDER CONTRACT.  Every observable of the legacy explorer is preserved bit
-// for bit: memo lookup precedes the cycle abort, which precedes the limit
-// check, which precedes the insert + configs increment; children are
-// enumerated in ascending process order with nondeterministic choices inner;
-// edges are counted before the step is taken.  The differential suites
-// (tests/differential.cpp, tests/compiled_core.cpp) hold explore() to
-// explore_legacy() across the full zoo.
-//
-// REDUCED DFS.  Under kSleep / kSleepSymmetry the node entry canonicalizes
-// the engine IN PLACE (the legacy code canonicalized a per-node copy).  The
-// applied group renaming is recorded and inverted on EVERY return path --
-// memo hits and limit aborts included -- before control returns to the
-// parent, whose own revert() assumes the engine is exactly as its apply()
-// left it.  Once `aborted_` is set the results are discarded wholesale, but
-// the unwind still runs the full undo chain so the engine stays exact (and
-// every rollback operation stays trivially memory-safe).
+// The pre-compiled-core explorer, kept verbatim as a reference
+// implementation: copy-the-engine-to-branch DFS over std::unordered_map
+// memo tables.  explore() (explorer.cpp) reproduces these traversals with
+// an undo-journaled engine and an interned memo; the differential suites
+// assert bit-identical ExploreOutcomes between the two, and
+// bench_e12_compiled_core measures the speedup against this code.  Do not
+// modify the traversal order here: its exact counter sequence is the
+// contract the compiled core is held to.
 #include "wfregs/runtime/explorer.hpp"
 
 #include <algorithm>
 #include <memory>
-#include <optional>
+#include <unordered_map>
 #include <utility>
-
-#include "wfregs/runtime/config_intern.hpp"
 
 namespace wfregs {
 
@@ -45,9 +27,9 @@ struct NodeInfo {
   std::vector<std::size_t> inv_from;
 };
 
-class ExplorerImpl {
+class LegacyExplorerImpl {
  public:
-  ExplorerImpl(const ExploreLimits& limits, const TerminalCheck& check)
+  LegacyExplorerImpl(const ExploreLimits& limits, const TerminalCheck& check)
       : limits_(limits), check_(check) {}
 
   ExploreOutcome run(const Engine& root) {
@@ -63,8 +45,7 @@ class ExplorerImpl {
             static_cast<std::size_t>(invs);
       }
     }
-    engine_.emplace(root);
-    const NodeInfo info = dfs(0);
+    const NodeInfo info = dfs(root, 0);
     // Stats are only meaningful when the exploration ran to completion
     // (no cycle, no limit hit, no early stop at a violation).
     if (!aborted_) {
@@ -100,14 +81,11 @@ class ExplorerImpl {
     return info;
   }
 
-  NodeInfo dfs(int depth) {
+  NodeInfo dfs(const Engine& e, int depth) {
     if (aborted_) return leaf();
-    Engine& e = *engine_;
-    e.config_key_into(scratch_);
-    const std::uint64_t hash = config_hash_words(scratch_.words);
-    if (const std::uint32_t hit = memo_.find(scratch_.words, hash);
-        hit != ConfigInterner::kNotFound) {
-      if (nodes_[hit].state == NodeInfo::State::kOnPath) {
+    const ConfigKey key = e.config_key();
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      if (it->second.state == NodeInfo::State::kOnPath) {
         // A configuration repeats along the current path: the executions of
         // this implementation form an infinite tree, so by the Section 4.2
         // argument (Koenig's lemma) some process runs forever without
@@ -116,7 +94,7 @@ class ExplorerImpl {
         aborted_ = true;
         return leaf();
       }
-      return nodes_[hit];
+      return it->second;
     }
     if (depth > limits_.max_depth ||
         outcome_.stats.configs >= limits_.max_configs) {
@@ -124,8 +102,7 @@ class ExplorerImpl {
       aborted_ = true;
       return leaf();
     }
-    const std::uint32_t id = memo_.intern(scratch_.words, hash);
-    nodes_.emplace_back();  // state kOnPath until this node's DP completes
+    memo_.emplace(key, NodeInfo{NodeInfo::State::kOnPath, 0, {}, {}});
     ++outcome_.stats.configs;
 
     NodeInfo info = leaf();
@@ -138,14 +115,13 @@ class ExplorerImpl {
         }
       }
     } else {
-      Engine::UndoRecord undo;
       for (const ProcId p : e.runnable()) {
         const int width = e.pending_choices(p);
         for (int c = 0; c < width; ++c) {
           ++outcome_.stats.edges;
-          const Engine::CommitInfo commit = e.apply(p, c, undo);
-          const NodeInfo child_info = dfs(depth + 1);
-          e.revert(undo);
+          Engine child = e;
+          const Engine::CommitInfo commit = child.commit(p, c);
+          const NodeInfo child_info = dfs(child, depth + 1);
           if (aborted_) break;
           info.depth_from =
               std::max(info.depth_from, child_info.depth_from + 1);
@@ -170,7 +146,7 @@ class ExplorerImpl {
         if (aborted_) break;
       }
     }
-    nodes_[id] = info;
+    memo_[key] = info;
     return info;
   }
 
@@ -180,23 +156,15 @@ class ExplorerImpl {
   std::vector<std::size_t> inv_offset_;
   bool aborted_ = false;
   ExploreOutcome outcome_;
-  /// The one engine of this exploration; every recursion level applies a
-  /// step on the way down and reverts it on the way up.
-  std::optional<Engine> engine_;
-  ConfigKey scratch_;
-  ConfigInterner memo_;
-  std::vector<NodeInfo> nodes_;  ///< DP state, indexed by interned id
+  std::unordered_map<ConfigKey, NodeInfo, ConfigKeyHash> memo_;
 };
 
-/// The reduced DFS: same interned dynamic program as ExplorerImpl, but over
-/// (canonical configuration, sleep mask) nodes.  Children are enumerated in
-/// ascending process order with slept processes skipped, the engine is
-/// canonicalized in place at node entry (and un-renamed at node exit; see
-/// the header comment), and the Koenig's-lemma cycle abort fires on a node
-/// repeat along the current path exactly as in the unreduced explorer.
-class ReducedExplorerImpl {
+/// The reduced DFS over (canonical configuration, sleep mask) nodes; see
+/// explorer.cpp for the traversal contract.
+class LegacyReducedExplorerImpl {
  public:
-  ReducedExplorerImpl(const ExploreOptions& options, const TerminalCheck& check)
+  LegacyReducedExplorerImpl(const ExploreOptions& options,
+                            const TerminalCheck& check)
       : limits_(options.limits), check_(check), options_(options) {}
 
   ExploreOutcome run(const Engine& root) {
@@ -214,8 +182,7 @@ class ReducedExplorerImpl {
             static_cast<std::size_t>(invs);
       }
     }
-    engine_.emplace(root);
-    const NodeInfo info = dfs(0, 0);
+    const NodeInfo info = dfs(Engine(root), 0, 0);
     if (!aborted_) {
       outcome_.stats.depth = info.depth_from;
       if (limits_.track_access_bounds) {
@@ -249,33 +216,16 @@ class ReducedExplorerImpl {
     return info;
   }
 
-  /// Node entry/exit wrapper: canonicalizes the engine in place (updating
-  /// `sleep` and filling scratch_ with the node key), runs the memoized
-  /// body, and inverts the applied renaming on the single exit point --
-  /// which covers memo hits, cycle and limit aborts, and normal completion
-  /// alike, so the parent's revert() always sees its own post-apply state.
-  NodeInfo dfs(std::uint64_t sleep, int depth) {
+  NodeInfo dfs(Engine e, std::uint64_t sleep, int depth) {
     if (aborted_) return leaf();
-    int applied = -1;
-    ctx_->canonical_node_key_into(*engine_, sleep, scratch_, &applied);
-    const NodeInfo info = body(sleep, depth);
-    if (applied >= 0) ctx_->undo_renaming(*engine_, applied);
-    return info;
-  }
-
-  /// Memoized DP over the canonical node held in `scratch_` / `*engine_`.
-  /// scratch_ is consumed (find + intern) before any recursion reuses it.
-  NodeInfo body(std::uint64_t sleep, int depth) {
-    Engine& e = *engine_;
-    const std::uint64_t hash = config_hash_words(scratch_.words);
-    if (const std::uint32_t hit = memo_.find(scratch_.words, hash);
-        hit != ConfigInterner::kNotFound) {
-      if (nodes_[hit].state == NodeInfo::State::kOnPath) {
+    const ConfigKey key = ctx_->canonical_node_key(e, sleep);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      if (it->second.state == NodeInfo::State::kOnPath) {
         outcome_.wait_free = false;
         aborted_ = true;
         return leaf();
       }
-      return nodes_[hit];
+      return it->second;
     }
     if (depth > limits_.max_depth ||
         outcome_.stats.configs >= limits_.max_configs) {
@@ -283,8 +233,7 @@ class ReducedExplorerImpl {
       aborted_ = true;
       return leaf();
     }
-    const std::uint32_t id = memo_.intern(scratch_.words, hash);
-    nodes_.emplace_back();
+    memo_.emplace(key, NodeInfo{NodeInfo::State::kOnPath, 0, {}, {}});
     ++outcome_.stats.configs;
 
     NodeInfo info = leaf();
@@ -298,7 +247,6 @@ class ReducedExplorerImpl {
       }
     } else {
       const auto steps = ctx_->steps(e);
-      Engine::UndoRecord undo;
       for (std::size_t idx = 0; idx < steps.size() && !aborted_; ++idx) {
         const auto& step = steps[idx];
         if (sleep & (std::uint64_t{1} << step.p)) continue;
@@ -306,9 +254,10 @@ class ReducedExplorerImpl {
             ctx_->child_sleep(steps, idx, sleep);
         for (int c = 0; c < step.width; ++c) {
           ++outcome_.stats.edges;
-          e.apply(step.p, c, undo);
-          const NodeInfo child_info = dfs(child_sleep, depth + 1);
-          e.revert(undo);
+          Engine child = e;
+          child.commit(step.p, c);
+          const NodeInfo child_info =
+              dfs(std::move(child), child_sleep, depth + 1);
           if (aborted_) break;
           info.depth_from =
               std::max(info.depth_from, child_info.depth_from + 1);
@@ -332,7 +281,7 @@ class ReducedExplorerImpl {
         }
       }
     }
-    nodes_[id] = info;
+    memo_[key] = info;
     return info;
   }
 
@@ -344,26 +293,19 @@ class ReducedExplorerImpl {
   std::vector<std::size_t> inv_offset_;
   bool aborted_ = false;
   ExploreOutcome outcome_;
-  std::optional<Engine> engine_;
-  ConfigKey scratch_;
-  ConfigInterner memo_;
-  std::vector<NodeInfo> nodes_;
+  std::unordered_map<ConfigKey, NodeInfo, ConfigKeyHash> memo_;
 };
 
 }  // namespace
 
-ExploreOutcome explore(const Engine& root, const ExploreLimits& limits,
-                       const TerminalCheck& check) {
-  ExplorerImpl impl(limits, check);
-  return impl.run(root);
-}
-
-ExploreOutcome explore(const Engine& root, const ExploreOptions& options,
-                       const TerminalCheck& check) {
+ExploreOutcome explore_legacy(const Engine& root,
+                              const ExploreOptions& options,
+                              const TerminalCheck& check) {
   if (options.reduction == Reduction::kNone) {
-    return explore(root, options.limits, check);
+    LegacyExplorerImpl impl(options.limits, check);
+    return impl.run(root);
   }
-  ReducedExplorerImpl impl(options, check);
+  LegacyReducedExplorerImpl impl(options, check);
   return impl.run(root);
 }
 

@@ -1,17 +1,23 @@
 // Parallel schedule exploration: a work-stealing frontier of configuration
-// subtrees over a sharded, lock-striped memo table.
+// subtrees over a sharded, interned memo table.
 //
 // Discovery and reduction are split into phases:
 //
-//   1. DISCOVERY (parallel).  Workers pop frontier configurations from
-//      per-worker deques (LIFO locally for DFS-like memory behaviour, FIFO
-//      steals from victims so thieves grab the oldest -- largest --
-//      subtrees).  Expanding a configuration copies the engine once per
-//      outgoing edge, exactly like the sequential explorer, and claims the
-//      child in the memo shard owning its ConfigKey hash; the first
-//      inserter owns the child's expansion, so every configuration is
-//      expanded exactly once and the per-node edge list is written by a
-//      single thread (published to the post-passes by thread join).
+//   1. DISCOVERY (parallel).  Workers pop frontier nodes from per-worker
+//      deques (LIFO locally for DFS-like memory behaviour, FIFO steals from
+//      victims so thieves grab the oldest -- largest -- subtrees).  Each
+//      worker owns ONE undo-journaled engine; a frontier item carries no
+//      engine at all, only a path chain of compact (process, choice,
+//      renaming) deltas from the canonical root.  Popping an item
+//      repositions the worker's engine by reverting to the longest common
+//      prefix with its previous position and replaying the suffix --
+//      typically a handful of steps, since local pops walk the worker's own
+//      DFS order.  Expansion applies each outgoing step with
+//      Engine::apply(), claims the child in the interner shard owning its
+//      key hash, and reverts; the first inserter owns the child's
+//      expansion, so every configuration is expanded exactly once and the
+//      per-node edge list is written by a single thread (published to the
+//      post-passes by thread join).
 //   2. CANONICAL REPLAY (single-threaded, cheap: no engine stepping).  A
 //      DFS over the discovered DAG in stored edge order -- the exact
 //      traversal the sequential explorer performs -- recomputes configs /
@@ -25,15 +31,20 @@
 // Early aborts (stop_at_violation, limit hits) short-circuit discovery via
 // an atomic stop flag; the post-passes are then skipped and the outcome
 // carries partial counters, mirroring the sequential explorer's aborted
-// shape (see the PARALLEL EXPLORATION contract in explorer.hpp).
+// shape (see the PARALLEL EXPLORATION contract in explorer.hpp).  Once the
+// stop flag is set a worker's engine may be left mid-path; that is fine --
+// no worker expands another node afterwards.
 //
 // REDUCTION plugs into discovery as a claim-time filter: a node is a
 // (canonical configuration, sleep mask) pair, expansion enumerates only the
 // non-slept steps of the node's canonical representative engine, and every
-// child is canonicalized BEFORE its try_emplace claim.  Canonicalization is
-// a pure function of the child configuration, so racing workers compute the
-// same key and the reduced node graph is exactly the sequential reduced
-// explorer's; the canonical replay and DP post-passes then work unchanged.
+// child is canonicalized in place BEFORE its claim (then un-renamed and
+// reverted).  Canonicalization is a pure function of the child
+// configuration, so racing workers compute the same key and the reduced
+// node graph is exactly the sequential reduced explorer's; the claiming
+// worker records WHICH group renaming canonicalization applied, and path
+// replay re-applies that index verbatim -- no keys are recomputed when
+// repositioning an engine.
 #include "wfregs/runtime/explorer.hpp"
 
 #include <algorithm>
@@ -46,8 +57,9 @@
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 #include <utility>
+
+#include "wfregs/runtime/config_intern.hpp"
 
 namespace wfregs {
 
@@ -77,18 +89,38 @@ struct PNode {
 
 constexpr std::size_t kNumShards = 64;
 
-/// One stripe of the memo table: a mutex, the key -> node map, and an arena
-/// whose deque storage keeps node addresses stable under insertion.
+/// One stripe of the memo table: a mutex, the key-words -> dense-id
+/// interner, and an arena whose deque storage keeps node addresses stable
+/// under insertion.  arena[id] is the node of interned id `id`.
 struct Shard {
   std::mutex mu;
-  std::unordered_map<ConfigKey, PNode*, ConfigKeyHash> map;
+  ConfigInterner interner;
   std::deque<PNode> arena;
 };
 
+/// One compact delta on a root-to-node path: step process `p` with
+/// nondeterministic choice `choice`, then (under symmetry) apply group
+/// renaming `renaming` to canonicalize the resulting configuration (-1 when
+/// canonicalization left the engine untouched).
+struct PathStep {
+  ProcId p = -1;
+  int choice = 0;
+  int renaming = -1;
+};
+
+/// Immutable reverse-linked path chain from the canonical root; WorkItems
+/// and child chains share ancestor suffixes, so the frontier serializes
+/// O(depth) small nodes per item instead of whole engines.
+struct PathNode {
+  PathStep step;
+  std::shared_ptr<const PathNode> parent;
+};
+
 struct WorkItem {
-  PNode* node;
-  Engine engine;
-  int depth;
+  PNode* node = nullptr;
+  /// Path from the canonical root to this node; nullptr for the root.
+  std::shared_ptr<const PathNode> path;
+  int depth = 0;
   std::uint64_t sleep = 0;
 };
 
@@ -125,22 +157,28 @@ class ParallelExplorer {
       out.complete = false;
       return out;
     }
-    PNode* root_node = nullptr;
-    Engine root_engine(root);
+    // Canonicalize the root once; every worker's engine starts as a copy of
+    // this representative, and all path chains are rooted at it.
+    canonical_root_.emplace(root);
     std::uint64_t root_sleep = 0;
+    PNode* root_node = nullptr;
     {
-      const ConfigKey key =
-          ctx_ ? ctx_->canonical_node_key(root_engine, root_sleep)
-               : root_engine.config_key();
-      Shard& s = shard_for(key);
+      ConfigKey key;
+      if (ctx_) {
+        ctx_->canonical_node_key_into(*canonical_root_, root_sleep, key,
+                                      nullptr);
+      } else {
+        canonical_root_->config_key_into(key);
+      }
+      const std::uint64_t hash = config_hash_words(key.words);
+      Shard& s = shards_[hash % kNumShards];
+      s.interner.intern(key.words, hash);
       s.arena.emplace_back();
       root_node = &s.arena.back();
-      s.map.emplace(key, root_node);
     }
     configs_.store(1, std::memory_order_relaxed);
     pending_.store(1, std::memory_order_relaxed);
-    queues_[0].items.push_back(
-        WorkItem{root_node, std::move(root_engine), 0, root_sleep});
+    queues_[0].items.push_back(WorkItem{root_node, nullptr, 0, root_sleep});
 
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(threads_));
@@ -154,6 +192,7 @@ class ParallelExplorer {
     out.stats.configs = configs_.load(std::memory_order_relaxed);
     out.stats.edges = edges_.load(std::memory_order_relaxed);
     out.stats.terminals = terminals_.load(std::memory_order_relaxed);
+    out.stats.interned_configs = interned_total();
     if (incomplete_.load(std::memory_order_relaxed)) {
       out.complete = false;
       return out;
@@ -175,11 +214,34 @@ class ParallelExplorer {
     std::deque<WorkItem> items;
   };
 
-  Shard& shard_for(const ConfigKey& key) {
-    return shards_[ConfigKeyHash{}(key) % kNumShards];
+  /// One applied level of a worker's current path: the undo journal of the
+  /// step plus the renaming index applied after it (-1 = none).
+  struct AppliedLevel {
+    Engine::UndoRecord undo;
+    int renaming = -1;
+  };
+
+  /// Per-worker exploration state: the single engine plus the path it is
+  /// currently positioned at.  `tail` keeps the chain of `cur` alive (the
+  /// raw pointers in `cur` are ancestors of `tail`), so prefix comparison
+  /// against the next item's chain never touches freed nodes.
+  struct WorkerState {
+    std::optional<Engine> engine;
+    std::vector<AppliedLevel> levels;  ///< levels[k] journals cur[k]'s step
+    std::vector<const PathNode*> cur;
+    std::shared_ptr<const PathNode> tail;
+    std::vector<const PathNode*> target;  ///< scratch for switch_to
+    ConfigKey scratch;                    ///< child-key scratch for expand
+  };
+
+  std::size_t interned_total() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) total += s.interner.size();
+    return total;
   }
 
   void worker(int wid) {
+    WorkerState ws;
     try {
       int idle_rounds = 0;
       while (!stop_.load(std::memory_order_acquire)) {
@@ -194,7 +256,9 @@ class ParallelExplorer {
           continue;
         }
         idle_rounds = 0;
-        expand(wid, *item);
+        if (!ws.engine) ws.engine.emplace(*canonical_root_);
+        switch_to(ws, *item);
+        expand(wid, ws, *item);
         pending_.fetch_sub(1, std::memory_order_acq_rel);
       }
     } catch (...) {
@@ -237,24 +301,60 @@ class ParallelExplorer {
     q.items.push_back(std::move(item));
   }
 
+  /// Repositions ws.engine at item's node: unwind to the longest common
+  /// prefix of the current and target paths (inverting each level's
+  /// renaming before reverting its step), then replay the target suffix
+  /// (applying each recorded step and re-applying its recorded renaming
+  /// index).  Path chains are immutable and shared, so pointer equality
+  /// identifies common prefixes exactly.
+  void switch_to(WorkerState& ws, const WorkItem& item) {
+    ws.target.clear();
+    for (const PathNode* n = item.path.get(); n != nullptr;
+         n = n->parent.get()) {
+      ws.target.push_back(n);
+    }
+    std::reverse(ws.target.begin(), ws.target.end());
+    std::size_t common = 0;
+    while (common < ws.cur.size() && common < ws.target.size() &&
+           ws.cur[common] == ws.target[common]) {
+      ++common;
+    }
+    while (ws.cur.size() > common) {
+      AppliedLevel& lv = ws.levels[ws.cur.size() - 1];
+      if (lv.renaming >= 0) ctx_->undo_renaming(*ws.engine, lv.renaming);
+      ws.engine->revert(lv.undo);
+      ws.cur.pop_back();
+    }
+    for (std::size_t i = common; i < ws.target.size(); ++i) {
+      const PathNode* n = ws.target[i];
+      if (ws.levels.size() <= ws.cur.size()) ws.levels.emplace_back();
+      AppliedLevel& lv = ws.levels[ws.cur.size()];
+      ws.engine->apply(n->step.p, n->step.choice, lv.undo);
+      lv.renaming = n->step.renaming;
+      if (lv.renaming >= 0) ctx_->apply_renaming_index(*ws.engine, lv.renaming);
+      ws.cur.push_back(n);
+    }
+    ws.tail = item.path;
+  }
+
   /// Claims a discovered child (already canonicalized under reduction) in
-  /// its memo shard, records the edge, and enqueues the expansion when this
-  /// call won the insertion race.  Returns false on a limit abort.
-  bool claim_child(int wid, const WorkItem& item, Engine&& child,
-                   std::uint64_t child_sleep, const ConfigKey& key,
-                   ObjectId object, InvId inv) {
+  /// its interner shard, records the edge, and enqueues the expansion when
+  /// this call won the insertion race.  Returns false on a limit abort.
+  bool claim_child(int wid, const WorkItem& item, std::uint64_t child_sleep,
+                   const ConfigKey& key, std::uint64_t hash, ObjectId object,
+                   InvId inv, ProcId p, int choice, int renaming) {
     PNode* child_node = nullptr;
     bool inserted = false;
     {
-      Shard& s = shard_for(key);
+      Shard& s = shards_[hash % kNumShards];
       std::lock_guard<std::mutex> lk(s.mu);
-      const auto [it, fresh] = s.map.try_emplace(key, nullptr);
-      if (fresh) {
+      const std::size_t before = s.interner.size();
+      const std::uint32_t id = s.interner.intern(key.words, hash);
+      if (s.interner.size() != before) {
         s.arena.emplace_back();
-        it->second = &s.arena.back();
+        inserted = true;
       }
-      child_node = it->second;
-      inserted = fresh;
+      child_node = &s.arena[id];
     }
     item.node->edges.push_back(PEdge{child_node, object, inv});
     if (inserted) {
@@ -265,14 +365,16 @@ class ParallelExplorer {
         stop_.store(true, std::memory_order_release);
         return false;
       }
-      push(wid, WorkItem{child_node, std::move(child), item.depth + 1,
+      auto link = std::make_shared<const PathNode>(
+          PathNode{PathStep{p, choice, renaming}, item.path});
+      push(wid, WorkItem{child_node, std::move(link), item.depth + 1,
                          child_sleep});
     }
     return true;
   }
 
-  void expand(int wid, WorkItem& item) {
-    Engine& e = item.engine;
+  void expand(int wid, WorkerState& ws, const WorkItem& item) {
+    Engine& e = *ws.engine;
     PNode* node = item.node;
     if (e.all_done()) {
       node->terminal = true;
@@ -291,11 +393,13 @@ class ParallelExplorer {
       }
       return;
     }
+    Engine::UndoRecord undo;
     if (ctx_) {
       // Reduced discovery: skip slept processes, canonicalize every child
-      // before the claim.  `e` is this node's canonical representative, so
-      // the enumeration order -- and with it the stored edge order replayed
-      // by the post-pass -- matches the sequential reduced explorer.
+      // in place before the claim.  `e` is this node's canonical
+      // representative, so the enumeration order -- and with it the stored
+      // edge order replayed by the post-pass -- matches the sequential
+      // reduced explorer.
       const auto steps = ctx_->steps(e);
       for (std::size_t idx = 0; idx < steps.size(); ++idx) {
         const auto& step = steps[idx];
@@ -305,14 +409,17 @@ class ParallelExplorer {
         for (int c = 0; c < step.width; ++c) {
           if (stop_.load(std::memory_order_acquire)) return;
           edges_.fetch_add(1, std::memory_order_relaxed);
-          Engine child = e;
-          child.commit(step.p, c);
+          e.apply(step.p, c, undo);
           std::uint64_t canon_sleep = child_sleep;
-          const ConfigKey key = ctx_->canonical_node_key(child, canon_sleep);
-          if (!claim_child(wid, item, std::move(child), canon_sleep, key,
-                           step.object, step.inv)) {
-            return;
-          }
+          int applied = -1;
+          ctx_->canonical_node_key_into(e, canon_sleep, ws.scratch, &applied);
+          const std::uint64_t hash = config_hash_words(ws.scratch.words);
+          const bool ok =
+              claim_child(wid, item, canon_sleep, ws.scratch, hash,
+                          step.object, step.inv, step.p, c, applied);
+          if (applied >= 0) ctx_->undo_renaming(e, applied);
+          e.revert(undo);
+          if (!ok) return;
         }
       }
       return;
@@ -322,13 +429,13 @@ class ParallelExplorer {
       for (int c = 0; c < width; ++c) {
         if (stop_.load(std::memory_order_acquire)) return;
         edges_.fetch_add(1, std::memory_order_relaxed);
-        Engine child = e;
-        const Engine::CommitInfo commit = child.commit(p, c);
-        const ConfigKey key = child.config_key();
-        if (!claim_child(wid, item, std::move(child), 0, key, commit.object,
-                         commit.inv)) {
-          return;
-        }
+        const Engine::CommitInfo commit = e.apply(p, c, undo);
+        e.config_key_into(ws.scratch);
+        const std::uint64_t hash = config_hash_words(ws.scratch.words);
+        const bool ok = claim_child(wid, item, 0, ws.scratch, hash,
+                                    commit.object, commit.inv, p, c, -1);
+        e.revert(undo);
+        if (!ok) return;
       }
     }
   }
@@ -381,10 +488,12 @@ class ParallelExplorer {
     if (cycle) {
       out.wait_free = false;
       // Counters at the abort point, matching the sequential explorer's
-      // partial stats bit for bit (the replay IS its traversal).
+      // partial stats bit for bit (the replay IS its traversal, and the
+      // sequential memo grows in lockstep with its configs counter).
       out.stats.configs = seen_configs;
       out.stats.edges = seen_edges;
       out.stats.terminals = seen_terminals;
+      out.stats.interned_configs = seen_configs;
       return;
     }
     out.stats.configs = seen_configs;
@@ -443,6 +552,9 @@ class ParallelExplorer {
   std::unique_ptr<ReductionContext> ctx_;
   int num_objects_ = 0;
   std::vector<std::size_t> inv_offset_;
+  /// The canonicalized root configuration; workers copy it lazily on their
+  /// first item.
+  std::optional<Engine> canonical_root_;
   std::array<Shard, kNumShards> shards_;
   std::vector<WorkerQueue> queues_;
   std::atomic<std::size_t> configs_{0};

@@ -29,6 +29,25 @@ void History::end_op(int op_id, Val response, std::size_t time) {
   rec.response_time = time;
 }
 
+void History::truncate(std::size_t n) {
+  if (n > ops_.size()) {
+    throw std::out_of_range("History::truncate: size can only shrink");
+  }
+  ops_.resize(n);
+}
+
+void History::reopen_op(int op_id) {
+  if (op_id < 0 || op_id >= static_cast<int>(ops_.size())) {
+    throw std::out_of_range("History::reopen_op: bad op id");
+  }
+  auto& rec = ops_[static_cast<std::size_t>(op_id)];
+  if (!rec.response) {
+    throw std::logic_error("History::reopen_op: op is still pending");
+  }
+  rec.response.reset();
+  rec.response_time = 0;
+}
+
 void History::rename(const std::function<ProcId(ProcId)>& proc_map,
                      const std::function<PortId(ObjectId, PortId)>& port_map) {
   for (OpRecord& rec : ops_) {

@@ -97,20 +97,14 @@ IndependenceTable IndependenceTable::build(const System& sys) {
   IndependenceTable table = all_dependent(sys);
   for (ObjectId g = 0; g < sys.num_objects(); ++g) {
     if (!sys.is_base(g)) continue;
-    const TypeSpec& t = *sys.base(g).spec;
-    for (PortId a = 0; a < t.ports(); ++a) {
-      for (InvId i1 = 0; i1 < t.num_invocations(); ++i1) {
-        for (PortId b = 0; b < t.ports(); ++b) {
-          for (InvId i2 = 0; i2 < t.num_invocations(); ++i2) {
-            bool commutes = true;
-            for (StateId q = 0; q < t.num_states() && commutes; ++q) {
-              commutes = accesses_commute_at(t, q, a, i1, b, i2);
-            }
-            table.set_independent(g, a, i1, b, i2, commutes);
-          }
-        }
-      }
-    }
+    // The pairwise outcome-set comparison was precomputed when the spec was
+    // compiled (CompiledType's commutation matrix uses the same
+    // [(a*I+i1)*P*I + b*I+i2] layout as PerObject::bits), so building the
+    // baseline table is a copy instead of a per-build delta traversal.
+    const CompiledType& ct = *sys.base(g).compiled;
+    const auto matrix = ct.commutation_matrix();
+    auto& per = table.objects_[static_cast<std::size_t>(g)];
+    std::copy(matrix.begin(), matrix.end(), per.bits.begin());
   }
   return table;
 }
@@ -344,6 +338,17 @@ ReductionContext::ReductionContext(const System& sys, Reduction mode,
   }
   if (mode == Reduction::kSleepSymmetry) {
     renamings_ = symmetry_renamings(sys);
+    inverses_.reserve(renamings_.size());
+    for (const ProcessRenaming& r : renamings_) {
+      // The inverse permutation is the same renaming with the forward and
+      // backward maps swapped.
+      ProcessRenaming inv;
+      inv.proc_map = r.old_proc;
+      inv.old_proc = r.proc_map;
+      inv.port_map = r.old_port;
+      inv.old_port = r.port_map;
+      inverses_.push_back(std::move(inv));
+    }
   }
 }
 
@@ -387,29 +392,48 @@ std::uint64_t ReductionContext::child_sleep(const std::vector<Step>& steps,
 
 ConfigKey ReductionContext::canonical_node_key(Engine& e,
                                                std::uint64_t& sleep) const {
-  ConfigKey best = e.config_key();
+  ConfigKey key;
+  canonical_node_key_into(e, sleep, key, nullptr);
+  return key;
+}
+
+void ReductionContext::canonical_node_key_into(Engine& e, std::uint64_t& sleep,
+                                               ConfigKey& out,
+                                               int* applied) const {
+  e.config_key_into(out);
   std::uint64_t best_sleep = sleep;
-  const ProcessRenaming* best_r = nullptr;
-  for (const ProcessRenaming& r : renamings_) {
-    ConfigKey k = e.config_key(r);
+  int best_idx = -1;
+  ConfigKey scratch;
+  for (std::size_t idx = 0; idx < renamings_.size(); ++idx) {
+    const ProcessRenaming& r = renamings_[idx];
+    e.config_key_into(scratch, r);
     std::uint64_t renamed = 0;
     for (ProcId p = 0; p < static_cast<int>(r.proc_map.size()); ++p) {
       if (sleep & (std::uint64_t{1} << p)) {
         renamed |= std::uint64_t{1} << r.proc_map[static_cast<std::size_t>(p)];
       }
     }
-    if (std::tie(k.words, renamed) < std::tie(best.words, best_sleep)) {
-      best = std::move(k);
+    if (std::tie(scratch.words, renamed) <
+        std::tie(out.words, best_sleep)) {
+      std::swap(out.words, scratch.words);
       best_sleep = renamed;
-      best_r = &r;
+      best_idx = static_cast<int>(idx);
     }
   }
-  if (best_r) {
-    e.apply_renaming(*best_r);
+  if (best_idx >= 0) {
+    e.apply_renaming(renamings_[static_cast<std::size_t>(best_idx)]);
     sleep = best_sleep;
   }
-  best.words.push_back(best_sleep);
-  return best;
+  if (applied) *applied = best_idx;
+  out.words.push_back(best_sleep);
+}
+
+void ReductionContext::apply_renaming_index(Engine& e, int idx) const {
+  e.apply_renaming(renamings_[static_cast<std::size_t>(idx)]);
+}
+
+void ReductionContext::undo_renaming(Engine& e, int idx) const {
+  e.apply_renaming(inverses_[static_cast<std::size_t>(idx)]);
 }
 
 }  // namespace wfregs

@@ -34,7 +34,9 @@ ObjectId System::add_base(std::shared_ptr<const TypeSpec> spec,
       throw std::out_of_range("System::add_base: port out of range");
     }
   }
-  objects_.emplace_back(BaseObject{std::move(spec), initial});
+  auto compiled = compiled_for(*spec);
+  objects_.emplace_back(
+      BaseObject{std::move(spec), initial, std::move(compiled)});
   top_ports_.push_back(std::move(port_of_process));
   placements_.push_back(
       Placement{static_cast<ObjectId>(objects_.size()) - 1, {}});
@@ -46,7 +48,8 @@ ObjectId System::instantiate(
     const ObjectDecl& decl, std::vector<int>& path,
     std::vector<std::pair<ObjectId, std::vector<int>>>& collected) {
   if (decl.is_base()) {
-    objects_.emplace_back(BaseObject{decl.spec, decl.initial});
+    objects_.emplace_back(
+        BaseObject{decl.spec, decl.initial, compiled_for(*decl.spec)});
     top_ports_.emplace_back();  // inner objects have no top-level ports
     placements_.emplace_back();  // patched by add_implemented
     ++num_base_;
@@ -97,6 +100,16 @@ ObjectId System::add_implemented(std::shared_ptr<const Implementation> impl,
         Placement{g, std::move(inner_path)};
   }
   return g;
+}
+
+std::shared_ptr<const CompiledType> System::compiled_for(
+    const TypeSpec& spec) {
+  for (const auto& [key, compiled] : compiled_cache_) {
+    if (key == &spec) return compiled;
+  }
+  auto compiled = std::make_shared<const CompiledType>(spec);
+  compiled_cache_.emplace_back(&spec, compiled);
+  return compiled;
 }
 
 const System::Placement& System::placement(ObjectId g) const {

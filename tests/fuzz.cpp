@@ -7,12 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "test_support.hpp"
 #include "wfregs/analysis/lint.hpp"
 #include "wfregs/core/bounded_register.hpp"
 #include "wfregs/runtime/explorer.hpp"
+#include "wfregs/typesys/compiled_type.hpp"
 #include "wfregs/typesys/random_type.hpp"
 #include "wfregs/typesys/serialize.hpp"
 #include "wfregs/typesys/type_zoo.hpp"
@@ -202,6 +204,99 @@ TEST(Fuzz, LintAcceptsEveryRandomImplementation) {
       EXPECT_NE(d.pass, analysis::Diagnostic::Pass::kStructure)
           << "seed " << seed << ": " << d.to_string();
     }
+  }
+}
+
+/// Differential check of one compiled table against its source spec: every
+/// cell's transition slice, the deterministic accessor, the structural
+/// flags, and the precomputed pairwise commutation bits.
+void expect_compiled_matches(const TypeSpec& t) {
+  const CompiledType c = t.compile();
+  EXPECT_EQ(c.name(), t.name());
+  EXPECT_EQ(c.ports(), t.ports());
+  EXPECT_EQ(c.num_states(), t.num_states());
+  EXPECT_EQ(c.num_invocations(), t.num_invocations());
+  EXPECT_EQ(c.num_responses(), t.num_responses());
+  EXPECT_EQ(c.is_total(), t.is_total());
+  EXPECT_EQ(c.is_deterministic(), t.is_deterministic());
+  EXPECT_EQ(c.is_oblivious(), t.is_oblivious());
+  for (StateId q = 0; q < t.num_states(); ++q) {
+    for (PortId p = 0; p < t.ports(); ++p) {
+      for (InvId i = 0; i < t.num_invocations(); ++i) {
+        const auto want = t.delta(q, p, i);
+        const auto got = c.delta(q, p, i);
+        ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(),
+                               got.end()))
+            << t.name() << " delta(" << q << ", " << p << ", " << i << ")";
+        ASSERT_EQ(c.width(q, p, i), static_cast<int>(want.size()));
+        if (want.size() == 1) {
+          const Transition det = c.delta_det(q, p, i);
+          EXPECT_EQ(det.next, want.front().next);
+          EXPECT_EQ(det.resp, want.front().resp);
+        } else {
+          EXPECT_THROW(c.delta_det(q, p, i), std::logic_error);
+        }
+      }
+    }
+  }
+  for (PortId a = 0; a < t.ports(); ++a) {
+    for (InvId i1 = 0; i1 < t.num_invocations(); ++i1) {
+      for (PortId b = 0; b < t.ports(); ++b) {
+        for (InvId i2 = 0; i2 < t.num_invocations(); ++i2) {
+          bool everywhere = true;
+          for (StateId q = 0; q < t.num_states() && everywhere; ++q) {
+            everywhere = accesses_commute_at(t, q, a, i1, b, i2);
+          }
+          ASSERT_EQ(c.commutes_everywhere(a, i1, b, i2), everywhere)
+              << t.name() << " commute(" << a << ", " << i1 << ", " << b
+              << ", " << i2 << ")";
+        }
+      }
+    }
+  }
+  EXPECT_THROW(c.delta(t.num_states(), 0, 0), std::out_of_range);
+  EXPECT_THROW(c.delta(0, t.ports(), 0), std::out_of_range);
+  EXPECT_THROW(c.delta(0, 0, t.num_invocations()), std::out_of_range);
+}
+
+TEST(Fuzz, CompiledTypeMatchesSpecAcrossTheZoo) {
+  expect_compiled_matches(zoo::register_type(3, 2));
+  expect_compiled_matches(zoo::bit_type(3));
+  expect_compiled_matches(zoo::srsw_register_type(3));
+  expect_compiled_matches(zoo::srsw_bit_type());
+  expect_compiled_matches(zoo::mrsw_register_type(2, 2));
+  expect_compiled_matches(zoo::weak_bit_type(zoo::WeakBitKind::kSafe));
+  expect_compiled_matches(zoo::weak_bit_type(zoo::WeakBitKind::kRegular));
+  expect_compiled_matches(zoo::one_use_bit_type());
+  expect_compiled_matches(zoo::consensus_type(3));
+  expect_compiled_matches(zoo::multi_consensus_type(3, 2));
+  expect_compiled_matches(zoo::test_and_set_type(2));
+  expect_compiled_matches(zoo::fetch_and_add_type(4, 2));
+  expect_compiled_matches(zoo::cas_type(2, 2));
+  expect_compiled_matches(zoo::cas_old_type(2, 2));
+  expect_compiled_matches(zoo::sticky_bit_type(3));
+  expect_compiled_matches(zoo::queue_type(2, 2, 2));
+  expect_compiled_matches(zoo::stack_type(2, 2, 2));
+  expect_compiled_matches(zoo::snapshot_type(2, 2));
+  expect_compiled_matches(zoo::trivial_toggle_type(2));
+  expect_compiled_matches(zoo::trivial_sink_type(2));
+  expect_compiled_matches(zoo::nondet_coin_type(2));
+  expect_compiled_matches(zoo::port_flag_type(3));
+  expect_compiled_matches(zoo::mod_counter_type(5, 2));
+}
+
+TEST(Fuzz, CompiledTypeMatchesSpecOnRandomTypes) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    RandomTypeParams params;
+    params.ports = 1 + static_cast<int>(seed % 4);
+    params.num_states = 2 + static_cast<int>(seed % 5);
+    params.num_invocations = 1 + static_cast<int>(seed % 4);
+    params.num_responses = 2 + static_cast<int>(seed % 3);
+    params.oblivious = (seed % 3) == 0;
+    params.branching = 1 + static_cast<int>(seed % 3);
+    const TypeSpec t = random_type(params, seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_compiled_matches(t);
   }
 }
 
