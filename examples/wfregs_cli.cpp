@@ -12,6 +12,14 @@
 //                                          Theorem 5: strip the registers out
 //                                          of a classical consensus protocol,
 //                                          re-basing it on the file's type
+//   wfregs_cli make-job consensus <tas|queue|faa>
+//                                          emit a canonical verification job
+//                                          (the daemon's submit payload)
+//   wfregs_cli verify <job-file>...        run serialized jobs (locally, or
+//                                          on a daemon with --server)
+//   wfregs_cli check <tas|queue|faa>       make-job + verify in one step
+//   wfregs_cli stats                       daemon metrics (--server only)
+//   wfregs_cli shutdown                    drain the daemon (--server only)
 //
 // A leading `-j N` routes every exhaustive exploration through the parallel
 // explorer on N worker threads (0 = hardware concurrency, 1 = sequential).
@@ -19,14 +27,24 @@
 // every implementation before exploring it, failing fast on violations.
 // A leading `--reduction none|sleep|sleep+symmetry` applies partial-order /
 // symmetry reduction to every exploration (see runtime/reduction.hpp);
-// verdicts are unchanged, configuration counts shrink.  Commands that never
-// explore (zoo, print, classify, hierarchy) warn when given -j or
-// --reduction instead of silently ignoring them.
+// verdicts are unchanged, configuration counts shrink.  A leading `--json`
+// switches verify/check verdict output to one JSON object per job (the same
+// encoding the daemon replies with); `--server <socket>` routes verify /
+// check / stats / shutdown to a running wfregsd.  Commands that never use a
+// flag warn instead of silently ignoring it.
+//
+// Exit codes: 0 = success, 1 = a verification/check reported a failure,
+// 2 = usage or input error (bad flags, unknown command, unreadable or
+// malformed input).
+#include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "wfregs/analysis/lint.hpp"
 #include "wfregs/consensus/check.hpp"
@@ -35,6 +53,10 @@
 #include "wfregs/core/register_elimination.hpp"
 #include "wfregs/hierarchy/hierarchy.hpp"
 #include "wfregs/runtime/verify.hpp"
+#include "wfregs/service/client.hpp"
+#include "wfregs/service/job.hpp"
+#include "wfregs/service/scheduler.hpp"
+#include "wfregs/service/verdict.hpp"
 #include "wfregs/typesys/serialize.hpp"
 #include "wfregs/typesys/triviality.hpp"
 #include "wfregs/typesys/type_zoo.hpp"
@@ -42,6 +64,10 @@
 using namespace wfregs;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitVerifyFail = 1;
+constexpr int kExitUsage = 2;
 
 /// Explorer thread count from the global -j flag (0 = hardware concurrency).
 int g_threads = 0;
@@ -53,6 +79,10 @@ bool g_precheck = false;
 Reduction g_reduction = Reduction::kNone;
 /// Whether --reduction was given at all.
 bool g_reduction_set = false;
+/// Whether --json was given (verify/check verdict output).
+bool g_json = false;
+/// Daemon socket from --server (empty = run jobs locally).
+std::string g_server;
 
 VerifyOptions verify_options() {
   VerifyOptions options;
@@ -88,22 +118,22 @@ const std::map<std::string, std::function<TypeSpec()>> kZoo{
 int cmd_zoo(int argc, char** argv) {
   if (argc < 3) {
     for (const auto& [name, make] : kZoo) std::cout << name << "\n";
-    return EXIT_SUCCESS;
+    return kExitOk;
   }
   const auto it = kZoo.find(argv[2]);
   if (it == kZoo.end()) {
     std::cerr << "unknown zoo type: " << argv[2] << "\n";
-    return EXIT_FAILURE;
+    return kExitUsage;
   }
   std::cout << print_type(it->second());
-  return EXIT_SUCCESS;
+  return kExitOk;
 }
 
 int cmd_print(const TypeSpec& t) {
   std::cout << print_type(t);
   std::cout << "# deterministic: " << (t.is_deterministic() ? "yes" : "no")
             << ", oblivious: " << (t.is_oblivious() ? "yes" : "no") << "\n";
-  return EXIT_SUCCESS;
+  return kExitOk;
 }
 
 int cmd_classify(const TypeSpec& t) {
@@ -113,7 +143,7 @@ int cmd_classify(const TypeSpec& t) {
             << "oblivious:     " << (t.is_oblivious() ? "yes" : "no") << "\n";
   if (!t.is_deterministic()) {
     std::cout << "the Section 5 deciders require determinism; stopping\n";
-    return EXIT_SUCCESS;
+    return kExitOk;
   }
   std::cout << "trivial (5.2): " << (is_trivial_general(t) ? "yes" : "no")
             << "\n";
@@ -137,7 +167,7 @@ int cmd_classify(const TypeSpec& t) {
     std::cout << " (" << t.response_name(pair->unwritten_resp) << " vs "
               << t.response_name(pair->written_resp) << ")\n";
   }
-  return EXIT_SUCCESS;
+  return kExitOk;
 }
 
 int cmd_oneuse(const TypeSpec& t) {
@@ -145,7 +175,7 @@ int cmd_oneuse(const TypeSpec& t) {
   if (!impl) {
     std::cout << t.name()
               << " is trivial: it cannot implement one-use bits\n";
-    return EXIT_FAILURE;
+    return kExitVerifyFail;
   }
   const zoo::OneUseBitLayout lay;
   const auto r = verify_linearizable(impl, {{lay.read()}, {lay.write()}},
@@ -153,7 +183,7 @@ int cmd_oneuse(const TypeSpec& t) {
   std::cout << "synthesized " << impl->name() << "; exhaustive check: "
             << (r.ok ? "LINEARIZABLE and WAIT-FREE" : r.detail) << " ("
             << r.stats.configs << " configurations)\n";
-  return r.ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  return r.ok ? kExitOk : kExitVerifyFail;
 }
 
 int cmd_hierarchy(const TypeSpec& t) {
@@ -161,7 +191,7 @@ int cmd_hierarchy(const TypeSpec& t) {
   options.h1_probe_depth = 2;
   const auto row = hierarchy::classify_type(t, options);
   std::cout << hierarchy::to_table({row});
-  return EXIT_SUCCESS;
+  return kExitOk;
 }
 
 int cmd_eliminate(const std::string& protocol, const TypeSpec& substrate) {
@@ -174,7 +204,7 @@ int cmd_eliminate(const std::string& protocol, const TypeSpec& substrate) {
     impl = consensus::from_fetch_and_add();
   } else {
     std::cerr << "unknown protocol " << protocol << " (want tas|queue|faa)\n";
-    return EXIT_FAILURE;
+    return kExitUsage;
   }
   core::EliminationOptions options;
   const TypeSpec sub = substrate;
@@ -184,7 +214,7 @@ int cmd_eliminate(const std::string& protocol, const TypeSpec& substrate) {
   const auto report = core::eliminate_registers(impl, options);
   if (!report.ok) {
     std::cerr << "transform failed: " << report.detail << "\n";
-    return EXIT_FAILURE;
+    return kExitVerifyFail;
   }
   std::cout << "D = " << report.bounds.depth << ", bits replaced = "
             << report.bits_replaced << ", one-use bits = "
@@ -197,7 +227,144 @@ int cmd_eliminate(const std::string& protocol, const TypeSpec& substrate) {
   std::cout << "register-free protocol "
             << (check.solves ? "SOLVES" : "FAILS") << " consensus ("
             << check.configs << " configurations)\n";
-  return check.solves ? EXIT_SUCCESS : EXIT_FAILURE;
+  return check.solves ? kExitOk : kExitVerifyFail;
+}
+
+// ---- service-layer commands ------------------------------------------------
+
+std::shared_ptr<const Implementation> protocol_impl(const std::string& name) {
+  if (name == "tas") return consensus::from_test_and_set();
+  if (name == "queue") return consensus::from_queue();
+  if (name == "faa") return consensus::from_fetch_and_add();
+  return nullptr;
+}
+
+service::VerifyJob make_consensus_job(
+    std::shared_ptr<const Implementation> impl) {
+  service::VerifyJob job;
+  job.kind = service::JobKind::kConsensus;
+  job.impl = std::move(impl);
+  job.options = verify_options();
+  job.precheck = g_precheck;
+  return job;
+}
+
+/// Pulls the string value of `"field":"..."` out of a daemon JSON reply.
+std::string json_string_field(const std::string& json,
+                              const std::string& field) {
+  const std::string needle = "\"" + field + "\":\"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = json.find('"', start);
+  if (end == std::string::npos) return "";
+  return json.substr(start, end - start);
+}
+
+void print_verdict_human(const std::string& label,
+                         const service::Verdict& v) {
+  std::cout << label << ": " << service::job_kind_name(v.kind) << " "
+            << (v.ok ? "OK" : "FAILED")
+            << (v.complete ? "" : " (incomplete)")
+            << ", wait_free=" << (v.wait_free ? "yes" : "no") << ", configs="
+            << v.stats.configs;
+  if (!v.detail.empty()) std::cout << ", detail: " << v.detail;
+  std::cout << "\n";
+}
+
+/// Runs (label, canonical job text) pairs locally or on the daemon.
+/// Verdict per job on stdout (JSON with --json); exit 1 when any job's
+/// verdict is not ok.
+int run_jobs(const std::vector<std::pair<std::string, std::string>>& jobs) {
+  bool all_ok = true;
+  if (!g_server.empty()) {
+    service::Client client(g_server);
+    std::vector<std::pair<std::string, std::string>> keys;  // label, key hex
+    for (const auto& [label, text] : jobs) {
+      const std::string reply = client.submit(text);
+      const std::string status = json_string_field(reply, "status");
+      if (status == "rejected") {
+        std::cerr << label << ": daemon queue full\n";
+        return kExitUsage;
+      }
+      keys.emplace_back(label, json_string_field(reply, "key"));
+    }
+    for (const auto& [label, key] : keys) {
+      const std::string reply = client.wait(key);
+      const std::string status = json_string_field(reply, "status");
+      const bool ok = status == "done" &&
+                      reply.find("\"ok\":true") != std::string::npos;
+      all_ok = all_ok && ok;
+      if (g_json) {
+        std::cout << reply << "\n";
+      } else {
+        std::cout << label << ": " << status << " key=" << key
+                  << (ok ? " OK" : " FAILED") << "\n";
+      }
+    }
+  } else {
+    const service::JobScheduler::Runner runner =
+        service::JobScheduler::default_runner(g_threads);
+    const std::atomic<bool> no_cancel{false};
+    for (const auto& [label, text] : jobs) {
+      const service::VerifyJob job = service::parse_job(text);
+      const service::Verdict v = runner(job, no_cancel);
+      all_ok = all_ok && v.ok;
+      if (g_json) {
+        std::cout << service::verdict_to_json(v) << "\n";
+      } else {
+        print_verdict_human(label, v);
+      }
+    }
+  }
+  return all_ok ? kExitOk : kExitVerifyFail;
+}
+
+int cmd_make_job(int argc, char** argv) {
+  if (argc != 4 || std::string(argv[2]) != "consensus") {
+    std::cerr << "usage: wfregs_cli make-job consensus <tas|queue|faa>\n";
+    return kExitUsage;
+  }
+  const auto impl = protocol_impl(argv[3]);
+  if (!impl) {
+    std::cerr << "unknown protocol " << argv[3] << " (want tas|queue|faa)\n";
+    return kExitUsage;
+  }
+  std::cout << service::print_job(make_consensus_job(impl));
+  return kExitOk;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: wfregs_cli verify <job-file>...\n";
+    return kExitUsage;
+  }
+  std::vector<std::pair<std::string, std::string>> jobs;
+  for (int k = 2; k < argc; ++k) {
+    std::ifstream in(argv[k]);
+    if (!in) {
+      std::cerr << "cannot read " << argv[k] << "\n";
+      return kExitUsage;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    jobs.emplace_back(argv[k], text.str());
+  }
+  return run_jobs(jobs);
+}
+
+int cmd_check(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: wfregs_cli check <tas|queue|faa>\n";
+    return kExitUsage;
+  }
+  const auto impl = protocol_impl(argv[2]);
+  if (!impl) {
+    std::cerr << "unknown protocol " << argv[2] << " (want tas|queue|faa)\n";
+    return kExitUsage;
+  }
+  return run_jobs(
+      {{argv[2], service::print_job(make_consensus_job(impl))}});
 }
 
 }  // namespace
@@ -210,7 +377,7 @@ int main(int argc, char** argv) {
       const long n = argc >= 3 ? std::strtol(argv[2], &end, 10) : -1;
       if (argc < 3 || end == argv[2] || *end != '\0' || n < 0) {
         std::cerr << "error: -j requires a non-negative thread count\n";
-        return EXIT_FAILURE;
+        return kExitUsage;
       }
       g_threads = static_cast<int>(n);
       g_threads_set = true;
@@ -228,7 +395,7 @@ int main(int argc, char** argv) {
       } else {
         std::cerr
             << "error: --reduction wants none|sleep|sleep+symmetry\n";
-        return EXIT_FAILURE;
+        return kExitUsage;
       }
       g_reduction_set = true;
       argv[2] = argv[0];
@@ -239,39 +406,79 @@ int main(int argc, char** argv) {
       argv[1] = argv[0];
       argc -= 1;
       argv += 1;
+    } else if (flag == "--json") {
+      g_json = true;
+      argv[1] = argv[0];
+      argc -= 1;
+      argv += 1;
+    } else if (flag == "--server") {
+      if (argc < 3 || argv[2][0] == '\0') {
+        std::cerr << "error: --server requires a socket path\n";
+        return kExitUsage;
+      }
+      g_server = argv[2];
+      argv[2] = argv[0];
+      argc -= 2;
+      argv += 2;
     } else {
       more = false;
     }
   }
   if (argc < 2) {
     std::cerr << "usage: wfregs_cli [-j N] [--reduction MODE] "
-                 "[--static-precheck] "
-                 "zoo|print|classify|oneuse|hierarchy|eliminate ...\n";
-    return EXIT_FAILURE;
+                 "[--static-precheck] [--json] [--server SOCKET] "
+                 "zoo|print|classify|oneuse|hierarchy|eliminate|make-job|"
+                 "verify|check|stats|shutdown ...\n";
+    return kExitUsage;
   }
   const std::string cmd = argv[1];
   // zoo / print / classify / hierarchy run no exhaustive exploration, so
   // explorer knobs would be silently dead -- say so instead.
   if ((g_threads_set || g_reduction_set) &&
       (cmd == "zoo" || cmd == "print" || cmd == "classify" ||
-       cmd == "hierarchy")) {
+       cmd == "hierarchy" || cmd == "stats" || cmd == "shutdown")) {
     std::cerr << "warning: " << (g_threads_set ? "-j" : "")
               << (g_threads_set && g_reduction_set ? " and " : "")
               << (g_reduction_set ? "--reduction" : "") << " ignored: '"
               << cmd << "' runs no exhaustive exploration\n";
   }
+  // --json only changes verify/check verdict output (stats and shutdown
+  // replies are JSON already); warn where it is dead.
+  if (g_json && cmd != "verify" && cmd != "check" && cmd != "stats" &&
+      cmd != "shutdown") {
+    std::cerr << "warning: --json ignored: '" << cmd
+              << "' has no verdict output\n";
+  }
+  if (!g_server.empty() && cmd != "verify" && cmd != "check" &&
+      cmd != "stats" && cmd != "shutdown") {
+    std::cerr << "warning: --server ignored: '" << cmd
+              << "' always runs locally\n";
+  }
   try {
     if (cmd == "zoo") return cmd_zoo(argc, argv);
+    if (cmd == "make-job") return cmd_make_job(argc, argv);
+    if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "check") return cmd_check(argc, argv);
+    if (cmd == "stats" || cmd == "shutdown") {
+      if (g_server.empty()) {
+        std::cerr << "error: '" << cmd << "' needs --server <socket>\n";
+        return kExitUsage;
+      }
+      service::Client client(g_server);
+      std::cout << (cmd == "stats" ? client.stats() : client.shutdown())
+                << "\n";
+      return kExitOk;
+    }
     if (cmd == "eliminate") {
       if (argc != 4) {
         std::cerr << "usage: wfregs_cli eliminate <tas|queue|faa> <file>\n";
-        return EXIT_FAILURE;
+        return kExitUsage;
       }
       return cmd_eliminate(argv[2], load_type(argv[3]));
     }
     if (argc != 3) {
       std::cerr << "usage: wfregs_cli " << cmd << " <file>\n";
-      return EXIT_FAILURE;
+      return kExitUsage;
     }
     const TypeSpec t = load_type(argv[2]);
     if (cmd == "print") return cmd_print(t);
@@ -279,9 +486,9 @@ int main(int argc, char** argv) {
     if (cmd == "oneuse") return cmd_oneuse(t);
     if (cmd == "hierarchy") return cmd_hierarchy(t);
     std::cerr << "unknown command: " << cmd << "\n";
-    return EXIT_FAILURE;
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return EXIT_FAILURE;
+    return kExitUsage;
   }
 }

@@ -1,0 +1,93 @@
+// wfregsd -- the verification daemon.  Listens on a Unix-domain socket for
+// framed requests (see wfregs/service/protocol.hpp), schedules submitted
+// jobs on a worker pool, and answers repeated submissions from the
+// persistent verdict store.
+//
+//   wfregsd --socket /tmp/wfregsd.sock [--store verdicts.log]
+//           [--workers N] [--explore-threads N] [--queue-capacity N]
+//           [--deadline-ms N]
+//
+// SIGINT / SIGTERM (or a client shutdown request) drain the scheduler and
+// exit cleanly; the final metrics snapshot goes to stdout as JSON.
+//
+// Exit codes follow the CLI convention: 0 = clean shutdown, 2 = usage or
+// startup error.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "wfregs/service/daemon.hpp"
+#include "wfregs/service/metrics.hpp"
+
+namespace {
+
+wfregs::service::Daemon* g_daemon = nullptr;
+
+void on_signal(int) {
+  // request_stop() is a single atomic store: safe from a signal handler.
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+bool parse_int_flag(const std::string& value, long min, long* out) {
+  char* end = nullptr;
+  const long n = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || n < min) return false;
+  *out = n;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfregs::service::DaemonOptions options;
+  for (int k = 1; k < argc; ++k) {
+    const std::string flag = argv[k];
+    const std::string value = k + 1 < argc ? argv[k + 1] : "";
+    long n = 0;
+    if (flag == "--socket" && !value.empty()) {
+      options.socket_path = value;
+      ++k;
+    } else if (flag == "--store" && !value.empty()) {
+      options.scheduler.store_path = value;
+      ++k;
+    } else if (flag == "--workers" && parse_int_flag(value, 1, &n)) {
+      options.scheduler.workers = static_cast<int>(n);
+      ++k;
+    } else if (flag == "--explore-threads" && parse_int_flag(value, 0, &n)) {
+      options.scheduler.explore_threads = static_cast<int>(n);
+      ++k;
+    } else if (flag == "--queue-capacity" && parse_int_flag(value, 1, &n)) {
+      options.scheduler.queue_capacity = static_cast<std::size_t>(n);
+      ++k;
+    } else if (flag == "--deadline-ms" && parse_int_flag(value, 0, &n)) {
+      options.scheduler.default_deadline = std::chrono::milliseconds(n);
+      ++k;
+    } else {
+      std::cerr << "usage: wfregsd --socket <path> [--store <path>] "
+                   "[--workers N] [--explore-threads N] "
+                   "[--queue-capacity N] [--deadline-ms N]\n";
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::cerr << "error: --socket is required\n";
+    return 2;
+  }
+  try {
+    wfregs::service::Daemon daemon(std::move(options));
+    g_daemon = &daemon;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::cerr << "wfregsd: listening on " << daemon.socket_path() << "\n";
+    const std::uint64_t served = daemon.run();
+    g_daemon = nullptr;
+    std::cout << wfregs::service::metrics_to_json(daemon.scheduler().metrics())
+              << "\n";
+    std::cerr << "wfregsd: served " << served << " requests, bye\n";
+  } catch (const std::exception& e) {
+    std::cerr << "wfregsd: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

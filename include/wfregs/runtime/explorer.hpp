@@ -79,6 +79,7 @@
 //     completed reduced run's counters.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <string>
@@ -100,6 +101,12 @@ struct ExploreLimits {
   bool track_access_bounds = false;
   /// When true, stop at the first terminal-check violation.
   bool stop_at_violation = true;
+  /// Cooperative cancellation: when non-null, the explorers poll this flag
+  /// at every node entry and abort (complete = false, like a limit hit) once
+  /// it reads true.  The pointee must outlive the exploration.  Deadline-
+  /// and shutdown-driven cancellation in the service layer sets this from
+  /// another thread; a relaxed load per node keeps the null case free.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct ExploreStats {

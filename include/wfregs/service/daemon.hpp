@@ -1,0 +1,54 @@
+// wfregsd's serving core: a Unix-domain listener in front of a
+// JobScheduler.  Connections are handled on detached-joinable handler
+// threads (the heavy lifting is the scheduler's worker pool; handlers only
+// parse frames and shuttle JSON), and a shutdown request -- or
+// request_stop(), the binary's signal path -- drains the scheduler and
+// returns from run().
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "wfregs/service/protocol.hpp"
+#include "wfregs/service/scheduler.hpp"
+
+namespace wfregs::service {
+
+struct DaemonOptions {
+  std::string socket_path;
+  SchedulerOptions scheduler;
+};
+
+class Daemon {
+ public:
+  /// Binds the socket (unlinking a stale one) and starts the scheduler.
+  /// Throws std::runtime_error when the socket cannot be bound.
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Serves until a shutdown frame arrives or request_stop() is called,
+  /// then drains the scheduler.  Returns the number of requests served.
+  std::uint64_t run();
+
+  /// Async-signal-unsafe parts deferred: just flips the stop flag; run()
+  /// notices within its accept poll interval.
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+
+  JobScheduler& scheduler() { return *scheduler_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  void handle_connection(int fd, std::atomic<std::uint64_t>* served);
+  std::string handle_request(const Frame& request, bool* shutdown);
+
+  DaemonOptions options_;
+  std::unique_ptr<JobScheduler> scheduler_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace wfregs::service

@@ -1,0 +1,70 @@
+// Verification jobs and their content-addressed keys.
+//
+// A VerifyJob is everything a verdict is a pure function of: the job kind,
+// the implementation (serialized via print_implementation), the scenario
+// scripts, and the *normalized* VerifyOptions (print_verify_options drops
+// the thread count -- verdicts are thread-count-invariant by the parallel
+// explorer's determinism contract -- and reduces the static_precheck hook
+// to an on/off bit).  Serializing the whole job to canonical text and
+// hashing that text with the explorer's splitmix64 config_hash_words
+// machinery yields a 128-bit JobKey: equal jobs always collide, distinct
+// jobs collide with 2^-128 probability, and the key is stable across
+// processes and restarts -- the verdict store's address.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wfregs/runtime/explorer.hpp"
+#include "wfregs/runtime/implementation.hpp"
+#include "wfregs/service/verdict.hpp"
+
+namespace wfregs::service {
+
+/// 128-bit content hash of a job's canonical text.
+struct JobKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const JobKey&, const JobKey&) = default;
+};
+
+/// 32 lowercase hex digits (hi then lo); parse_job_key round-trips it.
+std::string job_key_hex(const JobKey& key);
+/// Parses job_key_hex output; throws std::runtime_error on malformed input.
+JobKey parse_job_key(const std::string& hex);
+
+struct VerifyJob {
+  JobKind kind = JobKind::kLinearizable;
+  std::shared_ptr<const Implementation> impl;
+  /// Scenario scripts (kLinearizable / kRegular): scripts[p] is port p's
+  /// invocation sequence.  Ignored for kConsensus.
+  std::vector<std::vector<InvId>> scripts;
+  /// Register value count for kRegular (check_regular's `values`).
+  int values = 0;
+  /// Verification options; threads and static_precheck are NOT part of the
+  /// job identity (see the header comment).  `precheck` is.
+  VerifyOptions options;
+  /// Run the standard analysis::static_precheck() before exploring.
+  bool precheck = false;
+};
+
+/// Canonical text: `job <kind>` + scripts + normalized options + the
+/// serialized implementation.  parse_job accepts exactly what print_job
+/// emits.  Throws when the implementation cannot be serialized.
+std::string print_job(const VerifyJob& job);
+
+/// Parses the canonical text; throws std::runtime_error with a line number
+/// on malformed input.
+VerifyJob parse_job(const std::string& text);
+
+/// The content-addressed key of `job`: hash_job_text(print_job(job)).
+JobKey job_key(const VerifyJob& job);
+
+/// Hashes canonical job text (two salted config_hash_words passes over the
+/// text's bytes packed into 64-bit words).
+JobKey hash_job_text(const std::string& text);
+
+}  // namespace wfregs::service

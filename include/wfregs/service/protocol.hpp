@@ -1,0 +1,59 @@
+// The wfregsd wire protocol: length-prefixed frames over a Unix-domain
+// stream socket.
+//
+//   frame  := len:u32 (LE, = 1 + payload size) type:u8 payload
+//
+// Request types (client -> daemon):
+//   kSubmit   payload = canonical job text (print_job output)
+//   kPoll     payload = 32-hex-digit job key
+//   kStats    payload empty
+//   kShutdown payload empty (daemon drains and exits)
+//
+// Response types (daemon -> client):
+//   kReply    payload = one JSON object; every request gets exactly one
+//   kError    payload = human-readable message (protocol/parse errors)
+//
+// Reply shapes:
+//   submit -> {"key":"<hex>","status":"cached|queued|coalesced|rejected",
+//              "verdict":{...}}          (verdict only when cached)
+//   poll   -> {"key":"<hex>","status":"queued|running|done|cancelled|
+//              failed|unknown","from_cache":0|1,"verdict":{...}}
+//   stats  -> the metrics_to_json object
+//   shutdown -> {"status":"draining"}
+//
+// Frames are capped at kMaxFrame to keep a bad length prefix from
+// allocating unbounded memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace wfregs::service {
+
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,
+  kPoll = 2,
+  kStats = 3,
+  kShutdown = 4,
+  kReply = 0x81,
+  kError = 0xFF,
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// 16 MiB: far above any real job text, far below a memory hazard.
+inline constexpr std::uint32_t kMaxFrame = 16u << 20;
+
+/// Blocking full-frame write on `fd`; throws std::runtime_error on I/O
+/// failure (EINTR retried).
+void write_frame(int fd, const Frame& frame);
+
+/// Blocking full-frame read; nullopt on clean EOF at a frame boundary,
+/// throws on I/O failure, oversized length, or mid-frame EOF.
+std::optional<Frame> read_frame(int fd);
+
+}  // namespace wfregs::service

@@ -1,0 +1,163 @@
+// The batched job scheduler: a bounded submission queue in front of a
+// worker pool that reuses the exhaustive explorers, with
+//
+//   * cache-first admission -- a submitted key already in the verdict
+//     store is answered immediately (hit), never queued;
+//   * in-flight deduplication -- identical keys submitted while a job is
+//     queued or running coalesce onto the one computation and share its
+//     result;
+//   * per-job deadlines and config budgets -- the config budget is part of
+//     the job's options (and so of its key); the wall-clock deadline is
+//     enforced by a timer thread flipping the job's cancel flag, which the
+//     explorers poll cooperatively (ExploreLimits::cancel).  Cancelled and
+//     incomplete verdicts are reported but NEVER cached: only complete,
+//     deterministic results enter the store;
+//   * graceful drain -- drain() stops admission, lets the queue empty and
+//     joins the workers; shutdown() additionally cancels running jobs.
+//
+// The runner is injectable so the unit tests can drive coalescing, queue
+// bounds and cancellation with gated fake jobs; default_runner() dispatches
+// to verify_linearizable / verify_regular / check_consensus.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wfregs/service/job.hpp"
+#include "wfregs/service/metrics.hpp"
+#include "wfregs/service/store.hpp"
+#include "wfregs/service/verdict.hpp"
+
+namespace wfregs::service {
+
+struct SchedulerOptions {
+  /// Worker threads computing verdicts.
+  int workers = 1;
+  /// Bounded submission queue: submissions beyond this many waiting jobs
+  /// are rejected (try_submit returns rejected, submit throws).
+  std::size_t queue_capacity = 256;
+  /// Verdict log path; empty = in-memory cache only.
+  std::string store_path;
+  /// Explorer threads per verification (VerifyOptions::threads); 1 keeps
+  /// worker-level parallelism the only parallelism.
+  int explore_threads = 1;
+  /// Default wall-clock deadline per job; zero = none.
+  std::chrono::milliseconds default_deadline{0};
+  /// Finished-but-uncacheable job statuses (cancelled / failed / incomplete
+  /// verdicts) kept for poll(); older entries are evicted.
+  std::size_t status_history = 1024;
+};
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,       ///< verdict available (poll .verdict)
+  kCancelled = 3,  ///< deadline or shutdown; verdict has complete=false
+  kFailed = 4,     ///< runner threw; detail in verdict.detail
+};
+
+const char* job_state_name(JobState s);
+
+struct JobStatus {
+  JobState state = JobState::kQueued;
+  bool from_cache = false;
+  Verdict verdict;  ///< meaningful for kDone / kCancelled / kFailed
+};
+
+/// submit() / try_submit() outcome: the job's key, how it was admitted, and
+/// a future for its verdict (already satisfied for cache hits).
+struct Submitted {
+  JobKey key;
+  bool cached = false;     ///< answered from the store
+  bool coalesced = false;  ///< joined an identical in-flight job
+  bool rejected = false;   ///< queue full (try_submit only); future invalid
+  std::shared_future<Verdict> result;
+};
+
+class JobScheduler {
+ public:
+  /// Computes a verdict; must poll `cancel` cooperatively (the default
+  /// runner wires it into ExploreLimits::cancel).
+  using Runner =
+      std::function<Verdict(const VerifyJob&, const std::atomic<bool>& cancel)>;
+
+  /// The real thing: dispatch on job.kind to the library verifiers, with
+  /// `explore_threads` explorer workers and the standard static precheck
+  /// when job.precheck is set.
+  static Runner default_runner(int explore_threads);
+
+  explicit JobScheduler(SchedulerOptions options, Runner runner = {});
+  ~JobScheduler();  ///< shutdown(): cancels running jobs and joins
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admits `job`; throws std::runtime_error when the queue is full or the
+  /// scheduler is draining.
+  Submitted submit(const VerifyJob& job);
+
+  /// As submit(), but reports a full queue as .rejected instead of
+  /// throwing.
+  Submitted try_submit(const VerifyJob& job);
+
+  /// Pure cache probe (no admission, no metrics beyond the probe).
+  std::optional<Verdict> lookup(const JobKey& key) const;
+
+  /// Status of a known key: in-flight state, cached verdict, or recent
+  /// uncacheable outcome.  nullopt = never seen (or evicted).
+  std::optional<JobStatus> poll(const JobKey& key) const;
+
+  Metrics metrics() const;
+
+  /// Stops admission, waits for the queue to empty and every running job
+  /// to finish, joins the pool.  Idempotent.
+  void drain();
+
+  /// drain(), but first cancels queued and running jobs.  Idempotent.
+  void shutdown();
+
+ private:
+  struct InFlight;
+  void worker_main();
+  void timer_main();
+  Submitted admit(const VerifyJob& job, bool reject_when_full);
+  void finish(const std::shared_ptr<InFlight>& job, Verdict verdict,
+              JobState state);
+  void remember_status(const JobKey& key, JobState state,
+                       const Verdict& verdict);
+
+  SchedulerOptions options_;
+  Runner runner_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;    ///< workers wait for queue items
+  std::condition_variable drain_cv_;   ///< drain() waits for quiescence
+  std::condition_variable timer_cv_;   ///< timer waits for next deadline
+  bool stopping_ = false;              ///< no new admissions
+  bool cancel_all_ = false;            ///< shutdown(): abandon the queue
+
+  VerdictStore store_;
+  std::deque<std::shared_ptr<InFlight>> queue_;
+  /// Key -> queued/running job, the coalescing map.
+  std::vector<std::shared_ptr<InFlight>> inflight_;
+  /// Recently finished uncacheable statuses, newest last (bounded by
+  /// options_.status_history; evictions counted).
+  std::deque<std::pair<JobKey, JobStatus>> recent_;
+
+  Metrics metrics_;
+  std::vector<std::thread> workers_;
+  std::thread timer_;
+};
+
+}  // namespace wfregs::service

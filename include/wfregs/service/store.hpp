@@ -1,0 +1,96 @@
+// The persistent verdict store: an append-only, CRC-checked record log with
+// an in-memory open-addressing index (the ConfigInterner idiom: dense
+// record ids, power-of-two probe table, linear probing over cached key
+// hashes).
+//
+// On-disk layout:
+//
+//   file   := header record*
+//   header := "WFVSTOR1" (8 bytes)
+//   record := magic:u32 ('W''F''V''1' LE)
+//             payload_len:u32
+//             key_hi:u64  key_lo:u64
+//             crc32:u32 (of the payload bytes)
+//             payload bytes (encode_verdict output)
+//
+// All integers little-endian.  Records are committed by a single append +
+// flush; open() replays the log and TRUNCATES at the first torn or
+// corrupt record (short header, short payload, bad magic, bad CRC), so a
+// crash -- SIGKILL mid-append included -- loses at most the record being
+// written and every earlier verdict survives.  Duplicate keys keep the
+// later record (last-writer-wins replay), which makes concatenated logs
+// well-defined.
+//
+// Thread-safety: none here; JobScheduler serializes access under its own
+// lock.  An empty path gives a purely in-memory store (same API, nothing
+// persisted).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfregs/service/job.hpp"
+#include "wfregs/service/verdict.hpp"
+
+namespace wfregs::service {
+
+class VerdictStore {
+ public:
+  /// Opens (creating if absent) the log at `path`, replaying and
+  /// truncating as described above.  Empty path = in-memory only.
+  /// Throws std::runtime_error when the file cannot be opened or created.
+  explicit VerdictStore(std::string path);
+  ~VerdictStore();
+
+  VerdictStore(const VerdictStore&) = delete;
+  VerdictStore& operator=(const VerdictStore&) = delete;
+
+  /// The stored verdict for `key`, if any.
+  std::optional<Verdict> lookup(const JobKey& key) const;
+
+  /// Raw encoded payload for `key` (the bit-identity probe used by the
+  /// coherence tests and the E13 bench).
+  std::optional<std::vector<std::uint8_t>> lookup_encoded(
+      const JobKey& key) const;
+
+  /// Appends (key, verdict) to the log and indexes it.  A re-put of an
+  /// existing key appends a fresh record and repoints the index (last
+  /// writer wins).  Throws std::runtime_error on I/O failure.
+  void put(const JobKey& key, const Verdict& verdict);
+
+  /// Records currently indexed (distinct keys).
+  std::size_t size() const { return keys_.size() - tombstones_; }
+
+  /// Bytes in the on-disk log (header included); 0 for in-memory stores.
+  std::uint64_t file_bytes() const { return file_bytes_; }
+
+  /// Records dropped by torn-tail recovery at open().
+  std::size_t recovered_drop() const { return recovered_drop_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::uint32_t find_slot(const JobKey& key) const;
+  void index_insert(const JobKey& key, std::uint32_t id);
+  void grow();
+  void replay();
+  void append_record(const JobKey& key,
+                     const std::vector<std::uint8_t>& payload);
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t file_bytes_ = 0;
+  std::size_t recovered_drop_ = 0;
+  std::size_t tombstones_ = 0;
+
+  // In-memory side: record id -> (key, encoded payload); the probe table
+  // maps key hashes to id+1 (0 = empty slot), ConfigInterner-style.
+  std::vector<JobKey> keys_;
+  std::vector<std::vector<std::uint8_t>> payloads_;
+  std::vector<std::uint32_t> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace wfregs::service

@@ -1,0 +1,64 @@
+// Verdicts: the service layer's unit of caching.
+//
+// A Verdict is the outcome of one verification job -- the verdict bits, the
+// first-violation detail (the counterexample trace, when one exists), and
+// the full ExploreStats -- flattened from VerifyResult /
+// RegularVerifyResult / ConsensusCheckResult into one shape so the store,
+// the scheduler and the wire protocol handle all three job kinds uniformly.
+//
+// Two encodings:
+//   * encode_verdict / decode_verdict -- a compact length-prefixed binary
+//     encoding, the store's record payload.  Byte-identical for equal
+//     verdicts, so the E13 bench and the coherence tests can check cached
+//     == fresh by comparing encoded bytes.
+//   * verdict_to_json -- the structured output shared by `wfregs_cli
+//     --json` and the daemon's response frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wfregs/runtime/explorer.hpp"
+
+namespace wfregs::service {
+
+enum class JobKind : std::uint8_t {
+  kLinearizable = 0,  ///< verify_linearizable over a script scenario
+  kRegular = 1,       ///< verify_regular over a script scenario
+  kConsensus = 2,     ///< check_consensus over all input vectors
+};
+
+const char* job_kind_name(JobKind kind);
+
+struct Verdict {
+  JobKind kind = JobKind::kLinearizable;
+  /// The headline verdict: linearizable / regular / solves-consensus.
+  bool ok = false;
+  bool wait_free = false;
+  /// Exploration finished within limits (cancelled jobs report false and
+  /// are never cached).
+  bool complete = false;
+  /// First violation / counterexample trace, empty when ok.
+  std::string detail;
+  /// Aggregate exploration stats.  For consensus jobs configs/terminals are
+  /// summed over the 2^n roots and depth is the max (the paper's D); edges
+  /// is 0 (the per-root checker does not expose it).
+  ExploreStats stats;
+
+  friend bool operator==(const Verdict&, const Verdict&);
+};
+
+/// Compact binary encoding (deterministic: equal verdicts encode to equal
+/// bytes).
+std::vector<std::uint8_t> encode_verdict(const Verdict& v);
+
+/// Decodes encode_verdict's output; throws std::runtime_error on malformed
+/// or truncated input.
+Verdict decode_verdict(const std::uint8_t* data, std::size_t size);
+
+/// The shared structured rendering: one JSON object with kind, verdict
+/// bits, detail and stats.
+std::string verdict_to_json(const Verdict& v);
+
+}  // namespace wfregs::service

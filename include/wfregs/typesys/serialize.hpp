@@ -18,14 +18,64 @@
 // Repeating a delta line for the same (state, port, invocation) adds a
 // nondeterministic alternative.  parse_type accepts exactly what
 // print_type emits (round-trip stable).
+// Whole-job serialization (the service layer's content-addressed keys and
+// the fuzzer's repro files) extends the same line-oriented format to
+// implementations and verification options:
+//
+//     impl srsw_from_safe
+//     iface_initial 0
+//     persistent 2 0 0                 # persistent slot count, then values
+//     iface                            # the implemented TypeSpec, nested
+//       type register
+//       ...
+//     end iface
+//     object base 0 map 0 1            # base: initial state + port map
+//       type safe_bit
+//       ...
+//     end object
+//     object nested map 0 -1           # -1 = kNoPort; body is a nested impl
+//       impl inner
+//       ...
+//     end object
+//     program read * reader            # invocation, port ('*' = all), name
+//       assign 1 (+ (r 0) (c 1))      # bytecode, exprs as s-expressions
+//       invoke 0 0 (c 3)              # result reg, slot, invocation expr
+//       branch 5 (== (r 0) (c 1))     # pc target, condition
+//       jump 2
+//       ret (r 1)
+//       fail
+//     end program
+//     end impl
+//
+// Programs are serialized from their static disassembly (ProgramCode::
+// static_code()); hand-written ProgramCode subclasses without one cannot be
+// serialized and raise std::runtime_error.  kFail messages are not part of
+// the disassembly and round-trip as a generic message.
+//
+// VerifyOptions serialize in *normalized* form: a fixed field order with
+// every field explicit, so equal option sets always produce byte-identical
+// text (the service layer hashes this text into job keys).  The thread
+// count and the static_precheck hook are deliberately NOT serialized: the
+// explorers' determinism contract makes verdicts and stats thread-count-
+// invariant, and the hook is reduced to an on/off bit (`precheck`) that the
+// consumer maps back to analysis::static_precheck().
+//
+// print_implementation / print_verify_options and their parsers are defined
+// in the wfregs_runtime library (the types live there); typesys-only
+// consumers can keep linking just wfregs_typesys for the TypeSpec entry
+// points.
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "wfregs/typesys/type_spec.hpp"
 
 namespace wfregs {
+
+class Implementation;  // runtime/implementation.hpp
+struct VerifyOptions;  // runtime/explorer.hpp
 
 /// Renders `t` in the text format above (always with explicit per-port
 /// delta lines collapsed to '*' where the cell is port-independent).
@@ -38,5 +88,32 @@ TypeSpec parse_type(const std::string& text);
 /// Convenience file wrappers.
 TypeSpec load_type(const std::string& path);
 void save_type(const TypeSpec& t, const std::string& path);
+
+// ---- whole-job serialization (defined in wfregs_runtime) -------------------
+
+/// Renders `impl` in the `impl ... end impl` format above.  Throws
+/// std::runtime_error when a program is not statically inspectable.
+/// parse_implementation accepts exactly what print_implementation emits
+/// (round-trip stable).
+std::string print_implementation(const Implementation& impl);
+
+/// Parses the `impl` format; throws std::runtime_error with a line number
+/// on malformed input.
+std::shared_ptr<const Implementation> parse_implementation(
+    const std::string& text);
+
+/// Renders `options` in normalized form (fixed field order, every field
+/// explicit; see the header comment for what is deliberately dropped).
+std::string print_verify_options(const VerifyOptions& options);
+
+/// Additionally reports whether the options asked for the standard static
+/// precheck; the caller re-attaches analysis::static_precheck() (the
+/// runtime layer cannot name the analysis library).
+std::string print_verify_options(const VerifyOptions& options, bool precheck);
+
+/// Parses the normalized options format.  `precheck_out`, when non-null,
+/// receives the `precheck` bit (the returned options carry no hook).
+VerifyOptions parse_verify_options(const std::string& text,
+                                   bool* precheck_out = nullptr);
 
 }  // namespace wfregs

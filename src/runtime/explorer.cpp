@@ -119,7 +119,9 @@ class ExplorerImpl {
       return nodes_[hit];
     }
     if (depth > limits_.max_depth ||
-        outcome_.stats.configs >= limits_.max_configs) {
+        outcome_.stats.configs >= limits_.max_configs ||
+        (limits_.cancel &&
+         limits_.cancel->load(std::memory_order_relaxed))) {
       outcome_.complete = false;
       aborted_ = true;
       return leaf();
@@ -278,7 +280,9 @@ class ReducedExplorerImpl {
       return nodes_[hit];
     }
     if (depth > limits_.max_depth ||
-        outcome_.stats.configs >= limits_.max_configs) {
+        outcome_.stats.configs >= limits_.max_configs ||
+        (limits_.cancel &&
+         limits_.cancel->load(std::memory_order_relaxed))) {
       outcome_.complete = false;
       aborted_ = true;
       return leaf();

@@ -97,7 +97,9 @@ class LegacyExplorerImpl {
       return it->second;
     }
     if (depth > limits_.max_depth ||
-        outcome_.stats.configs >= limits_.max_configs) {
+        outcome_.stats.configs >= limits_.max_configs ||
+        (limits_.cancel &&
+         limits_.cancel->load(std::memory_order_relaxed))) {
       outcome_.complete = false;
       aborted_ = true;
       return leaf();
@@ -228,7 +230,9 @@ class LegacyReducedExplorerImpl {
       return it->second;
     }
     if (depth > limits_.max_depth ||
-        outcome_.stats.configs >= limits_.max_configs) {
+        outcome_.stats.configs >= limits_.max_configs ||
+        (limits_.cancel &&
+         limits_.cancel->load(std::memory_order_relaxed))) {
       outcome_.complete = false;
       aborted_ = true;
       return leaf();

@@ -245,6 +245,12 @@ class ParallelExplorer {
     try {
       int idle_rounds = 0;
       while (!stop_.load(std::memory_order_acquire)) {
+        if (limits_.cancel &&
+            limits_.cancel->load(std::memory_order_relaxed)) {
+          incomplete_.store(true, std::memory_order_relaxed);
+          stop_.store(true, std::memory_order_release);
+          break;
+        }
         std::optional<WorkItem> item = pop(wid);
         if (!item) {
           if (pending_.load(std::memory_order_acquire) == 0) return;
@@ -360,7 +366,9 @@ class ParallelExplorer {
     if (inserted) {
       const std::size_t count =
           configs_.fetch_add(1, std::memory_order_acq_rel) + 1;
-      if (count > limits_.max_configs || item.depth + 1 > limits_.max_depth) {
+      if (count > limits_.max_configs || item.depth + 1 > limits_.max_depth ||
+          (limits_.cancel &&
+           limits_.cancel->load(std::memory_order_relaxed))) {
         incomplete_.store(true, std::memory_order_relaxed);
         stop_.store(true, std::memory_order_release);
         return false;

@@ -1,0 +1,668 @@
+// Whole-job serialization: the Implementation / VerifyOptions half of
+// typesys/serialize.hpp (declared there, defined here because the types
+// live in the runtime library).  The format is documented in that header.
+//
+// Programs are serialized from ProgramCode::static_code() and rebuilt with
+// ProgramBuilder, so a round-trip preserves the exact instruction sequence
+// (and therefore the engine's step-for-step behaviour); kFail messages are
+// not part of the static disassembly and round-trip as "fail".
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "wfregs/runtime/explorer.hpp"
+#include "wfregs/runtime/implementation.hpp"
+#include "wfregs/typesys/serialize.hpp"
+
+namespace wfregs {
+
+namespace {
+
+[[noreturn]] void fail_at(int line, const std::string& what) {
+  throw std::runtime_error("parse_implementation: line " +
+                           std::to_string(line) + ": " + what);
+}
+
+// ---- expression s-expressions ---------------------------------------------
+
+const char* op_token(Expr::Kind k) {
+  switch (k) {
+    case Expr::Kind::kConst: return "c";
+    case Expr::Kind::kReg: return "r";
+    case Expr::Kind::kAdd: return "+";
+    case Expr::Kind::kSub: return "-";
+    case Expr::Kind::kMul: return "*";
+    case Expr::Kind::kDiv: return "/";
+    case Expr::Kind::kMod: return "%";
+    case Expr::Kind::kEq: return "==";
+    case Expr::Kind::kNe: return "!=";
+    case Expr::Kind::kLt: return "<";
+    case Expr::Kind::kLe: return "<=";
+    case Expr::Kind::kAnd: return "&&";
+    case Expr::Kind::kOr: return "||";
+    case Expr::Kind::kNot: return "!";
+  }
+  return "?";
+}
+
+void print_expr(std::ostream& out, const Expr& e) {
+  out << "(" << op_token(e.kind());
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+      out << " " << e.const_value();
+      break;
+    case Expr::Kind::kReg:
+      out << " " << e.reg_index();
+      break;
+    default:
+      if (const auto a = e.child_a()) {
+        out << " ";
+        print_expr(out, *a);
+      }
+      if (const auto b = e.child_b()) {
+        out << " ";
+        print_expr(out, *b);
+      }
+      break;
+  }
+  out << ")";
+}
+
+/// Splits an s-expression into '(' / ')' / atom tokens.
+std::vector<std::string> expr_tokens(const std::string& text, int line) {
+  std::vector<std::string> out;
+  std::string atom;
+  for (const char ch : text) {
+    if (ch == '(' || ch == ')' || std::isspace(static_cast<unsigned char>(ch))) {
+      if (!atom.empty()) {
+        out.push_back(std::move(atom));
+        atom.clear();
+      }
+      if (ch == '(') out.emplace_back("(");
+      if (ch == ')') out.emplace_back(")");
+    } else {
+      atom.push_back(ch);
+    }
+  }
+  if (!atom.empty()) out.push_back(std::move(atom));
+  if (out.empty()) fail_at(line, "missing expression");
+  return out;
+}
+
+Expr parse_expr_at(const std::vector<std::string>& toks, std::size_t& pos,
+                   int line) {
+  const auto want = [&](const char* what) {
+    if (pos >= toks.size()) {
+      fail_at(line, std::string("expression ends early, wanted ") + what);
+    }
+  };
+  want("'('");
+  if (toks[pos] != "(") fail_at(line, "expected '(' in expression");
+  ++pos;
+  want("an operator");
+  const std::string op = toks[pos++];
+  const auto number = [&]() -> Val {
+    want("a number");
+    try {
+      std::size_t used = 0;
+      const long long v = std::stoll(toks[pos], &used);
+      if (used != toks[pos].size()) throw std::invalid_argument(toks[pos]);
+      ++pos;
+      return static_cast<Val>(v);
+    } catch (const std::exception&) {
+      fail_at(line, "bad number '" + toks[pos] + "' in expression");
+    }
+  };
+  Expr result = lit(0);
+  if (op == "c") {
+    result = lit(number());
+  } else if (op == "r") {
+    result = reg(static_cast<int>(number()));
+  } else if (op == "!") {
+    result = !parse_expr_at(toks, pos, line);
+  } else {
+    Expr a = parse_expr_at(toks, pos, line);
+    Expr b = parse_expr_at(toks, pos, line);
+    if (op == "+") result = std::move(a) + std::move(b);
+    else if (op == "-") result = std::move(a) - std::move(b);
+    else if (op == "*") result = std::move(a) * std::move(b);
+    else if (op == "/") result = std::move(a) / std::move(b);
+    else if (op == "%") result = std::move(a) % std::move(b);
+    else if (op == "==") result = std::move(a) == std::move(b);
+    else if (op == "!=") result = std::move(a) != std::move(b);
+    else if (op == "<") result = std::move(a) < std::move(b);
+    else if (op == "<=") result = std::move(a) <= std::move(b);
+    else if (op == "&&") result = std::move(a) && std::move(b);
+    else if (op == "||") result = std::move(a) || std::move(b);
+    else fail_at(line, "unknown expression operator '" + op + "'");
+  }
+  want("')'");
+  if (toks[pos] != ")") fail_at(line, "expected ')' in expression");
+  ++pos;
+  return result;
+}
+
+Expr parse_expr(const std::string& text, int line) {
+  const auto toks = expr_tokens(text, line);
+  std::size_t pos = 0;
+  Expr e = parse_expr_at(toks, pos, line);
+  if (pos != toks.size()) fail_at(line, "trailing tokens after expression");
+  return e;
+}
+
+// ---- programs -------------------------------------------------------------
+
+void print_program(std::ostream& out, const ProgramCode& code,
+                   const std::string& head) {
+  const auto instrs = code.static_code();
+  if (!instrs) {
+    throw std::runtime_error(
+        "print_implementation: program '" + code.name() +
+        "' has no static disassembly and cannot be serialized");
+  }
+  out << "program " << head << " " << code.name() << "\n";
+  for (const StaticInstr& ins : *instrs) {
+    switch (ins.op) {
+      case StaticInstr::Op::kAssign:
+        out << "assign " << ins.reg << " ";
+        print_expr(out, *ins.expr);
+        break;
+      case StaticInstr::Op::kInvoke:
+        out << "invoke " << ins.reg << " " << ins.slot << " ";
+        print_expr(out, *ins.expr);
+        break;
+      case StaticInstr::Op::kJump:
+        out << "jump " << ins.target;
+        break;
+      case StaticInstr::Op::kBranchIf:
+        out << "branch " << ins.target << " ";
+        print_expr(out, *ins.expr);
+        break;
+      case StaticInstr::Op::kRet:
+        out << "ret ";
+        print_expr(out, *ins.expr);
+        break;
+      case StaticInstr::Op::kFail:
+        out << "fail";
+        break;
+    }
+    out << "\n";
+  }
+  out << "end program\n";
+}
+
+struct ParsedLine {
+  int line_no = 0;
+  std::vector<std::string> tokens;
+};
+
+/// One parsed program instruction before label resolution.
+struct RawInstr {
+  enum class Op { kAssign, kInvoke, kJump, kBranch, kRet, kFail };
+  Op op = Op::kAssign;
+  int reg = -1;
+  int slot = -1;
+  int target = -1;
+  std::optional<Expr> expr;
+};
+
+ProgramRef build_program(const std::vector<RawInstr>& instrs,
+                         const std::string& name, int line) {
+  ProgramBuilder b;
+  std::map<int, Label> labels;  // target pc -> label
+  for (const RawInstr& ins : instrs) {
+    if (ins.op == RawInstr::Op::kJump || ins.op == RawInstr::Op::kBranch) {
+      if (ins.target < 0 || ins.target > static_cast<int>(instrs.size())) {
+        fail_at(line, "jump target " + std::to_string(ins.target) +
+                          " outside program '" + name + "'");
+      }
+      labels.try_emplace(ins.target, Label{});
+    }
+  }
+  for (auto& [pc, label] : labels) label = b.make_label();
+  for (std::size_t pc = 0; pc < instrs.size(); ++pc) {
+    if (const auto it = labels.find(static_cast<int>(pc));
+        it != labels.end()) {
+      b.bind(it->second);
+    }
+    const RawInstr& ins = instrs[pc];
+    switch (ins.op) {
+      case RawInstr::Op::kAssign: b.assign(ins.reg, *ins.expr); break;
+      case RawInstr::Op::kInvoke: b.invoke(ins.slot, *ins.expr, ins.reg); break;
+      case RawInstr::Op::kJump: b.jump(labels.at(ins.target)); break;
+      case RawInstr::Op::kBranch:
+        b.branch_if(*ins.expr, labels.at(ins.target));
+        break;
+      case RawInstr::Op::kRet: b.ret(*ins.expr); break;
+      case RawInstr::Op::kFail: b.fail("fail"); break;
+    }
+  }
+  // A trailing label (jump past the last instruction) has no instruction to
+  // bind to; ProgramBuilder would reject the unbound label with its own
+  // diagnostic, which is the right error for a malformed file.
+  if (const auto it = labels.find(static_cast<int>(instrs.size()));
+      it != labels.end()) {
+    b.bind(it->second);
+  }
+  try {
+    return b.build(name);
+  } catch (const std::logic_error& e) {
+    fail_at(line, std::string("invalid program: ") + e.what());
+  }
+}
+
+// ---- the line-oriented implementation format ------------------------------
+
+class ImplParser {
+ public:
+  explicit ImplParser(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      ParsedLine pl;
+      pl.line_no = line_no;
+      std::istringstream ls(line);
+      std::string tok;
+      while (ls >> tok) {
+        if (tok[0] == '#') break;
+        pl.tokens.push_back(tok);
+      }
+      if (!pl.tokens.empty()) lines_.push_back(std::move(pl));
+    }
+  }
+
+  std::shared_ptr<const Implementation> parse() {
+    auto impl = parse_impl();
+    if (pos_ != lines_.size()) {
+      fail_at(lines_[pos_].line_no, "trailing content after 'end impl'");
+    }
+    return impl;
+  }
+
+ private:
+  const ParsedLine& peek() const {
+    if (pos_ >= lines_.size()) {
+      fail_at(lines_.empty() ? 1 : lines_.back().line_no,
+              "unexpected end of input");
+    }
+    return lines_[pos_];
+  }
+
+  const ParsedLine& next() {
+    const ParsedLine& pl = peek();
+    ++pos_;
+    return pl;
+  }
+
+  static int to_int(const std::string& tok, int line, const char* what) {
+    try {
+      std::size_t used = 0;
+      const long long v = std::stoll(tok, &used);
+      if (used != tok.size()) throw std::invalid_argument(tok);
+      return static_cast<int>(v);
+    } catch (const std::exception&) {
+      fail_at(line, std::string("bad ") + what + " '" + tok + "'");
+    }
+  }
+
+  void expect_end(const char* block) {
+    const ParsedLine& pl = next();
+    if (pl.tokens.size() != 2 || pl.tokens[0] != "end" ||
+        pl.tokens[1] != block) {
+      fail_at(pl.line_no, std::string("expected 'end ") + block + "'");
+    }
+  }
+
+  /// Collects the raw lines of a nested TypeSpec until 'end <block>' and
+  /// hands them to parse_type (whose own validation applies).
+  std::shared_ptr<const TypeSpec> parse_type_block(const char* block) {
+    std::ostringstream buf;
+    const int start = peek().line_no;
+    while (true) {
+      const ParsedLine& pl = peek();
+      if (pl.tokens[0] == "end") break;
+      ++pos_;
+      for (std::size_t k = 0; k < pl.tokens.size(); ++k) {
+        buf << (k ? " " : "") << pl.tokens[k];
+      }
+      buf << "\n";
+    }
+    expect_end(block);
+    try {
+      return std::make_shared<const TypeSpec>(parse_type(buf.str()));
+    } catch (const std::runtime_error& e) {
+      fail_at(start, std::string("in nested type: ") + e.what());
+    }
+  }
+
+  std::vector<PortId> parse_port_map(const ParsedLine& pl, std::size_t from) {
+    if (from >= pl.tokens.size() || pl.tokens[from] != "map") {
+      fail_at(pl.line_no, "expected 'map <ports...>'");
+    }
+    std::vector<PortId> map;
+    for (std::size_t k = from + 1; k < pl.tokens.size(); ++k) {
+      map.push_back(to_int(pl.tokens[k], pl.line_no, "port"));
+    }
+    return map;
+  }
+
+  std::shared_ptr<const Implementation> parse_impl() {
+    const ParsedLine& head = next();
+    if (head.tokens[0] != "impl" || head.tokens.size() < 2) {
+      fail_at(head.line_no, "expected 'impl <name>'");
+    }
+    std::string name = head.tokens[1];
+    for (std::size_t k = 2; k < head.tokens.size(); ++k) {
+      name += " " + head.tokens[k];
+    }
+
+    const ParsedLine& init = next();
+    if (init.tokens.size() != 2 || init.tokens[0] != "iface_initial") {
+      fail_at(init.line_no, "expected 'iface_initial <state>'");
+    }
+    const StateId iface_initial =
+        to_int(init.tokens[1], init.line_no, "state");
+
+    std::vector<Val> persistent;
+    if (peek().tokens[0] == "persistent") {
+      const ParsedLine& pl = next();
+      if (pl.tokens.size() < 2) fail_at(pl.line_no, "persistent needs a count");
+      const int count = to_int(pl.tokens[1], pl.line_no, "count");
+      if (static_cast<int>(pl.tokens.size()) != 2 + count) {
+        fail_at(pl.line_no, "persistent count does not match values");
+      }
+      for (int k = 0; k < count; ++k) {
+        persistent.push_back(to_int(pl.tokens[static_cast<std::size_t>(k) + 2],
+                                    pl.line_no, "value"));
+      }
+    }
+
+    {
+      const ParsedLine& pl = next();
+      if (pl.tokens.size() != 1 || pl.tokens[0] != "iface") {
+        fail_at(pl.line_no, "expected 'iface'");
+      }
+    }
+    const auto iface = parse_type_block("iface");
+    auto impl =
+        std::make_shared<Implementation>(std::move(name), iface, iface_initial);
+    if (!persistent.empty()) impl->set_persistent(std::move(persistent));
+
+    // Objects, in declaration order (slot indices must be preserved).
+    while (peek().tokens[0] == "object") {
+      const ParsedLine& pl = next();
+      if (pl.tokens.size() < 2) fail_at(pl.line_no, "object needs a kind");
+      if (pl.tokens[1] == "base") {
+        if (pl.tokens.size() < 3) {
+          fail_at(pl.line_no, "expected 'object base <initial> map ...'");
+        }
+        const StateId initial = to_int(pl.tokens[2], pl.line_no, "state");
+        auto map = parse_port_map(pl, 3);
+        auto spec = parse_type_block("object");
+        try {
+          impl->add_base(std::move(spec), initial, std::move(map));
+        } catch (const std::exception& e) {
+          fail_at(pl.line_no, std::string("bad base object: ") + e.what());
+        }
+      } else if (pl.tokens[1] == "nested") {
+        auto map = parse_port_map(pl, 2);
+        auto inner = parse_impl();
+        expect_end("object");
+        try {
+          impl->add_nested(std::move(inner), std::move(map));
+        } catch (const std::exception& e) {
+          fail_at(pl.line_no, std::string("bad nested object: ") + e.what());
+        }
+      } else {
+        fail_at(pl.line_no, "object kind must be 'base' or 'nested'");
+      }
+    }
+
+    // Programs.
+    while (peek().tokens[0] == "program") {
+      const ParsedLine& pl = next();
+      if (pl.tokens.size() < 4) {
+        fail_at(pl.line_no, "expected 'program <inv> <port|*> <name>'");
+      }
+      const InvId inv = to_int(pl.tokens[1], pl.line_no, "invocation");
+      const bool all_ports = pl.tokens[2] == "*";
+      const PortId port =
+          all_ports ? 0 : to_int(pl.tokens[2], pl.line_no, "port");
+      std::string prog_name = pl.tokens[3];
+      for (std::size_t k = 4; k < pl.tokens.size(); ++k) {
+        prog_name += " " + pl.tokens[k];
+      }
+      std::vector<RawInstr> instrs;
+      while (peek().tokens[0] != "end") {
+        const ParsedLine& il = next();
+        const std::string& op = il.tokens[0];
+        RawInstr ins;
+        // The expression, when present, is the remainder of the line.
+        const auto rest = [&](std::size_t from) {
+          std::string text;
+          for (std::size_t k = from; k < il.tokens.size(); ++k) {
+            text += il.tokens[k] + " ";
+          }
+          return parse_expr(text, il.line_no);
+        };
+        if (op == "assign" && il.tokens.size() >= 3) {
+          ins.op = RawInstr::Op::kAssign;
+          ins.reg = to_int(il.tokens[1], il.line_no, "register");
+          ins.expr = rest(2);
+        } else if (op == "invoke" && il.tokens.size() >= 4) {
+          ins.op = RawInstr::Op::kInvoke;
+          ins.reg = to_int(il.tokens[1], il.line_no, "register");
+          ins.slot = to_int(il.tokens[2], il.line_no, "slot");
+          ins.expr = rest(3);
+        } else if (op == "jump" && il.tokens.size() == 2) {
+          ins.op = RawInstr::Op::kJump;
+          ins.target = to_int(il.tokens[1], il.line_no, "target");
+        } else if (op == "branch" && il.tokens.size() >= 3) {
+          ins.op = RawInstr::Op::kBranch;
+          ins.target = to_int(il.tokens[1], il.line_no, "target");
+          ins.expr = rest(2);
+        } else if (op == "ret" && il.tokens.size() >= 2) {
+          ins.op = RawInstr::Op::kRet;
+          ins.expr = rest(1);
+        } else if (op == "fail" && il.tokens.size() == 1) {
+          ins.op = RawInstr::Op::kFail;
+        } else {
+          fail_at(il.line_no, "unknown instruction '" + op + "'");
+        }
+        instrs.push_back(std::move(ins));
+      }
+      expect_end("program");
+      ProgramRef code = build_program(instrs, prog_name, pl.line_no);
+      try {
+        if (all_ports) {
+          impl->set_program_all_ports(inv, std::move(code));
+        } else {
+          impl->set_program(inv, port, std::move(code));
+        }
+      } catch (const std::exception& e) {
+        fail_at(pl.line_no, std::string("bad program header: ") + e.what());
+      }
+    }
+
+    expect_end("impl");
+    return impl;
+  }
+
+  std::vector<ParsedLine> lines_;
+  std::size_t pos_ = 0;
+};
+
+void print_impl_into(std::ostream& out, const Implementation& impl) {
+  out << "impl " << impl.name() << "\n";
+  out << "iface_initial " << impl.iface_initial() << "\n";
+  if (!impl.persistent_initial().empty()) {
+    out << "persistent " << impl.persistent_initial().size();
+    for (const Val v : impl.persistent_initial()) out << " " << v;
+    out << "\n";
+  }
+  out << "iface\n" << print_type(impl.iface()) << "end iface\n";
+  for (const ObjectDecl& decl : impl.objects()) {
+    if (decl.is_base()) {
+      out << "object base " << decl.initial << " map";
+      for (const PortId p : decl.port_of_outer) out << " " << p;
+      out << "\n" << print_type(*decl.spec) << "end object\n";
+    } else {
+      out << "object nested map";
+      for (const PortId p : decl.port_of_outer) out << " " << p;
+      out << "\n";
+      print_impl_into(out, *decl.impl);
+      out << "end object\n";
+    }
+  }
+  const int ports = impl.iface().ports();
+  for (InvId i = 0; i < impl.iface().num_invocations(); ++i) {
+    // Collapse to '*' when every port shares the same program object (the
+    // set_program_all_ports idiom).
+    bool all_same = true;
+    const bool has0 = impl.has_program(i, 0);
+    for (PortId p = 0; p < ports && all_same; ++p) {
+      if (impl.has_program(i, p) != has0 ||
+          (has0 && impl.program(i, p) != impl.program(i, 0))) {
+        all_same = false;
+      }
+    }
+    if (all_same && has0) {
+      print_program(out, *impl.program(i, 0),
+                    std::to_string(i) + " *");
+    } else {
+      for (PortId p = 0; p < ports; ++p) {
+        if (!impl.has_program(i, p)) continue;
+        print_program(out, *impl.program(i, p),
+                      std::to_string(i) + " " + std::to_string(p));
+      }
+    }
+  }
+  out << "end impl\n";
+}
+
+const char* reduction_token(Reduction r) {
+  switch (r) {
+    case Reduction::kNone: return "none";
+    case Reduction::kSleep: return "sleep";
+    case Reduction::kSleepSymmetry: return "sleep+symmetry";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string print_implementation(const Implementation& impl) {
+  std::ostringstream out;
+  print_impl_into(out, impl);
+  return out.str();
+}
+
+std::shared_ptr<const Implementation> parse_implementation(
+    const std::string& text) {
+  ImplParser parser(text);
+  return parser.parse();
+}
+
+std::string print_verify_options(const VerifyOptions& options) {
+  return print_verify_options(options,
+                              static_cast<bool>(options.static_precheck));
+}
+
+std::string print_verify_options(const VerifyOptions& options, bool precheck) {
+  std::ostringstream out;
+  out << "options\n"
+      << "max_configs " << options.limits.max_configs << "\n"
+      << "max_depth " << options.limits.max_depth << "\n"
+      << "track_access_bounds " << (options.limits.track_access_bounds ? 1 : 0)
+      << "\n"
+      << "stop_at_violation " << (options.limits.stop_at_violation ? 1 : 0)
+      << "\n"
+      << "reduction " << reduction_token(options.reduction) << "\n"
+      << "precheck " << (precheck ? 1 : 0) << "\n"
+      << "end options\n";
+  return out.str();
+}
+
+VerifyOptions parse_verify_options(const std::string& text,
+                                   bool* precheck_out) {
+  const auto bad = [](int line, const std::string& what) {
+    throw std::runtime_error("parse_verify_options: line " +
+                             std::to_string(line) + ": " + what);
+  };
+  VerifyOptions options;
+  if (precheck_out) *precheck_out = false;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool open = false, closed = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::vector<std::string> toks;
+    std::string tok;
+    while (ls >> tok) {
+      if (tok[0] == '#') break;
+      toks.push_back(tok);
+    }
+    if (toks.empty()) continue;
+    if (closed) bad(line_no, "trailing content after 'end options'");
+    if (!open) {
+      if (toks.size() != 1 || toks[0] != "options") {
+        bad(line_no, "expected 'options'");
+      }
+      open = true;
+      continue;
+    }
+    if (toks[0] == "end") {
+      if (toks.size() != 2 || toks[1] != "options") {
+        bad(line_no, "expected 'end options'");
+      }
+      closed = true;
+      continue;
+    }
+    if (toks.size() != 2) bad(line_no, "expected '<field> <value>'");
+    const auto number = [&]() -> long long {
+      try {
+        std::size_t used = 0;
+        const long long v = std::stoll(toks[1], &used);
+        if (used != toks[1].size() || v < 0) throw std::invalid_argument(toks[1]);
+        return v;
+      } catch (const std::exception&) {
+        bad(line_no, "bad value '" + toks[1] + "' for " + toks[0]);
+        return 0;  // unreachable
+      }
+    };
+    if (toks[0] == "max_configs") {
+      options.limits.max_configs = static_cast<std::size_t>(number());
+    } else if (toks[0] == "max_depth") {
+      options.limits.max_depth = static_cast<int>(number());
+    } else if (toks[0] == "track_access_bounds") {
+      options.limits.track_access_bounds = number() != 0;
+    } else if (toks[0] == "stop_at_violation") {
+      options.limits.stop_at_violation = number() != 0;
+    } else if (toks[0] == "precheck") {
+      if (precheck_out) *precheck_out = number() != 0;
+    } else if (toks[0] == "reduction") {
+      if (toks[1] == "none") options.reduction = Reduction::kNone;
+      else if (toks[1] == "sleep") options.reduction = Reduction::kSleep;
+      else if (toks[1] == "sleep+symmetry")
+        options.reduction = Reduction::kSleepSymmetry;
+      else bad(line_no, "reduction wants none|sleep|sleep+symmetry");
+    } else {
+      bad(line_no, "unknown option '" + toks[0] + "'");
+    }
+  }
+  if (!closed) {
+    throw std::runtime_error("parse_verify_options: missing 'end options'");
+  }
+  return options;
+}
+
+}  // namespace wfregs

@@ -1,0 +1,86 @@
+#include "wfregs/service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "wfregs/service/protocol.hpp"
+
+namespace wfregs::service {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("Client: bad socket path: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("Client: socket: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Client: cannot connect to " + socket_path +
+                             ": " + err);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::roundtrip(std::uint8_t type, const std::string& payload) {
+  Frame request;
+  request.type = static_cast<FrameType>(type);
+  request.payload = payload;
+  write_frame(fd_, request);
+  std::optional<Frame> reply = read_frame(fd_);
+  if (!reply) throw std::runtime_error("Client: daemon closed the connection");
+  if (reply->type == FrameType::kError) {
+    throw std::runtime_error("Client: daemon error: " + reply->payload);
+  }
+  if (reply->type != FrameType::kReply) {
+    throw std::runtime_error("Client: unexpected reply frame type");
+  }
+  return std::move(reply->payload);
+}
+
+std::string Client::submit(const std::string& job_text) {
+  return roundtrip(static_cast<std::uint8_t>(FrameType::kSubmit), job_text);
+}
+
+std::string Client::poll(const std::string& key_hex) {
+  return roundtrip(static_cast<std::uint8_t>(FrameType::kPoll), key_hex);
+}
+
+std::string Client::wait(const std::string& key_hex,
+                         std::chrono::milliseconds interval) {
+  for (;;) {
+    std::string reply = poll(key_hex);
+    const bool pending =
+        reply.find("\"status\":\"queued\"") != std::string::npos ||
+        reply.find("\"status\":\"running\"") != std::string::npos;
+    if (!pending) return reply;
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+std::string Client::stats() {
+  return roundtrip(static_cast<std::uint8_t>(FrameType::kStats), "");
+}
+
+std::string Client::shutdown() {
+  return roundtrip(static_cast<std::uint8_t>(FrameType::kShutdown), "");
+}
+
+}  // namespace wfregs::service

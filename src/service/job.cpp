@@ -1,0 +1,212 @@
+#include "wfregs/service/job.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "wfregs/runtime/config_intern.hpp"
+#include "wfregs/typesys/serialize.hpp"
+
+namespace wfregs::service {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char ch : text) {
+    if (ch == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+[[noreturn]] void fail_at(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("parse_job: line " + std::to_string(line_no + 1) +
+                           ": " + what);
+}
+
+}  // namespace
+
+std::string job_key_hex(const JobKey& key) {
+  static const char* hex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int k = 0; k < 16; ++k) {
+    out[15 - k] = hex[(key.hi >> (4 * k)) & 0xF];
+    out[31 - k] = hex[(key.lo >> (4 * k)) & 0xF];
+  }
+  return out;
+}
+
+JobKey parse_job_key(const std::string& hex) {
+  if (hex.size() != 32) {
+    throw std::runtime_error("parse_job_key: expected 32 hex digits");
+  }
+  JobKey key;
+  for (int k = 0; k < 32; ++k) {
+    const char ch = hex[k];
+    std::uint64_t nib = 0;
+    if (ch >= '0' && ch <= '9') {
+      nib = ch - '0';
+    } else if (ch >= 'a' && ch <= 'f') {
+      nib = 10 + (ch - 'a');
+    } else if (ch >= 'A' && ch <= 'F') {
+      nib = 10 + (ch - 'A');
+    } else {
+      throw std::runtime_error("parse_job_key: non-hex digit");
+    }
+    if (k < 16) {
+      key.hi = (key.hi << 4) | nib;
+    } else {
+      key.lo = (key.lo << 4) | nib;
+    }
+  }
+  return key;
+}
+
+std::string print_job(const VerifyJob& job) {
+  if (!job.impl) throw std::runtime_error("print_job: null implementation");
+  std::ostringstream out;
+  out << "job " << job_kind_name(job.kind) << "\n";
+  if (job.kind == JobKind::kRegular) out << "values " << job.values << "\n";
+  if (job.kind != JobKind::kConsensus) {
+    for (std::size_t p = 0; p < job.scripts.size(); ++p) {
+      out << "script " << p;
+      for (const InvId inv : job.scripts[p]) out << " " << inv;
+      out << "\n";
+    }
+  }
+  out << print_verify_options(job.options, job.precheck);
+  out << print_implementation(*job.impl);
+  return out.str();
+}
+
+VerifyJob parse_job(const std::string& text) {
+  const std::vector<std::string> lines = split_lines(text);
+  std::size_t i = 0;
+  // Skip leading blanks/comments (print_job emits none, but be tolerant on
+  // the way in -- the canonical key is always formed from print_job output).
+  auto skip_blank = [&] {
+    while (i < lines.size() &&
+           (lines[i].empty() || lines[i][0] == '#')) {
+      ++i;
+    }
+  };
+  skip_blank();
+  if (i >= lines.size()) throw std::runtime_error("parse_job: empty input");
+
+  VerifyJob job;
+  {
+    std::istringstream in(lines[i]);
+    std::string tag, kind;
+    in >> tag >> kind;
+    if (tag != "job") fail_at(i, "expected 'job <kind>'");
+    if (kind == "linearizable") {
+      job.kind = JobKind::kLinearizable;
+    } else if (kind == "regular") {
+      job.kind = JobKind::kRegular;
+    } else if (kind == "consensus") {
+      job.kind = JobKind::kConsensus;
+    } else {
+      fail_at(i, "unknown job kind '" + kind + "'");
+    }
+    ++i;
+  }
+  skip_blank();
+  if (job.kind == JobKind::kRegular) {
+    if (i >= lines.size()) fail_at(i, "expected 'values <n>'");
+    std::istringstream in(lines[i]);
+    std::string tag;
+    if (!(in >> tag >> job.values) || tag != "values") {
+      fail_at(i, "expected 'values <n>'");
+    }
+    ++i;
+    skip_blank();
+  }
+  while (i < lines.size() && lines[i].rfind("script ", 0) == 0) {
+    std::istringstream in(lines[i]);
+    std::string tag;
+    std::size_t port = 0;
+    if (!(in >> tag >> port)) fail_at(i, "expected 'script <port> ...'");
+    if (port != job.scripts.size()) {
+      fail_at(i, "script ports must be dense and in order");
+    }
+    std::vector<InvId> script;
+    InvId inv = 0;
+    while (in >> inv) script.push_back(inv);
+    if (!in.eof()) fail_at(i, "malformed invocation id");
+    job.scripts.push_back(std::move(script));
+    ++i;
+    skip_blank();
+  }
+
+  // Options block: `options` ... `end options`.
+  if (i >= lines.size() || lines[i] != "options") {
+    fail_at(i, "expected 'options' block");
+  }
+  std::string options_text;
+  bool options_closed = false;
+  for (; i < lines.size(); ++i) {
+    options_text += lines[i];
+    options_text += '\n';
+    if (lines[i] == "end options") {
+      ++i;
+      options_closed = true;
+      break;
+    }
+  }
+  if (!options_closed) fail_at(i, "unterminated options block");
+  job.options = parse_verify_options(options_text, &job.precheck);
+
+  // Everything left is the implementation.
+  std::string impl_text;
+  for (; i < lines.size(); ++i) {
+    impl_text += lines[i];
+    impl_text += '\n';
+  }
+  job.impl = parse_implementation(impl_text);
+  return job;
+}
+
+JobKey hash_job_text(const std::string& text) {
+  // Pack the bytes little-endian into 64-bit words (zero-padded), append the
+  // byte length as a final word so texts differing only in trailing NULs
+  // cannot collide, then run two independently salted config_hash_words
+  // chains for the two key halves.
+  std::vector<std::uint64_t> words;
+  words.reserve(text.size() / 8 + 2);
+  std::uint64_t w = 0;
+  int shift = 0;
+  for (const char ch : text) {
+    w |= static_cast<std::uint64_t>(static_cast<unsigned char>(ch)) << shift;
+    shift += 8;
+    if (shift == 64) {
+      words.push_back(w);
+      w = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) words.push_back(w);
+  words.push_back(text.size());
+
+  auto chain = [&](std::uint64_t salt) {
+    std::uint64_t h =
+        config_mix64(0x9e3779b97f4a7c15ULL ^ salt ^ words.size());
+    for (const std::uint64_t word : words) {
+      h = config_mix64(h ^ config_mix64(word ^ salt));
+    }
+    return h;
+  };
+  JobKey key;
+  key.lo = chain(0);
+  key.hi = chain(0x6a09e667f3bcc909ULL);
+  return key;
+}
+
+JobKey job_key(const VerifyJob& job) { return hash_job_text(print_job(job)); }
+
+}  // namespace wfregs::service

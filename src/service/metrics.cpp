@@ -1,0 +1,33 @@
+#include "wfregs/service/metrics.hpp"
+
+#include <sstream>
+
+namespace wfregs::service {
+
+std::string metrics_to_json(const Metrics& m) {
+  std::ostringstream out;
+  out << "{\"submitted\":" << m.submitted
+      << ",\"cache_hits\":" << m.cache_hits
+      << ",\"cache_misses\":" << m.cache_misses
+      << ",\"coalesced\":" << m.coalesced
+      << ",\"rejected\":" << m.rejected
+      << ",\"completed\":" << m.completed
+      << ",\"cancelled\":" << m.cancelled
+      << ",\"failed\":" << m.failed
+      << ",\"evictions\":" << m.evictions
+      << ",\"queue_depth\":" << m.queue_depth
+      << ",\"in_flight\":" << m.in_flight
+      << ",\"store_records\":" << m.store_records
+      << ",\"store_bytes\":" << m.store_bytes
+      << ",\"lookup_ns_total\":" << m.lookup_ns_total
+      << ",\"lookup_count\":" << m.lookup_count
+      << ",\"queue_ns_total\":" << m.queue_ns_total
+      << ",\"queue_count\":" << m.queue_count
+      << ",\"run_ns_total\":" << m.run_ns_total
+      << ",\"run_count\":" << m.run_count
+      << ",\"append_ns_total\":" << m.append_ns_total
+      << ",\"append_count\":" << m.append_count << "}";
+  return out.str();
+}
+
+}  // namespace wfregs::service

@@ -1,0 +1,79 @@
+#include "wfregs/service/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace wfregs::service {
+
+namespace {
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("write_frame: ") +
+                               std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `size` bytes; returns false on EOF before the first byte,
+/// throws on error or EOF mid-read.
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("read_frame: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("read_frame: EOF mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame(int fd, const Frame& frame) {
+  const std::uint32_t len = static_cast<std::uint32_t>(1 + frame.payload.size());
+  std::vector<std::uint8_t> buf;
+  buf.reserve(4 + len);
+  for (int k = 0; k < 4; ++k) buf.push_back((len >> (8 * k)) & 0xFF);
+  buf.push_back(static_cast<std::uint8_t>(frame.type));
+  buf.insert(buf.end(), frame.payload.begin(), frame.payload.end());
+  write_all(fd, buf.data(), buf.size());
+}
+
+std::optional<Frame> read_frame(int fd) {
+  std::uint8_t head[4];
+  if (!read_all(fd, head, 4)) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int k = 0; k < 4; ++k) {
+    len |= static_cast<std::uint32_t>(head[k]) << (8 * k);
+  }
+  if (len < 1) throw std::runtime_error("read_frame: zero-length frame");
+  if (len > kMaxFrame) throw std::runtime_error("read_frame: oversized frame");
+  std::vector<std::uint8_t> body(len);
+  if (!read_all(fd, body.data(), body.size())) {
+    throw std::runtime_error("read_frame: EOF mid-frame");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(body[0]);
+  frame.payload.assign(reinterpret_cast<const char*>(body.data() + 1),
+                       body.size() - 1);
+  return frame;
+}
+
+}  // namespace wfregs::service

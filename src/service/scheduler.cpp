@@ -1,0 +1,368 @@
+#include "wfregs/service/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wfregs/analysis/lint.hpp"
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/runtime/regularity.hpp"
+#include "wfregs/runtime/verify.hpp"
+
+namespace wfregs::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+std::shared_future<Verdict> ready_future(Verdict v) {
+  std::promise<Verdict> p;
+  p.set_value(std::move(v));
+  return p.get_future().share();
+}
+
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+struct JobScheduler::InFlight {
+  VerifyJob job;
+  JobKey key;
+  JobState state = JobState::kQueued;
+  std::atomic<bool> cancel{false};
+  std::promise<Verdict> promise;
+  std::shared_future<Verdict> future;
+  Clock::time_point submitted_at;
+  Clock::time_point deadline;
+  bool has_deadline = false;
+};
+
+JobScheduler::Runner JobScheduler::default_runner(int explore_threads) {
+  return [explore_threads](const VerifyJob& job,
+                           const std::atomic<bool>& cancel) -> Verdict {
+    VerifyOptions options = job.options;
+    options.threads = explore_threads;
+    options.limits.cancel = &cancel;
+    if (job.precheck) options.static_precheck = analysis::static_precheck();
+    Verdict v;
+    v.kind = job.kind;
+    switch (job.kind) {
+      case JobKind::kLinearizable: {
+        const VerifyResult r =
+            verify_linearizable(job.impl, job.scripts, options);
+        v.ok = r.ok;
+        v.wait_free = r.wait_free;
+        v.complete = r.complete;
+        v.detail = r.detail;
+        v.stats = r.stats;
+        break;
+      }
+      case JobKind::kRegular: {
+        const RegularVerifyResult r =
+            verify_regular(job.impl, job.scripts, job.values, options);
+        v.ok = r.ok;
+        v.wait_free = r.wait_free;
+        v.complete = r.complete;
+        v.detail = r.detail;
+        v.stats = r.stats;
+        break;
+      }
+      case JobKind::kConsensus: {
+        const consensus::ConsensusCheckResult r =
+            consensus::check_consensus(job.impl, options);
+        v.ok = r.solves;
+        v.wait_free = r.wait_free;
+        v.complete = r.complete;
+        v.detail = r.detail;
+        v.stats.configs = r.configs;
+        v.stats.terminals = r.terminals;
+        // The checker interns every configuration it counts (the explorers'
+        // interned == configs contract holds per root, so it holds summed).
+        v.stats.interned_configs = r.configs;
+        v.stats.depth = r.depth;
+        v.stats.max_accesses = r.max_accesses;
+        v.stats.max_accesses_by_inv = r.max_accesses_by_inv;
+        break;
+      }
+    }
+    return v;
+  };
+}
+
+JobScheduler::JobScheduler(SchedulerOptions options, Runner runner)
+    : options_(options),
+      runner_(runner ? std::move(runner)
+                     : default_runner(options.explore_threads)),
+      store_(options.store_path) {
+  if (options_.workers < 1) options_.workers = 1;
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+  timer_ = std::thread([this] { timer_main(); });
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+Submitted JobScheduler::submit(const VerifyJob& job) {
+  Submitted s = admit(job, /*reject_when_full=*/false);
+  return s;
+}
+
+Submitted JobScheduler::try_submit(const VerifyJob& job) {
+  return admit(job, /*reject_when_full=*/true);
+}
+
+Submitted JobScheduler::admit(const VerifyJob& job, bool reject_when_full) {
+  // Serialize + hash outside the lock (print_job can be sizeable).
+  const JobKey key = job_key(job);
+  Submitted out;
+  out.key = key;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    throw std::runtime_error("JobScheduler: draining, submission refused");
+  }
+
+  // 1. Cache first.
+  const Clock::time_point t0 = Clock::now();
+  std::optional<Verdict> hit = store_.lookup(key);
+  metrics_.lookup_ns_total += ns_between(t0, Clock::now());
+  metrics_.lookup_count += 1;
+  if (hit) {
+    metrics_.submitted += 1;
+    metrics_.cache_hits += 1;
+    out.cached = true;
+    out.result = ready_future(std::move(*hit));
+    return out;
+  }
+
+  // 2. Coalesce with an identical queued/running job.
+  for (const std::shared_ptr<InFlight>& f : inflight_) {
+    if (f->key == key) {
+      metrics_.submitted += 1;
+      metrics_.coalesced += 1;
+      out.coalesced = true;
+      out.result = f->future;
+      return out;
+    }
+  }
+
+  // 3. Bounded queue.
+  if (queue_.size() >= options_.queue_capacity) {
+    metrics_.rejected += 1;
+    if (!reject_when_full) {
+      throw std::runtime_error("JobScheduler: submission queue full");
+    }
+    out.rejected = true;
+    return out;
+  }
+
+  auto f = std::make_shared<InFlight>();
+  f->job = job;
+  f->key = key;
+  f->future = f->promise.get_future().share();
+  f->submitted_at = Clock::now();
+  if (options_.default_deadline.count() > 0) {
+    f->deadline = f->submitted_at + options_.default_deadline;
+    f->has_deadline = true;
+  }
+  queue_.push_back(f);
+  inflight_.push_back(f);
+  metrics_.submitted += 1;
+  metrics_.cache_misses += 1;
+  out.result = f->future;
+  lock.unlock();
+  work_cv_.notify_one();
+  if (f->has_deadline) timer_cv_.notify_one();
+  return out;
+}
+
+void JobScheduler::worker_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    std::shared_ptr<InFlight> f = queue_.front();
+    queue_.pop_front();
+    f->state = JobState::kRunning;
+    const Clock::time_point picked = Clock::now();
+    metrics_.queue_ns_total += ns_between(f->submitted_at, picked);
+    metrics_.queue_count += 1;
+    lock.unlock();
+
+    Verdict v;
+    JobState final_state = JobState::kDone;
+    if (f->cancel.load(std::memory_order_relaxed)) {
+      // Deadline expired (or shutdown) while still queued.
+      v.kind = f->job.kind;
+      v.complete = false;
+      v.detail = "cancelled before running";
+      final_state = JobState::kCancelled;
+    } else {
+      try {
+        v = runner_(f->job, f->cancel);
+        if (f->cancel.load(std::memory_order_relaxed) && !v.complete) {
+          final_state = JobState::kCancelled;
+          if (v.detail.empty()) v.detail = "cancelled (deadline)";
+        }
+      } catch (const std::exception& e) {
+        v = Verdict{};
+        v.kind = f->job.kind;
+        v.complete = false;
+        v.detail = e.what();
+        final_state = JobState::kFailed;
+      }
+    }
+
+    lock.lock();
+    metrics_.run_ns_total += ns_between(picked, Clock::now());
+    metrics_.run_count += 1;
+    finish(f, std::move(v), final_state);
+    // finish() released nothing; we still hold the lock for the next wait.
+  }
+}
+
+void JobScheduler::finish(const std::shared_ptr<InFlight>& job, Verdict verdict,
+                          JobState state) {
+  // Caller holds mu_.
+  if (state == JobState::kDone && verdict.complete) {
+    const Clock::time_point t0 = Clock::now();
+    store_.put(job->key, verdict);
+    metrics_.append_ns_total += ns_between(t0, Clock::now());
+    metrics_.append_count += 1;
+    metrics_.completed += 1;
+  } else {
+    // Incomplete / cancelled / failed verdicts never enter the store; keep
+    // the outcome around for poll().
+    if (state == JobState::kDone) {
+      metrics_.completed += 1;
+    } else if (state == JobState::kCancelled) {
+      metrics_.cancelled += 1;
+    } else {
+      metrics_.failed += 1;
+    }
+    remember_status(job->key, state, verdict);
+  }
+  job->state = state;
+  inflight_.erase(std::find(inflight_.begin(), inflight_.end(), job));
+  job->promise.set_value(std::move(verdict));
+  drain_cv_.notify_all();
+}
+
+void JobScheduler::remember_status(const JobKey& key, JobState state,
+                                   const Verdict& verdict) {
+  JobStatus status;
+  status.state = state;
+  status.verdict = verdict;
+  recent_.emplace_back(key, std::move(status));
+  while (recent_.size() > options_.status_history) {
+    recent_.pop_front();
+    metrics_.evictions += 1;
+  }
+}
+
+void JobScheduler::timer_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_ && queue_.empty() && inflight_.empty()) return;
+    Clock::time_point next = Clock::time_point::max();
+    for (const std::shared_ptr<InFlight>& f : inflight_) {
+      if (f->has_deadline && f->deadline < next) next = f->deadline;
+    }
+    if (next == Clock::time_point::max()) {
+      timer_cv_.wait(lock);
+    } else {
+      timer_cv_.wait_until(lock, next);
+    }
+    const Clock::time_point now = Clock::now();
+    for (const std::shared_ptr<InFlight>& f : inflight_) {
+      if (f->has_deadline && f->deadline <= now) {
+        f->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+std::optional<Verdict> JobScheduler::lookup(const JobKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.lookup(key);
+}
+
+std::optional<JobStatus> JobScheduler::poll(const JobKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::shared_ptr<InFlight>& f : inflight_) {
+    if (f->key == key) {
+      JobStatus status;
+      status.state = f->state;
+      return status;
+    }
+  }
+  // Most recent uncacheable outcome wins.
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it->first == key) return it->second;
+  }
+  if (std::optional<Verdict> v = store_.lookup(key)) {
+    JobStatus status;
+    status.state = JobState::kDone;
+    status.from_cache = true;
+    status.verdict = std::move(*v);
+    return status;
+  }
+  return std::nullopt;
+}
+
+Metrics JobScheduler::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metrics m = metrics_;
+  m.queue_depth = queue_.size();
+  m.in_flight = inflight_.size() - queue_.size();
+  m.store_records = store_.size();
+  m.store_bytes = store_.file_bytes();
+  return m;
+}
+
+void JobScheduler::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;  // already drained
+    stopping_ = true;
+    if (cancel_all_) {
+      for (const std::shared_ptr<InFlight>& f : inflight_) {
+        f->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  work_cv_.notify_all();
+  timer_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+}
+
+void JobScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_all_ = true;
+  }
+  drain();
+}
+
+}  // namespace wfregs::service

@@ -1,0 +1,237 @@
+#include "wfregs/service/store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "wfregs/runtime/config_intern.hpp"
+
+namespace wfregs::service {
+
+namespace {
+
+constexpr char kHeader[8] = {'W', 'F', 'V', 'S', 'T', 'O', 'R', '1'};
+constexpr std::uint32_t kRecordMagic = 0x31564657u;  // "WFV1" little-endian
+/// magic + payload_len + key_hi + key_lo + crc32.
+constexpr std::size_t kRecordHeaderBytes = 4 + 4 + 8 + 8 + 4;
+
+/// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t k = 0; k < size; ++k) {
+    c = table[(c ^ data[k]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int k = 0; k < 4; ++k) v |= static_cast<std::uint32_t>(p[k]) << (8 * k);
+  return v;
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int k = 0; k < 8; ++k) v |= static_cast<std::uint64_t>(p[k]) << (8 * k);
+  return v;
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int k = 0; k < 4; ++k) p[k] = (v >> (8 * k)) & 0xFF;
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k) p[k] = (v >> (8 * k)) & 0xFF;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("VerdictStore: write failed: ") +
+                               std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t key_probe_hash(const JobKey& key) {
+  const std::array<std::uint64_t, 2> words = {key.hi, key.lo};
+  return config_hash_words(words);
+}
+
+}  // namespace
+
+VerdictStore::VerdictStore(std::string path) : path_(std::move(path)) {
+  slots_.assign(64, 0);
+  mask_ = slots_.size() - 1;
+  if (path_.empty()) return;
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("VerdictStore: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  replay();
+}
+
+VerdictStore::~VerdictStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void VerdictStore::replay() {
+  // Read the whole file; an empty file gets the header written, anything
+  // else must start with it.
+  std::vector<std::uint8_t> data;
+  {
+    std::array<std::uint8_t, 65536> buf;
+    for (;;) {
+      const ssize_t n = ::read(fd_, buf.data(), buf.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("VerdictStore: read failed: ") +
+                                 std::strerror(errno));
+      }
+      if (n == 0) break;
+      data.insert(data.end(), buf.data(), buf.data() + n);
+    }
+  }
+  if (data.empty()) {
+    write_all(fd_, reinterpret_cast<const std::uint8_t*>(kHeader),
+              sizeof(kHeader));
+    file_bytes_ = sizeof(kHeader);
+    return;
+  }
+  if (data.size() < sizeof(kHeader) ||
+      std::memcmp(data.data(), kHeader, sizeof(kHeader)) != 0) {
+    throw std::runtime_error("VerdictStore: " + path_ +
+                             " is not a verdict log (bad header)");
+  }
+
+  std::size_t pos = sizeof(kHeader);
+  std::size_t committed = pos;
+  while (pos < data.size()) {
+    if (data.size() - pos < kRecordHeaderBytes) break;  // torn header
+    const std::uint8_t* rec = data.data() + pos;
+    if (load_u32(rec) != kRecordMagic) break;  // corrupt magic
+    const std::uint32_t payload_len = load_u32(rec + 4);
+    if (data.size() - pos - kRecordHeaderBytes < payload_len) break;  // torn
+    JobKey key;
+    key.hi = load_u64(rec + 8);
+    key.lo = load_u64(rec + 16);
+    const std::uint32_t crc = load_u32(rec + 24);
+    const std::uint8_t* payload = rec + kRecordHeaderBytes;
+    if (crc32(payload, payload_len) != crc) break;  // corrupt payload
+    // Committed record: index it (last writer wins on duplicate keys).
+    std::vector<std::uint8_t> bytes(payload, payload + payload_len);
+    const std::uint32_t slot = find_slot(key);
+    if (slots_[slot] != 0) {
+      payloads_[slots_[slot] - 1] = std::move(bytes);
+    } else {
+      keys_.push_back(key);
+      payloads_.push_back(std::move(bytes));
+      index_insert(key, static_cast<std::uint32_t>(keys_.size()));
+    }
+    pos += kRecordHeaderBytes + payload_len;
+    committed = pos;
+  }
+  if (committed < data.size()) {
+    // Torn or corrupt tail: drop it so the next append lands on a clean
+    // record boundary.
+    recovered_drop_ = 1;
+    if (::ftruncate(fd_, static_cast<off_t>(committed)) != 0) {
+      throw std::runtime_error(
+          std::string("VerdictStore: truncate failed: ") +
+          std::strerror(errno));
+    }
+  }
+  if (::lseek(fd_, static_cast<off_t>(committed), SEEK_SET) < 0) {
+    throw std::runtime_error(std::string("VerdictStore: seek failed: ") +
+                             std::strerror(errno));
+  }
+  file_bytes_ = committed;
+}
+
+std::uint32_t VerdictStore::find_slot(const JobKey& key) const {
+  std::size_t slot = key_probe_hash(key) & mask_;
+  while (slots_[slot] != 0 && !(keys_[slots_[slot] - 1] == key)) {
+    slot = (slot + 1) & mask_;
+  }
+  return static_cast<std::uint32_t>(slot);
+}
+
+void VerdictStore::index_insert(const JobKey& key, std::uint32_t id) {
+  if ((keys_.size() + 1) * 4 >= slots_.size() * 3) grow();
+  slots_[find_slot(key)] = id;
+}
+
+void VerdictStore::grow() {
+  std::vector<std::uint32_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  mask_ = slots_.size() - 1;
+  for (const std::uint32_t id : old) {
+    if (id != 0) slots_[find_slot(keys_[id - 1])] = id;
+  }
+}
+
+std::optional<Verdict> VerdictStore::lookup(const JobKey& key) const {
+  const std::uint32_t slot = find_slot(key);
+  if (slots_[slot] == 0) return std::nullopt;
+  const std::vector<std::uint8_t>& bytes = payloads_[slots_[slot] - 1];
+  return decode_verdict(bytes.data(), bytes.size());
+}
+
+std::optional<std::vector<std::uint8_t>> VerdictStore::lookup_encoded(
+    const JobKey& key) const {
+  const std::uint32_t slot = find_slot(key);
+  if (slots_[slot] == 0) return std::nullopt;
+  return payloads_[slots_[slot] - 1];
+}
+
+void VerdictStore::put(const JobKey& key, const Verdict& verdict) {
+  std::vector<std::uint8_t> payload = encode_verdict(verdict);
+  append_record(key, payload);
+  const std::uint32_t slot = find_slot(key);
+  if (slots_[slot] != 0) {
+    payloads_[slots_[slot] - 1] = std::move(payload);
+  } else {
+    keys_.push_back(key);
+    payloads_.push_back(std::move(payload));
+    index_insert(key, static_cast<std::uint32_t>(keys_.size()));
+  }
+}
+
+void VerdictStore::append_record(const JobKey& key,
+                                 const std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) return;
+  std::vector<std::uint8_t> rec(kRecordHeaderBytes + payload.size());
+  store_u32(rec.data(), kRecordMagic);
+  store_u32(rec.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  store_u64(rec.data() + 8, key.hi);
+  store_u64(rec.data() + 16, key.lo);
+  store_u32(rec.data() + 24, crc32(payload.data(), payload.size()));
+  std::memcpy(rec.data() + kRecordHeaderBytes, payload.data(), payload.size());
+  // One write() per record: the kernel sees the whole record at once, so a
+  // SIGKILL between records never tears one (a machine crash can still
+  // leave a prefix, which replay() truncates).
+  write_all(fd_, rec.data(), rec.size());
+  file_bytes_ += rec.size();
+}
+
+}  // namespace wfregs::service

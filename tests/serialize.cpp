@@ -4,6 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/registers/mrsw.hpp"
+#include "wfregs/registers/weak.hpp"
+#include "wfregs/runtime/implementation.hpp"
 #include "wfregs/typesys/random_type.hpp"
 #include "wfregs/typesys/type_zoo.hpp"
 
@@ -157,6 +165,154 @@ TEST(Serialize, FileRoundTrip) {
   EXPECT_EQ(load_type(path), t);
   EXPECT_THROW(load_type("/nonexistent/nowhere.wftype"),
                std::runtime_error);
+}
+
+// ---- whole-job serialization: implementations -----------------------------
+
+TEST(SerializeImpl, LibraryImplementationsRoundTripStable) {
+  const std::vector<std::shared_ptr<const Implementation>> impls = {
+      consensus::from_test_and_set(),
+      consensus::from_queue(),
+      consensus::from_fetch_and_add(),
+      registers::regular_bit_from_safe(1),
+      registers::regular_multivalued_from_bits(3, 1),
+  };
+  for (const auto& impl : impls) {
+    const std::string text = print_implementation(*impl);
+    const auto reparsed = parse_implementation(text);
+    EXPECT_EQ(print_implementation(*reparsed), text) << impl->name();
+    EXPECT_EQ(reparsed->name(), impl->name());
+  }
+}
+
+TEST(SerializeImpl, NestedImplementationsRoundTripStable) {
+  // mrsw_register over Simpson sub-registers nests implementations two
+  // levels deep -- the `object nested` branch of the format.
+  const auto impl = registers::mrsw_register(
+      2, 2, 0, 2, registers::simpson_srsw_factory());
+  const std::string text = print_implementation(*impl);
+  const auto reparsed = parse_implementation(text);
+  EXPECT_EQ(print_implementation(*reparsed), text);
+}
+
+TEST(SerializeImpl, RoundTripPreservesBehaviour) {
+  const auto impl = consensus::from_test_and_set();
+  const auto reparsed =
+      parse_implementation(print_implementation(*impl));
+  const auto a = consensus::check_consensus(impl);
+  const auto b = consensus::check_consensus(reparsed);
+  EXPECT_EQ(a.solves, b.solves);
+  EXPECT_EQ(a.wait_free, b.wait_free);
+  EXPECT_EQ(a.configs, b.configs);
+  EXPECT_EQ(a.terminals, b.terminals);
+  EXPECT_EQ(a.depth, b.depth);
+}
+
+TEST(SerializeImpl, HandBuiltControlFlowAndPersistentState) {
+  // Covers every instruction form (branch/jump/fail included), persistent
+  // slots, per-port-distinct programs and the '*' collapse in one impl.
+  auto iface = std::make_shared<const TypeSpec>(zoo::bit_type(2));
+  auto impl = std::make_shared<Implementation>("toy", iface, 0);
+  impl->set_persistent({1, 2});
+  impl->add_base(std::make_shared<const TypeSpec>(zoo::bit_type(2)), 0,
+                 {0, 1});
+  const zoo::RegisterLayout bit{2};
+
+  ProgramBuilder b0;
+  {
+    Label done = b0.make_label();
+    Label spin = b0.make_label();
+    b0.bind(spin);
+    b0.invoke(0, lit(bit.read()), 2);
+    b0.branch_if(reg(2) == lit(1), done);
+    b0.jump(spin);
+    b0.bind(done);
+    b0.assign(3, reg(2) + lit(1));
+    b0.ret(reg(3));
+  }
+  ProgramBuilder b1;
+  b1.invoke(0, lit(bit.read()), 2);
+  b1.ret(reg(2));
+  ProgramBuilder bw;
+  bw.fail("never");
+  impl->set_program(bit.read(), 0, b0.build("reader0"));
+  impl->set_program(bit.read(), 1, b1.build("reader1"));
+  impl->set_program_all_ports(bit.write(0), bw.build("no_write"));
+
+  const std::string text = print_implementation(*impl);
+  EXPECT_NE(text.find("persistent 2 1 2"), std::string::npos);
+  EXPECT_NE(text.find("program 1 * no_write"), std::string::npos);
+  EXPECT_NE(text.find("program 0 0 reader0"), std::string::npos);
+  EXPECT_NE(text.find("program 0 1 reader1"), std::string::npos);
+  const auto reparsed = parse_implementation(text);
+  EXPECT_EQ(print_implementation(*reparsed), text);
+}
+
+TEST(SerializeImpl, ParserRejectsMalformedInput) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    try {
+      parse_implementation(text);
+      FAIL() << "no error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("", "unexpected end");
+  expect_error("impl x\nbogus\n", "iface_initial");
+  expect_error("impl x\niface_initial 0\niface\nend iface\nend impl\n",
+               "nested type");
+  const std::string good =
+      print_implementation(*consensus::from_test_and_set());
+  expect_error(good + "trailing\n", "trailing");
+}
+
+// ---- whole-job serialization: verify options ------------------------------
+
+TEST(SerializeOptions, RoundTripAllFields) {
+  for (const Reduction r : {Reduction::kNone, Reduction::kSleep,
+                            Reduction::kSleepSymmetry}) {
+    for (const bool precheck : {false, true}) {
+      VerifyOptions options;
+      options.limits.max_configs = 12345;
+      options.limits.max_depth = 77;
+      options.limits.track_access_bounds = true;
+      options.limits.stop_at_violation = false;
+      options.reduction = r;
+      const std::string text = print_verify_options(options, precheck);
+      bool got_precheck = !precheck;
+      const VerifyOptions back = parse_verify_options(text, &got_precheck);
+      EXPECT_EQ(back.limits.max_configs, options.limits.max_configs);
+      EXPECT_EQ(back.limits.max_depth, options.limits.max_depth);
+      EXPECT_EQ(back.limits.track_access_bounds,
+                options.limits.track_access_bounds);
+      EXPECT_EQ(back.limits.stop_at_violation,
+                options.limits.stop_at_violation);
+      EXPECT_EQ(back.reduction, options.reduction);
+      EXPECT_EQ(got_precheck, precheck);
+      EXPECT_EQ(print_verify_options(back, got_precheck), text);
+    }
+  }
+}
+
+TEST(SerializeOptions, NormalizationDropsThreadCount) {
+  VerifyOptions a, b;
+  a.threads = 1;
+  b.threads = 16;
+  EXPECT_EQ(print_verify_options(a), print_verify_options(b));
+}
+
+TEST(SerializeOptions, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_verify_options("options\n"), std::runtime_error);
+  EXPECT_THROW(parse_verify_options("options\nbogus 1\nend options\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_verify_options("options\nmax_configs ten\nend options\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse_verify_options("options\nreduction some\nend options\n"),
+      std::runtime_error);
 }
 
 }  // namespace

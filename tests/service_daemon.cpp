@@ -1,0 +1,179 @@
+// End-to-end tests for the framed protocol, the in-process daemon +
+// client lifecycle, and verdict-store survival across daemon restarts.
+#include "wfregs/service/daemon.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/service/client.hpp"
+#include "wfregs/service/job.hpp"
+
+namespace wfregs::service {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string job_text(const std::shared_ptr<const Implementation>& impl) {
+  VerifyJob job;
+  job.kind = JobKind::kConsensus;
+  job.impl = impl;
+  return print_job(job);
+}
+
+/// Unix sockets cap sun_path at ~108 bytes, so keep names short and in /tmp.
+std::string socket_path(const std::string& tag) {
+  return "/tmp/wfregsd_test_" + tag + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+TEST(Protocol, FramesRoundTripOverASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A 1 MiB frame overflows the socket buffer, so the writer needs its own
+  // thread (write_frame is intentionally blocking).
+  const std::string big(1 << 20, 'x');
+  for (const Frame& sent : {Frame{FrameType::kSubmit, "job text"},
+                           Frame{FrameType::kStats, ""},
+                           Frame{FrameType::kReply, big}}) {
+    std::thread writer([&] { write_frame(fds[0], sent); });
+    const auto got = read_frame(fds[1]);
+    writer.join();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->type, sent.type);
+    EXPECT_EQ(got->payload, sent.payload);
+  }
+  // Clean EOF at a frame boundary is nullopt, not an error.
+  ASSERT_EQ(::close(fds[0]), 0);
+  EXPECT_FALSE(read_frame(fds[1]).has_value());
+  ::close(fds[1]);
+}
+
+TEST(Protocol, MidFrameEofThrows) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char partial[] = {5, 0, 0, 0, 1, 'a'};  // 2 payload bytes cut
+  ASSERT_EQ(::write(fds[0], partial, sizeof partial),
+            static_cast<ssize_t>(sizeof partial));
+  ::close(fds[0]);
+  EXPECT_THROW(read_frame(fds[1]), std::runtime_error);
+  ::close(fds[1]);
+}
+
+TEST(Protocol, OversizedLengthPrefixThrows) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::uint32_t len = kMaxFrame + 1;
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(len), static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 24)};
+  ASSERT_EQ(::write(fds[0], prefix, 4), 4);
+  EXPECT_THROW(read_frame(fds[1]), std::runtime_error);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+/// Runs a daemon on a background thread for the duration of a test.
+struct DaemonFixture {
+  explicit DaemonFixture(const std::string& sock,
+                         const std::string& store = "") {
+    DaemonOptions options;
+    options.socket_path = sock;
+    options.scheduler.workers = 1;
+    options.scheduler.store_path = store;
+    daemon = std::make_unique<Daemon>(std::move(options));
+    server = std::thread([this] { served = daemon->run(); });
+  }
+  ~DaemonFixture() {
+    if (server.joinable()) {
+      daemon->request_stop();
+      server.join();
+    }
+  }
+
+  std::unique_ptr<Daemon> daemon;
+  std::thread server;
+  std::uint64_t served = 0;
+};
+
+TEST(Daemon, SubmitPollStatsShutdownLifecycle) {
+  const std::string sock = socket_path("life");
+  DaemonFixture fixture(sock);
+  Client client(sock);
+
+  const std::string text = job_text(consensus::from_test_and_set());
+  const std::string submitted = client.submit(text);
+  EXPECT_TRUE(contains(submitted, "\"status\":\"queued\"")) << submitted;
+  const std::string key = job_key_hex(job_key(parse_job(text)));
+  EXPECT_TRUE(contains(submitted, key)) << submitted;
+
+  const std::string done = client.wait(key);
+  EXPECT_TRUE(contains(done, "\"status\":\"done\"")) << done;
+  EXPECT_TRUE(contains(done, "\"ok\":true")) << done;
+
+  // Resubmission answers straight from the cache, verdict inline.
+  const std::string again = client.submit(text);
+  EXPECT_TRUE(contains(again, "\"status\":\"cached\"")) << again;
+  EXPECT_TRUE(contains(again, "\"ok\":true")) << again;
+
+  EXPECT_TRUE(contains(client.poll(std::string(32, '0')),
+                       "\"status\":\"unknown\""));
+
+  const std::string stats = client.stats();
+  EXPECT_TRUE(contains(stats, "\"submitted\":2")) << stats;
+  EXPECT_TRUE(contains(stats, "\"cache_hits\":1")) << stats;
+
+  EXPECT_TRUE(contains(client.shutdown(), "draining"));
+  fixture.server.join();
+  EXPECT_GE(fixture.served, 5u);
+}
+
+TEST(Daemon, MalformedJobTextGetsAnErrorReplyNotADrop) {
+  const std::string sock = socket_path("err");
+  DaemonFixture fixture(sock);
+  Client client(sock);
+  EXPECT_THROW(client.submit("job nonsense\n"), std::runtime_error);
+  // The connection and the daemon both survive the error.
+  const std::string text = job_text(consensus::from_test_and_set());
+  EXPECT_TRUE(contains(client.submit(text), "\"status\":\"queued\""));
+}
+
+TEST(Daemon, RestartServesCachedVerdictsFromThePersistentStore) {
+  const std::string sock = socket_path("restart");
+  const std::string store = ::testing::TempDir() + "wfregsd_restart_" +
+                            std::to_string(::getpid()) + ".log";
+  std::remove(store.c_str());
+  const std::string text = job_text(consensus::from_queue());
+  const std::string key = job_key_hex(job_key(parse_job(text)));
+  std::string first_verdict;
+  {
+    DaemonFixture fixture(sock, store);
+    Client client(sock);
+    client.submit(text);
+    first_verdict = client.wait(key);
+    EXPECT_TRUE(contains(first_verdict, "\"status\":\"done\""));
+    client.shutdown();
+    fixture.server.join();
+  }
+  {
+    DaemonFixture fixture(sock, store);
+    Client client(sock);
+    const std::string reply = client.submit(text);
+    EXPECT_TRUE(contains(reply, "\"status\":\"cached\"")) << reply;
+    EXPECT_TRUE(contains(reply, "\"ok\":true")) << reply;
+    client.shutdown();
+    fixture.server.join();
+  }
+  std::remove(store.c_str());
+}
+
+}  // namespace
+}  // namespace wfregs::service

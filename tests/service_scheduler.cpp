@@ -1,0 +1,298 @@
+// Tests for the job scheduler: cache-first admission, in-flight coalescing,
+// queue bounds, deadline cancellation, drain semantics (all with an
+// injectable gated runner), plus the cache-coherence differential -- cached
+// verdicts must be bit-identical to fresh recomputation across the protocol
+// zoo and every reduction mode.
+#include "wfregs/service/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wfregs/consensus/protocols.hpp"
+
+namespace wfregs::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Distinct real jobs on demand: same implementation, different (key-
+/// relevant) exploration limits.
+VerifyJob job_number(int n) {
+  static const std::shared_ptr<const Implementation> impl =
+      consensus::from_test_and_set();
+  VerifyJob job;
+  job.kind = JobKind::kConsensus;
+  job.impl = impl;
+  job.options.limits.max_depth = 10000 + n;
+  return job;
+}
+
+Verdict quick_verdict(int n) {
+  Verdict v;
+  v.kind = JobKind::kConsensus;
+  v.ok = true;
+  v.wait_free = true;
+  v.complete = true;
+  v.stats.configs = static_cast<std::size_t>(n);
+  return v;
+}
+
+/// A runner whose jobs park until the test releases the gate.
+struct GatedRunner {
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+
+  JobScheduler::Runner runner() {
+    return [this](const VerifyJob& job, const std::atomic<bool>& cancel) {
+      started.fetch_add(1);
+      while (!release.load() && !cancel.load()) {
+        std::this_thread::sleep_for(1ms);
+      }
+      Verdict v = quick_verdict(job.options.limits.max_depth);
+      if (cancel.load()) v.complete = false;
+      return v;
+    };
+  }
+
+  void wait_started(int n) {
+    while (started.load() < n) std::this_thread::sleep_for(1ms);
+  }
+};
+
+SchedulerOptions one_worker() {
+  SchedulerOptions options;
+  options.workers = 1;
+  return options;
+}
+
+TEST(JobScheduler, ComputesCachesAndHits) {
+  JobScheduler sched(one_worker(),
+                     [](const VerifyJob& job, const std::atomic<bool>&) {
+                       return quick_verdict(job.options.limits.max_depth);
+                     });
+  const Submitted first = sched.submit(job_number(1));
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(first.result.get() == quick_verdict(10001));
+
+  const Submitted again = sched.submit(job_number(1));
+  EXPECT_TRUE(again.cached);
+  EXPECT_FALSE(again.coalesced);
+  EXPECT_TRUE(again.result.get() == quick_verdict(10001));
+
+  const Metrics m = sched.metrics();
+  EXPECT_EQ(m.submitted, 2u);
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.cache_misses, 1u);
+  EXPECT_EQ(m.completed, 1u);
+  EXPECT_EQ(m.store_records, 1u);
+
+  const auto status = sched.poll(first.key);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_TRUE(status->from_cache);
+}
+
+TEST(JobScheduler, IdenticalInFlightJobsCoalesce) {
+  GatedRunner gate;
+  JobScheduler sched(one_worker(), gate.runner());
+  const Submitted a = sched.submit(job_number(1));
+  gate.wait_started(1);
+  const Submitted b = sched.submit(job_number(1));  // identical, running
+  const Submitted c = sched.submit(job_number(2));  // different, queued
+  const Submitted d = sched.submit(job_number(2));  // identical, queued
+  EXPECT_FALSE(a.coalesced);
+  EXPECT_TRUE(b.coalesced);
+  EXPECT_FALSE(c.coalesced);
+  EXPECT_TRUE(d.coalesced);
+  EXPECT_TRUE(b.key == a.key);
+  gate.release.store(true);
+  EXPECT_TRUE(a.result.get() == b.result.get());
+  EXPECT_TRUE(c.result.get() == d.result.get());
+  const Metrics m = sched.metrics();
+  EXPECT_EQ(m.coalesced, 2u);
+  // Only two computations ever ran.
+  EXPECT_EQ(m.cache_misses, 2u);
+  EXPECT_EQ(gate.started.load(), 2);
+}
+
+TEST(JobScheduler, BoundedQueueRejectsOverflow) {
+  GatedRunner gate;
+  SchedulerOptions options = one_worker();
+  options.queue_capacity = 1;
+  JobScheduler sched(options, gate.runner());
+  sched.submit(job_number(1));
+  gate.wait_started(1);        // worker busy
+  sched.submit(job_number(2));  // fills the queue
+  const Submitted rejected = sched.try_submit(job_number(3));
+  EXPECT_TRUE(rejected.rejected);
+  EXPECT_THROW(sched.submit(job_number(4)), std::runtime_error);
+  const Metrics m = sched.metrics();
+  EXPECT_EQ(m.rejected, 2u);
+  EXPECT_EQ(m.queue_depth, 1u);
+  EXPECT_EQ(m.in_flight, 1u);
+  gate.release.store(true);
+}
+
+TEST(JobScheduler, DeadlineCancelsAndNeverCaches) {
+  GatedRunner gate;  // never released: only the deadline can end the job
+  SchedulerOptions options = one_worker();
+  options.default_deadline = 30ms;
+  JobScheduler sched(options, gate.runner());
+  const Submitted s = sched.submit(job_number(1));
+  const Verdict v = s.result.get();
+  EXPECT_FALSE(v.complete);
+  EXPECT_EQ(sched.metrics().cancelled, 1u);
+  EXPECT_FALSE(sched.lookup(s.key).has_value());  // not cached
+  const auto status = sched.poll(s.key);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kCancelled);
+  // A resubmission really recomputes (and, released, completes and caches).
+  gate.release.store(true);
+  const Submitted again = sched.submit(job_number(1));
+  EXPECT_FALSE(again.cached);
+  EXPECT_TRUE(again.result.get().complete);
+  EXPECT_TRUE(sched.lookup(s.key).has_value());
+}
+
+TEST(JobScheduler, IncompleteVerdictsAreReportedButNotCached) {
+  JobScheduler sched(one_worker(),
+                     [](const VerifyJob& job, const std::atomic<bool>&) {
+                       Verdict v = quick_verdict(job.options.limits.max_depth);
+                       v.complete = false;  // limit hit
+                       return v;
+                     });
+  const Submitted s = sched.submit(job_number(1));
+  EXPECT_FALSE(s.result.get().complete);
+  EXPECT_FALSE(sched.lookup(s.key).has_value());
+  const auto status = sched.poll(s.key);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_FALSE(status->from_cache);
+  // Identical resubmission misses the cache and recomputes.
+  const Submitted again = sched.submit(job_number(1));
+  EXPECT_FALSE(again.cached);
+  again.result.wait();
+  EXPECT_EQ(sched.metrics().cache_misses, 2u);
+}
+
+TEST(JobScheduler, RunnerExceptionsBecomeFailedJobs) {
+  JobScheduler sched(one_worker(),
+                     [](const VerifyJob&, const std::atomic<bool>&) -> Verdict {
+                       throw std::runtime_error("boom");
+                     });
+  const Submitted s = sched.submit(job_number(1));
+  const Verdict v = s.result.get();
+  EXPECT_FALSE(v.complete);
+  EXPECT_EQ(v.detail, "boom");
+  EXPECT_EQ(sched.metrics().failed, 1u);
+  const auto status = sched.poll(s.key);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kFailed);
+}
+
+TEST(JobScheduler, DrainFinishesEverythingThenRefusesSubmissions) {
+  SchedulerOptions options;
+  options.workers = 2;
+  JobScheduler sched(options,
+                     [](const VerifyJob& job, const std::atomic<bool>&) {
+                       std::this_thread::sleep_for(2ms);
+                       return quick_verdict(job.options.limits.max_depth);
+                     });
+  std::vector<Submitted> subs;
+  for (int n = 0; n < 8; ++n) subs.push_back(sched.submit(job_number(n)));
+  sched.drain();
+  for (const Submitted& s : subs) {
+    EXPECT_TRUE(s.result.get().complete);
+  }
+  EXPECT_EQ(sched.metrics().completed, 8u);
+  EXPECT_EQ(sched.metrics().queue_depth, 0u);
+  EXPECT_THROW(sched.submit(job_number(99)), std::runtime_error);
+}
+
+TEST(JobScheduler, ShutdownCancelsTheBacklog) {
+  GatedRunner gate;  // never released
+  JobScheduler sched(one_worker(), gate.runner());
+  const Submitted running = sched.submit(job_number(1));
+  gate.wait_started(1);
+  const Submitted queued = sched.submit(job_number(2));
+  sched.shutdown();
+  EXPECT_FALSE(running.result.get().complete);
+  EXPECT_FALSE(queued.result.get().complete);
+  EXPECT_EQ(sched.metrics().cancelled, 2u);
+}
+
+TEST(JobScheduler, StatusHistoryIsBoundedWithEvictions) {
+  SchedulerOptions options = one_worker();
+  options.status_history = 4;
+  JobScheduler sched(options,
+                     [](const VerifyJob& job, const std::atomic<bool>&) {
+                       Verdict v = quick_verdict(job.options.limits.max_depth);
+                       v.complete = false;  // uncacheable: lands in history
+                       return v;
+                     });
+  std::vector<Submitted> subs;
+  for (int n = 0; n < 10; ++n) subs.push_back(sched.submit(job_number(n)));
+  sched.drain();
+  EXPECT_EQ(sched.metrics().evictions, 6u);
+  EXPECT_FALSE(sched.poll(subs[0].key).has_value());  // evicted
+  EXPECT_TRUE(sched.poll(subs[9].key).has_value());
+}
+
+// ---- the cache-coherence differential -------------------------------------
+
+TEST(JobScheduler, CachedVerdictsAreBitIdenticalToFreshRecomputation) {
+  const std::string store =
+      ::testing::TempDir() + "wfregs_sched_coherence_" +
+      std::to_string(::getpid()) + ".log";
+  std::remove(store.c_str());
+  struct Case {
+    const char* name;
+    std::shared_ptr<const Implementation> impl;
+  };
+  const std::vector<Case> zoo = {
+      {"tas", consensus::from_test_and_set()},
+      {"queue", consensus::from_queue()},
+      {"faa", consensus::from_fetch_and_add()},
+  };
+  const JobScheduler::Runner fresh = JobScheduler::default_runner(1);
+  const std::atomic<bool> no_cancel{false};
+
+  SchedulerOptions options = one_worker();
+  options.store_path = store;
+  JobScheduler sched(options);  // the real default runner
+  for (const Case& c : zoo) {
+    for (const Reduction r : {Reduction::kNone, Reduction::kSleep,
+                              Reduction::kSleepSymmetry}) {
+      VerifyJob job;
+      job.kind = JobKind::kConsensus;
+      job.impl = c.impl;
+      job.options.reduction = r;
+      const Submitted cold = sched.submit(job);
+      EXPECT_FALSE(cold.cached) << c.name;
+      const Verdict computed = cold.result.get();
+      EXPECT_TRUE(computed.ok) << c.name;
+
+      const Submitted warm = sched.submit(job);
+      EXPECT_TRUE(warm.cached) << c.name;
+      const Verdict cached = warm.result.get();
+      const Verdict recomputed = fresh(job, no_cancel);
+      EXPECT_TRUE(encode_verdict(cached) == encode_verdict(recomputed))
+          << c.name << " reduction " << static_cast<int>(r);
+      // Thread count is not part of the key, so the parallel explorer must
+      // land on the same cached verdict (determinism contract).
+      const Verdict parallel = JobScheduler::default_runner(2)(job, no_cancel);
+      EXPECT_TRUE(encode_verdict(cached) == encode_verdict(parallel))
+          << c.name << " reduction " << static_cast<int>(r);
+    }
+  }
+  std::remove(store.c_str());
+}
+
+}  // namespace
+}  // namespace wfregs::service
