@@ -1,0 +1,99 @@
+// E14 -- the native conformance lab: the paper's constructions executing as
+// real concurrent code (std::thread over cache-line-padded std::atomic base
+// registers) with every recorded history fed to the model oracles.
+//
+// One benchmark per (workload, execution mode).  Modes:
+//   free  -- threads race for real, seeded yield injection (throughput);
+//   token -- token-stepped deterministic schedules (the replay mode; the
+//            serialization cost is the price of bit-for-bit reproduction).
+//
+// Per benchmark the JSON carries:
+//   rounds, histories_checked -- conformance volume per iteration
+//   iface_ops_per_sec         -- interface-level operations per second
+//   base_accesses_per_sec     -- atomic base-object accesses per second
+//   peak_rss_bytes            -- process peak RSS
+//
+// In-run correctness gate: every history must pass its workload's oracles
+// (a violation sets error_occurred in the JSON and fails the CI bench
+// gate -- a conformance FAILURE is never just a slow benchmark).
+//
+// Emits BENCH_e14_native.json (Google Benchmark JSON schema).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+
+#include "bench_json_main.hpp"
+#include "wfregs/native/conformance.hpp"
+#include "wfregs/native/workloads.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+void BM_Conformance(benchmark::State& state, const std::string& name,
+                    int threads, bool deterministic) {
+  const native::Workload w =
+      native::make_workload(name, threads, /*ops_per_thread=*/4);
+  native::ConformanceOptions opts;
+  opts.rounds = deterministic ? 20 : 40;
+  opts.ops_per_thread = 4;
+  opts.deterministic = deterministic;
+
+  double seconds = 0;
+  std::size_t ops = 0;
+  std::size_t accesses = 0;
+  std::size_t histories = 0;
+  for (auto _ : state) {
+    opts.seed += 1;  // fresh schedules every iteration
+    const auto start = std::chrono::steady_clock::now();
+    const native::ConformanceReport r = native::run_conformance(w, opts);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    if (!r.ok()) {
+      state.SkipWithError(native::describe_failure(r).c_str());
+      return;
+    }
+    ops += r.ops;
+    accesses += r.base_accesses;
+    histories += r.histories_checked;
+    benchmark::DoNotOptimize(r.histories_checked);
+  }
+  state.counters["rounds"] = static_cast<double>(opts.rounds);
+  state.counters["histories_checked"] =
+      static_cast<double>(histories) / static_cast<double>(state.iterations());
+  state.counters["iface_ops_per_sec"] =
+      seconds > 0 ? static_cast<double>(ops) / seconds : 0;
+  state.counters["base_accesses_per_sec"] =
+      seconds > 0 ? static_cast<double>(accesses) / seconds : 0;
+  state.counters["peak_rss_bytes"] = wfregs::benchjson::peak_rss_bytes();
+}
+
+void register_all() {
+  const struct {
+    const char* name;
+    int threads;
+  } targets[] = {
+      {"chain", 2},    {"chain", 4},          {"oneuse-array", 2},
+      {"simpson", 2},  {"snapshot", 3},       {"shift-register", 4},
+  };
+  for (const auto& t : targets) {
+    for (const bool det : {false, true}) {
+      const std::string label = std::string("native/") + t.name + "/t" +
+                                std::to_string(t.threads) +
+                                (det ? "/token" : "/free");
+      benchmark::RegisterBenchmark(label.c_str(), BM_Conformance, t.name,
+                                   t.threads, det)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return wfregs::benchjson::run(argc, argv, "BENCH_e14_native.json");
+}

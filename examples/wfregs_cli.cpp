@@ -104,6 +104,7 @@ const std::map<std::string, std::function<TypeSpec()>> kZoo{
     {"sticky_bit", [] { return zoo::sticky_bit_type(2); }},
     {"queue", [] { return zoo::queue_type(2, 2, 2); }},
     {"stack", [] { return zoo::stack_type(2, 2, 2); }},
+    {"shift_register", [] { return zoo::shift_register_type(2, 2); }},
     {"snapshot", [] { return zoo::snapshot_type(2, 2); }},
     {"consensus", [] { return zoo::consensus_type(2); }},
     {"safe_bit", [] { return zoo::weak_bit_type(zoo::WeakBitKind::kSafe); }},

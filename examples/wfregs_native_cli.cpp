@@ -1,0 +1,147 @@
+// wfregs_native -- the native conformance lab as a command-line tool.  Run
+// the paper's constructions as real concurrent code on std::thread +
+// std::atomic and check every recorded history against the model oracles:
+//
+//   wfregs_native --list                   list workloads
+//   wfregs_native <workload> [flags]       stress one workload
+//   wfregs_native all [flags]              stress every conforming workload
+//
+// Workloads: chain | oneuse-array | simpson | snapshot | shift-register,
+// plus torn-register, a deliberately broken control that MUST fail (and
+// therefore exits 1: useful for exercising the failure path end to end).
+//
+// Flags:
+//   --threads N     threads = interface ports (default 2; simpson and
+//                   oneuse-array are inherently 2-threaded)
+//   --ops K         interface ops per thread per round (default 4)
+//   --rounds R      rounds, each from fresh object state (default 200)
+//   --seed S        base seed; round r runs with a seed derived from (S, r)
+//   --det           token-stepped deterministic schedules (reproducible)
+//   --yield P       free-running mode: yield before ~1/P events (default 3)
+//   --replay S      run exactly ONE deterministic round with round seed S --
+//                   the seed printed by a failure report -- and show its
+//                   history and verdict
+//
+// Exit codes: 0 = all histories passed, 1 = a history failed an oracle,
+// 2 = usage error.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfregs/native/workloads.hpp"
+
+using namespace wfregs;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitUsage = 2;
+
+void usage() {
+  std::cerr << "usage: wfregs_native --list\n"
+            << "       wfregs_native <workload>|all [--threads N] [--ops K]"
+               " [--rounds R]\n"
+            << "                     [--seed S] [--det] [--yield P]"
+               " [--replay S]\n";
+}
+
+struct Args {
+  std::string workload;
+  int threads = 2;
+  native::ConformanceOptions opts;
+  std::optional<std::uint64_t> replay;
+};
+
+int run_one(const std::string& name, const Args& a) {
+  const native::Workload w =
+      native::make_workload(name, a.threads, a.opts.ops_per_thread);
+  native::ConformanceReport report;
+  if (a.replay) {
+    report = native::replay_round(w, a.opts, *a.replay);
+  } else {
+    report = native::run_conformance(w, a.opts);
+  }
+  std::cout << "workload=" << report.workload << " threads="
+            << report.threads << " ops/thread=" << report.ops_per_thread
+            << " mode="
+            << (report.deterministic ? "deterministic" : "free-running")
+            << " rounds=" << report.rounds << " histories="
+            << report.histories_checked << " ops=" << report.ops
+            << " base-accesses=" << report.base_accesses << " : "
+            << (report.ok() ? "PASS" : "FAIL") << "\n";
+  if (!report.ok()) {
+    std::cout << native::describe_failure(report) << "\n";
+    return kExitFail;
+  }
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    usage();
+    return kExitUsage;
+  }
+  if (args[0] == "--list") {
+    for (const auto& name : native::workload_names()) {
+      std::cout << name << "\n";
+    }
+    return kExitOk;
+  }
+  Args a;
+  a.workload = args[0];
+  a.opts.rounds = 200;
+  try {
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const auto need_value = [&](const char* flag) -> std::string {
+        if (i + 1 >= args.size()) {
+          throw std::invalid_argument(std::string(flag) +
+                                      " requires a value");
+        }
+        return args[++i];
+      };
+      if (args[i] == "--threads") {
+        a.threads = std::stoi(need_value("--threads"));
+      } else if (args[i] == "--ops") {
+        a.opts.ops_per_thread = std::stoi(need_value("--ops"));
+      } else if (args[i] == "--rounds") {
+        a.opts.rounds = std::stoi(need_value("--rounds"));
+      } else if (args[i] == "--seed") {
+        a.opts.seed = std::stoull(need_value("--seed"));
+      } else if (args[i] == "--det") {
+        a.opts.deterministic = true;
+      } else if (args[i] == "--yield") {
+        a.opts.yield_period = std::stoi(need_value("--yield"));
+      } else if (args[i] == "--replay") {
+        a.replay = std::stoull(need_value("--replay"));
+      } else {
+        std::cerr << "unknown flag: " << args[i] << "\n";
+        usage();
+        return kExitUsage;
+      }
+    }
+    if (a.workload == "all") {
+      int rc = kExitOk;
+      for (const auto& name : native::workload_names()) {
+        if (name == "torn-register") continue;  // the control must fail
+        const int one = run_one(name, a);
+        if (one != kExitOk) rc = one;
+      }
+      return rc;
+    }
+    return run_one(a.workload, a);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    usage();
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitFail;
+  }
+}

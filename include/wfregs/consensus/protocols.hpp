@@ -46,6 +46,16 @@ std::shared_ptr<const Implementation> from_consensus_object(int n);
 /// it exercises the full register-elimination chain for n > 2.
 std::shared_ptr<const Implementation> from_cas_ids(int n);
 
+/// n-process consensus from ONE w-bit shift register initialized to 1, no
+/// registers (Aspnes 2025: cons(w-bit shift register) = w).  Each process
+/// shifts its input bit in once; the initial marker bit survives w - 1
+/// shifts, so every response reveals how many shifts preceded it and what
+/// the first shifter's bit was.  Requires n <= width for correctness --
+/// larger n is accepted so tests can exhibit the over-width failure.
+std::shared_ptr<const Implementation> from_shift_register(int n, int width);
+/// Exact-width convenience: n processes on an n-bit shift register.
+std::shared_ptr<const Implementation> from_shift_register(int n);
+
 /// The deliberately hopeless protocol: n processes over read/write registers
 /// only, each publishing its input and adopting the minimum published value.
 /// It is wait-free but NOT a consensus protocol (agreement fails under

@@ -1,0 +1,92 @@
+// The conformance driver: run a workload natively, round after round, and
+// feed every recorded history to the model oracles.
+//
+// A round = one NativeRuntime::run from fresh object state.  Each round has
+// its own seed derived from (base seed, round index); a deterministic
+// round is a pure function of that seed, which is what --replay consumes.
+// The driver stops at the first failing history and reports the seed and
+// every parameter needed to reproduce the run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "wfregs/native/runtime.hpp"
+
+namespace wfregs::native {
+
+/// A native stress target: an implementation plus the invocation mix to
+/// drive it with and the oracles its histories must satisfy.  Histories are
+/// always checked for linearizability against impl->iface(); single-writer
+/// register workloads additionally run the regularity oracle, and consensus
+/// workloads additionally check agreement + validity of the decisions.
+struct Workload {
+  std::string name;
+  std::string summary;
+  std::shared_ptr<const Implementation> impl;
+  InvPicker pick;
+  /// Additionally run check_history_regular (single-writer registers only;
+  /// atomicity implies regularity, so a conforming history passes both).
+  bool check_regular = false;
+  int regular_values = 0;
+  /// Consensus workload: every process decides the same proposed value.
+  bool consensus = false;
+  /// When nonzero, overrides ConformanceOptions::ops_per_thread (consensus
+  /// objects are single-use: exactly one propose per process per round).
+  int force_ops_per_thread = 0;
+};
+
+struct ConformanceOptions {
+  int rounds = 50;
+  int ops_per_thread = 4;
+  std::uint64_t seed = 1;
+  /// Token-stepped rounds: reproducible, fully serialized.  Free-running
+  /// rounds race for real but cannot be replayed exactly.
+  bool deterministic = false;
+  int yield_period = 3;
+};
+
+struct ConformanceFailure {
+  /// The failing ROUND's derived seed: pass to --replay / replay_round.
+  std::uint64_t seed = 0;
+  int round = -1;
+  std::string detail;   ///< oracle verdict
+  std::string history;  ///< the recorded history, rendered
+};
+
+struct ConformanceReport {
+  std::string workload;
+  int threads = 0;
+  int ops_per_thread = 0;
+  bool deterministic = false;
+  std::size_t rounds = 0;
+  std::size_t ops = 0;
+  std::size_t base_accesses = 0;
+  std::size_t histories_checked = 0;
+  std::optional<ConformanceFailure> failure;
+
+  bool ok() const { return !failure.has_value(); }
+};
+
+/// Runs opts.rounds rounds of `w`, checking every history; stops at the
+/// first failure.  Throws only on workload/runtime misuse (thread errors
+/// surface here), never on an oracle violation.
+ConformanceReport run_conformance(const Workload& w,
+                                  const ConformanceOptions& opts);
+
+/// Runs exactly ONE deterministic round with `seed` as the round seed (the
+/// --replay path): same seed, same schedule, same history, bit for bit.
+ConformanceReport replay_round(const Workload& w,
+                               const ConformanceOptions& opts,
+                               std::uint64_t seed);
+
+/// The seed of round `round` under base seed `base`: exposed so failure
+/// reports and replays agree on the derivation.
+std::uint64_t round_seed(std::uint64_t base, int round);
+
+/// Human-readable failure report: seed, thread/iteration parameters, the
+/// exact --replay command line, oracle detail, and the history.
+std::string describe_failure(const ConformanceReport& report);
+
+}  // namespace wfregs::native

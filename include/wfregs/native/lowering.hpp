@@ -1,0 +1,78 @@
+// Lowering compiled type tables onto native atomics.
+//
+// A base object's state is held in one cache-line-padded std::atomic<
+// uint64_t>; every access must apply exactly one legal transition of the
+// compiled delta table atomically.  Per (port, invocation) the table is
+// classified once, at NativeRuntime construction:
+//
+//   * kLoad  -- every state maps to itself (next == q) by a single
+//     transition: the access is one atomic load plus a response lookup.
+//     All reads of register-like types lower this way.
+//   * kStore -- every state maps to the SAME successor with the SAME
+//     response: the access is one atomic store.  Register writes lower
+//     this way.
+//   * kRmw   -- anything else: a compare-exchange loop that re-reads the
+//     state, picks a legal transition (seeded rng when the cell is
+//     nondeterministic), and publishes its successor.  A successful CAS
+//     observes q and installs next in one atomic step, so the access
+//     linearizes there regardless of contention.
+//
+// In every case the recorded history contains only legal atomic steps of
+// the spec, so a native history that fails the linearizability oracle
+// indicts the CONSTRUCTION (or the model), never the lowering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "wfregs/typesys/compiled_type.hpp"
+
+namespace wfregs::native {
+
+enum class AccessKind { kLoad, kStore, kRmw };
+
+/// One (port, invocation) cell's execution plan.
+struct AccessPlan {
+  AccessKind kind = AccessKind::kRmw;
+  /// kLoad: response per state.
+  std::vector<Val> load_resp;
+  /// kStore: the state-independent successor and response.
+  StateId store_next = 0;
+  Val store_resp = 0;
+};
+
+/// The padded cell holding one base object's state.  64-byte alignment
+/// keeps concurrently-accessed objects off each other's cache lines.
+struct alignas(64) PaddedState {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Immutable per-type lowering; shared by every object of the same spec.
+class ObjectLowering {
+ public:
+  explicit ObjectLowering(std::shared_ptr<const CompiledType> compiled);
+
+  const CompiledType& compiled() const { return *compiled_; }
+
+  const AccessPlan& plan(PortId port, InvId inv) const {
+    return plans_[static_cast<std::size_t>(port) *
+                      static_cast<std::size_t>(compiled_->num_invocations()) +
+                  static_cast<std::size_t>(inv)];
+  }
+
+  /// Performs one access on `cell`, returning the response.  `rng` resolves
+  /// nondeterministic cells (any choice is a legal transition).  Throws
+  /// std::logic_error when the reached state has no transition for the
+  /// invocation (partial cell), mirroring Engine::commit.
+  Val access(PaddedState& cell, PortId port, InvId inv,
+             std::mt19937_64& rng) const;
+
+ private:
+  std::shared_ptr<const CompiledType> compiled_;
+  std::vector<AccessPlan> plans_;  // [port * num_invocations + inv]
+};
+
+}  // namespace wfregs::native

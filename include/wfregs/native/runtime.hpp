@@ -1,0 +1,90 @@
+// NativeRuntime: execute an Implementation on real std::threads.
+//
+// The same Implementation the model checker explores is flattened (via
+// System, so the wiring rules are identical) onto cache-line-padded
+// std::atomic base objects; one thread per interface port runs the
+// implementation's own bytecode programs, performing base accesses through
+// the per-type lowering (lowering.hpp) and recording every interface-level
+// operation in a fixed-capacity per-thread log.  After the threads join,
+// the logs merge into the same History type the model checker consumes, so
+// the recorded run can be fed to the public single-history oracles
+// (wfregs/runtime/history_check.hpp).
+//
+// Two execution modes:
+//
+//   * free-running (deterministic = false): threads race for real, with
+//     seeded std::this_thread::yield injection before accesses to shake
+//     out interleavings.  This is the tsan stress mode; schedules are NOT
+//     reproducible.
+//   * token-stepped (deterministic = true): every observable event (the
+//     invocation timestamp, each base access, the response timestamp)
+//     requires a token granted under a mutex; the grant order is drawn
+//     from a seeded rng only when every live thread is parked, so the
+//     entire schedule -- and therefore the recorded history -- is a pure
+//     function of the seed.  This is the replay mode behind --replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+
+#include "wfregs/native/lowering.hpp"
+#include "wfregs/runtime/history.hpp"
+#include "wfregs/runtime/implementation.hpp"
+#include "wfregs/runtime/system.hpp"
+
+namespace wfregs::native {
+
+struct NativeOptions {
+  int ops_per_thread = 4;
+  std::uint64_t seed = 1;
+  /// Token-stepped schedule: fully serialized, reproducible from the seed.
+  bool deterministic = false;
+  /// Free-running mode: yield before roughly 1 in `yield_period` events.
+  int yield_period = 3;
+};
+
+/// Chooses the k-th interface invocation thread `port` performs.  Called
+/// outside any lock with a per-thread seeded rng, so deterministic runs
+/// stay deterministic.
+using InvPicker = std::function<InvId(PortId port, int k, std::mt19937_64&)>;
+
+struct NativeRun {
+  /// Merged interface-level history; the implemented object has id
+  /// NativeRuntime::iface_object().  Process p == interface port p.
+  History history;
+  std::size_t base_accesses = 0;
+};
+
+class NativeRuntime {
+ public:
+  /// Flattens `impl`.  Throws std::invalid_argument when two interface
+  /// ports reach the same (inner object, port) pair -- such wiring would
+  /// make two threads share a port, which the concurrent-object model
+  /// (one client per port) and the persistent-variable memory layout both
+  /// forbid.
+  explicit NativeRuntime(std::shared_ptr<const Implementation> impl);
+
+  /// One thread per interface port.
+  int threads() const { return threads_; }
+  const Implementation& impl() const { return *impl_; }
+  /// Object id the recorded ops carry (the implemented object).
+  ObjectId iface_object() const { return iface_object_; }
+
+  /// Executes one round from fresh object state: threads() real threads,
+  /// thread p performing opts.ops_per_thread invocations chosen by `pick`
+  /// on interface port p.  Rethrows the first failure thrown inside a
+  /// thread (program fail(), lowering errors) after joining all threads.
+  NativeRun run(const InvPicker& pick, const NativeOptions& opts) const;
+
+ private:
+  std::shared_ptr<const Implementation> impl_;
+  std::shared_ptr<const System> sys_;
+  ObjectId iface_object_ = -1;
+  int threads_ = 0;
+  /// Per object id: the lowering for base objects, null for virtual ones.
+  std::vector<std::shared_ptr<const ObjectLowering>> lowerings_;
+};
+
+}  // namespace wfregs::native

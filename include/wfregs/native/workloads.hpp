@@ -1,0 +1,38 @@
+// Built-in native stress targets: the paper's constructions (and one
+// deliberately broken control) packaged as conformance workloads.
+//
+//   chain          Section 4.1 full register chain (MRMW from MRSW from
+//                  SRSW), one thread per port, mixed reads/writes.
+//   oneuse-array   Section 4.3 bounded SRSW bit from one-use bits; reader
+//                  thread + writer thread; linearizability AND regularity.
+//   simpson        Simpson's four-slot SRSW register; linearizability AND
+//                  regularity.
+//   snapshot       Afek et al. single-writer snapshot from MRSW registers;
+//                  updates racing scans.
+//   shift-register Aspnes 2025 consensus from one w-bit shift register,
+//                  w = thread count; one propose per thread per round.
+//   torn-register  CONTROL, deliberately buggy: a 4-valued register from
+//                  two bits written one at a time with no protocol.  A read
+//                  between the two half-writes observes a torn value; the
+//                  oracle must catch it, and --replay must reproduce it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wfregs/native/conformance.hpp"
+
+namespace wfregs::native {
+
+/// All registry names, torn-register last.
+const std::vector<std::string>& workload_names();
+
+/// Builds the named workload for `threads` threads performing
+/// `ops_per_thread` interface ops per round (bounded-use constructions are
+/// sized to exactly that budget).  Throws std::invalid_argument for an
+/// unknown name or an unsupported thread count (simpson and oneuse-array
+/// are inherently 2-threaded; the rest take 2..4).
+Workload make_workload(const std::string& name, int threads,
+                       int ops_per_thread);
+
+}  // namespace wfregs::native

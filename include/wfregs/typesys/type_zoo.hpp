@@ -320,4 +320,27 @@ TypeSpec port_flag_type(int ports);
 /// oblivious, non-trivial.
 TypeSpec mod_counter_type(int modulus, int ports);
 
+// ---- shift register (Aspnes 2025) -----------------------------------------
+
+/// Encoding of the w-bit shift register: the state is the register contents
+/// (an integer in [0, 2^w)), and shl(b) shifts bit b in at the bottom,
+/// discarding the top bit and returning the OLD contents.
+struct ShiftRegisterLayout {
+  int width = 0;
+
+  InvId shl(int b) const { return b; }
+  RespId old_resp(int v) const { return v; }
+  StateId state_of(int v) const { return v; }
+  /// Number of distinct contents, 2^width.
+  int capacity() const { return 1 << width; }
+};
+
+/// A w-bit shift register whose shl(b) returns the pre-shift contents.
+/// Consensus number exactly w (Aspnes, "The Consensus Number of a Shift
+/// Register", 2025): a single register initialized to 1 carries a marker
+/// bit that survives w - 1 shifts, letting each of w processes recover the
+/// first shifter's bit from its response (consensus::from_shift_register);
+/// the (w+1)-st shifter sees the marker fall off the top.
+TypeSpec shift_register_type(int width, int ports);
+
 }  // namespace wfregs::zoo

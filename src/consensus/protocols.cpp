@@ -234,6 +234,49 @@ std::shared_ptr<const Implementation> from_cas_ids(int n) {
   return impl;
 }
 
+std::shared_ptr<const Implementation> from_shift_register(int n, int width) {
+  if (n < 1) throw std::invalid_argument("from_shift_register: n >= 1");
+  auto impl = new_consensus_impl("consensus_from_shift_register" +
+                                     std::to_string(width) + "_n" +
+                                     std::to_string(n),
+                                 n);
+  const zoo::ShiftRegisterLayout lay{width};
+  std::vector<PortId> map;
+  for (int p = 0; p < n; ++p) map.push_back(p);
+  // Initialized to 1: the marker bit.  After j - 1 shifts the contents are
+  // 2^(j-1) + b1*2^(j-2) + ... + b_{j-1}, so the j-th shifter's response
+  // pinpoints j and, for 2 <= j <= width, the first bit b1.
+  const int racer = impl->add_base(
+      share(zoo::shift_register_type(width, n)), lay.state_of(1), map);
+  constexpr int kOld = 0;
+  for (int p = 0; p < n; ++p) {
+    for (int v = 0; v < 2; ++v) {
+      ProgramBuilder b;
+      b.invoke(racer, lit(lay.shl(v)), kOld);
+      const Label decode = b.make_label();
+      b.branch_if(!(reg(kOld) == lit(1)), decode);
+      b.ret(lit(v));  // response 1 = untouched marker: we shifted first
+      b.bind(decode);
+      // Halve away the bits below b1; the marker sits just above it.
+      const Label loop = b.bind_here();
+      const Label done = b.make_label();
+      b.branch_if(reg(kOld) < lit(4), done);
+      b.assign(kOld, reg(kOld) / lit(2));
+      b.jump(loop);
+      b.bind(done);
+      b.ret(reg(kOld) % lit(2));
+      impl->set_program(v, p,
+                        b.build("shiftreg_propose" + std::to_string(v) +
+                                "_p" + std::to_string(p)));
+    }
+  }
+  return impl;
+}
+
+std::shared_ptr<const Implementation> from_shift_register(int n) {
+  return from_shift_register(n, n);
+}
+
 std::shared_ptr<const Implementation> registers_only_attempt(int n) {
   if (n < 2) throw std::invalid_argument("registers_only_attempt: n >= 2");
   auto impl = new_consensus_impl(

@@ -1,0 +1,139 @@
+#include "wfregs/native/conformance.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "wfregs/runtime/history_check.hpp"
+
+namespace wfregs::native {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// All oracles the workload declares, first violation wins.
+std::optional<std::string> check_round(const Workload& w,
+                                       const NativeRuntime& rt,
+                                       const History& h) {
+  const StateId initial = w.impl->iface_initial();
+  if (auto r = check_history_linearizable(h, w.impl->iface(), initial,
+                                          rt.iface_object());
+      !r.ok) {
+    return std::move(r.detail);
+  }
+  if (w.check_regular) {
+    if (auto r = check_history_regular(h, w.regular_values,
+                                       static_cast<int>(initial),
+                                       rt.iface_object());
+        !r.ok) {
+      return "regularity violated: " + std::move(r.detail);
+    }
+  }
+  if (w.consensus) {
+    std::optional<Val> decision;
+    bool proposed = false;
+    for (const OpRecord& op : h.ops()) {
+      if (!op.response) continue;
+      if (decision && *decision != *op.response) {
+        return "consensus agreement violated: decisions " +
+               std::to_string(*decision) + " and " +
+               std::to_string(*op.response);
+      }
+      decision = *op.response;
+    }
+    for (const OpRecord& op : h.ops()) {
+      // propose(v) has invocation id v, so the inputs are the inv ids.
+      if (decision && static_cast<Val>(op.inv) == *decision) proposed = true;
+    }
+    if (decision && !proposed) {
+      return "consensus validity violated: decision " +
+             std::to_string(*decision) + " was never proposed";
+    }
+  }
+  return std::nullopt;
+}
+
+ConformanceReport run_rounds(const Workload& w,
+                             const ConformanceOptions& opts, int first_round,
+                             int rounds, bool deterministic,
+                             std::optional<std::uint64_t> fixed_seed) {
+  if (!w.impl) throw std::invalid_argument("run_conformance: null workload");
+  const NativeRuntime rt(w.impl);
+  ConformanceReport report;
+  report.workload = w.name;
+  report.threads = rt.threads();
+  report.ops_per_thread =
+      w.force_ops_per_thread > 0 ? w.force_ops_per_thread
+                                 : opts.ops_per_thread;
+  report.deterministic = deterministic;
+  for (int round = first_round; round < first_round + rounds; ++round) {
+    const std::uint64_t seed =
+        fixed_seed ? *fixed_seed : round_seed(opts.seed, round);
+    NativeOptions nopts;
+    nopts.ops_per_thread = report.ops_per_thread;
+    nopts.seed = seed;
+    nopts.deterministic = deterministic;
+    nopts.yield_period = opts.yield_period;
+    const NativeRun out = rt.run(w.pick, nopts);
+    ++report.rounds;
+    report.ops += out.history.ops().size();
+    report.base_accesses += out.base_accesses;
+    ++report.histories_checked;
+    if (auto violation = check_round(w, rt, out.history)) {
+      ConformanceFailure f;
+      f.seed = seed;
+      f.round = round;
+      f.detail = std::move(*violation);
+      f.history = out.history.to_string();
+      report.failure = std::move(f);
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+std::uint64_t round_seed(std::uint64_t base, int round) {
+  return mix64(base + 0x517cc1b727220a95ULL *
+                          static_cast<std::uint64_t>(round + 1));
+}
+
+ConformanceReport run_conformance(const Workload& w,
+                                  const ConformanceOptions& opts) {
+  return run_rounds(w, opts, 0, opts.rounds, opts.deterministic,
+                    std::nullopt);
+}
+
+ConformanceReport replay_round(const Workload& w,
+                               const ConformanceOptions& opts,
+                               std::uint64_t seed) {
+  return run_rounds(w, opts, 0, 1, /*deterministic=*/true, seed);
+}
+
+std::string describe_failure(const ConformanceReport& report) {
+  if (!report.failure) return "";
+  const ConformanceFailure& f = *report.failure;
+  std::ostringstream out;
+  out << "native conformance FAILED: workload=" << report.workload
+      << " threads=" << report.threads << " ops/thread="
+      << report.ops_per_thread << " mode="
+      << (report.deterministic ? "deterministic" : "free-running")
+      << " round=" << f.round << " seed=" << f.seed << "\n";
+  out << "replay: wfregs_native " << report.workload << " --threads "
+      << report.threads << " --ops " << report.ops_per_thread << " --replay "
+      << f.seed << "\n";
+  if (!report.deterministic) {
+    out << "(free-running schedules are not exactly reproducible; the "
+           "replay reruns the seed token-stepped)\n";
+  }
+  out << f.detail << "\nhistory:\n" << f.history;
+  return out.str();
+}
+
+}  // namespace wfregs::native

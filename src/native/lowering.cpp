@@ -1,0 +1,95 @@
+#include "wfregs/native/lowering.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace wfregs::native {
+
+ObjectLowering::ObjectLowering(std::shared_ptr<const CompiledType> compiled)
+    : compiled_(std::move(compiled)) {
+  if (!compiled_) throw std::invalid_argument("ObjectLowering: null type");
+  const CompiledType& ct = *compiled_;
+  plans_.resize(static_cast<std::size_t>(ct.ports()) *
+                static_cast<std::size_t>(ct.num_invocations()));
+  for (PortId p = 0; p < ct.ports(); ++p) {
+    for (InvId i = 0; i < ct.num_invocations(); ++i) {
+      AccessPlan& plan = plans_[static_cast<std::size_t>(p) *
+                                    static_cast<std::size_t>(
+                                        ct.num_invocations()) +
+                                static_cast<std::size_t>(i)];
+      bool load_like = true;
+      bool store_like = true;
+      StateId next0 = -1;
+      Val resp0 = -1;
+      for (StateId q = 0; q < ct.num_states(); ++q) {
+        const auto set = ct.delta_unchecked(q, p, i);
+        if (set.size() != 1) {
+          load_like = store_like = false;
+          break;
+        }
+        if (set[0].next != q) load_like = false;
+        if (q == 0) {
+          next0 = set[0].next;
+          resp0 = set[0].resp;
+        } else if (set[0].next != next0 ||
+                   static_cast<Val>(set[0].resp) != resp0) {
+          store_like = false;
+        }
+      }
+      if (load_like) {
+        plan.kind = AccessKind::kLoad;
+        plan.load_resp.reserve(static_cast<std::size_t>(ct.num_states()));
+        for (StateId q = 0; q < ct.num_states(); ++q) {
+          plan.load_resp.push_back(
+              static_cast<Val>(ct.delta_unchecked(q, p, i)[0].resp));
+        }
+      } else if (store_like) {
+        plan.kind = AccessKind::kStore;
+        plan.store_next = next0;
+        plan.store_resp = resp0;
+      } else {
+        plan.kind = AccessKind::kRmw;
+      }
+    }
+  }
+}
+
+Val ObjectLowering::access(PaddedState& cell, PortId port, InvId inv,
+                           std::mt19937_64& rng) const {
+  const AccessPlan& p = plan(port, inv);
+  switch (p.kind) {
+    case AccessKind::kLoad: {
+      const std::uint64_t q = cell.value.load(std::memory_order_seq_cst);
+      return p.load_resp[static_cast<std::size_t>(q)];
+    }
+    case AccessKind::kStore:
+      cell.value.store(static_cast<std::uint64_t>(p.store_next),
+                       std::memory_order_seq_cst);
+      return p.store_resp;
+    case AccessKind::kRmw:
+      break;
+  }
+  std::uint64_t q = cell.value.load(std::memory_order_seq_cst);
+  for (;;) {
+    const auto set =
+        compiled_->delta_unchecked(static_cast<StateId>(q), port, inv);
+    if (set.empty()) {
+      throw std::logic_error("native access: type " + compiled_->name() +
+                             " has no transition for invocation " +
+                             std::to_string(inv) + " in state " +
+                             std::to_string(q));
+    }
+    const Transition t =
+        set.size() == 1
+            ? set[0]
+            : set[static_cast<std::size_t>(rng() % set.size())];
+    if (cell.value.compare_exchange_weak(
+            q, static_cast<std::uint64_t>(t.next),
+            std::memory_order_seq_cst, std::memory_order_seq_cst)) {
+      return static_cast<Val>(t.resp);
+    }
+    // q was refreshed by the failed exchange; re-pick from the new state.
+  }
+}
+
+}  // namespace wfregs::native

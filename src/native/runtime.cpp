@@ -1,0 +1,417 @@
+#include "wfregs/native/runtime.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+
+#include "wfregs/runtime/program.hpp"
+
+namespace wfregs::native {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Serializer for deterministic mode.  A thread parks before every
+/// observable event; the next event-holder is drawn from the seeded rng
+/// only once every live thread is parked (requesting) or finished, so the
+/// grant sequence -- and the whole execution -- depends on nothing but the
+/// seed.  Between events exactly one thread runs (the one last granted),
+/// performing only thread-local bytecode steps.
+class TokenScheduler {
+ public:
+  TokenScheduler(int n, std::uint64_t seed)
+      : st_(static_cast<std::size_t>(n), St::kRunning), rng_(seed) {}
+
+  template <class F>
+  auto step(int me, F&& fn) {
+    std::unique_lock<std::mutex> lk(m_);
+    st_[static_cast<std::size_t>(me)] = St::kRequesting;
+    maybe_grant();
+    cv_.wait(lk, [&] { return granted_ == me; });
+    auto result = fn();  // the event itself runs under the token
+    st_[static_cast<std::size_t>(me)] = St::kRunning;
+    granted_ = -1;
+    return result;
+  }
+
+  /// Also the abandon path: a thread that dies mid-event must still hand
+  /// the token back, or every peer parks forever.
+  void finish(int me) {
+    const std::lock_guard<std::mutex> lk(m_);
+    if (granted_ == me) granted_ = -1;
+    st_[static_cast<std::size_t>(me)] = St::kFinished;
+    maybe_grant();
+  }
+
+ private:
+  enum class St { kRunning, kRequesting, kFinished };
+
+  void maybe_grant() {  // caller holds m_
+    if (granted_ != -1) return;
+    int candidates = 0;
+    for (const St s : st_) {
+      if (s == St::kRunning) return;  // pick set not yet determined
+      if (s == St::kRequesting) ++candidates;
+    }
+    if (candidates == 0) return;
+    int pick = static_cast<int>(rng_() % static_cast<std::uint64_t>(candidates));
+    for (std::size_t i = 0; i < st_.size(); ++i) {
+      if (st_[i] == St::kRequesting && pick-- == 0) {
+        granted_ = static_cast<int>(i);
+        break;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<St> st_;
+  int granted_ = -1;
+  std::mt19937_64 rng_;
+};
+
+struct OpEvent {
+  PortId port = -1;
+  InvId inv = 0;
+  Val resp = 0;
+  std::uint64_t t_inv = 0;
+  std::uint64_t t_resp = 0;
+};
+
+struct RoundShared {
+  const System* sys = nullptr;
+  const std::vector<std::shared_ptr<const ObjectLowering>>* lowerings =
+      nullptr;
+  std::vector<PaddedState>* state = nullptr;
+  std::vector<std::vector<Val>>* persistent = nullptr;
+  std::atomic<std::uint64_t>* clock = nullptr;
+  TokenScheduler* sched = nullptr;  // null in free-running mode
+  const NativeOptions* opts = nullptr;
+  ObjectId iface = -1;
+};
+
+struct NFrame {
+  ProgramRef code;
+  Locals locals;
+  std::vector<Handle> env;
+  int result_reg_in_parent = 0;
+  ObjectId persist_gid = -1;
+  PortId persist_port = -1;
+  int persist_count = 0;
+};
+
+std::vector<Handle> make_inner_env(const System::VirtualObject& v,
+                                   PortId port) {
+  std::vector<Handle> env;
+  env.reserve(v.inner.size());
+  const auto decls = v.impl->objects();
+  for (std::size_t k = 0; k < v.inner.size(); ++k) {
+    env.push_back(
+        Handle{v.inner[k],
+               decls[k].port_of_outer[static_cast<std::size_t>(port)]});
+  }
+  return env;
+}
+
+class NativeWorker {
+ public:
+  NativeWorker(RoundShared& sh, int p, std::uint64_t seed)
+      : sh_(sh), p_(p), rng_(seed) {
+    log_.reserve(static_cast<std::size_t>(sh_.opts->ops_per_thread));
+  }
+
+  void run(const InvPicker& pick) {
+    try {
+      for (int k = 0; k < sh_.opts->ops_per_thread; ++k) {
+        run_op(pick(p_, k, rng_));
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (sh_.sched) sh_.sched->finish(p_);
+  }
+
+  std::vector<OpEvent> log_;
+  std::size_t accesses = 0;
+  std::exception_ptr error;
+
+ private:
+  /// Runs one observable event: token-gated when deterministic, preceded
+  /// by a seeded yield when free-running.
+  template <class F>
+  auto event(F&& fn) {
+    if (sh_.sched) return sh_.sched->step(p_, std::forward<F>(fn));
+    if (sh_.opts->yield_period > 0 &&
+        rng_() % static_cast<std::uint64_t>(sh_.opts->yield_period) == 0) {
+      std::this_thread::yield();
+    }
+    return fn();
+  }
+
+  void push_virtual(ObjectId gid, PortId port, InvId inv, int result_reg) {
+    const auto& v = sh_.sys->virt(gid);
+    const ProgramRef& prog = v.impl->program(inv, port);
+    NFrame child;
+    child.code = prog;
+    const int persist = v.impl->persistent_slots();
+    child.locals.regs.resize(
+        static_cast<std::size_t>(std::max(prog->num_regs(), persist)), 0);
+    if (persist > 0) {
+      child.persist_gid = gid;
+      child.persist_port = port;
+      child.persist_count = persist;
+      const auto& store = (*sh_.persistent)[static_cast<std::size_t>(gid)];
+      for (int k = 0; k < persist; ++k) {
+        child.locals.regs[static_cast<std::size_t>(k)] =
+            store[static_cast<std::size_t>(port) * persist +
+                  static_cast<std::size_t>(k)];
+      }
+    }
+    child.env = make_inner_env(v, port);
+    child.result_reg_in_parent = result_reg;
+    stack_.push_back(std::move(child));
+  }
+
+  void run_op(InvId inv) {
+    OpEvent rec;
+    rec.port = p_;
+    rec.inv = inv;
+    rec.t_inv = event([&] { return sh_.clock->fetch_add(1); });
+    stack_.clear();
+    push_virtual(sh_.iface, p_, inv, 0);
+    // Same frame-transition budget as Engine::prepare.
+    constexpr int kMaxTransitions = 1000000;
+    for (int guard = 0; guard < kMaxTransitions; ++guard) {
+      NFrame& top = stack_.back();
+      const Action act = top.code->step(top.locals);
+      if (const auto* call = std::get_if<DoInvoke>(&act)) {
+        if (call->slot < 0 ||
+            call->slot >= static_cast<int>(top.env.size())) {
+          throw std::logic_error("native run: program " + top.code->name() +
+                                 " invoked unknown environment slot " +
+                                 std::to_string(call->slot));
+        }
+        const Handle h = top.env[static_cast<std::size_t>(call->slot)];
+        if (h.port == kNoPort) {
+          throw std::logic_error("native run: program " + top.code->name() +
+                                 " accessed object " + std::to_string(h.gid) +
+                                 " through a port it does not hold");
+        }
+        if (sh_.sys->is_base(h.gid)) {
+          const ObjectLowering& low =
+              *(*sh_.lowerings)[static_cast<std::size_t>(h.gid)];
+          if (call->inv < 0 ||
+              call->inv >= low.compiled().num_invocations()) {
+            throw std::out_of_range(
+                "native run: program " + top.code->name() +
+                " invoked out-of-range invocation " +
+                std::to_string(call->inv) + " on type " +
+                low.compiled().name());
+          }
+          const Val resp = event([&] {
+            return low.access((*sh_.state)[static_cast<std::size_t>(h.gid)],
+                              h.port, call->inv, rng_);
+          });
+          ++accesses;
+          top.locals.regs[static_cast<std::size_t>(call->result_reg)] = resp;
+          continue;
+        }
+        push_virtual(h.gid, h.port, call->inv, call->result_reg);
+        continue;
+      }
+      const Val value = std::get<DoReturn>(act).value;
+      const NFrame finished = std::move(stack_.back());
+      stack_.pop_back();
+      if (finished.persist_count > 0) {
+        auto& store =
+            (*sh_.persistent)[static_cast<std::size_t>(finished.persist_gid)];
+        const std::size_t offset =
+            static_cast<std::size_t>(finished.persist_port) *
+            static_cast<std::size_t>(finished.persist_count);
+        for (int k = 0; k < finished.persist_count; ++k) {
+          store[offset + static_cast<std::size_t>(k)] =
+              finished.locals.regs[static_cast<std::size_t>(k)];
+        }
+      }
+      if (stack_.empty()) {
+        rec.t_resp = event([&] { return sh_.clock->fetch_add(1); });
+        rec.resp = value;
+        log_.push_back(rec);
+        return;
+      }
+      stack_.back().locals.regs[static_cast<std::size_t>(
+          finished.result_reg_in_parent)] = value;
+    }
+    throw std::runtime_error(
+        "native run: frame-transition budget exceeded (runaway nesting?)");
+  }
+
+  RoundShared& sh_;
+  int p_;
+  std::mt19937_64 rng_;
+  std::vector<NFrame> stack_;
+};
+
+}  // namespace
+
+NativeRuntime::NativeRuntime(std::shared_ptr<const Implementation> impl)
+    : impl_(std::move(impl)) {
+  if (!impl_) throw std::invalid_argument("NativeRuntime: null implementation");
+  threads_ = impl_->iface().ports();
+  auto sys = std::make_shared<System>(threads_);
+  std::vector<PortId> ports;
+  for (PortId p = 0; p < threads_; ++p) ports.push_back(p);
+  iface_object_ = sys->add_implemented(impl_, ports);
+  sys_ = std::move(sys);
+
+  lowerings_.resize(static_cast<std::size_t>(sys_->num_objects()));
+  for (ObjectId g = 0; g < sys_->num_objects(); ++g) {
+    if (!sys_->is_base(g)) continue;
+    const auto& b = sys_->base(g);
+    // One lowering per distinct compiled type (System already deduplicates
+    // CompiledType instances across objects sharing a spec).
+    for (ObjectId h = 0; h < g; ++h) {
+      if (sys_->is_base(h) &&
+          sys_->base(h).compiled.get() == b.compiled.get()) {
+        lowerings_[static_cast<std::size_t>(g)] =
+            lowerings_[static_cast<std::size_t>(h)];
+        break;
+      }
+    }
+    if (!lowerings_[static_cast<std::size_t>(g)]) {
+      lowerings_[static_cast<std::size_t>(g)] =
+          std::make_shared<const ObjectLowering>(b.compiled);
+    }
+  }
+
+  // Reject wiring in which two interface ports reach the same (object,
+  // port): a port has one client in the model, and the native persistent
+  // store relies on it for thread exclusivity.
+  std::vector<std::vector<char>> seen(
+      static_cast<std::size_t>(sys_->num_objects()));
+  for (ObjectId g = 0; g < sys_->num_objects(); ++g) {
+    const int p = sys_->is_base(g) ? sys_->base(g).spec->ports()
+                                   : sys_->virt(g).impl->iface().ports();
+    seen[static_cast<std::size_t>(g)].assign(static_cast<std::size_t>(p), 0);
+  }
+  const std::function<void(ObjectId, PortId)> walk = [&](ObjectId g,
+                                                         PortId port) {
+    char& mark = seen[static_cast<std::size_t>(g)][static_cast<std::size_t>(
+        port)];
+    if (mark) {
+      throw std::invalid_argument(
+          "NativeRuntime: two interface ports share port " +
+          std::to_string(port) + " of inner object " + std::to_string(g) +
+          "; such wiring cannot run on one thread per interface port");
+    }
+    mark = 1;
+    if (sys_->is_base(g)) return;
+    const auto& v = sys_->virt(g);
+    const auto decls = v.impl->objects();
+    for (std::size_t k = 0; k < v.inner.size(); ++k) {
+      const PortId inner =
+          decls[k].port_of_outer[static_cast<std::size_t>(port)];
+      if (inner == kNoPort) continue;
+      walk(v.inner[k], inner);
+    }
+  };
+  for (PortId p = 0; p < threads_; ++p) walk(iface_object_, p);
+}
+
+NativeRun NativeRuntime::run(const InvPicker& pick,
+                             const NativeOptions& opts) const {
+  if (!pick) throw std::invalid_argument("NativeRuntime::run: null picker");
+  if (opts.ops_per_thread < 0) {
+    throw std::invalid_argument("NativeRuntime::run: negative op count");
+  }
+
+  std::vector<PaddedState> state(
+      static_cast<std::size_t>(sys_->num_objects()));
+  std::vector<std::vector<Val>> persistent(
+      static_cast<std::size_t>(sys_->num_objects()));
+  for (ObjectId g = 0; g < sys_->num_objects(); ++g) {
+    if (sys_->is_base(g)) {
+      state[static_cast<std::size_t>(g)].value.store(
+          static_cast<std::uint64_t>(sys_->base(g).initial),
+          std::memory_order_relaxed);
+    } else {
+      const auto& v = sys_->virt(g);
+      const int slots = v.impl->persistent_slots();
+      if (slots > 0) {
+        auto& store = persistent[static_cast<std::size_t>(g)];
+        store.reserve(static_cast<std::size_t>(slots) *
+                      static_cast<std::size_t>(v.impl->iface().ports()));
+        for (PortId port = 0; port < v.impl->iface().ports(); ++port) {
+          for (const Val init : v.impl->persistent_initial()) {
+            store.push_back(init);
+          }
+        }
+      }
+    }
+  }
+  std::atomic<std::uint64_t> clock{0};
+  std::unique_ptr<TokenScheduler> sched;
+  if (opts.deterministic) {
+    sched = std::make_unique<TokenScheduler>(threads_,
+                                             splitmix64(opts.seed));
+  }
+
+  RoundShared sh;
+  sh.sys = sys_.get();
+  sh.lowerings = &lowerings_;
+  sh.state = &state;
+  sh.persistent = &persistent;
+  sh.clock = &clock;
+  sh.sched = sched.get();
+  sh.opts = &opts;
+  sh.iface = iface_object_;
+
+  std::vector<std::unique_ptr<NativeWorker>> workers;
+  workers.reserve(static_cast<std::size_t>(threads_));
+  for (int p = 0; p < threads_; ++p) {
+    workers.push_back(std::make_unique<NativeWorker>(
+        sh, p, splitmix64(opts.seed ^ (0x1000 + static_cast<unsigned>(p)))));
+  }
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads_));
+    for (int p = 0; p < threads_; ++p) {
+      pool.emplace_back(
+          [&pick, w = workers[static_cast<std::size_t>(p)].get()] {
+            w->run(pick);
+          });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  NativeRun out;
+  std::vector<OpEvent> events;
+  for (const auto& w : workers) {
+    if (w->error) std::rethrow_exception(w->error);
+    out.base_accesses += w->accesses;
+    events.insert(events.end(), w->log_.begin(), w->log_.end());
+  }
+  std::ranges::sort(events, [](const OpEvent& a, const OpEvent& b) {
+    return a.t_inv < b.t_inv;
+  });
+  for (const OpEvent& e : events) {
+    const int id = out.history.begin_op(e.port, iface_object_, e.port, e.inv,
+                                        static_cast<std::size_t>(e.t_inv));
+    out.history.end_op(id, e.resp, static_cast<std::size_t>(e.t_resp));
+  }
+  return out;
+}
+
+}  // namespace wfregs::native

@@ -1,0 +1,166 @@
+#include "wfregs/native/workloads.hpp"
+
+#include <stdexcept>
+
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/core/bounded_register.hpp"
+#include "wfregs/registers/chain.hpp"
+#include "wfregs/registers/simpson.hpp"
+#include "wfregs/registers/snapshot.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs::native {
+
+namespace {
+
+void require_threads(const std::string& name, int threads, int lo, int hi) {
+  if (threads < lo || threads > hi) {
+    throw std::invalid_argument("workload " + name + ": thread count " +
+                                std::to_string(threads) + " outside [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  }
+}
+
+std::shared_ptr<const TypeSpec> share(TypeSpec t) {
+  return std::make_shared<const TypeSpec>(std::move(t));
+}
+
+/// The deliberately broken construction: a 4-valued register from two bits
+/// with no coherence protocol at all.  write(v) stores the low bit, then
+/// the high bit; read collects them one at a time.  A read overlapping a
+/// write can observe one new bit and one old one -- a torn value no atomic
+/// register may return.
+std::shared_ptr<const Implementation> torn_register(int ports) {
+  const zoo::RegisterLayout iface{4};
+  const zoo::RegisterLayout bit{2};
+  auto impl = std::make_shared<Implementation>(
+      "torn_register", share(zoo::register_type(4, ports)),
+      iface.state_of(0));
+  std::vector<PortId> identity;
+  for (PortId p = 0; p < ports; ++p) identity.push_back(p);
+  const auto bit_spec = share(zoo::register_type(2, ports));
+  const int lo = impl->add_base(bit_spec, bit.state_of(0), identity);
+  const int hi = impl->add_base(bit_spec, bit.state_of(0), identity);
+  for (int v = 0; v < 4; ++v) {
+    ProgramBuilder b;
+    b.invoke(lo, lit(bit.write(v % 2)), 0);
+    b.invoke(hi, lit(bit.write(v / 2)), 0);
+    b.ret(lit(iface.ok()));
+    impl->set_program_all_ports(iface.write(v),
+                                b.build("torn_write" + std::to_string(v)));
+  }
+  ProgramBuilder b;
+  b.invoke(lo, lit(bit.read()), 0);
+  b.invoke(hi, lit(bit.read()), 1);
+  b.ret(reg(0) + reg(1) * lit(2));
+  impl->set_program_all_ports(iface.read(), b.build("torn_read"));
+  return impl;
+}
+
+}  // namespace
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names{
+      "chain",    "oneuse-array",   "simpson",
+      "snapshot", "shift-register", "torn-register"};
+  return names;
+}
+
+Workload make_workload(const std::string& name, int threads,
+                       int ops_per_thread) {
+  if (ops_per_thread < 1) {
+    throw std::invalid_argument("make_workload: need at least 1 op/thread");
+  }
+  Workload w;
+  w.name = name;
+  if (name == "chain") {
+    require_threads(name, threads, 2, 4);
+    // Bounded-use construction: size the write budgets to the round.  The
+    // picker only writes on even op indices, so the worst case is
+    // ceil(ops/2) writes per thread -- the budget drives the timestamp
+    // domain of the Vitanyi-Awerbuch MRMW layer, and with it the size of
+    // the compiled transition tables (the budget for 4 threads at 4
+    // ops/thread costs ~0.5 GiB; the unhalved one would cost ~4 GiB).
+    const int writes_per_thread = (ops_per_thread + 1) / 2;
+    registers::ChainOptions chain;
+    chain.mrmw_max_writes = threads * writes_per_thread + 1;
+    chain.mrsw_max_writes = threads * writes_per_thread + 1;
+    w.summary = "Section 4.1 register chain, MRMW reads vs writes";
+    w.impl = registers::full_chain_register(3, threads, 0, chain);
+    const zoo::RegisterLayout lay{3};
+    w.pick = [lay](PortId, int k, std::mt19937_64& rng) -> InvId {
+      if (k % 2 != 0) return lay.read();
+      const auto roll = rng() % 6;
+      return roll < 3 ? lay.read()
+                      : lay.write(static_cast<int>(roll - 3));
+    };
+    return w;
+  }
+  if (name == "oneuse-array") {
+    require_threads(name, threads, 2, 2);
+    w.summary = "Section 4.3 SRSW bit from one-use bits, reader vs writer";
+    w.impl = core::bounded_bit_from_oneuse(ops_per_thread, ops_per_thread, 0);
+    const zoo::SrswRegisterLayout lay{2};
+    w.pick = [lay](PortId port, int, std::mt19937_64& rng) -> InvId {
+      if (port == zoo::SrswRegisterLayout::reader_port()) return lay.read();
+      return lay.write(static_cast<int>(rng() % 2));
+    };
+    w.check_regular = true;
+    w.regular_values = 2;
+    return w;
+  }
+  if (name == "simpson") {
+    require_threads(name, threads, 2, 2);
+    w.summary = "Simpson four-slot SRSW register, reader vs writer";
+    w.impl = registers::simpson_register(4, 0);
+    const zoo::SrswRegisterLayout lay{4};
+    w.pick = [lay](PortId port, int, std::mt19937_64& rng) -> InvId {
+      if (port == zoo::SrswRegisterLayout::reader_port()) return lay.read();
+      return lay.write(static_cast<int>(rng() % 4));
+    };
+    w.check_regular = true;
+    w.regular_values = 4;
+    return w;
+  }
+  if (name == "snapshot") {
+    require_threads(name, threads, 2, 4);
+    w.summary = "Afek et al. snapshot, updates racing scans";
+    w.impl = registers::snapshot_from_registers(2, threads, ops_per_thread);
+    const zoo::SnapshotLayout lay{threads, 2};
+    w.pick = [lay](PortId, int, std::mt19937_64& rng) -> InvId {
+      const auto roll = rng() % 4;
+      return roll < 2 ? lay.scan()
+                      : lay.update(static_cast<int>(roll - 2));
+    };
+    return w;
+  }
+  if (name == "shift-register") {
+    require_threads(name, threads, 2, 4);
+    w.summary = "Aspnes consensus from one shift register, width = threads";
+    w.impl = consensus::from_shift_register(threads);
+    const zoo::ConsensusLayout lay;
+    w.pick = [lay](PortId, int, std::mt19937_64& rng) -> InvId {
+      return lay.propose(static_cast<int>(rng() % 2));
+    };
+    w.consensus = true;
+    w.force_ops_per_thread = 1;  // consensus objects are single-use
+    return w;
+  }
+  if (name == "torn-register") {
+    require_threads(name, threads, 2, 4);
+    w.summary = "CONTROL: torn 4-valued register, must FAIL the oracle";
+    w.impl = torn_register(threads);
+    const zoo::RegisterLayout lay{4};
+    w.pick = [lay](PortId port, int k, std::mt19937_64&) -> InvId {
+      // Port 0 reads; the rest toggle between the two all-bits-differ
+      // values so every half-written window exposes a torn value.
+      if (port == 0) return lay.read();
+      return k % 2 == 0 ? lay.write(3) : lay.write(0);
+    };
+    return w;
+  }
+  throw std::invalid_argument("unknown native workload: " + name);
+}
+
+}  // namespace wfregs::native

@@ -1,0 +1,40 @@
+#include "wfregs/runtime/history_check.hpp"
+
+#include "wfregs/runtime/linearizability.hpp"
+#include "wfregs/runtime/regularity.hpp"
+
+namespace wfregs {
+
+namespace {
+
+std::vector<OpRecord> select_ops(const History& history, ObjectId object) {
+  if (object == kAnyObject) return history.ops();
+  return history.ops_on(object);
+}
+
+}  // namespace
+
+HistoryCheckResult check_history_linearizable(const History& history,
+                                              const TypeSpec& spec,
+                                              StateId initial,
+                                              ObjectId object) {
+  const auto ops = select_ops(history, object);
+  const auto r = check_linearizable(ops, spec, initial);
+  HistoryCheckResult out;
+  out.ok = r.linearizable;
+  if (!out.ok) {
+    out.detail = "history not linearizable:\n" + describe_history(ops, spec);
+  }
+  return out;
+}
+
+HistoryCheckResult check_history_regular(const History& history, int values,
+                                         int initial, ObjectId object) {
+  const auto r = check_regular(select_ops(history, object), values, initial);
+  HistoryCheckResult out;
+  out.ok = r.regular;
+  out.detail = r.detail;
+  return out;
+}
+
+}  // namespace wfregs

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "wfregs/runtime/history_check.hpp"
 #include "wfregs/runtime/system.hpp"
 
 namespace wfregs {
@@ -121,9 +122,9 @@ RegularVerifyResult verify_regular(
   const int initial = impl->iface_initial();
   const TerminalCheck check =
       [obj, values, initial](const Engine& e) -> std::optional<std::string> {
-    const auto r = check_regular(e.history().ops_on(obj), values, initial);
-    if (r.regular) return std::nullopt;
-    return r.detail;
+    auto r = check_history_regular(e.history(), values, initial, obj);
+    if (r.ok) return std::nullopt;
+    return std::move(r.detail);
   };
   const Engine root{std::move(sys)};
   const auto out = explore_parallel(

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "wfregs/runtime/linearizability.hpp"
+#include "wfregs/runtime/history_check.hpp"
 #include "wfregs/runtime/system.hpp"
 
 namespace wfregs {
@@ -59,10 +59,9 @@ VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
   const StateId initial = impl->iface_initial();
   const TerminalCheck check =
       [obj, iface, initial](const Engine& e) -> std::optional<std::string> {
-    const auto ops = e.history().ops_on(obj);
-    const auto r = check_linearizable(ops, *iface, initial);
-    if (r.linearizable) return std::nullopt;
-    return "history not linearizable:\n" + describe_history(ops, *iface);
+    auto r = check_history_linearizable(e.history(), *iface, initial, obj);
+    if (r.ok) return std::nullopt;
+    return std::move(r.detail);
   };
 
   const Engine root{std::move(sys)};

@@ -671,4 +671,25 @@ TypeSpec mod_counter_type(int modulus, int ports) {
   return t;
 }
 
+TypeSpec shift_register_type(int width, int ports) {
+  require(width >= 1 && width <= 16,
+          "shift_register_type: width must be in [1, 16]");
+  require(ports >= 1, "shift_register_type: need at least 1 port");
+  const ShiftRegisterLayout lay{width};
+  const int cap = lay.capacity();
+  TypeSpec t("shift_register" + std::to_string(width), ports, cap, 2, cap);
+  t.name_invocation(lay.shl(0), "shl(0)");
+  t.name_invocation(lay.shl(1), "shl(1)");
+  for (int q = 0; q < cap; ++q) {
+    t.name_state(lay.state_of(q), "bits" + std::to_string(q));
+    t.name_response(lay.old_resp(q), std::to_string(q));
+    for (int b = 0; b < 2; ++b) {
+      t.add_oblivious(lay.state_of(q), lay.shl(b),
+                      lay.state_of((2 * q + b) % cap), lay.old_resp(q));
+    }
+  }
+  t.validate();
+  return t;
+}
+
 }  // namespace wfregs::zoo

@@ -62,6 +62,35 @@ TEST(ConsensusProtocols, CasIdsSolvesWithRegisters) {
   }
 }
 
+class ShiftRegisterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftRegisterSweep, WidthWSolvesWProcesses) {
+  // cons(shift-register of width w) >= w [Aspnes 2025, arXiv 2505.01691]:
+  // one w-bit shift register initialized to the marker value 1 solves
+  // wait-free w-process consensus, no auxiliary registers needed.
+  const int w = GetParam();
+  const auto r = check_consensus(consensus::from_shift_register(w));
+  EXPECT_TRUE(r.solves) << "w=" << w << ": " << r.detail;
+  EXPECT_TRUE(r.wait_free);
+  EXPECT_TRUE(r.complete);
+}
+
+INSTANTIATE_TEST_SUITE_P(W, ShiftRegisterSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(ConsensusProtocols, ShiftRegisterOverWidthFailsAgreement) {
+  // cons(shift-register of width w) = w exactly: with w+1 processes the
+  // marker bit is shifted out of the top and the late shifters decode the
+  // wrong bit (or mistake themselves for first).  The protocol stays
+  // wait-free; only agreement breaks.
+  for (int w = 1; w <= 3; ++w) {
+    const auto r = check_consensus(consensus::from_shift_register(w + 1, w));
+    EXPECT_FALSE(r.solves) << "w=" << w;
+    EXPECT_TRUE(r.wait_free) << "w=" << w;
+    EXPECT_NE(r.detail.find("agreement"), std::string::npos)
+        << "w=" << w << ": " << r.detail;
+  }
+}
+
 TEST(ConsensusProtocols, RegistersOnlyAttemptFailsAgreement) {
   // Registers cannot solve 2-process consensus [FLP85, LA87, Herlihy91]:
   // the natural register-only protocol is wait-free but loses agreement,
@@ -93,6 +122,8 @@ TEST(ConsensusProtocols, AccessBoundsAreReportedWhenTracked) {
 
 TEST(ConsensusProtocols, InvalidArguments) {
   EXPECT_THROW(consensus::from_cas(0), std::invalid_argument);
+  EXPECT_THROW(consensus::from_shift_register(0), std::invalid_argument);
+  EXPECT_THROW(consensus::from_shift_register(2, 0), std::invalid_argument);
   EXPECT_THROW(consensus::from_sticky_bit(0), std::invalid_argument);
   EXPECT_THROW(consensus::from_cas_ids(1), std::invalid_argument);
   EXPECT_THROW(consensus::registers_only_attempt(1), std::invalid_argument);

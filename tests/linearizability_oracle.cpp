@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <random>
 
+#include "wfregs/runtime/history_check.hpp"
 #include "wfregs/runtime/linearizability.hpp"
 #include "wfregs/typesys/type_zoo.hpp"
 
@@ -109,6 +110,107 @@ TEST_P(OracleSweep, CheckerAgreesWithBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OracleSweep,
                          ::testing::Range<std::uint64_t>(0, 120));
+
+// ---- the public single-history API (history_check.hpp) --------------------
+// Hand-written histories with explicit timestamps: the producer-independent
+// entry point the native conformance lab feeds real-thread recordings into.
+
+/// Appends a completed op spanning [t0, t1] to `h`.
+void op(History& h, ProcId proc, PortId port, InvId inv, Val resp,
+        std::size_t t0, std::size_t t1, ObjectId object = 0) {
+  const int id = h.begin_op(proc, object, port, inv, t0);
+  h.end_op(id, resp, t1);
+}
+
+TEST(HistoryCheck, AcceptsASequentialRegisterHistory) {
+  const auto spec = zoo::register_type(3, 2);
+  const zoo::RegisterLayout lay{3};
+  History h;
+  op(h, 0, 0, lay.write(1), lay.ok(), 0, 1);
+  op(h, 1, 1, lay.read(), lay.value_resp(1), 2, 3);
+  const auto r = check_history_linearizable(h, spec, 0);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_TRUE(static_cast<bool>(r));
+}
+
+TEST(HistoryCheck, AcceptsAConcurrentOldValueRead) {
+  // read -> 0 overlapping write(1): linearize the read first.
+  const auto spec = zoo::register_type(2, 2);
+  const zoo::RegisterLayout lay{2};
+  History h;
+  op(h, 0, 0, lay.write(1), lay.ok(), 0, 5);
+  op(h, 1, 1, lay.read(), lay.value_resp(0), 1, 2);
+  EXPECT_TRUE(check_history_linearizable(h, spec, 0).ok);
+}
+
+TEST(HistoryCheck, RejectsAReadOfAValueNeverWritten) {
+  const auto spec = zoo::register_type(3, 2);
+  const zoo::RegisterLayout lay{3};
+  History h;
+  op(h, 0, 0, lay.read(), lay.value_resp(2), 0, 1);
+  const auto r = check_history_linearizable(h, spec, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_NE(r.detail.find("not linearizable"), std::string::npos);
+}
+
+TEST(HistoryCheck, RejectsNewOldInversionUnderLinearizability) {
+  // Two sequential reads during one write seeing new then old: regular,
+  // but NOT atomic -- the exact gap between Lamport's register classes.
+  const auto spec = zoo::register_type(2, 3);
+  const zoo::RegisterLayout lay{2};
+  History h;
+  op(h, 0, 0, lay.write(1), lay.ok(), 2, 9);
+  op(h, 1, 1, lay.read(), lay.value_resp(1), 3, 4);
+  op(h, 2, 2, lay.read(), lay.value_resp(0), 5, 6);
+  EXPECT_FALSE(check_history_linearizable(h, spec, 0).ok);
+  const auto reg = check_history_regular(h, 2, 0);
+  EXPECT_TRUE(reg.ok) << reg.detail;
+}
+
+TEST(HistoryCheck, FiltersByObjectId) {
+  // Object 0 holds a clean history, object 7 a broken one; the verdict
+  // follows the filter, and kAnyObject sees the union (broken).
+  const auto spec = zoo::register_type(3, 2);
+  const zoo::RegisterLayout lay{3};
+  History h;
+  op(h, 0, 0, lay.write(1), lay.ok(), 0, 1, /*object=*/0);
+  op(h, 1, 1, lay.read(), lay.value_resp(2), 2, 3, /*object=*/7);
+  op(h, 1, 1, lay.read(), lay.value_resp(1), 4, 5, /*object=*/0);
+  EXPECT_TRUE(check_history_linearizable(h, spec, 0, 0).ok);
+  EXPECT_FALSE(check_history_linearizable(h, spec, 0, 7).ok);
+  EXPECT_FALSE(check_history_linearizable(h, spec, 0, kAnyObject).ok);
+}
+
+TEST(HistoryCheck, RegularAcceptsOverlappingWriteValues) {
+  const zoo::RegisterLayout lay{2};
+  History h;
+  op(h, 0, 0, lay.read(), 0, 0, 1);        // before the write: initial
+  op(h, 1, 1, lay.write(1), lay.ok(), 2, 6);
+  op(h, 0, 0, lay.read(), 1, 3, 4);        // during the write: new value ok
+  const auto r = check_history_regular(h, 2, 0);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(HistoryCheck, RegularRejectsAReadFromTheFuture) {
+  // read -> 1 completes strictly before the only write(1) begins.
+  const zoo::RegisterLayout lay{2};
+  History h;
+  op(h, 0, 0, lay.read(), 1, 0, 1);
+  op(h, 1, 1, lay.write(1), lay.ok(), 2, 3);
+  const auto r = check_history_regular(h, 2, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(HistoryCheck, RegularRejectsOverlappingWrites) {
+  // Two concurrent writers violate the single-writer precondition.
+  const zoo::RegisterLayout lay{2};
+  History h;
+  op(h, 0, 0, lay.write(1), lay.ok(), 0, 5);
+  op(h, 1, 1, lay.write(0), lay.ok(), 2, 3);
+  EXPECT_FALSE(check_history_regular(h, 2, 0).ok);
+}
 
 }  // namespace
 }  // namespace wfregs

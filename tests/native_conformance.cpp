@@ -1,0 +1,153 @@
+// The native conformance lab, as a test suite: every workload runs as real
+// concurrent code (std::thread + std::atomic) in both execution modes and
+// every recorded history must satisfy the model oracles.  The suite also
+// proves the lab's teeth -- the deliberately torn register control IS
+// caught, with a seed that replays to the exact same failing history.
+//
+// Round counts default low so tier-1 stays fast; the CI native-stress job
+// raises them through WFREGS_STRESS_ITERS (see .github/workflows/ci.yml).
+#include "wfregs/native/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "wfregs/native/workloads.hpp"
+
+namespace wfregs::native {
+namespace {
+
+/// Rounds per (workload, mode) pairing: WFREGS_STRESS_ITERS when set (the
+/// CI stress job), else a small default that keeps tier-1 quick.
+int stress_rounds(int fallback) {
+  if (const char* s = std::getenv("WFREGS_STRESS_ITERS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Runs `name` at `threads` in both free-running and deterministic modes;
+/// every history must pass the workload's oracles.
+void expect_conforms(const std::string& name, int threads) {
+  SCOPED_TRACE(name + " @ " + std::to_string(threads) + " threads");
+  const Workload w = make_workload(name, threads, /*ops_per_thread=*/4);
+  for (const bool det : {false, true}) {
+    ConformanceOptions opts;
+    opts.rounds = stress_rounds(det ? 10 : 25);
+    opts.ops_per_thread = 4;
+    opts.seed = 0xC0FFEE + threads;
+    opts.deterministic = det;
+    const ConformanceReport r = run_conformance(w, opts);
+    EXPECT_TRUE(r.ok()) << describe_failure(r);
+    EXPECT_EQ(r.rounds, static_cast<std::size_t>(opts.rounds));
+    EXPECT_GT(r.histories_checked, 0u);
+    EXPECT_GT(r.ops, 0u);
+    EXPECT_GT(r.base_accesses, 0u);
+    EXPECT_EQ(r.threads, threads);
+    EXPECT_EQ(r.deterministic, det);
+  }
+}
+
+TEST(NativeConformance, ChainRegister) {
+  for (const int threads : {2, 3, 4}) expect_conforms("chain", threads);
+}
+
+TEST(NativeConformance, OneUseArrayBit) { expect_conforms("oneuse-array", 2); }
+
+TEST(NativeConformance, SimpsonRegister) { expect_conforms("simpson", 2); }
+
+TEST(NativeConformance, Snapshot) {
+  for (const int threads : {2, 3, 4}) expect_conforms("snapshot", threads);
+}
+
+TEST(NativeConformance, ShiftRegisterConsensus) {
+  for (const int threads : {2, 3, 4}) {
+    expect_conforms("shift-register", threads);
+  }
+}
+
+TEST(NativeConformance, WorkloadListIsClosed) {
+  // Every published workload constructs at 2 threads; unknown names throw.
+  for (const auto& name : workload_names()) {
+    EXPECT_NO_THROW(make_workload(name, 2, 4)) << name;
+  }
+  EXPECT_THROW(make_workload("no-such-workload", 2, 4),
+               std::invalid_argument);
+  EXPECT_THROW(make_workload("simpson", 3, 4), std::invalid_argument);
+  EXPECT_THROW(make_workload("chain", 9, 4), std::invalid_argument);
+}
+
+TEST(NativeConformance, DeterministicRoundsReproduceBitForBit) {
+  // Two deterministic runs from the same seed must record the SAME history
+  // -- the property --replay depends on.
+  const Workload w = make_workload("chain", 3, 4);
+  NativeRuntime rt(w.impl);
+  NativeOptions opts;
+  opts.ops_per_thread = 4;
+  opts.seed = 2026;
+  opts.deterministic = true;
+  const NativeRun a = rt.run(w.pick, opts);
+  const NativeRun b = rt.run(w.pick, opts);
+  EXPECT_EQ(a.history.to_string(), b.history.to_string());
+  EXPECT_EQ(a.base_accesses, b.base_accesses);
+  // A different seed explores a different schedule (with overwhelming
+  // probability a different history -- ops interleave differently).
+  opts.seed = 2027;
+  const NativeRun c = rt.run(w.pick, opts);
+  EXPECT_EQ(c.history.ops().size(), a.history.ops().size());
+}
+
+TEST(NativeConformance, TornRegisterIsCaughtAndReplays) {
+  // The control: a 4-valued register whose writes tear across two bit
+  // stores.  Deterministic rounds MUST find a torn read, the report names
+  // the failing round's seed, and replaying that seed reproduces the exact
+  // failing history twice over.
+  const Workload w = make_workload("torn-register", 2, 6);
+  ConformanceOptions opts;
+  opts.rounds = 2000;  // deterministic rounds are cheap; plenty to tear
+  opts.ops_per_thread = 6;
+  opts.seed = 7;
+  opts.deterministic = true;
+  const ConformanceReport r = run_conformance(w, opts);
+  ASSERT_FALSE(r.ok()) << "torn register was not caught";
+  const ConformanceFailure& f = *r.failure;
+  EXPECT_EQ(f.seed, round_seed(opts.seed, f.round));
+
+  // The human-readable report carries everything needed to reproduce.
+  const std::string report = describe_failure(r);
+  EXPECT_NE(report.find(std::to_string(f.seed)), std::string::npos);
+  EXPECT_NE(report.find("--replay"), std::string::npos);
+  EXPECT_NE(report.find("torn-register"), std::string::npos);
+  EXPECT_NE(report.find("deterministic"), std::string::npos);
+
+  // Replay twice: same seed, same schedule, same failing history.
+  const ConformanceReport r1 = replay_round(w, opts, f.seed);
+  const ConformanceReport r2 = replay_round(w, opts, f.seed);
+  ASSERT_FALSE(r1.ok());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r1.failure->history, f.history);
+  EXPECT_EQ(r2.failure->history, f.history);
+  EXPECT_EQ(r1.failure->detail, f.detail);
+  EXPECT_EQ(r2.failure->detail, f.detail);
+}
+
+TEST(NativeConformance, TornRegisterSurvivesShortFreeRuns) {
+  // Free-running rounds may or may not hit the window -- both verdicts are
+  // legal; what matters is that a failure, when found, is well-formed.
+  const Workload w = make_workload("torn-register", 2, 6);
+  ConformanceOptions opts;
+  opts.rounds = stress_rounds(50);
+  opts.ops_per_thread = 6;
+  opts.seed = 11;
+  const ConformanceReport r = run_conformance(w, opts);
+  if (!r.ok()) {
+    EXPECT_FALSE(r.failure->detail.empty());
+    EXPECT_FALSE(r.failure->history.empty());
+    EXPECT_NE(describe_failure(r).find("free-running"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace wfregs::native

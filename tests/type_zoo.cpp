@@ -188,6 +188,33 @@ TEST(PortFlagType, Port1RaisesFlagAndPort0Observes) {
   EXPECT_EQ(t.delta_det(0, 2, lay.touch()).resp, lay.ok());
 }
 
+TEST(ShiftRegisterType, ShiftsInBitsAndReturnsOldContents) {
+  // w-bit shift register [Aspnes 2025]: shl(b) returns the old contents
+  // and installs (2q + b) mod 2^w -- the top bit falls off.
+  const auto t = shift_register_type(3, 2);
+  const ShiftRegisterLayout lay{3};
+  EXPECT_EQ(lay.capacity(), 8);
+  EXPECT_TRUE(t.is_deterministic());
+  EXPECT_TRUE(t.is_oblivious());
+  EXPECT_TRUE(t.is_total());
+  EXPECT_EQ(t.num_states(), 8);
+  EXPECT_EQ(t.num_invocations(), 2);
+  EXPECT_EQ(t.num_responses(), 8);
+  for (int q = 0; q < 8; ++q) {
+    for (int b = 0; b < 2; ++b) {
+      const auto tr = t.delta_det(lay.state_of(q), 0, lay.shl(b));
+      EXPECT_EQ(tr.resp, lay.old_resp(q));
+      EXPECT_EQ(tr.next, lay.state_of((2 * q + b) % 8));
+    }
+  }
+}
+
+TEST(ShiftRegisterType, RejectsDegenerateShapes) {
+  EXPECT_THROW(shift_register_type(0, 2), std::invalid_argument);
+  EXPECT_THROW(shift_register_type(17, 2), std::invalid_argument);
+  EXPECT_THROW(shift_register_type(2, 0), std::invalid_argument);
+}
+
 TEST(ModCounterType, WrapsAround) {
   const auto t = mod_counter_type(3, 2);
   EXPECT_EQ(t.delta_det(2, 0, 0).next, 0);
