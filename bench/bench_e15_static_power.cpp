@@ -1,0 +1,244 @@
+// E15 -- the static consensus-power fast-path: an E13-flavoured batch of
+// consensus jobs through the JobScheduler where a fraction of the jobs
+// (register-only protocols with the static-power flag set) are answered by
+// the certified classifier without any exploration, against the same jobs
+// fully explored.
+//
+// Per benchmark the JSON carries:
+//   jobs             -- batch size
+//   static_jobs      -- jobs submitted with the static-power flag
+//   static_decisions -- scheduler metric: verdicts decided statically
+//   static_fraction  -- static_decisions / jobs
+//   batch_ms         -- wall time for the whole batch with the fast-path on
+//   static_ms        -- wall time to answer the static-eligible jobs via the
+//                       fast-path (direct runner, no scheduler overhead)
+//   explored_ms      -- the same jobs fully explored (direct runner)
+//   speedup          -- explored_ms / static_ms (same jobs, both paths)
+//   cert_check_us    -- mean time to re-validate one certificate with the
+//                       independent checker (the fast-path's trust step)
+//   peak_rss_bytes   -- process peak RSS after the timing loop
+//
+// Three in-run correctness gates (any failure sets error_occurred in the
+// JSON and fails the CI bench gate):
+//   * the skip-rate floor -- at least 30% of the batch must be decided
+//     statically (the acceptance criterion for the fast-path's existence);
+//   * decision identity -- for every statically decided job, the
+//     decision_projection of the static verdict must encode byte-identically
+//     to the decision_projection of a full-exploration recompute of the same
+//     implementation (the fast-path can never change an answer, only skip
+//     the work; stats and provenance legitimately differ and are masked by
+//     the projection);
+//   * certificate validity -- every certificate the classifier emits for the
+//     zoo sweep must pass the independent checker.
+//
+// Emits BENCH_e15_static_power.json (Google Benchmark JSON schema).
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json_main.hpp"
+#include "wfregs/analysis/consensus_power.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/service/scheduler.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace {
+
+using namespace wfregs;
+using service::JobKind;
+using service::JobScheduler;
+using service::Provenance;
+using service::SchedulerOptions;
+using service::Submitted;
+using service::Verdict;
+using service::VerifyJob;
+
+/// The batch: the explored consensus zoo (tas/queue/faa x reduction modes)
+/// plus the register-only protocols flagged for the static fast-path, under
+/// the same reduction modes.  9 explored + 6 static = 40% static-eligible.
+std::vector<VerifyJob> make_batch() {
+  std::vector<VerifyJob> batch;
+  const std::vector<std::shared_ptr<const Implementation>> explored = {
+      consensus::from_test_and_set(),
+      consensus::from_queue(),
+      consensus::from_fetch_and_add(),
+  };
+  const std::vector<std::shared_ptr<const Implementation>> statically = {
+      consensus::registers_only_attempt(2),
+      consensus::registers_only_attempt(3),
+  };
+  for (const auto& impl : explored) {
+    for (const Reduction r : {Reduction::kNone, Reduction::kSleep,
+                              Reduction::kSleepSymmetry}) {
+      VerifyJob job;
+      job.kind = JobKind::kConsensus;
+      job.impl = impl;
+      job.options.reduction = r;
+      batch.push_back(job);
+    }
+  }
+  for (const auto& impl : statically) {
+    for (const Reduction r : {Reduction::kNone, Reduction::kSleep,
+                              Reduction::kSleepSymmetry}) {
+      VerifyJob job;
+      job.kind = JobKind::kConsensus;
+      job.impl = impl;
+      job.options.reduction = r;
+      job.static_power = true;
+      batch.push_back(job);
+    }
+  }
+  return batch;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void BM_StaticVsExplored(benchmark::State& state) {
+  const std::string store = "/tmp/wfregs_bench_e15_" +
+                            std::to_string(::getpid()) + ".log";
+  const std::vector<VerifyJob> batch = make_batch();
+  const JobScheduler::Runner fresh = JobScheduler::default_runner(1);
+  const std::atomic<bool> no_cancel{false};
+
+  double batch_ms = 0;
+  double static_ms = 0;
+  double explored_ms = 0;
+  std::uint64_t static_decisions = 0;
+  std::size_t static_jobs = 0;
+  for (const VerifyJob& job : batch) {
+    if (job.static_power) ++static_jobs;
+  }
+
+  for (auto _ : state) {
+    std::remove(store.c_str());
+    SchedulerOptions options;
+    options.workers = 1;
+    options.store_path = store;
+    JobScheduler sched(options);
+
+    // The whole batch with the fast-path armed on the eligible jobs.
+    const auto batch_start = std::chrono::steady_clock::now();
+    std::vector<Submitted> submitted;
+    submitted.reserve(batch.size());
+    for (const VerifyJob& job : batch) submitted.push_back(sched.submit(job));
+    std::vector<Verdict> verdicts;
+    verdicts.reserve(batch.size());
+    for (const Submitted& s : submitted) verdicts.push_back(s.result.get());
+    batch_ms = ms_since(batch_start);
+    static_decisions = sched.metrics().static_decisions;
+
+    // Gate: every statically decided verdict must project byte-identically
+    // to a full-exploration recompute.  Both paths run through the direct
+    // runner here, timed per job, so static_ms / explored_ms compare the
+    // SAME work with and without the fast-path.
+    static_ms = 0;
+    explored_ms = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch[i].static_power) continue;
+      if (verdicts[i].provenance != Provenance::kStatic) {
+        state.SkipWithError(("static-power job " + std::to_string(i) +
+                             " fell back to exploration")
+                                .c_str());
+        return;
+      }
+      const auto static_start = std::chrono::steady_clock::now();
+      const Verdict statically = fresh(batch[i], no_cancel);
+      static_ms += ms_since(static_start);
+      VerifyJob full = batch[i];
+      full.static_power = false;
+      const auto explored_start = std::chrono::steady_clock::now();
+      const Verdict recomputed = fresh(full, no_cancel);
+      explored_ms += ms_since(explored_start);
+      if (statically.provenance != Provenance::kStatic) {
+        state.SkipWithError("direct static rerun fell back to exploration");
+        return;
+      }
+      if (service::encode_verdict(service::decision_projection(verdicts[i])) !=
+              service::encode_verdict(
+                  service::decision_projection(recomputed)) ||
+          service::encode_verdict(service::decision_projection(statically)) !=
+              service::encode_verdict(
+                  service::decision_projection(recomputed))) {
+        state.SkipWithError(("static/explored decisions differ on job " +
+                             std::to_string(i))
+                                .c_str());
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(verdicts);
+  }
+  std::remove(store.c_str());
+
+  const double fraction =
+      batch.empty() ? 0
+                    : static_cast<double>(static_decisions) /
+                          static_cast<double>(batch.size());
+  if (fraction < 0.30) {
+    state.SkipWithError(("static fraction " + std::to_string(fraction) +
+                         " below the 0.30 floor")
+                            .c_str());
+    return;
+  }
+
+  // Certificate-check cost: classify the deterministic zoo and time the
+  // independent checker over every emitted certificate.
+  const std::vector<TypeSpec> zoo_types = {
+      zoo::bit_type(2),          zoo::srsw_register_type(4),
+      zoo::test_and_set_type(2), zoo::cas_type(2, 2),
+      zoo::sticky_bit_type(2),   zoo::queue_type(2, 2, 2),
+      zoo::consensus_type(2),    zoo::port_flag_type(2),
+      zoo::shift_register_type(2, 2),
+  };
+  std::size_t checks = 0;
+  double check_us_total = 0;
+  for (const TypeSpec& t : zoo_types) {
+    const auto r = analysis::classify_consensus_power(t);
+    for (const auto& claim : r.claims) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto check = analysis::check_certificate(t, claim);
+      check_us_total += ms_since(t0) * 1000.0;
+      ++checks;
+      if (!check.ok) {
+        state.SkipWithError(("certificate rejected for " + t.name() + ": " +
+                             check.detail)
+                                .c_str());
+        return;
+      }
+    }
+  }
+
+  state.counters["jobs"] = static_cast<double>(batch.size());
+  state.counters["static_jobs"] = static_cast<double>(static_jobs);
+  state.counters["static_decisions"] = static_cast<double>(static_decisions);
+  state.counters["static_fraction"] = fraction;
+  state.counters["batch_ms"] = batch_ms;
+  state.counters["static_ms"] = static_ms;
+  state.counters["explored_ms"] = explored_ms;
+  state.counters["speedup"] = static_ms > 0 ? explored_ms / static_ms : 0;
+  state.counters["cert_check_us"] =
+      checks > 0 ? check_us_total / static_cast<double>(checks) : 0;
+  state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
+}
+
+void register_all() {
+  benchmark::RegisterBenchmark("static_power/zoo_batch/static_vs_explored",
+                               BM_StaticVsExplored)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return wfregs::benchjson::run(argc, argv, "BENCH_e15_static_power.json");
+}

@@ -123,7 +123,7 @@ def check_suite(run, suite, suite_name):
     failed = False
 
     # 1. Exact configs identity against the baseline.
-    base_configs = suite["configs"]
+    base_configs = suite.get("configs", {})
     for name, base in sorted(base_configs.items()):
         if name not in run:
             print(f"FAIL: baseline benchmark missing from run: {name}")
@@ -140,9 +140,10 @@ def check_suite(run, suite, suite_name):
             failed = True
         else:
             print(f"ok:   {name}: configs {got:.0f} (identical to baseline)")
-    for name in sorted(set(run) - set(base_configs)):
-        print(f"warn: {name} has no baseline entry -- add it to "
-              f"bench/baseline.json suites.{suite_name}")
+    if base_configs:
+        for name in sorted(set(run) - set(base_configs)):
+            print(f"warn: {name} has no baseline entry -- add it to "
+                  f"bench/baseline.json suites.{suite_name}")
 
     # 2. interned_configs == configs wherever both are reported.
     for name, b in sorted(run.items()):
@@ -173,6 +174,27 @@ def check_suite(run, suite, suite_name):
                   f"{100 * rss_tolerance:.0f}%)")
             if peak > limit:
                 failed = True
+
+    # 3b. Counter floors: baseline ``min_counters`` maps benchmark name ->
+    # {counter: floor}; the run's counter must be >= the floor (used by the
+    # e15 suite to gate the static-decision skip rate, a determinate ratio
+    # of the batch composition, never wall-clock).
+    for name, floors in sorted(suite.get("min_counters", {}).items()):
+        if name not in run:
+            print(f"FAIL: min_counters benchmark missing from run: {name}")
+            failed = True
+            continue
+        for counter, floor in sorted(floors.items()):
+            got = run[name].get(counter)
+            if got is None:
+                print(f"FAIL: {name}: no '{counter}' counter in run")
+                failed = True
+            elif got < floor:
+                print(f"FAIL: {name}: {counter} {got} below the baseline "
+                      f"floor {floor}")
+                failed = True
+            else:
+                print(f"ok:   {name}: {counter} {got} (floor {floor})")
 
     # 4. Informational compiled/legacy throughput ratios.
     for name in sorted(base_configs):

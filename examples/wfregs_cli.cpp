@@ -6,6 +6,7 @@
 //   wfregs_cli zoo <name>                  print a built-in type definition
 //   wfregs_cli print <file>                parse, validate and re-print
 //   wfregs_cli classify <file>             triviality + Section 5 witnesses
+//                                          + certified consensus-power bounds
 //   wfregs_cli oneuse <file>               synthesize + verify a one-use bit
 //   wfregs_cli hierarchy <file>            gather verified hierarchy evidence
 //   wfregs_cli eliminate <tas|queue|faa> <file>
@@ -46,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "wfregs/analysis/consensus_power.hpp"
 #include "wfregs/analysis/lint.hpp"
 #include "wfregs/consensus/check.hpp"
 #include "wfregs/consensus/protocols.hpp"
@@ -142,6 +144,19 @@ int cmd_classify(const TypeSpec& t) {
             << "deterministic: " << (t.is_deterministic() ? "yes" : "no")
             << "\n"
             << "oblivious:     " << (t.is_oblivious() ? "yes" : "no") << "\n";
+  if (t.is_total()) {
+    const auto power = analysis::classify_consensus_power(t);
+    std::cout << "cons bounds:   " << power.summary() << "\n";
+    for (const auto& claim : power.claims) {
+      const auto check = analysis::check_certificate(t, claim);
+      if (!check.ok) {
+        std::cout << "CERTIFICATE REJECTED ("
+                  << analysis::power_rule_name(claim.rule)
+                  << "): " << check.detail << "\n";
+        return kExitVerifyFail;
+      }
+    }
+  }
   if (!t.is_deterministic()) {
     std::cout << "the Section 5 deciders require determinism; stopping\n";
     return kExitOk;

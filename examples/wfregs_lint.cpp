@@ -7,12 +7,20 @@
 //                                    lint the Theorem 5 pipeline stages and
 //                                    cross-check static vs dynamic bounds
 //   wfregs_lint type <zoo-name>      Section 2.1 table lints for one type
+//   wfregs_lint consensus <zoo-name|all>
+//                                    static consensus-power classification:
+//                                    bounds + certificates, every
+//                                    certificate re-validated by the
+//                                    independent checker and the bounds
+//                                    cross-checked against the known
+//                                    (model-checked) answers
 //   wfregs_lint all                  everything above (except eliminate's
 //                                    slower queue/faa variants)
 //
-// Exit status is nonzero when any lint ERROR was reported (warnings pass).
-// `-v` prints the full report (diagnostics plus static bounds) even for
-// clean implementations.
+// Exit status is nonzero when any lint ERROR was reported (warnings pass),
+// any certificate fails its checker, or any static bound contradicts the
+// known answer.  `-v` prints the full report (diagnostics plus static
+// bounds) even for clean implementations.
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -21,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "wfregs/analysis/consensus_power.hpp"
 #include "wfregs/analysis/lint.hpp"
 #include "wfregs/consensus/protocols.hpp"
 #include "wfregs/core/access_bounds.hpp"
@@ -74,6 +83,8 @@ int cmd_protocols() {
   lint_one(*consensus::from_consensus_object(3));
   lint_one(*consensus::from_cas_ids(2));
   lint_one(*consensus::from_cas_ids(3));
+  lint_one(*consensus::from_shift_register(2, 2));
+  lint_one(*consensus::from_shift_register(3));
   lint_one(*consensus::registers_only_attempt(2));
   return EXIT_SUCCESS;
 }
@@ -124,7 +135,85 @@ const std::map<std::string, std::function<TypeSpec()>> kTypes{
     {"consensus", [] { return zoo::consensus_type(2); }},
     {"port_flag", [] { return zoo::port_flag_type(2); }},
     {"nondet_coin", [] { return zoo::nondet_coin_type(2); }},
+    {"shift_register1", [] { return zoo::shift_register_type(1, 2); }},
+    {"shift_register2", [] { return zoo::shift_register_type(2, 2); }},
+    {"shift_register3", [] { return zoo::shift_register_type(3, 2); }},
+    {"shift_register4", [] { return zoo::shift_register_type(4, 2); }},
 };
+
+/// Known (model-checked / paper) consensus numbers for the zoo entries above,
+/// at the port counts kTypes instantiates.  `exact` marks the types the
+/// static pass is expected to pin to a point interval.
+struct PowerExpect {
+  int known = 1;
+  bool exact = false;
+};
+
+const std::map<std::string, PowerExpect> kPowerExpect{
+    {"bit", {1, true}},
+    {"srsw_register4", {1, true}},
+    {"one_use_bit", {1, false}},       // nondeterministic: solo bound only
+    {"test_and_set", {2, false}},
+    {"cas", {2, false}},
+    {"sticky_bit", {2, false}},
+    {"queue", {2, false}},
+    {"consensus", {2, false}},
+    {"port_flag", {1, true}},
+    {"nondet_coin", {1, false}},       // nondeterministic: solo bound only
+    {"shift_register1", {2, false}},   // swap races even at width 1
+    {"shift_register2", {2, false}},
+    {"shift_register3", {2, false}},
+    {"shift_register4", {2, false}},
+};
+
+int consensus_one(const std::string& name, const TypeSpec& spec) {
+  const auto r = analysis::classify_consensus_power(spec);
+  std::cout << r.summary() << "\n";
+  for (const auto& claim : r.claims) {
+    const auto check = analysis::check_certificate(spec, claim);
+    if (!check.ok) {
+      std::cout << "  CERTIFICATE REJECTED ("
+                << analysis::power_rule_name(claim.rule)
+                << "): " << check.detail << "\n";
+      ++g_errors;
+    } else if (g_verbose) {
+      std::cout << "  certificate ok: " << analysis::power_rule_name(claim.rule)
+                << " (bound " << claim.bound << ")\n";
+    }
+  }
+  const auto it = kPowerExpect.find(name);
+  if (it == kPowerExpect.end()) return EXIT_SUCCESS;
+  const PowerExpect e = it->second;
+  // Soundness sandwich: the static interval must contain the known answer.
+  if (r.lower > e.known || (r.upper_finite && r.upper < e.known)) {
+    std::cout << "  BOUND CONTRADICTION: known cons = " << e.known
+              << " outside the static interval\n";
+    ++g_errors;
+  }
+  if (e.exact && !(r.upper_finite && r.lower == e.known &&
+                   r.upper == e.known)) {
+    std::cout << "  EXACTNESS REGRESSION: expected the static pass to pin "
+                 "cons = "
+              << e.known << "\n";
+    ++g_errors;
+  }
+  return EXIT_SUCCESS;
+}
+
+int cmd_consensus(const std::string& name) {
+  if (name == "all") {
+    for (const auto& [n, make] : kTypes) consensus_one(n, make());
+    return EXIT_SUCCESS;
+  }
+  const auto it = kTypes.find(name);
+  if (it == kTypes.end()) {
+    std::cerr << "unknown type " << name << "; available:";
+    for (const auto& [n, make] : kTypes) std::cerr << " " << n;
+    std::cerr << " all\n";
+    return EXIT_FAILURE;
+  }
+  return consensus_one(name, it->second());
+}
 
 int cmd_type(const std::string& name) {
   const auto it = kTypes.find(name);
@@ -153,7 +242,8 @@ int main(int argc, char** argv) {
   }
   if (args.empty()) {
     std::cerr << "usage: wfregs_lint [-v] "
-                 "chain|oneuse-array|protocols|eliminate|type|all ...\n";
+                 "chain|oneuse-array|protocols|eliminate|type|consensus|all "
+                 "...\n";
     return EXIT_FAILURE;
   }
   const std::string cmd = args.front();
@@ -173,10 +263,13 @@ int main(int argc, char** argv) {
         return EXIT_FAILURE;
       }
       rc = cmd_type(args[1]);
+    } else if (cmd == "consensus") {
+      rc = cmd_consensus(args.size() > 1 ? args[1] : "all");
     } else if (cmd == "all") {
       cmd_chain();
       cmd_oneuse_array();
       cmd_protocols();
+      cmd_consensus("all");
       rc = cmd_eliminate("tas");
     } else {
       std::cerr << "unknown command: " << cmd << "\n";

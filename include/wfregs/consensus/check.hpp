@@ -30,6 +30,10 @@ struct ConsensusCheckResult {
   bool solves = false;      ///< agreement + validity + wait-free, all inputs
   bool wait_free = true;
   bool complete = true;     ///< exploration finished within limits
+  /// True when the verdict came from options.static_consensus (no
+  /// exploration ran: depth/configs/terminals stay 0 and detail carries the
+  /// static justification instead of a violation trace).
+  bool static_decision = false;
   std::string detail;       ///< first violation description
   /// Section 4.2's D: the maximum depth over all 2^n execution trees.
   int depth = 0;

@@ -30,9 +30,12 @@
 
 namespace wfregs::hierarchy {
 
-/// A state q and invocation i with delta(q,i).resp != delta(q',i).resp where
-/// q' = delta(q,i).next: the first accessor of an object initialized to q
-/// learns it was first.
+/// A state q and invocation i such that, with process 0 on port 0 and
+/// process 1 on port min(1, ports-1), EACH accessor of an object
+/// initialized to q can tell from its own response whether it ran first or
+/// second (for oblivious types: delta(q,i).resp != delta(q',i).resp where
+/// q' = delta(q,i).next).  `first_resp` is port 0's first-place response;
+/// the port-1 value is recomputed from the type where needed.
 struct RaceWitness {
   StateId q = 0;
   InvId i = 0;

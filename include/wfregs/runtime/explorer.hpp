@@ -194,6 +194,21 @@ ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
                                 const ExploreOptions& options,
                                 int n_threads = 0);
 
+/// A static decision about a consensus job: produced by a
+/// VerifyOptions::static_consensus hook when theory already settles the
+/// question, letting check_consensus skip exploration entirely.  The hook
+/// vouches for every field: `solves` and `wait_free` must hold over ALL
+/// schedules (the standard hook, analysis::static_consensus_decider(), only
+/// ever refutes -- a sound upper bound proves no protocol exists, while no
+/// static argument can certify that a particular implementation is correct).
+struct StaticConsensusDecision {
+  bool solves = false;
+  bool wait_free = true;
+  /// Human-readable justification (the rules that fired), surfaced as the
+  /// verification detail.
+  std::string detail;
+};
+
 /// Options shared by the end-to-end verifiers (verify_linearizable,
 /// verify_regular, check_consensus): exploration limits plus the explorer
 /// thread count.
@@ -210,6 +225,15 @@ struct VerifyOptions {
   /// runtime layer stays independent of the analysis library.
   std::function<std::optional<std::string>(const Implementation&)>
       static_precheck;
+  /// Optional static consensus decider, run by check_consensus after the
+  /// precheck and before any exploration: return a StaticConsensusDecision
+  /// to answer the job without exploring (the result is marked
+  /// static_decision = true), nullopt to fall through to exploration.
+  /// analysis::static_consensus_decider() supplies the standard hook (the
+  /// certified consensus-power classifier); ignored by the linearizability
+  /// and regularity verifiers.
+  std::function<std::optional<StaticConsensusDecision>(const Implementation&)>
+      static_consensus;
   /// Reduction mode for every exploration the verifier runs (see REDUCTION
   /// above); kNone preserves historical behaviour bit for bit.
   Reduction reduction = Reduction::kNone;

@@ -49,6 +49,13 @@ struct VerifyJob {
   VerifyOptions options;
   /// Run the standard analysis::static_precheck() before exploring.
   bool precheck = false;
+  /// kConsensus only: try the certified consensus-power fast-path
+  /// (analysis::static_consensus_decider()) before exploring; statically
+  /// decided jobs skip exploration and their verdicts carry
+  /// Provenance::kStatic.  Part of the job identity (printed as a
+  /// `static-power` line only when set, so pre-existing job keys are
+  /// unchanged).
+  bool static_power = false;
 };
 
 /// Canonical text: `job <kind>` + scripts + normalized options + the

@@ -16,6 +16,8 @@ struct Metrics {
   std::uint64_t coalesced = 0;      ///< joined an identical in-flight job
   std::uint64_t rejected = 0;       ///< bounced off the full queue
   std::uint64_t completed = 0;      ///< verdicts computed to completion
+  std::uint64_t static_decisions = 0;  ///< verdicts decided by the certified
+                                       ///< static fast-path (no exploration)
   std::uint64_t cancelled = 0;      ///< deadline / shutdown cancellations
   std::uint64_t failed = 0;         ///< runner raised an exception
   std::uint64_t evictions = 0;      ///< finished-job entries aged out of the

@@ -31,6 +31,15 @@ enum class JobKind : std::uint8_t {
 
 const char* job_kind_name(JobKind kind);
 
+/// How a verdict was produced: by schedule exploration, or by the static
+/// consensus-power fast-path (certified classifier, no exploration ran).
+enum class Provenance : std::uint8_t {
+  kExplored = 0,
+  kStatic = 1,
+};
+
+const char* provenance_name(Provenance p);
+
 struct Verdict {
   JobKind kind = JobKind::kLinearizable;
   /// The headline verdict: linearizable / regular / solves-consensus.
@@ -43,8 +52,12 @@ struct Verdict {
   std::string detail;
   /// Aggregate exploration stats.  For consensus jobs configs/terminals are
   /// summed over the 2^n roots and depth is the max (the paper's D); edges
-  /// is 0 (the per-root checker does not expose it).
+  /// is 0 (the per-root checker does not expose it).  All zero for
+  /// statically decided jobs (no exploration ran).
   ExploreStats stats;
+  /// kStatic when the consensus-power fast-path answered the job without
+  /// exploring; the detail then carries the classifier's justification.
+  Provenance provenance = Provenance::kExplored;
 
   friend bool operator==(const Verdict&, const Verdict&);
 };
@@ -58,7 +71,15 @@ std::vector<std::uint8_t> encode_verdict(const Verdict& v);
 Verdict decode_verdict(const std::uint8_t* data, std::size_t size);
 
 /// The shared structured rendering: one JSON object with kind, verdict
-/// bits, detail and stats.
+/// bits, provenance, detail and stats.
 std::string verdict_to_json(const Verdict& v);
+
+/// The decision-relevant projection of a verdict: kind + ok + wait_free +
+/// complete, with stats zeroed, detail cleared and provenance normalized to
+/// kExplored.  Two verdicts for the same job agree as DECISIONS iff their
+/// projections encode to identical bytes -- the comparison the E15 bench
+/// gate uses, since a static verdict legitimately differs from an explored
+/// one in stats (all zero) and detail (a justification, not a trace).
+Verdict decision_projection(const Verdict& v);
 
 }  // namespace wfregs::service

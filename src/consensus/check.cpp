@@ -47,7 +47,9 @@ std::shared_ptr<System> consensus_scenario(
 
 ConsensusCheckResult check_consensus(
     std::shared_ptr<const Implementation> impl, const ExploreLimits& limits) {
-  return check_consensus(std::move(impl), VerifyOptions{limits, 0, {}});
+  VerifyOptions options;
+  options.limits = limits;
+  return check_consensus(std::move(impl), options);
 }
 
 ConsensusCheckResult check_consensus(
@@ -67,6 +69,17 @@ ConsensusCheckResult check_consensus(
       failed.solves = false;
       failed.detail = std::move(*err);
       return failed;
+    }
+  }
+  if (options.static_consensus) {
+    if (auto decision = options.static_consensus(*impl)) {
+      ConsensusCheckResult decided;
+      decided.solves = decision->solves;
+      decided.wait_free = decision->wait_free;
+      decided.complete = true;
+      decided.static_decision = true;
+      decided.detail = std::move(decision->detail);
+      return decided;
     }
   }
   ConsensusCheckResult result;

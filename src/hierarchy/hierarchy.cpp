@@ -17,12 +17,18 @@ std::optional<RaceWitness> find_race_witness(const TypeSpec& type) {
     throw std::invalid_argument(
         "find_race_witness: type must be deterministic");
   }
+  // The protocol runs process 0 on port 0 and process 1 on port `other`, so
+  // the race must be visible on the ports as wired: EACH side's second-place
+  // response must differ from its own first-place response (for oblivious
+  // types this collapses to the classic same-port condition).
+  const PortId other = type.ports() > 1 ? 1 : 0;
   for (StateId q = 0; q < type.num_states(); ++q) {
     for (InvId i = 0; i < type.num_invocations(); ++i) {
-      const Transition first = type.delta_det(q, 0, i);
-      const Transition second = type.delta_det(first.next, 0, i);
-      if (first.resp != second.resp) {
-        return RaceWitness{q, i, first.resp};
+      const Transition a_first = type.delta_det(q, 0, i);
+      const Transition b_first = type.delta_det(q, other, i);
+      if (type.delta_det(b_first.next, 0, i).resp != a_first.resp &&
+          type.delta_det(a_first.next, other, i).resp != b_first.resp) {
+        return RaceWitness{q, i, a_first.resp};
       }
     }
   }
@@ -53,12 +59,16 @@ std::shared_ptr<const Implementation> race_consensus(const TypeSpec& type) {
   const int racer = impl->add_base(std::make_shared<const TypeSpec>(type),
                                    witness->q, {0, other});
   for (int p = 0; p < 2; ++p) {
+    // Each process compares against ITS port's first-place response (they
+    // differ on non-oblivious types).
+    const PortId port = p == 0 ? 0 : other;
+    const RespId my_first = type.delta_det(witness->q, port, witness->i).resp;
     for (int v = 0; v < 2; ++v) {
       ProgramBuilder b;
       b.invoke(bits[p], lit(bit.write(v)), 0);
       b.invoke(racer, lit(witness->i), 1);
       const Label lost = b.make_label();
-      b.branch_if(!(reg(1) == lit(witness->first_resp)), lost);
+      b.branch_if(!(reg(1) == lit(my_first)), lost);
       b.ret(lit(v));
       b.bind(lost);
       b.invoke(bits[1 - p], lit(bit.read()), 2);

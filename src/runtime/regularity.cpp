@@ -79,8 +79,9 @@ RegularVerifyResult verify_regular(
     std::shared_ptr<const Implementation> impl,
     std::vector<std::vector<InvId>> scripts, int values,
     const ExploreLimits& limits) {
-  return verify_regular(std::move(impl), std::move(scripts), values,
-                        VerifyOptions{limits, 0, {}});
+  VerifyOptions options;
+  options.limits = limits;
+  return verify_regular(std::move(impl), std::move(scripts), values, options);
 }
 
 RegularVerifyResult verify_regular(

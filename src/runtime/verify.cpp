@@ -10,8 +10,9 @@ namespace wfregs {
 VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,
                                  std::vector<std::vector<InvId>> scripts,
                                  const ExploreLimits& limits) {
-  return verify_linearizable(std::move(impl), std::move(scripts),
-                             VerifyOptions{limits, 0, {}});
+  VerifyOptions options;
+  options.limits = limits;
+  return verify_linearizable(std::move(impl), std::move(scripts), options);
 }
 
 VerifyResult verify_linearizable(std::shared_ptr<const Implementation> impl,

@@ -72,6 +72,9 @@ std::string print_job(const VerifyJob& job) {
   if (!job.impl) throw std::runtime_error("print_job: null implementation");
   std::ostringstream out;
   out << "job " << job_kind_name(job.kind) << "\n";
+  // Emitted only when set: job texts (and so keys) from before the flag
+  // existed stay stable.
+  if (job.static_power) out << "static-power\n";
   if (job.kind == JobKind::kRegular) out << "values " << job.values << "\n";
   if (job.kind != JobKind::kConsensus) {
     for (std::size_t p = 0; p < job.scripts.size(); ++p) {
@@ -117,6 +120,11 @@ VerifyJob parse_job(const std::string& text) {
     ++i;
   }
   skip_blank();
+  if (i < lines.size() && lines[i] == "static-power") {
+    job.static_power = true;
+    ++i;
+    skip_blank();
+  }
   if (job.kind == JobKind::kRegular) {
     if (i >= lines.size()) fail_at(i, "expected 'values <n>'");
     std::istringstream in(lines[i]);

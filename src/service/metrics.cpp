@@ -12,6 +12,7 @@ std::string metrics_to_json(const Metrics& m) {
       << ",\"coalesced\":" << m.coalesced
       << ",\"rejected\":" << m.rejected
       << ",\"completed\":" << m.completed
+      << ",\"static_decisions\":" << m.static_decisions
       << ",\"cancelled\":" << m.cancelled
       << ",\"failed\":" << m.failed
       << ",\"evictions\":" << m.evictions

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "wfregs/analysis/consensus_power.hpp"
 #include "wfregs/analysis/lint.hpp"
 #include "wfregs/consensus/check.hpp"
 #include "wfregs/runtime/regularity.hpp"
@@ -81,11 +82,20 @@ JobScheduler::Runner JobScheduler::default_runner(int explore_threads) {
         break;
       }
       case JobKind::kConsensus: {
+        // The fast-path is installed INSIDE the runner (not at admission)
+        // so cache lookups, coalescing and verdict storage see statically
+        // decided jobs exactly like explored ones -- one code path, one
+        // cache-coherence story; only provenance records the difference.
+        if (job.static_power) {
+          options.static_consensus = analysis::static_consensus_decider();
+        }
         const consensus::ConsensusCheckResult r =
             consensus::check_consensus(job.impl, options);
         v.ok = r.solves;
         v.wait_free = r.wait_free;
         v.complete = r.complete;
+        v.provenance = r.static_decision ? Provenance::kStatic
+                                         : Provenance::kExplored;
         v.detail = r.detail;
         v.stats.configs = r.configs;
         v.stats.terminals = r.terminals;
@@ -242,6 +252,9 @@ void JobScheduler::worker_main() {
 void JobScheduler::finish(const std::shared_ptr<InFlight>& job, Verdict verdict,
                           JobState state) {
   // Caller holds mu_.
+  if (state == JobState::kDone && verdict.provenance == Provenance::kStatic) {
+    metrics_.static_decisions += 1;
+  }
   if (state == JobState::kDone && verdict.complete) {
     const Clock::time_point t0 = Clock::now();
     store_.put(job->key, verdict);

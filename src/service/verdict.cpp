@@ -59,7 +59,8 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-constexpr std::uint8_t kVersion = 1;
+// Version 2 added the provenance byte (after the flags byte).
+constexpr std::uint8_t kVersion = 2;
 
 void json_escape_into(std::ostream& out, const std::string& s) {
   for (const char ch : s) {
@@ -91,9 +92,18 @@ const char* job_kind_name(JobKind kind) {
   return "unknown";
 }
 
+const char* provenance_name(Provenance p) {
+  switch (p) {
+    case Provenance::kExplored: return "explored";
+    case Provenance::kStatic: return "static";
+  }
+  return "unknown";
+}
+
 bool operator==(const Verdict& a, const Verdict& b) {
   return a.kind == b.kind && a.ok == b.ok && a.wait_free == b.wait_free &&
-         a.complete == b.complete && a.detail == b.detail &&
+         a.complete == b.complete && a.provenance == b.provenance &&
+         a.detail == b.detail &&
          a.stats.configs == b.stats.configs && a.stats.edges == b.stats.edges &&
          a.stats.terminals == b.stats.terminals &&
          a.stats.interned_configs == b.stats.interned_configs &&
@@ -109,6 +119,7 @@ std::vector<std::uint8_t> encode_verdict(const Verdict& v) {
   out.push_back(static_cast<std::uint8_t>((v.ok ? 1 : 0) |
                                           (v.wait_free ? 2 : 0) |
                                           (v.complete ? 4 : 0)));
+  out.push_back(static_cast<std::uint8_t>(v.provenance));
   push_u64(out, v.stats.configs);
   push_u64(out, v.stats.edges);
   push_u64(out, v.stats.terminals);
@@ -142,6 +153,11 @@ Verdict decode_verdict(const std::uint8_t* data, std::size_t size) {
   v.ok = flags & 1;
   v.wait_free = flags & 2;
   v.complete = flags & 4;
+  const std::uint8_t prov = in.u8();
+  if (prov > static_cast<std::uint8_t>(Provenance::kStatic)) {
+    throw std::runtime_error("decode_verdict: unknown provenance");
+  }
+  v.provenance = static_cast<Provenance>(prov);
   v.stats.configs = in.u64();
   v.stats.edges = in.u64();
   v.stats.terminals = in.u64();
@@ -174,6 +190,7 @@ std::string verdict_to_json(const Verdict& v) {
       << ",\"ok\":" << (v.ok ? "true" : "false")
       << ",\"wait_free\":" << (v.wait_free ? "true" : "false")
       << ",\"complete\":" << (v.complete ? "true" : "false")
+      << ",\"provenance\":\"" << provenance_name(v.provenance) << "\""
       << ",\"detail\":\"";
   json_escape_into(out, v.detail);
   out << "\",\"stats\":{\"configs\":" << v.stats.configs
@@ -195,6 +212,15 @@ std::string verdict_to_json(const Verdict& v) {
   }
   out << "]}}";
   return out.str();
+}
+
+Verdict decision_projection(const Verdict& v) {
+  Verdict p;
+  p.kind = v.kind;
+  p.ok = v.ok;
+  p.wait_free = v.wait_free;
+  p.complete = v.complete;
+  return p;
 }
 
 }  // namespace wfregs::service

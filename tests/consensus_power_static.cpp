@@ -1,0 +1,481 @@
+// Differential and adversarial tests for the static consensus-power
+// classifier (analysis::classify_consensus_power):
+//
+//   * a zoo sweep pinning the expected bounds per type, with every emitted
+//     certificate re-validated by the independent checker;
+//   * model-checking differentials: each static lower bound is witnessed by
+//     an actual protocol (hierarchy race/adopt construction) that
+//     check_consensus verifies, so static claims are sandwiched by dynamic
+//     ground truth;
+//   * shift registers w = 1..4 (the Aspnes family) never contradict the
+//     model checker;
+//   * hand-corrupted certificates -- tampered dispositions, response
+//     tables, race histories, decide tables -- must be REJECTED;
+//   * the family rule (classify_family / check_family_result) and the
+//     register-shape probe;
+//   * the static fast-path decider: refutes registers-only consensus
+//     without exploration and agrees with full exploration bit for bit on
+//     the solves/wait_free verdict.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "wfregs/analysis/consensus_power.hpp"
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/hierarchy/hierarchy.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace wfregs {
+namespace {
+
+using analysis::CertCheckResult;
+using analysis::check_certificate;
+using analysis::check_family_result;
+using analysis::classify_consensus_power;
+using analysis::classify_family;
+using analysis::CommuteOverwriteCert;
+using analysis::ConsensusPowerResult;
+using analysis::AdoptCert;
+using analysis::FamilyCert;
+using analysis::PowerClaim;
+using analysis::PowerRule;
+using analysis::RaceCert;
+using analysis::TrivialGeneralCert;
+using analysis::TrivialObliviousCert;
+
+// Classifies and re-validates every claim; returns the result.
+ConsensusPowerResult classify_checked(const TypeSpec& t) {
+  ConsensusPowerResult r = classify_consensus_power(t);
+  for (const PowerClaim& claim : r.claims) {
+    const CertCheckResult c = check_certificate(t, claim);
+    EXPECT_TRUE(c.ok) << t.name() << " [" << power_rule_name(claim.rule)
+                      << "]: " << c.detail;
+  }
+  return r;
+}
+
+// ---- the zoo sweep ---------------------------------------------------------
+
+struct Expected {
+  TypeSpec type;
+  int lower;
+  bool upper_finite;
+};
+
+TEST(StaticPower, RegisterLikeTypesAreExactlyOne) {
+  // cons = 1 exactly: lower 1 (solo) meets upper 1 (commute-or-overwrite or
+  // triviality).  These are the >= 6 exact matches of the acceptance gate.
+  const TypeSpec exact_one[] = {
+      zoo::bit_type(2),
+      zoo::register_type(3, 2),
+      zoo::srsw_register_type(4),
+      zoo::srsw_bit_type(),
+      zoo::mrsw_register_type(2, 2),
+      zoo::snapshot_type(2, 2),
+      zoo::trivial_toggle_type(2),
+      zoo::trivial_sink_type(2),
+      zoo::port_flag_type(2),
+  };
+  int exact = 0;
+  for (const TypeSpec& t : exact_one) {
+    const ConsensusPowerResult r = classify_checked(t);
+    EXPECT_EQ(r.lower, 1) << r.summary();
+    EXPECT_TRUE(r.upper_finite) << r.summary();
+    EXPECT_EQ(r.upper, 1) << r.summary();
+    if (r.lower == 1 && r.upper_finite && r.upper == 1) ++exact;
+  }
+  EXPECT_GE(exact, 6);
+}
+
+TEST(StaticPower, RacyTypesAreAtLeastTwo) {
+  const TypeSpec at_least_two[] = {
+      zoo::test_and_set_type(2),
+      zoo::cas_type(2, 2),
+      zoo::fetch_and_add_type(3, 2),
+      zoo::mod_counter_type(3, 2),
+      zoo::queue_type(2, 2, 2),
+      zoo::stack_type(2, 2, 2),
+  };
+  for (const TypeSpec& t : at_least_two) {
+    const ConsensusPowerResult r = classify_checked(t);
+    EXPECT_GE(r.lower, 2) << r.summary();
+    EXPECT_FALSE(r.upper_finite) << r.summary();
+  }
+}
+
+TEST(StaticPower, FirstValueRevealersGetAdoptDepthTwo) {
+  const TypeSpec adopters[] = {
+      zoo::sticky_bit_type(2),
+      zoo::consensus_type(2),
+      zoo::cas_old_type(3, 2),
+  };
+  for (const TypeSpec& t : adopters) {
+    const ConsensusPowerResult r = classify_checked(t);
+    EXPECT_GE(r.lower, 2) << r.summary();
+    bool has_adopt = false;
+    for (const PowerClaim& claim : r.claims) {
+      has_adopt = has_adopt || claim.rule == PowerRule::kAdoptLower;
+    }
+    EXPECT_TRUE(has_adopt) << r.summary();
+  }
+}
+
+TEST(StaticPower, AdoptDepthScalesWithConsensusObjectPorts) {
+  // An n-port consensus object carries a depth-n adopt gadget: every
+  // invoker's old-value response is the first proposal.
+  for (int n = 2; n <= 4; ++n) {
+    const ConsensusPowerResult r = classify_checked(zoo::consensus_type(n));
+    EXPECT_GE(r.lower, n) << r.summary();
+  }
+}
+
+TEST(StaticPower, NondeterministicTypesGetSoloOnly) {
+  const TypeSpec nondet[] = {
+      zoo::one_use_bit_type(),
+      zoo::nondet_coin_type(2),
+      zoo::weak_bit_type(zoo::WeakBitKind::kSafe),
+  };
+  for (const TypeSpec& t : nondet) {
+    const ConsensusPowerResult r = classify_checked(t);
+    EXPECT_FALSE(r.deterministic);
+    EXPECT_EQ(r.lower, 1) << r.summary();
+    EXPECT_FALSE(r.upper_finite) << r.summary();
+    EXPECT_EQ(r.claims.size(), 1u) << r.summary();
+    EXPECT_EQ(r.claims[0].rule, PowerRule::kSoloLower);
+  }
+}
+
+TEST(StaticPower, SinglePortTypesAreVacuouslyOne) {
+  // One port = no cross-process communication through the object at all.
+  const ConsensusPowerResult r = classify_checked(zoo::shift_register_type(1, 1));
+  EXPECT_EQ(r.lower, 1) << r.summary();
+  EXPECT_TRUE(r.upper_finite) << r.summary();
+  EXPECT_EQ(r.upper, 1) << r.summary();
+}
+
+// ---- shift registers (the Aspnes family) -----------------------------------
+
+TEST(StaticPower, ShiftRegistersNeverContradictTheModelChecker) {
+  // This zoo's shift register returns the OLD contents on shl, so even
+  // w = 1 races (shl is a swap); the static pass must put cons in
+  // [2, inf) for every width.  The model checker confirms the lower bound
+  // with an actual protocol: at w = 1 the race construction (one swap
+  // object + announce registers -- registers are allowed by cons), and for
+  // w >= 2 the register-free PR-6 shift-register protocol itself.
+  for (int w = 1; w <= 4; ++w) {
+    const TypeSpec t = zoo::shift_register_type(w, 2);
+    const ConsensusPowerResult r = classify_checked(t);
+    EXPECT_GE(r.lower, 2) << r.summary();
+    EXPECT_FALSE(r.upper_finite) << r.summary();
+
+    const auto protocol = w == 1 ? hierarchy::race_consensus(t)
+                                 : consensus::from_shift_register(2, w);
+    ASSERT_NE(protocol, nullptr) << "w=" << w;
+    const auto checked = consensus::check_consensus(protocol);
+    ASSERT_TRUE(checked.complete) << "w=" << w;
+    EXPECT_TRUE(checked.solves)
+        << "w=" << w << ": " << checked.detail;  // cons >= 2 >= static L
+  }
+}
+
+// ---- model-checked differentials for the lower-bound gadgets ---------------
+
+TEST(StaticPower, RaceLowerBoundIsWitnessedByAVerifiedProtocol) {
+  // Static claim: race => cons >= 2.  Dynamic witness: the publish/race/
+  // adopt protocol (one object + announce bits) model-checks as solving
+  // 2-process consensus.
+  const TypeSpec racy[] = {
+      zoo::test_and_set_type(2),
+      zoo::fetch_and_add_type(3, 2),
+      zoo::shift_register_type(1, 2),
+  };
+  for (const TypeSpec& t : racy) {
+    const ConsensusPowerResult r = classify_checked(t);
+    bool has_race = false;
+    for (const PowerClaim& claim : r.claims) {
+      has_race = has_race || claim.rule == PowerRule::kRaceLower;
+    }
+    ASSERT_TRUE(has_race) << r.summary();
+    const auto protocol = hierarchy::race_consensus(t);
+    ASSERT_NE(protocol, nullptr) << t.name();
+    const auto checked = consensus::check_consensus(protocol);
+    ASSERT_TRUE(checked.complete) << t.name();
+    EXPECT_TRUE(checked.solves) << t.name() << ": " << checked.detail;
+  }
+}
+
+TEST(StaticPower, AdoptLowerBoundIsWitnessedByAVerifiedProtocol) {
+  // Static claim: depth-2 adopt => cons >= 2 with NO registers.  Dynamic
+  // witness: the one-object protocol solves 2-process consensus.
+  const TypeSpec adopters[] = {
+      zoo::sticky_bit_type(2),
+      zoo::consensus_type(2),
+  };
+  for (const TypeSpec& t : adopters) {
+    const auto protocol = hierarchy::adopt_consensus(t);
+    ASSERT_NE(protocol, nullptr) << t.name();
+    const auto checked = consensus::check_consensus(protocol);
+    ASSERT_TRUE(checked.complete) << t.name();
+    EXPECT_TRUE(checked.solves) << t.name() << ": " << checked.detail;
+  }
+  // Depth 3: three processes on one consensus object.
+  const auto three = consensus::check_consensus(
+      consensus::from_consensus_object(3));
+  ASSERT_TRUE(three.complete);
+  EXPECT_TRUE(three.solves) << three.detail;
+}
+
+// ---- corrupted certificates must be rejected (satellite 3) -----------------
+
+PowerClaim claim_with_rule(const ConsensusPowerResult& r, PowerRule rule) {
+  for (const PowerClaim& claim : r.claims) {
+    if (claim.rule == rule) return claim;
+  }
+  ADD_FAILURE() << "no claim with rule " << power_rule_name(rule) << " in "
+                << r.summary();
+  return {};
+}
+
+TEST(StaticPower, TamperedCommutationEntryIsRejected) {
+  const TypeSpec t = zoo::register_type(2, 2);
+  PowerClaim claim =
+      claim_with_rule(classify_checked(t), PowerRule::kCommuteOverwriteUpper);
+  auto& cert = std::get<CommuteOverwriteCert>(claim.cert);
+  // Flip every used entry in turn until one flips the verdict; a wrong
+  // disposition anywhere must be caught.
+  bool caught = false;
+  for (std::size_t k = 0; k < cert.dispositions.size() && !caught; ++k) {
+    if (cert.dispositions[k] == analysis::kPairUnused) continue;
+    const std::uint8_t keep = cert.dispositions[k];
+    cert.dispositions[k] = (keep + 1) % 3;
+    caught = !check_certificate(t, claim).ok;
+    cert.dispositions[k] = keep;
+  }
+  EXPECT_TRUE(caught);
+  // Truncated table: rejected outright.
+  cert.dispositions.pop_back();
+  EXPECT_FALSE(check_certificate(t, claim).ok);
+}
+
+TEST(StaticPower, TamperedTrivialityTablesAreRejected) {
+  const TypeSpec toggle = zoo::trivial_toggle_type(2);
+  const ConsensusPowerResult r = classify_checked(toggle);
+  {
+    PowerClaim claim = claim_with_rule(r, PowerRule::kTrivialObliviousUpper);
+    auto& cert = std::get<TrivialObliviousCert>(claim.cert);
+    cert.resp[0] = static_cast<RespId>(cert.resp[0] + 1);
+    const CertCheckResult c = check_certificate(toggle, claim);
+    EXPECT_FALSE(c.ok);
+    EXPECT_FALSE(c.detail.empty());
+  }
+  {
+    PowerClaim claim = claim_with_rule(r, PowerRule::kTrivialGeneralUpper);
+    auto& cert = std::get<TrivialGeneralCert>(claim.cert);
+    // Merging two distinct trace classes fabricates an equivalence the
+    // checker's bisimulation pass must refute (a toggle's two states answer
+    // read differently), or -- if all states already share a class --
+    // splitting one state out breaks foreign-port invariance.
+    std::vector<int> orig = cert.classes;
+    bool tampered = false;
+    for (std::size_t k = 1; k < cert.classes.size() && !tampered; ++k) {
+      if (cert.classes[k] != cert.classes[0]) {
+        cert.classes[k] = cert.classes[0];
+        tampered = true;
+      }
+    }
+    if (!tampered) cert.classes[0] = cert.classes[0] + 1;
+    EXPECT_FALSE(check_certificate(toggle, claim).ok);
+  }
+}
+
+TEST(StaticPower, TamperedRaceHistoryIsRejected) {
+  const TypeSpec tas = zoo::test_and_set_type(2);
+  const PowerClaim good =
+      claim_with_rule(classify_checked(tas), PowerRule::kRaceLower);
+  {
+    // Claim the wrong second-application response.
+    PowerClaim claim = good;
+    auto& cert = std::get<RaceCert>(claim.cert);
+    cert.second_a = cert.first_a;  // "the race is invisible"
+    EXPECT_FALSE(check_certificate(tas, claim).ok);
+  }
+  {
+    // Tamper the embedded non-trivial pair's history.
+    PowerClaim claim = good;
+    auto& cert = std::get<RaceCert>(claim.cert);
+    cert.pair.written_resp = cert.pair.unwritten_resp;
+    EXPECT_FALSE(check_certificate(tas, claim).ok);
+  }
+  {
+    // A race on one port is no race.
+    PowerClaim claim = good;
+    auto& cert = std::get<RaceCert>(claim.cert);
+    cert.port_b = cert.port_a;
+    EXPECT_FALSE(check_certificate(tas, claim).ok);
+  }
+  {
+    // Wrong bound for the rule.
+    PowerClaim claim = good;
+    claim.bound = 3;
+    EXPECT_FALSE(check_certificate(tas, claim).ok);
+  }
+}
+
+TEST(StaticPower, TamperedAdoptTableIsRejected) {
+  const TypeSpec sticky = zoo::sticky_bit_type(2);
+  const PowerClaim good =
+      claim_with_rule(classify_checked(sticky), PowerRule::kAdoptLower);
+  {
+    // Rewrite a reachable decide entry: some execution now decodes the
+    // wrong first value.
+    PowerClaim claim = good;
+    auto& cert = std::get<AdoptCert>(claim.cert);
+    bool caught = false;
+    for (int& d : cert.decide) {
+      if (d == -1) continue;
+      const int keep = d;
+      d = 1 - d;
+      caught = caught || !check_certificate(sticky, claim).ok;
+      d = keep;
+    }
+    EXPECT_TRUE(caught);
+  }
+  {
+    // Inflate the claimed depth beyond the table's consistency.
+    PowerClaim claim = good;
+    auto& cert = std::get<AdoptCert>(claim.cert);
+    cert.depth = cert.depth + 1;
+    claim.bound = cert.depth;
+    EXPECT_FALSE(check_certificate(sticky, claim).ok);
+  }
+  {
+    // Mismatched variant: a race claim carrying an adopt table.
+    PowerClaim claim = good;
+    claim.rule = PowerRule::kRaceLower;
+    claim.bound = 2;
+    EXPECT_FALSE(check_certificate(sticky, claim).ok);
+  }
+}
+
+// ---- the family rule -------------------------------------------------------
+
+TEST(StaticPower, FamilyOfRegistersIsAbsorbed) {
+  const std::vector<TypeSpec> family = {
+      zoo::bit_type(2), zoo::register_type(3, 2), zoo::srsw_register_type(2)};
+  const auto r = classify_family(family);
+  EXPECT_EQ(r.lower, 1);
+  EXPECT_TRUE(r.upper_finite);
+  EXPECT_EQ(r.upper, 1);
+  ASSERT_TRUE(r.augmentation.has_value());
+  EXPECT_EQ(r.augmentation->rule, PowerRule::kRegisterAugmentation);
+  const CertCheckResult c = check_family_result(family, r);
+  EXPECT_TRUE(c.ok) << c.detail;
+}
+
+TEST(StaticPower, FamilyInheritsTheStrongestMemberLowerBound) {
+  const std::vector<TypeSpec> family = {zoo::bit_type(2),
+                                        zoo::consensus_type(3)};
+  const auto r = classify_family(family);
+  EXPECT_GE(r.lower, 3);
+  EXPECT_FALSE(r.upper_finite);
+  EXPECT_FALSE(r.augmentation.has_value());
+  const CertCheckResult c = check_family_result(family, r);
+  EXPECT_TRUE(c.ok) << c.detail;
+}
+
+TEST(StaticPower, TamperedFamilyResultIsRejected) {
+  const std::vector<TypeSpec> family = {zoo::bit_type(2),
+                                        zoo::register_type(2, 2)};
+  auto r = classify_family(family);
+  ASSERT_TRUE(check_family_result(family, r).ok);
+  {
+    auto bad = r;
+    bad.lower = 2;  // not backed by any member claim
+    EXPECT_FALSE(check_family_result(family, bad).ok);
+  }
+  {
+    auto bad = r;
+    bad.members[0].upper = 3;  // family rule only ever certifies 1
+    EXPECT_FALSE(check_family_result(family, bad).ok);
+  }
+  {
+    // A FamilyCert claim routed to the single-type checker must fail.
+    EXPECT_FALSE(check_certificate(family[0], *r.augmentation).ok);
+  }
+}
+
+TEST(StaticPower, RegisterShapeProbe) {
+  EXPECT_TRUE(analysis::is_register_shaped(zoo::register_type(3, 2)));
+  EXPECT_TRUE(analysis::is_register_shaped(zoo::bit_type(2)));
+  EXPECT_FALSE(analysis::is_register_shaped(zoo::test_and_set_type(2)));
+  EXPECT_FALSE(analysis::is_register_shaped(zoo::sticky_bit_type(2)));
+  EXPECT_FALSE(analysis::is_register_shaped(zoo::fetch_and_add_type(3, 2)));
+}
+
+// ---- the static fast-path decider ------------------------------------------
+
+TEST(StaticPower, DeciderRefutesRegistersOnlyConsensusWithoutExploring) {
+  const auto impl = consensus::registers_only_attempt(2);
+  const auto decider = analysis::static_consensus_decider();
+  const auto decision = decider(*impl);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_FALSE(decision->solves);
+  EXPECT_TRUE(decision->wait_free);
+  EXPECT_NE(decision->detail.find("cons <= 1"), std::string::npos)
+      << decision->detail;
+}
+
+TEST(StaticPower, DeciderDeclinesWhenABaseTypeIsStrong) {
+  const auto decider = analysis::static_consensus_decider();
+  EXPECT_FALSE(decider(*consensus::from_test_and_set()).has_value());
+  EXPECT_FALSE(decider(*consensus::from_sticky_bit(2)).has_value());
+}
+
+TEST(StaticPower, FastPathAgreesWithFullExploration) {
+  // The differential that matters: on a statically decidable job the
+  // fast-path and the explorer return the same solves/wait_free verdict.
+  for (int n = 2; n <= 3; ++n) {
+    const auto impl = consensus::registers_only_attempt(n);
+
+    VerifyOptions fast;
+    fast.static_consensus = analysis::static_consensus_decider();
+    const auto s = consensus::check_consensus(impl, fast);
+    ASSERT_TRUE(s.static_decision);
+    ASSERT_TRUE(s.complete);
+
+    const auto full = consensus::check_consensus(impl, VerifyOptions{});
+    ASSERT_TRUE(full.complete);
+    ASSERT_FALSE(full.static_decision);
+    EXPECT_EQ(s.solves, full.solves);
+    EXPECT_EQ(s.wait_free, full.wait_free);
+  }
+}
+
+TEST(StaticPower, ExplorationPathIsUntouchedWhenDeciderDeclines) {
+  VerifyOptions options;
+  options.static_consensus = analysis::static_consensus_decider();
+  const auto r =
+      consensus::check_consensus(consensus::from_test_and_set(), options);
+  EXPECT_FALSE(r.static_decision);
+  EXPECT_TRUE(r.solves) << r.detail;
+}
+
+// ---- misc ------------------------------------------------------------------
+
+TEST(StaticPower, SummaryMentionsBoundsAndRules) {
+  const auto r = classify_checked(zoo::test_and_set_type(2));
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("cons in [2, inf]"), std::string::npos) << s;
+  EXPECT_NE(s.find("race"), std::string::npos) << s;
+}
+
+TEST(StaticPower, NonTotalSpecThrows) {
+  TypeSpec partial("partial", 2, 2, 2, 2);
+  partial.add(0, 0, 0, 1, 0);  // single entry: everything else undefined
+  EXPECT_THROW(classify_consensus_power(partial), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wfregs

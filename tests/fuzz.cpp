@@ -11,7 +11,10 @@
 #include <numeric>
 
 #include "test_support.hpp"
+#include "wfregs/analysis/consensus_power.hpp"
 #include "wfregs/analysis/lint.hpp"
+#include "wfregs/consensus/check.hpp"
+#include "wfregs/hierarchy/hierarchy.hpp"
 #include "wfregs/core/bounded_register.hpp"
 #include "wfregs/native/runtime.hpp"
 #include "wfregs/runtime/explorer.hpp"
@@ -346,6 +349,90 @@ TEST(Fuzz, CompiledTypeMatchesSpecOnRandomTypes) {
     const TypeSpec t = random_type(params, seed);
     SCOPED_TRACE("seed " + std::to_string(seed));
     expect_compiled_matches(t);
+  }
+}
+
+TEST(Fuzz, StaticConsensusBoundsNeverContradictTheModelChecker) {
+  // Differential gate for the static consensus-power classifier: on seeded
+  // random types, every emitted certificate must pass the independent
+  // checker, a finite static upper bound must agree with the hierarchy
+  // harness's exhaustive witness searches (a race or adopt witness IS a
+  // verified 2-consensus protocol, so its existence would contradict
+  // cons <= 1), and a static lower bound >= 2 whose gadget the harness can
+  // also realize must yield a protocol the model checker accepts.  Any
+  // failure saves the type as a repro artifact.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    RandomTypeParams params;
+    params.ports = 2;
+    params.num_states = 2 + static_cast<int>(seed % 4);
+    params.num_invocations = 1 + static_cast<int>(seed % 3);
+    params.num_responses = 2 + static_cast<int>(seed % 3);
+    params.oblivious = (seed % 5) == 0;
+    params.branching = 1 + static_cast<int>(seed % 3 == 0 ? 1 : 0);
+    const TypeSpec t = random_type(params, seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    if (!t.is_total()) continue;
+
+    auto repro = [&](const std::string& what) {
+      const std::string path =
+          "fuzz_static_power_repro_seed" + std::to_string(seed) + ".wfregs";
+      save_type(t, path);
+      ADD_FAILURE() << what << " at seed " << seed << "; type saved to "
+                    << path << "; repro type:\n"
+                    << print_type(t);
+    };
+
+    analysis::ConsensusPowerResult r;
+    try {
+      r = analysis::classify_consensus_power(t);
+    } catch (const std::exception& e) {
+      repro(std::string("classifier threw: ") + e.what());
+      continue;
+    }
+    for (const auto& claim : r.claims) {
+      const auto check = analysis::check_certificate(t, claim);
+      if (!check.ok) {
+        repro(std::string("certificate rejected (") +
+              analysis::power_rule_name(claim.rule) + "): " + check.detail);
+      }
+    }
+    if (r.upper_finite && r.lower > r.upper) {
+      repro("contradictory interval");
+      continue;
+    }
+
+    if (!t.is_deterministic()) {
+      // Nondeterministic types must get the solo bound only -- the static
+      // rules argue over delta as a function.
+      if (r.lower != 1 || r.upper_finite) repro("nondeterministic overclaim");
+      continue;
+    }
+
+    if (r.upper_finite) {
+      // cons <= 1 certified: the exhaustive harness searches must agree
+      // that no single-object 2-consensus gadget exists.
+      if (hierarchy::find_race_witness(t)) {
+        repro("static upper bound 1 but a race witness exists");
+      }
+      if (hierarchy::find_adopt_witness(t)) {
+        repro("static upper bound 1 but an adopt witness exists");
+      }
+    }
+    if (r.lower >= 2) {
+      // cons >= 2 certified: when the harness can realize a gadget of its
+      // own, the resulting protocol must model-check.  (The static race
+      // gadget is broader than the harness's same-invocation witness, so a
+      // null protocol here is not by itself a contradiction.)
+      auto protocol = hierarchy::race_consensus(t);
+      if (!protocol) protocol = hierarchy::adopt_consensus(t);
+      if (protocol) {
+        const auto verdict = consensus::check_consensus(protocol);
+        if (!verdict.complete || !verdict.solves) {
+          repro("static lower bound 2 but the harness protocol fails: " +
+                verdict.detail);
+        }
+      }
+    }
   }
 }
 

@@ -294,5 +294,81 @@ TEST(JobScheduler, CachedVerdictsAreBitIdenticalToFreshRecomputation) {
   std::remove(store.c_str());
 }
 
+TEST(JobScheduler, StaticPowerJobsSkipExplorationButKeepTheDecision) {
+  const std::string store =
+      ::testing::TempDir() + "wfregs_sched_static_" +
+      std::to_string(::getpid()) + ".log";
+  std::remove(store.c_str());
+  SchedulerOptions options = one_worker();
+  options.store_path = store;
+  JobScheduler sched(options);  // the real default runner
+
+  VerifyJob job;
+  job.kind = JobKind::kConsensus;
+  job.impl = consensus::registers_only_attempt(2);
+  job.static_power = true;
+
+  // The flag is part of the job identity: same implementation, different
+  // keys, so the static and explored verdicts never alias in the store.
+  VerifyJob explored_job = job;
+  explored_job.static_power = false;
+  EXPECT_FALSE(job_key(job) == job_key(explored_job));
+
+  const Submitted fast = sched.submit(job);
+  const Verdict statically = fast.result.get();
+  EXPECT_EQ(statically.provenance, Provenance::kStatic);
+  EXPECT_FALSE(statically.ok);
+  EXPECT_TRUE(statically.wait_free);
+  EXPECT_TRUE(statically.complete);
+  EXPECT_EQ(statically.stats.configs, 0u);  // no exploration ran
+  EXPECT_NE(statically.detail.find("statically refuted"), std::string::npos);
+  EXPECT_EQ(sched.metrics().static_decisions, 1u);
+
+  const Submitted slow = sched.submit(explored_job);
+  const Verdict explored = slow.result.get();
+  EXPECT_EQ(explored.provenance, Provenance::kExplored);
+  EXPECT_GT(explored.stats.configs, 0u);
+  EXPECT_EQ(sched.metrics().static_decisions, 1u);
+
+  // Same decision either way, and the cached static verdict replays with
+  // its provenance intact.
+  EXPECT_EQ(encode_verdict(decision_projection(statically)),
+            encode_verdict(decision_projection(explored)));
+  const Submitted warm = sched.submit(job);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_TRUE(warm.result.get() == statically);
+  EXPECT_EQ(sched.metrics().static_decisions, 1u);  // cache hit, no re-decide
+
+  // A static-power job the decider declines (strong base objects) falls
+  // back to full exploration and reports it honestly.
+  VerifyJob strong;
+  strong.kind = JobKind::kConsensus;
+  strong.impl = consensus::from_test_and_set();
+  strong.static_power = true;
+  const Verdict fallback = sched.submit(strong).result.get();
+  EXPECT_EQ(fallback.provenance, Provenance::kExplored);
+  EXPECT_TRUE(fallback.ok);
+  EXPECT_GT(fallback.stats.configs, 0u);
+  std::remove(store.c_str());
+}
+
+TEST(JobScheduler, StaticPowerFlagRoundTripsThroughTheJobText) {
+  VerifyJob job;
+  job.kind = JobKind::kConsensus;
+  job.impl = consensus::registers_only_attempt(2);
+  job.static_power = true;
+  const std::string text = print_job(job);
+  EXPECT_NE(text.find("static-power"), std::string::npos);
+  const VerifyJob parsed = parse_job(text);
+  EXPECT_TRUE(parsed.static_power);
+  EXPECT_TRUE(job_key(parsed) == job_key(job));
+
+  // Unflagged jobs keep their pre-flag text (and so their historical keys).
+  job.static_power = false;
+  const std::string bare = print_job(job);
+  EXPECT_EQ(bare.find("static-power"), std::string::npos);
+  EXPECT_FALSE(parse_job(bare).static_power);
+}
+
 }  // namespace
 }  // namespace wfregs::service

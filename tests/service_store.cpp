@@ -37,6 +37,7 @@ Verdict verdict_of(std::uint64_t i) {
   v.stats.depth = static_cast<int>(i % 40);
   v.stats.max_accesses = {i, i + 1};
   v.stats.max_accesses_by_inv = {{i}, {i, i * 2}};
+  v.provenance = i % 2 == 0 ? Provenance::kExplored : Provenance::kStatic;
   return v;
 }
 
@@ -67,6 +68,47 @@ TEST(VerdictStore, InMemoryRoundTrip) {
     EXPECT_TRUE(*got == verdict_of(i)) << i;
   }
   EXPECT_FALSE(store.lookup(key_of(999)).has_value());
+}
+
+TEST(VerdictStore, ProvenanceSurvivesEncodingAndRejectsUnknownValues) {
+  // verdict_of alternates kExplored / kStatic, so the round-trip above
+  // already covers both; here the byte itself: version 2 placed it right
+  // after the flags byte, and the decoder must reject values outside the
+  // enum rather than aliasing them onto a real provenance.
+  Verdict v = verdict_of(7);
+  ASSERT_EQ(v.provenance, Provenance::kStatic);
+  std::vector<std::uint8_t> bytes = encode_verdict(v);
+  EXPECT_TRUE(decode_verdict(bytes.data(), bytes.size()) == v);
+  bytes[3] = 0xFF;  // version, kind, flags, provenance, ...
+  EXPECT_THROW(decode_verdict(bytes.data(), bytes.size()),
+               std::runtime_error);
+}
+
+TEST(VerdictStore, DecisionProjectionMasksEverythingButTheDecision) {
+  // A statically decided verdict and an explored one for the same job agree
+  // as decisions: equal projections (and equal projection bytes) despite
+  // different stats, detail and provenance.
+  Verdict statically;
+  statically.kind = JobKind::kConsensus;
+  statically.ok = false;
+  statically.wait_free = true;
+  statically.complete = true;
+  statically.detail = "statically refuted";
+  statically.provenance = Provenance::kStatic;
+  Verdict explored = statically;
+  explored.detail = "agreement violated at depth 3";
+  explored.provenance = Provenance::kExplored;
+  explored.stats.configs = 412;
+  explored.stats.depth = 9;
+  EXPECT_FALSE(statically == explored);
+  EXPECT_TRUE(decision_projection(statically) ==
+              decision_projection(explored));
+  EXPECT_EQ(encode_verdict(decision_projection(statically)),
+            encode_verdict(decision_projection(explored)));
+  // But a flipped decision bit must show through the projection.
+  explored.ok = true;
+  EXPECT_FALSE(decision_projection(statically) ==
+               decision_projection(explored));
 }
 
 TEST(VerdictStore, PersistsAcrossReopen) {
