@@ -1,0 +1,343 @@
+// E16 -- the verification fleet: a coordinator + two worker processes'
+// worth of in-process fleet (real TCP sockets, real frames, in-process
+// threads) serving the E13 consensus-zoo batch, against a cold single
+// daemon computing the same batch alone.
+//
+// Phases per iteration:
+//   * cold single   -- one JobScheduler (the PR-5 daemon's engine) computes
+//     the whole batch from scratch; its encode_verdict bytes are the
+//     reference.
+//   * cold fleet    -- coordinator + 2 workers over an ephemeral TCP port:
+//     one batch frame in, jobs sharded/stolen across both workers, results
+//     replicated into the coordinator store.
+//   * warm fleet    -- the identical batch resubmitted: every job answered
+//     "cached" from the coordinator store in one frame pair.
+//   * backpressure  -- a workerless coordinator with admission_capacity 1
+//     must answer "rejected" (the protocol's EAGAIN), never queue
+//     unboundedly.
+//
+// Per benchmark the JSON carries:
+//   jobs                 -- batch size
+//   cold_single_ms       -- single-scheduler cold wall time
+//   cold_fleet_ms        -- fleet cold wall time (includes dispatch RTTs)
+//   warm_fleet_ms        -- fleet warm wall time (pure cache, one RTT)
+//   speedup              -- cold_single_ms / warm_fleet_ms
+//   dispatched/steals    -- fleet dispatch counters (steals <= dispatched)
+//   warm_origins         -- distinct workers credited with warm cache hits
+//   min_origin_hits      -- smallest per-origin hit count (>= 1 proves
+//                           BOTH workers' verdicts warmed the fleet cache)
+//   cross_worker_hits    -- total warm hits attributed to workers
+//   admission_rejections -- from the backpressure phase
+//   fleet_beats_cold_single -- 1 iff warm_fleet_ms < cold_single_ms
+//   peak_rss_bytes       -- process peak RSS after the timing loop
+//
+// In-run correctness gates (each failure sets error_occurred in the JSON,
+// which fails the CI gate):
+//   * bit identity -- every verdict in the coordinator store after the
+//     fleet run must equal the cold single computation's encoded bytes;
+//   * the warm batch must answer every job "cached";
+//   * steals <= dispatched (counter sanity);
+//   * the warm fleet batch must beat the cold single daemon (the fleet's
+//     reason to exist: a warmed fleet answers faster than recomputing).
+// The deterministic floors (warm_origins, min_origin_hits,
+// admission_rejections) are gated by check_bench_regression.py --suite
+// e16_fleet against bench/baseline.json suites.e16_fleet.min_counters.
+//
+// Emits BENCH_e16_fleet.json (Google Benchmark JSON schema).
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json_main.hpp"
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/registers/mrsw.hpp"
+#include "wfregs/service/client.hpp"
+#include "wfregs/service/fleet.hpp"
+#include "wfregs/service/scheduler.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace {
+
+using namespace wfregs;
+using namespace std::chrono_literals;
+using service::Client;
+using service::Coordinator;
+using service::CoordinatorOptions;
+using service::JobKey;
+using service::JobKind;
+using service::JobScheduler;
+using service::SchedulerOptions;
+using service::VerifyJob;
+using service::Worker;
+using service::WorkerOptions;
+
+/// The E13 batch: the consensus protocol zoo under every reduction mode
+/// (many small jobs) plus the deep-nesting MRSW-register linearizability
+/// workload (few large jobs -- the compute that makes recomputing
+/// expensive and a warmed fleet cache worth having).  Twelve distinct job
+/// keys, spread across both fleet shards by the content hash.
+std::vector<VerifyJob> make_batch() {
+  std::vector<VerifyJob> batch;
+  for (const auto& impl :
+       {consensus::from_test_and_set(), consensus::from_queue(),
+        consensus::from_fetch_and_add()}) {
+    for (const Reduction r : {Reduction::kNone, Reduction::kSleep,
+                              Reduction::kSleepSymmetry}) {
+      VerifyJob job;
+      job.kind = JobKind::kConsensus;
+      job.impl = impl;
+      job.options.reduction = r;
+      batch.push_back(job);
+    }
+  }
+  const zoo::MrswRegisterLayout lay{2, 2};
+  const auto mrsw = registers::mrsw_register(
+      2, 2, 0, 2, registers::simpson_srsw_factory());
+  for (const Reduction r : {Reduction::kNone, Reduction::kSleep,
+                            Reduction::kSleepSymmetry}) {
+    VerifyJob job;
+    job.kind = JobKind::kLinearizable;
+    job.impl = mrsw;
+    job.scripts = {{lay.read()}, {lay.read()}, {lay.write(1)}};
+    job.options.reduction = r;
+    batch.push_back(job);
+  }
+  return batch;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::uint64_t json_u64(const std::string& json, const std::string& name) {
+  const std::string tag = "\"" + name + "\":";
+  const std::size_t pos = json.find(tag);
+  if (pos == std::string::npos) return 0;
+  std::uint64_t v = 0;
+  for (std::size_t k = pos + tag.size();
+       k < json.size() && json[k] >= '0' && json[k] <= '9'; ++k) {
+    v = v * 10 + static_cast<std::uint64_t>(json[k] - '0');
+  }
+  return v;
+}
+
+bool wait_for(const std::function<bool()>& pred,
+              std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+void BM_FleetWarmVsColdSingle(benchmark::State& state) {
+  const std::string store = "/tmp/wfregs_bench_e16_" +
+                            std::to_string(::getpid()) + ".log";
+  const std::vector<VerifyJob> batch = make_batch();
+  std::vector<std::string> texts;
+  std::vector<JobKey> keys;
+  for (const VerifyJob& job : batch) {
+    texts.push_back(service::print_job(job));
+    keys.push_back(service::hash_job_text(texts.back()));
+  }
+
+  double cold_single_ms = 0;
+  double cold_fleet_ms = 0;
+  double warm_fleet_ms = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t warm_origins = 0;
+  std::uint64_t min_origin_hits = 0;
+  std::uint64_t cross_worker_hits = 0;
+  std::uint64_t admission_rejections = 0;
+
+  for (auto _ : state) {
+    // --- Cold single daemon: the reference computation and its bytes.
+    std::vector<std::vector<std::uint8_t>> cold_bytes;
+    {
+      SchedulerOptions options;
+      options.workers = 1;
+      JobScheduler single(options);
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<service::Submitted> submitted;
+      for (const VerifyJob& job : batch) submitted.push_back(single.submit(job));
+      for (const service::Submitted& s : submitted) {
+        cold_bytes.push_back(service::encode_verdict(s.result.get()));
+      }
+      cold_single_ms = ms_since(start);
+    }
+
+    // --- The fleet: coordinator + two workers over an ephemeral port.
+    std::remove(store.c_str());
+    CoordinatorOptions copt;
+    copt.listen_tcp = "tcp:127.0.0.1:0";
+    copt.store_path = store;
+    copt.drain_grace = 5000ms;
+    Coordinator coordinator(std::move(copt));
+    std::thread coord_thread([&coordinator] { (void)coordinator.run(); });
+    const std::string endpoint =
+        "tcp:127.0.0.1:" + std::to_string(coordinator.tcp_port());
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::thread> worker_threads;
+    for (const char* name : {"fleet-a", "fleet-b"}) {
+      WorkerOptions wopt;
+      wopt.connect = endpoint;
+      wopt.name = name;
+      wopt.scheduler.workers = 1;
+      workers.push_back(std::make_unique<Worker>(std::move(wopt)));
+      worker_threads.emplace_back(
+          [w = workers.back().get()] { (void)w->run(); });
+    }
+    const auto join_fleet = [&] {
+      for (auto& t : worker_threads) {
+        if (t.joinable()) t.join();
+      }
+      if (coord_thread.joinable()) coord_thread.join();
+    };
+
+    Client client(endpoint);
+    if (!wait_for([&] { return json_u64(client.stats(), "workers") == 2; },
+                  10s)) {
+      state.SkipWithError("workers never registered with the coordinator");
+      client.shutdown();
+      join_fleet();
+      break;
+    }
+
+    // Cold fleet pass: one batch frame, jobs sharded/stolen across both
+    // workers, results replicated back.
+    const auto cold_start = std::chrono::steady_clock::now();
+    client.submit_batch(texts);
+    const bool fleet_done = wait_for(
+        [&] { return json_u64(client.stats(), "completed") == texts.size(); },
+        60s);
+    cold_fleet_ms = ms_since(cold_start);
+    if (!fleet_done) {
+      state.SkipWithError("fleet never completed the cold batch");
+      client.shutdown();
+      join_fleet();
+      break;
+    }
+
+    // Warm fleet pass: the identical batch, answered entirely from the
+    // replicated coordinator cache in one frame pair.
+    const auto warm_start = std::chrono::steady_clock::now();
+    const std::string warm = client.submit_batch(texts);
+    warm_fleet_ms = ms_since(warm_start);
+    const bool all_cached =
+        count_of(warm, "\"status\":\"cached\"") == texts.size();
+
+    client.shutdown();
+    join_fleet();
+
+    const service::FleetMetrics m = coordinator.metrics();
+    dispatched = m.dispatched;
+    steals = m.steals;
+    warm_origins = 0;
+    min_origin_hits = 0;
+    cross_worker_hits = 0;
+    for (const auto& [origin, hits] : m.hits_by_origin) {
+      if (origin == "local" || hits == 0) continue;
+      ++warm_origins;
+      cross_worker_hits += hits;
+      if (min_origin_hits == 0 || hits < min_origin_hits) {
+        min_origin_hits = hits;
+      }
+    }
+
+    if (!all_cached) {
+      state.SkipWithError("warm fleet batch was not fully cached");
+      break;
+    }
+    if (steals > dispatched) {
+      state.SkipWithError("steal counter exceeds dispatches");
+      break;
+    }
+    if (warm_fleet_ms >= cold_single_ms) {
+      state.SkipWithError("warm fleet did not beat the cold single daemon");
+      break;
+    }
+
+    // Bit identity: the replicated coordinator store must hold exactly the
+    // bytes the reference computation produced.
+    {
+      service::VerdictStore merged(store);
+      for (std::size_t k = 0; k < keys.size(); ++k) {
+        const auto encoded = merged.lookup_encoded(keys[k]);
+        if (!encoded || *encoded != cold_bytes[k]) {
+          state.SkipWithError("fleet verdict bytes diverge from the cold "
+                              "single computation");
+          break;
+        }
+      }
+    }
+
+    // --- Backpressure: a workerless coordinator with capacity 1 must
+    // bounce the second job with "rejected", never queue it.
+    {
+      CoordinatorOptions bopt;
+      bopt.listen_tcp = "tcp:127.0.0.1:0";
+      bopt.admission_capacity = 1;
+      bopt.drain_grace = 100ms;
+      Coordinator bounded(std::move(bopt));
+      std::thread bounded_thread([&bounded] { (void)bounded.run(); });
+      Client c2("tcp:127.0.0.1:" + std::to_string(bounded.tcp_port()));
+      const std::string replies = c2.submit_batch({texts[0], texts[1]});
+      c2.shutdown();
+      bounded_thread.join();
+      admission_rejections = bounded.metrics().admission_rejections;
+      if (count_of(replies, "\"status\":\"rejected\"") != 1) {
+        state.SkipWithError("bounded admission did not reject at capacity");
+        break;
+      }
+    }
+  }
+
+  state.counters["jobs"] = static_cast<double>(batch.size());
+  state.counters["cold_single_ms"] = cold_single_ms;
+  state.counters["cold_fleet_ms"] = cold_fleet_ms;
+  state.counters["warm_fleet_ms"] = warm_fleet_ms;
+  state.counters["speedup"] =
+      warm_fleet_ms > 0 ? cold_single_ms / warm_fleet_ms : 0;
+  state.counters["dispatched"] = static_cast<double>(dispatched);
+  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["warm_origins"] = static_cast<double>(warm_origins);
+  state.counters["min_origin_hits"] = static_cast<double>(min_origin_hits);
+  state.counters["cross_worker_hits"] = static_cast<double>(cross_worker_hits);
+  state.counters["admission_rejections"] =
+      static_cast<double>(admission_rejections);
+  state.counters["fleet_beats_cold_single"] =
+      (warm_fleet_ms > 0 && warm_fleet_ms < cold_single_ms) ? 1 : 0;
+  state.counters["peak_rss_bytes"] = wfregs::benchjson::peak_rss_bytes();
+  std::remove(store.c_str());
+}
+BENCHMARK(BM_FleetWarmVsColdSingle)
+    ->Name("fleet/zoo_batch/warm_vs_cold_single")
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return wfregs::benchjson::run(argc, argv, "BENCH_e16_fleet.json");
+}

@@ -42,6 +42,14 @@ reads baseline["suites"][<name>] and applies:
    and .../legacy, the configs_per_sec ratio is printed (not gated:
    wall-clock is noise on shared runners; the record lives in
    EXPERIMENTS.md).
+
+Suites can also declare ``min_counters`` (benchmark name -> {counter:
+floor}); each listed counter must be at or above its floor.  The e15 suite
+gates the static-decision skip rate this way, and the e16_fleet suite gates
+the fleet bench's determinate floors: cross-worker cache warming
+(``warm_origins`` / ``min_origin_hits``), the bounded-admission rejection
+path (``admission_rejections``), and the warm-fleet-beats-cold-single
+verdict bit -- never wall-clock itself.
 """
 
 import json

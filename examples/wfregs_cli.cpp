@@ -18,9 +18,14 @@
 //                                          (the daemon's submit payload)
 //   wfregs_cli verify <job-file>...        run serialized jobs (locally, or
 //                                          on a daemon with --server)
+//   wfregs_cli submit <job-file>...        fire-and-forget batch submit
+//                                          (--server only; poll later)
 //   wfregs_cli check <tas|queue|faa>       make-job + verify in one step
 //   wfregs_cli stats                       daemon metrics (--server only)
 //   wfregs_cli shutdown                    drain the daemon (--server only)
+//   wfregs_cli store-merge <dst> <src>     merge verdict log <src> into
+//                                          <dst> offline (by JobKey,
+//                                          idempotent; <dst> is created)
 //
 // A leading `-j N` routes every exhaustive exploration through the parallel
 // explorer on N worker threads (0 = hardware concurrency, 1 = sequential).
@@ -30,14 +35,20 @@
 // symmetry reduction to every exploration (see runtime/reduction.hpp);
 // verdicts are unchanged, configuration counts shrink.  A leading `--json`
 // switches verify/check verdict output to one JSON object per job (the same
-// encoding the daemon replies with); `--server <socket>` routes verify /
-// check / stats / shutdown to a running wfregsd.  Commands that never use a
-// flag warn instead of silently ignoring it.
+// encoding the daemon replies with); `--server <endpoint>` routes verify /
+// submit / check / stats / shutdown to a running wfregsd or fleet
+// coordinator -- the endpoint is a Unix socket path, "unix:<path>" or
+// "tcp:<host>:<port>".  Server-side verify/submit go over the BATCH frames
+// (one frame pair for N jobs), and a "rejected" submit -- the server's
+// bounded-admission backpressure -- is retried with exponential backoff.
+// Commands that never use a flag warn instead of silently ignoring it.
 //
 // Exit codes: 0 = success, 1 = a verification/check reported a failure,
 // 2 = usage or input error (bad flags, unknown command, unreadable or
 // malformed input).
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -45,6 +56,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "wfregs/analysis/consensus_power.hpp"
@@ -58,6 +70,7 @@
 #include "wfregs/service/client.hpp"
 #include "wfregs/service/job.hpp"
 #include "wfregs/service/scheduler.hpp"
+#include "wfregs/service/store.hpp"
 #include "wfregs/service/verdict.hpp"
 #include "wfregs/typesys/serialize.hpp"
 #include "wfregs/typesys/triviality.hpp"
@@ -277,6 +290,38 @@ std::string json_string_field(const std::string& json,
   return json.substr(start, end - start);
 }
 
+/// Splits a batch reply -- a JSON array of objects -- into the top-level
+/// object texts (nested braces and strings handled).
+std::vector<std::string> split_json_array(const std::string& json) {
+  std::vector<std::string> items;
+  int depth = 0;
+  std::size_t start = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) items.push_back(json.substr(start, i - start + 1));
+    }
+  }
+  return items;
+}
+
 void print_verdict_human(const std::string& label,
                          const service::Verdict& v) {
   std::cout << label << ": " << service::job_kind_name(v.kind) << " "
@@ -295,18 +340,51 @@ int run_jobs(const std::vector<std::pair<std::string, std::string>>& jobs) {
   bool all_ok = true;
   if (!g_server.empty()) {
     service::Client client(g_server);
-    std::vector<std::pair<std::string, std::string>> keys;  // label, key hex
-    for (const auto& [label, text] : jobs) {
-      const std::string reply = client.submit(text);
-      const std::string status = json_string_field(reply, "status");
-      if (status == "rejected") {
-        std::cerr << label << ": daemon queue full\n";
+    // One kBatchSubmit frame for the whole set; "rejected" entries -- the
+    // server's bounded-admission backpressure -- are resubmitted with
+    // exponential backoff instead of failing the run.
+    std::vector<std::string> keys(jobs.size());
+    std::vector<std::size_t> todo(jobs.size());
+    for (std::size_t k = 0; k < jobs.size(); ++k) todo[k] = k;
+    int backoff_ms = 20;
+    while (!todo.empty()) {
+      std::vector<std::string> batch;
+      batch.reserve(todo.size());
+      for (const std::size_t k : todo) batch.push_back(jobs[k].second);
+      const std::vector<std::string> replies =
+          split_json_array(client.submit_batch(batch));
+      if (replies.size() != todo.size()) {
+        std::cerr << "error: malformed batch submit reply\n";
         return kExitUsage;
       }
-      keys.emplace_back(label, json_string_field(reply, "key"));
+      std::vector<std::size_t> still;
+      for (std::size_t k = 0; k < replies.size(); ++k) {
+        if (json_string_field(replies[k], "status") == "rejected") {
+          still.push_back(todo[k]);
+        } else {
+          keys[todo[k]] = json_string_field(replies[k], "key");
+        }
+      }
+      if (!still.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, 500);
+      }
+      todo = std::move(still);
     }
-    for (const auto& [label, key] : keys) {
-      const std::string reply = client.wait(key);
+    // One kBatchPoll frame per probe round, until every job is final.
+    std::vector<std::string> finals;
+    for (;;) {
+      finals = split_json_array(client.poll_batch(keys));
+      bool pending = false;
+      for (const std::string& reply : finals) {
+        const std::string status = json_string_field(reply, "status");
+        pending = pending || status == "queued" || status == "running";
+      }
+      if (!pending && finals.size() == keys.size()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    for (std::size_t k = 0; k < finals.size(); ++k) {
+      const std::string& reply = finals[k];
       const std::string status = json_string_field(reply, "status");
       const bool ok = status == "done" &&
                       reply.find("\"ok\":true") != std::string::npos;
@@ -314,7 +392,7 @@ int run_jobs(const std::vector<std::pair<std::string, std::string>>& jobs) {
       if (g_json) {
         std::cout << reply << "\n";
       } else {
-        std::cout << label << ": " << status << " key=" << key
+        std::cout << jobs[k].first << ": " << status << " key=" << keys[k]
                   << (ok ? " OK" : " FAILED") << "\n";
       }
     }
@@ -367,6 +445,78 @@ int cmd_verify(int argc, char** argv) {
     jobs.emplace_back(argv[k], text.str());
   }
   return run_jobs(jobs);
+}
+
+/// Reads job files and batch-submits them without waiting (the reply JSON
+/// array goes to stdout); polling is the caller's business.
+int cmd_submit(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: wfregs_cli --server <endpoint> submit "
+                 "<job-file>...\n";
+    return kExitUsage;
+  }
+  if (g_server.empty()) {
+    std::cerr << "error: 'submit' needs --server <endpoint>\n";
+    return kExitUsage;
+  }
+  std::vector<std::string> texts;
+  for (int k = 2; k < argc; ++k) {
+    std::ifstream in(argv[k]);
+    if (!in) {
+      std::cerr << "cannot read " << argv[k] << "\n";
+      return kExitUsage;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    texts.push_back(text.str());
+  }
+  service::Client client(g_server);
+  std::cout << client.submit_batch(texts) << "\n";
+  return kExitOk;
+}
+
+/// Offline log merge: every committed record of <src> lands in <dst>
+/// (created if absent) keyed by JobKey, idempotently -- records <dst>
+/// already holds byte-identically are skipped.  A torn tail on <src> is
+/// reported and dropped, same rule as open()-time recovery.
+int cmd_store_merge(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: wfregs_cli store-merge <dst> <src>\n";
+    return kExitUsage;
+  }
+  std::ifstream in(argv[3], std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot read " << argv[3] << "\n";
+    return kExitUsage;
+  }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string bytes = raw.str();
+  const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  if (!service::check_store_header(data, bytes.size())) {
+    std::cerr << "error: " << argv[3]
+              << " is not a verdict log (bad header)\n";
+    return kExitUsage;
+  }
+  std::vector<service::StoreRecord> records;
+  const std::size_t consumed = service::parse_store_records(
+      data + service::kStoreHeaderBytes,
+      bytes.size() - service::kStoreHeaderBytes, &records);
+  service::VerdictStore dst(argv[2]);
+  std::size_t applied = 0;
+  for (const service::StoreRecord& record : records) {
+    if (dst.merge_encoded(record.key, record.payload)) ++applied;
+  }
+  std::cout << "merged " << records.size() << " records from " << argv[3]
+            << " into " << argv[2] << " (" << applied << " applied, "
+            << dst.size() << " total)";
+  if (service::kStoreHeaderBytes + consumed < bytes.size()) {
+    std::cout << "; dropped torn tail of "
+              << bytes.size() - service::kStoreHeaderBytes - consumed
+              << " bytes";
+  }
+  std::cout << "\n";
+  return kExitOk;
 }
 
 int cmd_check(int argc, char** argv) {
@@ -442,9 +592,9 @@ int main(int argc, char** argv) {
   }
   if (argc < 2) {
     std::cerr << "usage: wfregs_cli [-j N] [--reduction MODE] "
-                 "[--static-precheck] [--json] [--server SOCKET] "
+                 "[--static-precheck] [--json] [--server ENDPOINT] "
                  "zoo|print|classify|oneuse|hierarchy|eliminate|make-job|"
-                 "verify|check|stats|shutdown ...\n";
+                 "verify|submit|check|stats|shutdown|store-merge ...\n";
     return kExitUsage;
   }
   const std::string cmd = argv[1];
@@ -452,7 +602,8 @@ int main(int argc, char** argv) {
   // explorer knobs would be silently dead -- say so instead.
   if ((g_threads_set || g_reduction_set) &&
       (cmd == "zoo" || cmd == "print" || cmd == "classify" ||
-       cmd == "hierarchy" || cmd == "stats" || cmd == "shutdown")) {
+       cmd == "hierarchy" || cmd == "stats" || cmd == "shutdown" ||
+       cmd == "store-merge")) {
     std::cerr << "warning: " << (g_threads_set ? "-j" : "")
               << (g_threads_set && g_reduction_set ? " and " : "")
               << (g_reduction_set ? "--reduction" : "") << " ignored: '"
@@ -465,8 +616,8 @@ int main(int argc, char** argv) {
     std::cerr << "warning: --json ignored: '" << cmd
               << "' has no verdict output\n";
   }
-  if (!g_server.empty() && cmd != "verify" && cmd != "check" &&
-      cmd != "stats" && cmd != "shutdown") {
+  if (!g_server.empty() && cmd != "verify" && cmd != "submit" &&
+      cmd != "check" && cmd != "stats" && cmd != "shutdown") {
     std::cerr << "warning: --server ignored: '" << cmd
               << "' always runs locally\n";
   }
@@ -474,7 +625,9 @@ int main(int argc, char** argv) {
     if (cmd == "zoo") return cmd_zoo(argc, argv);
     if (cmd == "make-job") return cmd_make_job(argc, argv);
     if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "submit") return cmd_submit(argc, argv);
     if (cmd == "check") return cmd_check(argc, argv);
+    if (cmd == "store-merge") return cmd_store_merge(argc, argv);
     if (cmd == "stats" || cmd == "shutdown") {
       if (g_server.empty()) {
         std::cerr << "error: '" << cmd << "' needs --server <socket>\n";

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <string>
+#include <vector>
 
 #include "wfregs/service/job.hpp"
 
@@ -11,9 +12,11 @@ namespace wfregs::service {
 
 class Client {
  public:
-  /// Connects to the daemon's Unix socket; throws std::runtime_error when
-  /// the connection fails.
-  explicit Client(const std::string& socket_path);
+  /// Connects to a daemon or fleet coordinator; `endpoint` is any
+  /// transport.hpp spec (a bare Unix socket path, "unix:<path>" or
+  /// "tcp:<host>:<port>").  Throws std::runtime_error when the connection
+  /// fails.
+  explicit Client(const std::string& endpoint);
   ~Client();
 
   Client(const Client&) = delete;
@@ -22,8 +25,15 @@ class Client {
   /// Submits canonical job text; returns the daemon's JSON reply.
   std::string submit(const std::string& job_text);
 
+  /// Submits N jobs in ONE frame pair (kBatchSubmit); the reply is a JSON
+  /// array of per-job submit objects, in order.
+  std::string submit_batch(const std::vector<std::string>& job_texts);
+
   /// Polls a key (hex form); returns the daemon's JSON reply.
   std::string poll(const std::string& key_hex);
+
+  /// Polls N keys in one frame pair; JSON array of poll objects, in order.
+  std::string poll_batch(const std::vector<std::string>& key_hexes);
 
   /// Polls until the reply's status leaves queued/running, sleeping
   /// `interval` between probes.  Returns the final JSON reply.

@@ -1,29 +1,42 @@
-// wfregsd's serving core: a Unix-domain listener in front of a
-// JobScheduler.  Connections are handled on detached-joinable handler
-// threads (the heavy lifting is the scheduler's worker pool; handlers only
-// parse frames and shuttle JSON), and a shutdown request -- or
-// request_stop(), the binary's signal path -- drains the scheduler and
-// returns from run().
+// wfregsd's serving core: a gateway event loop (transport.hpp) in front of
+// a JobScheduler.  The loop is single-threaded -- the heavy lifting is the
+// scheduler's worker pool; frame handlers only parse requests and shuttle
+// JSON, and every handler is non-blocking (kSubmit uses try_submit, cached
+// futures are already satisfied).  A connection that pipelines several
+// frames in one send() gets every reply in one wakeup: the loop drains all
+// buffered frames per poll cycle.
+//
+// Listeners: the Unix socket (socket_path) and, when `tcp` is set, a TCP
+// endpoint serving the identical protocol.  A shutdown request -- or
+// request_stop(), the binary's signal path -- flushes pending replies,
+// drains the scheduler and returns from run().
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "wfregs/service/protocol.hpp"
 #include "wfregs/service/scheduler.hpp"
+#include "wfregs/service/transport.hpp"
 
 namespace wfregs::service {
 
 struct DaemonOptions {
+  /// Unix-domain socket path; may be empty when `tcp` is set.
   std::string socket_path;
+  /// Optional TCP listener spec ("tcp:<host>:<port>", port 0 = ephemeral);
+  /// empty = Unix only.
+  std::string tcp;
   SchedulerOptions scheduler;
 };
 
 class Daemon {
  public:
-  /// Binds the socket (unlinking a stale one) and starts the scheduler.
-  /// Throws std::runtime_error when the socket cannot be bound.
+  /// Binds the listeners (unlinking a stale Unix socket) and starts the
+  /// scheduler.  Throws std::runtime_error when nothing can be bound or no
+  /// listener is configured.
   explicit Daemon(DaemonOptions options);
   ~Daemon();
 
@@ -31,23 +44,32 @@ class Daemon {
   Daemon& operator=(const Daemon&) = delete;
 
   /// Serves until a shutdown frame arrives or request_stop() is called,
-  /// then drains the scheduler.  Returns the number of requests served.
+  /// then flushes replies and drains the scheduler.  Returns the number of
+  /// requests served.
   std::uint64_t run();
 
   /// Async-signal-unsafe parts deferred: just flips the stop flag; run()
-  /// notices within its accept poll interval.
+  /// notices within one poll interval.
   void request_stop() { stop_.store(true, std::memory_order_release); }
 
   JobScheduler& scheduler() { return *scheduler_; }
   const std::string& socket_path() const { return options_.socket_path; }
 
+  /// Kernel-assigned port of the TCP listener (0 when none configured).
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
  private:
-  void handle_connection(int fd, std::atomic<std::uint64_t>* served);
+  void on_frame(std::uint64_t conn, Frame&& frame);
   std::string handle_request(const Frame& request, bool* shutdown);
+  std::string submit_one(const std::string& text);
+  std::string poll_one(const std::string& hex);
 
   DaemonOptions options_;
   std::unique_ptr<JobScheduler> scheduler_;
-  int listen_fd_ = -1;
+  std::unique_ptr<EventLoop> loop_;
+  std::uint16_t tcp_port_ = 0;
+  std::uint64_t served_ = 0;
+  bool stopping_ = false;
   std::atomic<bool> stop_{false};
 };
 

@@ -1,0 +1,256 @@
+// The verification fleet: one Coordinator gateway sharding jobs across N
+// `wfregsd --worker` processes, with cache replication back into the
+// coordinator's verdict store.
+//
+//   * Sharding: a submitted job goes to worker (key.hi ^ key.lo) % N -- the
+//     JobKey is already a uniform content hash, so no extra hashing and the
+//     same job always lands on the same worker (its local cache stays hot).
+//   * Work stealing: a worker whose queue is empty and whose inflight
+//     window has room is handed work from the largest other queue; the
+//     unassigned orphan queue (jobs submitted while no worker was
+//     connected, or requeued after a disconnect) is drained first and does
+//     not count as stealing.
+//   * Bounded admission: queued + inflight jobs are capped by
+//     admission_capacity; a submit over the cap gets status "rejected" (the
+//     protocol's EAGAIN) -- the coordinator never buffers unboundedly.
+//   * Replication: every kWorkerResult carries the encoded verdict, which
+//     lands in the coordinator store byte-identical (put via the encoded
+//     path, never re-encoded).  kWorkerSync frames additionally ship each
+//     worker's record-log tail so verdicts a worker computed before joining
+//     -- or for jobs the coordinator never dispatched -- warm the
+//     coordinator cache too.  Merging is by JobKey and idempotent:
+//     re-shipped records are skipped, so repeated syncs cost nothing.
+//   * Observability: per-worker Metrics snapshots (shipped in syncs) are
+//     aggregated into the coordinator's stats reply alongside the fleet
+//     counters below; cache hits are attributed to the worker that
+//     originally computed the verdict (hits_by_origin), which is how the CI
+//     fleet-smoke job proves cross-worker cache reuse.
+//
+// Both Coordinator and Worker are single-threaded event loops (the
+// Coordinator on transport.hpp's EventLoop, the Worker on a blocking fd +
+// poll); all verification parallelism lives in each worker's JobScheduler.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wfregs/service/metrics.hpp"
+#include "wfregs/service/protocol.hpp"
+#include "wfregs/service/scheduler.hpp"
+#include "wfregs/service/store.hpp"
+#include "wfregs/service/transport.hpp"
+
+namespace wfregs::service {
+
+/// Coordinator-level counters and gauges (the per-worker Metrics are
+/// aggregated separately; see fleet_metrics_to_json).
+struct FleetMetrics {
+  // Counters.
+  std::uint64_t submitted = 0;       ///< jobs admitted (queued for dispatch)
+  std::uint64_t batch_frames = 0;    ///< kBatchSubmit/kBatchPoll frames
+  std::uint64_t cache_hits = 0;      ///< answered from the coordinator store
+  std::uint64_t dispatched = 0;      ///< kAssign frames sent
+  std::uint64_t steals = 0;          ///< dispatches taken from another
+                                     ///< worker's queue
+  std::uint64_t admission_rejections = 0;  ///< bounced off the admission cap
+  std::uint64_t completed = 0;       ///< results landed in the store
+  std::uint64_t failed = 0;          ///< cancelled / failed results
+  std::uint64_t requeued = 0;        ///< jobs re-queued (worker disconnect
+                                     ///< or worker-side rejection)
+  std::uint64_t merged_records = 0;  ///< sync records actually applied
+  std::uint64_t sync_frames = 0;     ///< kWorkerSync frames received
+  // Gauges.
+  std::uint64_t workers = 0;
+  std::uint64_t queue_depth = 0;     ///< queued (per-worker + orphan)
+  std::uint64_t in_flight = 0;       ///< dispatched, result not yet back
+  /// Cache hits attributed to the origin that computed the verdict: worker
+  /// names, or "local" for records already in the coordinator store at
+  /// startup.  Sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> hits_by_origin;
+};
+
+/// One JSON object: {"role":"coordinator", ...counters..., "hits_by_origin":
+/// {...}, "fleet_totals":<metrics_to_json of the aggregated worker
+/// snapshots>} -- the coordinator's kStats reply.
+std::string fleet_metrics_to_json(const FleetMetrics& m,
+                                  const Metrics& fleet_totals);
+
+struct CoordinatorOptions {
+  /// Primary listener endpoint spec (Unix path or tcp:...); empty = none.
+  std::string listen;
+  /// Optional second listener (the common shape: unix for local clients +
+  /// tcp for the fleet).  At least one of the two must be set.
+  std::string listen_tcp;
+  /// Coordinator verdict store (the replicated cache); empty = in-memory.
+  std::string store_path;
+  /// Bounded admission: max queued + inflight jobs before "rejected".
+  std::size_t admission_capacity = 256;
+  /// Inflight window per worker (assignments awaiting a result).
+  std::size_t max_inflight_per_worker = 2;
+  /// Event-loop poll timeout.
+  std::chrono::milliseconds poll_interval{50};
+  /// Shutdown: how long to wait for pending jobs and worker goodbyes.
+  std::chrono::milliseconds drain_grace{5000};
+  /// Finished-but-uncacheable statuses kept for poll.
+  std::size_t status_history = 1024;
+};
+
+class Coordinator {
+ public:
+  /// Binds the listeners and opens the store.  Throws std::runtime_error
+  /// when no listener is configured or a bind fails.
+  explicit Coordinator(CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Serves until a shutdown frame arrives or request_stop() is called,
+  /// then drains: admission stops, pending jobs finish (bounded by
+  /// drain_grace), workers get kShutdown and their goodbyes are awaited.
+  /// Returns the number of request frames served.
+  std::uint64_t run();
+
+  /// Signal-path stop: flips a flag; run() begins the drain within one poll
+  /// interval.
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+
+  /// Kernel-assigned port of the TCP listener (port-0 binds); 0 when no
+  /// TCP listener.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Snapshots for in-process harnesses (the E16 bench); call only before
+  /// run() or after it returned.
+  FleetMetrics metrics() const;
+  Metrics fleet_totals() const;
+
+ private:
+  struct WorkerState {
+    std::string name;
+    std::size_t window = 0;           ///< min(option, hello capacity)
+    std::deque<JobKey> queue;         ///< sharded/requeued, not yet sent
+    std::vector<JobKey> inflight;     ///< assigned, result pending
+    Metrics last;                     ///< latest synced snapshot
+    bool synced = false;              ///< last is meaningful
+  };
+  enum class Where : std::uint8_t { kWorkerQueue, kOrphan, kInflight };
+  struct PendingJob {
+    std::string text;
+    Where where = Where::kOrphan;
+    std::uint64_t conn = 0;  ///< kWorkerQueue / kInflight: owning worker
+  };
+  using KeyPair = std::pair<std::uint64_t, std::uint64_t>;
+  static KeyPair key_pair(const JobKey& k) { return {k.hi, k.lo}; }
+
+  void on_frame(std::uint64_t conn, Frame&& frame);
+  void on_close(std::uint64_t conn);
+  std::string handle_submit_one(const std::string& text);
+  std::string handle_poll_one(const std::string& hex) const;
+  void handle_worker_frame(std::uint64_t conn, const Frame& frame);
+  void dispatch();
+  void assign(std::uint64_t conn, WorkerState* w, const JobKey& key);
+  void requeue_worker_jobs(std::uint64_t conn, WorkerState* w);
+  void record_origin(const JobKey& key, const std::string& origin);
+  const std::string& origin_of(const JobKey& key) const;
+  void remember_status(const JobKey& key, const std::string& state,
+                       const std::string& verdict_json);
+  std::string stats_json() const;
+  std::size_t total_pending() const { return pending_.size(); }
+
+  CoordinatorOptions options_;
+  std::unique_ptr<EventLoop> loop_;
+  VerdictStore store_;
+  std::uint16_t tcp_port_ = 0;
+
+  std::map<std::uint64_t, WorkerState> workers_;
+  /// Stable dispatch order for sharding: conn ids of live workers, in join
+  /// order.
+  std::vector<std::uint64_t> worker_order_;
+  std::deque<JobKey> orphan_;  ///< jobs with no assigned worker
+  std::map<KeyPair, PendingJob> pending_;
+  std::map<KeyPair, std::string> origin_;
+  /// Recent uncacheable outcomes, newest last: key -> (state, verdict
+  /// JSON); bounded by options_.status_history.
+  std::deque<std::pair<KeyPair, std::pair<std::string, std::string>>> recent_;
+
+  FleetMetrics fleet_;
+  std::map<std::string, std::uint64_t> hits_by_origin_;
+  /// Last synced snapshots of workers that already disconnected, so
+  /// fleet_totals() survives the goodbye.
+  Metrics departed_totals_;
+  std::uint64_t served_ = 0;
+  std::uint64_t next_worker_id_ = 1;
+  bool stopping_ = false;
+  bool workers_notified_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  std::atomic<bool> stop_{false};
+};
+
+struct WorkerOptions {
+  /// Coordinator endpoint spec to connect to.
+  std::string connect;
+  /// Worker name for hits_by_origin attribution; empty = coordinator
+  /// assigns "w<N>".
+  std::string name;
+  SchedulerOptions scheduler;
+  /// Injectable verdict runner (tests gate it); empty = the scheduler's
+  /// default_runner.
+  JobScheduler::Runner runner;
+  /// How often to ship metrics + record-log tail to the coordinator.
+  std::chrono::milliseconds sync_interval{200};
+  /// Connection poll timeout (also the future-sweep cadence).
+  std::chrono::milliseconds poll_interval{20};
+  /// How long to keep retrying the initial connect (coordinator may still
+  /// be binding when the worker starts).
+  std::chrono::milliseconds connect_timeout{5000};
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerOptions options);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Connects (retrying within connect_timeout), registers, serves
+  /// assignments until the coordinator sends kShutdown or disconnects, then
+  /// drains the local scheduler, ships a final sync and returns the number
+  /// of results sent.  Throws std::runtime_error when the connect never
+  /// succeeds.
+  std::uint64_t run();
+
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+
+  JobScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  struct PendingResult {
+    JobKey key;
+    std::shared_future<Verdict> result;
+  };
+
+  void handle_frame(int fd, const Frame& frame, bool* shutdown);
+  std::size_t sweep_results(int fd);  ///< sends ready results; count sent
+  void send_sync(int fd);             ///< metrics + record-log tail
+
+  WorkerOptions options_;
+  std::unique_ptr<JobScheduler> scheduler_;
+  std::vector<PendingResult> pending_;
+  std::uint64_t results_sent_ = 0;
+  /// Byte offset into the scheduler's store file already shipped; starts
+  /// past the 8-byte header and only ever advances over fully parsed
+  /// records (a torn in-progress append is re-read next sync).
+  std::uint64_t sync_offset_ = kStoreHeaderBytes;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace wfregs::service

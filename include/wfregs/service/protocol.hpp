@@ -1,16 +1,30 @@
-// The wfregsd wire protocol: length-prefixed frames over a Unix-domain
-// stream socket.
+// The wfregsd wire protocol: length-prefixed frames over a stream socket
+// (Unix-domain or TCP -- see transport.hpp for endpoint addressing).
 //
 //   frame  := len:u32 (LE, = 1 + payload size) type:u8 payload
 //
-// Request types (client -> daemon):
-//   kSubmit   payload = canonical job text (print_job output)
-//   kPoll     payload = 32-hex-digit job key
-//   kStats    payload empty
-//   kShutdown payload empty (daemon drains and exits)
+// Request types (client -> daemon/coordinator):
+//   kSubmit      payload = canonical job text (print_job output)
+//   kPoll        payload = 32-hex-digit job key
+//   kStats       payload empty
+//   kShutdown    payload empty (daemon drains and exits)
+//   kBatchSubmit payload = pack_batch(job texts); one reply frame carries
+//                a JSON array of per-job submit objects, in order
+//   kBatchPoll   payload = pack_batch(32-hex keys); one reply frame
+//                carries a JSON array of per-key poll objects, in order
+//
+// Worker protocol (fleet coordinator <-> wfregsd --worker):
+//   kWorkerHello   worker -> coordinator, pack_batch({name, capacity})
+//   kWorkerWelcome coordinator -> worker, pack_batch({worker id})
+//   kAssign        coordinator -> worker, pack_batch({key hex, job text})
+//   kWorkerResult  worker -> coordinator,
+//                  pack_batch({key hex, state name, encode_verdict bytes})
+//   kWorkerSync    worker -> coordinator,
+//                  pack_batch({metrics JSON, raw record-log tail bytes});
+//                  one-way, the coordinator merges the records by JobKey
 //
 // Response types (daemon -> client):
-//   kReply    payload = one JSON object; every request gets exactly one
+//   kReply    payload = one JSON value; every request gets exactly one
 //   kError    payload = human-readable message (protocol/parse errors)
 //
 // Reply shapes:
@@ -18,8 +32,13 @@
 //              "verdict":{...}}          (verdict only when cached)
 //   poll   -> {"key":"<hex>","status":"queued|running|done|cancelled|
 //              failed|unknown","from_cache":0|1,"verdict":{...}}
-//   stats  -> the metrics_to_json object
+//   stats  -> the metrics_to_json object (fleet_metrics_to_json on a
+//             coordinator)
 //   shutdown -> {"status":"draining"}
+//
+// "rejected" is the backpressure verdict (the EAGAIN of this protocol): the
+// bounded admission queue is full and the client should retry later --
+// never an unbounded queue on the server side.
 //
 // Frames are capped at kMaxFrame to keep a bad length prefix from
 // allocating unbounded memory.
@@ -28,6 +47,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace wfregs::service {
 
@@ -36,7 +56,14 @@ enum class FrameType : std::uint8_t {
   kPoll = 2,
   kStats = 3,
   kShutdown = 4,
+  kBatchSubmit = 5,
+  kBatchPoll = 6,
+  kWorkerHello = 0x10,
+  kWorkerResult = 0x11,
+  kWorkerSync = 0x12,
   kReply = 0x81,
+  kWorkerWelcome = 0x90,
+  kAssign = 0x91,
   kError = 0xFF,
 };
 
@@ -55,5 +82,15 @@ void write_frame(int fd, const Frame& frame);
 /// Blocking full-frame read; nullopt on clean EOF at a frame boundary,
 /// throws on I/O failure, oversized length, or mid-frame EOF.
 std::optional<Frame> read_frame(int fd);
+
+/// Packs items (arbitrary bytes, job text or binary verdicts alike) as
+///   count:u32 (item_len:u32 item_bytes)*
+/// -- the payload format of every batch and worker frame.
+std::string pack_batch(const std::vector<std::string>& items);
+
+/// Inverse of pack_batch; throws std::runtime_error on truncated or
+/// malformed payloads (the count and every length prefix are validated
+/// against the payload size).
+std::vector<std::string> unpack_batch(const std::string& payload);
 
 }  // namespace wfregs::service

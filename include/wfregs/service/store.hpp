@@ -36,6 +36,29 @@
 
 namespace wfregs::service {
 
+/// One committed record parsed out of a record stream (the log minus its
+/// 8-byte file header): the key and the raw encode_verdict payload.
+struct StoreRecord {
+  JobKey key;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Bytes of the "WFVSTOR1" file header every log starts with.
+inline constexpr std::size_t kStoreHeaderBytes = 8;
+
+/// Parses a record stream, appending committed records to *out in log
+/// order (duplicates included -- the caller applies last-writer-wins).
+/// Returns the number of bytes consumed; parsing stops at the first torn
+/// or corrupt record (short header, short payload, bad magic, bad CRC),
+/// exactly the recovery rule replay() applies.  This is the shared parser
+/// behind open()-time replay, the fleet's record-log tail replication and
+/// `wfregs_cli store-merge`.
+std::size_t parse_store_records(const std::uint8_t* data, std::size_t size,
+                                std::vector<StoreRecord>* out);
+
+/// Validates that `data` starts with the store file header.
+bool check_store_header(const std::uint8_t* data, std::size_t size);
+
 class VerdictStore {
  public:
   /// Opens (creating if absent) the log at `path`, replaying and
@@ -59,6 +82,23 @@ class VerdictStore {
   /// existing key appends a fresh record and repoints the index (last
   /// writer wins).  Throws std::runtime_error on I/O failure.
   void put(const JobKey& key, const Verdict& verdict);
+
+  /// As put(), but with the already-encoded payload -- the replication
+  /// path: a record shipped from another store lands byte-identical, never
+  /// re-encoded.  The payload is validated by decoding before it is
+  /// committed (a corrupt frame must not poison the log).
+  void put_encoded(const JobKey& key, std::vector<std::uint8_t> payload);
+
+  /// Idempotent, conflict-free merge of one record: a key we already hold
+  /// with the identical payload is skipped (no append, no log growth on
+  /// repeated syncs); a new key -- or, degenerately, a differing payload
+  /// for a known key, impossible for honest content-addressed stores --
+  /// is put_encoded.  Returns true when the record was applied.
+  bool merge_encoded(const JobKey& key,
+                     const std::vector<std::uint8_t>& payload);
+
+  /// Every currently indexed key (arbitrary order).
+  std::vector<JobKey> keys() const;
 
   /// Records currently indexed (distinct keys).
   std::size_t size() const { return keys_.size() - tombstones_; }

@@ -1,38 +1,17 @@
 #include "wfregs/service/client.hpp"
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <stdexcept>
 #include <thread>
 
 #include "wfregs/service/protocol.hpp"
+#include "wfregs/service/transport.hpp"
 
 namespace wfregs::service {
 
-Client::Client(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("Client: bad socket path: " + socket_path);
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("Client: socket: ") +
-                             std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("Client: cannot connect to " + socket_path +
-                             ": " + err);
-  }
+Client::Client(const std::string& endpoint) {
+  fd_ = connect_endpoint(parse_endpoint(endpoint));
 }
 
 Client::~Client() {
@@ -59,8 +38,18 @@ std::string Client::submit(const std::string& job_text) {
   return roundtrip(static_cast<std::uint8_t>(FrameType::kSubmit), job_text);
 }
 
+std::string Client::submit_batch(const std::vector<std::string>& job_texts) {
+  return roundtrip(static_cast<std::uint8_t>(FrameType::kBatchSubmit),
+                   pack_batch(job_texts));
+}
+
 std::string Client::poll(const std::string& key_hex) {
   return roundtrip(static_cast<std::uint8_t>(FrameType::kPoll), key_hex);
+}
+
+std::string Client::poll_batch(const std::vector<std::string>& key_hexes) {
+  return roundtrip(static_cast<std::uint8_t>(FrameType::kBatchPoll),
+                   pack_batch(key_hexes));
 }
 
 std::string Client::wait(const std::string& key_hex,

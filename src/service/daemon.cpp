@@ -1,17 +1,10 @@
 #include "wfregs/service/daemon.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <algorithm>
-#include <cerrno>
-#include <cstring>
-#include <mutex>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "wfregs/service/protocol.hpp"
@@ -19,148 +12,130 @@
 namespace wfregs::service {
 
 Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
-  if (options_.socket_path.empty()) {
-    throw std::runtime_error("Daemon: empty socket path");
+  if (options_.socket_path.empty() && options_.tcp.empty()) {
+    throw std::runtime_error("Daemon: no listener configured");
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("Daemon: socket path too long: " +
-                             options_.socket_path);
+  loop_ = std::make_unique<EventLoop>(EventLoop::Handlers{
+      /*on_open=*/{},
+      /*on_frame=*/
+      [this](std::uint64_t conn, Frame&& frame) {
+        on_frame(conn, std::move(frame));
+      },
+      /*on_close=*/{}});
+  if (!options_.socket_path.empty()) {
+    Endpoint ep;
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = options_.socket_path;
+    loop_->add_listener(listen_endpoint(ep));
   }
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("Daemon: socket: ") +
-                             std::strerror(errno));
-  }
-  ::unlink(options_.socket_path.c_str());  // stale socket from a crash
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("Daemon: cannot listen on " +
-                             options_.socket_path + ": " + err);
+  if (!options_.tcp.empty()) {
+    const Endpoint ep = parse_endpoint(options_.tcp);
+    if (ep.kind != Endpoint::Kind::kTcp) {
+      throw std::runtime_error("Daemon: tcp option must be a tcp: endpoint");
+    }
+    const int fd = listen_endpoint(ep);
+    tcp_port_ = local_tcp_port(fd);
+    loop_->add_listener(fd);
   }
   scheduler_ = std::make_unique<JobScheduler>(options_.scheduler);
 }
 
 Daemon::~Daemon() {
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  ::unlink(options_.socket_path.c_str());
+  loop_.reset();  // close fds before unlinking the socket
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
 }
 
 std::uint64_t Daemon::run() {
-  std::atomic<std::uint64_t> served{0};
-  std::vector<std::thread> handlers;
-  std::mutex conn_mu;
-  std::vector<int> open_fds;
-
-  while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("Daemon: poll: ") +
-                               std::strerror(errno));
-    }
-    if (r == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      continue;  // transient accept failure: keep serving
-    }
-    {
-      std::lock_guard<std::mutex> lock(conn_mu);
-      open_fds.push_back(fd);
-    }
-    handlers.emplace_back([this, fd, &served, &conn_mu, &open_fds] {
-      handle_connection(fd, &served);
-      std::lock_guard<std::mutex> lock(conn_mu);
-      open_fds.erase(std::find(open_fds.begin(), open_fds.end(), fd));
-      ::close(fd);
-    });
+  while (!stopping_) {
+    if (stop_.load(std::memory_order_acquire)) stopping_ = true;
+    loop_->step(std::chrono::milliseconds(100));
   }
-
-  // Unblock any handler still parked in read_frame(), then join them all
-  // before draining the scheduler.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu);
-    for (const int fd : open_fds) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& t : handlers) t.join();
+  // Final replies (the shutdown acknowledgement included) must reach their
+  // clients before the scheduler drain blocks us.
+  loop_->flush_all(std::chrono::milliseconds(500));
   scheduler_->drain();
-  return served.load(std::memory_order_relaxed);
+  return served_;
 }
 
-void Daemon::handle_connection(int fd, std::atomic<std::uint64_t>* served) {
+void Daemon::on_frame(std::uint64_t conn, Frame&& frame) {
+  bool shutdown_requested = false;
+  Frame reply;
   try {
-    for (;;) {
-      std::optional<Frame> request = read_frame(fd);
-      if (!request) return;  // clean EOF
-      bool shutdown_requested = false;
-      Frame reply;
-      try {
-        reply.type = FrameType::kReply;
-        reply.payload = handle_request(*request, &shutdown_requested);
-      } catch (const std::exception& e) {
-        reply.type = FrameType::kError;
-        reply.payload = e.what();
-      }
-      write_frame(fd, reply);
-      served->fetch_add(1, std::memory_order_relaxed);
-      if (shutdown_requested) {
-        request_stop();
-        return;
-      }
-    }
-  } catch (const std::exception&) {
-    // Torn connection or protocol violation: drop the connection, keep the
-    // daemon alive.
+    reply.type = FrameType::kReply;
+    reply.payload = handle_request(frame, &shutdown_requested);
+  } catch (const std::exception& e) {
+    reply.type = FrameType::kError;
+    reply.payload = e.what();
   }
+  loop_->send(conn, reply);
+  ++served_;
+  if (shutdown_requested) stopping_ = true;
+}
+
+std::string Daemon::submit_one(const std::string& text) {
+  const VerifyJob job = parse_job(text);
+  const Submitted s = scheduler_->try_submit(job);
+  std::ostringstream out;
+  out << "{\"key\":\"" << job_key_hex(s.key) << "\",\"status\":\"";
+  if (s.cached) {
+    out << "cached\",\"verdict\":" << verdict_to_json(s.result.get());
+  } else if (s.coalesced) {
+    out << "coalesced\"";
+  } else if (s.rejected) {
+    out << "rejected\"";
+  } else {
+    out << "queued\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string Daemon::poll_one(const std::string& hex) {
+  const JobKey key = parse_job_key(hex);
+  const std::optional<JobStatus> status = scheduler_->poll(key);
+  std::ostringstream out;
+  out << "{\"key\":\"" << job_key_hex(key) << "\",\"status\":\"";
+  if (!status) {
+    out << "unknown\"}";
+    return out.str();
+  }
+  out << job_state_name(status->state)
+      << "\",\"from_cache\":" << (status->from_cache ? 1 : 0);
+  if (status->state == JobState::kDone ||
+      status->state == JobState::kCancelled ||
+      status->state == JobState::kFailed) {
+    out << ",\"verdict\":" << verdict_to_json(status->verdict);
+  }
+  out << "}";
+  return out.str();
 }
 
 std::string Daemon::handle_request(const Frame& request, bool* shutdown) {
-  std::ostringstream out;
   switch (request.type) {
-    case FrameType::kSubmit: {
-      const VerifyJob job = parse_job(request.payload);
-      const Submitted s = scheduler_->try_submit(job);
-      out << "{\"key\":\"" << job_key_hex(s.key) << "\",\"status\":\"";
-      if (s.cached) {
-        out << "cached\",\"verdict\":" << verdict_to_json(s.result.get());
-      } else if (s.coalesced) {
-        out << "coalesced\"";
-      } else if (s.rejected) {
-        out << "rejected\"";
-      } else {
-        out << "queued\"";
+    case FrameType::kSubmit:
+      return submit_one(request.payload);
+    case FrameType::kPoll:
+      return poll_one(request.payload);
+    case FrameType::kBatchSubmit: {
+      const std::vector<std::string> items = unpack_batch(request.payload);
+      std::ostringstream out;
+      out << "[";
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        if (k) out << ",";
+        out << submit_one(items[k]);
       }
-      out << "}";
+      out << "]";
       return out.str();
     }
-    case FrameType::kPoll: {
-      const JobKey key = parse_job_key(request.payload);
-      const std::optional<JobStatus> status = scheduler_->poll(key);
-      out << "{\"key\":\"" << job_key_hex(key) << "\",\"status\":\"";
-      if (!status) {
-        out << "unknown\"}";
-        return out.str();
+    case FrameType::kBatchPoll: {
+      const std::vector<std::string> items = unpack_batch(request.payload);
+      std::ostringstream out;
+      out << "[";
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        if (k) out << ",";
+        out << poll_one(items[k]);
       }
-      out << job_state_name(status->state) << "\",\"from_cache\":"
-          << (status->from_cache ? 1 : 0);
-      if (status->state == JobState::kDone ||
-          status->state == JobState::kCancelled ||
-          status->state == JobState::kFailed) {
-        out << ",\"verdict\":" << verdict_to_json(status->verdict);
-      }
-      out << "}";
+      out << "]";
       return out.str();
     }
     case FrameType::kStats:

@@ -1,0 +1,663 @@
+#include "wfregs/service/fleet.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "wfregs/service/job.hpp"
+#include "wfregs/service/verdict.hpp"
+
+namespace wfregs::service {
+
+namespace {
+
+/// Worker names land in JSON keys; keep them to a safe alphabet.
+std::string sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string fleet_metrics_to_json(const FleetMetrics& m,
+                                  const Metrics& fleet_totals) {
+  std::ostringstream out;
+  out << "{\"role\":\"coordinator\",\"workers\":" << m.workers
+      << ",\"submitted\":" << m.submitted
+      << ",\"batch_frames\":" << m.batch_frames
+      << ",\"cache_hits\":" << m.cache_hits
+      << ",\"dispatched\":" << m.dispatched << ",\"steals\":" << m.steals
+      << ",\"admission_rejections\":" << m.admission_rejections
+      << ",\"completed\":" << m.completed << ",\"failed\":" << m.failed
+      << ",\"requeued\":" << m.requeued
+      << ",\"merged_records\":" << m.merged_records
+      << ",\"sync_frames\":" << m.sync_frames
+      << ",\"queue_depth\":" << m.queue_depth
+      << ",\"in_flight\":" << m.in_flight << ",\"hits_by_origin\":{";
+  bool first = true;
+  for (const auto& [name, hits] : m.hits_by_origin) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << hits;
+  }
+  out << "},\"fleet_totals\":" << metrics_to_json(fleet_totals) << "}";
+  return out.str();
+}
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)), store_(options_.store_path) {
+  if (options_.listen.empty() && options_.listen_tcp.empty()) {
+    throw std::runtime_error("Coordinator: no listener configured");
+  }
+  loop_ = std::make_unique<EventLoop>(EventLoop::Handlers{
+      /*on_open=*/{},
+      /*on_frame=*/
+      [this](std::uint64_t conn, Frame&& frame) {
+        on_frame(conn, std::move(frame));
+      },
+      /*on_close=*/[this](std::uint64_t conn) { on_close(conn); }});
+  const auto add = [this](const std::string& spec) {
+    const Endpoint ep = parse_endpoint(spec);
+    const int fd = listen_endpoint(ep);
+    if (ep.kind == Endpoint::Kind::kTcp) tcp_port_ = local_tcp_port(fd);
+    loop_->add_listener(fd);
+  };
+  if (!options_.listen.empty()) add(options_.listen);
+  if (!options_.listen_tcp.empty()) add(options_.listen_tcp);
+  // Records already in the store predate every worker: their hits are
+  // attributed to "local".
+  for (const JobKey& key : store_.keys()) {
+    origin_.emplace(key_pair(key), "local");
+  }
+}
+
+Coordinator::~Coordinator() = default;
+
+std::uint64_t Coordinator::run() {
+  using clock = std::chrono::steady_clock;
+  bool drain_timer_set = false;
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) stopping_ = true;
+    if (stopping_ && !drain_timer_set) {
+      drain_deadline_ = clock::now() + options_.drain_grace;
+      drain_timer_set = true;
+    }
+    if (stopping_ && !workers_notified_ &&
+        (pending_.empty() || clock::now() >= drain_deadline_)) {
+      // Pending work is done (or the grace expired): tell every worker to
+      // drain and go; they answer with a final sync and close.
+      for (const auto& [conn, w] : workers_) {
+        (void)w;
+        loop_->send(conn, Frame{FrameType::kShutdown, ""});
+      }
+      workers_notified_ = true;
+      drain_deadline_ = clock::now() + options_.drain_grace;
+    }
+    if (workers_notified_ &&
+        (workers_.empty() || clock::now() >= drain_deadline_)) {
+      break;
+    }
+    loop_->step(options_.poll_interval);
+  }
+  loop_->flush_all(std::chrono::milliseconds(500));
+  return served_;
+}
+
+void Coordinator::on_frame(std::uint64_t conn, Frame&& frame) {
+  ++served_;
+  try {
+    switch (frame.type) {
+      case FrameType::kWorkerHello:
+      case FrameType::kWorkerResult:
+      case FrameType::kWorkerSync:
+        handle_worker_frame(conn, frame);
+        return;
+      case FrameType::kSubmit: {
+        const std::string reply = handle_submit_one(frame.payload);
+        loop_->send(conn, Frame{FrameType::kReply, reply});
+        dispatch();
+        return;
+      }
+      case FrameType::kBatchSubmit: {
+        ++fleet_.batch_frames;
+        const std::vector<std::string> items = unpack_batch(frame.payload);
+        std::ostringstream out;
+        out << "[";
+        for (std::size_t k = 0; k < items.size(); ++k) {
+          if (k) out << ",";
+          out << handle_submit_one(items[k]);
+        }
+        out << "]";
+        loop_->send(conn, Frame{FrameType::kReply, out.str()});
+        dispatch();
+        return;
+      }
+      case FrameType::kPoll:
+        loop_->send(conn,
+                    Frame{FrameType::kReply, handle_poll_one(frame.payload)});
+        return;
+      case FrameType::kBatchPoll: {
+        ++fleet_.batch_frames;
+        const std::vector<std::string> items = unpack_batch(frame.payload);
+        std::ostringstream out;
+        out << "[";
+        for (std::size_t k = 0; k < items.size(); ++k) {
+          if (k) out << ",";
+          out << handle_poll_one(items[k]);
+        }
+        out << "]";
+        loop_->send(conn, Frame{FrameType::kReply, out.str()});
+        return;
+      }
+      case FrameType::kStats:
+        loop_->send(conn, Frame{FrameType::kReply, stats_json()});
+        return;
+      case FrameType::kShutdown:
+        stopping_ = true;
+        loop_->send(conn,
+                    Frame{FrameType::kReply, "{\"status\":\"draining\"}"});
+        return;
+      default:
+        throw std::runtime_error("unknown request frame type");
+    }
+  } catch (const std::exception& e) {
+    loop_->send(conn, Frame{FrameType::kError, e.what()});
+  }
+}
+
+std::string Coordinator::handle_submit_one(const std::string& text) {
+  // Re-canonicalize: the key must be the hash of print_job output, whatever
+  // whitespace the client sent (parse_job also validates the text).
+  const VerifyJob job = parse_job(text);
+  const std::string canonical = print_job(job);
+  const JobKey key = hash_job_text(canonical);
+  std::ostringstream out;
+  out << "{\"key\":\"" << job_key_hex(key) << "\",\"status\":\"";
+  if (const auto encoded = store_.lookup_encoded(key)) {
+    ++fleet_.cache_hits;
+    ++hits_by_origin_[origin_of(key)];
+    const Verdict v = decode_verdict(encoded->data(), encoded->size());
+    out << "cached\",\"verdict\":" << verdict_to_json(v) << "}";
+    return out.str();
+  }
+  if (pending_.count(key_pair(key)) != 0) {
+    out << "coalesced\"}";
+    return out.str();
+  }
+  if (stopping_ || total_pending() >= options_.admission_capacity) {
+    // Bounded admission: the client retries later (protocol EAGAIN).
+    ++fleet_.admission_rejections;
+    out << "rejected\"}";
+    return out.str();
+  }
+  ++fleet_.submitted;
+  PendingJob p;
+  p.text = canonical;
+  if (worker_order_.empty()) {
+    p.where = Where::kOrphan;
+    orphan_.push_back(key);
+  } else {
+    const std::size_t idx = (key.hi ^ key.lo) % worker_order_.size();
+    p.where = Where::kWorkerQueue;
+    p.conn = worker_order_[idx];
+    workers_[p.conn].queue.push_back(key);
+  }
+  pending_[key_pair(key)] = std::move(p);
+  out << "queued\"}";
+  return out.str();
+}
+
+std::string Coordinator::handle_poll_one(const std::string& hex) const {
+  const JobKey key = parse_job_key(hex);
+  std::ostringstream out;
+  out << "{\"key\":\"" << job_key_hex(key) << "\",\"status\":\"";
+  if (const auto encoded = store_.lookup_encoded(key)) {
+    const Verdict v = decode_verdict(encoded->data(), encoded->size());
+    out << "done\",\"from_cache\":1,\"verdict\":" << verdict_to_json(v)
+        << "}";
+    return out.str();
+  }
+  const auto pit = pending_.find(key_pair(key));
+  if (pit != pending_.end()) {
+    out << (pit->second.where == Where::kInflight ? "running" : "queued")
+        << "\"}";
+    return out.str();
+  }
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it->first == key_pair(key)) {
+      out << it->second.first << "\",\"from_cache\":0,\"verdict\":"
+          << it->second.second << "}";
+      return out.str();
+    }
+  }
+  out << "unknown\"}";
+  return out.str();
+}
+
+void Coordinator::handle_worker_frame(std::uint64_t conn,
+                                      const Frame& frame) {
+  if (frame.type == FrameType::kWorkerHello) {
+    const std::vector<std::string> parts = unpack_batch(frame.payload);
+    WorkerState w;
+    std::string name = parts.empty() ? "" : sanitize_name(parts[0]);
+    if (name.empty()) name = "w" + std::to_string(next_worker_id_);
+    ++next_worker_id_;
+    // Names key hits_by_origin: keep them unique.
+    for (const auto& [c2, w2] : workers_) {
+      (void)c2;
+      if (w2.name == name) {
+        name += "-" + std::to_string(next_worker_id_);
+        break;
+      }
+    }
+    w.name = name;
+    w.window = options_.max_inflight_per_worker;
+    const std::uint64_t cap = parts.size() > 1 ? parse_u64(parts[1]) : 0;
+    if (cap > 0 && cap < w.window) w.window = static_cast<std::size_t>(cap);
+    workers_[conn] = std::move(w);
+    worker_order_.push_back(conn);
+    loop_->send(conn, Frame{FrameType::kWorkerWelcome, pack_batch({name})});
+    dispatch();  // a new worker drains the orphan queue
+    return;
+  }
+
+  const auto wit = workers_.find(conn);
+  if (wit == workers_.end()) {
+    throw std::runtime_error("frame from unregistered worker");
+  }
+  WorkerState& w = wit->second;
+
+  if (frame.type == FrameType::kWorkerResult) {
+    const std::vector<std::string> parts = unpack_batch(frame.payload);
+    if (parts.size() != 3) {
+      throw std::runtime_error("malformed worker result frame");
+    }
+    const JobKey key = parse_job_key(parts[0]);
+    const auto ii = std::find(w.inflight.begin(), w.inflight.end(), key);
+    if (ii != w.inflight.end()) w.inflight.erase(ii);
+    const std::string& state = parts[1];
+    if (state == "rejected") {
+      // The worker's own queue bounced it: back to the orphan queue.
+      const auto pit = pending_.find(key_pair(key));
+      if (pit != pending_.end()) {
+        pit->second.where = Where::kOrphan;
+        orphan_.push_back(key);
+        ++fleet_.requeued;
+      }
+    } else if (state == "done") {
+      pending_.erase(key_pair(key));
+      std::vector<std::uint8_t> bytes(parts[2].begin(), parts[2].end());
+      // merge (not put): a sync may have landed the record already, and the
+      // log must not grow on the duplicate.
+      if (store_.merge_encoded(key, bytes)) record_origin(key, w.name);
+      ++fleet_.completed;
+    } else {
+      pending_.erase(key_pair(key));
+      std::string verdict_json = "{}";
+      if (!parts[2].empty()) {
+        const auto* data =
+            reinterpret_cast<const std::uint8_t*>(parts[2].data());
+        verdict_json = verdict_to_json(decode_verdict(data, parts[2].size()));
+      }
+      remember_status(key, state, verdict_json);
+      ++fleet_.failed;
+    }
+    dispatch();
+    return;
+  }
+
+  // kWorkerSync: metrics snapshot + record-log tail.
+  const std::vector<std::string> parts = unpack_batch(frame.payload);
+  if (parts.size() != 2) {
+    throw std::runtime_error("malformed worker sync frame");
+  }
+  w.last = parse_metrics_json(parts[0]);
+  w.synced = true;
+  ++fleet_.sync_frames;
+  std::vector<StoreRecord> records;
+  parse_store_records(reinterpret_cast<const std::uint8_t*>(parts[1].data()),
+                      parts[1].size(), &records);
+  for (const StoreRecord& record : records) {
+    if (store_.merge_encoded(record.key, record.payload)) {
+      ++fleet_.merged_records;
+      record_origin(record.key, w.name);
+    }
+  }
+}
+
+void Coordinator::dispatch() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const std::uint64_t conn : worker_order_) {
+      WorkerState& w = workers_[conn];
+      if (w.inflight.size() >= w.window) continue;
+      JobKey key;
+      bool have = false;
+      bool stolen = false;
+      if (!w.queue.empty()) {
+        key = w.queue.front();
+        w.queue.pop_front();
+        have = true;
+      } else if (!orphan_.empty()) {
+        // Unowned work first: draining the orphan queue is not a steal.
+        key = orphan_.front();
+        orphan_.pop_front();
+        have = true;
+      } else {
+        WorkerState* victim = nullptr;
+        for (auto& [c2, w2] : workers_) {
+          if (c2 == conn || w2.queue.empty()) continue;
+          if (victim == nullptr || w2.queue.size() > victim->queue.size()) {
+            victim = &w2;
+          }
+        }
+        if (victim != nullptr) {
+          key = victim->queue.front();
+          victim->queue.pop_front();
+          have = true;
+          stolen = true;
+        }
+      }
+      if (!have) continue;
+      if (stolen) ++fleet_.steals;
+      assign(conn, &w, key);
+      progress = true;
+    }
+  }
+}
+
+void Coordinator::assign(std::uint64_t conn, WorkerState* w,
+                         const JobKey& key) {
+  const auto pit = pending_.find(key_pair(key));
+  if (pit == pending_.end()) return;  // already resolved (defensive)
+  loop_->send(conn, Frame{FrameType::kAssign,
+                          pack_batch({job_key_hex(key), pit->second.text})});
+  pit->second.where = Where::kInflight;
+  pit->second.conn = conn;
+  w->inflight.push_back(key);
+  ++fleet_.dispatched;
+}
+
+void Coordinator::on_close(std::uint64_t conn) {
+  const auto wit = workers_.find(conn);
+  if (wit == workers_.end()) return;  // clients come and go silently
+  if (wit->second.synced) accumulate_metrics(&departed_totals_, wit->second.last);
+  requeue_worker_jobs(conn, &wit->second);
+  worker_order_.erase(
+      std::find(worker_order_.begin(), worker_order_.end(), conn));
+  workers_.erase(wit);
+  if (!stopping_) dispatch();
+}
+
+void Coordinator::requeue_worker_jobs(std::uint64_t conn, WorkerState* w) {
+  (void)conn;
+  const auto back_to_orphan = [this](const JobKey& key) {
+    const auto pit = pending_.find(key_pair(key));
+    if (pit == pending_.end()) return;
+    pit->second.where = Where::kOrphan;
+    orphan_.push_back(key);
+    ++fleet_.requeued;
+  };
+  for (const JobKey& key : w->queue) back_to_orphan(key);
+  for (const JobKey& key : w->inflight) back_to_orphan(key);
+  w->queue.clear();
+  w->inflight.clear();
+}
+
+void Coordinator::record_origin(const JobKey& key, const std::string& origin) {
+  origin_.emplace(key_pair(key), origin);
+}
+
+const std::string& Coordinator::origin_of(const JobKey& key) const {
+  static const std::string kLocal = "local";
+  const auto it = origin_.find(key_pair(key));
+  return it == origin_.end() ? kLocal : it->second;
+}
+
+void Coordinator::remember_status(const JobKey& key, const std::string& state,
+                                  const std::string& verdict_json) {
+  recent_.emplace_back(key_pair(key), std::make_pair(state, verdict_json));
+  while (recent_.size() > options_.status_history) recent_.pop_front();
+}
+
+std::string Coordinator::stats_json() const {
+  return fleet_metrics_to_json(metrics(), fleet_totals());
+}
+
+FleetMetrics Coordinator::metrics() const {
+  FleetMetrics m = fleet_;
+  m.workers = workers_.size();
+  m.queue_depth = orphan_.size();
+  m.in_flight = 0;
+  for (const auto& [conn, w] : workers_) {
+    (void)conn;
+    m.queue_depth += w.queue.size();
+    m.in_flight += w.inflight.size();
+  }
+  for (const auto& [name, hits] : hits_by_origin_) {
+    m.hits_by_origin.emplace_back(name, hits);
+  }
+  return m;
+}
+
+Metrics Coordinator::fleet_totals() const {
+  Metrics totals = departed_totals_;
+  for (const auto& [conn, w] : workers_) {
+    (void)conn;
+    if (w.synced) accumulate_metrics(&totals, w.last);
+  }
+  return totals;
+}
+
+Worker::Worker(WorkerOptions options) : options_(std::move(options)) {
+  scheduler_ =
+      std::make_unique<JobScheduler>(options_.scheduler, options_.runner);
+}
+
+Worker::~Worker() = default;
+
+std::uint64_t Worker::run() {
+  const Endpoint ep = parse_endpoint(options_.connect);
+  int fd = -1;
+  const auto connect_deadline =
+      std::chrono::steady_clock::now() + options_.connect_timeout;
+  for (;;) {
+    try {
+      fd = connect_endpoint(ep);
+      break;
+    } catch (const std::exception& e) {
+      if (std::chrono::steady_clock::now() >= connect_deadline) {
+        throw std::runtime_error("Worker: cannot connect to " +
+                                 options_.connect + ": " + e.what());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  bool shutdown = false;
+  bool conn_lost = false;
+  try {
+    write_frame(
+        fd, Frame{FrameType::kWorkerHello,
+                  pack_batch({options_.name,
+                              std::to_string(
+                                  options_.scheduler.queue_capacity)})});
+    auto next_sync = std::chrono::steady_clock::now() + options_.sync_interval;
+    while (!conn_lost) {
+      if (stop_.load(std::memory_order_acquire)) shutdown = true;
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLIN;
+      const int r = ::poll(&p, 1,
+                           static_cast<int>(options_.poll_interval.count()));
+      if (r < 0 && errno != EINTR) break;
+      // Drain every buffered frame this wakeup: a coordinator pipelining N
+      // assignments in one send must not pay one poll interval per frame.
+      for (;;) {
+        pollfd q{};
+        q.fd = fd;
+        q.events = POLLIN;
+        if (::poll(&q, 1, 0) <= 0 ||
+            (q.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+          break;
+        }
+        std::optional<Frame> frame;
+        try {
+          frame = read_frame(fd);
+        } catch (const std::exception&) {
+          frame.reset();
+        }
+        if (!frame) {
+          conn_lost = true;
+          break;
+        }
+        handle_frame(fd, *frame, &shutdown);
+      }
+      if (conn_lost) break;
+      sweep_results(fd);
+      if (std::chrono::steady_clock::now() >= next_sync) {
+        send_sync(fd);
+        next_sync = std::chrono::steady_clock::now() + options_.sync_interval;
+      }
+      if (shutdown && pending_.empty()) break;
+    }
+    if (!conn_lost) {
+      // Orderly goodbye: finish everything, ship the last results and a
+      // final sync so the coordinator's cache and stats are complete.
+      scheduler_->drain();
+      sweep_results(fd);
+      send_sync(fd);
+    }
+  } catch (const std::exception&) {
+    // Connection torn mid-write: nothing left to ship.
+  }
+  ::close(fd);
+  scheduler_->drain();
+  return results_sent_;
+}
+
+void Worker::handle_frame(int fd, const Frame& frame, bool* shutdown) {
+  switch (frame.type) {
+    case FrameType::kWorkerWelcome:
+      return;  // name acknowledgement; nothing to do
+    case FrameType::kAssign: {
+      const std::vector<std::string> parts = unpack_batch(frame.payload);
+      if (parts.size() != 2) return;
+      const std::string& hex = parts[0];
+      try {
+        const VerifyJob job = parse_job(parts[1]);
+        const Submitted s = scheduler_->try_submit(job);
+        if (s.rejected) {
+          write_frame(fd, Frame{FrameType::kWorkerResult,
+                                pack_batch({hex, "rejected", ""})});
+          ++results_sent_;
+        } else {
+          pending_.push_back({s.key, s.result});
+        }
+      } catch (const std::exception&) {
+        write_frame(fd, Frame{FrameType::kWorkerResult,
+                              pack_batch({hex, "failed", ""})});
+        ++results_sent_;
+      }
+      return;
+    }
+    case FrameType::kShutdown:
+      *shutdown = true;
+      return;
+    default:
+      return;  // unknown coordinator frame: ignore
+  }
+}
+
+std::size_t Worker::sweep_results(int fd) {
+  std::size_t sent = 0;
+  for (std::size_t k = 0; k < pending_.size();) {
+    PendingResult& p = pending_[k];
+    if (p.result.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++k;
+      continue;
+    }
+    const std::optional<JobStatus> status = scheduler_->poll(p.key);
+    const bool final_state =
+        status && (status->state == JobState::kDone ||
+                   status->state == JobState::kCancelled ||
+                   status->state == JobState::kFailed);
+    if (status && !final_state) {
+      // Future satisfied but the status table not yet final: next sweep.
+      ++k;
+      continue;
+    }
+    std::string state = "failed";
+    std::string payload;
+    if (status) {
+      state = job_state_name(status->state);
+      const std::vector<std::uint8_t> encoded = encode_verdict(status->verdict);
+      payload.assign(encoded.begin(), encoded.end());
+    }
+    write_frame(fd, Frame{FrameType::kWorkerResult,
+                          pack_batch({job_key_hex(p.key), state, payload})});
+    ++results_sent_;
+    ++sent;
+    pending_[k] = pending_.back();
+    pending_.pop_back();
+  }
+  return sent;
+}
+
+void Worker::send_sync(int fd) {
+  std::string tail;
+  const std::string& path = options_.scheduler.store_path;
+  if (!path.empty()) {
+    const int sfd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (sfd >= 0) {
+      std::string buf;
+      char chunk[65536];
+      off_t off = static_cast<off_t>(sync_offset_);
+      for (;;) {
+        const ssize_t n = ::pread(sfd, chunk, sizeof(chunk), off);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        off += n;
+      }
+      ::close(sfd);
+      std::vector<StoreRecord> records;
+      const std::size_t consumed = parse_store_records(
+          reinterpret_cast<const std::uint8_t*>(buf.data()), buf.size(),
+          &records);
+      // Ship only fully committed records; a torn in-progress append stays
+      // behind the offset and is re-read on the next sync.
+      tail = buf.substr(0, consumed);
+      sync_offset_ += consumed;
+    }
+  }
+  write_frame(fd, Frame{FrameType::kWorkerSync,
+                        pack_batch({metrics_to_json(scheduler_->metrics()),
+                                    tail})});
+}
+
+}  // namespace wfregs::service

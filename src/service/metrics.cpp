@@ -1,8 +1,29 @@
 #include "wfregs/service/metrics.hpp"
 
+#include <cstdint>
 #include <sstream>
 
 namespace wfregs::service {
+
+namespace {
+
+/// Extracts the unsigned integer following `"name":` in a flat JSON
+/// object; 0 when absent.  Enough for metrics_to_json output -- the only
+/// JSON this module ever reads back.
+std::uint64_t json_field(const std::string& json, const char* name) {
+  const std::string needle = std::string("\"") + name + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return 0;
+  std::uint64_t v = 0;
+  for (std::size_t k = at + needle.size(); k < json.size(); ++k) {
+    const char c = json[k];
+    if (c < '0' || c > '9') break;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
 
 std::string metrics_to_json(const Metrics& m) {
   std::ostringstream out;
@@ -29,6 +50,58 @@ std::string metrics_to_json(const Metrics& m) {
       << ",\"append_ns_total\":" << m.append_ns_total
       << ",\"append_count\":" << m.append_count << "}";
   return out.str();
+}
+
+Metrics parse_metrics_json(const std::string& json) {
+  Metrics m;
+  m.submitted = json_field(json, "submitted");
+  m.cache_hits = json_field(json, "cache_hits");
+  m.cache_misses = json_field(json, "cache_misses");
+  m.coalesced = json_field(json, "coalesced");
+  m.rejected = json_field(json, "rejected");
+  m.completed = json_field(json, "completed");
+  m.static_decisions = json_field(json, "static_decisions");
+  m.cancelled = json_field(json, "cancelled");
+  m.failed = json_field(json, "failed");
+  m.evictions = json_field(json, "evictions");
+  m.queue_depth = json_field(json, "queue_depth");
+  m.in_flight = json_field(json, "in_flight");
+  m.store_records = json_field(json, "store_records");
+  m.store_bytes = json_field(json, "store_bytes");
+  m.lookup_ns_total = json_field(json, "lookup_ns_total");
+  m.lookup_count = json_field(json, "lookup_count");
+  m.queue_ns_total = json_field(json, "queue_ns_total");
+  m.queue_count = json_field(json, "queue_count");
+  m.run_ns_total = json_field(json, "run_ns_total");
+  m.run_count = json_field(json, "run_count");
+  m.append_ns_total = json_field(json, "append_ns_total");
+  m.append_count = json_field(json, "append_count");
+  return m;
+}
+
+void accumulate_metrics(Metrics* into, const Metrics& m) {
+  into->submitted += m.submitted;
+  into->cache_hits += m.cache_hits;
+  into->cache_misses += m.cache_misses;
+  into->coalesced += m.coalesced;
+  into->rejected += m.rejected;
+  into->completed += m.completed;
+  into->static_decisions += m.static_decisions;
+  into->cancelled += m.cancelled;
+  into->failed += m.failed;
+  into->evictions += m.evictions;
+  into->queue_depth += m.queue_depth;
+  into->in_flight += m.in_flight;
+  into->store_records += m.store_records;
+  into->store_bytes += m.store_bytes;
+  into->lookup_ns_total += m.lookup_ns_total;
+  into->lookup_count += m.lookup_count;
+  into->queue_ns_total += m.queue_ns_total;
+  into->queue_count += m.queue_count;
+  into->run_ns_total += m.run_ns_total;
+  into->run_count += m.run_count;
+  into->append_ns_total += m.append_ns_total;
+  into->append_count += m.append_count;
 }
 
 }  // namespace wfregs::service

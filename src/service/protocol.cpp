@@ -76,4 +76,53 @@ std::optional<Frame> read_frame(int fd) {
   return frame;
 }
 
+std::string pack_batch(const std::vector<std::string>& items) {
+  std::string out;
+  std::size_t total = 4;
+  for (const std::string& item : items) total += 4 + item.size();
+  out.reserve(total);
+  const auto append_u32 = [&out](std::uint32_t v) {
+    for (int k = 0; k < 4; ++k) {
+      out.push_back(static_cast<char>((v >> (8 * k)) & 0xFF));
+    }
+  };
+  append_u32(static_cast<std::uint32_t>(items.size()));
+  for (const std::string& item : items) {
+    append_u32(static_cast<std::uint32_t>(item.size()));
+    out.append(item);
+  }
+  return out;
+}
+
+std::vector<std::string> unpack_batch(const std::string& payload) {
+  const auto* data = reinterpret_cast<const std::uint8_t*>(payload.data());
+  const std::size_t size = payload.size();
+  std::size_t pos = 0;
+  const auto take_u32 = [&]() -> std::uint32_t {
+    if (size - pos < 4) throw std::runtime_error("unpack_batch: truncated");
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      v |= static_cast<std::uint32_t>(data[pos + k]) << (8 * k);
+    }
+    pos += 4;
+    return v;
+  };
+  const std::uint32_t count = take_u32();
+  // Each item costs at least a 4-byte length prefix: reject counts that
+  // cannot possibly fit before reserving anything.
+  if (static_cast<std::size_t>(count) * 4 > size - pos) {
+    throw std::runtime_error("unpack_batch: item count exceeds payload");
+  }
+  std::vector<std::string> items;
+  items.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint32_t len = take_u32();
+    if (size - pos < len) throw std::runtime_error("unpack_batch: truncated");
+    items.emplace_back(payload, pos, len);
+    pos += len;
+  }
+  if (pos != size) throw std::runtime_error("unpack_batch: trailing bytes");
+  return items;
+}
+
 }  // namespace wfregs::service

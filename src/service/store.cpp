@@ -79,6 +79,34 @@ std::uint64_t key_probe_hash(const JobKey& key) {
 
 }  // namespace
 
+std::size_t parse_store_records(const std::uint8_t* data, std::size_t size,
+                                std::vector<StoreRecord>* out) {
+  std::size_t pos = 0;
+  while (pos < size) {
+    if (size - pos < kRecordHeaderBytes) break;  // torn header
+    const std::uint8_t* rec = data + pos;
+    if (load_u32(rec) != kRecordMagic) break;  // corrupt magic
+    const std::uint32_t payload_len = load_u32(rec + 4);
+    if (size - pos - kRecordHeaderBytes < payload_len) break;  // torn
+    StoreRecord record;
+    record.key.hi = load_u64(rec + 8);
+    record.key.lo = load_u64(rec + 16);
+    const std::uint32_t crc = load_u32(rec + 24);
+    const std::uint8_t* payload = rec + kRecordHeaderBytes;
+    if (crc32(payload, payload_len) != crc) break;  // corrupt payload
+    record.payload.assign(payload, payload + payload_len);
+    out->push_back(std::move(record));
+    pos += kRecordHeaderBytes + payload_len;
+  }
+  return pos;
+}
+
+bool check_store_header(const std::uint8_t* data, std::size_t size) {
+  static_assert(sizeof(kHeader) == kStoreHeaderBytes);
+  return size >= sizeof(kHeader) &&
+         std::memcmp(data, kHeader, sizeof(kHeader)) == 0;
+}
+
 VerdictStore::VerdictStore(std::string path) : path_(std::move(path)) {
   slots_.assign(64, 0);
   mask_ = slots_.size() - 1;
@@ -118,38 +146,26 @@ void VerdictStore::replay() {
     file_bytes_ = sizeof(kHeader);
     return;
   }
-  if (data.size() < sizeof(kHeader) ||
-      std::memcmp(data.data(), kHeader, sizeof(kHeader)) != 0) {
+  if (!check_store_header(data.data(), data.size())) {
     throw std::runtime_error("VerdictStore: " + path_ +
                              " is not a verdict log (bad header)");
   }
 
-  std::size_t pos = sizeof(kHeader);
-  std::size_t committed = pos;
-  while (pos < data.size()) {
-    if (data.size() - pos < kRecordHeaderBytes) break;  // torn header
-    const std::uint8_t* rec = data.data() + pos;
-    if (load_u32(rec) != kRecordMagic) break;  // corrupt magic
-    const std::uint32_t payload_len = load_u32(rec + 4);
-    if (data.size() - pos - kRecordHeaderBytes < payload_len) break;  // torn
-    JobKey key;
-    key.hi = load_u64(rec + 8);
-    key.lo = load_u64(rec + 16);
-    const std::uint32_t crc = load_u32(rec + 24);
-    const std::uint8_t* payload = rec + kRecordHeaderBytes;
-    if (crc32(payload, payload_len) != crc) break;  // corrupt payload
+  std::vector<StoreRecord> records;
+  const std::size_t committed =
+      sizeof(kHeader) + parse_store_records(data.data() + sizeof(kHeader),
+                                            data.size() - sizeof(kHeader),
+                                            &records);
+  for (StoreRecord& record : records) {
     // Committed record: index it (last writer wins on duplicate keys).
-    std::vector<std::uint8_t> bytes(payload, payload + payload_len);
-    const std::uint32_t slot = find_slot(key);
+    const std::uint32_t slot = find_slot(record.key);
     if (slots_[slot] != 0) {
-      payloads_[slots_[slot] - 1] = std::move(bytes);
+      payloads_[slots_[slot] - 1] = std::move(record.payload);
     } else {
-      keys_.push_back(key);
-      payloads_.push_back(std::move(bytes));
-      index_insert(key, static_cast<std::uint32_t>(keys_.size()));
+      keys_.push_back(record.key);
+      payloads_.push_back(std::move(record.payload));
+      index_insert(record.key, static_cast<std::uint32_t>(keys_.size()));
     }
-    pos += kRecordHeaderBytes + payload_len;
-    committed = pos;
   }
   if (committed < data.size()) {
     // Torn or corrupt tail: drop it so the next append lands on a clean
@@ -205,7 +221,14 @@ std::optional<std::vector<std::uint8_t>> VerdictStore::lookup_encoded(
 }
 
 void VerdictStore::put(const JobKey& key, const Verdict& verdict) {
-  std::vector<std::uint8_t> payload = encode_verdict(verdict);
+  put_encoded(key, encode_verdict(verdict));
+}
+
+void VerdictStore::put_encoded(const JobKey& key,
+                               std::vector<std::uint8_t> payload) {
+  // Validate before committing: a malformed payload (a corrupt replication
+  // frame, a bad merge source) must fail loudly, not poison the log.
+  decode_verdict(payload.data(), payload.size());
   append_record(key, payload);
   const std::uint32_t slot = find_slot(key);
   if (slots_[slot] != 0) {
@@ -215,6 +238,25 @@ void VerdictStore::put(const JobKey& key, const Verdict& verdict) {
     payloads_.push_back(std::move(payload));
     index_insert(key, static_cast<std::uint32_t>(keys_.size()));
   }
+}
+
+bool VerdictStore::merge_encoded(const JobKey& key,
+                                 const std::vector<std::uint8_t>& payload) {
+  const std::uint32_t slot = find_slot(key);
+  if (slots_[slot] != 0 && payloads_[slots_[slot] - 1] == payload) {
+    return false;  // idempotent: identical record already committed
+  }
+  put_encoded(key, payload);
+  return true;
+}
+
+std::vector<JobKey> VerdictStore::keys() const {
+  std::vector<JobKey> out;
+  out.reserve(keys_.size());
+  for (const std::uint32_t id : slots_) {
+    if (id != 0) out.push_back(keys_[id - 1]);
+  }
+  return out;
 }
 
 void VerdictStore::append_record(const JobKey& key,

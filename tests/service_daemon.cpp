@@ -13,6 +13,7 @@
 #include "wfregs/consensus/protocols.hpp"
 #include "wfregs/service/client.hpp"
 #include "wfregs/service/job.hpp"
+#include "wfregs/service/transport.hpp"
 
 namespace wfregs::service {
 namespace {
@@ -173,6 +174,92 @@ TEST(Daemon, RestartServesCachedVerdictsFromThePersistentStore) {
     fixture.server.join();
   }
   std::remove(store.c_str());
+}
+
+TEST(Protocol, PackBatchRoundTripsAndValidates) {
+  const std::vector<std::string> items = {"", "one", std::string("\x00\xFF", 2),
+                                          std::string(100000, 'z')};
+  EXPECT_EQ(unpack_batch(pack_batch(items)), items);
+  EXPECT_EQ(unpack_batch(pack_batch({})), std::vector<std::string>{});
+  // Truncation, impossible counts and trailing garbage all throw.
+  const std::string packed = pack_batch({"abc"});
+  EXPECT_THROW(unpack_batch(packed.substr(0, packed.size() - 1)),
+               std::runtime_error);
+  EXPECT_THROW(unpack_batch(packed + "x"), std::runtime_error);
+  EXPECT_THROW(unpack_batch(std::string("\xFF\xFF\xFF\xFF", 4)),
+               std::runtime_error);
+}
+
+TEST(Daemon, PipelinedFramesInOneSendAllGetReplies) {
+  // Regression for the poll-loop drain bug: a client writing TWO complete
+  // frames in a single send() must receive both replies without another
+  // wakeup -- the loop has to dispatch every buffered frame, not one frame
+  // per poll cycle.
+  const std::string sock = socket_path("pipe");
+  DaemonFixture fixture(sock);
+  const int fd = connect_endpoint(parse_endpoint(sock));
+  std::string two;
+  for (int n = 0; n < 2; ++n) {
+    const std::uint32_t len = 1;  // type byte only, empty payload
+    for (int k = 0; k < 4; ++k) {
+      two.push_back(static_cast<char>((len >> (8 * k)) & 0xFF));
+    }
+    two.push_back(static_cast<char>(FrameType::kStats));
+  }
+  ASSERT_EQ(::send(fd, two.data(), two.size(), 0),
+            static_cast<ssize_t>(two.size()));
+  for (int n = 0; n < 2; ++n) {
+    const auto reply = read_frame(fd);
+    ASSERT_TRUE(reply.has_value()) << "reply " << n << " never arrived";
+    EXPECT_EQ(reply->type, FrameType::kReply);
+    EXPECT_TRUE(contains(reply->payload, "\"submitted\"")) << reply->payload;
+  }
+  ::close(fd);
+}
+
+TEST(Daemon, ServesTheSameProtocolOverTcp) {
+  DaemonOptions options;
+  options.tcp = "tcp:127.0.0.1:0";  // ephemeral: no fixed-port races
+  options.scheduler.workers = 1;
+  Daemon daemon(std::move(options));
+  ASSERT_NE(daemon.tcp_port(), 0);
+  std::thread server([&daemon] { daemon.run(); });
+  Client client("tcp:127.0.0.1:" + std::to_string(daemon.tcp_port()));
+  const std::string text = job_text(consensus::from_test_and_set());
+  client.submit(text);
+  const std::string done =
+      client.wait(job_key_hex(job_key(parse_job(text))));
+  EXPECT_TRUE(contains(done, "\"status\":\"done\"")) << done;
+  EXPECT_TRUE(contains(client.shutdown(), "draining"));
+  server.join();
+}
+
+TEST(Daemon, BatchSubmitAndPollRoundTripInOrder) {
+  const std::string sock = socket_path("batch");
+  DaemonFixture fixture(sock);
+  Client client(sock);
+  const std::string tas = job_text(consensus::from_test_and_set());
+  const std::string queue = job_text(consensus::from_queue());
+  // One frame pair for the whole batch; replies come back in order.  The
+  // duplicate tas entry must NOT queue a second computation: it comes back
+  // "coalesced" when the first is still pending, or "cached" if the tiny
+  // job already finished by the time the batch reaches the duplicate.
+  const std::string submitted = client.submit_batch({tas, queue, tas});
+  EXPECT_TRUE(contains(submitted, "\"status\":\"queued\"")) << submitted;
+  EXPECT_TRUE(contains(submitted, "\"status\":\"coalesced\"") ||
+              contains(submitted, "\"status\":\"cached\""))
+      << submitted;
+  const std::string tas_key = job_key_hex(job_key(parse_job(tas)));
+  const std::string queue_key = job_key_hex(job_key(parse_job(queue)));
+  EXPECT_LT(submitted.find(tas_key), submitted.find(queue_key)) << submitted;
+  client.wait(tas_key);
+  client.wait(queue_key);
+  const std::string polled = client.poll_batch({tas_key, queue_key});
+  EXPECT_TRUE(contains(polled, "[{")) << polled;
+  EXPECT_LT(polled.find(tas_key), polled.find(queue_key)) << polled;
+  EXPECT_FALSE(contains(polled, "\"status\":\"queued\"")) << polled;
+  EXPECT_FALSE(contains(polled, "\"status\":\"running\"")) << polled;
+  client.shutdown();
 }
 
 }  // namespace

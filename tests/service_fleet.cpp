@@ -1,0 +1,486 @@
+// Fleet-layer tests: the Coordinator gateway (sharding, stealing, bounded
+// admission, disconnect requeue), Worker registration + result/sync
+// replication over real TCP sockets, and the transport primitives they
+// ride on.  Verdict runners are injected (instant or gated) so every test
+// is about fleet mechanics, not exploration time.
+#include "wfregs/service/fleet.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wfregs/consensus/protocols.hpp"
+#include "wfregs/service/client.hpp"
+#include "wfregs/service/job.hpp"
+#include "wfregs/service/store.hpp"
+#include "wfregs/service/transport.hpp"
+
+namespace wfregs::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// First "name":<digits> in `json`.  The coordinator's fleet counters come
+/// before the nested fleet_totals object, so the first hit is always the
+/// fleet-level one.
+std::uint64_t json_u64(const std::string& json, const std::string& name) {
+  const std::string tag = "\"" + name + "\":";
+  const std::size_t pos = json.find(tag);
+  if (pos == std::string::npos) return 0;
+  std::uint64_t v = 0;
+  for (std::size_t k = pos + tag.size();
+       k < json.size() && json[k] >= '0' && json[k] <= '9'; ++k) {
+    v = v * 10 + static_cast<std::uint64_t>(json[k] - '0');
+  }
+  return v;
+}
+
+bool wait_for(const std::function<bool()>& pred,
+              std::chrono::milliseconds timeout = 10s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// Distinct jobs from one implementation: max_configs is part of the
+/// canonical job text, so each salt mints a fresh JobKey.
+VerifyJob make_job(std::uint64_t salt) {
+  VerifyJob job;
+  job.kind = JobKind::kConsensus;
+  job.impl = consensus::from_test_and_set();
+  job.options.limits.max_configs = 1000000 + salt;
+  return job;
+}
+
+std::size_t shard_of(const std::string& text, std::size_t workers) {
+  const JobKey key = hash_job_text(text);
+  return static_cast<std::size_t>((key.hi ^ key.lo) % workers);
+}
+
+std::vector<std::string> distinct_jobs(std::size_t n) {
+  std::vector<std::string> out;
+  for (std::uint64_t salt = 1; out.size() < n; ++salt) {
+    out.push_back(print_job(make_job(salt)));
+  }
+  return out;
+}
+
+/// `total` distinct jobs covering BOTH shards of a two-worker fleet, so
+/// cross-worker cache attribution is deterministic, not luck.
+std::vector<std::string> mixed_shard_jobs(std::size_t total) {
+  std::vector<std::string> by_shard[2];
+  for (std::uint64_t salt = 1; by_shard[0].empty() || by_shard[1].empty() ||
+                               by_shard[0].size() + by_shard[1].size() < total;
+       ++salt) {
+    const std::string text = print_job(make_job(salt));
+    by_shard[shard_of(text, 2)].push_back(text);
+  }
+  std::vector<std::string> out = {by_shard[0][0], by_shard[1][0]};
+  for (const int s : {0, 1}) {
+    for (std::size_t k = 1; k < by_shard[s].size() && out.size() < total; ++k) {
+      out.push_back(by_shard[s][k]);
+    }
+  }
+  return out;
+}
+
+/// `n` distinct jobs that ALL shard to worker index `shard` of a
+/// two-worker fleet: the steal test wants one hot queue and one idle
+/// worker.
+std::vector<std::string> jobs_on_shard(std::size_t n, std::size_t shard) {
+  std::vector<std::string> out;
+  for (std::uint64_t salt = 1; out.size() < n; ++salt) {
+    const std::string text = print_job(make_job(salt));
+    if (shard_of(text, 2) == shard) out.push_back(text);
+  }
+  return out;
+}
+
+Verdict instant_verdict(const VerifyJob& job) {
+  Verdict v;
+  v.kind = job.kind;
+  v.ok = true;
+  v.wait_free = true;
+  v.complete = true;
+  v.stats.configs = 1;
+  return v;
+}
+
+JobScheduler::Runner fast_runner() {
+  return [](const VerifyJob& job, const std::atomic<bool>&) {
+    return instant_verdict(job);
+  };
+}
+
+/// Blocks every verdict until *gate flips (or the job is cancelled).
+JobScheduler::Runner gated_runner(std::shared_ptr<std::atomic<bool>> gate) {
+  return [gate](const VerifyJob& job, const std::atomic<bool>& cancel) {
+    while (!gate->load() && !cancel.load()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    return instant_verdict(job);
+  };
+}
+
+/// A coordinator on a background thread plus N in-process workers, all
+/// over a kernel-assigned TCP port (or a Unix socket).
+struct FleetFixture {
+  explicit FleetFixture(CoordinatorOptions options) {
+    coordinator = std::make_unique<Coordinator>(std::move(options));
+    coord_thread = std::thread([this] { served = coordinator->run(); });
+  }
+
+  ~FleetFixture() {
+    for (auto& w : workers) w->request_stop();
+    coordinator->request_stop();
+    join();
+  }
+
+  std::string endpoint() const {
+    return "tcp:127.0.0.1:" + std::to_string(coordinator->tcp_port());
+  }
+
+  void add_worker(const std::string& name, JobScheduler::Runner runner,
+                  const std::string& store_path = "",
+                  std::chrono::milliseconds sync_interval = 100ms) {
+    WorkerOptions o;
+    o.connect = endpoint();
+    o.name = name;
+    o.runner = std::move(runner);
+    o.scheduler.store_path = store_path;
+    o.sync_interval = sync_interval;
+    workers.push_back(std::make_unique<Worker>(std::move(o)));
+    worker_threads.emplace_back(
+        [w = workers.back().get()] { (void)w->run(); });
+  }
+
+  /// After a client shutdown request: workers exit on kShutdown, then the
+  /// coordinator sees the last goodbye and returns.
+  void join() {
+    for (auto& t : worker_threads) {
+      if (t.joinable()) t.join();
+    }
+    if (coord_thread.joinable()) coord_thread.join();
+  }
+
+  std::unique_ptr<Coordinator> coordinator;
+  std::thread coord_thread;
+  std::uint64_t served = 0;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::thread> worker_threads;
+};
+
+TEST(Transport, EndpointSpecsParseBothFamilies) {
+  Endpoint ep = parse_endpoint("/tmp/x.sock");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/tmp/x.sock");
+  EXPECT_EQ(endpoint_to_string(ep), "unix:/tmp/x.sock");
+  EXPECT_EQ(parse_endpoint("unix:/a/b").path, "/a/b");
+
+  ep = parse_endpoint("tcp:7461");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 7461);
+  ep = parse_endpoint("tcp:10.1.2.3:80");
+  EXPECT_EQ(ep.host, "10.1.2.3");
+  EXPECT_EQ(ep.port, 80);
+  EXPECT_EQ(endpoint_to_string(ep), "tcp:10.1.2.3:80");
+
+  EXPECT_THROW(parse_endpoint(""), std::runtime_error);
+  EXPECT_THROW(parse_endpoint("tcp:"), std::runtime_error);
+  EXPECT_THROW(parse_endpoint("tcp:notaport"), std::runtime_error);
+  EXPECT_THROW(parse_endpoint("tcp:127.0.0.1:99999"), std::runtime_error);
+}
+
+TEST(Transport, FrameSplitterReassemblesByteByByte) {
+  // Three frames serialized back to back, fed one byte at a time: the
+  // splitter must yield exactly the three frames, in order, regardless of
+  // how the stream fragments.
+  const std::vector<Frame> frames = {
+      Frame{FrameType::kSubmit, "job text"},
+      Frame{FrameType::kStats, ""},
+      Frame{FrameType::kReply, std::string(10000, 'v')}};
+  std::string stream;
+  for (const Frame& f : frames) {
+    const std::uint32_t len = static_cast<std::uint32_t>(1 + f.payload.size());
+    for (int k = 0; k < 4; ++k) {
+      stream.push_back(static_cast<char>((len >> (8 * k)) & 0xFF));
+    }
+    stream.push_back(static_cast<char>(f.type));
+    stream.append(f.payload);
+  }
+  FrameSplitter splitter;
+  std::vector<Frame> got;
+  Frame frame;
+  for (const char c : stream) {
+    splitter.feed(&c, 1);
+    while (splitter.next(&frame)) got.push_back(frame);
+  }
+  ASSERT_EQ(got.size(), frames.size());
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    EXPECT_EQ(got[k].type, frames[k].type);
+    EXPECT_EQ(got[k].payload, frames[k].payload);
+  }
+  EXPECT_EQ(splitter.buffered(), 0u);
+  // A zero-length prefix is a protocol violation, not a hang.
+  const char bad[5] = {0, 0, 0, 0, 0};
+  splitter.feed(bad, 5);
+  EXPECT_THROW(splitter.next(&frame), std::runtime_error);
+}
+
+TEST(Fleet, BatchAcrossTwoWorkersWarmsTheSharedCache) {
+  CoordinatorOptions options;
+  options.listen_tcp = "tcp:127.0.0.1:0";
+  options.drain_grace = 500ms;
+  FleetFixture fleet(options);
+  fleet.add_worker("alpha", fast_runner());
+  fleet.add_worker("beta", fast_runner());
+  Client client(fleet.endpoint());
+  ASSERT_TRUE(
+      wait_for([&] { return json_u64(client.stats(), "workers") == 2; }));
+
+  // Jobs chosen to hash onto BOTH shards: each worker computes at least
+  // one verdict, so the re-submit below proves cross-worker cache reuse.
+  const std::vector<std::string> jobs = mixed_shard_jobs(3);
+  const std::string submitted = client.submit_batch(jobs);
+  EXPECT_EQ(count_of(submitted, "\"status\":\"queued\""), 3u) << submitted;
+  ASSERT_TRUE(
+      wait_for([&] { return json_u64(client.stats(), "completed") == 3; }));
+
+  const std::string again = client.submit_batch(jobs);
+  EXPECT_EQ(count_of(again, "\"status\":\"cached\""), 3u) << again;
+  EXPECT_TRUE(contains(again, "\"ok\":true")) << again;
+
+  const std::string stats = client.stats();
+  EXPECT_EQ(json_u64(stats, "cache_hits"), 3u) << stats;
+  EXPECT_EQ(json_u64(stats, "dispatched"), 3u) << stats;
+  // Every worker holds its own shard, so nothing needed stealing...
+  EXPECT_EQ(json_u64(stats, "steals"), 0u) << stats;
+  // ...and hits are attributed to both origins.
+  EXPECT_GE(json_u64(stats, "alpha"), 1u) << stats;
+  EXPECT_GE(json_u64(stats, "beta"), 1u) << stats;
+
+  EXPECT_TRUE(contains(client.shutdown(), "draining"));
+  fleet.join();
+
+  const FleetMetrics m = fleet.coordinator->metrics();
+  EXPECT_EQ(m.completed, 3u);
+  EXPECT_EQ(m.failed, 0u);
+  ASSERT_EQ(m.hits_by_origin.size(), 2u);
+  // The aggregated worker snapshots survive the goodbyes.
+  EXPECT_EQ(fleet.coordinator->fleet_totals().completed, 3u);
+}
+
+TEST(Fleet, BoundedAdmissionRejectsAtTheCap) {
+  CoordinatorOptions options;
+  options.listen_tcp = "tcp:127.0.0.1:0";
+  options.admission_capacity = 2;
+  options.drain_grace = 200ms;  // pending orphans are abandoned at exit
+  FleetFixture fleet(options);
+  Client client(fleet.endpoint());
+
+  // No workers: admitted jobs sit in the orphan queue and count against
+  // the cap, so the third of three distinct submissions bounces.
+  const std::vector<std::string> jobs = distinct_jobs(3);
+  const std::string replies = client.submit_batch(jobs);
+  EXPECT_EQ(count_of(replies, "\"status\":\"queued\""), 2u) << replies;
+  EXPECT_EQ(count_of(replies, "\"status\":\"rejected\""), 1u) << replies;
+  // In order: the cap rejects the LAST job, not an arbitrary one.
+  EXPECT_LT(replies.rfind("queued"), replies.find("rejected")) << replies;
+
+  const std::string stats = client.stats();
+  EXPECT_EQ(json_u64(stats, "admission_rejections"), 1u) << stats;
+  EXPECT_EQ(json_u64(stats, "queue_depth"), 2u) << stats;
+  EXPECT_EQ(json_u64(stats, "submitted"), 2u) << stats;
+
+  const std::string key = job_key_hex(hash_job_text(jobs[0]));
+  EXPECT_TRUE(contains(client.poll(key), "\"status\":\"queued\""));
+
+  EXPECT_TRUE(contains(client.shutdown(), "draining"));
+  fleet.join();
+  EXPECT_EQ(fleet.coordinator->metrics().admission_rejections, 1u);
+}
+
+TEST(Fleet, IdleWorkerStealsFromTheLargestQueue) {
+  CoordinatorOptions options;
+  options.listen_tcp = "tcp:127.0.0.1:0";
+  options.drain_grace = 2000ms;
+  FleetFixture fleet(options);
+
+  // Worker join order fixes the shard map: "gated" must be index 0.
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  fleet.add_worker("gated", gated_runner(gate));
+  Client client(fleet.endpoint());
+  ASSERT_TRUE(
+      wait_for([&] { return json_u64(client.stats(), "workers") == 1; }));
+  fleet.add_worker("swift", fast_runner());
+  ASSERT_TRUE(
+      wait_for([&] { return json_u64(client.stats(), "workers") == 2; }));
+
+  // Four jobs that ALL shard to the gated worker: it absorbs two into its
+  // inflight window (default 2) and the idle fast worker must steal the
+  // other two -- there is no orphan work to hide behind.
+  const std::vector<std::string> jobs = jobs_on_shard(4, 0);
+  client.submit_batch(jobs);
+  ASSERT_TRUE(
+      wait_for([&] { return json_u64(client.stats(), "completed") == 2; }));
+
+  const std::string stats = client.stats();
+  EXPECT_EQ(json_u64(stats, "steals"), 2u) << stats;
+  EXPECT_EQ(json_u64(stats, "dispatched"), 4u) << stats;
+  EXPECT_EQ(json_u64(stats, "swift"), 0u) << stats;  // no cache hits yet
+
+  gate->store(true);
+  ASSERT_TRUE(
+      wait_for([&] { return json_u64(client.stats(), "completed") == 4; }));
+
+  // All four verdicts are now served from the coordinator cache, split
+  // two-and-two between the origins by the steal.
+  const std::string again = client.submit_batch(jobs);
+  EXPECT_EQ(count_of(again, "\"status\":\"cached\""), 4u) << again;
+  const std::string warm = client.stats();
+  EXPECT_EQ(json_u64(warm, "gated"), 2u) << warm;
+  EXPECT_EQ(json_u64(warm, "swift"), 2u) << warm;
+
+  EXPECT_TRUE(contains(client.shutdown(), "draining"));
+  fleet.join();
+}
+
+TEST(Fleet, WorkerStoreTailSyncWarmsTheCoordinatorCache) {
+  const std::string store = ::testing::TempDir() + "wfregs_fleet_warm_" +
+                            std::to_string(::getpid()) + ".log";
+  std::remove(store.c_str());
+  const std::string text = print_job(make_job(7));
+  const JobKey key = hash_job_text(text);
+  {
+    // A verdict this worker computed BEFORE the fleet existed.
+    VerdictStore seed(store);
+    VerifyJob job = make_job(7);
+    seed.put(key, instant_verdict(job));
+  }
+
+  CoordinatorOptions options;
+  options.listen_tcp = "tcp:127.0.0.1:0";
+  options.drain_grace = 500ms;
+  FleetFixture fleet(options);
+  fleet.add_worker("prewarmed", fast_runner(), store, /*sync_interval=*/25ms);
+  Client client(fleet.endpoint());
+
+  // The record-log tail arrives with the first periodic sync; no job was
+  // ever dispatched for it.
+  ASSERT_TRUE(wait_for(
+      [&] { return json_u64(client.stats(), "merged_records") >= 1; }));
+  const std::string reply = client.submit(text);
+  EXPECT_TRUE(contains(reply, "\"status\":\"cached\"")) << reply;
+  EXPECT_TRUE(contains(reply, job_key_hex(key))) << reply;
+
+  const std::string stats = client.stats();
+  EXPECT_EQ(json_u64(stats, "dispatched"), 0u) << stats;
+  EXPECT_EQ(json_u64(stats, "prewarmed"), 1u) << stats;
+
+  EXPECT_TRUE(contains(client.shutdown(), "draining"));
+  fleet.join();
+  std::remove(store.c_str());
+}
+
+TEST(Fleet, DisconnectRequeuesAndASecondWorkerCompletes) {
+  CoordinatorOptions options;
+  options.listen_tcp = "tcp:127.0.0.1:0";
+  options.drain_grace = 2000ms;
+  FleetFixture fleet(options);
+  Client client(fleet.endpoint());
+
+  // Two jobs land in the orphan queue (no workers yet).
+  const std::vector<std::string> jobs = distinct_jobs(2);
+  client.submit_batch(jobs);
+  EXPECT_EQ(json_u64(client.stats(), "queue_depth"), 2u);
+
+  // A raw fake worker registers, receives both assignments (inflight
+  // window 2) and dies without ever answering.
+  {
+    const int fd = connect_endpoint(parse_endpoint(fleet.endpoint()));
+    write_frame(fd, Frame{FrameType::kWorkerHello, pack_batch({"flaky", "8"})});
+    const auto welcome = read_frame(fd);
+    ASSERT_TRUE(welcome.has_value());
+    EXPECT_EQ(welcome->type, FrameType::kWorkerWelcome);
+    for (int k = 0; k < 2; ++k) {
+      const auto assign = read_frame(fd);
+      ASSERT_TRUE(assign.has_value());
+      EXPECT_EQ(assign->type, FrameType::kAssign);
+    }
+    ::close(fd);
+  }
+  ASSERT_TRUE(wait_for([&] {
+    const std::string s = client.stats();
+    return json_u64(s, "requeued") == 2 && json_u64(s, "workers") == 0;
+  }));
+  EXPECT_EQ(json_u64(client.stats(), "queue_depth"), 2u);
+
+  // A second fake worker picks the requeued jobs up and answers with
+  // canned encoded verdicts -- exactly what a real worker ships.
+  const int fd = connect_endpoint(parse_endpoint(fleet.endpoint()));
+  write_frame(fd, Frame{FrameType::kWorkerHello, pack_batch({"steady", "8"})});
+  const auto welcome = read_frame(fd);
+  ASSERT_TRUE(welcome.has_value());
+  for (int k = 0; k < 2; ++k) {
+    const auto assign = read_frame(fd);
+    ASSERT_TRUE(assign.has_value());
+    ASSERT_EQ(assign->type, FrameType::kAssign);
+    const std::vector<std::string> parts = unpack_batch(assign->payload);
+    ASSERT_EQ(parts.size(), 2u);
+    const Verdict v = instant_verdict(parse_job(parts[1]));
+    const std::vector<std::uint8_t> encoded = encode_verdict(v);
+    write_frame(
+        fd, Frame{FrameType::kWorkerResult,
+                  pack_batch({parts[0], "done",
+                              std::string(encoded.begin(), encoded.end())})});
+  }
+  ASSERT_TRUE(
+      wait_for([&] { return json_u64(client.stats(), "completed") == 2; }));
+
+  const std::string again = client.submit_batch(jobs);
+  EXPECT_EQ(count_of(again, "\"status\":\"cached\""), 2u) << again;
+  const std::string stats = client.stats();
+  EXPECT_EQ(json_u64(stats, "requeued"), 2u) << stats;
+  EXPECT_EQ(json_u64(stats, "steady"), 2u) << stats;
+  EXPECT_EQ(json_u64(stats, "dispatched"), 4u) << stats;  // 2 lost + 2 redone
+
+  EXPECT_TRUE(contains(client.shutdown(), "draining"));
+  // The coordinator tells the surviving worker to drain; acknowledge by
+  // closing so the shutdown handshake completes cleanly.
+  for (;;) {
+    const auto frame = read_frame(fd);
+    ASSERT_TRUE(frame.has_value()) << "coordinator closed before kShutdown";
+    if (frame->type == FrameType::kShutdown) break;
+  }
+  ::close(fd);
+  fleet.join();
+  EXPECT_EQ(fleet.coordinator->metrics().completed, 2u);
+}
+
+}  // namespace
+}  // namespace wfregs::service

@@ -247,5 +247,124 @@ TEST(VerdictStore, SigkillMidAppendRecoversEveryCommittedRecord) {
   std::remove(path.c_str());
 }
 
+/// Merges every committed record of the log at `src` into `dst`, the
+/// fleet's replication primitive driven offline (what `wfregs_cli
+/// store-merge` does).  Returns the number of records applied.
+std::size_t merge_log_into(VerdictStore* dst, const std::string& src) {
+  const std::vector<char> bytes = read_file(src);
+  const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  EXPECT_TRUE(check_store_header(data, bytes.size()));
+  std::vector<StoreRecord> records;
+  parse_store_records(data + kStoreHeaderBytes,
+                      bytes.size() - kStoreHeaderBytes, &records);
+  std::size_t applied = 0;
+  for (const StoreRecord& record : records) {
+    if (dst->merge_encoded(record.key, record.payload)) ++applied;
+  }
+  return applied;
+}
+
+TEST(VerdictStoreMerge, DisjointLogsMergeByteIdenticalToASingleStore) {
+  // Differential: 10 verdicts written to one store must equal, per key and
+  // as ENCODED BYTES, the merge of two disjoint 5-verdict logs.
+  const std::string all = temp_path("merge_all.log");
+  const std::string a = temp_path("merge_a.log");
+  const std::string b = temp_path("merge_b.log");
+  const std::string merged = temp_path("merge_dst.log");
+  for (const auto* p : {&all, &a, &b, &merged}) std::remove(p->c_str());
+  {
+    VerdictStore single(all);
+    VerdictStore left(a);
+    VerdictStore right(b);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      single.put(key_of(i), verdict_of(i));
+      (i % 2 == 0 ? left : right).put(key_of(i), verdict_of(i));
+    }
+  }
+  VerdictStore dst(merged);
+  EXPECT_EQ(merge_log_into(&dst, a), 5u);
+  EXPECT_EQ(merge_log_into(&dst, b), 5u);
+  const VerdictStore reference(all);
+  ASSERT_EQ(dst.size(), reference.size());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto got = dst.lookup_encoded(key_of(i));
+    const auto want = reference.lookup_encoded(key_of(i));
+    ASSERT_TRUE(got.has_value() && want.has_value()) << "key " << i;
+    EXPECT_EQ(*got, *want) << "key " << i << " not byte-identical";
+  }
+  for (const auto* p : {&all, &a, &b, &merged}) std::remove(p->c_str());
+}
+
+TEST(VerdictStoreMerge, OverlappingLogsMergeIdempotently) {
+  // Keys 0..6 and 3..9 overlap on 3..6; the overlap must be skipped (no
+  // log growth) and the result must still match the single-store run.
+  const std::string a = temp_path("overlap_a.log");
+  const std::string b = temp_path("overlap_b.log");
+  const std::string merged = temp_path("overlap_dst.log");
+  for (const auto* p : {&a, &b, &merged}) std::remove(p->c_str());
+  {
+    VerdictStore left(a);
+    VerdictStore right(b);
+    for (std::uint64_t i = 0; i < 7; ++i) left.put(key_of(i), verdict_of(i));
+    for (std::uint64_t i = 3; i < 10; ++i) right.put(key_of(i), verdict_of(i));
+  }
+  VerdictStore dst(merged);
+  EXPECT_EQ(merge_log_into(&dst, a), 7u);
+  EXPECT_EQ(merge_log_into(&dst, b), 3u);  // 3..6 already present: skipped
+  EXPECT_EQ(dst.size(), 10u);
+  const std::uint64_t bytes_after_merge = dst.file_bytes();
+  // Re-merging either source is a no-op: zero applied, zero growth.
+  EXPECT_EQ(merge_log_into(&dst, a), 0u);
+  EXPECT_EQ(merge_log_into(&dst, b), 0u);
+  EXPECT_EQ(dst.file_bytes(), bytes_after_merge);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto got = dst.lookup_encoded(key_of(i));
+    ASSERT_TRUE(got.has_value()) << "key " << i;
+    EXPECT_EQ(*got, encode_verdict(verdict_of(i))) << "key " << i;
+  }
+  for (const auto* p : {&a, &b, &merged}) std::remove(p->c_str());
+}
+
+TEST(VerdictStoreMerge, TornTailOnOneSideDropsOnlyTheTornRecord) {
+  // One source log loses the back half of its final record (mid-append
+  // crash); the merge must land every committed record and silently skip
+  // the torn one -- parse_store_records applies the same recovery rule as
+  // open()-time replay.
+  const std::string a = temp_path("torn_a.log");
+  const std::string b = temp_path("torn_b.log");
+  const std::string merged = temp_path("torn_dst.log");
+  for (const auto* p : {&a, &b, &merged}) std::remove(p->c_str());
+  {
+    VerdictStore left(a);
+    VerdictStore right(b);
+    for (std::uint64_t i = 0; i < 4; ++i) left.put(key_of(i), verdict_of(i));
+    for (std::uint64_t i = 4; i < 8; ++i) right.put(key_of(i), verdict_of(i));
+  }
+  const std::vector<char> bytes = read_file(b);
+  write_file(b, bytes, bytes.size() - 7);  // tear the last record
+  VerdictStore dst(merged);
+  EXPECT_EQ(merge_log_into(&dst, a), 4u);
+  EXPECT_EQ(merge_log_into(&dst, b), 3u);  // torn record 7 dropped
+  EXPECT_EQ(dst.size(), 7u);
+  EXPECT_FALSE(dst.lookup_encoded(key_of(7)).has_value());
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    const auto got = dst.lookup_encoded(key_of(i));
+    ASSERT_TRUE(got.has_value()) << "key " << i;
+    EXPECT_EQ(*got, encode_verdict(verdict_of(i))) << "key " << i;
+  }
+  for (const auto* p : {&a, &b, &merged}) std::remove(p->c_str());
+}
+
+TEST(VerdictStoreMerge, PutEncodedRejectsMalformedPayloads) {
+  VerdictStore store("");
+  EXPECT_THROW(store.put_encoded(key_of(0), {0x01, 0x02, 0x03}),
+               std::runtime_error);
+  EXPECT_EQ(store.size(), 0u);  // nothing committed
+  // A valid payload through the encoded path reads back byte-identical.
+  const std::vector<std::uint8_t> payload = encode_verdict(verdict_of(1));
+  store.put_encoded(key_of(1), payload);
+  EXPECT_EQ(store.lookup_encoded(key_of(1)), payload);
+}
+
 }  // namespace
 }  // namespace wfregs::service
