@@ -56,17 +56,20 @@ void BM_ExploreParallel(benchmark::State& state) {
   limits.track_access_bounds = true;
   std::size_t configs = 0;
   std::size_t interned = 0;
+  ContentionStats contention;  // accumulated over iterations (threads>1 only)
   for (auto _ : state) {
     const auto out = explore_parallel(root, {}, limits, threads);
     benchmark::DoNotOptimize(out.stats.configs);
     configs = out.stats.configs;
     interned = out.stats.interned_configs;
+    contention.add(out.contention);
   }
   state.counters["configs"] = static_cast<double>(configs);
   state.counters["interned_configs"] = static_cast<double>(interned);
   state.counters["configs_per_sec"] =
       benchmark::Counter(static_cast<double>(configs),
                          benchmark::Counter::kIsIterationInvariantRate);
+  benchjson::contention_counters(state, contention);
   state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
 }
 

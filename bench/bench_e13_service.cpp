@@ -100,6 +100,7 @@ void BM_WarmVsCold(benchmark::State& state) {
   double warm_ms = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t snapshot_retries = 0;
   for (auto _ : state) {
     std::remove(store.c_str());
     SchedulerOptions options;
@@ -148,6 +149,7 @@ void BM_WarmVsCold(benchmark::State& state) {
     const service::Metrics m = sched.metrics();
     hits = m.cache_hits;
     misses = m.cache_misses;
+    snapshot_retries = m.snapshot_retries;
     benchmark::DoNotOptimize(warm_bytes);
   }
 
@@ -185,6 +187,10 @@ void BM_WarmVsCold(benchmark::State& state) {
   state.counters["speedup"] = speedup;
   state.counters["cache_hits"] = static_cast<double>(hits);
   state.counters["cache_misses"] = static_cast<double>(misses);
+  // Collect invalidations seen by the scheduler's wait-free metrics
+  // aggregator while the workers were publishing (contention telemetry,
+  // not gated).
+  state.counters["snapshot_retries"] = static_cast<double>(snapshot_retries);
   state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
 }
 

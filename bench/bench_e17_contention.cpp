@@ -1,0 +1,220 @@
+// E17 -- lock-free vs locked parallel exploration under contention: the
+// Chase-Lev + lock-free-interner engine (explore_parallel_lockfree) against
+// the retained mutex-striped engine (explore_parallel_locked) on the E10
+// register-race workload, swept over 1/2/4/8/16 worker threads.
+//
+// Every row cross-checks its outcome against a one-shot sequential
+// explore() reference -- configs / edges / terminals / interned_configs /
+// depth / access bounds / verdict must be BIT-IDENTICAL (the canonical-
+// replay determinism contract); any divergence is reported via
+// SkipWithError, which sets error_occurred in the JSON and fails the CI
+// gate.  The lock-free rows additionally emit the engine's contention
+// telemetry (cas_retries / steal_attempts / steals / snapshot_retries), the
+// counters check_bench_regression.py --suite e17_contention floors: at
+// threads >= 2 the work-stealing frontier must actually attempt steals.
+//
+// The single-thread overhead gate runs both engines at threads=1 inside one
+// benchmark, interleaved, and takes the minimum wall time of each: the
+// lock-free machinery may cost at most 1.10x the locked machinery when
+// there is no contention at all (the price of atomics over uncontended
+// mutexes).  Min-of-N in one process keeps the ratio far less noisy than
+// any cross-run comparison; a breach sets error_occurred in-binary, so the
+// gate needs no wall-clock numbers in baseline.json.
+//
+// Emits BENCH_e17_contention.json (Google Benchmark JSON schema).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json_main.hpp"
+#include "wfregs/runtime/explorer.hpp"
+#include "wfregs/typesys/type_zoo.hpp"
+
+namespace {
+
+using namespace wfregs;
+
+// The E10 workload: k processes hammering one shared 4-valued register with
+// (write; read)^ops programs that fold the read back into process state.
+// procs=4, ops=2 gives the frontier enough breadth (~50k configurations)
+// that steals and CAS collisions actually happen at every thread count.
+Engine register_race(int procs, int ops) {
+  const zoo::RegisterLayout lay{4};
+  const auto spec =
+      std::make_shared<const TypeSpec>(zoo::register_type(4, procs));
+  auto sys = std::make_shared<System>(procs);
+  std::vector<PortId> ports;
+  for (PortId p = 0; p < procs; ++p) ports.push_back(p);
+  const ObjectId r = sys->add_base(spec, 0, ports);
+  for (ProcId p = 0; p < procs; ++p) {
+    ProgramBuilder b;
+    for (int k = 0; k < ops; ++k) {
+      b.invoke(0, lit(lay.write((p + k) % 4)), 0);
+      b.invoke(0, lit(lay.read()), 1);
+    }
+    b.ret(reg(1));
+    sys->set_toplevel(p, b.build("p" + std::to_string(p)), {r});
+  }
+  return Engine{std::move(sys)};
+}
+
+ExploreOptions contention_options() {
+  ExploreOptions options;
+  options.limits.track_access_bounds = true;
+  return options;
+}
+
+// The sequential reference outcome, computed once per process: the
+// determinism contract says every parallel row must reproduce it exactly.
+const ExploreOutcome& reference() {
+  static const ExploreOutcome out = [] {
+    return explore(register_race(4, 2), contention_options(), {});
+  }();
+  return out;
+}
+
+// Bit-identity over every deterministic field (contention is excluded by
+// construction: it measures the nondeterminism, never the answer).
+bool matches_reference(const ExploreOutcome& out) {
+  const ExploreOutcome& ref = reference();
+  return out.wait_free == ref.wait_free && out.complete == ref.complete &&
+         out.violation == ref.violation &&
+         out.stats.configs == ref.stats.configs &&
+         out.stats.edges == ref.stats.edges &&
+         out.stats.terminals == ref.stats.terminals &&
+         out.stats.interned_configs == ref.stats.interned_configs &&
+         out.stats.depth == ref.stats.depth &&
+         out.stats.max_accesses == ref.stats.max_accesses &&
+         out.stats.max_accesses_by_inv == ref.stats.max_accesses_by_inv;
+}
+
+void set_common_counters(benchmark::State& state, const ExploreOutcome& out,
+                         const ContentionStats& contention) {
+  state.counters["configs"] = static_cast<double>(out.stats.configs);
+  state.counters["interned_configs"] =
+      static_cast<double>(out.stats.interned_configs);
+  state.counters["configs_per_sec"] =
+      benchmark::Counter(static_cast<double>(out.stats.configs),
+                         benchmark::Counter::kIsIterationInvariantRate);
+  benchjson::contention_counters(state, contention);
+  state.counters["verdict_identical"] = 1.0;
+  state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
+}
+
+// One engine sweep row: run `engine` at `threads`, accumulate contention,
+// gate on reference identity.
+template <class Fn>
+void run_engine(benchmark::State& state, Fn engine, const char* name) {
+  const int threads = static_cast<int>(state.range(0));
+  const Engine root = register_race(4, 2);
+  const ExploreOptions options = contention_options();
+  ExploreOutcome last;
+  ContentionStats contention;
+  for (auto _ : state) {
+    ExploreOutcome out = engine(root, options, threads);
+    benchmark::DoNotOptimize(out.stats.configs);
+    contention.add(out.contention);
+    last = std::move(out);
+  }
+  if (!matches_reference(last)) {
+    state.SkipWithError((std::string(name) + " diverged from explore() at " +
+                         std::to_string(threads) + " threads")
+                            .c_str());
+    return;
+  }
+  set_common_counters(state, last, contention);
+}
+
+void BM_ContentionLocked(benchmark::State& state) {
+  run_engine(
+      state,
+      [](const Engine& root, const ExploreOptions& options, int threads) {
+        return explore_parallel_locked(root, {}, options, threads);
+      },
+      "locked engine");
+}
+
+void BM_ContentionLockFree(benchmark::State& state) {
+  run_engine(
+      state,
+      [](const Engine& root, const ExploreOptions& options, int threads) {
+        return explore_parallel_lockfree(root, {}, options, threads);
+      },
+      "lock-free engine");
+}
+
+// The threads=1 overhead gate: interleaved min-of-N wall times for both
+// engines in this one process, ratio capped at 1.10x.
+void BM_OneThreadOverheadGate(benchmark::State& state) {
+  const Engine root = register_race(4, 2);
+  const ExploreOptions options = contention_options();
+  double best_locked_s = std::numeric_limits<double>::infinity();
+  double best_lockfree_s = std::numeric_limits<double>::infinity();
+  bool identical = true;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExploreOutcome locked = explore_parallel_locked(root, {}, options, 1);
+    const auto t1 = std::chrono::steady_clock::now();
+    const ExploreOutcome lockfree =
+        explore_parallel_lockfree(root, {}, options, 1);
+    const auto t2 = std::chrono::steady_clock::now();
+    best_locked_s =
+        std::min(best_locked_s, std::chrono::duration<double>(t1 - t0).count());
+    best_lockfree_s = std::min(
+        best_lockfree_s, std::chrono::duration<double>(t2 - t1).count());
+    identical =
+        identical && matches_reference(locked) && matches_reference(lockfree);
+    benchmark::DoNotOptimize(lockfree.stats.configs);
+  }
+  if (!identical) {
+    state.SkipWithError("an engine diverged from explore() at 1 thread");
+    return;
+  }
+  const double ratio =
+      best_locked_s > 0 ? best_lockfree_s / best_locked_s : 1.0;
+  state.counters["lockfree_over_locked_x100"] = 100.0 * ratio;
+  state.counters["one_thread_gate_ok"] = ratio <= 1.10 ? 1.0 : 0.0;
+  state.counters["verdict_identical"] = 1.0;
+  if (ratio > 1.10) {
+    state.SkipWithError(("lock-free 1-thread overhead " +
+                         std::to_string(ratio) + "x exceeds the 1.10x cap")
+                            .c_str());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ContentionLocked)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ContentionLockFree)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Fixed at 6 interleaved pairs: min-of-6 is stable, and the gate must not
+// shrink to one noisy pair under --benchmark_min_time=0 in CI.
+BENCHMARK(BM_OneThreadOverheadGate)
+    ->Iterations(6)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  return wfregs::benchjson::run(argc, argv, "BENCH_e17_contention.json");
+}

@@ -15,11 +15,26 @@
 #include <string>
 #include <vector>
 
+#include "wfregs/concurrent/contention.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
 
 namespace wfregs::benchjson {
+
+// Emits the lock-free engine's contention telemetry as benchmark counters,
+// one name per ContentionCounters field, so every BENCH_*.json that runs a
+// parallel exploration reports cas_retries / steal_attempts / steals /
+// snapshot_retries under the same keys (check_bench_regression.py floors
+// key on them).
+inline void contention_counters(benchmark::State& state,
+                                const concurrent::ContentionCounters& c) {
+  state.counters["cas_retries"] = static_cast<double>(c.cas_retries);
+  state.counters["steal_attempts"] = static_cast<double>(c.steal_attempts);
+  state.counters["steals"] = static_cast<double>(c.steals);
+  state.counters["snapshot_retries"] = static_cast<double>(c.snapshot_retries);
+}
 
 // Peak resident-set size of this process in bytes, 0 where unsupported.
 // Monotone over the process lifetime, so benchmarks that want a meaningful

@@ -1,0 +1,37 @@
+// Per-thread contention counters for the lock-free primitives.
+//
+// Every primitive in wfregs/concurrent reports how hard it had to fight:
+// failed CAS reservations in the interner, steal attempts and successful
+// steals on the work-stealing deques, and invalidated collects in the
+// snapshot aggregator.  Each worker thread owns one ContentionCounters
+// (plain, unshared -- no atomics on the hot path); totals are summed after
+// join and surfaced through ExploreOutcome::contention, the service
+// Metrics, and the BENCH_*.json counter sets so the perf trajectory records
+// contention, not just throughput.
+#pragma once
+
+#include <cstdint>
+
+namespace wfregs::concurrent {
+
+struct ContentionCounters {
+  /// Interner slot reservations lost to a racing claimer (the CAS loop's
+  /// retry count -- 0 on an uncontended run).
+  std::uint64_t cas_retries = 0;
+  /// steal() calls made against another worker's deque (empty or not).
+  std::uint64_t steal_attempts = 0;
+  /// steal() calls that actually took an item.
+  std::uint64_t steals = 0;
+  /// Snapshot reads invalidated by a concurrent publication (per-slot
+  /// seqlock retries plus whole-array double-collect rounds).
+  std::uint64_t snapshot_retries = 0;
+
+  void add(const ContentionCounters& o) noexcept {
+    cas_retries += o.cas_retries;
+    steal_attempts += o.steal_attempts;
+    steals += o.steals;
+    snapshot_retries += o.snapshot_retries;
+  }
+};
+
+}  // namespace wfregs::concurrent

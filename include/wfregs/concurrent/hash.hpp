@@ -1,0 +1,47 @@
+// The repo's ONE splitmix64 mixer and word-sequence hash.
+//
+// This mixer used to exist three times -- the runtime definition
+// (config_intern.hpp, which the service JobKey hasher also called) and two
+// private splitmix64 clones in the native lab (runtime.cpp,
+// conformance.cpp).  The canonical definition now lives here; runtime and
+// service call it through thin compatibility aliases (config_mix64 /
+// config_hash_words) and the native lab through splitmix64 below, so every
+// hashing site -- interner probes, shard selection, JobKeys, native PRNG
+// seeding -- agrees on the exact same avalanche.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wfregs::concurrent {
+
+/// splitmix64 finalizer: a bijective full-avalanche 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// One full splitmix64 step -- the golden-ratio increment followed by the
+/// finalizer -- used for deterministic seed derivation (the native lab's
+/// per-thread and per-round PRNG streams).
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  return mix64(x + 0x9e3779b97f4a7c15ULL);
+}
+
+/// Hash of a word sequence: every word is mixed through mix64 before
+/// entering the chain, so single-bit and small-integer differences anywhere
+/// in the key avalanche across the whole output.
+constexpr std::uint64_t hash_words(
+    std::span<const std::uint64_t> words) noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ words.size();
+  for (const std::uint64_t w : words) {
+    h = mix64(h ^ mix64(w));
+  }
+  return h;
+}
+
+}  // namespace wfregs::concurrent

@@ -1,0 +1,170 @@
+// A Chase-Lev work-stealing deque: owner push/pop are wait-free (no CAS on
+// the common path), steals are lock-free (one CAS each), following the C11
+// formulation of Le, Pop, Cohen & Zappa Nardelli, "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP 2013).
+//
+//   * The owner pushes and pops at the BOTTOM (LIFO -- DFS-like locality
+//     for the explorer's frontier); thieves steal from the TOP (FIFO --
+//     they grab the oldest, largest subtrees), exactly the discipline the
+//     mutex-guarded frontier deques implemented before this layer existed.
+//   * Cells hold T* through std::atomic, so the racy pre-CAS read a thief
+//     performs is a plain atomic load -- no torn reads, no UB.  Ownership
+//     of the pointee transfers with a successful pop()/steal().
+//   * The circular array grows owner-side only; superseded arrays are
+//     retired to an owner-private list and freed with the deque, so a thief
+//     still probing an old array never touches freed memory (the standard
+//     reclamation dodge -- total retired space is geometric in the peak).
+//   * Progress: push/pop never wait on other threads.  pop() and steal()
+//     CAS `top` only when racing for the last element; a failed steal
+//     means some other thief or the owner won -- system-wide progress.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfregs/concurrent/cacheline.hpp"
+#include "wfregs/concurrent/contention.hpp"
+
+namespace wfregs::concurrent {
+
+template <class T>
+class WsDeque {
+ public:
+  explicit WsDeque(std::size_t initial_capacity = 256)
+      : array_(new Array(round_up(initial_capacity))) {}
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  ~WsDeque() { delete array_.load(std::memory_order_relaxed); }
+
+  /// Owner only.  Wait-free: one store, plus an owner-side grow when full.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    if constexpr (kTsanBuild) {
+      // Fence-free for TSan: the release stores order the cell write (and
+      // the pointee's construction) before the bottom bump a thief
+      // acquires.
+      a->cell(b).store(item, std::memory_order_release);
+      bottom_.store(b + 1, std::memory_order_release);
+    } else {
+      a->cell(b).store(item, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Owner only.  nullptr = empty.  CASes only when racing a thief for the
+  /// final element.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    if constexpr (kTsanBuild) {
+      // Fence-free for TSan: seq_cst store + seq_cst load keep the
+      // bottom-decrement / top-read pair in the single total order the
+      // fence provided (the Dekker-style store-load edge).
+      bottom_.store(b, std::memory_order_seq_cst);
+    } else {
+      bottom_.store(b, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+    std::int64_t t = top_.load(kTsanBuild ? std::memory_order_seq_cst
+                                          : std::memory_order_relaxed);
+    T* item = nullptr;
+    if (t <= b) {
+      item = a->cell(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // a thief got there first
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread.  nullptr = empty or lost the race (both count as one
+  /// attempt in `c`; a taken item additionally counts as a steal).
+  T* steal(ContentionCounters& c) {
+    c.steal_attempts += 1;
+    std::int64_t t = top_.load(kTsanBuild ? std::memory_order_seq_cst
+                                          : std::memory_order_acquire);
+    if constexpr (!kTsanBuild) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+    const std::int64_t b = bottom_.load(kTsanBuild
+                                            ? std::memory_order_seq_cst
+                                            : std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Array* a = array_.load(std::memory_order_acquire);
+    // Acquire under TSan pairs with push()'s release cell store (pointee
+    // visibility without the fence).
+    T* item = a->cell(t).load(kTsanBuild ? std::memory_order_acquire
+                                         : std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // owner or another thief won
+    }
+    c.steals += 1;
+    return item;
+  }
+
+  /// Racy size estimate (monitoring / tests only).
+  std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Array {
+    explicit Array(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          cells(std::make_unique<std::atomic<T*>[]>(cap)) {}
+    std::atomic<T*>& cell(std::int64_t i) {
+      return cells[static_cast<std::size_t>(i) & mask];
+    }
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T*>[]> cells;
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Array(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->cell(i).store(old->cell(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    array_.store(bigger, std::memory_order_release);
+    // A thief may still hold `old`; keep it until destruction.
+    retired_.emplace_back(old);
+    return bigger;
+  }
+
+  alignas(kCacheLine) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
+  alignas(kCacheLine) std::atomic<Array*> array_;
+  /// Owner-only: superseded arrays, freed with the deque.
+  std::vector<std::unique_ptr<Array>> retired_;
+};
+
+}  // namespace wfregs::concurrent

@@ -23,28 +23,26 @@
 #include <span>
 #include <vector>
 
+#include "wfregs/concurrent/hash.hpp"
+
 namespace wfregs {
 
-/// splitmix64 finalizer: a bijective full-avalanche 64-bit mixer.
+/// splitmix64 finalizer: a bijective full-avalanche 64-bit mixer.  The
+/// canonical definition is concurrent::mix64 (wfregs/concurrent/hash.hpp);
+/// these names are kept as thin aliases so the runtime layer's historical
+/// call sites -- and any hash value ever persisted by them -- stay exactly
+/// what they were.
 constexpr std::uint64_t config_mix64(std::uint64_t x) noexcept {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
+  return concurrent::mix64(x);
 }
 
-/// Hash of a word sequence: every word is mixed through config_mix64 before
-/// entering the chain, so single-bit and small-integer differences anywhere
-/// in the key avalanche across the whole output.
+/// Hash of a word sequence (alias of concurrent::hash_words): every word is
+/// mixed through config_mix64 before entering the chain, so single-bit and
+/// small-integer differences anywhere in the key avalanche across the whole
+/// output.
 constexpr std::uint64_t config_hash_words(
     std::span<const std::uint64_t> words) noexcept {
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ words.size();
-  for (const std::uint64_t w : words) {
-    h = config_mix64(h ^ config_mix64(w));
-  }
-  return h;
+  return concurrent::hash_words(words);
 }
 
 /// Arena-pooled key -> dense id map (see the header comment).  Not

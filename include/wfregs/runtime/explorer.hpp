@@ -30,11 +30,18 @@
 //
 // PARALLEL EXPLORATION (explore_parallel) extends the contract:
 //
-//   * The memo table is sharded and lock-striped; subtrees of the
-//     configuration DAG are claimed by a work-stealing frontier of worker
-//     threads, so a configuration's terminal check runs on whichever worker
-//     first inserts it -- the TerminalCheck must be safe to invoke
-//     concurrently (all checks in this library capture only const data).
+//   * The memo table is a single lock-free interner (CAS slot reservation,
+//     two-phase publication -- wfregs/concurrent/interner.hpp); the
+//     frontier is a set of Chase-Lev work-stealing deques (owner push/pop
+//     wait-free, steals lock-free -- wfregs/concurrent/ws_deque.hpp); and
+//     per-worker statistics flow through a wait-free atomic-snapshot
+//     aggregator (wfregs/concurrent/snapshot.hpp).  Subtrees of the
+//     configuration DAG are claimed by whichever worker first publishes the
+//     configuration, so its terminal check runs on that worker -- the
+//     TerminalCheck must be safe to invoke concurrently (all checks in this
+//     library capture only const data).  The prior mutex-striped engine is
+//     retained verbatim as explore_parallel_locked for differential testing
+//     and contention benchmarking.
 //   * DETERMINISM GUARANTEE: whenever discovery runs to completion (limits
 //     not hit, and no early stop -- i.e. no violation exists or
 //     stop_at_violation is false), the outcome is BIT-IDENTICAL to
@@ -85,6 +92,7 @@
 #include <string>
 #include <vector>
 
+#include "wfregs/concurrent/contention.hpp"
 #include "wfregs/runtime/engine.hpp"
 #include "wfregs/runtime/reduction.hpp"
 
@@ -131,6 +139,13 @@ struct ExploreStats {
   std::vector<std::vector<std::size_t>> max_accesses_by_inv;
 };
 
+/// How hard the lock-free primitives had to fight during a parallel run
+/// (all zero for sequential explorations): failed interner CAS
+/// reservations, deque steal attempts / successful steals, and invalidated
+/// snapshot collects.  Purely observational -- never part of any
+/// determinism contract (contention IS the nondeterminism being measured).
+using ContentionStats = concurrent::ContentionCounters;
+
 struct ExploreOutcome {
   /// False when a configuration cycle was found (some execution runs
   /// forever: the implementation is not wait-free).
@@ -140,6 +155,7 @@ struct ExploreOutcome {
   /// First terminal-check failure, if any.
   std::optional<std::string> violation;
   ExploreStats stats;
+  ContentionStats contention;
 };
 
 /// Returns an error description when the terminal configuration is invalid.
@@ -175,11 +191,12 @@ ExploreOutcome explore_legacy(const Engine& root,
                               const ExploreOptions& options,
                               const TerminalCheck& check = {});
 
-/// Explores all executions from `root` on `n_threads` workers over a
-/// sharded, lock-striped memo table (see PARALLEL EXPLORATION above for the
-/// determinism guarantee).  `n_threads` == 0 picks
-/// std::thread::hardware_concurrency(); 1 is the exact sequential legacy
-/// path (explore() itself).  `check` must be safe to invoke concurrently.
+/// Explores all executions from `root` on `n_threads` workers over the
+/// lock-free memo table and work-stealing frontier (see PARALLEL
+/// EXPLORATION above for the determinism guarantee).  `n_threads` == 0
+/// picks std::thread::hardware_concurrency(); 1 is the exact sequential
+/// legacy path (explore() itself).  `check` must be safe to invoke
+/// concurrently.
 ExploreOutcome explore_parallel(const Engine& root,
                                 const TerminalCheck& check = {},
                                 const ExploreLimits& limits = {},
@@ -193,6 +210,28 @@ ExploreOutcome explore_parallel(const Engine& root,
 ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
                                 const ExploreOptions& options,
                                 int n_threads = 0);
+
+/// The lock-free parallel engine itself, without the threads == 1 ->
+/// explore() dispatch: runs the full discovery + canonical-replay machinery
+/// at ANY n_threads >= 1 (0 still picks hardware concurrency).  This is
+/// what explore_parallel calls for n_threads != 1; it is exposed so the
+/// contention bench can measure the machinery's single-thread overhead
+/// against explore_parallel_locked under the same harness.
+ExploreOutcome explore_parallel_lockfree(const Engine& root,
+                                         const TerminalCheck& check,
+                                         const ExploreOptions& options,
+                                         int n_threads = 0);
+
+/// The prior mutex-based parallel engine (64-way lock-striped memo shards,
+/// mutexed per-worker frontier deques), retained verbatim: the differential
+/// reference for the lock-free engine and the baseline of the E17
+/// contention bench.  Same outcome contract as explore_parallel_lockfree;
+/// runs its machinery at any n_threads >= 1.  New code should call
+/// explore_parallel.
+ExploreOutcome explore_parallel_locked(const Engine& root,
+                                       const TerminalCheck& check,
+                                       const ExploreOptions& options,
+                                       int n_threads = 0);
 
 /// A static decision about a consensus job: produced by a
 /// VerifyOptions::static_consensus hook when theory already settles the

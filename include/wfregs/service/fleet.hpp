@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "wfregs/concurrent/cacheline.hpp"
 #include "wfregs/service/metrics.hpp"
 #include "wfregs/service/protocol.hpp"
 #include "wfregs/service/scheduler.hpp"
@@ -181,7 +182,10 @@ class Coordinator {
   /// JSON); bounded by options_.status_history.
   std::deque<std::pair<KeyPair, std::pair<std::string, std::string>>> recent_;
 
-  FleetMetrics fleet_;
+  /// Cache-line aligned: the event loop bumps these counters on every
+  /// frame, and they must not share a line with stop_ below (written from
+  /// the signal path on another thread).
+  alignas(concurrent::kCacheLine) FleetMetrics fleet_;
   std::map<std::string, std::uint64_t> hits_by_origin_;
   /// Last synced snapshots of workers that already disconnected, so
   /// fleet_totals() survives the goodbye.
@@ -191,7 +195,9 @@ class Coordinator {
   bool stopping_ = false;
   bool workers_notified_ = false;
   std::chrono::steady_clock::time_point drain_deadline_{};
-  std::atomic<bool> stop_{false};
+  /// Own cache line: the cross-thread stop flag must not false-share with
+  /// the loop's hot bookkeeping above.
+  alignas(concurrent::kCacheLine) std::atomic<bool> stop_{false};
 };
 
 struct WorkerOptions {
@@ -250,7 +256,8 @@ class Worker {
   /// past the 8-byte header and only ever advances over fully parsed
   /// records (a torn in-progress append is re-read next sync).
   std::uint64_t sync_offset_ = kStoreHeaderBytes;
-  std::atomic<bool> stop_{false};
+  /// Own cache line, for the same reason as Coordinator::stop_.
+  alignas(concurrent::kCacheLine) std::atomic<bool> stop_{false};
 };
 
 }  // namespace wfregs::service

@@ -1,6 +1,8 @@
-// Service metrics: a plain snapshot struct (no atomics -- the scheduler
-// fills it under its lock) dumpable as JSON.  This is the daemon's `stats`
-// response and the E13 bench's hit/miss counter source.
+// Service metrics: a plain snapshot struct dumpable as JSON.  The
+// scheduler fills the admission-side counters under its lock and collects
+// the worker-side counters from its wait-free StatsSnapshot aggregator
+// (wfregs/concurrent/snapshot.hpp).  This is the daemon's `stats` response
+// and the E13 bench's hit/miss counter source.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +40,11 @@ struct Metrics {
   std::uint64_t run_count = 0;
   std::uint64_t append_ns_total = 0;  ///< store append
   std::uint64_t append_count = 0;
+
+  /// Snapshot collects invalidated by a concurrent worker publication while
+  /// assembling this (or an earlier) metrics() reply -- the scheduler's
+  /// live-read contention signal from the wait-free aggregator.
+  std::uint64_t snapshot_retries = 0;
 };
 
 /// One JSON object with every field above.

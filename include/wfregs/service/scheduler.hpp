@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "wfregs/concurrent/snapshot.hpp"
 #include "wfregs/service/job.hpp"
 #include "wfregs/service/metrics.hpp"
 #include "wfregs/service/store.hpp"
@@ -129,13 +130,17 @@ class JobScheduler {
 
  private:
   struct InFlight;
-  void worker_main();
+  /// Counters each worker publishes through worker_stats_ (wait-free; see
+  /// wfregs/concurrent/snapshot.hpp) instead of mutating Metrics under mu_.
+  static constexpr std::size_t kWorkerCounters = 11;
+  void worker_main(std::size_t wid);
   void timer_main();
   Submitted admit(const VerifyJob& job, bool reject_when_full);
   void finish(const std::shared_ptr<InFlight>& job, Verdict verdict,
-              JobState state);
+              JobState state, concurrent::StatsSnapshot::Writer& w);
   void remember_status(const JobKey& key, JobState state,
-                       const Verdict& verdict);
+                       const Verdict& verdict,
+                       concurrent::StatsSnapshot::Writer& w);
 
   SchedulerOptions options_;
   Runner runner_;
@@ -155,7 +160,18 @@ class JobScheduler {
   /// options_.status_history; evictions counted).
   std::deque<std::pair<JobKey, JobStatus>> recent_;
 
+  /// Admission-side counters only (submitted / hits / misses / coalesced /
+  /// rejected / lookup latency): inherently serialized under mu_ anyway, so
+  /// they stay there.  Worker-side counters live in worker_stats_.
   Metrics metrics_;
+  /// One wait-free writer slot per worker (completion / cancellation /
+  /// failure / eviction counts and queue / run / append latencies);
+  /// metrics() collects a consistent cut without touching mu_ or stalling
+  /// any worker.
+  concurrent::StatsSnapshot worker_stats_;
+  /// Cumulative collect invalidations across metrics() calls (the
+  /// Metrics::snapshot_retries source).
+  mutable std::atomic<std::uint64_t> collect_retries_{0};
   std::vector<std::thread> workers_;
   std::thread timer_;
 };

@@ -1,0 +1,77 @@
+#include "wfregs/concurrent/snapshot.hpp"
+
+#include <cassert>
+
+namespace wfregs::concurrent {
+
+StatsSnapshot::StatsSnapshot(std::size_t slots, std::size_t counters)
+    : num_slots_(slots), counters_(counters),
+      slots_(std::make_unique<detail::SnapshotSlot[]>(slots)) {
+  assert(counters <= kMaxCounters);
+}
+
+std::uint64_t StatsSnapshot::read_slot(const detail::SnapshotSlot& s,
+                                       std::uint64_t* out,
+                                       std::uint64_t* retries) const {
+  for (;;) {
+    const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    const auto& active = s.buf[s1 & 1];
+    // Under TSan the buffer loads are seq_cst instead of relaxed-then-
+    // fence: seq_cst program order keeps them before the s2 re-read, the
+    // load-load edge the acquire fence provides in the normal build.
+    for (std::size_t i = 0; i < counters_; ++i) {
+      out[i] = active[i].load(kTsanBuild ? std::memory_order_seq_cst
+                                         : std::memory_order_relaxed);
+    }
+    if constexpr (!kTsanBuild) {
+      std::atomic_thread_fence(std::memory_order_acquire);
+    }
+    // s2 must equal s1 EXACTLY: publication s1 + 1 leaves buf[s1 & 1]
+    // intact, but publication s1 + 2 scribbles it, and a reader cannot
+    // tell "s1 + 1 just finished" from "s1 + 2 is mid-copy over our
+    // buffer", so any movement invalidates the read.  The writer that
+    // invalidated us completed a publication -- the retry reads strictly
+    // newer state (lock-free, not wait-free, for readers).
+    const std::uint64_t s2 = s.seq.load(kTsanBuild
+                                            ? std::memory_order_seq_cst
+                                            : std::memory_order_acquire);
+    if (s2 == s1) return s1;
+    *retries += 1;
+  }
+}
+
+std::vector<std::uint64_t> StatsSnapshot::collect(ContentionCounters* retries,
+                                                  int max_rounds) const {
+  std::uint64_t local_retries = 0;
+  std::vector<std::uint64_t> seqs(num_slots_, 0);
+  std::vector<std::uint64_t> records(num_slots_ * counters_, 0);
+  for (int round = 0; round < max_rounds; ++round) {
+    for (std::size_t i = 0; i < num_slots_; ++i) {
+      seqs[i] =
+          read_slot(slots_[i], &records[i * counters_], &local_retries);
+    }
+    // Double collect: if no slot published between the first pass and this
+    // re-read, the records form one consistent cut across all writers.
+    bool clean = true;
+    for (std::size_t i = 0; i < num_slots_; ++i) {
+      if (slots_[i].seq.load(std::memory_order_acquire) != seqs[i]) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) break;
+    local_retries += 1;
+    // The final round's records are still used: each is individually
+    // intact (seqlock-validated) and was current inside the scan window.
+  }
+  std::vector<std::uint64_t> totals(counters_, 0);
+  for (std::size_t i = 0; i < num_slots_; ++i) {
+    for (std::size_t cidx = 0; cidx < counters_; ++cidx) {
+      totals[cidx] += records[i * counters_ + cidx];
+    }
+  }
+  if (retries != nullptr) retries->snapshot_retries += local_retries;
+  return totals;
+}
+
+}  // namespace wfregs::concurrent

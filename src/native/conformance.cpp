@@ -3,18 +3,17 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "wfregs/concurrent/hash.hpp"
 #include "wfregs/runtime/history_check.hpp"
 
 namespace wfregs::native {
 
 namespace {
 
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+// This file's historical private `mix64` was a clone of the full
+// splitmix64 step; seeds must stay bit-identical so recorded failure seeds
+// keep replaying.
+using concurrent::splitmix64;
 
 /// All oracles the workload declares, first violation wins.
 std::optional<std::string> check_round(const Workload& w,
@@ -100,8 +99,8 @@ ConformanceReport run_rounds(const Workload& w,
 }  // namespace
 
 std::uint64_t round_seed(std::uint64_t base, int round) {
-  return mix64(base + 0x517cc1b727220a95ULL *
-                          static_cast<std::uint64_t>(round + 1));
+  return splitmix64(base + 0x517cc1b727220a95ULL *
+                               static_cast<std::uint64_t>(round + 1));
 }
 
 ConformanceReport run_conformance(const Workload& w,

@@ -9,18 +9,14 @@
 #include <utility>
 #include <variant>
 
+#include "wfregs/concurrent/hash.hpp"
 #include "wfregs/runtime/program.hpp"
 
 namespace wfregs::native {
 
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+using concurrent::splitmix64;
 
 /// Serializer for deterministic mode.  A thread parks before every
 /// observable event; the next event-holder is drawn from the seeded rng

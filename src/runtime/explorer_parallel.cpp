@@ -1,7 +1,15 @@
-// Parallel schedule exploration: a work-stealing frontier of configuration
-// subtrees over a sharded, interned memo table.
+// The retained mutex-based parallel explorer (explore_parallel_locked) and
+// the explore_parallel dispatch.
 //
-// Discovery and reduction are split into phases:
+// This engine is the pre-lock-free design, kept verbatim: a work-stealing
+// frontier of mutexed per-worker deques over a 64-way lock-striped interned
+// memo table.  It survives for the same reason explore_legacy does -- as
+// the differential reference the lock-free engine
+// (explorer_parallel_lockfree.cpp) is tested against, and as the baseline
+// the E17 contention bench measures lock-free overhead and scaling against.
+// The two engines share their data shapes, expansion order, and the
+// canonical-replay + longest-path post-passes through parallel_common.hpp,
+// so both satisfy the PARALLEL EXPLORATION contract in explorer.hpp:
 //
 //   1. DISCOVERY (parallel).  Workers pop frontier nodes from per-worker
 //      deques (LIFO locally for DFS-like memory behaviour, FIFO steals from
@@ -10,43 +18,21 @@
 //      engine at all, only a path chain of compact (process, choice,
 //      renaming) deltas from the canonical root.  Popping an item
 //      repositions the worker's engine by reverting to the longest common
-//      prefix with its previous position and replaying the suffix --
-//      typically a handful of steps, since local pops walk the worker's own
-//      DFS order.  Expansion applies each outgoing step with
-//      Engine::apply(), claims the child in the interner shard owning its
-//      key hash, and reverts; the first inserter owns the child's
-//      expansion, so every configuration is expanded exactly once and the
-//      per-node edge list is written by a single thread (published to the
-//      post-passes by thread join).
-//   2. CANONICAL REPLAY (single-threaded, cheap: no engine stepping).  A
-//      DFS over the discovered DAG in stored edge order -- the exact
-//      traversal the sequential explorer performs -- recomputes configs /
-//      edges / terminals, detects cycles at the same point, and picks the
-//      same first violation.  This is what makes the reduction of
-//      ExploreStats deterministic at any thread count.
-//   3. LONGEST-PATH DP (single-threaded) over the replay's postorder:
-//      depth and per-object / per-invocation access bounds, the same
-//      dynamic program the sequential explorer folds into its memo.
+//      prefix with its previous position and replaying the suffix.
+//      Expansion applies each outgoing step with Engine::apply(), claims
+//      the child in the interner shard owning its key hash, and reverts;
+//      the first inserter owns the child's expansion, so every
+//      configuration is expanded exactly once and the per-node edge list is
+//      written by a single thread (published to the post-passes by thread
+//      join).
+//   2. CANONICAL REPLAY + 3. LONGEST-PATH DP: see
+//      parallel_detail::replay_and_dp.
 //
 // Early aborts (stop_at_violation, limit hits) short-circuit discovery via
 // an atomic stop flag; the post-passes are then skipped and the outcome
 // carries partial counters, mirroring the sequential explorer's aborted
-// shape (see the PARALLEL EXPLORATION contract in explorer.hpp).  Once the
-// stop flag is set a worker's engine may be left mid-path; that is fine --
-// no worker expands another node afterwards.
-//
-// REDUCTION plugs into discovery as a claim-time filter: a node is a
-// (canonical configuration, sleep mask) pair, expansion enumerates only the
-// non-slept steps of the node's canonical representative engine, and every
-// child is canonicalized in place BEFORE its claim (then un-renamed and
-// reverted).  Canonicalization is a pure function of the child
-// configuration, so racing workers compute the same key and the reduced
-// node graph is exactly the sequential reduced explorer's; the claiming
-// worker records WHICH group renaming canonicalization applied, and path
-// replay re-applies that index verbatim -- no keys are recomputed when
-// repositioning an engine.
-#include "wfregs/runtime/explorer.hpp"
-
+// shape.  Once the stop flag is set a worker's engine may be left mid-path;
+// that is fine -- no worker expands another node afterwards.
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -59,33 +45,20 @@
 #include <thread>
 #include <utility>
 
+#include "parallel_common.hpp"
 #include "wfregs/runtime/config_intern.hpp"
+#include "wfregs/runtime/explorer.hpp"
 
 namespace wfregs {
 
 namespace {
 
-struct PNode;
-
-struct PEdge {
-  PNode* child = nullptr;
-  ObjectId object = -1;
-  InvId inv = 0;
-};
-
-/// A discovered configuration.  During discovery, `edges`, `terminal` and
-/// `violation` are written only by the worker that first inserted the node;
-/// the post-pass scratch fields are used single-threaded after join.
-struct PNode {
-  std::vector<PEdge> edges;
-  std::optional<std::string> violation;
-  bool terminal = false;
-  // ---- post-pass scratch ----
-  std::uint8_t color = 0;  ///< 0 = unvisited, 1 = on replay stack, 2 = done
-  int depth_from = 0;
-  std::vector<std::size_t> acc_from;
-  std::vector<std::size_t> inv_from;
-};
+using parallel_detail::PathNode;
+using parallel_detail::PathStep;
+using parallel_detail::PEdge;
+using parallel_detail::PNode;
+using parallel_detail::WorkerState;
+using parallel_detail::WorkItem;
 
 constexpr std::size_t kNumShards = 64;
 
@@ -98,36 +71,10 @@ struct Shard {
   std::deque<PNode> arena;
 };
 
-/// One compact delta on a root-to-node path: step process `p` with
-/// nondeterministic choice `choice`, then (under symmetry) apply group
-/// renaming `renaming` to canonicalize the resulting configuration (-1 when
-/// canonicalization left the engine untouched).
-struct PathStep {
-  ProcId p = -1;
-  int choice = 0;
-  int renaming = -1;
-};
-
-/// Immutable reverse-linked path chain from the canonical root; WorkItems
-/// and child chains share ancestor suffixes, so the frontier serializes
-/// O(depth) small nodes per item instead of whole engines.
-struct PathNode {
-  PathStep step;
-  std::shared_ptr<const PathNode> parent;
-};
-
-struct WorkItem {
-  PNode* node = nullptr;
-  /// Path from the canonical root to this node; nullptr for the root.
-  std::shared_ptr<const PathNode> path;
-  int depth = 0;
-  std::uint64_t sleep = 0;
-};
-
-class ParallelExplorer {
+class LockedParallelExplorer {
  public:
-  ParallelExplorer(const ExploreOptions& options, const TerminalCheck& check,
-                   int threads)
+  LockedParallelExplorer(const ExploreOptions& options,
+                         const TerminalCheck& check, int threads)
       : limits_(options.limits),
         options_(options),
         check_(check),
@@ -142,14 +89,7 @@ class ParallelExplorer {
     }
     num_objects_ = sys.num_objects();
     if (limits_.track_access_bounds) {
-      inv_offset_.resize(static_cast<std::size_t>(num_objects_) + 1, 0);
-      for (ObjectId g = 0; g < num_objects_; ++g) {
-        const int invs =
-            sys.is_base(g) ? sys.base(g).spec->num_invocations() : 0;
-        inv_offset_[static_cast<std::size_t>(g) + 1] =
-            inv_offset_[static_cast<std::size_t>(g)] +
-            static_cast<std::size_t>(invs);
-      }
+      inv_offset_ = parallel_detail::build_inv_offset(sys, num_objects_);
     }
     if (limits_.max_configs == 0 || limits_.max_depth < 0) {
       // The sequential explorer aborts before visiting even the root.
@@ -183,7 +123,7 @@ class ParallelExplorer {
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(threads_));
     for (int t = 0; t < threads_; ++t) {
-      workers.emplace_back(&ParallelExplorer::worker, this, t);
+      workers.emplace_back(&LockedParallelExplorer::worker, this, t);
     }
     for (std::thread& th : workers) th.join();
     if (exception_) std::rethrow_exception(exception_);
@@ -204,7 +144,8 @@ class ParallelExplorer {
       out.violation = early_violation_;
       return out;
     }
-    reduce(root_node, out);
+    parallel_detail::replay_and_dp(root_node, limits_, num_objects_,
+                                   inv_offset_, out);
     return out;
   }
 
@@ -214,24 +155,30 @@ class ParallelExplorer {
     std::deque<WorkItem> items;
   };
 
-  /// One applied level of a worker's current path: the undo journal of the
-  /// step plus the renaming index applied after it (-1 = none).
-  struct AppliedLevel {
-    Engine::UndoRecord undo;
-    int renaming = -1;
-  };
+  /// The per-worker Host of parallel_detail::expand_node (see the hook
+  /// table there): routes edge counting to the shared atomics and child
+  /// claims to the lock-striped shards.
+  struct Host {
+    LockedParallelExplorer* self;
+    int wid;
 
-  /// Per-worker exploration state: the single engine plus the path it is
-  /// currently positioned at.  `tail` keeps the chain of `cur` alive (the
-  /// raw pointers in `cur` are ancestors of `tail`), so prefix comparison
-  /// against the next item's chain never touches freed nodes.
-  struct WorkerState {
-    std::optional<Engine> engine;
-    std::vector<AppliedLevel> levels;  ///< levels[k] journals cur[k]'s step
-    std::vector<const PathNode*> cur;
-    std::shared_ptr<const PathNode> tail;
-    std::vector<const PathNode*> target;  ///< scratch for switch_to
-    ConfigKey scratch;                    ///< child-key scratch for expand
+    ReductionContext* ctx() const { return self->ctx_.get(); }
+    bool stopped() const {
+      return self->stop_.load(std::memory_order_acquire);
+    }
+    void count_edge() const {
+      self->edges_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void on_terminal(PNode* node, Engine& e) const {
+      self->on_terminal(node, e);
+    }
+    bool claim_child(const WorkItem& item, std::uint64_t child_sleep,
+                     const ConfigKey& key, std::uint64_t hash,
+                     ObjectId object, InvId inv, ProcId p, int choice,
+                     int renaming) const {
+      return self->claim_child(wid, item, child_sleep, key, hash, object,
+                               inv, p, choice, renaming);
+    }
   };
 
   std::size_t interned_total() const {
@@ -242,6 +189,7 @@ class ParallelExplorer {
 
   void worker(int wid) {
     WorkerState ws;
+    Host host{this, wid};
     try {
       int idle_rounds = 0;
       while (!stop_.load(std::memory_order_acquire)) {
@@ -263,8 +211,8 @@ class ParallelExplorer {
         }
         idle_rounds = 0;
         if (!ws.engine) ws.engine.emplace(*canonical_root_);
-        switch_to(ws, *item);
-        expand(wid, ws, *item);
+        parallel_detail::switch_to(ctx_.get(), ws, *item);
+        parallel_detail::expand_node(host, ws, *item);
         pending_.fetch_sub(1, std::memory_order_acq_rel);
       }
     } catch (...) {
@@ -307,40 +255,21 @@ class ParallelExplorer {
     q.items.push_back(std::move(item));
   }
 
-  /// Repositions ws.engine at item's node: unwind to the longest common
-  /// prefix of the current and target paths (inverting each level's
-  /// renaming before reverting its step), then replay the target suffix
-  /// (applying each recorded step and re-applying its recorded renaming
-  /// index).  Path chains are immutable and shared, so pointer equality
-  /// identifies common prefixes exactly.
-  void switch_to(WorkerState& ws, const WorkItem& item) {
-    ws.target.clear();
-    for (const PathNode* n = item.path.get(); n != nullptr;
-         n = n->parent.get()) {
-      ws.target.push_back(n);
+  void on_terminal(PNode* node, Engine& e) {
+    node->terminal = true;
+    terminals_.fetch_add(1, std::memory_order_relaxed);
+    if (check_) {
+      if (auto violation = check_(e)) {
+        node->violation = std::move(violation);
+        {
+          std::lock_guard<std::mutex> lk(violation_mu_);
+          if (!early_violation_) early_violation_ = node->violation;
+        }
+        if (limits_.stop_at_violation) {
+          stop_.store(true, std::memory_order_release);
+        }
+      }
     }
-    std::reverse(ws.target.begin(), ws.target.end());
-    std::size_t common = 0;
-    while (common < ws.cur.size() && common < ws.target.size() &&
-           ws.cur[common] == ws.target[common]) {
-      ++common;
-    }
-    while (ws.cur.size() > common) {
-      AppliedLevel& lv = ws.levels[ws.cur.size() - 1];
-      if (lv.renaming >= 0) ctx_->undo_renaming(*ws.engine, lv.renaming);
-      ws.engine->revert(lv.undo);
-      ws.cur.pop_back();
-    }
-    for (std::size_t i = common; i < ws.target.size(); ++i) {
-      const PathNode* n = ws.target[i];
-      if (ws.levels.size() <= ws.cur.size()) ws.levels.emplace_back();
-      AppliedLevel& lv = ws.levels[ws.cur.size()];
-      ws.engine->apply(n->step.p, n->step.choice, lv.undo);
-      lv.renaming = n->step.renaming;
-      if (lv.renaming >= 0) ctx_->apply_renaming_index(*ws.engine, lv.renaming);
-      ws.cur.push_back(n);
-    }
-    ws.tail = item.path;
   }
 
   /// Claims a discovered child (already canonicalized under reduction) in
@@ -381,176 +310,6 @@ class ParallelExplorer {
     return true;
   }
 
-  void expand(int wid, WorkerState& ws, const WorkItem& item) {
-    Engine& e = *ws.engine;
-    PNode* node = item.node;
-    if (e.all_done()) {
-      node->terminal = true;
-      terminals_.fetch_add(1, std::memory_order_relaxed);
-      if (check_) {
-        if (auto violation = check_(e)) {
-          node->violation = std::move(violation);
-          {
-            std::lock_guard<std::mutex> lk(violation_mu_);
-            if (!early_violation_) early_violation_ = node->violation;
-          }
-          if (limits_.stop_at_violation) {
-            stop_.store(true, std::memory_order_release);
-          }
-        }
-      }
-      return;
-    }
-    Engine::UndoRecord undo;
-    if (ctx_) {
-      // Reduced discovery: skip slept processes, canonicalize every child
-      // in place before the claim.  `e` is this node's canonical
-      // representative, so the enumeration order -- and with it the stored
-      // edge order replayed by the post-pass -- matches the sequential
-      // reduced explorer.
-      const auto steps = ctx_->steps(e);
-      for (std::size_t idx = 0; idx < steps.size(); ++idx) {
-        const auto& step = steps[idx];
-        if (item.sleep & (std::uint64_t{1} << step.p)) continue;
-        const std::uint64_t child_sleep =
-            ctx_->child_sleep(steps, idx, item.sleep);
-        for (int c = 0; c < step.width; ++c) {
-          if (stop_.load(std::memory_order_acquire)) return;
-          edges_.fetch_add(1, std::memory_order_relaxed);
-          e.apply(step.p, c, undo);
-          std::uint64_t canon_sleep = child_sleep;
-          int applied = -1;
-          ctx_->canonical_node_key_into(e, canon_sleep, ws.scratch, &applied);
-          const std::uint64_t hash = config_hash_words(ws.scratch.words);
-          const bool ok =
-              claim_child(wid, item, canon_sleep, ws.scratch, hash,
-                          step.object, step.inv, step.p, c, applied);
-          if (applied >= 0) ctx_->undo_renaming(e, applied);
-          e.revert(undo);
-          if (!ok) return;
-        }
-      }
-      return;
-    }
-    for (const ProcId p : e.runnable()) {
-      const int width = e.pending_choices(p);
-      for (int c = 0; c < width; ++c) {
-        if (stop_.load(std::memory_order_acquire)) return;
-        edges_.fetch_add(1, std::memory_order_relaxed);
-        const Engine::CommitInfo commit = e.apply(p, c, undo);
-        e.config_key_into(ws.scratch);
-        const std::uint64_t hash = config_hash_words(ws.scratch.words);
-        const bool ok = claim_child(wid, item, 0, ws.scratch, hash,
-                                    commit.object, commit.inv, p, c, -1);
-        e.revert(undo);
-        if (!ok) return;
-      }
-    }
-  }
-
-  /// Phases 2 and 3: replay the sequential DFS over the discovered DAG in
-  /// canonical edge order, then run the longest-path / access-bound DP over
-  /// its postorder.  Single-threaded; no engine stepping.
-  void reduce(PNode* root_node, ExploreOutcome& out) {
-    struct Frame {
-      PNode* n;
-      std::size_t next;
-    };
-    std::vector<Frame> stack;
-    std::vector<PNode*> postorder;
-    postorder.reserve(out.stats.configs);
-    std::size_t seen_configs = 0;
-    std::size_t seen_edges = 0;
-    std::size_t seen_terminals = 0;
-    PNode* first_violation = nullptr;
-    bool cycle = false;
-
-    const auto visit = [&](PNode* n) {
-      ++seen_configs;
-      n->color = 1;
-      if (n->terminal) ++seen_terminals;
-      if (n->violation && !first_violation) first_violation = n;
-      stack.push_back(Frame{n, 0});
-    };
-    visit(root_node);
-    while (!stack.empty()) {
-      Frame& f = stack.back();
-      if (f.next == f.n->edges.size()) {
-        f.n->color = 2;
-        postorder.push_back(f.n);
-        stack.pop_back();
-        continue;
-      }
-      PNode* child = f.n->edges[f.next++].child;
-      ++seen_edges;
-      if (child->color == 1) {
-        // The same cycle the sequential DFS would hit, at the same point:
-        // some execution revisits a configuration, so by the Section 4.2
-        // Koenig's-lemma argument the implementation is not wait-free.
-        cycle = true;
-        break;
-      }
-      if (child->color == 0) visit(child);
-    }
-    if (first_violation) out.violation = *first_violation->violation;
-    if (cycle) {
-      out.wait_free = false;
-      // Counters at the abort point, matching the sequential explorer's
-      // partial stats bit for bit (the replay IS its traversal, and the
-      // sequential memo grows in lockstep with its configs counter).
-      out.stats.configs = seen_configs;
-      out.stats.edges = seen_edges;
-      out.stats.terminals = seen_terminals;
-      out.stats.interned_configs = seen_configs;
-      return;
-    }
-    out.stats.configs = seen_configs;
-    out.stats.edges = seen_edges;
-    out.stats.terminals = seen_terminals;
-
-    for (PNode* n : postorder) {
-      if (limits_.track_access_bounds) {
-        n->acc_from.assign(static_cast<std::size_t>(num_objects_), 0);
-        n->inv_from.assign(inv_offset_.back(), 0);
-      }
-      for (const PEdge& edge : n->edges) {
-        n->depth_from = std::max(n->depth_from, edge.child->depth_from + 1);
-        if (limits_.track_access_bounds) {
-          for (ObjectId g = 0; g < num_objects_; ++g) {
-            std::size_t cand =
-                edge.child->acc_from[static_cast<std::size_t>(g)];
-            if (g == edge.object) ++cand;
-            n->acc_from[static_cast<std::size_t>(g)] =
-                std::max(n->acc_from[static_cast<std::size_t>(g)], cand);
-          }
-          const std::size_t hit =
-              inv_offset_[static_cast<std::size_t>(edge.object)] +
-              static_cast<std::size_t>(edge.inv);
-          for (std::size_t k = 0; k < n->inv_from.size(); ++k) {
-            std::size_t cand = edge.child->inv_from[k];
-            if (k == hit) ++cand;
-            n->inv_from[k] = std::max(n->inv_from[k], cand);
-          }
-        }
-      }
-    }
-    out.stats.depth = root_node->depth_from;
-    if (limits_.track_access_bounds) {
-      out.stats.max_accesses = root_node->acc_from;
-      out.stats.max_accesses_by_inv.resize(
-          static_cast<std::size_t>(num_objects_));
-      for (ObjectId g = 0; g < num_objects_; ++g) {
-        out.stats.max_accesses_by_inv[static_cast<std::size_t>(g)].assign(
-            root_node->inv_from.begin() +
-                static_cast<std::ptrdiff_t>(
-                    inv_offset_[static_cast<std::size_t>(g)]),
-            root_node->inv_from.begin() +
-                static_cast<std::ptrdiff_t>(
-                    inv_offset_[static_cast<std::size_t>(g) + 1]));
-      }
-    }
-  }
-
   const ExploreLimits limits_;
   const ExploreOptions options_;
   const TerminalCheck& check_;
@@ -576,7 +335,21 @@ class ParallelExplorer {
   std::exception_ptr exception_;
 };
 
+int resolve_threads(int n_threads) {
+  if (n_threads > 0) return n_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
 }  // namespace
+
+ExploreOutcome explore_parallel_locked(const Engine& root,
+                                       const TerminalCheck& check,
+                                       const ExploreOptions& options,
+                                       int n_threads) {
+  LockedParallelExplorer impl(options, check, resolve_threads(n_threads));
+  return impl.run(root);
+}
 
 ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
                                 const ExploreLimits& limits, int n_threads) {
@@ -585,14 +358,9 @@ ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
 
 ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
                                 const ExploreOptions& options, int n_threads) {
-  int threads = n_threads;
-  if (threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw ? static_cast<int>(hw) : 1;
-  }
+  const int threads = resolve_threads(n_threads);
   if (threads == 1) return explore(root, options, check);
-  ParallelExplorer impl(options, check, threads);
-  return impl.run(root);
+  return explore_parallel_lockfree(root, check, options, threads);
 }
 
 }  // namespace wfregs

@@ -1,0 +1,359 @@
+// The lock-free parallel explorer: the engine behind explore_parallel for
+// every multi-threaded run.
+//
+// Same two-phase architecture as the retained locked engine (see
+// explorer_parallel.cpp and parallel_common.hpp for discovery, canonical
+// replay and the DP), with every shared mutable structure replaced by a
+// wfregs/concurrent primitive:
+//
+//   * MEMO TABLE: one ConcurrentInterner<PNode> instead of 64 mutex-striped
+//     (interner, arena) shards.  A child claim is a CAS slot reservation
+//     plus a two-phase publication; Ref.inserted is true for exactly one
+//     claimer per configuration, which is what keeps the `configs` counter
+//     and the expanded-exactly-once discipline identical to the locked
+//     engine.  The claiming worker remains the node's only edge-list
+//     writer, published to the post-passes by thread join exactly as
+//     before.
+//   * FRONTIER: per-worker Chase-Lev deques (WsDeque) instead of mutexed
+//     std::deques.  The owner pushes and pops at the bottom (LIFO, the
+//     DFS-like order that keeps engine repositioning cheap); thieves steal
+//     the top (FIFO -- oldest, largest subtrees), the same discipline the
+//     locks used to enforce.  Items are heap-allocated (the deque's cells
+//     are atomic pointers); ownership transfers with a successful
+//     pop/steal, and items stranded by an early stop are drained after
+//     join.
+//   * STATS: per-worker edges/terminals/contention counters flow through
+//     the wait-free StatsSnapshot aggregator instead of shared atomics --
+//     workers publish wait-free, and any observer (here: the post-join
+//     aggregation, which is quiescent and therefore exact) reads a
+//     consistent cut.  The `configs_` admission counter is the one
+//     deliberate exception: the max_configs limit requires a single
+//     exactly-once sequence of admission tickets, so it stays a (padded)
+//     global fetch_add -- the same trade the locked engine made.
+//
+// The determinism contract is inherited wholesale: discovery populates the
+// same node graph in whatever order the race resolves, and the
+// single-threaded canonical replay afterwards recomputes every counter in
+// sequential order, so completed runs are bit-identical to explore() at any
+// thread count.  Contention (CAS retries, steal traffic, snapshot
+// invalidations) is reported in ExploreOutcome::contention -- observational
+// only, never part of the contract.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "parallel_common.hpp"
+#include "wfregs/concurrent/cacheline.hpp"
+#include "wfregs/concurrent/contention.hpp"
+#include "wfregs/concurrent/interner.hpp"
+#include "wfregs/concurrent/snapshot.hpp"
+#include "wfregs/concurrent/ws_deque.hpp"
+#include "wfregs/runtime/config_intern.hpp"
+#include "wfregs/runtime/explorer.hpp"
+
+namespace wfregs {
+
+namespace {
+
+using concurrent::ContentionCounters;
+using concurrent::kCacheLine;
+using parallel_detail::PathNode;
+using parallel_detail::PathStep;
+using parallel_detail::PEdge;
+using parallel_detail::PNode;
+using parallel_detail::WorkerState;
+using parallel_detail::WorkItem;
+
+// StatsSnapshot counter layout (one writer slot per worker).
+constexpr std::size_t kCtrEdges = 0;
+constexpr std::size_t kCtrTerminals = 1;
+constexpr std::size_t kCtrCasRetries = 2;
+constexpr std::size_t kCtrStealAttempts = 3;
+constexpr std::size_t kCtrSteals = 4;
+constexpr std::size_t kNumCounters = 5;
+
+class LockFreeParallelExplorer {
+ public:
+  LockFreeParallelExplorer(const ExploreOptions& options,
+                           const TerminalCheck& check, int threads)
+      : limits_(options.limits),
+        options_(options),
+        check_(check),
+        threads_(threads),
+        stats_(static_cast<std::size_t>(threads), kNumCounters) {
+    queues_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      queues_.push_back(
+          std::make_unique<concurrent::WsDeque<WorkItem>>(256));
+    }
+  }
+
+  ExploreOutcome run(const Engine& root) {
+    const System& sys = root.system();
+    if (options_.reduction != Reduction::kNone) {
+      ctx_ = std::make_unique<ReductionContext>(sys, options_.reduction,
+                                                options_.independence);
+    }
+    num_objects_ = sys.num_objects();
+    if (limits_.track_access_bounds) {
+      inv_offset_ = parallel_detail::build_inv_offset(sys, num_objects_);
+    }
+    if (limits_.max_configs == 0 || limits_.max_depth < 0) {
+      // The sequential explorer aborts before visiting even the root.
+      ExploreOutcome out;
+      out.complete = false;
+      return out;
+    }
+    // Canonicalize the root once; every worker's engine starts as a copy of
+    // this representative, and all path chains are rooted at it.
+    canonical_root_.emplace(root);
+    std::uint64_t root_sleep = 0;
+    PNode* root_node = nullptr;
+    {
+      ConfigKey key;
+      if (ctx_) {
+        ctx_->canonical_node_key_into(*canonical_root_, root_sleep, key,
+                                      nullptr);
+      } else {
+        canonical_root_->config_key_into(key);
+      }
+      ContentionCounters scratch;
+      root_node =
+          interner_
+              .intern(key.words, config_hash_words(key.words), scratch)
+              .value;
+    }
+    configs_.store(1, std::memory_order_relaxed);
+    pending_.store(1, std::memory_order_relaxed);
+    // Single-threaded here, so the owner-only push is ours to make.
+    queues_[0]->push(new WorkItem{root_node, nullptr, 0, root_sleep});
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      workers.emplace_back(&LockFreeParallelExplorer::worker, this, t);
+    }
+    for (std::thread& th : workers) th.join();
+    drain_stranded_items();
+    if (exception_) std::rethrow_exception(exception_);
+
+    ExploreOutcome out;
+    // Workers joined: the collect is quiescent, hence retry-free and exact.
+    const std::vector<std::uint64_t> totals =
+        stats_.collect(&out.contention);
+    out.stats.configs = configs_.load(std::memory_order_relaxed);
+    out.stats.edges = static_cast<std::size_t>(totals[kCtrEdges]);
+    out.stats.terminals = static_cast<std::size_t>(totals[kCtrTerminals]);
+    out.stats.interned_configs = interner_.size();
+    out.contention.cas_retries += totals[kCtrCasRetries];
+    out.contention.steal_attempts += totals[kCtrStealAttempts];
+    out.contention.steals += totals[kCtrSteals];
+    if (incomplete_.load(std::memory_order_relaxed)) {
+      out.complete = false;
+      return out;
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      // Early stop at a violating terminal: counters are partial lower
+      // bounds and the violation is whichever worker surfaced one first.
+      std::lock_guard<std::mutex> lk(violation_mu_);
+      out.violation = early_violation_;
+      return out;
+    }
+    parallel_detail::replay_and_dp(root_node, limits_, num_objects_,
+                                   inv_offset_, out);
+    return out;
+  }
+
+ private:
+  /// The per-worker Host of parallel_detail::expand_node (see the hook
+  /// table there): edge/terminal counts go to the worker's wait-free
+  /// snapshot writer, child claims to the lock-free interner.
+  struct Host {
+    LockFreeParallelExplorer* self;
+    int wid;
+    concurrent::StatsSnapshot::Writer writer;
+    ContentionCounters counters;
+
+    ReductionContext* ctx() const { return self->ctx_.get(); }
+    bool stopped() const {
+      return self->stop_.load(std::memory_order_acquire);
+    }
+    void count_edge() { writer.add(kCtrEdges, 1); }
+    void on_terminal(PNode* node, Engine& e) {
+      writer.add(kCtrTerminals, 1);
+      self->on_terminal(node, e);
+    }
+    bool claim_child(const WorkItem& item, std::uint64_t child_sleep,
+                     const ConfigKey& key, std::uint64_t hash,
+                     ObjectId object, InvId inv, ProcId p, int choice,
+                     int renaming) {
+      return self->claim_child(*this, item, child_sleep, key, hash, object,
+                               inv, p, choice, renaming);
+    }
+
+    /// Publishes everything counted so far as one snapshot record.
+    void flush() {
+      writer.set(kCtrCasRetries, counters.cas_retries);
+      writer.set(kCtrStealAttempts, counters.steal_attempts);
+      writer.set(kCtrSteals, counters.steals);
+      writer.publish();
+    }
+  };
+
+  void worker(int wid) {
+    WorkerState ws;
+    Host host{this, wid, stats_.writer(static_cast<std::size_t>(wid)), {}};
+    try {
+      int idle_rounds = 0;
+      while (!stop_.load(std::memory_order_acquire)) {
+        if (limits_.cancel &&
+            limits_.cancel->load(std::memory_order_relaxed)) {
+          incomplete_.store(true, std::memory_order_relaxed);
+          stop_.store(true, std::memory_order_release);
+          break;
+        }
+        std::unique_ptr<WorkItem> item(pop(wid, host.counters));
+        if (!item) {
+          if (pending_.load(std::memory_order_acquire) == 0) break;
+          host.flush();  // keep steal traffic visible while idling
+          if (++idle_rounds > 64) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          } else {
+            std::this_thread::yield();
+          }
+          continue;
+        }
+        idle_rounds = 0;
+        if (!ws.engine) ws.engine.emplace(*canonical_root_);
+        parallel_detail::switch_to(ctx_.get(), ws, *item);
+        parallel_detail::expand_node(host, ws, *item);
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+        host.flush();
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(violation_mu_);
+        if (!exception_) exception_ = std::current_exception();
+      }
+      stop_.store(true, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    host.flush();
+  }
+
+  /// LIFO from the worker's own deque, then FIFO steals round-robin from
+  /// the other workers'.  The returned item's ownership transfers to the
+  /// caller.
+  WorkItem* pop(int wid, ContentionCounters& c) {
+    if (WorkItem* item = queues_[static_cast<std::size_t>(wid)]->pop()) {
+      return item;
+    }
+    for (int k = 1; k < threads_; ++k) {
+      concurrent::WsDeque<WorkItem>& victim =
+          *queues_[static_cast<std::size_t>((wid + k) % threads_)];
+      if (WorkItem* item = victim.steal(c)) return item;
+    }
+    return nullptr;
+  }
+
+  void on_terminal(PNode* node, Engine& e) {
+    node->terminal = true;
+    if (check_) {
+      if (auto violation = check_(e)) {
+        node->violation = std::move(violation);
+        {
+          std::lock_guard<std::mutex> lk(violation_mu_);
+          if (!early_violation_) early_violation_ = node->violation;
+        }
+        if (limits_.stop_at_violation) {
+          stop_.store(true, std::memory_order_release);
+        }
+      }
+    }
+  }
+
+  /// Claims a discovered child (already canonicalized under reduction) in
+  /// the lock-free interner, records the edge, and enqueues the expansion
+  /// on the claiming worker's own deque when this call won the publication
+  /// race.  Returns false on a limit abort.
+  bool claim_child(Host& host, const WorkItem& item,
+                   std::uint64_t child_sleep, const ConfigKey& key,
+                   std::uint64_t hash, ObjectId object, InvId inv, ProcId p,
+                   int choice, int renaming) {
+    const auto ref = interner_.intern(key.words, hash, host.counters);
+    item.node->edges.push_back(PEdge{ref.value, object, inv});
+    if (ref.inserted) {
+      const std::size_t count =
+          configs_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (count > limits_.max_configs || item.depth + 1 > limits_.max_depth ||
+          (limits_.cancel &&
+           limits_.cancel->load(std::memory_order_relaxed))) {
+        incomplete_.store(true, std::memory_order_relaxed);
+        stop_.store(true, std::memory_order_release);
+        return false;
+      }
+      pending_.fetch_add(1, std::memory_order_acq_rel);
+      auto link = std::make_shared<const PathNode>(
+          PathNode{PathStep{p, choice, renaming}, item.path});
+      queues_[static_cast<std::size_t>(host.wid)]->push(new WorkItem{
+          ref.value, std::move(link), item.depth + 1, child_sleep});
+    }
+    return true;
+  }
+
+  /// An early stop strands unexpanded items in the deques; after join we
+  /// are single-threaded, so owner pops reclaim them all.
+  void drain_stranded_items() {
+    for (auto& q : queues_) {
+      while (WorkItem* item = q->pop()) delete item;
+    }
+  }
+
+  const ExploreLimits limits_;
+  const ExploreOptions options_;
+  const TerminalCheck& check_;
+  const int threads_;
+  /// Non-null iff options_.reduction != kNone; built in run() once the
+  /// system is known.
+  std::unique_ptr<ReductionContext> ctx_;
+  int num_objects_ = 0;
+  std::vector<std::size_t> inv_offset_;
+  /// The canonicalized root configuration; workers copy it lazily on their
+  /// first item.
+  std::optional<Engine> canonical_root_;
+  concurrent::ConcurrentInterner<PNode> interner_;
+  std::vector<std::unique_ptr<concurrent::WsDeque<WorkItem>>> queues_;
+  concurrent::StatsSnapshot stats_;
+  /// Admission tickets for the max_configs limit: deliberately ONE global
+  /// padded atomic (see the file comment).
+  alignas(kCacheLine) std::atomic<std::size_t> configs_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> pending_{0};
+  alignas(kCacheLine) std::atomic<bool> stop_{false};
+  std::atomic<bool> incomplete_{false};
+  std::mutex violation_mu_;  ///< guards early_violation_ and exception_
+  std::optional<std::string> early_violation_;
+  std::exception_ptr exception_;
+};
+
+}  // namespace
+
+ExploreOutcome explore_parallel_lockfree(const Engine& root,
+                                         const TerminalCheck& check,
+                                         const ExploreOptions& options,
+                                         int n_threads) {
+  int threads = n_threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw ? static_cast<int>(hw) : 1;
+  }
+  LockFreeParallelExplorer impl(options, check, threads);
+  return impl.run(root);
+}
+
+}  // namespace wfregs

@@ -1,0 +1,325 @@
+// Internals shared by the two parallel explorer engines (the retained
+// mutex-striped engine in explorer_parallel.cpp and the lock-free engine in
+// explorer_parallel_lockfree.cpp): the discovered-DAG node / path-chain /
+// frontier-item shapes, engine repositioning, reduction-aware node
+// expansion, and the single-threaded canonical-replay + longest-path
+// post-passes that make both engines' completed outcomes bit-identical to
+// explore().  Keeping these in one header is what guarantees the engines
+// cannot drift apart on the determinism contract: they differ ONLY in how
+// a child is claimed, how the frontier is queued, and how counters are
+// aggregated -- exactly the surfaces the Host hooks below parameterize.
+//
+// Internal to src/runtime; not installed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "wfregs/runtime/config_intern.hpp"
+#include "wfregs/runtime/explorer.hpp"
+
+namespace wfregs::parallel_detail {
+
+struct PNode;
+
+struct PEdge {
+  PNode* child = nullptr;
+  ObjectId object = -1;
+  InvId inv = 0;
+};
+
+/// A discovered configuration.  During discovery, `edges`, `terminal` and
+/// `violation` are written only by the worker that first inserted the node;
+/// the post-pass scratch fields are used single-threaded after join.
+struct PNode {
+  std::vector<PEdge> edges;
+  std::optional<std::string> violation;
+  bool terminal = false;
+  // ---- post-pass scratch ----
+  std::uint8_t color = 0;  ///< 0 = unvisited, 1 = on replay stack, 2 = done
+  int depth_from = 0;
+  std::vector<std::size_t> acc_from;
+  std::vector<std::size_t> inv_from;
+};
+
+/// One compact delta on a root-to-node path: step process `p` with
+/// nondeterministic choice `choice`, then (under symmetry) apply group
+/// renaming `renaming` to canonicalize the resulting configuration (-1 when
+/// canonicalization left the engine untouched).
+struct PathStep {
+  ProcId p = -1;
+  int choice = 0;
+  int renaming = -1;
+};
+
+/// Immutable reverse-linked path chain from the canonical root; WorkItems
+/// and child chains share ancestor suffixes, so the frontier serializes
+/// O(depth) small nodes per item instead of whole engines.
+struct PathNode {
+  PathStep step;
+  std::shared_ptr<const PathNode> parent;
+};
+
+struct WorkItem {
+  PNode* node = nullptr;
+  /// Path from the canonical root to this node; nullptr for the root.
+  std::shared_ptr<const PathNode> path;
+  int depth = 0;
+  std::uint64_t sleep = 0;
+};
+
+/// One applied level of a worker's current path: the undo journal of the
+/// step plus the renaming index applied after it (-1 = none).
+struct AppliedLevel {
+  Engine::UndoRecord undo;
+  int renaming = -1;
+};
+
+/// Per-worker exploration state: the single engine plus the path it is
+/// currently positioned at.  `tail` keeps the chain of `cur` alive (the
+/// raw pointers in `cur` are ancestors of `tail`), so prefix comparison
+/// against the next item's chain never touches freed nodes.
+struct WorkerState {
+  std::optional<Engine> engine;
+  std::vector<AppliedLevel> levels;  ///< levels[k] journals cur[k]'s step
+  std::vector<const PathNode*> cur;
+  std::shared_ptr<const PathNode> tail;
+  std::vector<const PathNode*> target;  ///< scratch for switch_to
+  ConfigKey scratch;                    ///< child-key scratch for expand
+};
+
+/// Repositions ws.engine at item's node: unwind to the longest common
+/// prefix of the current and target paths (inverting each level's renaming
+/// before reverting its step), then replay the target suffix (applying each
+/// recorded step and re-applying its recorded renaming index).  Path chains
+/// are immutable and shared, so pointer equality identifies common prefixes
+/// exactly.  `ctx` may be null only when no level carries a renaming.
+inline void switch_to(ReductionContext* ctx, WorkerState& ws,
+                      const WorkItem& item) {
+  ws.target.clear();
+  for (const PathNode* n = item.path.get(); n != nullptr;
+       n = n->parent.get()) {
+    ws.target.push_back(n);
+  }
+  std::reverse(ws.target.begin(), ws.target.end());
+  std::size_t common = 0;
+  while (common < ws.cur.size() && common < ws.target.size() &&
+         ws.cur[common] == ws.target[common]) {
+    ++common;
+  }
+  while (ws.cur.size() > common) {
+    AppliedLevel& lv = ws.levels[ws.cur.size() - 1];
+    if (lv.renaming >= 0) ctx->undo_renaming(*ws.engine, lv.renaming);
+    ws.engine->revert(lv.undo);
+    ws.cur.pop_back();
+  }
+  for (std::size_t i = common; i < ws.target.size(); ++i) {
+    const PathNode* n = ws.target[i];
+    if (ws.levels.size() <= ws.cur.size()) ws.levels.emplace_back();
+    AppliedLevel& lv = ws.levels[ws.cur.size()];
+    ws.engine->apply(n->step.p, n->step.choice, lv.undo);
+    lv.renaming = n->step.renaming;
+    if (lv.renaming >= 0) ctx->apply_renaming_index(*ws.engine, lv.renaming);
+    ws.cur.push_back(n);
+  }
+  ws.tail = item.path;
+}
+
+/// Expands one frontier node, engine already positioned at it.  The Host
+/// hooks are the ONLY per-engine surfaces:
+///
+///   ReductionContext* ctx()                 -- null under Reduction::kNone
+///   const TerminalCheck& check()
+///   bool stopped()                          -- acquire-load of the stop flag
+///   void count_edge()                       -- one examined step
+///   void on_terminal(PNode*, Engine&)       -- count + check + maybe stop
+///   bool claim_child(const WorkItem&, std::uint64_t child_sleep,
+///                    const ConfigKey&, std::uint64_t hash, ObjectId, InvId,
+///                    ProcId, int choice, int renaming)
+///                                           -- false aborts the expansion
+///
+/// Both engines share the enumeration order verbatim; the stored edge order
+/// replayed by the post-pass is therefore the sequential explorer's in
+/// either engine.
+template <class Host>
+void expand_node(Host& host, WorkerState& ws, const WorkItem& item) {
+  Engine& e = *ws.engine;
+  PNode* node = item.node;
+  if (e.all_done()) {
+    host.on_terminal(node, e);
+    return;
+  }
+  Engine::UndoRecord undo;
+  if (ReductionContext* ctx = host.ctx()) {
+    // Reduced discovery: skip slept processes, canonicalize every child in
+    // place before the claim.  `e` is this node's canonical
+    // representative, so the enumeration order -- and with it the stored
+    // edge order replayed by the post-pass -- matches the sequential
+    // reduced explorer.
+    const auto steps = ctx->steps(e);
+    for (std::size_t idx = 0; idx < steps.size(); ++idx) {
+      const auto& step = steps[idx];
+      if (item.sleep & (std::uint64_t{1} << step.p)) continue;
+      const std::uint64_t child_sleep =
+          ctx->child_sleep(steps, idx, item.sleep);
+      for (int c = 0; c < step.width; ++c) {
+        if (host.stopped()) return;
+        host.count_edge();
+        e.apply(step.p, c, undo);
+        std::uint64_t canon_sleep = child_sleep;
+        int applied = -1;
+        ctx->canonical_node_key_into(e, canon_sleep, ws.scratch, &applied);
+        const std::uint64_t hash = config_hash_words(ws.scratch.words);
+        const bool ok =
+            host.claim_child(item, canon_sleep, ws.scratch, hash,
+                             step.object, step.inv, step.p, c, applied);
+        if (applied >= 0) ctx->undo_renaming(e, applied);
+        e.revert(undo);
+        if (!ok) return;
+      }
+    }
+    return;
+  }
+  for (const ProcId p : e.runnable()) {
+    const int width = e.pending_choices(p);
+    for (int c = 0; c < width; ++c) {
+      if (host.stopped()) return;
+      host.count_edge();
+      const Engine::CommitInfo commit = e.apply(p, c, undo);
+      e.config_key_into(ws.scratch);
+      const std::uint64_t hash = config_hash_words(ws.scratch.words);
+      const bool ok = host.claim_child(item, 0, ws.scratch, hash,
+                                       commit.object, commit.inv, p, c, -1);
+      e.revert(undo);
+      if (!ok) return;
+    }
+  }
+}
+
+/// Phases 2 and 3 of either engine: replay the sequential DFS over the
+/// discovered DAG in canonical edge order, then run the longest-path /
+/// access-bound DP over its postorder.  Single-threaded; no engine
+/// stepping.  `inv_offset` is the per-object invocation-slot prefix sum
+/// (empty unless limits.track_access_bounds).
+inline void replay_and_dp(PNode* root_node, const ExploreLimits& limits,
+                          int num_objects,
+                          const std::vector<std::size_t>& inv_offset,
+                          ExploreOutcome& out) {
+  struct Frame {
+    PNode* n;
+    std::size_t next;
+  };
+  std::vector<Frame> stack;
+  std::vector<PNode*> postorder;
+  postorder.reserve(out.stats.configs);
+  std::size_t seen_configs = 0;
+  std::size_t seen_edges = 0;
+  std::size_t seen_terminals = 0;
+  PNode* first_violation = nullptr;
+  bool cycle = false;
+
+  const auto visit = [&](PNode* n) {
+    ++seen_configs;
+    n->color = 1;
+    if (n->terminal) ++seen_terminals;
+    if (n->violation && !first_violation) first_violation = n;
+    stack.push_back(Frame{n, 0});
+  };
+  visit(root_node);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next == f.n->edges.size()) {
+      f.n->color = 2;
+      postorder.push_back(f.n);
+      stack.pop_back();
+      continue;
+    }
+    PNode* child = f.n->edges[f.next++].child;
+    ++seen_edges;
+    if (child->color == 1) {
+      // The same cycle the sequential DFS would hit, at the same point:
+      // some execution revisits a configuration, so by the Section 4.2
+      // Koenig's-lemma argument the implementation is not wait-free.
+      cycle = true;
+      break;
+    }
+    if (child->color == 0) visit(child);
+  }
+  if (first_violation) out.violation = *first_violation->violation;
+  if (cycle) {
+    out.wait_free = false;
+    // Counters at the abort point, matching the sequential explorer's
+    // partial stats bit for bit (the replay IS its traversal, and the
+    // sequential memo grows in lockstep with its configs counter).
+    out.stats.configs = seen_configs;
+    out.stats.edges = seen_edges;
+    out.stats.terminals = seen_terminals;
+    out.stats.interned_configs = seen_configs;
+    return;
+  }
+  out.stats.configs = seen_configs;
+  out.stats.edges = seen_edges;
+  out.stats.terminals = seen_terminals;
+
+  for (PNode* n : postorder) {
+    if (limits.track_access_bounds) {
+      n->acc_from.assign(static_cast<std::size_t>(num_objects), 0);
+      n->inv_from.assign(inv_offset.back(), 0);
+    }
+    for (const PEdge& edge : n->edges) {
+      n->depth_from = std::max(n->depth_from, edge.child->depth_from + 1);
+      if (limits.track_access_bounds) {
+        for (ObjectId g = 0; g < num_objects; ++g) {
+          std::size_t cand =
+              edge.child->acc_from[static_cast<std::size_t>(g)];
+          if (g == edge.object) ++cand;
+          n->acc_from[static_cast<std::size_t>(g)] =
+              std::max(n->acc_from[static_cast<std::size_t>(g)], cand);
+        }
+        const std::size_t hit =
+            inv_offset[static_cast<std::size_t>(edge.object)] +
+            static_cast<std::size_t>(edge.inv);
+        for (std::size_t k = 0; k < n->inv_from.size(); ++k) {
+          std::size_t cand = edge.child->inv_from[k];
+          if (k == hit) ++cand;
+          n->inv_from[k] = std::max(n->inv_from[k], cand);
+        }
+      }
+    }
+  }
+  out.stats.depth = root_node->depth_from;
+  if (limits.track_access_bounds) {
+    out.stats.max_accesses = root_node->acc_from;
+    out.stats.max_accesses_by_inv.resize(
+        static_cast<std::size_t>(num_objects));
+    for (ObjectId g = 0; g < num_objects; ++g) {
+      out.stats.max_accesses_by_inv[static_cast<std::size_t>(g)].assign(
+          root_node->inv_from.begin() +
+              static_cast<std::ptrdiff_t>(
+                  inv_offset[static_cast<std::size_t>(g)]),
+          root_node->inv_from.begin() +
+              static_cast<std::ptrdiff_t>(
+                  inv_offset[static_cast<std::size_t>(g) + 1]));
+    }
+  }
+}
+
+/// The per-object invocation-slot prefix sum used by the access-bound DP;
+/// shared so both engines size inv_from identically.
+inline std::vector<std::size_t> build_inv_offset(const System& sys,
+                                                 int num_objects) {
+  std::vector<std::size_t> inv_offset(
+      static_cast<std::size_t>(num_objects) + 1, 0);
+  for (ObjectId g = 0; g < num_objects; ++g) {
+    const int invs = sys.is_base(g) ? sys.base(g).spec->num_invocations() : 0;
+    inv_offset[static_cast<std::size_t>(g) + 1] =
+        inv_offset[static_cast<std::size_t>(g)] +
+        static_cast<std::size_t>(invs);
+  }
+  return inv_offset;
+}
+
+}  // namespace wfregs::parallel_detail

@@ -48,7 +48,8 @@ std::string metrics_to_json(const Metrics& m) {
       << ",\"run_ns_total\":" << m.run_ns_total
       << ",\"run_count\":" << m.run_count
       << ",\"append_ns_total\":" << m.append_ns_total
-      << ",\"append_count\":" << m.append_count << "}";
+      << ",\"append_count\":" << m.append_count
+      << ",\"snapshot_retries\":" << m.snapshot_retries << "}";
   return out.str();
 }
 
@@ -76,6 +77,7 @@ Metrics parse_metrics_json(const std::string& json) {
   m.run_count = json_field(json, "run_count");
   m.append_ns_total = json_field(json, "append_ns_total");
   m.append_count = json_field(json, "append_count");
+  m.snapshot_retries = json_field(json, "snapshot_retries");
   return m;
 }
 
@@ -102,6 +104,7 @@ void accumulate_metrics(Metrics* into, const Metrics& m) {
   into->run_count += m.run_count;
   into->append_ns_total += m.append_ns_total;
   into->append_count += m.append_count;
+  into->snapshot_retries += m.snapshot_retries;
 }
 
 }  // namespace wfregs::service

@@ -15,6 +15,20 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Worker-side counter layout in JobScheduler::worker_stats_ (one wait-free
+// writer slot per worker; kWorkerCounters must cover the last index).
+constexpr std::size_t kWcCompleted = 0;
+constexpr std::size_t kWcStaticDecisions = 1;
+constexpr std::size_t kWcCancelled = 2;
+constexpr std::size_t kWcFailed = 3;
+constexpr std::size_t kWcEvictions = 4;
+constexpr std::size_t kWcQueueNs = 5;
+constexpr std::size_t kWcQueueCount = 6;
+constexpr std::size_t kWcRunNs = 7;
+constexpr std::size_t kWcRunCount = 8;
+constexpr std::size_t kWcAppendNs = 9;
+constexpr std::size_t kWcAppendCount = 10;
+
 std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
@@ -116,11 +130,14 @@ JobScheduler::JobScheduler(SchedulerOptions options, Runner runner)
     : options_(options),
       runner_(runner ? std::move(runner)
                      : default_runner(options.explore_threads)),
-      store_(options.store_path) {
+      store_(options.store_path),
+      worker_stats_(static_cast<std::size_t>(std::max(options.workers, 1)),
+                    kWorkerCounters) {
   if (options_.workers < 1) options_.workers = 1;
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w) {
-    workers_.emplace_back([this] { worker_main(); });
+    workers_.emplace_back(
+        [this, w] { worker_main(static_cast<std::size_t>(w)); });
   }
   timer_ = std::thread([this] { timer_main(); });
 }
@@ -201,7 +218,8 @@ Submitted JobScheduler::admit(const VerifyJob& job, bool reject_when_full) {
   return out;
 }
 
-void JobScheduler::worker_main() {
+void JobScheduler::worker_main(std::size_t wid) {
+  concurrent::StatsSnapshot::Writer w = worker_stats_.writer(wid);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -213,9 +231,11 @@ void JobScheduler::worker_main() {
     queue_.pop_front();
     f->state = JobState::kRunning;
     const Clock::time_point picked = Clock::now();
-    metrics_.queue_ns_total += ns_between(f->submitted_at, picked);
-    metrics_.queue_count += 1;
     lock.unlock();
+    // Counter updates are wait-free writer-slot stores from here on --
+    // mu_ now serializes admission and queue state only, never accounting.
+    w.add(kWcQueueNs, ns_between(f->submitted_at, picked));
+    w.add(kWcQueueCount, 1);
 
     Verdict v;
     JobState final_state = JobState::kDone;
@@ -240,54 +260,61 @@ void JobScheduler::worker_main() {
         final_state = JobState::kFailed;
       }
     }
+    w.add(kWcRunNs, ns_between(picked, Clock::now()));
+    w.add(kWcRunCount, 1);
 
     lock.lock();
-    metrics_.run_ns_total += ns_between(picked, Clock::now());
-    metrics_.run_count += 1;
-    finish(f, std::move(v), final_state);
+    finish(f, std::move(v), final_state, w);
     // finish() released nothing; we still hold the lock for the next wait.
   }
 }
 
 void JobScheduler::finish(const std::shared_ptr<InFlight>& job, Verdict verdict,
-                          JobState state) {
-  // Caller holds mu_.
+                          JobState state,
+                          concurrent::StatsSnapshot::Writer& w) {
+  // Caller holds mu_ (for queue / inflight / store state; the counter
+  // writes below touch only the worker's private staging slot).
   if (state == JobState::kDone && verdict.provenance == Provenance::kStatic) {
-    metrics_.static_decisions += 1;
+    w.add(kWcStaticDecisions, 1);
   }
   if (state == JobState::kDone && verdict.complete) {
     const Clock::time_point t0 = Clock::now();
     store_.put(job->key, verdict);
-    metrics_.append_ns_total += ns_between(t0, Clock::now());
-    metrics_.append_count += 1;
-    metrics_.completed += 1;
+    w.add(kWcAppendNs, ns_between(t0, Clock::now()));
+    w.add(kWcAppendCount, 1);
+    w.add(kWcCompleted, 1);
   } else {
     // Incomplete / cancelled / failed verdicts never enter the store; keep
     // the outcome around for poll().
     if (state == JobState::kDone) {
-      metrics_.completed += 1;
+      w.add(kWcCompleted, 1);
     } else if (state == JobState::kCancelled) {
-      metrics_.cancelled += 1;
+      w.add(kWcCancelled, 1);
     } else {
-      metrics_.failed += 1;
+      w.add(kWcFailed, 1);
     }
-    remember_status(job->key, state, verdict);
+    remember_status(job->key, state, verdict, w);
   }
   job->state = state;
   inflight_.erase(std::find(inflight_.begin(), inflight_.end(), job));
+  // Publish BEFORE fulfilling the promise: a caller whose future resolved
+  // must see this job in metrics() (the seqlock publication is the release
+  // edge a subsequent collect acquires).
+  w.publish();
   job->promise.set_value(std::move(verdict));
   drain_cv_.notify_all();
 }
 
 void JobScheduler::remember_status(const JobKey& key, JobState state,
-                                   const Verdict& verdict) {
+                                   const Verdict& verdict,
+                                   concurrent::StatsSnapshot::Writer& w) {
   JobStatus status;
   status.state = state;
   status.verdict = verdict;
   recent_.emplace_back(key, std::move(status));
   while (recent_.size() > options_.status_history) {
     recent_.pop_front();
-    metrics_.evictions += 1;
+    w.add(kWcEvictions, 1);
   }
 }
 
@@ -342,8 +369,30 @@ std::optional<JobStatus> JobScheduler::poll(const JobKey& key) const {
 }
 
 Metrics JobScheduler::metrics() const {
+  // Worker-side counters first, without mu_: the collect reads a
+  // consistent cut of every worker's published record and never stalls a
+  // worker (workers publish wait-free and don't retry either).
+  concurrent::ContentionCounters cc;
+  const std::vector<std::uint64_t> totals = worker_stats_.collect(&cc);
+  const std::uint64_t retries =
+      collect_retries_.fetch_add(cc.snapshot_retries,
+                                 std::memory_order_relaxed) +
+      cc.snapshot_retries;
+
   std::lock_guard<std::mutex> lock(mu_);
   Metrics m = metrics_;
+  m.completed = totals[kWcCompleted];
+  m.static_decisions = totals[kWcStaticDecisions];
+  m.cancelled = totals[kWcCancelled];
+  m.failed = totals[kWcFailed];
+  m.evictions = totals[kWcEvictions];
+  m.queue_ns_total = totals[kWcQueueNs];
+  m.queue_count = totals[kWcQueueCount];
+  m.run_ns_total = totals[kWcRunNs];
+  m.run_count = totals[kWcRunCount];
+  m.append_ns_total = totals[kWcAppendNs];
+  m.append_count = totals[kWcAppendCount];
+  m.snapshot_retries = retries;
   m.queue_depth = queue_.size();
   m.in_flight = inflight_.size() - queue_.size();
   m.store_records = store_.size();
