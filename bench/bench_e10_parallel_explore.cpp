@@ -70,7 +70,7 @@ void BM_ExploreParallel(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(configs),
                          benchmark::Counter::kIsIterationInvariantRate);
   benchjson::contention_counters(state, contention);
-  state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
+  benchjson::memory_counters(state);
 }
 
 }  // namespace

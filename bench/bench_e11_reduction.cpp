@@ -162,7 +162,7 @@ void register_all() {
             state.counters["configs"] = static_cast<double>(configs);
             state.counters["configs_none"] =
                 static_cast<double>(base.stats.configs);
-            state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
+            benchjson::memory_counters(state);
           })
           ->UseRealTime()
           ->Unit(benchmark::kMillisecond);

@@ -8,6 +8,8 @@
 //   interned_configs -- intern-pool occupancy at return (== configs)
 //   configs_per_sec  -- throughput
 //   peak_rss_bytes   -- process peak RSS after the timing loop
+//   spilled_bytes / resident_arena_bytes -- out-of-core arena residency
+//                           (0 when the run stays in-core)
 //
 // Ordering matters for the RSS counter: peak RSS is monotone over the
 // process lifetime, so all compiled benchmarks are registered (and run)
@@ -78,7 +80,7 @@ void set_counters(benchmark::State& state, const ExploreStats& stats) {
   state.counters["configs_per_sec"] =
       benchmark::Counter(static_cast<double>(stats.configs),
                          benchmark::Counter::kIsIterationInvariantRate);
-  state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
+  benchjson::memory_counters(state);
 }
 
 void BM_Compiled(benchmark::State& state, Workload w) {

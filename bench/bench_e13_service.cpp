@@ -11,6 +11,8 @@
 //   speedup         -- cold_ms / warm_ms
 //   cache_hits/cache_misses -- scheduler metrics after both passes
 //   peak_rss_bytes  -- process peak RSS after the timing loop
+//   spilled_bytes / resident_arena_bytes -- out-of-core arena residency
+//                           (0 when the run stays in-core)
 //
 // Two in-run correctness gates (either failure sets error_occurred in the
 // JSON and fails the CI bench gate):
@@ -191,7 +193,7 @@ void BM_WarmVsCold(benchmark::State& state) {
   // aggregator while the workers were publishing (contention telemetry,
   // not gated).
   state.counters["snapshot_retries"] = static_cast<double>(snapshot_retries);
-  state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
+  benchjson::memory_counters(state);
 }
 
 void register_all() {

@@ -12,6 +12,8 @@
 //   iface_ops_per_sec         -- interface-level operations per second
 //   base_accesses_per_sec     -- atomic base-object accesses per second
 //   peak_rss_bytes            -- process peak RSS
+//   spilled_bytes / resident_arena_bytes -- out-of-core arena residency
+//                           (0 when the run stays in-core)
 //
 // In-run correctness gate: every history must pass its workload's oracles
 // (a violation sets error_occurred in the JSON and fails the CI bench
@@ -67,7 +69,7 @@ void BM_Conformance(benchmark::State& state, const std::string& name,
       seconds > 0 ? static_cast<double>(ops) / seconds : 0;
   state.counters["base_accesses_per_sec"] =
       seconds > 0 ? static_cast<double>(accesses) / seconds : 0;
-  state.counters["peak_rss_bytes"] = wfregs::benchjson::peak_rss_bytes();
+  wfregs::benchjson::memory_counters(state);
 }
 
 void register_all() {

@@ -17,6 +17,8 @@
 //   cert_check_us    -- mean time to re-validate one certificate with the
 //                       independent checker (the fast-path's trust step)
 //   peak_rss_bytes   -- process peak RSS after the timing loop
+//   spilled_bytes / resident_arena_bytes -- out-of-core arena residency
+//                           (0 when the run stays in-core)
 //
 // Three in-run correctness gates (any failure sets error_occurred in the
 // JSON and fails the CI bench gate):
@@ -227,7 +229,7 @@ void BM_StaticVsExplored(benchmark::State& state) {
   state.counters["speedup"] = static_ms > 0 ? explored_ms / static_ms : 0;
   state.counters["cert_check_us"] =
       checks > 0 ? check_us_total / static_cast<double>(checks) : 0;
-  state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
+  benchjson::memory_counters(state);
 }
 
 void register_all() {

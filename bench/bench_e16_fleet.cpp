@@ -30,6 +30,8 @@
 //   admission_rejections -- from the backpressure phase
 //   fleet_beats_cold_single -- 1 iff warm_fleet_ms < cold_single_ms
 //   peak_rss_bytes       -- process peak RSS after the timing loop
+//   spilled_bytes / resident_arena_bytes -- out-of-core arena residency
+//                           (0 when the run stays in-core)
 //
 // In-run correctness gates (each failure sets error_occurred in the JSON,
 // which fails the CI gate):
@@ -327,7 +329,7 @@ void BM_FleetWarmVsColdSingle(benchmark::State& state) {
       static_cast<double>(admission_rejections);
   state.counters["fleet_beats_cold_single"] =
       (warm_fleet_ms > 0 && warm_fleet_ms < cold_single_ms) ? 1 : 0;
-  state.counters["peak_rss_bytes"] = wfregs::benchjson::peak_rss_bytes();
+  wfregs::benchjson::memory_counters(state);
   std::remove(store.c_str());
 }
 BENCHMARK(BM_FleetWarmVsColdSingle)

@@ -102,7 +102,7 @@ void set_common_counters(benchmark::State& state, const ExploreOutcome& out,
                          benchmark::Counter::kIsIterationInvariantRate);
   benchjson::contention_counters(state, contention);
   state.counters["verdict_identical"] = 1.0;
-  state.counters["peak_rss_bytes"] = benchjson::peak_rss_bytes();
+  benchjson::memory_counters(state);
 }
 
 // One engine sweep row: run `engine` at `threads`, accumulate contention,

@@ -112,7 +112,7 @@ void BM_Explorer(benchmark::State& state) {
   state.counters["interned_configs"] = static_cast<double>(interned);
   state.counters["configs_per_sec"] = benchmark::Counter(
       static_cast<double>(configs), benchmark::Counter::kIsIterationInvariantRate);
-  state.counters["peak_rss_bytes"] = wfregs::benchjson::peak_rss_bytes();
+  wfregs::benchjson::memory_counters(state);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "wfregs/concurrent/contention.hpp"
+#include "wfregs/storage/spill_arena.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -52,6 +53,21 @@ inline double peak_rss_bytes() {
 #else
   return 0.0;
 #endif
+}
+
+// The standard memory triple for every BENCH_*.json: process peak RSS plus
+// the out-of-core arena residency telemetry (storage/spill_arena.hpp's
+// process-wide accounting).  In-core benchmarks report both arena counters
+// as 0; out-of-core ones show how much of the interned state was evicted
+// (spilled_bytes) vs resident (resident_arena_bytes) when the counter was
+// sampled.  check_bench_regression.py can floor or ceiling any of the
+// three.
+inline void memory_counters(benchmark::State& state) {
+  state.counters["peak_rss_bytes"] = peak_rss_bytes();
+  const storage::ArenaGlobalStats arenas = storage::arena_global_stats();
+  state.counters["spilled_bytes"] = static_cast<double>(arenas.spilled_bytes);
+  state.counters["resident_arena_bytes"] =
+      static_cast<double>(arenas.resident_bytes);
 }
 
 inline int run(int argc, char** argv, const char* json_path) {

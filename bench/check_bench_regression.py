@@ -49,7 +49,10 @@ gates the static-decision skip rate this way, and the e16_fleet suite gates
 the fleet bench's determinate floors: cross-worker cache warming
 (``warm_origins`` / ``min_origin_hits``), the bounded-admission rejection
 path (``admission_rejections``), and the warm-fleet-beats-cold-single
-verdict bit -- never wall-clock itself.
+verdict bit -- never wall-clock itself.  The dual ``max_counters``
+(benchmark name -> {counter: ceiling}) gates counters from above; the
+e18_out_of_core suite bounds the sampled peak of resident arena bytes at
+1.2x each memory budget this way.
 """
 
 import json
@@ -203,6 +206,27 @@ def check_suite(run, suite, suite_name):
                 failed = True
             else:
                 print(f"ok:   {name}: {counter} {got} (floor {floor})")
+
+    # 3c. Counter ceilings: the dual of min_counters -- ``max_counters``
+    # maps benchmark name -> {counter: ceiling}; the run's counter must be
+    # <= the ceiling (the e18 suite bounds the sampled peak of resident
+    # arena bytes at 1.2x each memory budget this way).
+    for name, ceilings in sorted(suite.get("max_counters", {}).items()):
+        if name not in run:
+            print(f"FAIL: max_counters benchmark missing from run: {name}")
+            failed = True
+            continue
+        for counter, ceiling in sorted(ceilings.items()):
+            got = run[name].get(counter)
+            if got is None:
+                print(f"FAIL: {name}: no '{counter}' counter in run")
+                failed = True
+            elif got > ceiling:
+                print(f"FAIL: {name}: {counter} {got} above the baseline "
+                      f"ceiling {ceiling}")
+                failed = True
+            else:
+                print(f"ok:   {name}: {counter} {got} (ceiling {ceiling})")
 
     # 4. Informational compiled/legacy throughput ratios.
     for name in sorted(base_configs):

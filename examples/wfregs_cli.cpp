@@ -26,6 +26,8 @@
 //   wfregs_cli store-merge <dst> <src>     merge verdict log <src> into
 //                                          <dst> offline (by JobKey,
 //                                          idempotent; <dst> is created)
+//   wfregs_cli checkpoint-info <dir>       inspect an out-of-core
+//                                          exploration checkpoint directory
 //
 // A leading `-j N` routes every exhaustive exploration through the parallel
 // explorer on N worker threads (0 = hardware concurrency, 1 = sequential).
@@ -42,18 +44,31 @@
 // (one frame pair for N jobs), and a "rejected" submit -- the server's
 // bounded-admission backpressure -- is retried with exponential backoff.
 // Commands that never use a flag warn instead of silently ignoring it.
+// A leading `--memory-budget N[K|M|G]` caps explorer memory and spills
+// interned configurations to disk beyond it; `--checkpoint-dir <dir>`
+// persists crash-safe exploration checkpoints there, and a rerun with the
+// same directory resumes instead of recomputing (see storage/options.hpp).
+// Both are local execution parameters: they never enter a job's identity or
+// its serialized text, and with --server the daemon's own storage
+// configuration applies instead.
 //
 // Exit codes: 0 = success, 1 = a verification/check reported a failure,
 // 2 = usage or input error (bad flags, unknown command, unreadable or
 // malformed input).
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -72,6 +87,8 @@
 #include "wfregs/service/scheduler.hpp"
 #include "wfregs/service/store.hpp"
 #include "wfregs/service/verdict.hpp"
+#include "wfregs/storage/checkpoint.hpp"
+#include "wfregs/storage/options.hpp"
 #include "wfregs/typesys/serialize.hpp"
 #include "wfregs/typesys/triviality.hpp"
 #include "wfregs/typesys/type_zoo.hpp"
@@ -98,13 +115,47 @@ bool g_reduction_set = false;
 bool g_json = false;
 /// Daemon socket from --server (empty = run jobs locally).
 std::string g_server;
+/// Explorer memory budget from --memory-budget (0 = unbounded, in-core).
+std::size_t g_memory_budget = 0;
+/// Checkpoint directory from --checkpoint-dir (empty = no checkpointing).
+std::string g_checkpoint_dir;
+/// Whether either out-of-core flag was given (for the dead-flag warning).
+bool g_storage_set = false;
 
 VerifyOptions verify_options() {
   VerifyOptions options;
   options.threads = g_threads;
   options.reduction = g_reduction;
+  options.storage.memory_budget_bytes = g_memory_budget;
+  options.storage.checkpoint_dir = g_checkpoint_dir;
   if (g_precheck) options.static_precheck = analysis::static_precheck();
   return options;
+}
+
+/// Parses "N", "NK", "NM" or "NG" (suffixes case-insensitive) into bytes;
+/// nullopt on malformed input or overflow.
+std::optional<std::size_t> parse_byte_size(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t shift = 0;
+  std::string digits = text;
+  switch (digits.back()) {
+    case 'k': case 'K': shift = 10; break;
+    case 'm': case 'M': shift = 20; break;
+    case 'g': case 'G': shift = 30; break;
+    default: break;
+  }
+  if (shift != 0) digits.pop_back();
+  if (digits.empty() ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](unsigned char c) { return std::isdigit(c); })) {
+    return std::nullopt;
+  }
+  errno = 0;
+  const unsigned long long n = std::strtoull(digits.c_str(), nullptr, 10);
+  if (errno != 0 || n > (std::numeric_limits<std::size_t>::max() >> shift)) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(n) << shift;
 }
 
 const std::map<std::string, std::function<TypeSpec()>> kZoo{
@@ -401,7 +452,12 @@ int run_jobs(const std::vector<std::pair<std::string, std::string>>& jobs) {
         service::JobScheduler::default_runner(g_threads);
     const std::atomic<bool> no_cancel{false};
     for (const auto& [label, text] : jobs) {
-      const service::VerifyJob job = service::parse_job(text);
+      service::VerifyJob job = service::parse_job(text);
+      // Storage knobs are execution parameters, not job identity: the
+      // canonical job text never carries them, so the local path injects
+      // them after parsing (the daemon path uses its own configuration).
+      job.options.storage.memory_budget_bytes = g_memory_budget;
+      job.options.storage.checkpoint_dir = g_checkpoint_dir;
       const service::Verdict v = runner(job, no_cancel);
       all_ok = all_ok && v.ok;
       if (g_json) {
@@ -519,6 +575,63 @@ int cmd_store_merge(int argc, char** argv) {
   return kExitOk;
 }
 
+void print_checkpoint_info(const std::string& label,
+                           const storage::CheckpointInfo& info) {
+  std::ostringstream fp;
+  fp << std::hex << std::setfill('0') << std::setw(16) << info.fp_hi
+     << std::setw(16) << info.fp_lo;
+  std::cout << label << ": " << (info.finished ? "finished" : "in progress")
+            << ", fingerprint=" << fp.str() << "\n  configs=" << info.configs
+            << " edges=" << info.edges << " terminals=" << info.terminals
+            << " interned=" << info.interned << "\n  frames=" << info.frames
+            << " snapshots=" << info.snapshots
+            << " frontier_bytes=" << info.frontier_bytes
+            << " arena_bytes=" << info.arena_bytes;
+  if (info.dropped_bytes != 0) {
+    std::cout << " dropped_bytes=" << info.dropped_bytes;
+  }
+  std::cout << "\n";
+}
+
+/// Inspects a checkpoint directory without opening it for writing: either a
+/// single exploration checkpoint, or a parent holding several (a consensus
+/// check keeps one `root<vec>` subdirectory per input vector; the scheduler
+/// one `<job-key-hex>` subdirectory per job).
+int cmd_checkpoint_info(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: wfregs_cli checkpoint-info <dir>\n";
+    return kExitUsage;
+  }
+  const std::string dir = argv[2];
+  const auto info = storage::FrontierCheckpoint::info(dir);
+  if (info.present) {
+    print_checkpoint_info(dir, info);
+    return kExitOk;
+  }
+  std::vector<std::filesystem::path> subs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_directory()) subs.push_back(entry.path());
+  }
+  if (ec) {
+    std::cerr << "cannot read " << dir << ": " << ec.message() << "\n";
+    return kExitUsage;
+  }
+  std::sort(subs.begin(), subs.end());
+  std::size_t found = 0;
+  for (const auto& sub : subs) {
+    const auto child = storage::FrontierCheckpoint::info(sub.string());
+    if (!child.present) continue;
+    ++found;
+    print_checkpoint_info(sub.filename().string(), child);
+  }
+  if (found == 0) {
+    std::cerr << dir << ": no checkpoint found\n";
+    return kExitUsage;
+  }
+  return kExitOk;
+}
+
 int cmd_check(int argc, char** argv) {
   if (argc != 3) {
     std::cerr << "usage: wfregs_cli check <tas|queue|faa>\n";
@@ -586,6 +699,29 @@ int main(int argc, char** argv) {
       argv[2] = argv[0];
       argc -= 2;
       argv += 2;
+    } else if (flag == "--memory-budget") {
+      const auto bytes =
+          argc >= 3 ? parse_byte_size(argv[2]) : std::nullopt;
+      if (!bytes) {
+        std::cerr << "error: --memory-budget wants a size like 64M "
+                     "(suffixes K, M, G)\n";
+        return kExitUsage;
+      }
+      g_memory_budget = *bytes;
+      g_storage_set = true;
+      argv[2] = argv[0];
+      argc -= 2;
+      argv += 2;
+    } else if (flag == "--checkpoint-dir") {
+      if (argc < 3 || argv[2][0] == '\0') {
+        std::cerr << "error: --checkpoint-dir requires a directory\n";
+        return kExitUsage;
+      }
+      g_checkpoint_dir = argv[2];
+      g_storage_set = true;
+      argv[2] = argv[0];
+      argc -= 2;
+      argv += 2;
     } else {
       more = false;
     }
@@ -593,8 +729,10 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: wfregs_cli [-j N] [--reduction MODE] "
                  "[--static-precheck] [--json] [--server ENDPOINT] "
+                 "[--memory-budget N[K|M|G]] [--checkpoint-dir DIR] "
                  "zoo|print|classify|oneuse|hierarchy|eliminate|make-job|"
-                 "verify|submit|check|stats|shutdown|store-merge ...\n";
+                 "verify|submit|check|stats|shutdown|store-merge|"
+                 "checkpoint-info ...\n";
     return kExitUsage;
   }
   const std::string cmd = argv[1];
@@ -603,7 +741,7 @@ int main(int argc, char** argv) {
   if ((g_threads_set || g_reduction_set) &&
       (cmd == "zoo" || cmd == "print" || cmd == "classify" ||
        cmd == "hierarchy" || cmd == "stats" || cmd == "shutdown" ||
-       cmd == "store-merge")) {
+       cmd == "store-merge" || cmd == "checkpoint-info")) {
     std::cerr << "warning: " << (g_threads_set ? "-j" : "")
               << (g_threads_set && g_reduction_set ? " and " : "")
               << (g_reduction_set ? "--reduction" : "") << " ignored: '"
@@ -621,6 +759,20 @@ int main(int argc, char** argv) {
     std::cerr << "warning: --server ignored: '" << cmd
               << "' always runs locally\n";
   }
+  // The out-of-core flags configure local exploration only: make-job does
+  // not serialize them (execution parameter, not job identity) and with
+  // --server the daemon's own storage configuration governs.
+  if (g_storage_set) {
+    const bool local_exploration =
+        g_server.empty() && (cmd == "verify" || cmd == "check" ||
+                             cmd == "oneuse" || cmd == "eliminate");
+    if (!local_exploration) {
+      std::cerr << "warning: --memory-budget/--checkpoint-dir ignored: "
+                << (g_server.empty()
+                        ? "'" + cmd + "' runs no local exploration\n"
+                        : "the daemon's storage configuration applies\n");
+    }
+  }
   try {
     if (cmd == "zoo") return cmd_zoo(argc, argv);
     if (cmd == "make-job") return cmd_make_job(argc, argv);
@@ -628,6 +780,7 @@ int main(int argc, char** argv) {
     if (cmd == "submit") return cmd_submit(argc, argv);
     if (cmd == "check") return cmd_check(argc, argv);
     if (cmd == "store-merge") return cmd_store_merge(argc, argv);
+    if (cmd == "checkpoint-info") return cmd_checkpoint_info(argc, argv);
     if (cmd == "stats" || cmd == "shutdown") {
       if (g_server.empty()) {
         std::cerr << "error: '" << cmd << "' needs --server <socket>\n";

@@ -34,6 +34,15 @@ struct ConsensusCheckResult {
   /// exploration ran: depth/configs/terminals stay 0 and detail carries the
   /// static justification instead of a violation trace).
   bool static_decision = false;
+  /// Any of the per-root explorations resumed from a checkpoint (out-of-core
+  /// runs; each input vector checkpoints into its own `root<vec>`
+  /// subdirectory of storage.checkpoint_dir).
+  bool resumed = false;
+  /// The check stopped early but left resumable state behind -- an
+  /// interrupt checkpoint for the cut root and/or final snapshots for the
+  /// roots already done -- so rerunning with the same checkpoint_dir picks
+  /// up where this run stopped.  Always false for complete checks.
+  bool checkpointed = false;
   std::string detail;       ///< first violation description
   /// Section 4.2's D: the maximum depth over all 2^n execution trees.
   int depth = 0;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "wfregs/runtime/history.hpp"
@@ -168,6 +169,15 @@ class Engine {
   void emit_key(ConfigKey& key, const ProcessRenaming* renaming) const;
 
   std::shared_ptr<const System> sys_;
+  /// Dense, construction-order-stable id for every ProgramCode reachable
+  /// from sys_ (toplevels in process order, then implementation programs in
+  /// (object, invocation, port) order).  config_key() emits these ids
+  /// instead of raw pointers, so keys -- and the checkpoint fingerprints
+  /// built from them -- are identical across processes and across separate
+  /// constructions of an equivalent System.  Shared so that the many engine
+  /// copies the explorer makes don't each rebuild (or duplicate) the table.
+  std::shared_ptr<const std::unordered_map<const ProgramCode*, std::uint64_t>>
+      program_ids_;
   /// compiled_[gid]: the hot-path transition table of base object gid
   /// (nullptr for virtual slots).  Borrowed from sys_'s BaseObjects, which
   /// the engine keeps alive through sys_.

@@ -95,6 +95,7 @@
 #include "wfregs/concurrent/contention.hpp"
 #include "wfregs/runtime/engine.hpp"
 #include "wfregs/runtime/reduction.hpp"
+#include "wfregs/storage/options.hpp"
 
 namespace wfregs {
 
@@ -156,6 +157,13 @@ struct ExploreOutcome {
   std::optional<std::string> violation;
   ExploreStats stats;
   ContentionStats contention;
+  /// Out-of-core observability (never part of any bit-identity contract --
+  /// a resumed run matches an uninterrupted one on every field above):
+  /// `resumed` reports that this run restored state from a checkpoint, and
+  /// `checkpointed` that an incomplete run left a resumable checkpoint on
+  /// disk (the scheduler marks such verdicts with Provenance::kPartial).
+  bool resumed = false;
+  bool checkpointed = false;
 };
 
 /// Returns an error description when the terminal configuration is invalid.
@@ -171,6 +179,14 @@ struct ExploreOptions {
   /// explored system and outlive the exploration.  nullptr = the explorer
   /// builds the TypeSpec baseline itself.  Ignored under kNone.
   const IndependenceTable* independence = nullptr;
+  /// Out-of-core storage: memory budget + spill directory for the interned
+  /// configuration store, and crash-safe checkpoint/resume of the
+  /// exploration frontier (see wfregs/storage/options.hpp).  When
+  /// storage.enabled(), every explore entry point routes to the
+  /// storage-backed engine (src/runtime/explorer_ooc.cpp), which is
+  /// bit-identical to explore() in every mode -- parallel entry points
+  /// included, since their contract is already "identical to sequential".
+  storage::StorageOptions storage{};
 };
 
 /// Explores all executions from `root`.  The root engine is copied, never
@@ -276,6 +292,20 @@ struct VerifyOptions {
   /// Reduction mode for every exploration the verifier runs (see REDUCTION
   /// above); kNone preserves historical behaviour bit for bit.
   Reduction reduction = Reduction::kNone;
+  /// Out-of-core storage settings, passed to every exploration the verifier
+  /// runs.  Like `threads`, storage is an execution parameter, never job
+  /// identity: the service layer does not serialize it into job text.
+  /// check_consensus derives a per-root subdirectory of
+  /// storage.checkpoint_dir for each input vector it explores.
+  storage::StorageOptions storage{};
 };
+
+namespace detail {
+/// The out-of-core sequential engine behind ExploreOptions::storage:
+/// spillable delta-compressed interning plus crash-safe checkpoint/resume.
+/// Exposed for the storage test suite; call explore() instead.
+ExploreOutcome explore_ooc(const Engine& root, const ExploreOptions& options,
+                           const TerminalCheck& check);
+}  // namespace detail
 
 }  // namespace wfregs

@@ -40,6 +40,8 @@ struct RegularVerifyResult {
   bool wait_free = false;
   bool complete = false;
   std::string detail;
+  bool resumed = false;      ///< exploration resumed from a checkpoint
+  bool checkpointed = false; ///< an interrupted run left a resumable checkpoint
   ExploreStats stats;
 };
 

@@ -24,6 +24,8 @@ struct VerifyResult {
   bool wait_free = false;   ///< no configuration cycle found
   bool complete = false;    ///< exploration finished within limits
   std::string detail;       ///< first violation, when !ok
+  bool resumed = false;      ///< exploration resumed from a checkpoint
+  bool checkpointed = false; ///< an interrupted run left a resumable checkpoint
   ExploreStats stats;
 };
 

@@ -24,6 +24,11 @@ struct Metrics {
   std::uint64_t failed = 0;         ///< runner raised an exception
   std::uint64_t evictions = 0;      ///< finished-job entries aged out of the
                                     ///< in-memory status table
+  std::uint64_t resumed_jobs = 0;   ///< computed verdicts that resumed from
+                                    ///< an out-of-core checkpoint
+  std::uint64_t partial_checkpoints = 0;  ///< cancelled jobs that left a
+                                          ///< resumable checkpoint behind
+                                          ///< (Provenance::kPartial)
   // Gauges (instantaneous).
   std::uint64_t queue_depth = 0;    ///< jobs waiting for a worker
   std::uint64_t in_flight = 0;      ///< jobs currently running

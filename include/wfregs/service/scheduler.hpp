@@ -36,6 +36,7 @@
 
 #include "wfregs/concurrent/snapshot.hpp"
 #include "wfregs/service/job.hpp"
+#include "wfregs/storage/options.hpp"
 #include "wfregs/service/metrics.hpp"
 #include "wfregs/service/store.hpp"
 #include "wfregs/service/verdict.hpp"
@@ -58,6 +59,15 @@ struct SchedulerOptions {
   /// Finished-but-uncacheable job statuses (cancelled / failed / incomplete
   /// verdicts) kept for poll(); older entries are evicted.
   std::size_t status_history = 1024;
+  /// Out-of-core template applied to every computed job.  When
+  /// storage.checkpoint_dir is non-empty, each job runs with these storage
+  /// options and its checkpoint directory specialized to
+  /// `<checkpoint_dir>/<job_key_hex(key)>`.  A deadline-cancelled job then
+  /// leaves a resumable checkpoint (its status-history verdict carries
+  /// Provenance::kPartial); resubmitting the same key resumes the
+  /// exploration instead of recomputing.  The per-job directory is removed
+  /// once a complete verdict is cached.
+  storage::StorageOptions storage;
 };
 
 enum class JobState : std::uint8_t {
@@ -132,7 +142,10 @@ class JobScheduler {
   struct InFlight;
   /// Counters each worker publishes through worker_stats_ (wait-free; see
   /// wfregs/concurrent/snapshot.hpp) instead of mutating Metrics under mu_.
-  static constexpr std::size_t kWorkerCounters = 11;
+  static constexpr std::size_t kWorkerCounters = 13;
+  /// `<storage.checkpoint_dir>/<job_key_hex(key)>`; empty when out-of-core
+  /// checkpointing is off.
+  std::string job_checkpoint_dir(const JobKey& key) const;
   void worker_main(std::size_t wid);
   void timer_main();
   Submitted admit(const VerifyJob& job, bool reject_when_full);

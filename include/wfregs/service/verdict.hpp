@@ -31,11 +31,17 @@ enum class JobKind : std::uint8_t {
 
 const char* job_kind_name(JobKind kind);
 
-/// How a verdict was produced: by schedule exploration, or by the static
-/// consensus-power fast-path (certified classifier, no exploration ran).
+/// How a verdict was produced: by schedule exploration, by the static
+/// consensus-power fast-path (certified classifier, no exploration ran), or
+/// cut short by a deadline with a resumable checkpoint left behind.
 enum class Provenance : std::uint8_t {
   kExplored = 0,
   kStatic = 1,
+  /// Deadline- or shutdown-cancelled, but the run checkpointed before
+  /// stopping: resubmitting the same job key resumes the exploration
+  /// instead of starting over.  Partial verdicts are never cached; they
+  /// appear only in the scheduler's status history and poll() replies.
+  kPartial = 2,
 };
 
 const char* provenance_name(Provenance p);
@@ -57,7 +63,14 @@ struct Verdict {
   ExploreStats stats;
   /// kStatic when the consensus-power fast-path answered the job without
   /// exploring; the detail then carries the classifier's justification.
+  /// kPartial when a cancelled run left a resumable checkpoint.
   Provenance provenance = Provenance::kExplored;
+  /// Transient out-of-core markers: the run resumed from / left a
+  /// checkpoint.  NOT encoded and NOT part of equality, so a resumed run's
+  /// cached bytes are identical to a fresh run's -- the E18 byte-identity
+  /// gate depends on this.
+  bool resumed = false;
+  bool checkpointed = false;
 
   friend bool operator==(const Verdict&, const Verdict&);
 };

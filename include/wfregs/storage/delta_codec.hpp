@@ -1,0 +1,87 @@
+// DeltaCodec: parent-pointer delta encoding of configuration keys over a
+// SpillArena.
+//
+// A DFS explorer interns configurations in discovery order, and each new
+// configuration is one engine step away from the node on top of the stack:
+// its key differs from its parent's in a handful of words (the stepped
+// process's program position, one object's state word, a clock).  The codec
+// exploits this: id n stores either
+//
+//   * a KEYFRAME -- the full word vector, or
+//   * a DELTA    -- (index, value) pairs relative to its parent's key,
+//
+// choosing a keyframe whenever the parent chain would exceed the keyframe
+// interval, the word counts differ, or the delta would not actually be
+// smaller.  decode() walks at most keyframe_interval parent links, so
+// random access stays O(interval * words).
+//
+// Per-id metadata (arena handle, parent, counts) is a fixed 24 bytes of RAM;
+// the variable payload lives in the SpillArena and is subject to its memory
+// budget.  Ids are dense and append-ordered, exactly like ConfigInterner's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wfregs/storage/spill_arena.hpp"
+
+namespace wfregs::storage {
+
+class DeltaCodec {
+ public:
+  static constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+  /// `arena` must outlive the codec.  `keyframe_interval` bounds the parent
+  /// chain replayed by decode (minimum 1 = every id a keyframe).
+  DeltaCodec(SpillArena* arena, std::size_t keyframe_interval);
+
+  /// Appends the key of the next id (ids are assigned densely in call
+  /// order) encoded against `parent` (kNoParent for a root/keyframe).
+  /// `parent_words` are the parent's decoded words when the caller has them
+  /// handy (the explorer's parent frame does); pass empty to let the codec
+  /// decode the parent itself.
+  std::uint32_t append(std::span<const std::uint64_t> words,
+                       std::uint32_t parent,
+                       std::span<const std::uint64_t> parent_words);
+
+  /// Decodes id's full key into `out` (cleared first).
+  void decode_into(std::uint32_t id, std::vector<std::uint64_t>& out) const;
+
+  std::size_t size() const { return meta_.size(); }
+  std::uint32_t parent(std::uint32_t id) const { return meta_[id].parent; }
+  std::size_t word_count(std::uint32_t id) const { return meta_[id].nwords; }
+
+  std::uint64_t keyframes() const { return keyframes_; }
+  std::uint64_t deltas() const { return size() - keyframes_; }
+  /// Words written to the arena vs. the raw sum of key lengths: the
+  /// compression the codec achieved.
+  std::uint64_t encoded_words() const { return encoded_words_; }
+  std::uint64_t raw_words() const { return raw_words_; }
+  /// RAM held by the per-id metadata table.
+  std::size_t memory_bytes() const {
+    return meta_.capacity() * sizeof(Meta);
+  }
+
+ private:
+  struct Meta {
+    std::uint64_t handle = 0;
+    std::uint32_t parent = kNoParent;
+    std::uint16_t nwords = 0;
+    std::uint16_t npairs = 0;  ///< 0 = keyframe (nwords words at handle)
+    std::uint32_t chain = 0;   ///< parent-chain length to nearest keyframe
+  };
+
+  SpillArena* arena_;
+  std::size_t keyframe_interval_;
+  std::vector<Meta> meta_;
+  std::uint64_t keyframes_ = 0;
+  std::uint64_t encoded_words_ = 0;
+  std::uint64_t raw_words_ = 0;
+  mutable std::vector<std::uint64_t> parent_scratch_;
+  mutable std::vector<std::uint32_t> chain_scratch_;
+  std::vector<std::uint64_t> pair_scratch_;
+};
+
+}  // namespace wfregs::storage

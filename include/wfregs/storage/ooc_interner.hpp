@@ -1,0 +1,67 @@
+// OocInterner: ConfigInterner's find/intern contract (dense u32 ids in
+// insertion order, open-addressing probe table, cached full hashes) with the
+// key words held by a DeltaCodec over a SpillArena instead of an in-RAM
+// arena.  What stays in RAM per id is 8 bytes of cached hash + 24 bytes of
+// codec metadata + the probe slot; the variable-length words are delta-
+// compressed and budget-evictable.
+//
+// A probe hit compares hashes first (rejecting almost every collision
+// without touching the arena) and only then decodes the candidate key for
+// the word-exact comparison -- the spill cost is paid on true matches and
+// 64-bit hash collisions only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wfregs/storage/delta_codec.hpp"
+
+namespace wfregs::storage {
+
+class OocInterner {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  /// `arena` must outlive the interner.
+  OocInterner(SpillArena* arena, std::size_t keyframe_interval);
+
+  /// Id of `words` (whose hash is `hash`), or kNotFound.
+  std::uint32_t find(std::span<const std::uint64_t> words,
+                     std::uint64_t hash) const;
+
+  /// Id of `words`, inserting when absent.  `parent` is the interned id of
+  /// the DFS parent whose step produced this configuration (kNoParent for
+  /// the root), `parent_words` its decoded key when the caller holds it.
+  std::uint32_t intern(std::span<const std::uint64_t> words,
+                       std::uint64_t hash, std::uint32_t parent,
+                       std::span<const std::uint64_t> parent_words);
+
+  std::size_t size() const { return hashes_.size(); }
+
+  /// Decodes key `id` into `out` (cleared first).
+  void decode_into(std::uint32_t id, std::vector<std::uint64_t>& out) const {
+    codec_.decode_into(id, out);
+  }
+  std::uint32_t parent(std::uint32_t id) const { return codec_.parent(id); }
+
+  const DeltaCodec& codec() const { return codec_; }
+
+  /// RAM held by the probe table, hash cache and codec metadata (the arena
+  /// payload is accounted by the SpillArena).
+  std::size_t memory_bytes() const;
+
+ private:
+  void grow();
+
+  DeltaCodec codec_;
+  std::vector<std::uint64_t> hashes_;
+  /// Open-addressing probe table of id+1 values (0 = empty slot);
+  /// power-of-two size, linear probing.
+  std::vector<std::uint32_t> slots_;
+  std::size_t mask_ = 0;
+  mutable std::vector<std::uint64_t> probe_scratch_;
+};
+
+}  // namespace wfregs::storage

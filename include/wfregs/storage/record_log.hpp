@@ -1,0 +1,92 @@
+// Append-only CRC'd record logs: the VerdictStore's proven crash-safety
+// machinery (one write() per record, CRC-32 payload checksums, torn-tail
+// truncation on replay), factored out of src/service/store.cpp so the
+// storage layer's checkpoint files speak the same format discipline.
+//
+// File layout: an 8-byte magic header followed by records
+//
+//   [magic u32 "WFR1"] [tag u32] [payload_len u32] [crc32 u32] [payload...]
+//
+// all little-endian.  `tag` is caller-defined (the checkpoint layer uses it
+// to distinguish snapshot records from key-batch records).  A reader accepts
+// the longest valid prefix and reports how many trailing bytes it dropped; a
+// writer positioned by open_record_log() truncates that torn tail before the
+// first append so every append lands on a clean record boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wfregs::storage {
+
+/// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) -- the
+/// same function the VerdictStore has always used; service/store.cpp now
+/// calls this one.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept;
+
+struct LogRecord {
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> payload;
+  /// Byte offset one past this record's end (from the start of the file,
+  /// header included): the truncation point that keeps this record and
+  /// drops everything after it.
+  std::uint64_t end_offset = 0;
+};
+
+struct LogContents {
+  /// True when the file exists and starts with a valid header.
+  bool present = false;
+  std::vector<LogRecord> records;
+  /// Total file bytes and how many trailing bytes failed validation (torn
+  /// or corrupt tail).
+  std::uint64_t file_bytes = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+
+/// Reads and validates `path`.  Missing file: present == false.  A file
+/// that exists but lacks the header is reported as present == false with
+/// file_bytes set (the caller decides whether that is fatal).
+LogContents read_record_log(const std::string& path);
+
+/// Append-only writer.  Creating one opens (or creates) the file, writes
+/// the header when the file is empty, validates existing contents and
+/// truncates any torn tail, leaving the write position at the end of the
+/// last valid record.  Throws std::runtime_error on I/O failure.
+class RecordLogWriter {
+ public:
+  explicit RecordLogWriter(std::string path);
+  ~RecordLogWriter();
+  RecordLogWriter(const RecordLogWriter&) = delete;
+  RecordLogWriter& operator=(const RecordLogWriter&) = delete;
+
+  /// Appends one record with a single write() (a SIGKILL between appends
+  /// never tears a record; a machine crash can leave a prefix, which the
+  /// next reader truncates).
+  void append(std::uint32_t tag, const std::uint8_t* payload,
+              std::size_t payload_len);
+
+  /// fdatasync the log: on return every previously appended record is
+  /// durable.  Checkpoint writers call this between the key-batch append
+  /// and the snapshot append that references it.
+  void sync();
+
+  /// Truncates the file to `bytes` (a record boundary from LogRecord::
+  /// end_offset, or the header size to clear the log) and repositions the
+  /// writer there.
+  void truncate_to(std::uint64_t bytes);
+
+  std::uint64_t file_bytes() const { return file_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t file_bytes_ = 0;
+};
+
+/// Size of the file header ("WFRLOG01").
+inline constexpr std::size_t kRecordLogHeaderBytes = 8;
+
+}  // namespace wfregs::storage

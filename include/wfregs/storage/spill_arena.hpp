@@ -1,0 +1,116 @@
+// SpillArena: an append-only 64-bit-word arena whose storage lives in
+// fixed-size mmap'd segments that can be evicted to disk under a memory
+// budget.
+//
+// The explorers' interners address keys by (arena handle, word count); a
+// handle is a stable 64-bit word index that never moves -- segments are
+// mapped once and stay mapped for the arena's lifetime, so a resident
+// lookup is pointer arithmetic.  What the budget controls is RESIDENCY:
+// when the bytes of resident segments exceed the budget, the
+// least-recently-touched segment that is neither the current append target
+// nor the one being read is evicted with madvise(MADV_DONTNEED).  Segments
+// are file-backed (MAP_SHARED on a per-segment file in `dir`), so eviction
+// drops the process's page frames -- RSS falls -- while the kernel keeps
+// the data reachable through the page cache / backing file; the next view()
+// of an evicted segment faults the pages back in transparently and
+// re-charges the budget.  The files are scratch, not a persistence format:
+// checkpoint durability is the FrontierCheckpoint's log, never the spill
+// files (which a crash may leave with unwritten dirty pages).
+//
+// With no directory and no budget the arena degrades to plain anonymous
+// mmap segments -- same addressing, no files, no eviction.
+//
+// Not thread-safe: one arena per (sequential) exploration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wfregs::storage {
+
+/// Aggregated residency accounting across every live SpillArena in the
+/// process, maintained with relaxed atomics so the bench layer
+/// (benchjson::memory_counters) can report arena bytes alongside
+/// peak_rss_bytes without plumbing arena pointers through the benches.
+struct ArenaGlobalStats {
+  std::uint64_t total_bytes = 0;     ///< all segment bytes ever mapped (live)
+  std::uint64_t resident_bytes = 0;  ///< currently resident segment bytes
+  std::uint64_t spilled_bytes = 0;   ///< currently evicted segment bytes
+  std::uint64_t max_resident_bytes = 0;  ///< process-lifetime high water
+  std::uint64_t evictions = 0;           ///< process-lifetime eviction count
+};
+ArenaGlobalStats arena_global_stats() noexcept;
+
+class SpillArena {
+ public:
+  struct Options {
+    /// Residency budget in bytes; 0 = unbounded (no eviction).  Budgets
+    /// below two segments are rounded up to two segments (append target +
+    /// read target must both stay resident).
+    std::size_t budget_bytes = 0;
+    /// Segment size; rounded up to a multiple of the page size.
+    std::size_t segment_bytes = std::size_t{1} << 20;
+    /// Backing-file directory (created if missing).  Empty = anonymous
+    /// memory, eviction disabled regardless of budget.
+    std::string dir;
+  };
+
+  explicit SpillArena(Options options);
+  ~SpillArena();
+  SpillArena(const SpillArena&) = delete;
+  SpillArena& operator=(const SpillArena&) = delete;
+
+  /// Appends `words`, returning its stable handle (a word index).  A run
+  /// never spans segments: when the current segment's remainder is too
+  /// small the remainder is abandoned and a fresh segment starts.  `words`
+  /// must fit one segment.
+  std::uint64_t append(std::span<const std::uint64_t> words);
+
+  /// The `nwords` words at `handle`.  The span is valid until the next
+  /// append()/view() call (either may trigger eviction of its segment).
+  std::span<const std::uint64_t> view(std::uint64_t handle,
+                                      std::size_t nwords);
+
+  struct Stats {
+    std::uint64_t total_bytes = 0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t spilled_bytes = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t refaults = 0;  ///< views that brought a segment back
+    std::uint64_t segments = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Words appended (capacity accounting is per segment; this is payload).
+  std::uint64_t words_appended() const { return words_appended_; }
+
+  std::size_t segment_bytes() const { return segment_bytes_; }
+
+ private:
+  struct Segment {
+    std::uint64_t* base = nullptr;
+    bool resident = true;
+    std::uint64_t last_touch = 0;
+  };
+
+  void new_segment();
+  void touch(std::size_t seg);
+  void enforce_budget(std::size_t protect);
+
+  std::size_t budget_bytes_ = 0;
+  std::size_t segment_bytes_ = 0;
+  std::size_t words_per_segment_ = 0;
+  std::string dir_;
+  bool owns_dir_ = false;     ///< we created dir_ (a temp dir): remove it
+  bool file_backed_ = false;  ///< eviction available
+  std::vector<Segment> segments_;
+  std::size_t tail_used_ = 0;  ///< words used in the last segment
+  std::uint64_t tick_ = 0;
+  std::uint64_t words_appended_ = 0;
+  Stats stats_;
+};
+
+}  // namespace wfregs::storage

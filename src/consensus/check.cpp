@@ -84,6 +84,12 @@ ConsensusCheckResult check_consensus(
   }
   ConsensusCheckResult result;
   result.solves = true;
+  // The job is resumable when ANY root persisted state this run: an
+  // interrupt checkpoint, a resumed prior checkpoint, or a completed root's
+  // final snapshot.  (A deadline can land on a root boundary, where the
+  // freshly cancelled root has nothing to write -- the finals banked by the
+  // earlier roots still make resubmission cheaper than recomputation.)
+  bool any_persisted = false;
   for (int vec = 0; vec < (1 << n); ++vec) {
     std::vector<int> inputs;
     for (int p = 0; p < n; ++p) inputs.push_back((vec >> p) & 1);
@@ -109,11 +115,28 @@ ConsensusCheckResult check_consensus(
       return std::nullopt;
     };
     const Engine root{std::move(sys)};
-    const auto out = explore_parallel(
-        root, check, ExploreOptions{limits, options.reduction},
-        options.threads);
+    ExploreOptions explore_options{limits, options.reduction};
+    explore_options.storage = options.storage;
+    if (!options.storage.checkpoint_dir.empty()) {
+      // One checkpoint per input vector: the 2^n roots are independent
+      // explorations with distinct fingerprints, so each gets its own
+      // subdirectory and resumes independently.
+      explore_options.storage.checkpoint_dir =
+          options.storage.checkpoint_dir + "/root" + std::to_string(vec);
+      if (!options.storage.resume_from.empty()) {
+        explore_options.storage.resume_from =
+            options.storage.resume_from + "/root" + std::to_string(vec);
+      }
+    }
+    const auto out =
+        explore_parallel(root, check, explore_options, options.threads);
     result.wait_free = result.wait_free && out.wait_free;
     result.complete = result.complete && out.complete;
+    result.resumed = result.resumed || out.resumed;
+    if (!explore_options.storage.checkpoint_dir.empty() &&
+        (out.complete || out.checkpointed || out.resumed)) {
+      any_persisted = true;
+    }
     result.configs += out.stats.configs;
     result.terminals += out.stats.terminals;
     result.depth = std::max(result.depth, out.stats.depth);
@@ -158,6 +181,7 @@ ConsensusCheckResult check_consensus(
       }
     }
   }
+  result.checkpointed = !result.complete && any_persisted;
   return result;
 }
 

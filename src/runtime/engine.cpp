@@ -14,6 +14,34 @@ std::size_t ConfigKeyHash::operator()(const ConfigKey& k) const {
 
 Engine::Engine(std::shared_ptr<const System> sys) : sys_(std::move(sys)) {
   if (!sys_) throw std::invalid_argument("Engine: null system");
+  {
+    // Enumerate every reachable program in a construction-order-independent
+    // way so the dense ids (and hence config keys) are stable across
+    // processes: toplevels first, then implementation programs by
+    // (object, invocation, port).
+    auto ids =
+        std::make_shared<std::unordered_map<const ProgramCode*,
+                                            std::uint64_t>>();
+    std::uint64_t next = 0;
+    const auto assign = [&ids, &next](const ProgramCode* code) {
+      if (code && ids->emplace(code, next).second) ++next;
+    };
+    for (ProcId p = 0; p < sys_->num_processes(); ++p) {
+      assign(sys_->toplevel_program(p).get());
+    }
+    for (ObjectId g = 0; g < sys_->num_objects(); ++g) {
+      if (sys_->is_base(g)) continue;
+      const auto& impl = *sys_->virt(g).impl;
+      for (InvId inv = 0; inv < impl.iface().num_invocations(); ++inv) {
+        for (PortId port = 0; port < impl.iface().ports(); ++port) {
+          if (impl.has_program(inv, port)) {
+            assign(impl.program(inv, port).get());
+          }
+        }
+      }
+    }
+    program_ids_ = std::move(ids);
+  }
   compiled_.resize(static_cast<std::size_t>(sys_->num_objects()), nullptr);
   object_state_.resize(static_cast<std::size_t>(sys_->num_objects()), 0);
   persistent_.resize(static_cast<std::size_t>(sys_->num_objects()));
@@ -411,9 +439,10 @@ void Engine::emit_key(ConfigKey& key, const ProcessRenaming* renaming) const {
     }
     w.push_back(static_cast<std::uint64_t>(proc.stack.size()));
     for (const Frame& f : proc.stack) {
-      // Program identity: code objects are immutable and shared, so the
-      // pointer identifies the program within a run.
-      w.push_back(reinterpret_cast<std::uintptr_t>(f.code.get()));
+      // Program identity: code objects are immutable and shared, so each is
+      // identified by its construction-order-stable dense id (not its
+      // pointer -- keys must match across processes for checkpoint resume).
+      w.push_back(program_ids_->at(f.code.get()));
       w.push_back(static_cast<std::uint64_t>(f.locals.pc));
       w.push_back(static_cast<std::uint64_t>(f.locals.regs.size()));
       for (const Val v : f.locals.regs) {

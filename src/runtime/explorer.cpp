@@ -364,6 +364,11 @@ ExploreOutcome explore(const Engine& root, const ExploreLimits& limits,
 
 ExploreOutcome explore(const Engine& root, const ExploreOptions& options,
                        const TerminalCheck& check) {
+  if (options.storage.enabled()) {
+    // Out-of-core mode: the storage-backed engine replays this explorer's
+    // traversal bit for bit (see explorer_ooc.cpp's ORDER CONTRACT).
+    return detail::explore_ooc(root, options, check);
+  }
   if (options.reduction == Reduction::kNone) {
     return explore(root, options.limits, check);
   }

@@ -347,6 +347,12 @@ ExploreOutcome explore_parallel_locked(const Engine& root,
                                        const TerminalCheck& check,
                                        const ExploreOptions& options,
                                        int n_threads) {
+  if (options.storage.enabled()) {
+    // Out-of-core runs route to the sequential storage-backed engine: the
+    // parallel explorers are contractually bit-identical to explore(), so
+    // the substitution is unobservable apart from thread count.
+    return explore(root, options, check);
+  }
   LockedParallelExplorer impl(options, check, resolve_threads(n_threads));
   return impl.run(root);
 }
@@ -358,6 +364,7 @@ ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
 
 ExploreOutcome explore_parallel(const Engine& root, const TerminalCheck& check,
                                 const ExploreOptions& options, int n_threads) {
+  if (options.storage.enabled()) return explore(root, options, check);
   const int threads = resolve_threads(n_threads);
   if (threads == 1) return explore(root, options, check);
   return explore_parallel_lockfree(root, check, options, threads);

@@ -347,6 +347,12 @@ ExploreOutcome explore_parallel_lockfree(const Engine& root,
                                          const TerminalCheck& check,
                                          const ExploreOptions& options,
                                          int n_threads) {
+  if (options.storage.enabled()) {
+    // Out-of-core runs route to the sequential storage-backed engine; the
+    // lock-free explorer is contractually bit-identical to explore(), so
+    // only the thread count changes.
+    return explore(root, options, check);
+  }
   int threads = n_threads;
   if (threads <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();

@@ -128,11 +128,15 @@ RegularVerifyResult verify_regular(
     return std::move(r.detail);
   };
   const Engine root{std::move(sys)};
-  const auto out = explore_parallel(
-      root, check, ExploreOptions{limits, options.reduction}, options.threads);
+  ExploreOptions explore_options{limits, options.reduction};
+  explore_options.storage = options.storage;
+  const auto out = explore_parallel(root, check, explore_options,
+                                    options.threads);
   RegularVerifyResult result;
   result.wait_free = out.wait_free;
   result.complete = out.complete;
+  result.resumed = out.resumed;
+  result.checkpointed = out.checkpointed;
   result.stats = out.stats;
   if (out.violation) result.detail = *out.violation;
   result.ok = out.wait_free && out.complete && !out.violation;

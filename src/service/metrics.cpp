@@ -37,6 +37,8 @@ std::string metrics_to_json(const Metrics& m) {
       << ",\"cancelled\":" << m.cancelled
       << ",\"failed\":" << m.failed
       << ",\"evictions\":" << m.evictions
+      << ",\"resumed_jobs\":" << m.resumed_jobs
+      << ",\"partial_checkpoints\":" << m.partial_checkpoints
       << ",\"queue_depth\":" << m.queue_depth
       << ",\"in_flight\":" << m.in_flight
       << ",\"store_records\":" << m.store_records
@@ -65,6 +67,8 @@ Metrics parse_metrics_json(const std::string& json) {
   m.cancelled = json_field(json, "cancelled");
   m.failed = json_field(json, "failed");
   m.evictions = json_field(json, "evictions");
+  m.resumed_jobs = json_field(json, "resumed_jobs");
+  m.partial_checkpoints = json_field(json, "partial_checkpoints");
   m.queue_depth = json_field(json, "queue_depth");
   m.in_flight = json_field(json, "in_flight");
   m.store_records = json_field(json, "store_records");
@@ -92,6 +96,8 @@ void accumulate_metrics(Metrics* into, const Metrics& m) {
   into->cancelled += m.cancelled;
   into->failed += m.failed;
   into->evictions += m.evictions;
+  into->resumed_jobs += m.resumed_jobs;
+  into->partial_checkpoints += m.partial_checkpoints;
   into->queue_depth += m.queue_depth;
   into->in_flight += m.in_flight;
   into->store_records += m.store_records;

@@ -1,6 +1,7 @@
 #include "wfregs/service/scheduler.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <stdexcept>
 
 #include "wfregs/analysis/consensus_power.hpp"
@@ -28,6 +29,8 @@ constexpr std::size_t kWcRunNs = 7;
 constexpr std::size_t kWcRunCount = 8;
 constexpr std::size_t kWcAppendNs = 9;
 constexpr std::size_t kWcAppendCount = 10;
+constexpr std::size_t kWcResumed = 11;
+constexpr std::size_t kWcPartial = 12;
 
 std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
   return static_cast<std::uint64_t>(
@@ -81,6 +84,8 @@ JobScheduler::Runner JobScheduler::default_runner(int explore_threads) {
         v.ok = r.ok;
         v.wait_free = r.wait_free;
         v.complete = r.complete;
+        v.resumed = r.resumed;
+        v.checkpointed = r.checkpointed;
         v.detail = r.detail;
         v.stats = r.stats;
         break;
@@ -91,6 +96,8 @@ JobScheduler::Runner JobScheduler::default_runner(int explore_threads) {
         v.ok = r.ok;
         v.wait_free = r.wait_free;
         v.complete = r.complete;
+        v.resumed = r.resumed;
+        v.checkpointed = r.checkpointed;
         v.detail = r.detail;
         v.stats = r.stats;
         break;
@@ -108,6 +115,8 @@ JobScheduler::Runner JobScheduler::default_runner(int explore_threads) {
         v.ok = r.solves;
         v.wait_free = r.wait_free;
         v.complete = r.complete;
+        v.resumed = r.resumed;
+        v.checkpointed = r.checkpointed;
         v.provenance = r.static_decision ? Provenance::kStatic
                                          : Provenance::kExplored;
         v.detail = r.detail;
@@ -122,6 +131,11 @@ JobScheduler::Runner JobScheduler::default_runner(int explore_threads) {
         break;
       }
     }
+    // A run cut short with a checkpoint on disk is resumable: mark the
+    // verdict kPartial so poll()/history distinguish "lost work" from
+    // "resubmit to continue".  Complete verdicts keep their provenance
+    // (a resumed run's cached bytes must match a fresh run's).
+    if (!v.complete && v.checkpointed) v.provenance = Provenance::kPartial;
     return v;
   };
 }
@@ -218,6 +232,11 @@ Submitted JobScheduler::admit(const VerifyJob& job, bool reject_when_full) {
   return out;
 }
 
+std::string JobScheduler::job_checkpoint_dir(const JobKey& key) const {
+  if (options_.storage.checkpoint_dir.empty()) return {};
+  return options_.storage.checkpoint_dir + "/" + job_key_hex(key);
+}
+
 void JobScheduler::worker_main(std::size_t wid) {
   concurrent::StatsSnapshot::Writer w = worker_stats_.writer(wid);
   std::unique_lock<std::mutex> lock(mu_);
@@ -247,10 +266,27 @@ void JobScheduler::worker_main(std::size_t wid) {
       final_state = JobState::kCancelled;
     } else {
       try {
-        v = runner_(f->job, f->cancel);
+        if (const std::string dir = job_checkpoint_dir(f->key);
+            !dir.empty()) {
+          // Out-of-core run: specialize the scheduler's storage template to
+          // this job's content-addressed checkpoint directory, so a
+          // resubmission of the same key resumes the same checkpoint.
+          VerifyJob job = f->job;
+          job.options.storage = options_.storage;
+          job.options.storage.checkpoint_dir = dir;
+          v = runner_(job, f->cancel);
+        } else {
+          v = runner_(f->job, f->cancel);
+        }
+        if (v.resumed) w.add(kWcResumed, 1);
         if (f->cancel.load(std::memory_order_relaxed) && !v.complete) {
           final_state = JobState::kCancelled;
-          if (v.detail.empty()) v.detail = "cancelled (deadline)";
+          if (v.checkpointed) w.add(kWcPartial, 1);
+          if (v.detail.empty()) {
+            v.detail = v.provenance == Provenance::kPartial
+                           ? "cancelled (deadline); checkpointed, resumable"
+                           : "cancelled (deadline)";
+          }
         }
       } catch (const std::exception& e) {
         v = Verdict{};
@@ -283,6 +319,11 @@ void JobScheduler::finish(const std::shared_ptr<InFlight>& job, Verdict verdict,
     w.add(kWcAppendNs, ns_between(t0, Clock::now()));
     w.add(kWcAppendCount, 1);
     w.add(kWcCompleted, 1);
+    if (const std::string dir = job_checkpoint_dir(job->key); !dir.empty()) {
+      // The verdict is cached; the checkpoint has nothing left to resume.
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
   } else {
     // Incomplete / cancelled / failed verdicts never enter the store; keep
     // the outcome around for poll().
@@ -381,6 +422,8 @@ Metrics JobScheduler::metrics() const {
 
   std::lock_guard<std::mutex> lock(mu_);
   Metrics m = metrics_;
+  m.resumed_jobs = totals[kWcResumed];
+  m.partial_checkpoints = totals[kWcPartial];
   m.completed = totals[kWcCompleted];
   m.static_decisions = totals[kWcStaticDecisions];
   m.cancelled = totals[kWcCancelled];

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "wfregs/runtime/config_intern.hpp"
+#include "wfregs/storage/record_log.hpp"
 
 namespace wfregs::service {
 
@@ -19,25 +20,10 @@ constexpr std::uint32_t kRecordMagic = 0x31564657u;  // "WFV1" little-endian
 /// magic + payload_len + key_hi + key_lo + crc32.
 constexpr std::size_t kRecordHeaderBytes = 4 + 4 + 8 + 8 + 4;
 
-/// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
-std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t n = 0; n < 256; ++n) {
-      std::uint32_t c = n;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-      }
-      t[n] = c;
-    }
-    return t;
-  }();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t k = 0; k < size; ++k) {
-    c = table[(c ^ data[k]) & 0xFF] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
+/// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320): the
+/// canonical implementation now lives in the storage layer (shared with the
+/// checkpoint record logs); the byte format is unchanged.
+using storage::crc32;
 
 std::uint32_t load_u32(const std::uint8_t* p) {
   std::uint32_t v = 0;

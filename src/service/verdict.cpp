@@ -96,6 +96,7 @@ const char* provenance_name(Provenance p) {
   switch (p) {
     case Provenance::kExplored: return "explored";
     case Provenance::kStatic: return "static";
+    case Provenance::kPartial: return "partial";
   }
   return "unknown";
 }
@@ -154,7 +155,7 @@ Verdict decode_verdict(const std::uint8_t* data, std::size_t size) {
   v.wait_free = flags & 2;
   v.complete = flags & 4;
   const std::uint8_t prov = in.u8();
-  if (prov > static_cast<std::uint8_t>(Provenance::kStatic)) {
+  if (prov > static_cast<std::uint8_t>(Provenance::kPartial)) {
     throw std::runtime_error("decode_verdict: unknown provenance");
   }
   v.provenance = static_cast<Provenance>(prov);
@@ -191,6 +192,8 @@ std::string verdict_to_json(const Verdict& v) {
       << ",\"wait_free\":" << (v.wait_free ? "true" : "false")
       << ",\"complete\":" << (v.complete ? "true" : "false")
       << ",\"provenance\":\"" << provenance_name(v.provenance) << "\""
+      << ",\"resumed\":" << (v.resumed ? "true" : "false")
+      << ",\"checkpointed\":" << (v.checkpointed ? "true" : "false")
       << ",\"detail\":\"";
   json_escape_into(out, v.detail);
   out << "\",\"stats\":{\"configs\":" << v.stats.configs

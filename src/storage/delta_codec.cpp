@@ -1,0 +1,84 @@
+#include "wfregs/storage/delta_codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace wfregs::storage {
+
+DeltaCodec::DeltaCodec(SpillArena* arena, std::size_t keyframe_interval)
+    : arena_(arena),
+      keyframe_interval_(keyframe_interval < 1 ? 1 : keyframe_interval) {}
+
+std::uint32_t DeltaCodec::append(std::span<const std::uint64_t> words,
+                                 std::uint32_t parent,
+                                 std::span<const std::uint64_t> parent_words) {
+  if (words.size() > 0xffff) {
+    throw std::runtime_error("DeltaCodec: key too long");
+  }
+  const std::uint32_t id = static_cast<std::uint32_t>(meta_.size());
+  Meta m;
+  m.parent = parent;
+  m.nwords = static_cast<std::uint16_t>(words.size());
+  raw_words_ += words.size();
+
+  bool keyframe = true;
+  if (parent != kNoParent && parent < id) {
+    const Meta& pm = meta_[parent];
+    if (pm.nwords == words.size() && pm.chain + 1 < keyframe_interval_) {
+      if (parent_words.empty()) {
+        decode_into(parent, parent_scratch_);
+        parent_words = parent_scratch_;
+      }
+      // Delta candidate: (index, value) pairs where the key differs from
+      // the parent's.  Worth storing only when strictly smaller than the
+      // keyframe it replaces.
+      pair_scratch_.clear();
+      for (std::size_t k = 0; k < words.size(); ++k) {
+        if (words[k] != parent_words[k]) {
+          pair_scratch_.push_back(static_cast<std::uint64_t>(k));
+          pair_scratch_.push_back(words[k]);
+        }
+      }
+      if (pair_scratch_.size() < words.size()) {
+        m.npairs = static_cast<std::uint16_t>(pair_scratch_.size() / 2);
+        m.chain = pm.chain + 1;
+        m.handle = arena_->append(pair_scratch_);
+        encoded_words_ += pair_scratch_.size();
+        keyframe = false;
+      }
+    }
+  }
+  if (keyframe) {
+    m.npairs = 0;
+    m.chain = 0;
+    m.handle = arena_->append(words);
+    encoded_words_ += words.size();
+    ++keyframes_;
+  }
+  meta_.push_back(m);
+  return id;
+}
+
+void DeltaCodec::decode_into(std::uint32_t id,
+                             std::vector<std::uint64_t>& out) const {
+  // Walk up to the nearest keyframe, then replay the deltas youngest-last.
+  chain_scratch_.clear();
+  std::uint32_t cur = id;
+  while (meta_[cur].npairs != 0) {
+    chain_scratch_.push_back(cur);
+    cur = meta_[cur].parent;
+  }
+  const Meta& kf = meta_[cur];
+  const auto base = arena_->view(kf.handle, kf.nwords);
+  out.assign(base.begin(), base.end());
+  for (std::size_t k = chain_scratch_.size(); k-- > 0;) {
+    const Meta& dm = meta_[chain_scratch_[k]];
+    const auto pairs =
+        arena_->view(dm.handle, static_cast<std::size_t>(dm.npairs) * 2);
+    for (std::size_t j = 0; j < pairs.size(); j += 2) {
+      out[static_cast<std::size_t>(pairs[j])] = pairs[j + 1];
+    }
+  }
+}
+
+}  // namespace wfregs::storage

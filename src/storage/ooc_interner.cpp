@@ -1,0 +1,67 @@
+#include "wfregs/storage/ooc_interner.hpp"
+
+#include <algorithm>
+
+namespace wfregs::storage {
+
+OocInterner::OocInterner(SpillArena* arena, std::size_t keyframe_interval)
+    : codec_(arena, keyframe_interval) {
+  slots_.assign(64, 0);
+  mask_ = slots_.size() - 1;
+}
+
+std::uint32_t OocInterner::find(std::span<const std::uint64_t> words,
+                                std::uint64_t hash) const {
+  std::size_t slot = hash & mask_;
+  while (slots_[slot] != 0) {
+    const std::uint32_t id = slots_[slot] - 1;
+    if (hashes_[id] == hash && codec_.word_count(id) == words.size()) {
+      codec_.decode_into(id, probe_scratch_);
+      if (std::equal(words.begin(), words.end(), probe_scratch_.begin())) {
+        return id;
+      }
+    }
+    slot = (slot + 1) & mask_;
+  }
+  return kNotFound;
+}
+
+std::uint32_t OocInterner::intern(std::span<const std::uint64_t> words,
+                                  std::uint64_t hash, std::uint32_t parent,
+                                  std::span<const std::uint64_t> parent_words) {
+  std::size_t slot = hash & mask_;
+  while (slots_[slot] != 0) {
+    const std::uint32_t id = slots_[slot] - 1;
+    if (hashes_[id] == hash && codec_.word_count(id) == words.size()) {
+      codec_.decode_into(id, probe_scratch_);
+      if (std::equal(words.begin(), words.end(), probe_scratch_.begin())) {
+        return id;
+      }
+    }
+    slot = (slot + 1) & mask_;
+  }
+  const std::uint32_t id = codec_.append(words, parent, parent_words);
+  hashes_.push_back(hash);
+  slots_[slot] = id + 1;
+  if ((hashes_.size() + 1) * 10 >= slots_.size() * 7) grow();
+  return id;
+}
+
+void OocInterner::grow() {
+  std::vector<std::uint32_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  mask_ = slots_.size() - 1;
+  for (const std::uint32_t v : old) {
+    if (v == 0) continue;
+    std::size_t slot = hashes_[v - 1] & mask_;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask_;
+    slots_[slot] = v;
+  }
+}
+
+std::size_t OocInterner::memory_bytes() const {
+  return slots_.capacity() * sizeof(std::uint32_t) +
+         hashes_.capacity() * sizeof(std::uint64_t) + codec_.memory_bytes();
+}
+
+}  // namespace wfregs::storage

@@ -1,0 +1,223 @@
+#include "wfregs/storage/spill_arena.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+
+namespace wfregs::storage {
+
+namespace {
+
+// Process-global residency accounting (see ArenaGlobalStats).  Relaxed is
+// enough: readers want recent totals, not a consistent cut.
+std::atomic<std::uint64_t> g_total{0};
+std::atomic<std::uint64_t> g_resident{0};
+std::atomic<std::uint64_t> g_max_resident{0};
+std::atomic<std::uint64_t> g_evictions{0};
+
+void note_resident_delta(std::int64_t bytes) {
+  const std::uint64_t now =
+      g_resident.fetch_add(static_cast<std::uint64_t>(bytes),
+                           std::memory_order_relaxed) +
+      static_cast<std::uint64_t>(bytes);
+  std::uint64_t seen = g_max_resident.load(std::memory_order_relaxed);
+  while (now > seen && !g_max_resident.compare_exchange_weak(
+                           seen, now, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t page_size() {
+  static const std::size_t page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+ArenaGlobalStats arena_global_stats() noexcept {
+  ArenaGlobalStats s;
+  s.total_bytes = g_total.load(std::memory_order_relaxed);
+  s.resident_bytes = g_resident.load(std::memory_order_relaxed);
+  s.spilled_bytes = s.total_bytes - s.resident_bytes;
+  s.max_resident_bytes = g_max_resident.load(std::memory_order_relaxed);
+  s.evictions = g_evictions.load(std::memory_order_relaxed);
+  return s;
+}
+
+SpillArena::SpillArena(Options options) : dir_(options.dir) {
+  const std::size_t page = page_size();
+  segment_bytes_ = options.segment_bytes < page
+                       ? page
+                       : (options.segment_bytes + page - 1) / page * page;
+  words_per_segment_ = segment_bytes_ / sizeof(std::uint64_t);
+  budget_bytes_ = options.budget_bytes;
+  if (budget_bytes_ != 0 && dir_.empty()) {
+    // A budget without a spill directory gets a private scratch dir: the
+    // whole point of the budget is eviction, which needs file backing.
+    namespace fs = std::filesystem;
+    const std::string base =
+        (fs::temp_directory_path() /
+         ("wfregs-spill-" + std::to_string(::getpid())))
+            .string();
+    std::string candidate = base;
+    for (int k = 0; fs::exists(candidate); ++k) {
+      candidate = base + "-" + std::to_string(k);
+    }
+    dir_ = candidate;
+    owns_dir_ = true;
+  }
+  if (!dir_.empty()) {
+    std::filesystem::create_directories(dir_);
+    file_backed_ = true;
+  }
+  if (budget_bytes_ != 0 && budget_bytes_ < 2 * segment_bytes_) {
+    budget_bytes_ = 2 * segment_bytes_;
+  }
+}
+
+SpillArena::~SpillArena() {
+  for (std::size_t k = 0; k < segments_.size(); ++k) {
+    Segment& seg = segments_[k];
+    if (seg.base != nullptr) {
+      if (seg.resident) note_resident_delta(-static_cast<std::int64_t>(
+                            segment_bytes_));
+      ::munmap(seg.base, segment_bytes_);
+    }
+    g_total.fetch_sub(segment_bytes_, std::memory_order_relaxed);
+    if (file_backed_) {
+      std::error_code ec;
+      std::filesystem::remove(
+          std::filesystem::path(dir_) / ("seg-" + std::to_string(k)), ec);
+    }
+  }
+  if (owns_dir_) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+}
+
+void SpillArena::new_segment() {
+  void* base = MAP_FAILED;
+  if (file_backed_) {
+    const std::string path =
+        (std::filesystem::path(dir_) /
+         ("seg-" + std::to_string(segments_.size())))
+            .string();
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      throw std::runtime_error("SpillArena: cannot open " + path + ": " +
+                               std::strerror(errno));
+    }
+    if (::ftruncate(fd, static_cast<off_t>(segment_bytes_)) != 0) {
+      ::close(fd);
+      throw std::runtime_error("SpillArena: cannot size " + path + ": " +
+                               std::strerror(errno));
+    }
+    base = ::mmap(nullptr, segment_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                  fd, 0);
+    ::close(fd);  // the mapping keeps the file alive
+  } else {
+    base = ::mmap(nullptr, segment_bytes_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  }
+  if (base == MAP_FAILED) {
+    throw std::runtime_error(std::string("SpillArena: mmap failed: ") +
+                             std::strerror(errno));
+  }
+  Segment seg;
+  seg.base = static_cast<std::uint64_t*>(base);
+  seg.last_touch = ++tick_;
+  segments_.push_back(seg);
+  tail_used_ = 0;
+  ++stats_.segments;
+  stats_.total_bytes += segment_bytes_;
+  stats_.resident_bytes += segment_bytes_;
+  g_total.fetch_add(segment_bytes_, std::memory_order_relaxed);
+  note_resident_delta(static_cast<std::int64_t>(segment_bytes_));
+  enforce_budget(segments_.size() - 1);
+}
+
+void SpillArena::touch(std::size_t seg_idx) {
+  Segment& seg = segments_[seg_idx];
+  seg.last_touch = ++tick_;
+  if (!seg.resident) {
+    // The pages fault back in from the backing file on access; account the
+    // whole segment as resident again and make room for it.
+    seg.resident = true;
+    stats_.resident_bytes += segment_bytes_;
+    stats_.spilled_bytes -= segment_bytes_;
+    ++stats_.refaults;
+    note_resident_delta(static_cast<std::int64_t>(segment_bytes_));
+    enforce_budget(seg_idx);
+  }
+}
+
+void SpillArena::enforce_budget(std::size_t protect) {
+  if (!file_backed_ || budget_bytes_ == 0) return;
+  while (stats_.resident_bytes > budget_bytes_) {
+    // Evict the least-recently-touched resident segment, never the one just
+    // touched (`protect`) and never the append target (the last segment) --
+    // its tail is still being written.
+    std::size_t victim = segments_.size();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t k = 0; k + 1 < segments_.size(); ++k) {
+      if (k == protect || !segments_[k].resident) continue;
+      if (segments_[k].last_touch < oldest) {
+        oldest = segments_[k].last_touch;
+        victim = k;
+      }
+    }
+    if (victim == segments_.size()) return;  // nothing evictable
+    Segment& seg = segments_[victim];
+    // MADV_DONTNEED on a MAP_SHARED file mapping drops this process's page
+    // frames (RSS falls); dirty pages move to the page cache / backing
+    // file, from which the next access refaults.
+    if (::madvise(seg.base, segment_bytes_, MADV_DONTNEED) != 0) {
+      throw std::runtime_error(std::string("SpillArena: madvise failed: ") +
+                               std::strerror(errno));
+    }
+    seg.resident = false;
+    stats_.resident_bytes -= segment_bytes_;
+    stats_.spilled_bytes += segment_bytes_;
+    ++stats_.evictions;
+    note_resident_delta(-static_cast<std::int64_t>(segment_bytes_));
+    g_evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t SpillArena::append(std::span<const std::uint64_t> words) {
+  if (words.size() > words_per_segment_) {
+    throw std::runtime_error("SpillArena: run larger than one segment");
+  }
+  if (segments_.empty() ||
+      tail_used_ + words.size() > words_per_segment_) {
+    new_segment();
+  }
+  const std::size_t seg_idx = segments_.size() - 1;
+  touch(seg_idx);
+  std::uint64_t* dst = segments_[seg_idx].base + tail_used_;
+  std::memcpy(dst, words.data(), words.size() * sizeof(std::uint64_t));
+  const std::uint64_t handle =
+      static_cast<std::uint64_t>(seg_idx) * words_per_segment_ + tail_used_;
+  tail_used_ += words.size();
+  words_appended_ += words.size();
+  return handle;
+}
+
+std::span<const std::uint64_t> SpillArena::view(std::uint64_t handle,
+                                                std::size_t nwords) {
+  const std::size_t seg_idx =
+      static_cast<std::size_t>(handle / words_per_segment_);
+  const std::size_t off = static_cast<std::size_t>(handle % words_per_segment_);
+  touch(seg_idx);
+  return {segments_[seg_idx].base + off, nwords};
+}
+
+}  // namespace wfregs::storage

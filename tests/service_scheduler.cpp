@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -350,6 +351,88 @@ TEST(JobScheduler, StaticPowerJobsSkipExplorationButKeepTheDecision) {
   EXPECT_TRUE(fallback.ok);
   EXPECT_GT(fallback.stats.configs, 0u);
   std::remove(store.c_str());
+}
+
+// ---- out-of-core checkpoint/resume through the scheduler -------------------
+
+TEST(JobScheduler, DeadlineLeavesAPartialCheckpointAndResubmissionResumes) {
+  const std::string root = ::testing::TempDir() + "wfregs_sched_ooc_" +
+                           std::to_string(::getpid());
+  std::filesystem::remove_all(root);
+
+  // from_cas_ids(4) out of core (64 KiB segments, 256 KiB budget,
+  // checkpoint every 64 configs) takes well over 100 ms end to end, so a
+  // 25 ms deadline reliably interrupts the first run even on a much faster
+  // machine.
+  VerifyJob job;
+  job.kind = JobKind::kConsensus;
+  job.impl = consensus::from_cas_ids(4);
+
+  SchedulerOptions options = one_worker();
+  options.storage.memory_budget_bytes = 256 * 1024;
+  options.storage.arena_segment_bytes = 64 * 1024;
+  options.storage.checkpoint_dir = root;
+  options.storage.checkpoint_every_configs = 64;
+  const JobKey key = job_key(job);
+  const std::string job_dir = root + "/" + job_key_hex(key);
+
+  // Phase 1: a deadline'd scheduler cuts the job mid-exploration.  The
+  // verdict must say "partial, resumable" and the per-key checkpoint
+  // directory must hold the banked progress.
+  {
+    SchedulerOptions deadline_options = options;
+    deadline_options.default_deadline = 25ms;
+    JobScheduler sched(deadline_options);  // the real default runner
+    const Submitted s = sched.submit(job);
+    const Verdict v = s.result.get();
+    ASSERT_FALSE(v.complete)
+        << "25 ms deadline did not interrupt the job; the workload is too "
+           "small for this machine";
+    EXPECT_TRUE(v.checkpointed);
+    EXPECT_EQ(v.provenance, Provenance::kPartial);
+    EXPECT_TRUE(std::filesystem::exists(job_dir));
+    EXPECT_FALSE(sched.lookup(key).has_value());  // partials never cached
+    const auto status = sched.poll(key);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, JobState::kCancelled);
+    EXPECT_EQ(status->verdict.provenance, Provenance::kPartial);
+    const Metrics m = sched.metrics();
+    EXPECT_EQ(m.cancelled, 1u);
+    EXPECT_EQ(m.partial_checkpoints, 1u);
+    EXPECT_EQ(m.completed, 0u);
+  }
+
+  // Phase 2: a scheduler without a deadline sees the same checkpoint root;
+  // resubmitting the same key resumes the banked roots instead of starting
+  // over, completes, and retires the per-job directory.
+  {
+    JobScheduler sched(options);
+    const Submitted s = sched.submit(job);
+    EXPECT_TRUE(s.key == key);
+    const Verdict v = s.result.get();
+    EXPECT_TRUE(v.complete);
+    EXPECT_TRUE(v.ok);
+    EXPECT_TRUE(v.resumed);
+    EXPECT_EQ(v.provenance, Provenance::kExplored);
+
+    // The cached verdict is byte-identical to an uninterrupted in-core
+    // run: resume replays the same traversal, and the transient resumed /
+    // checkpointed markers are deliberately outside the encoding.
+    const std::atomic<bool> no_cancel{false};
+    VerifyJob fresh_job = job;  // no storage options: plain in-core run
+    const Verdict fresh = JobScheduler::default_runner(1)(fresh_job, no_cancel);
+    const std::optional<Verdict> cached = sched.lookup(key);
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_TRUE(encode_verdict(*cached) == encode_verdict(fresh));
+
+    // Completion retired the per-job checkpoint directory.
+    EXPECT_FALSE(std::filesystem::exists(job_dir));
+    const Metrics m = sched.metrics();
+    EXPECT_EQ(m.completed, 1u);
+    EXPECT_EQ(m.resumed_jobs, 1u);
+    EXPECT_EQ(m.cancelled, 0u);
+  }
+  std::filesystem::remove_all(root);
 }
 
 TEST(JobScheduler, StaticPowerFlagRoundTripsThroughTheJobText) {
